@@ -1,0 +1,65 @@
+// Command dgap-bench regenerates the DGAP paper's evaluation tables and
+// figures on the emulated persistent-memory substrate.
+//
+// Usage:
+//
+//	dgap-bench -exp fig6 -scale 0.0005
+//	dgap-bench -exp all -datasets small
+//	dgap-bench -list
+//
+// Each experiment prints the rows/series of the corresponding paper
+// artifact; EXPERIMENTS.md records the comparison against the paper's
+// reported shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dgap/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig1c, fig5, fig6, tab3, fig7, fig8, tab4, tab5, fig9, recovery, all)")
+	scale := flag.Float64("scale", 0.0005, "dataset scale factor relative to Table 2 sizes")
+	datasets := flag.String("datasets", "", "comma-separated dataset subset (or 'small'); empty = experiment default")
+	seed := flag.Int64("seed", 42, "generator seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	noLatency := flag.Bool("no-latency", false, "disable the PM latency model (counting-only runs)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := bench.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+	if *noLatency {
+		// A zero model is replaced by the default; flag a disabled one
+		// explicitly by enabling with zero costs.
+		opt.Latency.Enabled = true
+	}
+
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(opt)
+	} else {
+		var e bench.Experiment
+		e, err = bench.Find(*exp)
+		if err == nil {
+			fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+			err = e.Run(opt)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of "DGAP: Efficient Dynamic Graph
+// Analysis on Persistent Memory" (Islam & Dai, SC 2023).
+//
+// The root package only anchors the module; the implementation lives
+// under internal/ (see DESIGN.md for the system inventory):
+//
+//   - internal/pmem     — emulated persistent memory (the substrate)
+//   - internal/pma      — packed memory array machinery
+//   - internal/dgap     — DGAP itself (the paper's contribution)
+//   - internal/csr, bal, llama, graphone, xpgraph — evaluation baselines
+//   - internal/analytics — PR / BFS / BC / CC kernels (GAPBS, Table 1)
+//   - internal/graphgen — Table 2 dataset stand-ins
+//   - internal/bench    — one experiment per paper table/figure
+//
+// bench_test.go in this directory exposes each experiment as a standard
+// testing.B benchmark; cmd/dgap-bench prints the full paper-style
+// tables.
+package repro

@@ -1,0 +1,119 @@
+// Hotspots: the paper's motivating scenario (§1) — a cellular network
+// operator streaming connection events into a graph while periodically
+// running analysis on the *latest* graph to find traffic hotspots.
+//
+// A writer goroutine ingests call-detail edges continuously; an analysis
+// goroutine takes a consistent view every round and ranks cell towers by
+// PageRank, demonstrating that long-running analytics and live updates
+// coexist: each analysis round sees a frozen snapshot while ingestion
+// never stops.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dgap/internal/analytics"
+	"dgap/internal/dgap"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+const (
+	towers  = 600
+	rounds  = 5
+	perWave = 20_000
+)
+
+func main() {
+	arena := pmem.New(512<<20, pmem.WithLatency(pmem.DefaultLatency()))
+	g, err := dgap.New(arena, dgap.DefaultConfig(towers, int64(rounds*perWave)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The event stream: skewed handoff traffic between towers (a few hub
+	// towers see most of the traffic — the hotspots we want to find).
+	spec := graphgen.Spec{Name: "cellular", V: towers, AvgDeg: 2 * rounds * perWave / towers,
+		A: 0.6, B: 0.18, C: 0.18}
+	stream := spec.Generate(1.0, time.Now().UnixNano()%1000)
+
+	var mu sync.Mutex // released between waves so snapshots interleave
+	var ingested int
+
+	writer, err := g.NewWriter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			mu.Lock()
+			lo, hi := i*perWave, (i+1)*perWave
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			for _, e := range stream[lo:hi] {
+				if err := writer.InsertEdge(e.Src, e.Dst); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ingested = hi
+			mu.Unlock()
+			time.Sleep(time.Millisecond) // let an analysis round in
+		}
+	}()
+
+	prevTop := -1
+	for r := 1; ; r++ {
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		snap := g.ConsistentView()
+		seen := ingested
+		mu.Unlock()
+
+		ranks, elapsed := analytics.PageRank(snap, 10, analytics.Serial)
+		type tower struct {
+			id   int
+			rank float64
+		}
+		top := make([]tower, 0, towers)
+		for id, rk := range ranks {
+			top = append(top, tower{id, rk})
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].rank > top[j].rank })
+		fmt.Printf("round %d: snapshot of %7d edges analyzed in %6s; hotspots:",
+			r, snap.NumEdges(), elapsed.Round(time.Microsecond))
+		for _, t := range top[:3] {
+			fmt.Printf(" tower%-4d(%.4f)", t.id, t.rank)
+		}
+		fmt.Println()
+		if top[0].id == prevTop {
+			// Hotspot ranking stabilized across waves.
+		}
+		prevTop = top[0].id
+
+		select {
+		case <-done:
+			if seen >= len(stream[:rounds*perWave]) {
+				final := g.ConsistentView()
+				fmt.Printf("\ningestion finished: %d edges total; top hotspot tower%d\n",
+					final.NumEdges(), prevTop)
+				// Simulate an unplanned outage right after — no data loss.
+				recovered, err := dgap.Open(arena.Crash(), dgap.DefaultConfig(towers, int64(rounds*perWave)))
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("after power loss: %d edges recovered\n", recovered.ConsistentView().NumEdges())
+				return
+			}
+		default:
+		}
+		_ = rand.Int
+	}
+}

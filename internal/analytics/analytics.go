@@ -1,0 +1,55 @@
+// Package analytics implements the four GAP Benchmark Suite kernels the
+// DGAP paper evaluates (Table 1) — PageRank, direction-optimizing BFS,
+// Brandes betweenness centrality, and Shiloach-Vishkin connected
+// components — against the backend-neutral graph.Snapshot interface, so
+// the same kernel code runs over DGAP, CSR, BAL, LLAMA, GraphOne and
+// XPGraph, exactly as the paper uses one GAPBS implementation across all
+// frameworks.
+//
+// Parallelism goes through vtime.Pool, which provides both a real
+// goroutine mode (correctness on this machine) and a virtual-time mode
+// used by the scalability experiments (the evaluation host has one CPU;
+// see the vtime package documentation). Each kernel returns its output
+// and the pool's elapsed time, which is wall-clock time in real mode and
+// the simulated parallel makespan in virtual mode.
+package analytics
+
+import (
+	"time"
+
+	"dgap/internal/vtime"
+)
+
+// Config selects the execution mode for a kernel run.
+type Config struct {
+	// Threads is the worker count (1 = serial).
+	Threads int
+	// Virtual selects virtual-time accounting for multi-thread runs.
+	Virtual bool
+	// Grain is the parallel-for chunk size in vertices (0 = default).
+	Grain int
+}
+
+// Serial is the default single-thread configuration.
+var Serial = Config{Threads: 1}
+
+func (c Config) pool() *vtime.Pool {
+	t := c.Threads
+	if t < 1 {
+		t = 1
+	}
+	return vtime.NewPool(t, c.Virtual)
+}
+
+func (c Config) grain(n int) int {
+	if c.Grain > 0 {
+		return c.Grain
+	}
+	g := n / 256
+	if g < 64 {
+		g = 64
+	}
+	return g
+}
+
+func elapsed(p *vtime.Pool) time.Duration { return p.Elapsed() }

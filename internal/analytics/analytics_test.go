@@ -1,0 +1,409 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"dgap/internal/csr"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+// buildSnap makes a CSR snapshot from an edge stream (CSR is the
+// simplest correct Snapshot implementation; cross-system agreement is
+// covered separately).
+func buildSnap(t *testing.T, nVert int, edges []graph.Edge) graph.Snapshot {
+	t.Helper()
+	g, err := csr.Build(pmem.New(256<<20), nVert, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pathGraph builds the symmetric path 0-1-2-...-n-1.
+func pathGraph(t *testing.T, n int) graph.Snapshot {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges,
+			graph.Edge{Src: graph.V(i), Dst: graph.V(i + 1)},
+			graph.Edge{Src: graph.V(i + 1), Dst: graph.V(i)})
+	}
+	return buildSnap(t, n, edges)
+}
+
+func TestBFSPath(t *testing.T) {
+	s := pathGraph(t, 6)
+	parent, _ := BFS(s, 0, Serial)
+	want := []int32{0, 0, 1, 2, 3, 4}
+	for i, p := range parent {
+		if p != want[i] {
+			t.Errorf("parent[%d] = %d, want %d", i, p, want[i])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}
+	s := buildSnap(t, 4, edges)
+	parent, _ := BFS(s, 0, Serial)
+	if parent[2] != NoParent || parent[3] != NoParent {
+		t.Error("unreachable vertices must stay NoParent")
+	}
+	if parent[1] != 0 {
+		t.Errorf("parent[1] = %d", parent[1])
+	}
+}
+
+// bfsDepths converts a parent array into hop distances for validation.
+func bfsDepths(parent []int32, src graph.V) []int {
+	depth := make([]int, len(parent))
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for v, p := range parent {
+			if p == NoParent || depth[v] != -1 || depth[p] == -1 {
+				continue
+			}
+			depth[v] = depth[p] + 1
+			changed = true
+		}
+	}
+	return depth
+}
+
+// refBFSDepths computes distances by textbook BFS.
+func refBFSDepths(s graph.Snapshot, src graph.V) []int {
+	n := s.NumVertices()
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []graph.V{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		s.Neighbors(v, func(u graph.V) bool {
+			if depth[u] == -1 {
+				depth[u] = depth[v] + 1
+				queue = append(queue, u)
+			}
+			return true
+		})
+	}
+	return depth
+}
+
+func TestBFSDistancesMatchReferenceOnRandomGraph(t *testing.T) {
+	edges := graphgen.Uniform(300, 6, 81)
+	s := buildSnap(t, 300, edges)
+	for _, src := range []graph.V{0, 7, 150} {
+		parent, _ := BFS(s, src, Serial)
+		got := bfsDepths(parent, src)
+		want := refBFSDepths(s, src)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("src %d: depth[%d] = %d, want %d", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSDirectionOptimizingMatchesOnDenseGraph(t *testing.T) {
+	// Dense graph: forces the bottom-up switch.
+	edges := graphgen.Uniform(200, 40, 83)
+	s := buildSnap(t, 200, edges)
+	parent, _ := BFS(s, 3, Serial)
+	got := bfsDepths(parent, 3)
+	want := refBFSDepths(s, 3)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSParallelMatchesSerial(t *testing.T) {
+	edges := graphgen.Uniform(400, 8, 87)
+	s := buildSnap(t, 400, edges)
+	pSer, _ := BFS(s, 1, Serial)
+	pPar, _ := BFS(s, 1, Config{Threads: 4})
+	dSer := bfsDepths(pSer, 1)
+	dPar := bfsDepths(pPar, 1)
+	for v := range dSer {
+		if dSer[v] != dPar[v] {
+			t.Fatalf("parallel BFS diverged at %d: %d vs %d", v, dPar[v], dSer[v])
+		}
+	}
+}
+
+func TestCCPathIsOneComponent(t *testing.T) {
+	s := pathGraph(t, 10)
+	comp, _ := CC(s, Serial)
+	for v, c := range comp {
+		if c != comp[0] {
+			t.Errorf("vertex %d in component %d, want %d", v, c, comp[0])
+		}
+	}
+}
+
+func TestCCTwoComponents(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	}
+	s := buildSnap(t, 4, edges)
+	comp, _ := CC(s, Serial)
+	if comp[0] != comp[1] || comp[2] != comp[3] {
+		t.Error("edges within components not joined")
+	}
+	if comp[0] == comp[2] {
+		t.Error("separate components merged")
+	}
+}
+
+// refCC labels components by flood fill.
+func refCC(s graph.Snapshot) []int {
+	n := s.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		stack := []graph.V{graph.V(v)}
+		comp[v] = next
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s.Neighbors(x, func(u graph.V) bool {
+				if comp[u] == -1 {
+					comp[u] = next
+					stack = append(stack, u)
+				}
+				return true
+			})
+		}
+		next++
+	}
+	return comp
+}
+
+func TestCCMatchesReferenceOnRandomGraph(t *testing.T) {
+	edges := graphgen.Uniform(500, 3, 91) // sparse: many components
+	s := buildSnap(t, 500, edges)
+	got, _ := CC(s, Serial)
+	want := refCC(s)
+	// Same partition: equal labels iff equal reference labels.
+	seen := map[graph.V]int{}
+	for v := range want {
+		if w, ok := seen[got[v]]; ok {
+			if w != want[v] {
+				t.Fatalf("partition mismatch at %d", v)
+			}
+		} else {
+			seen[got[v]] = want[v]
+		}
+	}
+	rev := map[int]graph.V{}
+	for v := range want {
+		if g, ok := rev[want[v]]; ok {
+			if g != got[v] {
+				t.Fatalf("reference component split at %d", v)
+			}
+		} else {
+			rev[want[v]] = got[v]
+		}
+	}
+}
+
+func TestCCParallelMatchesSerial(t *testing.T) {
+	edges := graphgen.Uniform(300, 4, 93)
+	s := buildSnap(t, 300, edges)
+	a, _ := CC(s, Serial)
+	b, _ := CC(s, Config{Threads: 4})
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("parallel CC diverged at %d", v)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	edges := graphgen.Uniform(200, 10, 95)
+	s := buildSnap(t, 200, edges)
+	ranks, _ := PageRank(s, PageRankIters, Serial)
+	var sum float64
+	for _, r := range ranks {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	// Symmetric graphs with no degree-0 vertices conserve rank mass.
+	if math.Abs(sum-1) > 0.02 {
+		t.Errorf("rank sum = %f", sum)
+	}
+}
+
+func TestPageRankStarCenterRanksHighest(t *testing.T) {
+	var edges []graph.Edge
+	for i := 1; i < 20; i++ {
+		edges = append(edges,
+			graph.Edge{Src: 0, Dst: graph.V(i)},
+			graph.Edge{Src: graph.V(i), Dst: 0})
+	}
+	s := buildSnap(t, 20, edges)
+	ranks, _ := PageRank(s, PageRankIters, Serial)
+	for v := 1; v < 20; v++ {
+		if ranks[v] >= ranks[0] {
+			t.Fatalf("leaf %d ranks above hub: %f >= %f", v, ranks[v], ranks[0])
+		}
+	}
+}
+
+func TestPageRankParallelMatchesSerial(t *testing.T) {
+	edges := graphgen.Uniform(300, 8, 97)
+	s := buildSnap(t, 300, edges)
+	a, _ := PageRank(s, 10, Serial)
+	b, _ := PageRank(s, 10, Config{Threads: 4})
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-12 {
+			t.Fatalf("parallel PR diverged at %d: %g vs %g", v, a[v], b[v])
+		}
+	}
+}
+
+// refBC computes Brandes from scratch with simple data structures.
+func refBC(s graph.Snapshot, src graph.V) []float64 {
+	n := s.NumVertices()
+	depth := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	sigma[src] = 1
+	var order []graph.V
+	queue := []graph.V{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		s.Neighbors(v, func(u graph.V) bool {
+			if depth[u] == -1 {
+				depth[u] = depth[v] + 1
+				queue = append(queue, u)
+			}
+			if depth[u] == depth[v]+1 {
+				sigma[u] += sigma[v]
+			}
+			return true
+		})
+	}
+	scores := make([]float64, n)
+	for i := len(order) - 1; i >= 1; i-- {
+		v := order[i]
+		s.Neighbors(v, func(u graph.V) bool {
+			if depth[u] == depth[v]-1 {
+				delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+			}
+			return true
+		})
+		scores[v] = delta[v]
+	}
+	// refBC accumulates delta onto predecessors; align definitions: our
+	// kernel reports delta[v] per vertex.
+	return scores
+}
+
+func TestBCPathCenterHighest(t *testing.T) {
+	s := pathGraph(t, 5)
+	scores, _ := BC(s, 0, Serial)
+	// From source 0 on a path, dependency decreases along the path.
+	if !(scores[1] > scores[2] && scores[2] > scores[3]) {
+		t.Errorf("path BC scores not decreasing: %v", scores)
+	}
+	if scores[4] != 0 {
+		t.Errorf("endpoint score = %f, want 0", scores[4])
+	}
+}
+
+func TestBCMatchesReferenceOnRandomGraph(t *testing.T) {
+	edges := graphgen.Uniform(150, 6, 99)
+	s := buildSnap(t, 150, edges)
+	for _, src := range []graph.V{0, 42} {
+		got, _ := BC(s, src, Serial)
+		want := refBC(s, src)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("src %d: BC[%d] = %g, want %g", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBCParallelMatchesSerial(t *testing.T) {
+	edges := graphgen.Uniform(200, 8, 101)
+	s := buildSnap(t, 200, edges)
+	a, _ := BC(s, 5, Serial)
+	b, _ := BC(s, 5, Config{Threads: 4})
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-9 {
+			t.Fatalf("parallel BC diverged at %d: %g vs %g", v, a[v], b[v])
+		}
+	}
+}
+
+func TestKernelsVirtualModeMatchesReal(t *testing.T) {
+	edges := graphgen.Uniform(200, 8, 103)
+	s := buildSnap(t, 200, edges)
+	vc := Config{Threads: 16, Virtual: true}
+	pr1, _ := PageRank(s, 5, Serial)
+	pr2, _ := PageRank(s, 5, vc)
+	for v := range pr1 {
+		if math.Abs(pr1[v]-pr2[v]) > 1e-12 {
+			t.Fatal("virtual-mode PR diverged")
+		}
+	}
+	c1, _ := CC(s, Serial)
+	c2, _ := CC(s, vc)
+	for v := range c1 {
+		if c1[v] != c2[v] {
+			t.Fatal("virtual-mode CC diverged")
+		}
+	}
+	p1, _ := BFS(s, 0, Serial)
+	p2, _ := BFS(s, 0, vc)
+	d1, d2 := bfsDepths(p1, 0), bfsDepths(p2, 0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatal("virtual-mode BFS diverged")
+		}
+	}
+}
+
+func TestKernelsOnEmptyGraph(t *testing.T) {
+	s := buildSnap(t, 5, nil)
+	if p, _ := BFS(s, 0, Serial); p[1] != NoParent {
+		t.Error("BFS on empty graph")
+	}
+	if c, _ := CC(s, Serial); c[0] == c[1] {
+		t.Error("CC merged isolated vertices")
+	}
+	if r, _ := PageRank(s, 3, Serial); len(r) != 5 {
+		t.Error("PR length")
+	}
+	if b, _ := BC(s, 0, Serial); b[0] != 0 {
+		t.Error("BC on empty graph")
+	}
+}

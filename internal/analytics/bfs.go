@@ -1,0 +1,122 @@
+package analytics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dgap/internal/graph"
+)
+
+// NoParent marks unreached vertices in a BFS parent array.
+const NoParent = int32(-1)
+
+// BFS runs the direction-optimizing breadth-first search of Beamer et
+// al. (the GAPBS implementation the paper uses): top-down while the
+// frontier is small, switching to bottom-up when the frontier's edge
+// count grows past a fraction of the remaining edges. It returns the
+// parent array.
+func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
+	n := s.NumVertices()
+	p := cfg.pool()
+	parent := make([]int32, n)
+	p.Serial(func() {
+		for i := range parent {
+			parent[i] = NoParent
+		}
+	})
+	if int(src) >= n {
+		return parent, elapsed(p)
+	}
+	parent[src] = int32(src)
+
+	const alpha = 15 // GAPBS direction-switch heuristic
+	frontier := []graph.V{src}
+	inFrontier := newBitmap(n)
+	grain := cfg.grain(n)
+	totalEdges := s.NumEdges()
+	var exploredEdges int64
+
+	for len(frontier) > 0 {
+		// Estimate work on each side of the switch.
+		var frontierEdges int64
+		p.Serial(func() {
+			for _, v := range frontier {
+				frontierEdges += int64(s.Degree(v))
+			}
+		})
+		remaining := totalEdges - exploredEdges
+		if frontierEdges*alpha > remaining {
+			frontier = bfsBottomUp(s, p, parent, frontier, inFrontier, grain)
+		} else {
+			frontier = bfsTopDown(s, p, parent, frontier, grain)
+		}
+		exploredEdges += frontierEdges
+	}
+	return parent, elapsed(p)
+}
+
+// bfsTopDown expands the frontier by scanning each frontier vertex's
+// out-edges; vertices are claimed with a CAS on the parent array, so
+// each lands in exactly one chunk's local next-frontier.
+func bfsTopDown(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, grain int) []graph.V {
+	nextLocal := make([][]graph.V, (len(frontier)+grain-1)/grain)
+	p.For(len(frontier), grain, func(lo, hi int) {
+		var local []graph.V
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			s.Neighbors(v, func(u graph.V) bool {
+				if atomicClaimParent(parent, u, int32(v)) {
+					local = append(local, u)
+				}
+				return true
+			})
+		}
+		nextLocal[lo/grain] = local
+	})
+	var next []graph.V
+	p.Serial(func() {
+		for _, l := range nextLocal {
+			next = append(next, l...)
+		}
+	})
+	return next
+}
+
+// bfsBottomUp scans all unreached vertices, adopting any in-frontier
+// neighbor as parent. Each unreached vertex is written by exactly one
+// chunk, so plain stores suffice; the frontier bitmap is read-only
+// during the sweep.
+func bfsBottomUp(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, inFrontier *bitmap, grain int) []graph.V {
+	n := s.NumVertices()
+	p.Serial(func() {
+		inFrontier.clear()
+		for _, v := range frontier {
+			inFrontier.set(int(v))
+		}
+	})
+	nextLocal := make([][]graph.V, (n+grain-1)/grain)
+	p.For(n, grain, func(lo, hi int) {
+		var local []graph.V
+		for v := lo; v < hi; v++ {
+			if atomic.LoadInt32(&parent[v]) != NoParent {
+				continue
+			}
+			s.Neighbors(graph.V(v), func(u graph.V) bool {
+				if inFrontier.get(int(u)) {
+					atomic.StoreInt32(&parent[v], int32(u))
+					local = append(local, graph.V(v))
+					return false
+				}
+				return true
+			})
+		}
+		nextLocal[lo/grain] = local
+	})
+	var next []graph.V
+	p.Serial(func() {
+		for _, l := range nextLocal {
+			next = append(next, l...)
+		}
+	})
+	return next
+}

@@ -1,0 +1,206 @@
+package analytics_test
+
+import (
+	"math"
+	"testing"
+
+	"dgap/internal/analytics"
+	"dgap/internal/bal"
+	"dgap/internal/csr"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/graphone"
+	"dgap/internal/llama"
+	"dgap/internal/pmem"
+	"dgap/internal/xpgraph"
+)
+
+// TestKernelsAgreeAcrossAllSystems is the end-to-end integration check:
+// the same kernels over every framework's snapshot of the same graph
+// must produce identical results (PR within float tolerance, identical
+// BFS depths, identical CC partitions, identical BC scores).
+func TestKernelsAgreeAcrossAllSystems(t *testing.T) {
+	spec, err := graphgen.Preset("citpatents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := spec.Generate(0.0001, 77)
+	nVert := graphgen.MaxVertex(edges)
+
+	snaps := map[string]graph.Snapshot{}
+	{
+		g, err := csr.Build(pmem.New(128<<20), nVert, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps["csr"] = g.Snapshot()
+	}
+	{
+		g, err := dgap.New(pmem.New(256<<20), dgap.DefaultConfig(nVert, int64(len(edges))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		load(t, g, edges)
+		snaps["dgap"] = g.Snapshot()
+	}
+	{
+		g := bal.New(pmem.New(256<<20), nVert)
+		load(t, g, edges)
+		snaps["bal"] = g.Snapshot()
+	}
+	{
+		g := llama.New(pmem.New(256<<20), nVert, len(edges)/50+1)
+		load(t, g, edges)
+		if err := g.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		snaps["llama"] = g.Snapshot()
+	}
+	{
+		g, err := graphone.New(pmem.New(128<<20), nVert, 1<<12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load(t, g, edges)
+		snaps["graphone"] = g.Snapshot()
+	}
+	{
+		g, err := xpgraph.New(pmem.New(256<<20), nVert, xpgraph.Config{Threshold: 512, LogCapEdges: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		load(t, g, edges)
+		snaps["xpgraph"] = g.Snapshot()
+	}
+
+	ref := snaps["csr"]
+	refPR, _ := analytics.PageRank(ref, 10, analytics.Serial)
+	refBFS, _ := analytics.BFS(ref, 3, analytics.Serial)
+	refCC, _ := analytics.CC(ref, analytics.Serial)
+	refBC, _ := analytics.BC(ref, 3, analytics.Serial)
+	refDepth := depths(ref, refBFS, 3)
+
+	for name, s := range snaps {
+		if name == "csr" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			pr, _ := analytics.PageRank(s, 10, analytics.Serial)
+			for v := range refPR {
+				if math.Abs(pr[v]-refPR[v]) > 1e-9 {
+					t.Fatalf("PR[%d] = %g, want %g", v, pr[v], refPR[v])
+				}
+			}
+			bfs, _ := analytics.BFS(s, 3, analytics.Serial)
+			d := depths(s, bfs, 3)
+			for v := range refDepth {
+				if d[v] != refDepth[v] {
+					t.Fatalf("BFS depth[%d] = %d, want %d", v, d[v], refDepth[v])
+				}
+			}
+			cc, _ := analytics.CC(s, analytics.Serial)
+			if !samePartition(cc, refCC) {
+				t.Fatal("CC partition differs")
+			}
+			bc, _ := analytics.BC(s, 3, analytics.Serial)
+			for v := range refBC {
+				if math.Abs(bc[v]-refBC[v]) > 1e-9 {
+					t.Fatalf("BC[%d] = %g, want %g", v, bc[v], refBC[v])
+				}
+			}
+		})
+	}
+}
+
+func load(t *testing.T, sys graph.System, edges []graph.Edge) {
+	t.Helper()
+	for _, e := range edges {
+		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func depths(s graph.Snapshot, parent []int32, src graph.V) []int {
+	depth := make([]int, len(parent))
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for v, p := range parent {
+			if p < 0 || depth[v] != -1 || depth[p] == -1 {
+				continue
+			}
+			depth[v] = depth[p] + 1
+			changed = true
+		}
+	}
+	return depth
+}
+
+func samePartition(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[graph.V]graph.V{}
+	rev := map[graph.V]graph.V{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := rev[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// TestKernelsOverLiveDGAPSnapshot: kernels keep producing the frozen
+// result while the graph continues to mutate underneath — the paper's
+// central consistency scenario (long PageRank concurrent with updates).
+func TestKernelsOverLiveDGAPSnapshot(t *testing.T) {
+	edges := graphgen.Uniform(200, 12, 55)
+	half := len(edges) / 2
+	g, err := dgap.New(pmem.New(256<<20), dgap.DefaultConfig(200, int64(len(edges))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges[:half] {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := g.ConsistentView()
+	before, _ := analytics.PageRank(snap, 5, analytics.Serial)
+
+	done := make(chan error, 1)
+	go func() {
+		w, err := g.NewWriter()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer w.Close()
+		for _, e := range edges[half:] {
+			if err := w.InsertEdge(e.Src, e.Dst); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	after, _ := analytics.PageRank(snap, 5, analytics.Serial) // racing the writer
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for v := range before {
+		if math.Abs(before[v]-after[v]) > 1e-12 {
+			t.Fatalf("snapshot PR drifted at %d under concurrent writes", v)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package analytics
+
+import (
+	"sync/atomic"
+
+	"dgap/internal/vtime"
+)
+
+type pool = *vtime.Pool
+
+// atomicClaimParent sets parent[u] = val if it is still NoParent,
+// returning true on success; the primitive top-down BFS uses to claim
+// vertices under real parallelism.
+func atomicClaimParent(parent []int32, u uint32, val int32) bool {
+	return atomic.CompareAndSwapInt32(&parent[u], NoParent, val)
+}
+
+// bitmap is a fixed-size bit set used by bottom-up BFS frontiers.
+type bitmap struct {
+	words []uint64
+}
+
+func newBitmap(n int) *bitmap {
+	return &bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *bitmap) set(i int)      { b.words[i/64] |= 1 << (i % 64) }
+func (b *bitmap) get(i int) bool { return b.words[i/64]&(1<<(i%64)) != 0 }
+func (b *bitmap) clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -1,0 +1,105 @@
+package bal
+
+import (
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+func TestInsertAndIterateAcrossBlocks(t *testing.T) {
+	g := New(pmem.New(64<<20), 4)
+	want := make([]graph.V, 0, BlockEdges*3+5)
+	for i := 0; i < BlockEdges*3+5; i++ {
+		d := graph.V(i % 4)
+		if err := g.InsertEdge(2, d); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+	s := g.Snapshot()
+	var got []graph.V
+	s.Neighbors(2, func(d graph.V) bool { got = append(got, d); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVertexGrowth(t *testing.T) {
+	g := New(pmem.New(64<<20), 2)
+	if err := g.InsertEdge(100, 5); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Snapshot()
+	if s.NumVertices() != 101 {
+		t.Errorf("NumVertices = %d", s.NumVertices())
+	}
+	if s.Degree(100) != 1 {
+		t.Errorf("Degree(100) = %d", s.Degree(100))
+	}
+}
+
+func TestSnapshotBoundsVisibility(t *testing.T) {
+	g := New(pmem.New(64<<20), 8)
+	for i := 0; i < 10; i++ {
+		mustInsert(t, g, 1, graph.V(i%8))
+	}
+	s := g.Snapshot()
+	for i := 0; i < 50; i++ {
+		mustInsert(t, g, 1, graph.V(i%8))
+	}
+	n := 0
+	s.Neighbors(1, func(graph.V) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("snapshot saw %d edges, want 10", n)
+	}
+}
+
+func TestAckedEdgesSurviveCrashImage(t *testing.T) {
+	// BAL's durability contract in this repo: the edge slot is flushed
+	// and fenced before ack, and the block count is persisted after, so
+	// the media image contains every acked edge.
+	a := pmem.New(64 << 20)
+	g := New(a, 16)
+	edges := graphgen.Uniform(16, 6, 9)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	img := a.Crash()
+	// No recovery path is implemented for BAL (it is a baseline); verify
+	// at the media level that block chains are intact: walk from the
+	// stored heads of the ORIGINAL graph against the crashed image.
+	s := g.Snapshot().(*Snapshot)
+	re := New(img, 16)
+	re.verts = make([]vertex, 16)
+	total := 0
+	for v := 0; v < 16; v++ {
+		blk := s.heads[v]
+		for blk != 0 {
+			for i := 0; i < BlockEdges; i++ {
+				val := img.ReadU32(blk + 16 + pmem.Off(i)*4)
+				if val == emptySlot {
+					break
+				}
+				total++
+			}
+			blk = img.ReadU64(blk)
+		}
+	}
+	if total != len(edges) {
+		t.Errorf("crash image holds %d edges, want %d", total, len(edges))
+	}
+}
+
+func mustInsert(t *testing.T, g *Graph, s, d graph.V) {
+	t.Helper()
+	if err := g.InsertEdge(s, d); err != nil {
+		t.Fatal(err)
+	}
+}

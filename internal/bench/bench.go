@@ -1,0 +1,196 @@
+// Package bench regenerates every table and figure of the DGAP paper's
+// evaluation (§4) on the emulated persistent-memory substrate. Each
+// experiment prints the same rows/series the paper reports; absolute
+// numbers differ (different hardware, emulated device, scaled datasets)
+// but the shapes — who wins, by what factor, where crossovers fall — are
+// the reproduction target recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the Table 2 datasets (1.0 = original sizes, far too
+	// large for this environment; the default 0.0005 keeps degree skew
+	// and |E|/|V| while fitting in minutes).
+	Scale float64
+	// Datasets restricts which Table 2 graphs run ("small" = the three
+	// the paper uses for component studies; empty = all six).
+	Datasets []string
+	// Seed makes dataset generation deterministic.
+	Seed int64
+	// Latency is the PM cost model (DefaultLatency unless overridden).
+	Latency pmem.LatencyModel
+	// Out receives the experiment's table.
+	Out io.Writer
+}
+
+// Defaults fills unset fields.
+func (o Options) defaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.0005
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	z := pmem.LatencyModel{}
+	if o.Latency == z {
+		o.Latency = pmem.DefaultLatency()
+	}
+	return o
+}
+
+func (o Options) specs() []graphgen.Spec {
+	if len(o.Datasets) == 0 {
+		return graphgen.Presets
+	}
+	if len(o.Datasets) == 1 && o.Datasets[0] == "small" {
+		return graphgen.SmallPresets()
+	}
+	var out []graphgen.Spec
+	for _, name := range o.Datasets {
+		s, err := graphgen.Preset(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) error
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1a", "Figure 1(a): write amplification of naive PMA-CSR", Fig1a},
+		{"fig1b", "Figure 1(b): PMA insert on DRAM vs PM vs PM+TX", Fig1b},
+		{"fig1c", "Figure 1(c): sequential vs random vs in-place PM write latency", Fig1c},
+		{"fig5", "Figure 5: XPGraph insert throughput vs archiving threshold", Fig5},
+		{"fig6", "Figure 6: single-writer insert throughput (MEPS)", Fig6},
+		{"tab3", "Table 3: insert throughput at 1/8/16 writer threads", Tab3},
+		{"fig7", "Figure 7: PageRank and CC time normalized to CSR", Fig7},
+		{"fig8", "Figure 8: BFS and BC time normalized to CSR", Fig8},
+		{"tab4", "Table 4: kernel times (seconds), 1 and 16 threads", Tab4},
+		{"tab5", "Table 5: DGAP component ablation (insert seconds)", Tab5},
+		{"fig9", "Figure 9: per-section edge log size sweep", Fig9},
+		{"recovery", "Sec 4.4: normal reboot vs crash recovery time", Recovery},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (see Registry)", id)
+}
+
+// RunAll executes every experiment.
+func RunAll(o Options) error {
+	for _, e := range Registry() {
+		fmt.Fprintf(o.Out, "\n=== %s — %s ===\n", e.ID, e.Title)
+		if err := e.Run(o); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// --- table formatting helpers ---
+
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func f2(v float64) string         { return fmt.Sprintf("%.2f", v) }
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+func millis(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// arenaFor sizes an arena for a dataset at scale: the dominant consumer
+// is DGAP's doubling edge array plus abandoned regions and logs.
+func arenaFor(nEdges int, lat pmem.LatencyModel) *pmem.Arena {
+	capBytes := nEdges * 96
+	if capBytes < 64<<20 {
+		capBytes = 64 << 20
+	}
+	return pmem.New(capBytes, pmem.WithLatency(lat))
+}
+
+// genCache avoids regenerating the same dataset across experiments in a
+// RunAll sweep.
+var genCache = map[string][]graph.Edge{}
+
+func dataset(spec graphgen.Spec, o Options) []graph.Edge {
+	key := fmt.Sprintf("%s-%g-%d", spec.Name, o.Scale, o.Seed)
+	if e, ok := genCache[key]; ok {
+		return e
+	}
+	e := spec.Generate(o.Scale, o.Seed)
+	genCache[key] = e
+	return e
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dgap/internal/pmem"
+)
+
+// tinyOptions run experiments at the smallest sensible scale with
+// latency injection off, purely to exercise every code path.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Scale:    0.00002,
+		Datasets: []string{"citpatents"},
+		Seed:     1,
+		Latency:  pmem.LatencyModel{Enabled: true}, // enabled but zero-cost
+		Out:      buf,
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Registry() {
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			o := tinyOptions(&buf)
+			if e.ID == "fig9" || e.ID == "tab5" {
+				o.Datasets = []string{"citpatents"}
+			}
+			if err := e.Run(o); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "paper shape") {
+				t.Errorf("%s output missing the paper-shape note:\n%s", e.ID, out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Errorf("%s produced no table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFindAndRegistry(t *testing.T) {
+	if len(Registry()) != 12 {
+		t.Errorf("registry has %d experiments, want 12 (every table+figure)", len(Registry()))
+	}
+	if _, err := Find("fig6"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nonsense"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &table{header: []string{"a", "long-column"}}
+	tb.add("x", "1")
+	tb.add("yyyy", "2")
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4", len(lines))
+	}
+	// Every line is padded to the same width (ignoring the trailing
+	// padding of the final cell, which carries no alignment information).
+	w := len(strings.TrimRight(lines[0], " "))
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("line %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.defaults()
+	if o.Scale == 0 || o.Seed == 0 || !o.Latency.Enabled {
+		t.Error("defaults not applied")
+	}
+	if len(Options{Datasets: []string{"small"}}.specs()) != 3 {
+		t.Error("'small' must select three datasets")
+	}
+	if len((Options{}).specs()) != 6 {
+		t.Error("empty dataset list must select all six")
+	}
+}
+
+func TestLockScopeMapping(t *testing.T) {
+	for _, name := range SystemNames {
+		_ = lockScope(name) // must not panic on any known system
+	}
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+	"dgap/internal/workload"
+)
+
+// Tab5 reproduces Table 5: the component ablation. Four DGAP variants
+// insert the three small graphs end-to-end: full DGAP; without the
+// per-section edge log ("No EL", blocked inserts shift neighbours);
+// additionally replacing the per-thread undo log with PMDK-style
+// transactions ("No EL&UL"); additionally keeping the vertex array and
+// density tree on PM ("No EL&UL&DP").
+func Tab5(o Options) error {
+	o = o.defaults()
+	if len(o.Datasets) == 0 {
+		o.Datasets = []string{"small"}
+	}
+	variants := []struct {
+		name string
+		mod  func(*dgap.Config)
+	}{
+		{"DGAP", func(*dgap.Config) {}},
+		{"No EL", func(c *dgap.Config) { c.EnableEdgeLog = false }},
+		{"No EL&UL", func(c *dgap.Config) { c.EnableEdgeLog = false; c.UseUndoLog = false }},
+		{"No EL&UL&DP", func(c *dgap.Config) {
+			c.EnableEdgeLog = false
+			c.UseUndoLog = false
+			c.MetadataInDRAM = false
+		}},
+	}
+	header := []string{"graph"}
+	for _, v := range variants {
+		header = append(header, v.name)
+	}
+	t := &table{header: header}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		row := []string{spec.Name}
+		for _, v := range variants {
+			cfg := dgap.DefaultConfig(nVert, int64(len(edges)))
+			v.mod(&cfg)
+			a := arenaFor(len(edges), o.Latency)
+			g, err := dgap.New(a, cfg)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			for _, e := range edges {
+				if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+					return err
+				}
+			}
+			row = append(row, secs(time.Since(t0)))
+		}
+		t.add(row...)
+	}
+	t.write(o.Out)
+	fmt.Fprintln(o.Out, "paper shape: edge log is the largest factor (~4.5x without it); undo log adds ~13%; PM-resident metadata roughly doubles again")
+	return nil
+}
+
+// Fig9 reproduces Figure 9: the effect of the per-section edge log size
+// (64 B .. 16 KB) on total log footprint, log utilization, and insert
+// time, on Orkut and LiveJournal.
+func Fig9(o Options) error {
+	o = o.defaults()
+	if len(o.Datasets) == 0 {
+		o.Datasets = []string{"orkut", "livejournal"}
+	}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		fmt.Fprintf(o.Out, "\n-- %s --\n", spec.Name)
+		t := &table{header: []string{"ELOG_SZ", "total log MB", "utilization %", "insert time (s)"}}
+		for sz := 64; sz <= 16384; sz *= 2 {
+			// A deliberately tight initial estimate keeps the array
+			// dense, so blocked inserts (the case the edge log absorbs)
+			// occur at the rate the paper's full-size runs see.
+			cfg := dgap.DefaultConfig(nVert, int64(len(edges))/3)
+			cfg.ELogSize = sz
+			a := arenaFor(len(edges)*2, o.Latency)
+			g, err := dgap.New(a, cfg)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			for _, e := range edges {
+				if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(t0)
+			logMB, utilization := g.ELogUsage()
+			t.add(fmt.Sprintf("%d", sz), f2(logMB), f2(utilization*100), secs(elapsed))
+		}
+		t.write(o.Out)
+	}
+	fmt.Fprintln(o.Out, "paper shape: bigger logs cut insert time with diminishing returns past 2048 B while utilization falls (80%->6%)")
+	return nil
+}
+
+// Recovery reproduces the §4.4 recovery evaluation: time of a normal
+// reboot (graceful-shutdown dump reload) versus crash recovery (full
+// image scan), per dataset.
+func Recovery(o Options) error {
+	o = o.defaults()
+	t := &table{header: []string{"graph", "edges", "normal reboot (s)", "crash recovery (s)"}}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		cfg := dgap.DefaultConfig(nVert, int64(len(edges)))
+
+		build := func() (*dgap.Graph, *pmem.Arena, error) {
+			a := arenaFor(len(edges), o.Latency)
+			g, err := dgap.New(a, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := workload.InsertSerial(g, edges); err != nil {
+				return nil, nil, err
+			}
+			return g, a, nil
+		}
+
+		// Normal path: graceful shutdown, power cycle, reopen.
+		g, a, err := build()
+		if err != nil {
+			return err
+		}
+		if err := g.Close(); err != nil {
+			return err
+		}
+		a2 := a.Crash()
+		t0 := time.Now()
+		if _, err := dgap.Open(a2, cfg); err != nil {
+			return err
+		}
+		normal := time.Since(t0)
+
+		// Crash path: power cut mid-flight, recover by scanning.
+		g, a, err = build()
+		if err != nil {
+			return err
+		}
+		_ = g
+		a3 := a.Crash()
+		t0 = time.Now()
+		if _, err := dgap.Open(a3, cfg); err != nil {
+			return err
+		}
+		crash := time.Since(t0)
+
+		t.add(spec.Name, fmt.Sprintf("%d", len(edges)), secs(normal), secs(crash))
+	}
+	t.write(o.Out)
+	fmt.Fprintln(o.Out, "paper shape: normal reboot near-constant (~1s on largest); crash recovery scales with graph size (<1s small, ~4s+ large)")
+	return nil
+}

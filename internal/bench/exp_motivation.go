@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graphgen"
+	"dgap/internal/pma"
+	"dgap/internal/pmem"
+)
+
+// Fig1a reproduces Figure 1(a): the write amplification of a naive
+// PMA-based mutable CSR (DGAP with the per-section edge log disabled —
+// every blocked insert shifts neighbours) while inserting the Orkut
+// graph, reported as the ratio of media bytes to inserted edge bytes
+// over insertion progress.
+func Fig1a(o Options) error {
+	o = o.defaults()
+	spec, err := graphgen.Preset("orkut")
+	if err != nil {
+		return err
+	}
+	edges := dataset(spec, o)
+	nVert := graphgen.MaxVertex(edges)
+
+	a := arenaFor(len(edges), pmem.NoLatency()) // counting, not timing
+	cfg := dgap.DefaultConfig(nVert, int64(len(edges)))
+	cfg.EnableEdgeLog = false
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"progress", "written MB", "edge MB", "write amplification"}}
+	step := len(edges) / 10
+	a.ResetStats()
+	for i, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			return err
+		}
+		if (i+1)%step == 0 {
+			s := a.Stats()
+			// The paper's metric: bytes actually written (including data
+			// moved by nearby shifts and rebalances) over edge payload.
+			edgeBytes := float64(i+1) * 4
+			t.add(fmt.Sprintf("%d%%", (i+1)*100/len(edges)),
+				f2(float64(s.LogicalBytes)/1e6), f2(edgeBytes/1e6),
+				f2(float64(s.LogicalBytes)/edgeBytes))
+		}
+	}
+	t.write(o.Out)
+	fmt.Fprintln(o.Out, "paper shape: amplification up to ~7x for naive PMA-CSR on Orkut")
+	return nil
+}
+
+// Fig1b reproduces Figure 1(b): inserting a stream of sorted keys into a
+// packed memory array placed on DRAM, on PM, and on PM under PMDK-style
+// transactions.
+func Fig1b(o Options) error {
+	o = o.defaults()
+	const n = 60_000
+	rng := rand.New(rand.NewSource(o.Seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(1 << 40))
+	}
+	run := func(lat pmem.LatencyModel, useTx bool) (time.Duration, error) {
+		a := pmem.New(256<<20, pmem.WithLatency(lat))
+		arr, err := pma.NewArray(a, 1<<14, 512, pma.DefaultThresholds(), useTx)
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		for _, k := range keys {
+			if err := arr.Insert(k); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+	t := &table{header: []string{"placement", "insert time (s)", "vs DRAM"}}
+	dram, err := run(pmem.NoLatency(), false)
+	if err != nil {
+		return err
+	}
+	pm, err := run(o.Latency, false)
+	if err != nil {
+		return err
+	}
+	pmtx, err := run(o.Latency, true)
+	if err != nil {
+		return err
+	}
+	t.add("DRAM", secs(dram), "1.00x")
+	t.add("PM", secs(pm), f2(float64(pm)/float64(dram))+"x")
+	t.add("PM-TX", secs(pmtx), f2(float64(pmtx)/float64(dram))+"x")
+	t.write(o.Out)
+	fmt.Fprintln(o.Out, "paper shape: DRAM << PM << PM-TX (transactions dominate)")
+	return nil
+}
+
+// Fig1c reproduces Figure 1(c): the latency of writing the same volume
+// persistently in sequential, random, and in-place patterns.
+func Fig1c(o Options) error {
+	o = o.defaults()
+	const writes = 20_000
+	const stride = pmem.CacheLineSize
+	run := func(pattern string) time.Duration {
+		a := pmem.New(64<<20, pmem.WithLatency(o.Latency))
+		base := a.MustAlloc(writes*stride, pmem.CacheLineSize)
+		rng := rand.New(rand.NewSource(o.Seed))
+		t0 := time.Now()
+		for i := 0; i < writes; i++ {
+			var off pmem.Off
+			switch pattern {
+			case "Seq":
+				off = base + pmem.Off(i)*stride
+			case "Rnd":
+				off = base + pmem.Off(rng.Intn(writes))*stride
+			default: // In-place
+				off = base
+			}
+			a.WriteU64(off, uint64(i))
+			a.Flush(off, 8)
+			a.Fence()
+		}
+		return time.Since(t0)
+	}
+	t := &table{header: []string{"pattern", "total (s)", "ns/write"}}
+	var seq time.Duration
+	for _, p := range []string{"Seq", "Rnd", "In-place"} {
+		d := run(p)
+		if p == "Seq" {
+			seq = d
+		}
+		t.add(p, secs(d), fmt.Sprintf("%d", d.Nanoseconds()/writes))
+	}
+	t.write(o.Out)
+	fmt.Fprintf(o.Out, "paper shape: in-place ~7x slower than sequential (measured %.1fx)\n",
+		float64(run("In-place"))/float64(seq))
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package chunkadj provides the chained-chunk DRAM adjacency structure
+// that GraphOne and XPGraph build their analysis views from: per vertex,
+// a linked list of fixed-size edge chunks ("units"). Compared to CSR's
+// single contiguous run, iteration hops between chunks scattered across
+// the heap — the cache-locality gap that makes whole-graph kernels
+// (PageRank, CC) slower on adjacency-list systems even when the data is
+// in DRAM, while per-vertex access (BFS) stays cheap. Both effects are
+// central to Figures 7 and 8 of the DGAP paper.
+package chunkadj
+
+import "dgap/internal/graph"
+
+// ChunkEdges is the number of edges per chunk (GraphOne-style unit).
+const ChunkEdges = 62
+
+const chunkWords = ChunkEdges + 2 // [next][count][edges...]
+
+// Adj is a growable chunked adjacency list. The chunk pool is a single
+// slice indexed by chunk number; chunks are appended and never moved,
+// but — deliberately — consecutive chunks of one vertex are interleaved
+// with other vertices' chunks, reproducing the heap scatter of the
+// original allocators.
+type Adj struct {
+	pool   []uint32
+	heads  []int32 // first chunk per vertex, -1 = none
+	tails  []int32
+	counts []int64 // edges per vertex
+	edges  int64
+}
+
+// New creates an adjacency over nVert vertices.
+func New(nVert int) *Adj {
+	a := &Adj{heads: make([]int32, nVert), tails: make([]int32, nVert), counts: make([]int64, nVert)}
+	for i := range a.heads {
+		a.heads[i] = -1
+		a.tails[i] = -1
+	}
+	return a
+}
+
+// Ensure grows the vertex table to n.
+func (a *Adj) Ensure(n int) {
+	for len(a.heads) < n {
+		a.heads = append(a.heads, -1)
+		a.tails = append(a.tails, -1)
+		a.counts = append(a.counts, 0)
+	}
+}
+
+// NumVertices returns the vertex-table size.
+func (a *Adj) NumVertices() int { return len(a.heads) }
+
+// NumEdges returns the total edge count.
+func (a *Adj) NumEdges() int64 { return a.edges }
+
+// Count returns one vertex's edge count.
+func (a *Adj) Count(v graph.V) int64 { return a.counts[v] }
+
+// Append adds an edge to v's chain.
+func (a *Adj) Append(v graph.V, dst graph.V) {
+	fill := a.counts[v] % ChunkEdges
+	if a.tails[v] < 0 || (fill == 0 && a.counts[v] > 0) {
+		c := a.newChunk()
+		if a.tails[v] < 0 {
+			a.heads[v] = c
+		} else {
+			a.pool[int(a.tails[v])*chunkWords] = uint32(c)
+		}
+		a.tails[v] = c
+	}
+	base := int(a.tails[v]) * chunkWords
+	a.pool[base+2+int(fill)] = dst
+	a.pool[base+1] = uint32(fill + 1)
+	a.counts[v]++
+	a.edges++
+}
+
+func (a *Adj) newChunk() int32 {
+	idx := int32(len(a.pool) / chunkWords)
+	a.pool = append(a.pool, make([]uint32, chunkWords)...)
+	base := int(idx) * chunkWords
+	a.pool[base] = 0 // no next (chunk 0 is never a successor: it is a head or unused)
+	return idx
+}
+
+// Snapshot freezes the current counts; the chunk pool is append-only so
+// a count bounds exactly which edges are visible. The pool slice header
+// is captured too (appends may reallocate the backing array; the
+// captured header keeps the old one alive and consistent).
+func (a *Adj) Snapshot() *Snapshot {
+	s := &Snapshot{
+		pool:   a.pool,
+		heads:  append([]int32(nil), a.heads...),
+		counts: append([]int64(nil), a.counts...),
+		edges:  a.edges,
+	}
+	return s
+}
+
+// Snapshot is a frozen view of an Adj.
+type Snapshot struct {
+	pool   []uint32
+	heads  []int32
+	counts []int64
+	edges  int64
+}
+
+// NumVertices implements graph.Snapshot.
+func (s *Snapshot) NumVertices() int { return len(s.heads) }
+
+// NumEdges implements graph.Snapshot.
+func (s *Snapshot) NumEdges() int64 { return s.edges }
+
+// Degree implements graph.Snapshot.
+func (s *Snapshot) Degree(v graph.V) int { return int(s.counts[v]) }
+
+// Neighbors walks v's chunk chain.
+func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
+	remaining := s.counts[v]
+	c := s.heads[v]
+	for c >= 0 && remaining > 0 {
+		base := int(c) * chunkWords
+		n := int64(ChunkEdges)
+		if n > remaining {
+			n = remaining
+		}
+		for i := int64(0); i < n; i++ {
+			if !fn(graph.V(s.pool[base+2+int(i)])) {
+				return
+			}
+		}
+		remaining -= n
+		next := s.pool[base]
+		if next == 0 {
+			return
+		}
+		c = int32(next)
+	}
+}

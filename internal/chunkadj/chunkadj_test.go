@@ -1,0 +1,127 @@
+package chunkadj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dgap/internal/graph"
+)
+
+func TestAppendAndIterate(t *testing.T) {
+	a := New(4)
+	want := []graph.V{}
+	for i := 0; i < 200; i++ { // spans several chunks
+		a.Append(1, graph.V(i))
+		want = append(want, graph.V(i))
+	}
+	s := a.Snapshot()
+	var got []graph.V
+	s.Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Degree(1) != 200 || s.NumEdges() != 200 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestInterleavedVerticesKeepOrder(t *testing.T) {
+	a := New(3)
+	for i := 0; i < 150; i++ {
+		a.Append(graph.V(i%3), graph.V(i))
+	}
+	s := a.Snapshot()
+	for v := graph.V(0); v < 3; v++ {
+		prev := -1
+		s.Neighbors(v, func(d graph.V) bool {
+			if int(d) <= prev {
+				t.Fatalf("vertex %d: order broken at %d", v, d)
+			}
+			prev = int(d)
+			return true
+		})
+	}
+}
+
+func TestSnapshotFrozenUnderAppends(t *testing.T) {
+	a := New(2)
+	for i := 0; i < 100; i++ {
+		a.Append(0, graph.V(i))
+	}
+	s := a.Snapshot()
+	for i := 100; i < 400; i++ { // grows the pool (reallocation)
+		a.Append(0, graph.V(i))
+	}
+	n := 0
+	s.Neighbors(0, func(d graph.V) bool {
+		if int(d) != n {
+			t.Fatalf("snapshot drifted at %d", n)
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("snapshot saw %d edges, want 100", n)
+	}
+}
+
+func TestEnsureGrows(t *testing.T) {
+	a := New(1)
+	a.Ensure(10)
+	a.Append(9, 1)
+	if a.Count(9) != 1 {
+		t.Error("append after Ensure failed")
+	}
+	a.Ensure(5) // shrink request is a no-op
+	if a.NumVertices() != 10 {
+		t.Errorf("NumVertices = %d", a.NumVertices())
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	a := New(1)
+	for i := 0; i < 100; i++ {
+		a.Append(0, graph.V(i))
+	}
+	n := 0
+	a.Snapshot().Neighbors(0, func(graph.V) bool { n++; return n < 70 })
+	if n != 70 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestPropertyMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const V = 8
+		a := New(V)
+		ref := make([][]graph.V, V)
+		for _, o := range ops {
+			v := graph.V(o % V)
+			d := graph.V(o / V)
+			a.Append(v, d)
+			ref[v] = append(ref[v], d)
+		}
+		s := a.Snapshot()
+		for v := 0; v < V; v++ {
+			var got []graph.V
+			s.Neighbors(graph.V(v), func(d graph.V) bool { got = append(got, d); return true })
+			if len(got) != len(ref[v]) {
+				return false
+			}
+			for i := range got {
+				if got[i] != ref[v][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

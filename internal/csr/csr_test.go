@@ -1,0 +1,87 @@
+package csr
+
+import (
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+func TestBuildAndIterate(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 2}, {Src: 0, Dst: 1}, {Src: 2, Dst: 0}}
+	g, err := Build(pmem.New(1<<20), 3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("sizes: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	var got []graph.V
+	g.Neighbors(0, func(d graph.V) bool { got = append(got, d); return true })
+	// Per-source order follows the input stream.
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("neighbors of 0 = %v", got)
+	}
+	if g.Degree(1) != 0 || g.Degree(2) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestBuildEmptyGraph(t *testing.T) {
+	g, err := Build(pmem.New(1<<20), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Error("empty graph has edges")
+	}
+	g.Neighbors(0, func(graph.V) bool { t.Error("callback on empty"); return true })
+}
+
+func TestImmutable(t *testing.T) {
+	g, err := Build(pmem.New(1<<20), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertEdge(0, 1); err == nil {
+		t.Error("CSR must reject inserts")
+	}
+	if g.Snapshot() != graph.Snapshot(g) {
+		t.Error("snapshot must be the graph itself")
+	}
+}
+
+func TestEdgeArraySurvivesCrash(t *testing.T) {
+	// Build flushes everything; the whole structure must be on media.
+	a := pmem.New(64 << 20)
+	edges := graphgen.Uniform(50, 6, 5)
+	g, err := Build(a, 50, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := a.Crash()
+	// Re-read the PM arrays from the crashed image directly.
+	total := int64(0)
+	for v := 0; v < 50; v++ {
+		lo := img.ReadU64(g.vertOff + uint64(v)*8)
+		hi := img.ReadU64(g.vertOff + uint64(v+1)*8)
+		total += int64(hi - lo)
+	}
+	if total != int64(len(edges)) {
+		t.Errorf("crash image offsets count %d edges, want %d", total, len(edges))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	edges := graphgen.Uniform(10, 8, 7)
+	g, err := Build(pmem.New(1<<20), 10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	g.Neighbors(0, func(graph.V) bool { n++; return false })
+	if n > 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}

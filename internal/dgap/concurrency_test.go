@@ -1,0 +1,192 @@
+package dgap
+
+import (
+	"sync"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+)
+
+func TestConcurrentWriters(t *testing.T) {
+	const V = 128
+	const workers = 4
+	edges := graphgen.Uniform(V, 24, 53)
+	cfg := smallConfig(V, int64(len(edges)))
+	g := newTestGraph(t, cfg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wr, err := g.NewWriter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, wr *Writer) {
+			defer wg.Done()
+			defer wr.Close()
+			for i := w; i < len(edges); i += workers {
+				if err := wr.InsertEdge(edges[i].Src, edges[i].Dst); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w, wr)
+	}
+	wg.Wait()
+
+	// Totals and per-vertex multisets must match (global order is not
+	// deterministic under concurrency, per-vertex counts are).
+	s := g.ConsistentView()
+	if s.NumEdges() != int64(len(edges)) {
+		t.Fatalf("NumEdges = %d, want %d", s.NumEdges(), len(edges))
+	}
+	wantCnt := make(map[graph.V]map[graph.V]int)
+	for _, e := range edges {
+		if wantCnt[e.Src] == nil {
+			wantCnt[e.Src] = map[graph.V]int{}
+		}
+		wantCnt[e.Src][e.Dst]++
+	}
+	for v := 0; v < V; v++ {
+		got := map[graph.V]int{}
+		n := 0
+		s.Neighbors(graph.V(v), func(d graph.V) bool { got[d]++; n++; return true })
+		if n != len(flatten(wantCnt[graph.V(v)])) {
+			t.Fatalf("vertex %d: %d edges, want %d", v, n, len(flatten(wantCnt[graph.V(v)])))
+		}
+		for d, c := range wantCnt[graph.V(v)] {
+			if got[d] != c {
+				t.Fatalf("vertex %d->%d: %d, want %d", v, d, got[d], c)
+			}
+		}
+	}
+}
+
+func flatten(m map[graph.V]int) []graph.V {
+	var out []graph.V
+	for d, c := range m {
+		for i := 0; i < c; i++ {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	const V = 64
+	edges := graphgen.Uniform(V, 30, 59)
+	cfg := smallConfig(V, int64(len(edges)))
+	g := newTestGraph(t, cfg)
+
+	// Seed a prefix, snapshot it, then race more inserts against readers
+	// of the frozen snapshot.
+	seed := edges[:len(edges)/3]
+	for _, e := range seed {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	snap := g.ConsistentView()
+	wantEdges := snap.NumEdges()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var n int64
+				for v := 0; v < V; v++ {
+					snap.Neighbors(graph.V(v), func(graph.V) bool { n++; return true })
+				}
+				if n != wantEdges {
+					t.Errorf("snapshot drifted: saw %d edges, want %d", n, wantEdges)
+					return
+				}
+			}
+		}()
+	}
+	wr, err := g.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges[len(edges)/3:] {
+		if err := wr.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	wr.Close()
+
+	if got := g.ConsistentView().NumEdges(); got != int64(len(edges)) {
+		t.Errorf("final NumEdges = %d, want %d", got, len(edges))
+	}
+}
+
+func TestConcurrentSnapshotsDiffer(t *testing.T) {
+	const V = 32
+	g := newTestGraph(t, smallConfig(V, 512))
+	var snaps []*Snapshot
+	edges := graphgen.Uniform(V, 16, 61)
+	for i, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+		if i%100 == 0 {
+			snaps = append(snaps, g.ConsistentView())
+		}
+	}
+	prev := int64(-1)
+	for _, s := range snaps {
+		if s.NumEdges() < prev {
+			t.Fatalf("snapshots not monotone: %d after %d", s.NumEdges(), prev)
+		}
+		prev = s.NumEdges()
+		var n int64
+		for v := 0; v < V; v++ {
+			s.Neighbors(graph.V(v), func(graph.V) bool { n++; return true })
+		}
+		if n != s.NumEdges() {
+			t.Fatalf("snapshot internal mismatch: iterated %d, NumEdges %d", n, s.NumEdges())
+		}
+	}
+}
+
+func TestConcurrentVertexGrowth(t *testing.T) {
+	g := newTestGraph(t, smallConfig(4, 64))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wr, err := g.NewWriter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, wr *Writer) {
+			defer wg.Done()
+			defer wr.Close()
+			for i := 0; i < 50; i++ {
+				src := graph.V(w*60 + i)
+				if err := wr.InsertEdge(src, graph.V(i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w, wr)
+	}
+	wg.Wait()
+	s := g.ConsistentView()
+	if s.NumEdges() != 200 {
+		t.Errorf("NumEdges = %d, want 200", s.NumEdges())
+	}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 50; i++ {
+			if d := s.Degree(graph.V(w*60 + i)); d != 1 {
+				t.Fatalf("vertex %d degree = %d", w*60+i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dgap
+
+import (
+	"fmt"
+
+	"dgap/internal/pma"
+)
+
+// Config holds DGAP's initialization parameters (the paper's
+// INIT_VERTICES_SIZE, INIT_EDGES_SIZE, ELOG_SZ, ULOG_SZ) and the ablation
+// switches of Table 5.
+type Config struct {
+	// InitVertices is the expected vertex count (vertex ids are dense;
+	// the structure grows automatically when exceeded).
+	InitVertices int
+	// InitEdges is the expected directed edge count; it sizes the initial
+	// edge array (which doubles when exhausted).
+	InitEdges int64
+	// SectionSlots is the PMA leaf section size in 4-byte slots (power of
+	// two).
+	SectionSlots int
+	// ELogSize is the per-section edge log size in bytes (ELOG_SZ).
+	ELogSize int
+	// ULogSize is the initial per-thread undo log size in bytes
+	// (ULOG_SZ); undo logs grow on demand when a rebalance window is
+	// larger.
+	ULogSize int
+	// MaxWriters bounds the number of Writer handles (each owns one
+	// persistent undo-log slot).
+	MaxWriters int
+	// Thresholds are the PMA density bounds.
+	Thresholds pma.Thresholds
+
+	// EnableEdgeLog: when false, occupied-slot inserts shift neighbours
+	// inside the section instead of appending to the edge log ("No EL").
+	EnableEdgeLog bool
+	// UseUndoLog: when false, rebalances run under a PMDK-style
+	// transaction instead of the per-thread undo log ("No EL&UL").
+	UseUndoLog bool
+	// MetadataInDRAM: when false, every vertex-array and PMA-tree update
+	// is write-through mirrored to PM with flush+fence, modelling the
+	// cost of keeping that metadata on PM ("No EL&UL&DP").
+	MetadataInDRAM bool
+
+	// CoWDegreeCache enables the Copy-on-Write degree cache (the paper's
+	// §6 future-work extension): snapshots share unmodified degree pages
+	// instead of copying one entry per vertex per task.
+	CoWDegreeCache bool
+}
+
+// DefaultConfig returns the paper's defaults for a graph expected to hold
+// v vertices and e directed edges.
+func DefaultConfig(v int, e int64) Config {
+	return Config{
+		InitVertices:   v,
+		InitEdges:      e,
+		SectionSlots:   1024,
+		ELogSize:       2048,
+		ULogSize:       2048,
+		MaxWriters:     32,
+		Thresholds:     pma.DefaultThresholds(),
+		EnableEdgeLog:  true,
+		UseUndoLog:     true,
+		MetadataInDRAM: true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.InitVertices < 1 {
+		return fmt.Errorf("dgap: InitVertices must be positive")
+	}
+	if c.SectionSlots <= 0 {
+		c.SectionSlots = 1024
+	}
+	if c.SectionSlots&(c.SectionSlots-1) != 0 {
+		return fmt.Errorf("dgap: SectionSlots %d not a power of two", c.SectionSlots)
+	}
+	if c.ELogSize < logEntrySize {
+		c.ELogSize = 2048
+	}
+	if c.ELogSize/logEntrySize > maxLogEntriesPerSec {
+		return fmt.Errorf("dgap: ELogSize %d exceeds %d entries per section", c.ELogSize, maxLogEntriesPerSec)
+	}
+	if c.ULogSize < 64 {
+		c.ULogSize = 2048
+	}
+	if c.MaxWriters < 1 {
+		c.MaxWriters = 32
+	}
+	z := pma.Thresholds{}
+	if c.Thresholds == z {
+		c.Thresholds = pma.DefaultThresholds()
+	}
+	if c.InitEdges < int64(c.InitVertices) {
+		c.InitEdges = int64(c.InitVertices)
+	}
+	return nil
+}
+
+func pow2ceil(x uint64) uint64 {
+	p := uint64(1)
+	for p < x {
+		p <<= 1
+	}
+	return p
+}

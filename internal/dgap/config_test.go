@@ -1,0 +1,198 @@
+package dgap
+
+import (
+	"reflect"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(100, 1000)
+	if cfg.ELogSize != 2048 {
+		t.Errorf("ELOG_SZ = %d, want 2048 (paper default)", cfg.ELogSize)
+	}
+	if cfg.ULogSize != 2048 {
+		t.Errorf("ULOG_SZ = %d, want 2048 (paper default)", cfg.ULogSize)
+	}
+	if !cfg.EnableEdgeLog || !cfg.UseUndoLog || !cfg.MetadataInDRAM {
+		t.Error("all three designs must default on")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(10, 10)
+	cfg.SectionSlots = 100 // not a power of two
+	if _, err := New(pmem.New(1<<20), cfg); err == nil {
+		t.Error("expected error for non-power-of-two SectionSlots")
+	}
+	cfg = DefaultConfig(0, 0)
+	cfg.InitVertices = 0
+	if _, err := New(pmem.New(1<<20), cfg); err == nil {
+		t.Error("expected error for zero InitVertices")
+	}
+	cfg = DefaultConfig(10, 10)
+	cfg.ELogSize = 1 << 22 // more entries per section than supported
+	if _, err := New(pmem.New(1<<20), cfg); err == nil {
+		t.Error("expected error for oversized ELogSize")
+	}
+}
+
+func TestArenaExhaustionSurfaces(t *testing.T) {
+	// A deliberately tiny arena: initialization or growth must fail with
+	// an error, not a panic.
+	cfg := DefaultConfig(1000, 100_000)
+	if _, err := New(pmem.New(1<<16), cfg); err == nil {
+		t.Error("expected arena-exhaustion error")
+	}
+}
+
+func TestEADRPlatform(t *testing.T) {
+	// On eADR the caches are persistent: the same code runs, flushes are
+	// free, and crash recovery still sees everything.
+	a := pmem.New(64<<20, pmem.WithPlatform(pmem.EADR))
+	cfg := smallConfig(32, 256)
+	g, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := graphgen.Uniform(32, 8, 63)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	g2, err := Open(a.Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEqualAdj(t, refAdjacency(32, edges), g2.ConsistentView())
+}
+
+func TestNoDPMirrorsMetadataToPM(t *testing.T) {
+	edges := graphgen.Uniform(32, 8, 67)
+	media := func(dram bool) int64 {
+		cfg := smallConfig(32, int64(len(edges)))
+		cfg.MetadataInDRAM = dram
+		a := pmem.New(128 << 20)
+		g, err := New(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ResetStats()
+		for _, e := range edges {
+			if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a.Stats().MediaBytes
+	}
+	withDRAM := media(true)
+	withPM := media(false)
+	if withPM <= withDRAM {
+		t.Errorf("PM-resident metadata should add media traffic: dram=%d pm=%d", withDRAM, withPM)
+	}
+}
+
+func TestUndoLogGrowsForLargeWindows(t *testing.T) {
+	// A giant vertex makes rebalance windows far larger than ULOG_SZ;
+	// the undo log must grow and recovery must keep working.
+	cfg := smallConfig(4, 8192)
+	cfg.ULogSize = 128
+	g := newTestGraph(t, cfg)
+	want := make([]graph.V, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		d := graph.V(i % 4)
+		mustInsert(t, g, 1, d)
+		want = append(want, d)
+	}
+	if g.Stats().Rebalances == 0 {
+		t.Fatal("workload triggered no rebalances; test is vacuous")
+	}
+	g2 := crashReopen(t, g, cfg)
+	var got []graph.V
+	g2.ConsistentView().Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("giant vertex corrupted: %d edges, want %d", len(got), len(want))
+	}
+}
+
+func TestTinyELogForcesMergePath(t *testing.T) {
+	cfg := smallConfig(16, 48) // tight estimate: gaps run out, inserts collide
+	cfg.ELogSize = 64          // 4 entries per section: merges fire constantly
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(16, 24, 69)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	checkEqualAdj(t, refAdjacency(16, edges), g.ConsistentView())
+	st := g.Stats()
+	if st.MergedLogs == 0 {
+		t.Error("tiny edge log never merged")
+	}
+}
+
+func TestStatsCountersAdvance(t *testing.T) {
+	cfg := smallConfig(8, 8)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(8, 64, 71)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	st := g.Stats()
+	if st.Resizes == 0 {
+		t.Error("tight initial sizing should have resized")
+	}
+	mb, util := g.ELogUsage()
+	if mb <= 0 {
+		t.Error("edge-log footprint must be positive")
+	}
+	if util < 0 || util > 1 {
+		t.Errorf("utilization %f out of range", util)
+	}
+}
+
+func TestNumVerticesStableAcrossSnapshot(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 64))
+	mustInsert(t, g, 1, 2)
+	s := g.ConsistentView()
+	mustInsert(t, g, 200, 3) // grows the id space
+	if s.NumVertices() != 8 {
+		t.Errorf("old snapshot vertex count changed: %d", s.NumVertices())
+	}
+	if g.NumVertices() != 201 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	// Old snapshot still iterates its vertices correctly after growth.
+	var got []graph.V
+	s.Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, []graph.V{2}) {
+		t.Errorf("old snapshot broken after growth: %v", got)
+	}
+}
+
+func TestGracefulShutdownPreservesChains(t *testing.T) {
+	// Close with unmerged edge-log chains: the dump must capture chain
+	// heads so the fast reopen serves them correctly.
+	cfg := smallConfig(2, 8)
+	g := newTestGraph(t, cfg)
+	var want []graph.V
+	for i := 0; i < 60; i++ {
+		d := graph.V(i % 2)
+		mustInsert(t, g, 0, d)
+		mustInsert(t, g, 1, d)
+		want = append(want, d)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Open(g.Arena().Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []graph.V
+	g2.ConsistentView().Neighbors(0, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("chains lost across graceful shutdown")
+	}
+}

@@ -1,0 +1,190 @@
+package dgap
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+)
+
+func cowConfig(v int, e int64) Config {
+	cfg := smallConfig(v, e)
+	cfg.CoWDegreeCache = true
+	return cfg
+}
+
+func TestCoWSnapshotMatchesFlat(t *testing.T) {
+	edges := graphgen.Uniform(100, 12, 111)
+	g := newTestGraph(t, cowConfig(100, int64(len(edges))))
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	flat := g.ConsistentView()
+	cow := g.ConsistentViewCoW()
+	if flat.NumEdges() != cow.NumEdges() || flat.NumVertices() != cow.NumVertices() {
+		t.Fatalf("totals differ: flat %d/%d cow %d/%d",
+			flat.NumEdges(), flat.NumVertices(), cow.NumEdges(), cow.NumVertices())
+	}
+	for v := graph.V(0); v < 100; v++ {
+		var a, b []graph.V
+		flat.Neighbors(v, func(d graph.V) bool { a = append(a, d); return true })
+		cow.Neighbors(v, func(d graph.V) bool { b = append(b, d); return true })
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("vertex %d: flat %v vs cow %v", v, a, b)
+		}
+		if flat.Degree(v) != cow.Degree(v) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+	}
+}
+
+func TestCoWSnapshotIsolation(t *testing.T) {
+	g := newTestGraph(t, cowConfig(16, 512))
+	mustInsert(t, g, 1, 2)
+	mustInsert(t, g, 1, 3)
+	snap := g.ConsistentViewCoW()
+	for i := 0; i < 400; i++ { // forces merges, rebalances, page clones
+		mustInsert(t, g, graph.V(i%16), graph.V((i+1)%16))
+	}
+	var got []graph.V
+	snap.Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, []graph.V{2, 3}) {
+		t.Fatalf("CoW snapshot leaked later inserts: %v", got)
+	}
+	if snap.NumEdges() != 2 {
+		t.Errorf("CoW snapshot NumEdges = %d", snap.NumEdges())
+	}
+}
+
+func TestCoWPagesSharedWhenUntouched(t *testing.T) {
+	// Two snapshots with no writes in between must share every page;
+	// after touching one vertex, exactly one page diverges.
+	g := newTestGraph(t, cowConfig(4*cowPageSize, 1024))
+	mustInsert(t, g, 1, 2)
+	s1 := g.ConsistentViewCoW()
+	s2 := g.ConsistentViewCoW()
+	shared := 0
+	for i := range s1.pages {
+		if s1.pages[i] == s2.pages[i] {
+			shared++
+		}
+	}
+	if shared != len(s1.pages) {
+		t.Fatalf("idle snapshots share %d/%d pages", shared, len(s1.pages))
+	}
+	mustInsert(t, g, graph.V(3*cowPageSize), 1) // touches page 3 only
+	s3 := g.ConsistentViewCoW()
+	diverged := 0
+	for i := range s2.pages {
+		if s2.pages[i] != s3.pages[i] {
+			diverged++
+		}
+	}
+	if diverged != 1 {
+		t.Fatalf("one write diverged %d pages, want 1", diverged)
+	}
+}
+
+func TestCoWManySnapshotsProgress(t *testing.T) {
+	g := newTestGraph(t, cowConfig(32, 2048))
+	edges := graphgen.Uniform(32, 16, 113)
+	var snaps []*Snapshot
+	var checkpoints []int64
+	for i, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+		if i%50 == 0 {
+			snaps = append(snaps, g.ConsistentViewCoW())
+			checkpoints = append(checkpoints, int64(i+1))
+		}
+	}
+	for i, s := range snaps {
+		if s.NumEdges() != checkpoints[i] {
+			t.Fatalf("snapshot %d: NumEdges = %d, want %d", i, s.NumEdges(), checkpoints[i])
+		}
+		var n int64
+		for v := 0; v < s.NumVertices(); v++ {
+			s.Neighbors(graph.V(v), func(graph.V) bool { n++; return true })
+		}
+		if n != checkpoints[i] {
+			t.Fatalf("snapshot %d iterated %d, want %d", i, n, checkpoints[i])
+		}
+	}
+}
+
+func TestCoWSurvivesVertexGrowthAndDeletes(t *testing.T) {
+	g := newTestGraph(t, cowConfig(8, 256))
+	mustInsert(t, g, 1, 2)
+	mustInsert(t, g, 1, 2)
+	if err := g.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, g, graph.V(5000), 1) // growth
+	s := g.ConsistentViewCoW()
+	if s.Degree(1) != 1 {
+		t.Errorf("Degree(1) = %d after delete", s.Degree(1))
+	}
+	if s.Degree(5000) != 1 {
+		t.Errorf("Degree(5000) = %d after growth", s.Degree(5000))
+	}
+	if s.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", s.NumEdges())
+	}
+}
+
+func TestCoWAfterReopen(t *testing.T) {
+	cfg := cowConfig(32, 512)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(32, 8, 117)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	g2, err := Open(g.Arena().Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g2.ConsistentViewCoW()
+	if s.NumEdges() != int64(len(edges)) {
+		t.Fatalf("CoW after crash: NumEdges = %d, want %d", s.NumEdges(), len(edges))
+	}
+	checkEqualAdj(t, refAdjacency(32, edges), s)
+}
+
+func TestCoWDisabledFallsBack(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 64)) // CoW off
+	mustInsert(t, g, 1, 2)
+	s := g.ConsistentViewCoW() // must fall back to the flat copy
+	if s.pages != nil {
+		t.Error("fallback snapshot should be flat")
+	}
+	if s.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", s.NumEdges())
+	}
+}
+
+func TestCoWSnapshotCreationCheaper(t *testing.T) {
+	// The design goal: snapshot creation copies page pointers, not one
+	// entry per vertex. Compare allocation volume indirectly via
+	// testing.AllocsPerRun-style measurement.
+	const V = 64 * cowPageSize
+	g := newTestGraph(t, func() Config {
+		c := DefaultConfig(V, V)
+		c.CoWDegreeCache = true
+		return c
+	}())
+	mustInsert(t, g, 1, 2)
+	flatBytes := testingAllocBytes(func() { g.ConsistentView() })
+	cowBytes := testingAllocBytes(func() { g.ConsistentViewCoW() })
+	if cowBytes*8 > flatBytes {
+		t.Errorf("CoW snapshot not substantially cheaper: cow=%d flat=%d bytes", cowBytes, flatBytes)
+	}
+}
+
+func testingAllocBytes(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}

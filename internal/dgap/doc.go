@@ -1,0 +1,38 @@
+// Package dgap implements DGAP, the dynamic graph framework of Islam &
+// Dai (SC 2023): a single mutable CSR stored directly on (emulated)
+// persistent memory, augmented with three PM-specific designs.
+//
+//   - The edge array is a Packed Memory Array on PM. Every vertex's run
+//     starts with a pivot element (the vertex id with the top bit set, the
+//     paper's "-vertex-id") followed by its edges in insertion order.
+//     Pivots let recovery rebuild all DRAM metadata by a single
+//     sequential scan.
+//
+//   - A per-section edge log (ELOG_SZ bytes per PMA section) absorbs
+//     inserts whose target slot is occupied, instead of shifting
+//     neighbours — the write-amplification fix. Log entries carry a
+//     back-pointer chaining all of a vertex's logged edges newest-to-
+//     oldest; the DRAM vertex array holds the chain head. Logged edges
+//     are merged back into the array during the next rebalance of their
+//     section, preserving per-vertex insertion order.
+//
+//   - A per-thread undo log makes rebalancing crash-consistent with one
+//     chunked backup + two fences instead of a PMDK transaction's
+//     journal allocation and per-store ordering.
+//
+//   - Data placement: the vertex array (degree, start index, edge-log
+//     head) and the PMA density tree live in DRAM, because they are
+//     updated in place on every insert — the access pattern PM is worst
+//     at. Both are reconstructed from the PM image after a crash.
+//
+// Consistency model: analysis tasks call ConsistentView, which briefly
+// blocks writers while copying the per-vertex physical-entry counts into
+// a task-private degree cache. Because merges preserve per-vertex
+// insertion order, "the first n physical entries of v" is an immutable
+// prefix, so long-running algorithms see a frozen graph while writers
+// keep appending.
+//
+// Ablation switches (Config.EnableEdgeLog, UseUndoLog, MetadataInDRAM)
+// reproduce the paper's "No EL" / "No EL&UL" / "No EL&UL&DP" variants of
+// Table 5.
+package dgap

@@ -1,0 +1,588 @@
+package dgap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+)
+
+// Graph is a DGAP dynamic graph on emulated persistent memory.
+type Graph struct {
+	a   *pmem.Arena
+	cfg Config
+
+	ep atomic.Pointer[epoch]
+
+	// nVert is the user-visible vertex count (max inserted id + 1); the
+	// epoch's meta slice is the pre-allocated capacity.
+	nVert atomic.Uint64
+
+	// snapMu: writers hold RLock for the duration of an update (including
+	// any rebalance it triggers); ConsistentView and Close take Lock to
+	// briefly quiesce updates — the paper's "temporarily holds the graph
+	// updates" while the degree cache is copied.
+	snapMu sync.RWMutex
+
+	ulogTable pmem.Off
+
+	wmu     sync.Mutex
+	wUsed   []bool
+	defOnce sync.Once
+	defW    *Writer
+	defMu   sync.Mutex
+	nvMu    sync.Mutex // serializes persisting nVert to the superblock
+
+	// crashHook, when set, is invoked at named points inside structural
+	// operations; failure-injection tests panic out of it and then crash
+	// the arena, exercising recovery at exactly that point.
+	crashHook func(point string)
+
+	// cow is the Copy-on-Write degree cache (nil unless enabled); see
+	// cowcache.go. liveTotal tracks the live edge count for O(1)
+	// NumEdges in CoW snapshots.
+	cow       *cowCache
+	liveTotal atomic.Int64
+
+	// Operation counters for the component experiments.
+	logAppends atomic.Int64
+	rebalances atomic.Int64
+	merges     atomic.Int64
+	resizes    atomic.Int64
+	// Edge-log utilization sampled at merge time (milli-fractions), for
+	// the Figure 9 configuration study.
+	utilMilli atomic.Int64
+	utilN     atomic.Int64
+}
+
+// ELogUsage reports the total edge-log footprint in MB and the average
+// fraction of a section log in use when it was merged — the utilization
+// series of the paper's Figure 9.
+func (g *Graph) ELogUsage() (totalMB, utilization float64) {
+	ep := g.ep.Load()
+	totalMB = float64(uint64(ep.nSec)*ep.elogSecBytes) / 1e6
+	if n := g.utilN.Load(); n > 0 {
+		utilization = float64(g.utilMilli.Load()) / 1000 / float64(n)
+	}
+	return totalMB, utilization
+}
+
+// OpStats reports cumulative operation counters: edge-log appends,
+// rebalances, merged log entries, and restructures (array resizes).
+type OpStats struct {
+	LogAppends int64
+	Rebalances int64
+	MergedLogs int64
+	Resizes    int64
+}
+
+// Stats returns the graph's operation counters.
+func (g *Graph) Stats() OpStats {
+	return OpStats{
+		LogAppends: g.logAppends.Load(),
+		Rebalances: g.rebalances.Load(),
+		MergedLogs: g.merges.Load(),
+		Resizes:    g.resizes.Load(),
+	}
+}
+
+func (g *Graph) hook(point string) {
+	if g.crashHook != nil {
+		g.crashHook(point)
+	}
+}
+
+// SetCrashHook installs a failure-injection hook (testing only).
+func (g *Graph) SetCrashHook(fn func(point string)) { g.crashHook = fn }
+
+// ErrNoEdge is returned by DeleteEdge when the vertex has no live edges.
+var ErrNoEdge = errors.New("dgap: vertex has no live edge to delete")
+
+// New initializes a fresh DGAP graph on the arena.
+func New(a *pmem.Arena, cfg Config) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{a: a, cfg: cfg}
+
+	// Size the initial edge array: pivots for every vertex plus the edge
+	// estimate, at ~70% target density, rounded to a power of two and at
+	// least one section.
+	need := uint64(cfg.InitVertices) + uint64(cfg.InitEdges)
+	slots := pow2ceil(need * 10 / 7)
+	if slots < uint64(cfg.SectionSlots) {
+		slots = uint64(cfg.SectionSlots)
+	}
+	ep, err := g.buildRegions(slots, cfg.InitVertices)
+	if err != nil {
+		return nil, err
+	}
+	// Lay every vertex's pivot out evenly (all degrees are zero).
+	vts := make([]vertexRun, cfg.InitVertices)
+	for i := range vts {
+		vts[i].id = graph.V(i)
+	}
+	starts := g.writeLayout(ep, 0, slots, vts, 0)
+	g.a.Fence()
+	g.publishRoot(ep)
+	g.installMeta(ep, vts, starts)
+
+	tbl, err := a.Alloc(uint64(cfg.MaxWriters)*8, pmem.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	g.ulogTable = tbl
+	g.wUsed = make([]bool, cfg.MaxWriters)
+	a.Flush(tbl, uint64(cfg.MaxWriters)*8)
+	a.Fence()
+
+	g.nVert.Store(uint64(cfg.InitVertices))
+	g.ep.Store(ep)
+	if cfg.CoWDegreeCache {
+		g.cow = newCowCache(cfg.InitVertices)
+	}
+
+	// Publish superblock roots last.
+	a.PersistU64(sbUlogTable, tbl)
+	a.PersistU64(sbNVert, uint64(cfg.InitVertices))
+	a.PersistU64(sbMetaDump, 0)
+	a.PersistU64(sbShutdown, 0)
+	a.PersistU64(sbMagic, dgapMagic)
+	return g, nil
+}
+
+// buildRegions allocates a fresh edge array + edge log pair, writes the
+// root record and returns an epoch skeleton (meta not yet installed).
+func (g *Graph) buildRegions(slots uint64, vertCap int) (*epoch, error) {
+	ss := uint64(g.cfg.SectionSlots)
+	nSec := int(slots / ss)
+	arrOff, err := g.a.Alloc(slots*slotBytes, pmem.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	elogSecBytes := uint64(g.cfg.ELogSize)
+	elogOff, err := g.a.Alloc(uint64(nSec)*elogSecBytes, pmem.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < int(ss) {
+		shift++
+	}
+	ep := &epoch{
+		arrayOff:     arrOff,
+		slots:        slots,
+		sectionSlots: ss,
+		secShift:     shift,
+		nSec:         nSec,
+		elogOff:      elogOff,
+		elogSecBytes: elogSecBytes,
+		entriesPer:   uint32(elogSecBytes / logEntrySize),
+		locks:        make([]sync.RWMutex, nSec),
+		secCount:     make([]atomic.Int64, nSec),
+		elogUsed:     make([]atomic.Uint32, nSec),
+		elogLive:     make([]atomic.Uint32, nSec),
+		lastTrig:     make([]atomic.Int64, nSec),
+		meta:         make([]vertexMeta, vertCap),
+	}
+	for i := range ep.meta {
+		ep.meta[i].elHead.Store(noEntry)
+	}
+	if !g.cfg.MetadataInDRAM {
+		ep.vertMirror, err = g.a.Alloc(uint64(vertCap)*16, pmem.CacheLineSize)
+		if err != nil {
+			return nil, err
+		}
+		ep.treeMirror, err = g.a.Alloc(uint64(nSec)*8, pmem.CacheLineSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Root record: written fully, then atomically published.
+	rec, err := g.a.Alloc(rootRecSize, pmem.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	g.a.WriteU64(rec+rootArrayOff, arrOff)
+	g.a.WriteU64(rec+rootSlots, slots)
+	g.a.WriteU64(rec+rootSectionSl, ss)
+	g.a.WriteU64(rec+rootELogOff, elogOff)
+	g.a.WriteU64(rec+rootELogSecSize, elogSecBytes)
+	g.a.Flush(rec, rootRecSize)
+	g.a.Fence()
+	ep.rootRec = rec
+	return ep, nil
+}
+
+// Arena exposes the underlying device (statistics, crash injection).
+func (g *Graph) Arena() *pmem.Arena { return g.a }
+
+// Config returns the configuration the graph runs with.
+func (g *Graph) Config() Config { return g.cfg }
+
+// Name implements graph.System.
+func (g *Graph) Name() string { return "DGAP" }
+
+// NumVertices returns the user-visible vertex count.
+func (g *Graph) NumVertices() int { return int(g.nVert.Load()) }
+
+func (g *Graph) defaultWriter() *Writer {
+	g.defOnce.Do(func() {
+		w, err := g.NewWriter()
+		if err != nil {
+			panic(fmt.Sprintf("dgap: default writer: %v", err))
+		}
+		g.defW = w
+	})
+	return g.defW
+}
+
+// InsertEdge implements graph.System using an internal writer handle;
+// concurrent performance paths should use per-goroutine Writers.
+func (g *Graph) InsertEdge(src, dst graph.V) error {
+	g.defMu.Lock()
+	defer g.defMu.Unlock()
+	return g.defaultWriter().InsertEdge(src, dst)
+}
+
+// DeleteEdge implements graph.Deleter.
+func (g *Graph) DeleteEdge(src, dst graph.V) error {
+	g.defMu.Lock()
+	defer g.defMu.Unlock()
+	return g.defaultWriter().DeleteEdge(src, dst)
+}
+
+// InsertVertex pre-creates vertices up to id (inclusive). Vertex ids are
+// dense, so this simply grows the id space.
+func (g *Graph) InsertVertex(id graph.V) error {
+	return g.EnsureVertices(int(id) + 1)
+}
+
+// EnsureVertices grows the user-visible id space to at least n vertices,
+// restructuring the arrays when the pre-allocated capacity is exceeded.
+func (g *Graph) EnsureVertices(n int) error {
+	for {
+		cur := g.nVert.Load()
+		if uint64(n) <= cur {
+			return nil
+		}
+		ep := g.ep.Load()
+		if n > len(ep.meta) {
+			// Capacity exceeded: stop-the-world restructure that doubles
+			// the vertex capacity (and grows the edge array to match).
+			if err := g.restructure(max(n, 2*len(ep.meta)), 0); err != nil {
+				return err
+			}
+			continue
+		}
+		if g.nVert.CompareAndSwap(cur, uint64(n)) {
+			// Persist under a lock, re-reading the counter so a racing
+			// larger growth is never overwritten by a smaller value.
+			g.nvMu.Lock()
+			g.a.PersistU64(sbNVert, g.nVert.Load())
+			g.nvMu.Unlock()
+			return nil
+		}
+	}
+}
+
+type rebalTrigger int
+
+const (
+	trigNone rebalTrigger = iota
+	trigDensity
+	trigLogFull
+	// trigForced marks a rebalance required for the insert itself to
+	// proceed (section edge log full, or no gap left for a shift); it
+	// bypasses the density-trigger suppression.
+	trigForced
+)
+
+// insert is the shared path of InsertEdge (tomb=false) and DeleteEdge
+// (tomb=true; deletion re-inserts the edge with a tombstone flag).
+func (w *Writer) insert(src, dst graph.V, tomb bool) error {
+	if src > idMask || dst > idMask {
+		return fmt.Errorf("dgap: vertex id out of range (max %d)", idMask)
+	}
+	g := w.g
+	if need := int(max32(src, dst)) + 1; need > g.NumVertices() {
+		if err := g.EnsureVertices(need); err != nil {
+			return err
+		}
+	}
+	g.snapMu.RLock()
+	defer g.snapMu.RUnlock()
+	for {
+		ep := g.ep.Load()
+		m := &ep.meta[src]
+		c0 := m.counts.Load()
+		arr, lg := unpackCounts(c0)
+		start := m.start.Load()
+		pos := start + 1 + arr
+		if pos >= ep.slots {
+			// The run ends at the array boundary: grow.
+			if err := g.restructure(len(ep.meta), 2*ep.slots); err != nil {
+				return err
+			}
+			continue
+		}
+		sec := ep.secOf(pos)
+		l := &ep.locks[sec]
+		l.Lock()
+		if g.ep.Load() != ep || m.counts.Load() != c0 || m.start.Load() != start {
+			l.Unlock()
+			continue
+		}
+		if tomb && m.live.Load() <= 0 {
+			l.Unlock()
+			return ErrNoEdge
+		}
+		val := dst
+		if tomb {
+			val |= tombBit
+		}
+
+		var trig rebalTrigger
+		switch {
+		case lg == 0 && g.a.ReadU32(ep.slotOff(pos)) == slotEmpty:
+			// Fast path: the target slot is a gap — one 4-byte persistent
+			// store (Fig. 3a).
+			g.a.WriteU32(ep.slotOff(pos), val)
+			g.a.Flush(ep.slotOff(pos), slotBytes)
+			g.a.Fence()
+			m.counts.Store(packCounts(arr+1, 0))
+			ep.secCount[sec].Add(1)
+			g.mirrorVertex(ep, src)
+			g.mirrorSection(ep, sec)
+			trig = g.checkTriggers(ep, sec)
+		case g.cfg.EnableEdgeLog:
+			// Slot occupied (or an open chain exists): append to the
+			// per-section edge log (Fig. 3b).
+			if !g.appendLog(ep, m, src, val, sec, arr, lg) {
+				l.Unlock()
+				if err := g.rebalance(w, sec, trigForced); err != nil {
+					return err
+				}
+				continue
+			}
+			g.mirrorVertex(ep, src)
+			trig = g.checkTriggers(ep, sec)
+		default:
+			// "No EL" ablation: shift neighbours toward the nearest gap
+			// inside the section (the write-amplification behaviour of a
+			// naive PMA-based CSR).
+			if !g.shiftInsert(ep, src, val, pos, sec) {
+				l.Unlock()
+				if err := g.rebalance(w, sec, trigForced); err != nil {
+					return err
+				}
+				continue
+			}
+			m.counts.Store(packCounts(arr+1, 0))
+			ep.secCount[sec].Add(1)
+			g.mirrorVertex(ep, src)
+			g.mirrorSection(ep, sec)
+			trig = g.checkTriggers(ep, sec)
+		}
+		if tomb {
+			m.live.Add(-1)
+			m.flags.Store(m.flags.Load() | flagHasTomb)
+			g.liveTotal.Add(-1)
+		} else {
+			m.live.Add(1)
+			g.liveTotal.Add(1)
+		}
+		if g.cow != nil {
+			nArr, nLg := unpackCounts(m.counts.Load())
+			g.cow.update(src, nArr+uint64(nLg), m.live.Load())
+		}
+		l.Unlock()
+		if trig != trigNone {
+			if err := g.rebalance(w, sec, trig); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// checkTriggers decides, after an insert into section sec, whether a
+// merge/rebalance is due: the section's edge log passed 90% usage, or
+// the section's density (array occupancy plus pending edge-log entries)
+// crossed the leaf threshold. The density trigger is suppressed until
+// occupancy has grown meaningfully since the section's last rebalance,
+// because a section covered by one giant run stays over-threshold no
+// matter how often it is rebalanced.
+func (g *Graph) checkTriggers(ep *epoch, sec int) rebalTrigger {
+	used := ep.elogUsed[sec].Load()
+	if g.cfg.EnableEdgeLog && used*10 >= ep.entriesPer*9 {
+		return trigLogFull
+	}
+	count := ep.secCount[sec].Load() + int64(ep.elogLive[sec].Load())
+	// With the edge log enabled, merges are the primary rebalance driver
+	// (blocked inserts land in the log and the 90% merge reorganizes the
+	// window); the density trigger only backstops sections that fill
+	// without ever colliding, so it fires at complete saturation. In the
+	// "No EL" ablation it carries the full PMA maintenance load at the
+	// leaf threshold.
+	densityAt := float64(ep.sectionSlots)
+	if !g.cfg.EnableEdgeLog {
+		densityAt = g.cfg.Thresholds.UpperLeaf * float64(ep.sectionSlots)
+	}
+	if float64(count) >= densityAt &&
+		count-ep.lastTrig[sec].Load() >= int64(ep.sectionSlots/8)+1 {
+		return trigDensity
+	}
+	return trigNone
+}
+
+// shiftInsert implements the naive PMA insert used by the "No EL"
+// ablation: find the nearest gap inside the section and shift the
+// intervening slots toward it, updating the starts of any vertices whose
+// pivots moved.
+func (g *Graph) shiftInsert(ep *epoch, src graph.V, val uint32, pos uint64, sec int) bool {
+	s0 := uint64(sec) << ep.secShift
+	s1 := s0 + ep.sectionSlots // exclusive
+	// Rightward gap.
+	for gp := pos; gp < s1; gp++ {
+		if g.a.ReadU32(ep.slotOff(gp)) == slotEmpty {
+			n := (gp - pos) * slotBytes
+			if n > 0 {
+				g.a.CopyWithin(ep.slotOff(pos+1), ep.slotOff(pos), n)
+				g.fixShiftedStarts(ep, pos+1, gp+1, +1)
+			}
+			g.a.WriteU32(ep.slotOff(pos), val)
+			g.a.Flush(ep.slotOff(pos), n+slotBytes)
+			g.a.Fence()
+			return true
+		}
+	}
+	// Leftward gap: shift the prefix left, freeing pos-1. The inserting
+	// vertex's own run moves one slot left.
+	for gp := int64(pos) - 1; gp >= int64(s0); gp-- {
+		if g.a.ReadU32(ep.slotOff(uint64(gp))) == slotEmpty {
+			n := (pos - uint64(gp) - 1) * slotBytes
+			if n > 0 {
+				g.a.CopyWithin(ep.slotOff(uint64(gp)), ep.slotOff(uint64(gp)+1), n)
+				g.fixShiftedStarts(ep, uint64(gp), pos-1, -1)
+			}
+			g.a.WriteU32(ep.slotOff(pos-1), val)
+			g.a.Flush(ep.slotOff(uint64(gp)), n+slotBytes)
+			g.a.Fence()
+			return true
+		}
+	}
+	return false
+}
+
+// fixShiftedStarts adjusts the start index of every vertex whose pivot
+// now lies in [lo, hi) after a shift by delta.
+func (g *Graph) fixShiftedStarts(ep *epoch, lo, hi uint64, delta int64) {
+	for s := lo; s < hi; s++ {
+		v := g.a.ReadU32(ep.slotOff(s))
+		if isPivot(v) {
+			vm := &ep.meta[v&idMask]
+			vm.start.Store(uint64(int64(vm.start.Load()) + delta))
+		}
+	}
+}
+
+// appendLog writes one 16-byte entry into section sec's edge log and
+// links it into the vertex's back-pointer chain. Returns false when the
+// log segment is full (a merge is required first). Called with the
+// section lock held.
+func (g *Graph) appendLog(ep *epoch, m *vertexMeta, src graph.V, val uint32, sec int, arr uint64, lg uint32) bool {
+	used := ep.elogUsed[sec].Load()
+	if used >= ep.entriesPer {
+		return false
+	}
+	idx := uint32(sec)*ep.entriesPer + used
+	off := ep.entryOff(idx)
+	srcTag := uint32(src) | pivotBit
+	back := m.elHead.Load()
+	g.a.WriteU32(off, srcTag)
+	g.a.WriteU32(off+4, val)
+	g.a.WriteU32(off+8, back)
+	g.a.WriteU32(off+12, logChecksum(srcTag, val, back))
+	g.a.Flush(off, logEntrySize)
+	g.a.Fence()
+	m.elHead.Store(idx)
+	m.counts.Store(packCounts(arr, lg+1))
+	ep.elogUsed[sec].Store(used + 1)
+	ep.elogLive[sec].Add(1)
+	g.logAppends.Add(1)
+	return true
+}
+
+// chainDsts walks v's edge-log chain (newest first) and returns the
+// destination values in chronological order, plus the global entry
+// indices (newest first) for clearing during merges.
+func (g *Graph) chainDsts(ep *epoch, m *vertexMeta) (chrono []uint32, entryIdx []uint32) {
+	lg := uint32(m.counts.Load() & 0xFFFF)
+	if lg == 0 {
+		return nil, nil
+	}
+	chrono = make([]uint32, lg)
+	entryIdx = make([]uint32, 0, lg)
+	cur := m.elHead.Load()
+	for i := int(lg) - 1; i >= 0; i-- {
+		if cur == noEntry {
+			panic("dgap: edge-log chain shorter than count")
+		}
+		off := ep.entryOff(cur)
+		chrono[i] = g.a.ReadU32(off + 4)
+		entryIdx = append(entryIdx, cur)
+		cur = g.a.ReadU32(off + 8)
+	}
+	return chrono, entryIdx
+}
+
+// mirrorVertex and mirrorSection model the "No DP" ablation: when
+// metadata is not kept in DRAM, every vertex-array or density-tree update
+// becomes a persistent in-place write (the access pattern PM handles
+// worst — repeated flushes of the same line).
+func (g *Graph) mirrorVertex(ep *epoch, v graph.V) {
+	if ep.vertMirror == 0 {
+		return
+	}
+	off := ep.vertMirror + pmem.Off(v)*16
+	m := &ep.meta[v]
+	g.a.WriteU64(off, m.start.Load())
+	g.a.WriteU64(off+8, m.counts.Load())
+	g.a.Flush(off, 16)
+	g.a.Fence()
+}
+
+func (g *Graph) mirrorSection(ep *epoch, sec int) {
+	if ep.treeMirror == 0 {
+		return
+	}
+	off := ep.treeMirror + pmem.Off(sec)*8
+	g.a.WriteU64(off, uint64(ep.secCount[sec].Load()))
+	g.a.Flush(off, 8)
+	g.a.Fence()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b graph.V) graph.V {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

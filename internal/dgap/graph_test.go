@@ -1,0 +1,412 @@
+package dgap
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+// smallConfig forces tiny sections and logs so rebalances and merges fire
+// constantly, exercising the interesting paths on small inputs.
+func smallConfig(v int, e int64) Config {
+	cfg := DefaultConfig(v, e)
+	cfg.SectionSlots = 32
+	cfg.ELogSize = 256 // 16 entries per section
+	cfg.ULogSize = 256
+	return cfg
+}
+
+func newTestGraph(t *testing.T, cfg Config) *Graph {
+	t.Helper()
+	a := pmem.New(256 << 20)
+	g, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// refAdjacency builds the expected adjacency from an edge stream.
+func refAdjacency(v int, edges []graph.Edge) [][]graph.V {
+	adj := make([][]graph.V, v)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	return adj
+}
+
+func checkEqualAdj(t *testing.T, want [][]graph.V, s graph.Snapshot) {
+	t.Helper()
+	if s.NumVertices() < len(want) {
+		t.Fatalf("NumVertices = %d, want >= %d", s.NumVertices(), len(want))
+	}
+	for v := range want {
+		var got []graph.V
+		s.Neighbors(graph.V(v), func(d graph.V) bool { got = append(got, d); return true })
+		if len(got) != len(want[v]) {
+			t.Fatalf("vertex %d: %d edges, want %d\n got:  %v\n want: %v", v, len(got), len(want[v]), got, want[v])
+		}
+		// DGAP preserves insertion order per vertex.
+		if !reflect.DeepEqual(got, want[v]) {
+			t.Fatalf("vertex %d: order mismatch\n got:  %v\n want: %v", v, got, want[v])
+		}
+		if s.Degree(graph.V(v)) != len(want[v]) {
+			t.Fatalf("vertex %d: Degree = %d, want %d", v, s.Degree(graph.V(v)), len(want[v]))
+		}
+	}
+}
+
+func TestInsertSingleEdge(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 16))
+	if err := g.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := g.ConsistentView()
+	if s.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", s.NumEdges())
+	}
+	checkEqualAdj(t, [][]graph.V{nil, {2}, nil}, s)
+}
+
+func TestInsertPreservesInsertionOrder(t *testing.T) {
+	g := newTestGraph(t, smallConfig(4, 16))
+	// The paper's example: edge (1->2) may be stored after (1->6).
+	for _, d := range []graph.V{6, 2, 5, 3} {
+		if err := g.InsertEdge(1, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkEqualAdj(t, [][]graph.V{nil, {6, 2, 5, 3}}, g.ConsistentView())
+}
+
+func TestInsertManyRandomMatchesReference(t *testing.T) {
+	const V = 200
+	edges := graphgen.Uniform(V, 20, 7)
+	g := newTestGraph(t, smallConfig(V, int64(len(edges))))
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkEqualAdj(t, refAdjacency(V, edges), g.ConsistentView())
+	if got := g.ConsistentView().NumEdges(); got != int64(len(edges)) {
+		t.Errorf("NumEdges = %d, want %d", got, len(edges))
+	}
+}
+
+func TestSkewedGraphMatchesReference(t *testing.T) {
+	spec, err := graphgen.Preset("orkut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := spec.Generate(0.0001, 11) // ~300 vertices, heavy skew
+	v := graphgen.MaxVertex(edges)
+	g := newTestGraph(t, smallConfig(v, int64(len(edges))))
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkEqualAdj(t, refAdjacency(v, edges), g.ConsistentView())
+}
+
+func TestHeavyVertexSpansSections(t *testing.T) {
+	// One vertex with far more edges than a section holds.
+	cfg := smallConfig(4, 4096)
+	g := newTestGraph(t, cfg)
+	want := make([]graph.V, 0, 500)
+	for i := 0; i < 500; i++ {
+		d := graph.V(i % 4)
+		if err := g.InsertEdge(2, d); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+	var got []graph.V
+	g.ConsistentView().Neighbors(2, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("heavy vertex mismatch: got %d edges, want %d", len(got), len(want))
+	}
+}
+
+func TestResizeGrowsArray(t *testing.T) {
+	cfg := smallConfig(8, 8) // deliberately tiny initial estimate
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(8, 100, 3)
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkEqualAdj(t, refAdjacency(8, edges), g.ConsistentView())
+}
+
+func TestEnsureVerticesGrowsIDSpace(t *testing.T) {
+	g := newTestGraph(t, smallConfig(4, 16))
+	if err := g.InsertEdge(100, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 101 {
+		t.Errorf("NumVertices = %d, want 101", g.NumVertices())
+	}
+	s := g.ConsistentView()
+	var got []graph.V
+	s.Neighbors(100, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, []graph.V{3}) {
+		t.Errorf("vertex 100 edges = %v", got)
+	}
+}
+
+func TestInsertVertexExplicit(t *testing.T) {
+	g := newTestGraph(t, smallConfig(4, 16))
+	if err := g.InsertVertex(50); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 51 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if d := g.ConsistentView().Degree(50); d != 0 {
+		t.Errorf("new vertex degree = %d", d)
+	}
+}
+
+func TestVertexIDOutOfRange(t *testing.T) {
+	g := newTestGraph(t, smallConfig(4, 16))
+	if err := g.InsertEdge(graph.MaxV+1, 0); err == nil {
+		t.Error("expected error for id beyond 2^30")
+	}
+}
+
+func TestDeleteEdge(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 32))
+	mustInsert(t, g, 1, 2)
+	mustInsert(t, g, 1, 3)
+	mustInsert(t, g, 1, 2)
+	if err := g.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := g.ConsistentView()
+	if s.Degree(1) != 2 {
+		t.Errorf("Degree = %d, want 2", s.Degree(1))
+	}
+	var got []graph.V
+	s.Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	// One of the two (1->2) edges is cancelled; (1->3) survives.
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []graph.V{2, 3}) {
+		t.Errorf("after delete: %v", got)
+	}
+}
+
+func TestDeleteNonexistentEdge(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 32))
+	if err := g.DeleteEdge(1, 2); err != ErrNoEdge {
+		t.Errorf("err = %v, want ErrNoEdge", err)
+	}
+}
+
+func TestDeleteSurvivesMerge(t *testing.T) {
+	// Deletions recorded as tombstones must stay correct across
+	// rebalances and merges.
+	cfg := smallConfig(16, 64)
+	g := newTestGraph(t, cfg)
+	rng := rand.New(rand.NewSource(5))
+	type key struct{ s, d graph.V }
+	liveCount := map[key]int{}
+	for i := 0; i < 400; i++ {
+		s := graph.V(rng.Intn(16))
+		d := graph.V(rng.Intn(16))
+		k := key{s, d}
+		if rng.Intn(4) == 0 && liveCount[k] > 0 {
+			if err := g.DeleteEdge(s, d); err != nil {
+				t.Fatal(err)
+			}
+			liveCount[k]--
+		} else {
+			mustInsert(t, g, s, d)
+			liveCount[k]++
+		}
+	}
+	snap := g.ConsistentView()
+	got := map[key]int{}
+	for v := 0; v < 16; v++ {
+		snap.Neighbors(graph.V(v), func(d graph.V) bool {
+			got[key{graph.V(v), d}]++
+			return true
+		})
+	}
+	for k, n := range liveCount {
+		if n == 0 {
+			continue
+		}
+		if got[k] != n {
+			t.Errorf("edge %v: got %d, want %d", k, got[k], n)
+		}
+	}
+	for k, n := range got {
+		if liveCount[k] != n {
+			t.Errorf("unexpected edge %v x%d (want %d)", k, n, liveCount[k])
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 64))
+	mustInsert(t, g, 1, 2)
+	mustInsert(t, g, 1, 3)
+	snap := g.ConsistentView()
+
+	// Updates after the snapshot, enough to force merges and rebalances
+	// that physically move vertex 1's edges.
+	for i := 0; i < 300; i++ {
+		mustInsert(t, g, graph.V(i%8), graph.V((i+1)%8))
+	}
+
+	var got []graph.V
+	snap.Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, []graph.V{2, 3}) {
+		t.Errorf("snapshot leaked later inserts: %v", got)
+	}
+	if snap.NumEdges() != 2 {
+		t.Errorf("snapshot NumEdges = %d", snap.NumEdges())
+	}
+
+	// A fresh view sees everything.
+	if got := g.ConsistentView().NumEdges(); got != 302 {
+		t.Errorf("latest NumEdges = %d, want 302", got)
+	}
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	g := newTestGraph(t, smallConfig(4, 16))
+	for _, d := range []graph.V{1, 2, 3} {
+		mustInsert(t, g, 0, d)
+	}
+	count := 0
+	g.ConsistentView().Neighbors(0, func(graph.V) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestEdgeLogPathUsed(t *testing.T) {
+	// Two vertices in the same region force occupied target slots and
+	// hence edge-log appends.
+	cfg := smallConfig(2, 8)
+	g := newTestGraph(t, cfg)
+	var want0, want1 []graph.V
+	for i := 0; i < 200; i++ {
+		mustInsert(t, g, 0, graph.V(i%2))
+		want0 = append(want0, graph.V(i%2))
+		mustInsert(t, g, 1, graph.V((i+1)%2))
+		want1 = append(want1, graph.V((i+1)%2))
+	}
+	s := g.ConsistentView()
+	var g0, g1 []graph.V
+	s.Neighbors(0, func(d graph.V) bool { g0 = append(g0, d); return true })
+	s.Neighbors(1, func(d graph.V) bool { g1 = append(g1, d); return true })
+	if !reflect.DeepEqual(g0, want0) || !reflect.DeepEqual(g1, want1) {
+		t.Fatal("interleaved inserts (edge-log path) corrupted order")
+	}
+}
+
+func mustInsert(t *testing.T, g *Graph, s, d graph.V) {
+	t.Helper()
+	if err := g.InsertEdge(s, d); err != nil {
+		t.Fatalf("InsertEdge(%d,%d): %v", s, d, err)
+	}
+}
+
+func TestAblationVariantsMatchReference(t *testing.T) {
+	const V = 120
+	edges := graphgen.Uniform(V, 16, 13)
+	want := refAdjacency(V, edges)
+	variants := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"full", func(*Config) {}},
+		{"noEL", func(c *Config) { c.EnableEdgeLog = false }},
+		{"noEL-noUL", func(c *Config) { c.EnableEdgeLog = false; c.UseUndoLog = false }},
+		{"noEL-noUL-noDP", func(c *Config) {
+			c.EnableEdgeLog = false
+			c.UseUndoLog = false
+			c.MetadataInDRAM = false
+		}},
+		{"noUL-only", func(c *Config) { c.UseUndoLog = false }},
+	}
+	for _, vr := range variants {
+		t.Run(vr.name, func(t *testing.T) {
+			cfg := smallConfig(V, int64(len(edges)))
+			vr.mod(&cfg)
+			g := newTestGraph(t, cfg)
+			for _, e := range edges {
+				if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkEqualAdj(t, want, g.ConsistentView())
+		})
+	}
+}
+
+func TestWriterSlotsExhaust(t *testing.T) {
+	cfg := smallConfig(4, 16)
+	cfg.MaxWriters = 2
+	g := newTestGraph(t, cfg)
+	w1, err := g.NewWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.NewWriter(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.NewWriter(); err == nil {
+		t.Error("expected writer exhaustion")
+	}
+	w1.Close()
+	if _, err := g.NewWriter(); err != nil {
+		t.Errorf("slot not reusable after Close: %v", err)
+	}
+}
+
+func TestWriteAmplificationLowerWithEdgeLog(t *testing.T) {
+	// The core claim of the per-section edge log: media traffic per
+	// inserted edge drops versus shifting. Skewed degrees make heavy
+	// vertices outgrow their gap share, forcing occupied-slot inserts.
+	spec, err := graphgen.Preset("orkut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := spec.Generate(0.0003, 31)
+	v := graphgen.MaxVertex(edges)
+	run := func(el bool) (perEdge float64, logAppends int64) {
+		cfg := smallConfig(v, int64(len(edges))/2) // tight estimate
+		cfg.EnableEdgeLog = el
+		a := pmem.New(512 << 20)
+		g, err := New(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.ResetStats()
+		for _, e := range edges {
+			if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(a.Stats().MediaBytes) / float64(len(edges)), g.Stats().LogAppends
+	}
+	withEL, appends := run(true)
+	withoutEL, _ := run(false)
+	if appends == 0 {
+		t.Fatal("workload never exercised the edge log; test is vacuous")
+	}
+	if withEL >= withoutEL {
+		t.Errorf("edge log did not reduce media writes: with=%f without=%f", withEL, withoutEL)
+	}
+}

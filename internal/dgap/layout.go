@@ -1,0 +1,151 @@
+package dgap
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dgap/internal/pmem"
+)
+
+// Slot encoding of the PM edge array (4 bytes per slot). Vertex ids are
+// below 1<<30, leaving the top two bits for flags.
+const (
+	slotEmpty   = uint32(0xFFFFFFFF)
+	pivotBit    = uint32(0x80000000) // the paper's "-vertex-id" pivot
+	tombBit     = uint32(0x40000000) // deleted-edge marker
+	idMask      = uint32(0x3FFFFFFF)
+	slotBytes   = 4
+	noEntry     = uint32(0xFFFFFFFF) // edge-log chain terminator
+	logEntryMag = uint32(0x9E3779B9)
+)
+
+// Edge-log entry layout: 16 bytes {srcTag u32, dst u32, back u32, chk u32}.
+// srcTag is src|pivotBit so a valid entry is never all-zero; chk detects
+// torn (partially persisted) entries during recovery, since 16 bytes
+// exceed the 8-byte atomic persist unit.
+const (
+	logEntrySize        = 16
+	maxLogEntriesPerSec = 1 << 16
+)
+
+func logChecksum(srcTag, dst, back uint32) uint32 {
+	return srcTag ^ dst ^ back ^ logEntryMag
+}
+
+func isPivot(s uint32) bool { return s != slotEmpty && s&pivotBit != 0 }
+func isTomb(s uint32) bool  { return s != slotEmpty && s&pivotBit == 0 && s&tombBit != 0 }
+func isEdge(s uint32) bool  { return s != slotEmpty && s&(pivotBit|tombBit) == 0 }
+
+// Superblock slots (absolute arena offsets inside the pmem superblock;
+// offsets 0-15 are reserved for pmem's own transaction registry).
+const (
+	sbMagic     = pmem.Off(16)
+	sbShutdown  = pmem.Off(24) // NORMAL_SHUTDOWN flag
+	sbRoot      = pmem.Off(32) // offset of the active root record
+	sbUlogTable = pmem.Off(40) // offset of the undo-log table
+	sbNVert     = pmem.Off(48) // persisted vertex count
+	sbMetaDump  = pmem.Off(56) // offset of the graceful-shutdown dump (0 = none)
+
+	dgapMagic = 0xD6A9_2023
+)
+
+// Root record: the atomically switchable description of the current edge
+// array and edge-log regions. Resize writes a fresh record and flips the
+// sbRoot pointer with one 8-byte persist.
+const (
+	rootArrayOff    = 0
+	rootSlots       = 8
+	rootSectionSl   = 16
+	rootELogOff     = 24
+	rootELogSecSize = 32
+	rootRecSize     = 64
+)
+
+// epoch is the immutable-after-publish DRAM view of the current layout:
+// the PM regions, the lock table, the PMA density counters, the edge-log
+// high-water marks and the vertex metadata slice. Structural changes
+// (edge-array resize, vertex growth) build a new epoch under a full lock
+// sweep and publish it atomically; every reader and writer re-validates
+// the epoch pointer after taking its section lock.
+type epoch struct {
+	arrayOff     pmem.Off
+	slots        uint64
+	sectionSlots uint64
+	secShift     uint
+	nSec         int
+	elogOff      pmem.Off
+	elogSecBytes uint64
+	entriesPer   uint32
+
+	locks    []sync.RWMutex
+	secCount []atomic.Int64  // occupied array slots per section (PMA tree leaves)
+	elogUsed []atomic.Uint32 // append high-water mark per section log
+	elogLive []atomic.Uint32 // live (unmerged) entries per section log
+	// lastTrig records each section's occupancy when it last took part
+	// in a rebalance; the density trigger is suppressed until occupancy
+	// grows meaningfully past it. Without this, a section that is
+	// unavoidably dense (one giant run covering it) would re-trigger a
+	// window rewrite on every insert.
+	lastTrig []atomic.Int64
+
+	meta []vertexMeta
+
+	// mirror regions for the MetadataInDRAM=false ablation (0 when
+	// the ablation is off).
+	vertMirror pmem.Off
+	treeMirror pmem.Off
+
+	// rootRec is the PM offset of this epoch's root record; the
+	// superblock points at it once the epoch's content is durable.
+	rootRec pmem.Off
+}
+
+func (ep *epoch) secOf(slot uint64) int { return int(slot >> ep.secShift) }
+
+func (ep *epoch) slotOff(slot uint64) pmem.Off {
+	return ep.arrayOff + slot*slotBytes
+}
+
+// entryOff maps a global edge-log entry index to its arena offset.
+func (ep *epoch) entryOff(idx uint32) pmem.Off {
+	sec := idx / ep.entriesPer
+	i := idx % ep.entriesPer
+	return ep.elogOff + pmem.Off(sec)*ep.elogSecBytes + pmem.Off(i)*logEntrySize
+}
+
+// vertexMeta is the DRAM vertex array entry. All fields are atomics so
+// analytics readers, writers and rebalancers can access them without a
+// shared lock; semantic consistency comes from the section locks. counts
+// packs the array-resident entry count (high 48 bits) with the edge-log
+// entry count (low 16 bits) so a single load yields a coherent pair.
+type vertexMeta struct {
+	start  atomic.Uint64 // slot index of the pivot
+	counts atomic.Uint64 // physArray<<16 | physLog
+	live   atomic.Int64  // live out-degree (edges minus deletions)
+	elHead atomic.Uint32 // newest edge-log entry (global index) or noEntry
+	flags  atomic.Uint32 // bit 0: vertex has tombstones
+}
+
+const flagHasTomb = 1
+
+func packCounts(arr uint64, lg uint32) uint64 { return arr<<16 | uint64(lg) }
+func unpackCounts(c uint64) (arr uint64, lg uint32) {
+	return c >> 16, uint32(c & 0xFFFF)
+}
+
+// copyMeta builds a fresh metadata slice of size n, transferring the
+// first len(src) entries. Called only with all section locks held.
+func copyMeta(src []vertexMeta, n int) []vertexMeta {
+	dst := make([]vertexMeta, n)
+	for i := range src {
+		dst[i].start.Store(src[i].start.Load())
+		dst[i].counts.Store(src[i].counts.Load())
+		dst[i].live.Store(src[i].live.Load())
+		dst[i].elHead.Store(src[i].elHead.Load())
+		dst[i].flags.Store(src[i].flags.Load())
+	}
+	for i := len(src); i < n; i++ {
+		dst[i].elHead.Store(noEntry)
+	}
+	return dst
+}

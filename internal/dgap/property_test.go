@@ -1,0 +1,219 @@
+package dgap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+)
+
+// model is the trivially-correct reference implementation random ops are
+// checked against.
+type model struct {
+	adj map[graph.V][]graph.V
+}
+
+func newModel() *model { return &model{adj: map[graph.V][]graph.V{}} }
+
+func (m *model) insert(s, d graph.V) { m.adj[s] = append(m.adj[s], d) }
+
+func (m *model) delete(s, d graph.V) bool {
+	lst := m.adj[s]
+	for i, x := range lst {
+		if x == d {
+			m.adj[s] = append(lst[:i:i], lst[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// op is one randomized operation.
+type op struct {
+	Kind byte // 0-5: insert, 6: delete, 7: snapshot-check
+	S, D uint8
+}
+
+// TestPropertyRandomOpsMatchModel drives random insert/delete/snapshot
+// sequences against the reference model. The multiset of live edges per
+// vertex must always match (DGAP's per-vertex order matches insertion
+// order, but deletions cancel an arbitrary equal-destination occurrence,
+// so the comparison is order-insensitive).
+func TestPropertyRandomOpsMatchModel(t *testing.T) {
+	const V = 24
+	f := func(ops []op, seed int64) bool {
+		if len(ops) > 500 {
+			ops = ops[:500]
+		}
+		cfg := smallConfig(V, 64) // small: forces merges, rebalances, resizes
+		a := pmem.New(256 << 20)
+		g, err := New(a, cfg)
+		if err != nil {
+			return false
+		}
+		ref := newModel()
+		for _, o := range ops {
+			s := graph.V(o.S % V)
+			d := graph.V(o.D % V)
+			switch {
+			case o.Kind < 6:
+				if g.InsertEdge(s, d) != nil {
+					return false
+				}
+				ref.insert(s, d)
+			case o.Kind == 6:
+				wantOK := ref.delete(s, d)
+				err := g.DeleteEdge(s, d)
+				if wantOK != (err == nil) {
+					// The model deletes an exact (s,d) pair; DGAP's
+					// tombstone only requires a live edge at s. Align the
+					// model: only compare when DGAP agrees.
+					if err == nil {
+						// DGAP deleted although the model had no (s,d):
+						// that would be a real divergence.
+						return false
+					}
+					// DGAP refused (no live edge) but model had one:
+					// cannot happen if counts agree.
+					return false
+				}
+			default:
+				if !snapshotMatchesModel(g, ref, V) {
+					return false
+				}
+			}
+		}
+		return snapshotMatchesModel(g, ref, V)
+	}
+	cfgq := &quick.Config{
+		MaxCount: 20,
+		Rand:     rand.New(rand.NewSource(99)),
+	}
+	if err := quick.Check(f, cfgq); err != nil {
+		t.Error(err)
+	}
+}
+
+func snapshotMatchesModel(g *Graph, ref *model, V int) bool {
+	s := g.ConsistentView()
+	for v := 0; v < V; v++ {
+		got := map[graph.V]int{}
+		n := 0
+		s.Neighbors(graph.V(v), func(d graph.V) bool { got[d]++; n++; return true })
+		want := map[graph.V]int{}
+		for _, d := range ref.adj[graph.V(v)] {
+			want[d]++
+		}
+		if n != len(ref.adj[graph.V(v)]) {
+			return false
+		}
+		for d, c := range want {
+			if got[d] != c {
+				return false
+			}
+		}
+		if s.Degree(graph.V(v)) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyCrashAnyPrefix: for any cut point in an insert stream, a
+// crash immediately after the cut preserves exactly the acked prefix.
+func TestPropertyCrashAnyPrefix(t *testing.T) {
+	const V = 32
+	f := func(seed int64, cutFrac uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(250)
+		edges := make([]graph.Edge, n)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.V(rng.Intn(V)), Dst: graph.V(rng.Intn(V))}
+		}
+		cut := 1 + int(cutFrac)%n
+		cfg := smallConfig(V, int64(n)/2)
+		a := pmem.New(256 << 20)
+		g, err := New(a, cfg)
+		if err != nil {
+			return false
+		}
+		for _, e := range edges[:cut] {
+			if g.InsertEdge(e.Src, e.Dst) != nil {
+				return false
+			}
+		}
+		g2, err := Open(a.Crash(), cfg)
+		if err != nil {
+			return false
+		}
+		want := refAdjacency(V, edges[:cut])
+		s := g2.ConsistentView()
+		for v := 0; v < V; v++ {
+			var got []graph.V
+			s.Neighbors(graph.V(v), func(d graph.V) bool { got = append(got, d); return true })
+			if len(got) != len(want[v]) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[v][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySnapshotFrozen: a snapshot taken at any prefix length sees
+// exactly that prefix regardless of how much is inserted afterwards.
+func TestPropertySnapshotFrozen(t *testing.T) {
+	const V = 24
+	f := func(seed int64, cutFrac uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(200)
+		edges := make([]graph.Edge, n)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.V(rng.Intn(V)), Dst: graph.V(rng.Intn(V))}
+		}
+		cut := 1 + int(cutFrac)%n
+		cfg := smallConfig(V, int64(n)/3)
+		a := pmem.New(256 << 20)
+		g, err := New(a, cfg)
+		if err != nil {
+			return false
+		}
+		for _, e := range edges[:cut] {
+			if g.InsertEdge(e.Src, e.Dst) != nil {
+				return false
+			}
+		}
+		snap := g.ConsistentView()
+		for _, e := range edges[cut:] {
+			if g.InsertEdge(e.Src, e.Dst) != nil {
+				return false
+			}
+		}
+		want := refAdjacency(V, edges[:cut])
+		for v := 0; v < V; v++ {
+			var got []graph.V
+			snap.Neighbors(graph.V(v), func(d graph.V) bool { got = append(got, d); return true })
+			if len(got) != len(want[v]) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[v][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,528 @@
+package dgap
+
+import (
+	"encoding/binary"
+
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+)
+
+// vertexRun is the staging representation of one vertex during a
+// rebalance: its id and its full logical edge sequence (array entries
+// followed by merged edge-log entries, preserving insertion order).
+type vertexRun struct {
+	id    graph.V
+	edges []uint32 // slot values: edges and tombstones
+}
+
+// readRun reads the arr array-resident entries of a run starting at the
+// pivot slot.
+func (g *Graph) readRun(ep *epoch, start, arr uint64) []uint32 {
+	out := make([]uint32, arr)
+	raw := g.a.Slice(ep.slotOff(start+1), arr*slotBytes)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[i*slotBytes:])
+	}
+	return out
+}
+
+// writeLayout writes runs into the slot range [startSlot, startSlot+slots)
+// with gaps distributed proportionally to run size (the VCSR strategy:
+// historically hot vertices receive more headroom). leadWeight is the
+// weight of the run that ends just before startSlot (the window's
+// left-boundary "intruder", which is not moved but appends into the
+// window's first slots); a matching share of the slack is reserved at
+// the front so that vertex is not starved of insertion room. It returns
+// the new start slot of each run. Flushes are included; the caller
+// issues the Fence.
+func (g *Graph) writeLayout(ep *epoch, startSlot, slots uint64, runs []vertexRun, leadWeight uint64) []uint64 {
+	stage := make([]byte, slots*slotBytes)
+	for i := range stage {
+		stage[i] = 0xFF // slotEmpty
+	}
+	var needed, sumW uint64
+	for _, r := range runs {
+		needed += 1 + uint64(len(r.edges))
+		sumW += uint64(len(r.edges)) + 1
+	}
+	if needed > slots {
+		panic("dgap: layout overflow")
+	}
+	slack := slots - needed
+	cursor := uint64(0)
+	if leadWeight > 0 && slack > 0 {
+		lead := slack * leadWeight / (sumW + leadWeight)
+		if lead == 0 {
+			lead = 1
+		}
+		if lead > slack {
+			lead = slack
+		}
+		cursor = lead
+		slack -= lead
+	}
+	starts := make([]uint64, len(runs))
+	var wAcc, gapAcc uint64
+	for i, r := range runs {
+		starts[i] = startSlot + cursor
+		binary.LittleEndian.PutUint32(stage[cursor*slotBytes:], pivotBit|uint32(r.id))
+		cursor++
+		for _, e := range r.edges {
+			binary.LittleEndian.PutUint32(stage[cursor*slotBytes:], e)
+			cursor++
+		}
+		// Proportional gap: cumulative rounding keeps the total exact.
+		wAcc += uint64(len(r.edges)) + 1
+		gapTarget := slack * wAcc / sumW
+		cursor += gapTarget - gapAcc
+		gapAcc = gapTarget
+	}
+	g.a.WriteBytes(ep.slotOff(startSlot), stage)
+	g.a.Flush(ep.slotOff(startSlot), uint64(len(stage)))
+	return starts
+}
+
+// addRunCounts adds a run's slot occupancy (pivot + edges) to the
+// per-section counters it overlaps.
+func (ep *epoch) addRunCounts(start, length uint64) {
+	for s := start; s < start+length; {
+		sec := ep.secOf(s)
+		secEnd := (uint64(sec) + 1) << ep.secShift
+		n := min64(start+length, secEnd) - s
+		ep.secCount[sec].Add(int64(n))
+		s += n
+	}
+}
+
+// rebalance restores the density invariant around section sec after an
+// insert tripped a trigger. It climbs the PMA tree looking for the
+// smallest window that can absorb the section (merging edge-log entries
+// of every moved vertex), and falls back to a full restructure when even
+// the root window cannot.
+func (g *Graph) rebalance(w *Writer, sec int, trig rebalTrigger) error {
+	ep := g.ep.Load()
+	if sec >= ep.nSec {
+		sec = ep.nSec - 1
+	}
+	done, err := g.tryRebalance(w, ep, sec, trig)
+	if err != nil {
+		return err
+	}
+	if done {
+		return nil
+	}
+	return g.restructure(len(ep.meta), 2*ep.slots)
+}
+
+// tryRebalance attempts windows of increasing size. It returns done=false
+// when no window up to the root works (resize needed) or when the epoch
+// changed underneath (in which case the trigger re-evaluates on the next
+// insert anyway).
+func (g *Graph) tryRebalance(w *Writer, ep *epoch, sec int, trig rebalTrigger) (bool, error) {
+	height := 0
+	for 1<<height < ep.nSec {
+		height++
+	}
+	for level := 0; level <= height; level++ {
+		span := 1 << level
+		lo := sec &^ (span - 1)
+		hi := lo + span - 1
+		if hi >= ep.nSec {
+			hi = ep.nSec - 1
+		}
+		lockHi := hi
+		if hi+1 < ep.nSec {
+			lockHi = hi + 1 // chains of window-edge vertices may live one section over
+		}
+		for s := lo; s <= lockHi; s++ {
+			ep.locks[s].Lock()
+		}
+		if g.ep.Load() != ep {
+			unlockRange(ep, lo, lockHi)
+			return true, nil // structure changed: trigger re-evaluates later
+		}
+		if g.triggerResolved(ep, sec, trig) {
+			unlockRange(ep, lo, lockHi)
+			return true, nil
+		}
+		ok, err := g.rebalanceWindow(w, ep, lo, hi, lockHi, sec, trig, level, height)
+		unlockRange(ep, lo, lockHi)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func unlockRange(ep *epoch, lo, hi int) {
+	for s := hi; s >= lo; s-- {
+		ep.locks[s].Unlock()
+	}
+}
+
+// triggerResolved re-checks the trigger under locks: a concurrent
+// rebalance may already have fixed the section.
+func (g *Graph) triggerResolved(ep *epoch, sec int, trig rebalTrigger) bool {
+	switch trig {
+	case trigLogFull, trigForced:
+		if ep.elogLive[sec].Load() == 0 && ep.elogUsed[sec].Load() > 0 {
+			// All entries were merged by neighbours; reclaim the segment.
+			ep.elogUsed[sec].Store(0)
+			return true
+		}
+		if trig == trigForced {
+			// The insert is blocked until this section is actually
+			// reorganized; never skip the work.
+			return false
+		}
+		return ep.elogUsed[sec].Load()*10 < ep.entriesPer*9
+	default:
+		return g.checkTriggers(ep, sec) == trigNone
+	}
+}
+
+// rebalanceWindow performs one crash-consistent rebalance over the
+// sections [lo, hi] (locked through lockHi). It merges the edge-log
+// chains of every vertex it moves and redistributes gaps proportionally.
+// Returns ok=false when the window cannot absorb its content (climb).
+func (g *Graph) rebalanceWindow(w *Writer, ep *epoch, lo, hi, lockHi, trigSec int, trig rebalTrigger, level, height int) (bool, error) {
+	wStart := uint64(lo) << ep.secShift
+	wEnd := (uint64(hi) + 1) << ep.secShift
+
+	// Vertex-align: the effective range starts at the first pivot inside
+	// the window (slots before it belong to a run that begins earlier and
+	// is not moved) and ends before any run that crosses the right edge.
+	effStart, firstV, found := g.firstPivotIn(ep, wStart, wEnd)
+	if !found {
+		return false, nil // a single run covers the window: climb
+	}
+	effEnd := wEnd
+	lastV := firstV
+	for int(lastV) < len(ep.meta) {
+		m := &ep.meta[lastV]
+		st := m.start.Load()
+		if st >= wEnd {
+			break
+		}
+		arr, _ := unpackCounts(m.counts.Load())
+		if st+1+arr > wEnd {
+			effEnd = st // run crosses the right edge: exclude it
+			break
+		}
+		lastV++
+	}
+	if lastV == firstV {
+		return false, nil // nothing wholly inside
+	}
+
+	// For a log-full trigger, every owner of a live entry in the full
+	// section must be moved, or the segment cannot be reclaimed.
+	if (trig == trigLogFull || trig == trigForced) && !g.ownersWithin(ep, trigSec, firstV, lastV) {
+		return false, nil
+	}
+	// A forced rebalance must actually make room in the triggering
+	// section: require the window to include it with headroom.
+	if trig == trigForced && (trigSec < lo || trigSec > hi) {
+		return false, nil
+	}
+
+	// Capacity check: moved elements (pivot + array entries + merged log
+	// entries) must fit under the level's density threshold.
+	var needed uint64
+	for v := firstV; v < lastV; v++ {
+		arr, lg := unpackCounts(ep.meta[v].counts.Load())
+		needed += 1 + arr + uint64(lg)
+	}
+	effSlots := effEnd - effStart
+	if float64(needed) > g.cfg.Thresholds.Upper(level, height)*float64(effSlots) {
+		return false, nil
+	}
+
+	// Stage the final layout: array entries then chain entries, keeping
+	// per-vertex insertion order (the prefix property snapshots rely on).
+	runs := make([]vertexRun, 0, lastV-firstV)
+	var clear []uint32 // global entry indices to zero after the move
+	for v := firstV; v < lastV; v++ {
+		m := &ep.meta[v]
+		arr, _ := unpackCounts(m.counts.Load())
+		edges := g.readRun(ep, m.start.Load(), arr)
+		chrono, idxs := g.chainDsts(ep, m)
+		edges = append(edges, chrono...)
+		clear = append(clear, idxs...)
+		runs = append(runs, vertexRun{id: v, edges: edges})
+	}
+
+	// Crash protection: back up the effective window plus the used
+	// prefix of every locked edge-log segment, either in the per-thread
+	// undo log or (the "No UL" ablation) under a PMDK-style transaction.
+	ranges := []backupRange{{off: ep.slotOff(effStart), n: effSlots * slotBytes}}
+	for s := lo; s <= lockHi; s++ {
+		if used := ep.elogUsed[s].Load(); used > 0 {
+			ranges = append(ranges, backupRange{
+				off: ep.elogOff + pmem.Off(s)*ep.elogSecBytes,
+				n:   uint64(used) * logEntrySize,
+			})
+		}
+	}
+	if g.cfg.UseUndoLog {
+		if err := w.beginUndo(ranges); err != nil {
+			return false, err
+		}
+	} else {
+		var total uint64
+		for _, r := range ranges {
+			total += r.n
+		}
+		tx, err := pmem.Begin(g.a, total+4096)
+		if err != nil {
+			return false, err
+		}
+		// PMDK journals and orders per entry; feed the ranges to the
+		// journal in 1 KB chunks so the transaction pays its
+		// characteristic per-entry fencing.
+		for _, r := range ranges {
+			for o := uint64(0); o < r.n; o += 1024 {
+				n := min64(1024, r.n-o)
+				if err := tx.Add(r.off+pmem.Off(o), n); err != nil {
+					return false, err
+				}
+			}
+		}
+		defer tx.Commit()
+	}
+
+	g.hook("rebalance:armed")
+	g.rebalances.Add(1)
+	g.merges.Add(int64(len(clear)))
+	g.utilMilli.Add(int64(1000 * float64(ep.elogUsed[trigSec].Load()) / float64(ep.entriesPer)))
+	g.utilN.Add(1)
+
+	// If the left-boundary intruder's run ends flush against effStart,
+	// reserve lead slack for its future appends (otherwise it starves:
+	// its insert slot would be re-occupied by the first moved pivot).
+	leadW := uint64(0)
+	if firstV > 0 {
+		pm := &ep.meta[firstV-1]
+		pArr, pLg := unpackCounts(pm.counts.Load())
+		if pm.start.Load()+1+pArr == effStart {
+			leadW = 1 + pArr + uint64(pLg)
+		}
+	}
+
+	// The move itself: one sequential window write + chain clears. Clears
+	// are zeroed entry by entry but flushed once per touched segment
+	// prefix (they are contiguous within each section's used region).
+	starts := g.writeLayout(ep, effStart, effSlots, runs, leadW)
+	g.hook("rebalance:mid-move")
+	zero := make([]byte, logEntrySize)
+	touched := map[uint32]bool{}
+	for _, idx := range clear {
+		g.a.WriteBytes(ep.entryOff(idx), zero)
+		touched[idx/ep.entriesPer] = true
+	}
+	for sec := range touched {
+		if used := ep.elogUsed[sec].Load(); used > 0 {
+			g.a.Flush(ep.entryOff(sec*ep.entriesPer), uint64(used)*logEntrySize)
+		}
+	}
+	g.a.Fence()
+	g.hook("rebalance:moved")
+
+	if g.cfg.UseUndoLog {
+		w.endUndo()
+	}
+
+	// DRAM metadata: starts, counts, chain heads, density counters.
+	for i, r := range runs {
+		m := &ep.meta[r.id]
+		m.start.Store(starts[i])
+		m.counts.Store(packCounts(uint64(len(r.edges)), 0))
+		m.elHead.Store(noEntry)
+		g.mirrorVertex(ep, r.id)
+	}
+	for s := lo; s <= hi; s++ {
+		ep.secCount[s].Store(g.countSectionSlots(ep, s))
+		g.mirrorSection(ep, s)
+	}
+	for s := lo; s <= lockHi; s++ {
+		live, used := g.scanSegment(ep, s)
+		if live == 0 {
+			used = 0
+		}
+		ep.elogLive[s].Store(live)
+		ep.elogUsed[s].Store(used)
+	}
+	for s := lo; s <= hi; s++ {
+		ep.lastTrig[s].Store(ep.secCount[s].Load() + int64(ep.elogLive[s].Load()))
+	}
+	return true, nil
+}
+
+// firstPivotIn scans [wStart, wEnd) for the first pivot slot and returns
+// its slot index and vertex id.
+func (g *Graph) firstPivotIn(ep *epoch, wStart, wEnd uint64) (uint64, graph.V, bool) {
+	raw := g.a.Slice(ep.slotOff(wStart), (wEnd-wStart)*slotBytes)
+	for s := uint64(0); s < wEnd-wStart; s++ {
+		v := binary.LittleEndian.Uint32(raw[s*slotBytes:])
+		if isPivot(v) {
+			return wStart + s, v & idMask, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ownersWithin reports whether every live edge-log entry in section sec
+// belongs to a vertex in [firstV, lastV).
+func (g *Graph) ownersWithin(ep *epoch, sec int, firstV, lastV graph.V) bool {
+	used := ep.elogUsed[sec].Load()
+	base := uint32(sec) * ep.entriesPer
+	for i := uint32(0); i < used; i++ {
+		off := ep.entryOff(base + i)
+		srcTag := g.a.ReadU32(off)
+		dst := g.a.ReadU32(off + 4)
+		back := g.a.ReadU32(off + 8)
+		if srcTag&pivotBit == 0 || g.a.ReadU32(off+12) != logChecksum(srcTag, dst, back) {
+			continue // cleared or torn
+		}
+		src := graph.V(srcTag & idMask)
+		if src < firstV || src >= lastV {
+			return false
+		}
+	}
+	return true
+}
+
+// countSectionSlots counts occupied slots in one section.
+func (g *Graph) countSectionSlots(ep *epoch, sec int) int64 {
+	s0 := uint64(sec) << ep.secShift
+	raw := g.a.Slice(ep.slotOff(s0), ep.sectionSlots*slotBytes)
+	var c int64
+	for i := uint64(0); i < ep.sectionSlots; i++ {
+		if binary.LittleEndian.Uint32(raw[i*slotBytes:]) != slotEmpty {
+			c++
+		}
+	}
+	return c
+}
+
+// scanSegment recounts a section's edge log: live entries and the append
+// high-water mark (index one past the last valid entry; trailing cleared
+// entries are reusable).
+func (g *Graph) scanSegment(ep *epoch, sec int) (live, used uint32) {
+	base := uint32(sec) * ep.entriesPer
+	for i := uint32(0); i < ep.entriesPer; i++ {
+		off := ep.entryOff(base + i)
+		srcTag := g.a.ReadU32(off)
+		dst := g.a.ReadU32(off + 4)
+		back := g.a.ReadU32(off + 8)
+		if srcTag&pivotBit != 0 && g.a.ReadU32(off+12) == logChecksum(srcTag, dst, back) {
+			live++
+			used = i + 1
+		}
+	}
+	return live, used
+}
+
+// restructure is the stop-the-world growth path: it rebuilds the whole
+// graph into fresh, larger regions (merging every edge-log chain), then
+// atomically switches the persistent root record. Used when the root
+// window is too dense (array resize) and when the vertex capacity is
+// exceeded.
+func (g *Graph) restructure(vertCap int, minSlots uint64) error {
+	for {
+		ep := g.ep.Load()
+		for i := range ep.locks {
+			ep.locks[i].Lock()
+		}
+		if g.ep.Load() != ep {
+			unlockRange(ep, 0, ep.nSec-1)
+			continue
+		}
+		if len(ep.meta) >= vertCap && (minSlots == 0 || ep.slots >= minSlots) {
+			// A concurrent restructure already satisfied the request.
+			unlockRange(ep, 0, ep.nSec-1)
+			return nil
+		}
+		if vertCap < len(ep.meta) {
+			vertCap = len(ep.meta)
+		}
+
+		runs := make([]vertexRun, vertCap)
+		var totalEdges uint64
+		for v := 0; v < len(ep.meta); v++ {
+			m := &ep.meta[v]
+			arr, _ := unpackCounts(m.counts.Load())
+			edges := g.readRun(ep, m.start.Load(), arr)
+			chrono, _ := g.chainDsts(ep, m)
+			edges = append(edges, chrono...)
+			g.merges.Add(int64(len(chrono))) // restructure merges every chain
+			runs[v] = vertexRun{id: graph.V(v), edges: edges}
+			totalEdges += uint64(len(edges))
+		}
+		for v := len(ep.meta); v < vertCap; v++ {
+			runs[v] = vertexRun{id: graph.V(v)}
+		}
+
+		need := uint64(vertCap) + totalEdges
+		slots := pow2ceil(need * 10 / 7)
+		if slots < minSlots {
+			slots = minSlots
+		}
+		if slots < uint64(g.cfg.SectionSlots) {
+			slots = uint64(g.cfg.SectionSlots)
+		}
+		nep, err := g.buildRegions(slots, vertCap)
+		if err != nil {
+			unlockRange(ep, 0, ep.nSec-1)
+			return err
+		}
+		g.resizes.Add(1)
+		starts := g.writeLayout(nep, 0, slots, runs, 0)
+		g.a.Fence()
+		g.hook("restructure:before-publish")
+		// Everything new is durable; switch the root atomically. A crash
+		// before this point leaves the old structure intact; after it,
+		// the new one is complete.
+		g.publishRoot(nep)
+		g.hook("restructure:after-publish")
+
+		for v := 0; v < vertCap; v++ {
+			nm := &nep.meta[v]
+			nm.start.Store(starts[v])
+			nm.counts.Store(packCounts(uint64(len(runs[v].edges)), 0))
+			nm.elHead.Store(noEntry)
+			if v < len(ep.meta) {
+				nm.live.Store(ep.meta[v].live.Load())
+				nm.flags.Store(ep.meta[v].flags.Load())
+			}
+			nep.addRunCounts(starts[v], 1+uint64(len(runs[v].edges)))
+		}
+		if g.cow != nil {
+			g.cow.grow(nep.meta)
+		}
+		g.ep.Store(nep)
+		unlockRange(ep, 0, ep.nSec-1)
+		return nil
+	}
+}
+
+// installMeta populates a fresh epoch's DRAM metadata from the starts
+// writeLayout returned.
+func (g *Graph) installMeta(ep *epoch, runs []vertexRun, starts []uint64) {
+	for i := range runs {
+		m := &ep.meta[runs[i].id]
+		m.start.Store(starts[i])
+		m.counts.Store(packCounts(uint64(len(runs[i].edges)), 0))
+		m.elHead.Store(noEntry)
+		ep.addRunCounts(starts[i], 1+uint64(len(runs[i].edges)))
+	}
+}
+
+// publishRoot atomically points the superblock at the epoch's root
+// record.
+func (g *Graph) publishRoot(ep *epoch) {
+	g.a.PersistU64(sbRoot, ep.rootRec)
+}

@@ -1,0 +1,349 @@
+package dgap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+)
+
+// Close performs a graceful shutdown: it quiesces writers, dumps the
+// DRAM metadata (vertex array, density counters, edge-log marks) to a PM
+// region for fast reload, and sets the NORMAL_SHUTDOWN flag.
+func (g *Graph) Close() error {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	ep := g.ep.Load()
+	nv := g.nVert.Load()
+
+	const vRec = 32
+	size := uint64(48) + uint64(len(ep.meta))*vRec + uint64(ep.nSec)*16
+	dump, err := g.a.Alloc(size, pmem.CacheLineSize)
+	if err != nil {
+		return err
+	}
+	g.a.WriteU64(dump, dgapMagic)
+	g.a.WriteU64(dump+8, nv)
+	g.a.WriteU64(dump+16, uint64(len(ep.meta)))
+	g.a.WriteU64(dump+24, uint64(ep.nSec))
+	g.a.WriteU64(dump+32, ep.slots) // sanity check against the root record
+	off := dump + 48
+	for v := range ep.meta {
+		m := &ep.meta[v]
+		g.a.WriteU64(off, m.start.Load())
+		g.a.WriteU64(off+8, m.counts.Load())
+		g.a.WriteU64(off+16, uint64(m.live.Load()))
+		g.a.WriteU32(off+24, m.elHead.Load())
+		g.a.WriteU32(off+28, m.flags.Load())
+		off += vRec
+	}
+	for s := 0; s < ep.nSec; s++ {
+		g.a.WriteU64(off, uint64(ep.secCount[s].Load()))
+		g.a.WriteU32(off+8, ep.elogUsed[s].Load())
+		g.a.WriteU32(off+12, ep.elogLive[s].Load())
+		off += 16
+	}
+	g.a.Flush(dump, size)
+	g.a.Fence()
+	g.a.PersistU64(sbMetaDump, dump)
+	g.a.PersistU64(sbShutdown, 1)
+	return nil
+}
+
+// Open attaches to an initialized DGAP image: the fast path reloads the
+// graceful-shutdown dump; the crash path replays undo logs and rebuilds
+// all DRAM metadata from the edge array's pivots and the edge logs.
+func Open(a *pmem.Arena, cfg Config) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if a.ReadU64(sbMagic) != dgapMagic {
+		return nil, fmt.Errorf("dgap: arena holds no DGAP image")
+	}
+	g := &Graph{a: a, cfg: cfg}
+	g.ulogTable = a.ReadU64(sbUlogTable)
+	g.wUsed = make([]bool, cfg.MaxWriters)
+
+	normal := a.ReadU64(sbShutdown) == 1
+	// Clear the flag first: if we crash during recovery, the next open
+	// takes the crash path again.
+	a.PersistU64(sbShutdown, 0)
+
+	if !normal {
+		// Step 1 of the paper's crash path: undo interrupted rebalances
+		// before trusting the edge array.
+		g.replayUndoLogs()
+		pmem.RecoverTx(a)
+	}
+
+	ep, err := g.loadEpoch()
+	if err != nil {
+		return nil, err
+	}
+
+	if normal {
+		if err := g.loadDump(ep); err != nil {
+			return nil, err
+		}
+	} else {
+		g.rebuildFromImage(ep)
+	}
+	g.ep.Store(ep)
+	var liveSum int64
+	for v := range ep.meta {
+		liveSum += ep.meta[v].live.Load()
+	}
+	g.liveTotal.Store(liveSum)
+	if cfg.CoWDegreeCache {
+		g.cow = newCowCache(len(ep.meta))
+		g.cow.seed(ep.meta)
+	}
+
+	if !normal {
+		// Paper: "proceeds to reissue the rebalancing operation" — any
+		// section left over-dense by the crash is rebalanced now.
+		if err := g.recoverySweep(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// loadEpoch builds the epoch skeleton from the persistent root record.
+func (g *Graph) loadEpoch() (*epoch, error) {
+	rec := g.a.ReadU64(sbRoot)
+	if rec == 0 {
+		return nil, fmt.Errorf("dgap: missing root record")
+	}
+	slots := g.a.ReadU64(rec + rootSlots)
+	ss := g.a.ReadU64(rec + rootSectionSl)
+	if ss == 0 || slots%ss != 0 {
+		return nil, fmt.Errorf("dgap: corrupt root record")
+	}
+	shift := uint(0)
+	for uint64(1)<<shift < ss {
+		shift++
+	}
+	nSec := int(slots / ss)
+	elogSecBytes := g.a.ReadU64(rec + rootELogSecSize)
+	ep := &epoch{
+		arrayOff:     g.a.ReadU64(rec + rootArrayOff),
+		slots:        slots,
+		sectionSlots: ss,
+		secShift:     shift,
+		nSec:         nSec,
+		elogOff:      g.a.ReadU64(rec + rootELogOff),
+		elogSecBytes: elogSecBytes,
+		entriesPer:   uint32(elogSecBytes / logEntrySize),
+		rootRec:      rec,
+	}
+	ep.locks = make([]sync.RWMutex, nSec)
+	ep.secCount = make([]atomic.Int64, nSec)
+	ep.elogUsed = make([]atomic.Uint32, nSec)
+	ep.elogLive = make([]atomic.Uint32, nSec)
+	ep.lastTrig = make([]atomic.Int64, nSec)
+	return ep, nil
+}
+
+// replayUndoLogs restores every armed per-thread undo log: each backed-up
+// range is copied back, returning the structure to its exact
+// pre-rebalance state.
+func (g *Graph) replayUndoLogs() {
+	for tid := 0; tid < g.cfg.MaxWriters; tid++ {
+		ent := g.a.ReadU64(g.ulogTable + pmem.Off(tid)*8)
+		off, _ := unpackUlogEntry(ent)
+		if off == 0 || g.a.ReadU64(off+ulActive) != 1 {
+			continue
+		}
+		nRanges := g.a.ReadU64(off + ulNRanges)
+		cur := off + ulHeader
+		for r := uint64(0); r < nRanges; r++ {
+			dst := g.a.ReadU64(cur)
+			n := g.a.ReadU64(cur + 8)
+			if dst+n > uint64(g.a.Size()) {
+				break // torn range header; the arm flag ordering makes this unreachable, stay defensive
+			}
+			g.a.WriteBytes(dst, g.a.ReadBytes(cur+ulRangeHd, n))
+			g.a.Flush(dst, n)
+			cur += ulRangeHd + pmem.Off(n)
+		}
+		g.a.Fence()
+		g.a.PersistU64(off+ulActive, 0)
+	}
+}
+
+// loadDump restores DRAM metadata from the graceful-shutdown dump.
+func (g *Graph) loadDump(ep *epoch) error {
+	dump := g.a.ReadU64(sbMetaDump)
+	if dump == 0 || g.a.ReadU64(dump) != dgapMagic {
+		return fmt.Errorf("dgap: graceful shutdown flagged but dump missing")
+	}
+	nv := g.a.ReadU64(dump + 8)
+	vertCap := int(g.a.ReadU64(dump + 16))
+	nSec := int(g.a.ReadU64(dump + 24))
+	if nSec != ep.nSec || g.a.ReadU64(dump+32) != ep.slots {
+		return fmt.Errorf("dgap: dump does not match root record")
+	}
+	const vRec = 32
+	ep.meta = make([]vertexMeta, vertCap)
+	off := dump + 48
+	for v := 0; v < vertCap; v++ {
+		m := &ep.meta[v]
+		m.start.Store(g.a.ReadU64(off))
+		m.counts.Store(g.a.ReadU64(off + 8))
+		m.live.Store(int64(g.a.ReadU64(off + 16)))
+		m.elHead.Store(g.a.ReadU32(off + 24))
+		m.flags.Store(g.a.ReadU32(off + 28))
+		off += vRec
+	}
+	for s := 0; s < nSec; s++ {
+		ep.secCount[s].Store(int64(g.a.ReadU64(off)))
+		ep.elogUsed[s].Store(g.a.ReadU32(off + 8))
+		ep.elogLive[s].Store(g.a.ReadU32(off + 12))
+		off += 16
+	}
+	g.nVert.Store(nv)
+	return nil
+}
+
+// rebuildFromImage reconstructs all DRAM metadata from the persistent
+// image: a sequential scan of the edge array recovers every vertex's
+// start and array-resident entries from its pivot; a scan of the edge
+// logs recovers the chains.
+func (g *Graph) rebuildFromImage(ep *epoch) {
+	nv := g.a.ReadU64(sbNVert)
+	vertCap := int(nv)
+
+	type chainEnt struct {
+		idx uint32
+		dst uint32
+	}
+	chains := make(map[graph.V][]chainEnt)
+
+	// Pass 1: edge array.
+	raw := g.a.Slice(ep.arrayOff, ep.slots*slotBytes)
+	starts := make(map[graph.V]uint64)
+	arrCnt := make(map[graph.V]uint64)
+	liveArr := make(map[graph.V]int64)
+	tombV := make(map[graph.V]bool)
+	var curV graph.V
+	haveCur := false
+	for s := uint64(0); s < ep.slots; s++ {
+		val := binary.LittleEndian.Uint32(raw[s*slotBytes:])
+		switch {
+		case val == slotEmpty:
+			haveCur = false
+		case isPivot(val):
+			curV = graph.V(val & idMask)
+			haveCur = true
+			starts[curV] = s
+			if int(curV)+1 > vertCap {
+				vertCap = int(curV) + 1
+			}
+			ep.secCount[ep.secOf(s)].Add(1)
+		case haveCur:
+			arrCnt[curV]++
+			if isTomb(val) {
+				liveArr[curV] -= 2 // cancels itself and one prior edge
+				tombV[curV] = true
+			}
+			ep.secCount[ep.secOf(s)].Add(1)
+		default:
+			// An edge slot with no preceding pivot would mean a torn
+			// layout; undo replay prevents this, but stay defensive.
+			continue
+		}
+	}
+
+	// Pass 2: edge logs.
+	for sec := 0; sec < ep.nSec; sec++ {
+		base := uint32(sec) * ep.entriesPer
+		for i := uint32(0); i < ep.entriesPer; i++ {
+			off := ep.entryOff(base + i)
+			srcTag := g.a.ReadU32(off)
+			dst := g.a.ReadU32(off + 4)
+			back := g.a.ReadU32(off + 8)
+			if srcTag&pivotBit == 0 || g.a.ReadU32(off+12) != logChecksum(srcTag, dst, back) {
+				continue
+			}
+			src := graph.V(srcTag & idMask)
+			chains[src] = append(chains[src], chainEnt{idx: base + i, dst: dst})
+			ep.elogLive[sec].Add(1)
+			if used := i + 1; used > ep.elogUsed[sec].Load() {
+				ep.elogUsed[sec].Store(used)
+			}
+		}
+	}
+
+	ep.meta = make([]vertexMeta, vertCap)
+	for v := 0; v < vertCap; v++ {
+		m := &ep.meta[v]
+		m.elHead.Store(noEntry)
+		vv := graph.V(v)
+		st, ok := starts[vv]
+		if !ok {
+			// A vertex inside the id range whose pivot is missing can
+			// only be one never laid out (crash before growth completed);
+			// give it no edges and a zero start — it is unreachable until
+			// the next restructure lays it out.
+			continue
+		}
+		m.start.Store(st)
+		arr := arrCnt[vv]
+		lg := uint64(0)
+		live := int64(arr) + liveArr[vv]
+		if ch, ok := chains[vv]; ok {
+			// Within one section entries append at increasing index and a
+			// chain never outlives a merge, so ascending index is
+			// chronological order.
+			sort.Slice(ch, func(i, j int) bool { return ch[i].idx < ch[j].idx })
+			lg = uint64(len(ch))
+			m.elHead.Store(ch[len(ch)-1].idx)
+			for _, e := range ch {
+				if isTomb(e.dst) {
+					live-- // the tombstone kills one earlier edge
+					tombV[vv] = true
+				} else {
+					live++
+				}
+			}
+		}
+		m.counts.Store(packCounts(arr, uint32(lg)))
+		if live < 0 {
+			live = 0
+		}
+		m.live.Store(live)
+		if tombV[vv] {
+			m.flags.Store(flagHasTomb)
+		}
+	}
+	g.nVert.Store(nv)
+}
+
+// recoverySweep finishes work a crash interrupted: sections whose density
+// or edge-log usage is over threshold are rebalanced immediately.
+func (g *Graph) recoverySweep() error {
+	w, err := g.NewWriter()
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	g.snapMu.RLock()
+	defer g.snapMu.RUnlock()
+	ep := g.ep.Load()
+	for sec := 0; sec < ep.nSec; sec++ {
+		if trig := g.checkTriggers(ep, sec); trig != trigNone {
+			if err := g.rebalance(w, sec, trig); err != nil {
+				return err
+			}
+			if g.ep.Load() != ep {
+				break // a restructure rebuilt everything
+			}
+		}
+	}
+	return nil
+}

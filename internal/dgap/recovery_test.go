@@ -1,0 +1,347 @@
+package dgap
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+// crashReopen simulates power loss and reopens the graph from the media
+// image.
+func crashReopen(t *testing.T, g *Graph, cfg Config) *Graph {
+	t.Helper()
+	a2 := g.Arena().Crash()
+	g2, err := Open(a2, cfg)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	return g2
+}
+
+func TestCrashRecoveryBasic(t *testing.T) {
+	cfg := smallConfig(64, 512)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(64, 12, 17)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	g2 := crashReopen(t, g, cfg)
+	// Every acknowledged edge must survive; per-vertex order preserved.
+	checkEqualAdj(t, refAdjacency(64, edges), g2.ConsistentView())
+}
+
+func TestCrashRecoveryWithEdgeLogEntries(t *testing.T) {
+	// Crash while chains are still unmerged: recovery must rebuild them
+	// from the log segments in chronological order.
+	spec, _ := graphgen.Preset("orkut")
+	edges := spec.Generate(0.0001, 3)
+	v := graphgen.MaxVertex(edges)
+	cfg := smallConfig(v, int64(len(edges))/2)
+	g := newTestGraph(t, cfg)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	if g.Stats().LogAppends == 0 {
+		t.Fatal("workload never used the edge log; test is vacuous")
+	}
+	g2 := crashReopen(t, g, cfg)
+	checkEqualAdj(t, refAdjacency(v, edges), g2.ConsistentView())
+}
+
+func TestCrashRecoveryWithTombstones(t *testing.T) {
+	cfg := smallConfig(16, 128)
+	g := newTestGraph(t, cfg)
+	mustInsert(t, g, 1, 2)
+	mustInsert(t, g, 1, 3)
+	mustInsert(t, g, 1, 2)
+	if err := g.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g2 := crashReopen(t, g, cfg)
+	s := g2.ConsistentView()
+	if s.Degree(1) != 2 {
+		t.Errorf("recovered degree = %d, want 2", s.Degree(1))
+	}
+	var got []graph.V
+	s.Neighbors(1, func(d graph.V) bool { got = append(got, d); return true })
+	if len(got) != 2 {
+		t.Errorf("recovered edges: %v", got)
+	}
+}
+
+func TestGracefulShutdownReopen(t *testing.T) {
+	cfg := smallConfig(64, 512)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(64, 12, 19)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a2 := g.Arena().Crash() // power-off after graceful shutdown
+	g2, err := Open(a2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEqualAdj(t, refAdjacency(64, edges), g2.ConsistentView())
+
+	// The graph must remain fully usable: inserts, merges, rebalances.
+	more := graphgen.Uniform(64, 6, 23)
+	for _, e := range more {
+		mustInsert(t, g2, e.Src, e.Dst)
+	}
+	want := refAdjacency(64, append(append([]graph.Edge{}, edges...), more...))
+	checkEqualAdj(t, want, g2.ConsistentView())
+}
+
+func TestReopenAfterCrashIsReusable(t *testing.T) {
+	cfg := smallConfig(32, 256)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(32, 8, 29)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	g2 := crashReopen(t, g, cfg)
+	more := graphgen.Uniform(32, 8, 31)
+	for _, e := range more {
+		mustInsert(t, g2, e.Src, e.Dst)
+	}
+	want := refAdjacency(32, append(append([]graph.Edge{}, edges...), more...))
+	checkEqualAdj(t, want, g2.ConsistentView())
+}
+
+func TestOpenUninitializedArena(t *testing.T) {
+	if _, err := Open(pmem.New(1<<20), DefaultConfig(4, 4)); err == nil {
+		t.Fatal("expected error opening empty arena")
+	}
+}
+
+func TestDoubleCloseThenOpen(t *testing.T) {
+	cfg := smallConfig(8, 32)
+	g := newTestGraph(t, cfg)
+	mustInsert(t, g, 1, 2)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Open(g.Arena().Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ConsistentView().NumEdges() != 1 {
+		t.Error("edge lost across double close")
+	}
+}
+
+// crashPanic aborts an operation mid-flight from a crash hook.
+type crashPanic struct{ point string }
+
+// insertUntilHook inserts edges until the hook fires (recovering from the
+// injected panic); returns the number of edges fully acknowledged.
+func insertUntilHook(t *testing.T, g *Graph, edges []graph.Edge) int {
+	t.Helper()
+	acked := 0
+	for _, e := range edges {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if cp, ok := r.(crashPanic); ok {
+						err = fmt.Errorf("crashed at %s", cp.point)
+						return
+					}
+					panic(r)
+				}
+			}()
+			return g.InsertEdge(e.Src, e.Dst)
+		}()
+		if err != nil {
+			return acked
+		}
+		acked++
+	}
+	return acked
+}
+
+func TestCrashDuringRebalanceAtEveryPoint(t *testing.T) {
+	for _, point := range []string{"rebalance:armed", "rebalance:mid-move", "rebalance:moved"} {
+		t.Run(point, func(t *testing.T) {
+			spec, _ := graphgen.Preset("orkut")
+			edges := spec.Generate(0.00005, 41)
+			v := graphgen.MaxVertex(edges)
+			cfg := smallConfig(v, int64(len(edges)))
+			g := newTestGraph(t, cfg)
+			// Arm the hook to fire on the Nth rebalance so some history
+			// accumulates first.
+			n := 0
+			g.SetCrashHook(func(p string) {
+				if p == point {
+					n++
+					if n == 3 {
+						panic(crashPanic{p})
+					}
+				}
+			})
+			acked := insertUntilHook(t, g, edges)
+			if acked == len(edges) {
+				t.Skip("workload did not trigger three rebalances")
+			}
+			g2 := crashReopen(t, g, cfg)
+			checkEqualAdjMaybeInflight(t, v, edges, acked, g2.ConsistentView())
+		})
+	}
+}
+
+func TestCrashDuringRestructure(t *testing.T) {
+	for _, point := range []string{"restructure:before-publish", "restructure:after-publish"} {
+		t.Run(point, func(t *testing.T) {
+			cfg := smallConfig(8, 8) // tiny: forces restructures quickly
+			g := newTestGraph(t, cfg)
+			g.SetCrashHook(func(p string) {
+				if p == point {
+					panic(crashPanic{p})
+				}
+			})
+			edges := graphgen.Uniform(8, 64, 43)
+			acked := insertUntilHook(t, g, edges)
+			if acked == len(edges) {
+				t.Skip("workload did not trigger a restructure")
+			}
+			g2 := crashReopen(t, g, cfg)
+			checkEqualAdjMaybeInflight(t, 8, edges, acked, g2.ConsistentView())
+		})
+	}
+}
+
+// checkEqualAdjMaybeInflight verifies the recovered graph equals the
+// acked prefix, tolerating the one in-flight edge (edges[acked]): an
+// insert that crashed after its durable write but before returning may
+// legitimately survive — durability of unacknowledged operations is
+// allowed, loss of acknowledged ones is not.
+func checkEqualAdjMaybeInflight(t *testing.T, v int, edges []graph.Edge, acked int, s graph.Snapshot) {
+	t.Helper()
+	want := refAdjacency(v, edges[:acked])
+	inflight := edges[acked]
+	for vid := range want {
+		var got []graph.V
+		s.Neighbors(graph.V(vid), func(d graph.V) bool { got = append(got, d); return true })
+		exp := want[vid]
+		if graph.V(vid) == inflight.Src && len(got) == len(exp)+1 {
+			exp = append(append([]graph.V{}, exp...), inflight.Dst)
+		}
+		if !reflect.DeepEqual(got, exp) {
+			t.Fatalf("vertex %d after crash:\n got:  %v\n want: %v (inflight %v)", vid, got, exp, inflight)
+		}
+	}
+}
+
+func TestChaosCrashNeverLosesAckedEdges(t *testing.T) {
+	// Torn-cache-line simulation: any subset of unflushed 8-byte words
+	// may land on media. Acked edges must survive every outcome, and
+	// unacked ones must never corrupt the structure.
+	spec, _ := graphgen.Preset("livejournal")
+	edges := spec.Generate(0.0002, 47)
+	v := graphgen.MaxVertex(edges)
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := smallConfig(v, int64(len(edges))/2)
+		g := newTestGraph(t, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		cut := 1 + rng.Intn(len(edges)-1)
+		for _, e := range edges[:cut] {
+			mustInsert(t, g, e.Src, e.Dst)
+		}
+		a2 := g.Arena().ChaosCrash(seed * 977)
+		g2, err := Open(a2, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkEqualAdj(t, refAdjacency(v, edges[:cut]), g2.ConsistentView())
+	}
+}
+
+func TestCrashDuringRecoverySweepIsIdempotent(t *testing.T) {
+	// A crash while recovery's rebalance sweep is running must leave an
+	// image that the NEXT recovery handles — recovery must be
+	// crash-consistent itself.
+	spec, _ := graphgen.Preset("orkut")
+	edges := spec.Generate(0.00005, 83)
+	v := graphgen.MaxVertex(edges)
+	cfg := smallConfig(v, int64(len(edges))/2)
+	g := newTestGraph(t, cfg)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	a2 := g.Arena().Crash()
+
+	// First recovery, crashed mid-sweep via the rebalance hook.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashPanic); !ok {
+					panic(r)
+				}
+			}
+		}()
+		// Open with a hook is not directly expressible (the hook is set
+		// after construction), so emulate: open fully, then crash during
+		// a manually triggered extra rebalance storm.
+		g2, err := Open(a2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		g2.SetCrashHook(func(p string) {
+			if p == "rebalance:mid-move" {
+				n++
+				if n == 2 {
+					panic(crashPanic{p})
+				}
+			}
+		})
+		for _, e := range edges { // drive more activity until the crash
+			_ = g2.InsertEdge(e.Src, e.Dst)
+		}
+	}()
+	a3 := a2.Crash()
+	g3, err := Open(a3, cfg)
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	// The edges from the FIRST epoch must all still be there (whatever
+	// subset of the second pass was acked is also fine, so only check
+	// per-vertex lower bounds via the multiset of the first epoch).
+	want := refAdjacency(v, edges)
+	s := g3.ConsistentView()
+	for vid := range want {
+		n := 0
+		s.Neighbors(graph.V(vid), func(graph.V) bool { n++; return true })
+		if n < len(want[vid]) {
+			t.Fatalf("vertex %d lost edges across double crash: %d < %d", vid, n, len(want[vid]))
+		}
+	}
+}
+
+func TestRecoveredGraphOrderPreserved(t *testing.T) {
+	cfg := smallConfig(2, 8)
+	g := newTestGraph(t, cfg)
+	var want []graph.V
+	for i := 0; i < 150; i++ {
+		d := graph.V(i % 2)
+		mustInsert(t, g, 0, d)
+		mustInsert(t, g, 1, d)
+		want = append(want, d)
+	}
+	g2 := crashReopen(t, g, cfg)
+	var got []graph.V
+	g2.ConsistentView().Neighbors(0, func(d graph.V) bool { got = append(got, d); return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("insertion order lost across crash recovery")
+	}
+}

@@ -1,0 +1,192 @@
+package dgap
+
+import (
+	"encoding/binary"
+
+	"dgap/internal/graph"
+)
+
+// Snapshot is a consistent view of the graph at the time ConsistentView
+// was called: the paper's per-task Degree Cache. It stores one number per
+// vertex — the count of physical entries visible to this task. Because
+// every vertex's physical entries form an append-only logical sequence
+// (array run first, then edge-log chain, an order merges preserve), the
+// first n entries are immutable history, so reads need no further
+// coordination with writers beyond per-section read locks.
+type Snapshot struct {
+	g     *Graph
+	nVert int
+	edges int64
+
+	// Flat degree cache (default): one entry per vertex.
+	n    []uint64 // visible physical entries per vertex
+	live []uint32 // live out-degree per vertex at snapshot time
+
+	// Copy-on-Write degree cache (Config.CoWDegreeCache): shared pages.
+	pages []*degPage
+}
+
+func (s *Snapshot) nOf(v graph.V) uint64 {
+	if s.pages != nil {
+		return s.pages[int(v)/cowPageSize].n[int(v)%cowPageSize]
+	}
+	return s.n[v]
+}
+
+func (s *Snapshot) liveOf(v graph.V) uint32 {
+	if s.pages != nil {
+		return s.pages[int(v)/cowPageSize].live[int(v)%cowPageSize]
+	}
+	return s.live[v]
+}
+
+// ConsistentView briefly quiesces writers and copies the degree cache.
+// This is the paper's g.consistent_view().
+func (g *Graph) ConsistentView() *Snapshot {
+	g.snapMu.Lock()
+	ep := g.ep.Load()
+	nv := int(g.nVert.Load())
+	s := &Snapshot{g: g, nVert: nv, n: make([]uint64, nv), live: make([]uint32, nv)}
+	for v := 0; v < nv; v++ {
+		arr, lg := unpackCounts(ep.meta[v].counts.Load())
+		s.n[v] = arr + uint64(lg)
+		lv := ep.meta[v].live.Load()
+		if lv < 0 {
+			lv = 0
+		}
+		s.live[v] = uint32(lv)
+		s.edges += lv
+	}
+	g.snapMu.Unlock()
+	return s
+}
+
+// Snapshot implements graph.System. It uses the CoW degree cache when
+// enabled, the flat copy otherwise.
+func (g *Graph) Snapshot() graph.Snapshot {
+	if g.cow != nil {
+		return g.ConsistentViewCoW()
+	}
+	return g.ConsistentView()
+}
+
+// NumVertices implements graph.Snapshot.
+func (s *Snapshot) NumVertices() int { return s.nVert }
+
+// NumEdges implements graph.Snapshot.
+func (s *Snapshot) NumEdges() int64 { return s.edges }
+
+// Degree implements graph.Snapshot.
+func (s *Snapshot) Degree(v graph.V) int { return int(s.liveOf(v)) }
+
+// Neighbors iterates v's live out-edges as of snapshot time. The paper's
+// v.e(): read up to n entries from the edge array; if the array holds
+// fewer than n (a chain has not been merged yet), continue through the
+// edge-log chain via back-pointers.
+func (s *Snapshot) Neighbors(v graph.V, fn func(dst graph.V) bool) {
+	if int(v) >= s.nVert {
+		return
+	}
+	n := s.nOf(v)
+	if n == 0 {
+		return
+	}
+	g := s.g
+	for {
+		ep := g.ep.Load()
+		if int(v) >= len(ep.meta) {
+			return
+		}
+		m := &ep.meta[v]
+		start := m.start.Load()
+		sec := ep.secOf(start)
+		if sec >= len(ep.locks) {
+			continue
+		}
+		l := &ep.locks[sec]
+		l.RLock()
+		if g.ep.Load() != ep || m.start.Load() != start {
+			l.RUnlock()
+			continue
+		}
+		s.iterate(ep, m, start, n, fn)
+		l.RUnlock()
+		return
+	}
+}
+
+func (s *Snapshot) iterate(ep *epoch, m *vertexMeta, start, n uint64, fn func(graph.V) bool) {
+	arr, lg := unpackCounts(m.counts.Load())
+	k := min64(n, arr)
+	if m.flags.Load()&flagHasTomb != 0 {
+		s.iterateWithTombs(ep, m, start, n, k, lg, fn)
+		return
+	}
+	g := s.g
+	raw := g.a.Slice(ep.slotOff(start+1), k*slotBytes)
+	for i := uint64(0); i < k; i++ {
+		if !fn(graph.V(binary.LittleEndian.Uint32(raw[i*slotBytes:]))) {
+			return
+		}
+	}
+	rem := n - k
+	if rem == 0 {
+		return
+	}
+	// The rest live in the edge-log chain. The chain is newest-first; we
+	// need the oldest rem entries in chronological order.
+	chain := make([]uint32, lg)
+	cur := m.elHead.Load()
+	for i := int(lg) - 1; i >= 0; i-- {
+		chain[i] = g.a.ReadU32(ep.entryOff(cur) + 4)
+		cur = g.a.ReadU32(ep.entryOff(cur) + 8)
+	}
+	for i := uint64(0); i < rem && i < uint64(lg); i++ {
+		if !fn(graph.V(chain[i])) {
+			return
+		}
+	}
+}
+
+// iterateWithTombs handles vertices that have tombstones among their
+// visible entries: a pre-pass collects the deletions, then live edges are
+// emitted with each tombstone cancelling one earlier occurrence of its
+// destination.
+func (s *Snapshot) iterateWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64, lg uint32, fn func(graph.V) bool) {
+	g := s.g
+	vals := make([]uint32, 0, n)
+	raw := g.a.Slice(ep.slotOff(start+1), k*slotBytes)
+	for i := uint64(0); i < k; i++ {
+		vals = append(vals, binary.LittleEndian.Uint32(raw[i*slotBytes:]))
+	}
+	if rem := n - k; rem > 0 {
+		chain := make([]uint32, lg)
+		cur := m.elHead.Load()
+		for i := int(lg) - 1; i >= 0; i-- {
+			chain[i] = g.a.ReadU32(ep.entryOff(cur) + 4)
+			cur = g.a.ReadU32(ep.entryOff(cur) + 8)
+		}
+		for i := uint64(0); i < rem && i < uint64(lg); i++ {
+			vals = append(vals, chain[i])
+		}
+	}
+	kills := make(map[uint32]int)
+	for _, v := range vals {
+		if isTomb(v) {
+			kills[v&idMask]++
+		}
+	}
+	for _, v := range vals {
+		if isTomb(v) {
+			continue
+		}
+		d := v & idMask
+		if kills[d] > 0 {
+			kills[d]--
+			continue
+		}
+		if !fn(graph.V(d)) {
+			return
+		}
+	}
+}

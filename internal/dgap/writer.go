@@ -1,0 +1,147 @@
+package dgap
+
+import (
+	"fmt"
+
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+)
+
+// Writer is a writer-thread handle. Each Writer owns one persistent undo
+// log (the paper's per-thread undo log), so concurrent rebalances never
+// contend on crash-protection state. A Writer must be used by one
+// goroutine at a time.
+type Writer struct {
+	g   *Graph
+	tid int
+	off pmem.Off // undo-log region: 64-byte header + capacity bytes
+	cap uint64   // backup capacity in bytes
+}
+
+// Undo-log header layout: [active u64][nRanges u64], then per range
+// [dst u64][len u64][data]. Ranges carry exactly the bytes the rebalance
+// may overwrite: the effective window and each touched edge-log
+// segment's used prefix (not whole segments — a 16 KB mostly-empty log
+// would otherwise dominate the backup cost).
+const (
+	ulActive  = 0 // u64: 1 while a rebalance's backup is authoritative
+	ulNRanges = 8
+	ulHeader  = 64
+	ulRangeHd = 16
+)
+
+// backupRange is one region protected by the undo log.
+type backupRange struct {
+	off pmem.Off
+	n   uint64
+}
+
+// packUlogEntry encodes an undo log's location and capacity into one
+// 8-byte word so the table entry persists atomically: offset in the low
+// 58 bits, log2(capacity) in the high 6.
+func packUlogEntry(off pmem.Off, capBytes uint64) uint64 {
+	l := uint64(0)
+	for 1<<l < capBytes {
+		l++
+	}
+	return uint64(off) | l<<58
+}
+
+func unpackUlogEntry(e uint64) (off pmem.Off, capBytes uint64) {
+	if e == 0 {
+		return 0, 0
+	}
+	return e & (1<<58 - 1), 1 << (e >> 58)
+}
+
+// NewWriter allocates a writer-thread handle with its persistent undo
+// log. Handles are limited to Config.MaxWriters; Close releases the slot
+// (the undo-log region is reused by the next writer on the same slot).
+func (g *Graph) NewWriter() (*Writer, error) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	tid := -1
+	for i, used := range g.wUsed {
+		if !used {
+			tid = i
+			break
+		}
+	}
+	if tid < 0 {
+		return nil, fmt.Errorf("dgap: all %d writer slots in use", len(g.wUsed))
+	}
+	w := &Writer{g: g, tid: tid}
+	ent := g.a.ReadU64(g.ulogTable + pmem.Off(tid)*8)
+	if ent != 0 {
+		w.off, w.cap = unpackUlogEntry(ent)
+	} else {
+		if err := w.grow(pow2ceil(uint64(g.cfg.ULogSize))); err != nil {
+			return nil, err
+		}
+	}
+	g.wUsed[tid] = true
+	return w, nil
+}
+
+// Close releases the writer slot.
+func (w *Writer) Close() {
+	w.g.wmu.Lock()
+	w.g.wUsed[w.tid] = false
+	w.g.wmu.Unlock()
+}
+
+// InsertEdge adds a directed edge; it returns after the edge is durable.
+func (w *Writer) InsertEdge(src, dst graph.V) error { return w.insert(src, dst, false) }
+
+// DeleteEdge marks an edge deleted by appending a tombstone entry.
+func (w *Writer) DeleteEdge(src, dst graph.V) error { return w.insert(src, dst, true) }
+
+// grow (re)allocates the undo log with at least capBytes of backup space
+// and publishes it in the persistent writer table with a single atomic
+// store. The old region (if any) is abandoned — its active flag is zero,
+// so recovery ignores it.
+func (w *Writer) grow(capBytes uint64) error {
+	capBytes = pow2ceil(capBytes)
+	off, err := w.g.a.Alloc(ulHeader+capBytes, pmem.CacheLineSize)
+	if err != nil {
+		return err
+	}
+	w.g.a.PersistU64(off+ulActive, 0)
+	w.g.a.PersistU64(w.g.ulogTable+pmem.Off(w.tid)*8, packUlogEntry(off, capBytes))
+	w.off, w.cap = off, capBytes
+	return nil
+}
+
+// beginUndo backs the given ranges up into the undo log and arms it.
+// The backup is written with bulk flushes and a single fence before the
+// arm flag — the cheap ordering discipline that replaces PMDK's
+// per-store journaling.
+func (w *Writer) beginUndo(ranges []backupRange) error {
+	need := uint64(0)
+	for _, r := range ranges {
+		need += ulRangeHd + r.n
+	}
+	if need > w.cap {
+		if err := w.grow(need); err != nil {
+			return err
+		}
+	}
+	a := w.g.a
+	a.WriteU64(w.off+ulNRanges, uint64(len(ranges)))
+	cur := w.off + ulHeader
+	for _, r := range ranges {
+		a.WriteU64(cur, r.off)
+		a.WriteU64(cur+8, r.n)
+		a.WriteBytes(cur+ulRangeHd, a.Slice(r.off, r.n))
+		cur += ulRangeHd + pmem.Off(r.n)
+	}
+	a.Flush(w.off, ulHeader+need)
+	a.Fence()
+	a.PersistU64(w.off+ulActive, 1)
+	return nil
+}
+
+// endUndo disarms the undo log after the rebalance's writes are fenced.
+func (w *Writer) endUndo() {
+	w.g.a.PersistU64(w.off+ulActive, 0)
+}

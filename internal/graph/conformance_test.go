@@ -1,0 +1,170 @@
+package graph_test
+
+import (
+	"testing"
+
+	"dgap/internal/bal"
+	"dgap/internal/csr"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/graphone"
+	"dgap/internal/llama"
+	"dgap/internal/pmem"
+	"dgap/internal/xpgraph"
+)
+
+// buildAll constructs every dynamic system over a fresh arena, loaded
+// with the same edge stream.
+func buildAll(t *testing.T, nVert int, edges []graph.Edge) map[string]graph.System {
+	t.Helper()
+	out := map[string]graph.System{}
+
+	{
+		a := pmem.New(256 << 20)
+		cfg := dgap.DefaultConfig(nVert, int64(len(edges)))
+		cfg.SectionSlots = 64
+		cfg.ELogSize = 512
+		g, err := dgap.New(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["dgap"] = g
+	}
+	out["bal"] = bal.New(pmem.New(256<<20), nVert)
+	out["llama"] = llama.New(pmem.New(256<<20), nVert, len(edges)/100+1)
+	{
+		g, err := graphone.New(pmem.New(256<<20), nVert, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["graphone"] = g
+	}
+	{
+		g, err := xpgraph.New(pmem.New(256<<20), nVert, xpgraph.Config{Threshold: 128, LogCapEdges: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["xpgraph"] = g
+	}
+	for name, sys := range out {
+		for _, e := range edges {
+			if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
+				t.Fatalf("%s: insert: %v", name, err)
+			}
+		}
+	}
+	// Flush pending batches so analysis sees everything.
+	if l, ok := out["llama"].(*llama.Graph); ok {
+		if err := l.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, ok := out["graphone"].(*graphone.Graph); ok {
+		if err := g.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestSystemsAgreeOnEdgeMultisets: every framework must expose exactly
+// the inserted edge multiset through its snapshot (order is
+// framework-specific; LLAMA iterates newest version first).
+func TestSystemsAgreeOnEdgeMultisets(t *testing.T) {
+	const V = 150
+	edges := graphgen.Uniform(V, 14, 71)
+	want := map[graph.V]map[graph.V]int{}
+	for _, e := range edges {
+		if want[e.Src] == nil {
+			want[e.Src] = map[graph.V]int{}
+		}
+		want[e.Src][e.Dst]++
+	}
+	for name, sys := range buildAll(t, V, edges) {
+		t.Run(name, func(t *testing.T) {
+			s := sys.Snapshot()
+			if s.NumEdges() != int64(len(edges)) {
+				t.Errorf("NumEdges = %d, want %d", s.NumEdges(), len(edges))
+			}
+			for v := 0; v < V; v++ {
+				got := map[graph.V]int{}
+				n := 0
+				s.Neighbors(graph.V(v), func(d graph.V) bool { got[d]++; n++; return true })
+				if s.Degree(graph.V(v)) != n {
+					t.Fatalf("vertex %d: Degree=%d but iterated %d", v, s.Degree(graph.V(v)), n)
+				}
+				for d, c := range want[graph.V(v)] {
+					if got[d] != c {
+						t.Fatalf("vertex %d->%d: got %d want %d", v, d, got[d], c)
+					}
+				}
+				if len(got) > len(want[graph.V(v)]) {
+					t.Fatalf("vertex %d has phantom destinations", v)
+				}
+			}
+		})
+	}
+}
+
+// TestCSRMatchesStream verifies the static baseline separately (it is
+// built, not inserted into).
+func TestCSRMatchesStream(t *testing.T) {
+	const V = 100
+	edges := graphgen.Uniform(V, 10, 73)
+	g, err := csr.Build(pmem.New(64<<20), V, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := graph.Adjacency(g)
+	want := map[graph.V]map[graph.V]int{}
+	for _, e := range edges {
+		if want[e.Src] == nil {
+			want[e.Src] = map[graph.V]int{}
+		}
+		want[e.Src][e.Dst]++
+	}
+	for v := 0; v < V; v++ {
+		got := map[graph.V]int{}
+		for _, d := range adj[v] {
+			got[d]++
+		}
+		for d, c := range want[graph.V(v)] {
+			if got[d] != c {
+				t.Fatalf("vertex %d->%d: got %d want %d", v, d, got[d], c)
+			}
+		}
+	}
+	if g.InsertEdge(0, 1) == nil {
+		t.Error("CSR must reject inserts")
+	}
+	if graph.CountEdges(g) != int64(len(edges)) {
+		t.Error("CountEdges mismatch")
+	}
+}
+
+// TestSnapshotStalenessSemantics documents each framework's visibility
+// guarantee: DGAP/BAL see everything immediately; LLAMA misses the
+// unfrozen batch; GraphOne and XPGraph (DRAM cache) see everything.
+func TestSnapshotStalenessSemantics(t *testing.T) {
+	const V = 16
+	lg := llama.New(pmem.New(64<<20), V, 1000) // batch larger than stream
+	for i := 0; i < 10; i++ {
+		if err := lg.InsertEdge(graph.V(i), graph.V((i+1)%V)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lg.Snapshot().NumEdges(); got != 10 {
+		t.Logf("LLAMA NumEdges reports %d", got)
+	}
+	visible := graph.CountEdges(lg.Snapshot())
+	if visible != 0 {
+		t.Errorf("LLAMA unfrozen batch should be invisible to analysis, saw %d edges", visible)
+	}
+	if err := lg.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if visible := graph.CountEdges(lg.Snapshot()); visible != 10 {
+		t.Errorf("after Freeze: %d visible, want 10", visible)
+	}
+}

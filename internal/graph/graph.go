@@ -1,0 +1,85 @@
+// Package graph defines the vertex/edge types and the snapshot interface
+// shared by every graph system in this repository (DGAP and the baselines
+// it is evaluated against) and consumed by the analytics kernels.
+package graph
+
+// V is a vertex identifier. DGAP stores destination ids in 4 bytes and
+// reserves the top two bits for the pivot and tombstone flags, so valid
+// ids are below 1<<30.
+type V = uint32
+
+// MaxV is the largest usable vertex id (2^30 - 1).
+const MaxV V = 1<<30 - 1
+
+// Edge is a directed edge. Undirected graphs are represented by storing
+// both directions, as the GAP benchmark suite does.
+type Edge struct {
+	Src, Dst V
+}
+
+// Snapshot is a consistent, immutable view of a graph at a point in time.
+// Analysis kernels run against Snapshots only, so a framework's update
+// path can proceed concurrently (frameworks differ in how stale the
+// snapshot is allowed to be — that difference is part of what the paper
+// evaluates).
+type Snapshot interface {
+	// NumVertices returns the size of the vertex id space (ids are dense
+	// in [0, NumVertices)).
+	NumVertices() int
+	// NumEdges returns the number of directed edges visible in this
+	// snapshot.
+	NumEdges() int64
+	// Degree returns the out-degree of v in this snapshot.
+	Degree(v V) int
+	// Neighbors calls fn for each out-neighbor of v in this snapshot
+	// until fn returns false.
+	Neighbors(v V, fn func(dst V) bool)
+}
+
+// System is a dynamic graph framework: it ingests edges and serves
+// consistent snapshots for analysis.
+type System interface {
+	Name() string
+	// InsertEdge adds a directed edge. It returns once the edge is
+	// durable under the framework's own guarantee (which, for some
+	// baselines, is deliberately weaker than DGAP's).
+	InsertEdge(src, dst V) error
+	// Snapshot returns a consistent view of the graph as of now.
+	Snapshot() Snapshot
+	// NoopRelease: snapshots are garbage-collected; systems that hold
+	// update locks during snapshot creation release them before
+	// returning.
+}
+
+// Deleter is implemented by systems that support edge deletion.
+type Deleter interface {
+	DeleteEdge(src, dst V) error
+}
+
+// Closer is implemented by systems with a graceful-shutdown path.
+type Closer interface {
+	Close() error
+}
+
+// CountEdges iterates a snapshot and counts visible directed edges; a
+// testing helper that cross-checks NumEdges.
+func CountEdges(s Snapshot) int64 {
+	var n int64
+	for v := 0; v < s.NumVertices(); v++ {
+		s.Neighbors(V(v), func(V) bool { n++; return true })
+	}
+	return n
+}
+
+// Adjacency materializes a snapshot into a plain adjacency list; a
+// testing helper for equivalence checks between systems.
+func Adjacency(s Snapshot) [][]V {
+	out := make([][]V, s.NumVertices())
+	for v := 0; v < s.NumVertices(); v++ {
+		s.Neighbors(V(v), func(d V) bool {
+			out[v] = append(out[v], d)
+			return true
+		})
+	}
+	return out
+}

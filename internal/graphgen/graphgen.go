@@ -1,0 +1,171 @@
+// Package graphgen produces the synthetic stand-ins for the SNAP datasets
+// of the DGAP paper's Table 2. Real Orkut/Twitter/Friendster traces are
+// not redistributable (and are orders of magnitude larger than this
+// environment can hold), so each dataset is replaced by a deterministic
+// R-MAT graph whose vertex count, average degree (|E|/|V|) and degree
+// skew follow the original's published properties, scaled down by a
+// configurable factor. The phenomena DGAP's evaluation studies — section
+// fill, rebalance frequency, edge-log hit rate, CSR-vs-adjacency-list
+// locality — depend on skew and density, which the presets preserve, not
+// on absolute scale.
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dgap/internal/graph"
+)
+
+// Spec describes a synthetic dataset.
+type Spec struct {
+	Name string
+	// V is the number of vertices at scale 1.0 (the original dataset
+	// size; Generate applies the scale factor).
+	V int
+	// AvgDeg is |E|/|V| of the original dataset (directed edges after
+	// symmetrization, as the paper counts them).
+	AvgDeg int
+	// A, B, C are the R-MAT quadrant probabilities (D = 1-A-B-C);
+	// larger A means heavier skew.
+	A, B, C float64
+	// Domain is a human-readable tag (Table 2's "Domain" column).
+	Domain string
+}
+
+// Presets mirror Table 2 of the paper. |V| and |E|/|V| match the table;
+// skew parameters are chosen per domain (social graphs use Graph500-like
+// skew, citation graphs are flatter, the protein graph is dense).
+var Presets = []Spec{
+	{Name: "orkut", V: 3_072_626, AvgDeg: 76, A: 0.57, B: 0.19, C: 0.19, Domain: "social"},
+	{Name: "livejournal", V: 4_847_570, AvgDeg: 18, A: 0.57, B: 0.19, C: 0.19, Domain: "social"},
+	{Name: "citpatents", V: 6_009_554, AvgDeg: 6, A: 0.45, B: 0.22, C: 0.22, Domain: "citation"},
+	{Name: "twitter", V: 61_578_414, AvgDeg: 39, A: 0.57, B: 0.19, C: 0.19, Domain: "social"},
+	{Name: "friendster", V: 124_836_179, AvgDeg: 29, A: 0.55, B: 0.20, C: 0.20, Domain: "social"},
+	{Name: "protein", V: 8_745_543, AvgDeg: 149, A: 0.50, B: 0.21, C: 0.21, Domain: "biology"},
+}
+
+// Preset returns the spec with the given name.
+func Preset(name string) (Spec, error) {
+	for _, s := range Presets {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("graphgen: unknown dataset %q", name)
+}
+
+// SmallPresets are the three "small" graphs the paper uses for the
+// component and configuration studies (Table 5, Figure 9).
+func SmallPresets() []Spec {
+	return []Spec{mustPreset("orkut"), mustPreset("livejournal"), mustPreset("citpatents")}
+}
+
+func mustPreset(name string) Spec {
+	s, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Generate produces the symmetrized edge stream of the dataset at the
+// given scale, shuffled into random insertion order (the paper randomly
+// shuffles all edges to build the insertion stream). The result contains
+// both directions of every undirected edge; self-loops are suppressed.
+// Generation is deterministic in (spec, scale, seed).
+func (s Spec) Generate(scale float64, seed int64) []graph.Edge {
+	v := int(float64(s.V) * scale)
+	if v < 64 {
+		v = 64
+	}
+	undirected := v * s.AvgDeg / 2
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, undirected*2)
+	logV := 0
+	for 1<<logV < v {
+		logV++
+	}
+	for len(edges) < undirected*2 {
+		src, dst := rmatEdge(rng, logV, s.A, s.B, s.C)
+		if src >= v || dst >= v || src == dst {
+			continue
+		}
+		edges = append(edges,
+			graph.Edge{Src: graph.V(src), Dst: graph.V(dst)},
+			graph.Edge{Src: graph.V(dst), Dst: graph.V(src)})
+	}
+	Shuffle(edges, seed^0x5DEECE66D)
+	return edges
+}
+
+// NumVertices returns the vertex count Generate will use at this scale.
+func (s Spec) NumVertices(scale float64) int {
+	v := int(float64(s.V) * scale)
+	if v < 64 {
+		v = 64
+	}
+	return v
+}
+
+// rmatEdge draws one edge by recursive quadrant descent.
+func rmatEdge(rng *rand.Rand, logV int, a, b, c float64) (int, int) {
+	src, dst := 0, 0
+	for bit := 0; bit < logV; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// top-left: no bits set
+		case r < a+b:
+			dst |= 1 << bit
+		case r < a+b+c:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	return src, dst
+}
+
+// Uniform generates an Erdős–Rényi style symmetric edge stream: v
+// vertices, avgDeg directed edges per vertex, shuffled. Used by tests and
+// microbenchmarks where skew is unwanted.
+func Uniform(v, avgDeg int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	undirected := v * avgDeg / 2
+	edges := make([]graph.Edge, 0, undirected*2)
+	for len(edges) < undirected*2 {
+		src := rng.Intn(v)
+		dst := rng.Intn(v)
+		if src == dst {
+			continue
+		}
+		edges = append(edges,
+			graph.Edge{Src: graph.V(src), Dst: graph.V(dst)},
+			graph.Edge{Src: graph.V(dst), Dst: graph.V(src)})
+	}
+	Shuffle(edges, seed+1)
+	return edges
+}
+
+// Shuffle permutes the edge stream deterministically.
+func Shuffle(edges []graph.Edge, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+}
+
+// MaxVertex returns 1 + the largest vertex id in the stream (the value
+// frameworks receive as their INIT_VERTICES_SIZE hint).
+func MaxVertex(edges []graph.Edge) int {
+	maxV := graph.V(0)
+	for _, e := range edges {
+		if e.Src > maxV {
+			maxV = e.Src
+		}
+		if e.Dst > maxV {
+			maxV = e.Dst
+		}
+	}
+	return int(maxV) + 1
+}

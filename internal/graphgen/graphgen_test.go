@@ -1,0 +1,167 @@
+package graphgen
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dgap/internal/graph"
+)
+
+func TestPresetLookup(t *testing.T) {
+	for _, want := range []string{"orkut", "livejournal", "citpatents", "twitter", "friendster", "protein"} {
+		s, err := Preset(want)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", want, err)
+		}
+		if s.Name != want {
+			t.Errorf("Preset(%q).Name = %q", want, s.Name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("expected error for unknown preset")
+	}
+}
+
+func TestPresetsMatchTable2(t *testing.T) {
+	// |V| and |E|/|V| must match the paper's Table 2.
+	want := map[string]struct{ v, deg int }{
+		"orkut":       {3_072_626, 76},
+		"livejournal": {4_847_570, 18},
+		"citpatents":  {6_009_554, 6},
+		"twitter":     {61_578_414, 39},
+		"friendster":  {124_836_179, 29},
+		"protein":     {8_745_543, 149},
+	}
+	for _, s := range Presets {
+		w := want[s.Name]
+		if s.V != w.v || s.AvgDeg != w.deg {
+			t.Errorf("%s: V=%d deg=%d, want V=%d deg=%d", s.Name, s.V, s.AvgDeg, w.v, w.deg)
+		}
+	}
+	if len(SmallPresets()) != 3 {
+		t.Error("SmallPresets must return the three small graphs")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := Preset("orkut")
+	a := spec.Generate(0.0001, 7)
+	b := spec.Generate(0.0001, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, scale, seed) produced different streams")
+	}
+	c := spec.Generate(0.0001, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateSymmetric(t *testing.T) {
+	spec, _ := Preset("citpatents")
+	edges := spec.Generate(0.0001, 3)
+	cnt := map[graph.Edge]int{}
+	for _, e := range edges {
+		cnt[e]++
+	}
+	for e, n := range cnt {
+		if cnt[graph.Edge{Src: e.Dst, Dst: e.Src}] != n {
+			t.Fatalf("edge %v has no mirror", e)
+		}
+	}
+}
+
+func TestGenerateNoSelfLoops(t *testing.T) {
+	edges := Uniform(100, 10, 5)
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop generated")
+		}
+	}
+	spec, _ := Preset("orkut")
+	for _, e := range spec.Generate(0.0001, 5) {
+		if e.Src == e.Dst {
+			t.Fatal("self loop in RMAT stream")
+		}
+	}
+}
+
+func TestGenerateEdgeCountMatchesAvgDeg(t *testing.T) {
+	spec, _ := Preset("livejournal")
+	scale := 0.0005
+	edges := spec.Generate(scale, 11)
+	v := spec.NumVertices(scale)
+	wantE := v * spec.AvgDeg
+	got := len(edges)
+	if got < wantE*9/10 || got > wantE*11/10 {
+		t.Errorf("|E| = %d, want ~%d", got, wantE)
+	}
+}
+
+func TestRMATSkewExceedsUniform(t *testing.T) {
+	spec, _ := Preset("orkut")
+	skewed := spec.Generate(0.0002, 13)
+	v := MaxVertex(skewed)
+	uniform := Uniform(v, len(skewed)/v, 13)
+	maxDeg := func(edges []graph.Edge) int {
+		deg := map[graph.V]int{}
+		m := 0
+		for _, e := range edges {
+			deg[e.Src]++
+			if deg[e.Src] > m {
+				m = deg[e.Src]
+			}
+		}
+		return m
+	}
+	if maxDeg(skewed) <= maxDeg(uniform)*2 {
+		t.Errorf("RMAT max degree %d not meaningfully above uniform %d",
+			maxDeg(skewed), maxDeg(uniform))
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	edges := Uniform(50, 6, 17)
+	orig := append([]graph.Edge(nil), edges...)
+	Shuffle(edges, 99)
+	if reflect.DeepEqual(edges, orig) {
+		t.Error("shuffle left stream unchanged (astronomically unlikely)")
+	}
+	cnt := map[graph.Edge]int{}
+	for _, e := range orig {
+		cnt[e]++
+	}
+	for _, e := range edges {
+		cnt[e]--
+	}
+	for e, n := range cnt {
+		if n != 0 {
+			t.Fatalf("shuffle changed multiplicity of %v", e)
+		}
+	}
+}
+
+func TestMaxVertex(t *testing.T) {
+	edges := []graph.Edge{{Src: 3, Dst: 9}, {Src: 1, Dst: 2}}
+	if got := MaxVertex(edges); got != 10 {
+		t.Errorf("MaxVertex = %d, want 10", got)
+	}
+}
+
+func TestPropertyVerticesWithinRange(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		spec, _ := Preset("citpatents")
+		scale := 0.00005
+		edges := spec.Generate(scale, int64(seedRaw))
+		v := spec.NumVertices(scale)
+		for _, e := range edges {
+			if int(e.Src) >= v || int(e.Dst) >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package llama
+
+import (
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+func TestBatchingFreezesAutomatically(t *testing.T) {
+	g := New(pmem.New(64<<20), 8, 10)
+	for i := 0; i < 25; i++ {
+		if err := g.InsertEdge(graph.V(i%8), graph.V((i+1)%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 25 inserts with batch 10: two frozen levels (20 edges), 5 buffered.
+	s := g.Snapshot()
+	if got := graph.CountEdges(s); got != 20 {
+		t.Errorf("visible edges = %d, want 20 (two frozen batches)", got)
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if got := graph.CountEdges(g.Snapshot()); got != 25 {
+		t.Errorf("after Freeze: %d, want 25", got)
+	}
+}
+
+func TestVersionChainAccumulates(t *testing.T) {
+	g := New(pmem.New(64<<20), 4, 2)
+	// Vertex 1 receives edges across many levels.
+	dsts := []graph.V{0, 2, 3, 0, 2, 3}
+	for _, d := range dsts {
+		if err := g.InsertEdge(1, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.InsertEdge(d, 1); err != nil { // interleave other sources
+			t.Fatal(err)
+		}
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Snapshot()
+	if s.Degree(1) != len(dsts) {
+		t.Errorf("Degree(1) = %d, want %d", s.Degree(1), len(dsts))
+	}
+	got := map[graph.V]int{}
+	s.Neighbors(1, func(d graph.V) bool { got[d]++; return true })
+	want := map[graph.V]int{0: 2, 2: 2, 3: 2}
+	for d, n := range want {
+		if got[d] != n {
+			t.Errorf("1->%d: %d, want %d", d, got[d], n)
+		}
+	}
+}
+
+func TestFrozenLevelsSurviveCrashImage(t *testing.T) {
+	a := pmem.New(64 << 20)
+	g := New(a, 16, 8)
+	edges := graphgen.Uniform(16, 4, 21)
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot().(*Snapshot)
+	img := a.Crash()
+	// Fragments live on PM and were flushed at freeze time: re-walk the
+	// chains against the crashed image.
+	total := int64(0)
+	for v := 0; v < 16; v++ {
+		for off := snap.heads[v]; off != 0; off = img.ReadU64(off) {
+			total += int64(img.ReadU64(off + 8))
+		}
+	}
+	if total != int64(len(edges)) {
+		t.Errorf("crash image fragments hold %d edges, want %d", total, len(edges))
+	}
+}
+
+func TestVertexGrowthViaInsert(t *testing.T) {
+	g := New(pmem.New(64<<20), 2, 4)
+	if err := g.InsertEdge(50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Snapshot().NumVertices() != 51 {
+		t.Errorf("NumVertices = %d", g.Snapshot().NumVertices())
+	}
+}

@@ -1,0 +1,467 @@
+package pma
+
+import (
+	"fmt"
+
+	"dgap/internal/pmem"
+)
+
+// Empty is the slot sentinel; keys must be strictly smaller.
+const Empty = ^uint64(0)
+
+const slotBytes = 8
+
+// Array is a sorted packed-memory array of uint64 keys stored on emulated
+// persistent memory. It exists for three purposes: as the reference PMA
+// for property tests, as the subject of the Figure 1(b) motivation
+// experiment (inserting into a PMA on DRAM, on PM, and on PM under
+// PMDK-style transactions), and as executable documentation of the shift
+// and rebalance mechanics DGAP's edge array specializes.
+//
+// Array is single-writer; DGAP adds its own concurrency control on top of
+// the same mechanics.
+type Array struct {
+	a    *pmem.Arena
+	base pmem.Off
+	cap  int // slots
+	tree *Tree
+	// index[i] is the smallest key in section i (or the previous
+	// section's value when i is empty), kept in DRAM to locate the target
+	// section in O(log S); it is rebuilt by rebalances.
+	index []uint64
+	useTx bool
+	n     int
+}
+
+// NewArray allocates an Array with capSlots slots in sections of
+// sectionSlots. When useTx is true every shift and rebalance runs under a
+// PMDK-style transaction (the expensive baseline).
+func NewArray(a *pmem.Arena, capSlots, sectionSlots int, th Thresholds, useTx bool) (*Array, error) {
+	tree := NewTree((capSlots+sectionSlots-1)/sectionSlots, sectionSlots, th)
+	capSlots = tree.Sections() * sectionSlots
+	base, err := a.Alloc(uint64(capSlots)*slotBytes, pmem.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	p := &Array{a: a, base: base, cap: capSlots, tree: tree, useTx: useTx}
+	p.index = make([]uint64, tree.Sections())
+	p.clear(base, capSlots)
+	for i := range p.index {
+		p.index[i] = Empty
+	}
+	return p, nil
+}
+
+func (p *Array) clear(base pmem.Off, slots int) {
+	ff := make([]byte, 4096)
+	for i := range ff {
+		ff[i] = 0xFF
+	}
+	for off := uint64(0); off < uint64(slots)*slotBytes; off += uint64(len(ff)) {
+		n := uint64(len(ff))
+		if off+n > uint64(slots)*slotBytes {
+			n = uint64(slots)*slotBytes - off
+		}
+		p.a.WriteBytes(base+off, ff[:n])
+	}
+	p.a.Flush(base, uint64(slots)*slotBytes)
+	p.a.Fence()
+}
+
+// Len returns the number of keys stored.
+func (p *Array) Len() int { return p.n }
+
+// Capacity returns the current slot capacity.
+func (p *Array) Capacity() int { return p.cap }
+
+func (p *Array) slot(i int) uint64       { return p.a.ReadU64(p.base + uint64(i)*slotBytes) }
+func (p *Array) setSlot(i int, v uint64) { p.a.WriteU64(p.base+uint64(i)*slotBytes, v) }
+
+// Insert adds a key (duplicates allowed), maintaining sorted order.
+func (p *Array) Insert(key uint64) error {
+	if key >= Empty {
+		return fmt.Errorf("pma: key %#x reserved", key)
+	}
+	for {
+		sec := p.findSection(key)
+		if p.insertInSection(sec, key) {
+			p.tree.Add(sec, 1)
+			p.n++
+			if key < p.index[sec] || p.index[sec] == Empty {
+				p.index[sec] = key
+			}
+			if p.tree.OverUpper(sec) {
+				if err := p.rebalanceAround(sec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Section full: make room, then retry.
+		if err := p.rebalanceAround(sec); err != nil {
+			return err
+		}
+	}
+}
+
+// findSection binary-searches the DRAM section index for the rightmost
+// section whose smallest key is <= key.
+func (p *Array) findSection(key uint64) int {
+	lo, hi := 0, p.tree.Sections()-1
+	ans := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		mv := p.sectionMin(mid)
+		if mv == Empty || mv <= key {
+			ans = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ans
+}
+
+// sectionMin returns the effective lower bound of a section for the
+// search: its own min, or the nearest non-empty predecessor's min.
+func (p *Array) sectionMin(sec int) uint64 {
+	for s := sec; s >= 0; s-- {
+		if p.index[s] != Empty {
+			return p.index[s]
+		}
+	}
+	return Empty
+}
+
+// scanStart backs findSection's answer up to the section that actually
+// holds the inherited minimum: an empty section inherits its
+// predecessor's min, so a key equal to that min lives in the
+// predecessor, not here.
+func (p *Array) scanStart(sec int) int {
+	for sec > 0 && p.index[sec] == Empty {
+		sec--
+	}
+	return sec
+}
+
+// insertInSection places key into its sorted position inside section sec,
+// shifting toward the nearest gap. Returns false when the section is full.
+func (p *Array) insertInSection(sec int, key uint64) bool {
+	ss := p.tree.SectionSlots()
+	s0 := sec * ss
+	s1 := s0 + ss - 1
+
+	// Locate the neighbours: posLeft = last occupied slot with k <= key,
+	// posRight = first occupied slot with k > key.
+	posLeft, posRight := s0-1, s1+1
+	for i := s0; i <= s1; i++ {
+		v := p.slot(i)
+		if v == Empty {
+			continue
+		}
+		if v <= key {
+			posLeft = i
+		} else {
+			posRight = i
+			break
+		}
+	}
+	// A gap strictly between the neighbours: no shift needed.
+	for i := posLeft + 1; i < posRight && i <= s1; i++ {
+		if i >= s0 && p.slot(i) == Empty {
+			p.writeKey(i, key)
+			return true
+		}
+	}
+	// Nearest gap to the right, then to the left; shift toward it. This
+	// "nearby shift" is the write-amplification source Figure 1(a)
+	// quantifies.
+	for g := posRight; g <= s1; g++ {
+		if g >= s0 && p.slot(g) == Empty {
+			p.shiftRight(max(posRight, s0), g, key)
+			return true
+		}
+	}
+	for g := posLeft; g >= s0; g-- {
+		if p.slot(g) == Empty {
+			p.shiftLeft(g, min(posLeft, s1), key)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Array) writeKey(i int, key uint64) {
+	p.setSlot(i, key)
+	p.a.Flush(p.base+uint64(i)*slotBytes, slotBytes)
+	p.a.Fence()
+}
+
+// shiftRight moves [from, gap) one slot right and writes key at from.
+func (p *Array) shiftRight(from, gap int, key uint64) {
+	n := uint64(gap-from) * slotBytes
+	src := p.base + uint64(from)*slotBytes
+	if p.useTx {
+		tx, err := pmem.Begin(p.a, n+slotBytes)
+		if err == nil {
+			_ = tx.Add(src, n+slotBytes)
+			defer tx.Commit()
+		}
+	}
+	p.a.CopyWithin(src+slotBytes, src, n)
+	p.setSlot(from, key)
+	p.a.Flush(src, n+slotBytes)
+	p.a.Fence()
+}
+
+// shiftLeft moves (gap, to] one slot left and writes key at to.
+func (p *Array) shiftLeft(gap, to int, key uint64) {
+	n := uint64(to-gap) * slotBytes
+	dst := p.base + uint64(gap)*slotBytes
+	if p.useTx {
+		tx, err := pmem.Begin(p.a, n+slotBytes)
+		if err == nil {
+			_ = tx.Add(dst, n+slotBytes)
+			defer tx.Commit()
+		}
+	}
+	p.a.CopyWithin(dst, dst+slotBytes, n)
+	p.setSlot(to, key)
+	p.a.Flush(dst, n+slotBytes)
+	p.a.Fence()
+}
+
+// rebalanceAround redistributes gaps across the smallest window that can
+// absorb the section's density, resizing when the root is full.
+func (p *Array) rebalanceAround(sec int) error {
+	lo, hi, ok := p.tree.FindWindow(sec, 0)
+	if !ok {
+		return p.resize()
+	}
+	p.redistribute(lo, hi)
+	return nil
+}
+
+// redistribute rewrites the window [lo, hi] (in sections) with its
+// elements evenly spread.
+func (p *Array) redistribute(lo, hi int) {
+	ss := p.tree.SectionSlots()
+	start, end := lo*ss, (hi+1)*ss // slot range [start, end)
+	keys := make([]uint64, 0, (end-start)/2)
+	for i := start; i < end; i++ {
+		if v := p.slot(i); v != Empty {
+			keys = append(keys, v)
+		}
+	}
+	winBytes := uint64(end-start) * slotBytes
+	winOff := p.base + uint64(start)*slotBytes
+	if p.useTx {
+		tx, err := pmem.Begin(p.a, winBytes)
+		if err == nil {
+			_ = tx.Add(winOff, winBytes)
+			defer tx.Commit()
+		}
+	}
+	p.writeSpread(start, end, keys)
+	p.a.Flush(winOff, winBytes)
+	p.a.Fence()
+	// Recompute tree counts and the section index for the window.
+	for s := lo; s <= hi; s++ {
+		var c int64
+		mn := Empty
+		for i := s * ss; i < (s+1)*ss; i++ {
+			if v := p.slot(i); v != Empty {
+				c++
+				if v < mn {
+					mn = v
+				}
+			}
+		}
+		p.tree.Set(s, c)
+		p.index[s] = mn
+	}
+}
+
+// writeSpread writes keys into [start, end) slots with even gaps.
+func (p *Array) writeSpread(start, end int, keys []uint64) {
+	slots := end - start
+	for i := start; i < end; i++ {
+		p.setSlot(i, Empty)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	stride := float64(slots) / float64(len(keys))
+	if stride < 1 {
+		panic("pma: window overflow during redistribute")
+	}
+	for k, key := range keys {
+		p.setSlot(start+int(float64(k)*stride), key)
+	}
+}
+
+// resize doubles the capacity and respreads every element.
+func (p *Array) resize() error {
+	ss := p.tree.SectionSlots()
+	newCap := p.cap * 2
+	newBase, err := p.a.Alloc(uint64(newCap)*slotBytes, pmem.CacheLineSize)
+	if err != nil {
+		return err
+	}
+	keys := make([]uint64, 0, p.n)
+	for i := 0; i < p.cap; i++ {
+		if v := p.slot(i); v != Empty {
+			keys = append(keys, v)
+		}
+	}
+	oldBase := p.base
+	p.base, p.cap = newBase, newCap
+	p.clear(newBase, newCap)
+	p.tree = NewTree(newCap/ss, ss, p.tree.Thresholds())
+	p.index = make([]uint64, p.tree.Sections())
+	p.writeSpread(0, newCap, keys)
+	p.a.Flush(newBase, uint64(newCap)*slotBytes)
+	p.a.Fence()
+	for s := 0; s < p.tree.Sections(); s++ {
+		var c int64
+		mn := Empty
+		for i := s * ss; i < (s+1)*ss; i++ {
+			if v := p.slot(i); v != Empty {
+				c++
+				if v < mn {
+					mn = v
+				}
+			}
+		}
+		p.tree.Set(s, c)
+		p.index[s] = mn
+	}
+	_ = oldBase // bump allocator: old region is abandoned, as in DGAP's resize
+	return nil
+}
+
+// Delete removes one occurrence of key, reporting whether it was found.
+// When a deletion drops the containing window below its lower density
+// threshold, gaps are re-spread over the smallest window back within
+// bounds (the adaptive PMA's shrink-side rebalance).
+func (p *Array) Delete(key uint64) bool {
+	sec := p.scanStart(p.findSection(key))
+	ss := p.tree.SectionSlots()
+	for s := sec; s < p.tree.Sections(); s++ {
+		for i := s * ss; i < (s+1)*ss; i++ {
+			v := p.slot(i)
+			if v == Empty {
+				continue
+			}
+			if v > key {
+				return false
+			}
+			if v == key {
+				p.setSlot(i, Empty)
+				p.a.Flush(p.base+uint64(i)*slotBytes, slotBytes)
+				p.a.Fence()
+				p.tree.Add(s, -1)
+				p.n--
+				if uint64(key) == p.index[s] {
+					p.refreshIndex(s)
+				}
+				p.maybeShrinkRebalance(s)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refreshIndex recomputes one section's minimum after its old minimum
+// was deleted.
+func (p *Array) refreshIndex(sec int) {
+	ss := p.tree.SectionSlots()
+	mn := Empty
+	for i := sec * ss; i < (sec+1)*ss; i++ {
+		if v := p.slot(i); v != Empty && v < mn {
+			mn = v
+		}
+	}
+	p.index[sec] = mn
+}
+
+// maybeShrinkRebalance re-spreads gaps when a section falls below its
+// lower density threshold (skipped while the array is nearly empty,
+// where thresholds are meaningless).
+func (p *Array) maybeShrinkRebalance(sec int) {
+	th := p.tree.Thresholds()
+	h := p.tree.Height()
+	ss := p.tree.SectionSlots()
+	if p.n < ss || float64(p.tree.Count(sec)) >= th.Lower(0, h)*float64(ss) {
+		return
+	}
+	// Climb to the smallest window whose density is back above its lower
+	// bound, then even the gaps out across it.
+	for level := 1; level <= h; level++ {
+		span := 1 << level
+		lo := sec &^ (span - 1)
+		hi := lo + span - 1
+		if p.tree.Density(lo, hi) >= th.Lower(level, h) {
+			p.redistribute(lo, hi)
+			return
+		}
+	}
+	p.redistribute(0, p.tree.Sections()-1)
+}
+
+// Contains reports whether key is present.
+func (p *Array) Contains(key uint64) bool {
+	sec := p.scanStart(p.findSection(key))
+	ss := p.tree.SectionSlots()
+	// The key can only be in this section, but equal keys may also have
+	// spilled into following sections after rebalances; scan forward
+	// while section minimums do not exceed key.
+	for s := sec; s < p.tree.Sections(); s++ {
+		for i := s * ss; i < (s+1)*ss; i++ {
+			v := p.slot(i)
+			if v == Empty {
+				continue
+			}
+			if v == key {
+				return true
+			}
+			if v > key {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// ForEach visits keys in sorted order until fn returns false.
+func (p *Array) ForEach(fn func(uint64) bool) {
+	for i := 0; i < p.cap; i++ {
+		if v := p.slot(i); v != Empty {
+			if !fn(v) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns all keys in order (testing helper).
+func (p *Array) Keys() []uint64 {
+	out := make([]uint64, 0, p.n)
+	p.ForEach(func(k uint64) bool { out = append(out, k); return true })
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package pma
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	p := newTestArray(t, 64, 16, false)
+	for _, k := range []uint64{10, 20, 30, 20} {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Delete(20) {
+		t.Fatal("Delete(20) = false")
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if !p.Contains(20) {
+		t.Error("second copy of 20 should remain")
+	}
+	if !p.Delete(20) || p.Contains(20) {
+		t.Error("second delete failed")
+	}
+	if p.Delete(99) {
+		t.Error("deleted a missing key")
+	}
+}
+
+func TestDeletePreservesOrder(t *testing.T) {
+	p := newTestArray(t, 64, 16, false)
+	rng := rand.New(rand.NewSource(7))
+	live := map[uint64]int{}
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(300))
+		if rng.Intn(3) == 0 && live[k] > 0 {
+			if !p.Delete(k) {
+				t.Fatalf("Delete(%d) failed with %d live", k, live[k])
+			}
+			live[k]--
+		} else {
+			if err := p.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+			live[k]++
+		}
+	}
+	keys := p.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatal("unsorted after deletions")
+		}
+	}
+	want := 0
+	for _, n := range live {
+		want += n
+	}
+	if len(keys) != want {
+		t.Errorf("Len = %d, want %d", len(keys), want)
+	}
+}
+
+func TestDeleteTriggersShrinkRebalance(t *testing.T) {
+	p := newTestArray(t, 64, 8, false)
+	for i := 0; i < 60; i++ {
+		if err := p.Insert(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 55; i++ {
+		if !p.Delete(uint64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	got := p.Keys()
+	want := []uint64{55, 56, 57, 58, 59}
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v", got)
+		}
+	}
+}
+
+// Property: interleaved inserts and deletes always leave a sorted array
+// matching the reference multiset.
+func TestPropertyInsertDeleteMatchesModel(t *testing.T) {
+	type op struct {
+		Del bool
+		K   uint16
+	}
+	f := func(ops []op) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		p := newTestArray(t, 32, 8, false)
+		model := map[uint64]int{}
+		for _, o := range ops {
+			k := uint64(o.K % 500)
+			if o.Del {
+				wantOK := model[k] > 0
+				if p.Delete(k) != wantOK {
+					return false
+				}
+				if wantOK {
+					model[k]--
+				}
+			} else {
+				if p.Insert(k) != nil {
+					return false
+				}
+				model[k]++
+			}
+		}
+		var want []uint64
+		for k, n := range model {
+			for i := 0; i < n; i++ {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := p.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package pma implements the Packed Memory Array machinery that DGAP's
+// mutable CSR is built on: density thresholds, the binary PMA tree that
+// tracks per-section occupancy and selects rebalancing windows, and a
+// standalone sorted packed-memory array stored on emulated persistent
+// memory (used directly by the Figure 1 motivation experiments and as a
+// reference implementation for property tests).
+//
+// A PMA is a sorted array with gaps. Each leaf section keeps its density
+// (occupied slots / capacity) between level-dependent thresholds; an
+// insertion that pushes a section past its upper threshold triggers a
+// rebalance of the smallest enclosing window whose density is back within
+// bounds, redistributing gaps evenly. If even the root window is too
+// dense the array is resized. Amortized insertion cost is O(log^2 N)
+// element moves (O(log N) for the adaptive variant).
+package pma

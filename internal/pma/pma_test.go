@@ -1,0 +1,324 @@
+package pma
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dgap/internal/pmem"
+)
+
+func TestThresholdInterpolation(t *testing.T) {
+	th := DefaultThresholds()
+	h := 8
+	if got := th.Upper(0, h); got != th.UpperLeaf {
+		t.Errorf("leaf upper = %v", got)
+	}
+	if got := th.Upper(h, h); got != th.UpperRoot {
+		t.Errorf("root upper = %v", got)
+	}
+	prev := th.Upper(0, h)
+	for l := 1; l <= h; l++ {
+		cur := th.Upper(l, h)
+		if cur > prev {
+			t.Errorf("upper threshold not monotone at level %d: %v > %v", l, cur, prev)
+		}
+		prev = cur
+	}
+	prev = th.Lower(0, h)
+	for l := 1; l <= h; l++ {
+		cur := th.Lower(l, h)
+		if cur < prev {
+			t.Errorf("lower threshold not monotone at level %d", l)
+		}
+		prev = cur
+	}
+	if got := th.Upper(0, 0); got != th.UpperRoot {
+		t.Errorf("degenerate height upper = %v", got)
+	}
+}
+
+func TestTreeRoundsToPowerOfTwo(t *testing.T) {
+	tr := NewTree(5, 16, DefaultThresholds())
+	if tr.Sections() != 8 {
+		t.Errorf("Sections = %d, want 8", tr.Sections())
+	}
+	if tr.Height() != 3 {
+		t.Errorf("Height = %d, want 3", tr.Height())
+	}
+}
+
+func TestTreeCountsAndDensity(t *testing.T) {
+	tr := NewTree(4, 10, DefaultThresholds())
+	tr.Add(0, 5)
+	tr.Add(1, 10)
+	if tr.Total() != 15 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+	if got := tr.Density(0, 1); got != 0.75 {
+		t.Errorf("Density(0,1) = %v", got)
+	}
+	tr.Set(1, 2)
+	if tr.Total() != 7 {
+		t.Errorf("Total after Set = %d", tr.Total())
+	}
+}
+
+func TestTreeFindWindowClimbs(t *testing.T) {
+	tr := NewTree(4, 10, DefaultThresholds())
+	// Fill section 0 to 100%, its buddy to 50%: level-1 window density
+	// (10+5)/20 = 0.75 <= upper(1, 2)=0.825 -> window is sections 0-1.
+	tr.Add(0, 10)
+	tr.Add(1, 5)
+	lo, hi, ok := tr.FindWindow(0, 0)
+	if !ok || lo != 0 || hi != 1 {
+		t.Errorf("FindWindow = [%d,%d] ok=%v, want [0,1] true", lo, hi, ok)
+	}
+	// Saturate everything: no window fits, resize needed.
+	tr.Add(1, 5)
+	tr.Add(2, 10)
+	tr.Add(3, 10)
+	if _, _, ok := tr.FindWindow(0, 0); ok {
+		t.Error("expected resize signal on full array")
+	}
+}
+
+func TestTreeExtraCountsTowardDensity(t *testing.T) {
+	tr := NewTree(4, 10, DefaultThresholds())
+	tr.Add(0, 6)
+	// Without extra, the leaf itself is fine.
+	lo, hi, ok := tr.FindWindow(0, 0)
+	if !ok || lo != 0 || hi != 0 {
+		t.Errorf("no-extra window = [%d,%d]", lo, hi)
+	}
+	// 5 pending edge-log entries push the leaf past 90%.
+	lo, hi, ok = tr.FindWindow(0, 5)
+	if !ok || lo != 0 || hi != 1 {
+		t.Errorf("extra window = [%d,%d] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestTreeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative count")
+		}
+	}()
+	tr := NewTree(2, 10, DefaultThresholds())
+	tr.Add(0, -1)
+}
+
+func newTestArray(t *testing.T, capSlots, sectionSlots int, useTx bool) *Array {
+	t.Helper()
+	a := pmem.New(64 << 20)
+	p, err := NewArray(a, capSlots, sectionSlots, DefaultThresholds(), useTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArrayInsertSortedOrder(t *testing.T) {
+	p := newTestArray(t, 64, 16, false)
+	in := []uint64{50, 10, 30, 20, 40, 25, 35, 5}
+	for _, k := range in {
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Keys()
+	want := append([]uint64(nil), in...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("keys[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestArrayDuplicates(t *testing.T) {
+	p := newTestArray(t, 64, 16, false)
+	for i := 0; i < 10; i++ {
+		if err := p.Insert(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 10 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	for _, k := range p.Keys() {
+		if k != 7 {
+			t.Errorf("unexpected key %d", k)
+		}
+	}
+}
+
+func TestArrayResize(t *testing.T) {
+	p := newTestArray(t, 32, 16, false)
+	for i := 0; i < 200; i++ {
+		if err := p.Insert(uint64(i * 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Capacity() <= 32 {
+		t.Errorf("capacity did not grow: %d", p.Capacity())
+	}
+	keys := p.Keys()
+	if len(keys) != 200 {
+		t.Fatalf("lost keys: %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("unsorted after resize at %d", i)
+		}
+	}
+}
+
+func TestArrayContains(t *testing.T) {
+	p := newTestArray(t, 128, 16, false)
+	rng := rand.New(rand.NewSource(1))
+	present := map[uint64]bool{}
+	for i := 0; i < 300; i++ {
+		k := uint64(rng.Intn(10_000))
+		present[k] = true
+		if err := p.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := range present {
+		if !p.Contains(k) {
+			t.Errorf("Contains(%d) = false", k)
+		}
+	}
+	misses := 0
+	for k := uint64(0); k < 10_000; k++ {
+		if !present[k] && p.Contains(k) {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d false positives", misses)
+	}
+}
+
+func TestArrayTxModeEquivalent(t *testing.T) {
+	plain := newTestArray(t, 64, 16, false)
+	txed := newTestArray(t, 64, 16, true)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(5000))
+		if err := plain.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := txed.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := plain.Keys(), txed.Keys()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tx mode diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestArrayTxCostsMore(t *testing.T) {
+	aP := pmem.New(64 << 20)
+	aT := pmem.New(64 << 20)
+	plain, _ := NewArray(aP, 64, 16, DefaultThresholds(), false)
+	txed, _ := NewArray(aT, 64, 16, DefaultThresholds(), true)
+	aP.ResetStats()
+	aT.ResetStats()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		k := uint64(rng.Intn(5000))
+		_ = plain.Insert(k)
+		_ = txed.Insert(k)
+	}
+	if aT.Stats().MediaBytes <= aP.Stats().MediaBytes {
+		t.Errorf("tx mode should write more media: tx=%d plain=%d",
+			aT.Stats().MediaBytes, aP.Stats().MediaBytes)
+	}
+	if aT.Stats().TxCount == 0 {
+		t.Error("tx mode ran no transactions")
+	}
+}
+
+func TestArrayRejectsSentinel(t *testing.T) {
+	p := newTestArray(t, 32, 16, false)
+	if err := p.Insert(Empty); err == nil {
+		t.Error("expected error inserting sentinel")
+	}
+}
+
+// Property: any insertion sequence yields a sorted array containing
+// exactly the inserted multiset.
+func TestPropertyArraySortedMultiset(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		p := newTestArray(t, 32, 8, false)
+		want := make([]uint64, 0, len(raw))
+		for _, r := range raw {
+			k := uint64(r)
+			if p.Insert(k) != nil {
+				return false
+			}
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := p.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after every insert, all leaf densities respect the tree's
+// bookkeeping (counts match actual occupancy).
+func TestPropertyTreeCountsMatchOccupancy(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		p := newTestArray(t, 32, 8, false)
+		for _, r := range raw {
+			if p.Insert(uint64(r)) != nil {
+				return false
+			}
+		}
+		ss := p.tree.SectionSlots()
+		for s := 0; s < p.tree.Sections(); s++ {
+			var c int64
+			for i := s * ss; i < (s+1)*ss; i++ {
+				if p.slot(i) != Empty {
+					c++
+				}
+			}
+			if c != p.tree.Count(s) {
+				return false
+			}
+		}
+		return int(p.tree.Total()) == p.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package pma
+
+// Thresholds holds the PMA density bounds, interpolated linearly between
+// the leaf level and the root level as in Bender & Hu's adaptive PMA. A
+// leaf may run quite full (gaps are cheap to recreate locally) while the
+// root must stay sparser so that rebalances stay rare and local.
+type Thresholds struct {
+	UpperLeaf float64 // maximum density of a single section
+	UpperRoot float64 // maximum density of the whole array before resize
+	LowerLeaf float64 // minimum density of a single section
+	LowerRoot float64 // minimum density of the whole array before shrink
+}
+
+// DefaultThresholds are the bounds used by DGAP's edge array.
+func DefaultThresholds() Thresholds {
+	return Thresholds{UpperLeaf: 0.90, UpperRoot: 0.75, LowerLeaf: 0.10, LowerRoot: 0.30}
+}
+
+// Upper returns the maximum allowed density for a window at the given
+// level (0 = leaf) in a tree of the given height.
+func (t Thresholds) Upper(level, height int) float64 {
+	if height <= 0 {
+		return t.UpperRoot
+	}
+	frac := float64(level) / float64(height)
+	return t.UpperLeaf - (t.UpperLeaf-t.UpperRoot)*frac
+}
+
+// Lower returns the minimum allowed density for a window at the given
+// level (0 = leaf).
+func (t Thresholds) Lower(level, height int) float64 {
+	if height <= 0 {
+		return t.LowerRoot
+	}
+	frac := float64(level) / float64(height)
+	return t.LowerLeaf + (t.LowerRoot-t.LowerLeaf)*frac
+}

@@ -1,0 +1,115 @@
+package pma
+
+import "fmt"
+
+// Tree is the binary PMA tree: it tracks the occupancy of each leaf
+// section and answers "which window must be rebalanced after this section
+// overflowed?". The tree lives in DRAM (DGAP deliberately keeps it off
+// persistent memory because its counters are updated on every insert);
+// after a crash it is rebuilt by scanning the edge array.
+//
+// Tree is not internally synchronized: DGAP serializes updates with its
+// per-section locks, and a full rebuild happens only under the global
+// resize lock.
+type Tree struct {
+	sectionSlots int
+	nSec         int // power of two
+	height       int // log2(nSec)
+	counts       []int64
+	total        int64
+	th           Thresholds
+}
+
+// NewTree creates a tree over nSec sections (rounded up to a power of
+// two) of sectionSlots slots each.
+func NewTree(nSec, sectionSlots int, th Thresholds) *Tree {
+	if nSec < 1 {
+		nSec = 1
+	}
+	p := 1
+	h := 0
+	for p < nSec {
+		p <<= 1
+		h++
+	}
+	return &Tree{
+		sectionSlots: sectionSlots,
+		nSec:         p,
+		height:       h,
+		counts:       make([]int64, p),
+		th:           th,
+	}
+}
+
+// Sections returns the number of leaf sections.
+func (t *Tree) Sections() int { return t.nSec }
+
+// SectionSlots returns the capacity of one section in slots.
+func (t *Tree) SectionSlots() int { return t.sectionSlots }
+
+// Height returns the tree height (0 when there is a single section).
+func (t *Tree) Height() int { return t.height }
+
+// Total returns the number of occupied slots across the array.
+func (t *Tree) Total() int64 { return t.total }
+
+// Count returns the occupancy of one section.
+func (t *Tree) Count(sec int) int64 { return t.counts[sec] }
+
+// Add adjusts the occupancy of a section by delta (positive on insert,
+// negative when a merge or rebalance frees slots).
+func (t *Tree) Add(sec int, delta int64) {
+	t.counts[sec] += delta
+	t.total += delta
+	if t.counts[sec] < 0 {
+		panic(fmt.Sprintf("pma: section %d count went negative", sec))
+	}
+}
+
+// Set overwrites the occupancy of a section (used by rebalance and
+// recovery, which recompute counts from scratch).
+func (t *Tree) Set(sec int, count int64) {
+	t.total += count - t.counts[sec]
+	t.counts[sec] = count
+}
+
+// Density returns the density of the window [lo, hi] of sections.
+func (t *Tree) Density(lo, hi int) float64 {
+	var c int64
+	for s := lo; s <= hi; s++ {
+		c += t.counts[s]
+	}
+	return float64(c) / float64((hi-lo+1)*t.sectionSlots)
+}
+
+// OverUpper reports whether a single section exceeds its leaf threshold.
+func (t *Tree) OverUpper(sec int) bool {
+	return float64(t.counts[sec]) > t.th.Upper(0, t.height)*float64(t.sectionSlots)
+}
+
+// FindWindow walks up from the given section looking for the smallest
+// aligned window whose density, after accepting extra pending elements,
+// is within the level threshold. It returns the window in sections and
+// ok=false when even the root is too dense (the array must be resized).
+// extra is the number of elements waiting to enter the window (DGAP
+// counts per-section edge-log entries toward density, per the paper).
+func (t *Tree) FindWindow(sec int, extra int64) (lo, hi int, ok bool) {
+	lo, hi = sec, sec
+	for level := 0; level <= t.height; level++ {
+		span := 1 << level
+		lo = sec &^ (span - 1)
+		hi = lo + span - 1
+		var c int64
+		for s := lo; s <= hi; s++ {
+			c += t.counts[s]
+		}
+		density := float64(c+extra) / float64(span*t.sectionSlots)
+		if density <= t.th.Upper(level, t.height) {
+			return lo, hi, true
+		}
+	}
+	return 0, t.nSec - 1, false
+}
+
+// Thresholds returns the density bounds the tree enforces.
+func (t *Tree) Thresholds() Thresholds { return t.th }

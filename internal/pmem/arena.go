@@ -1,0 +1,433 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Off is a byte offset into an Arena's address space. Persistent data
+// structures store Offs, never Go pointers, so the garbage collector never
+// sees (and never moves or frees) anything reachable only from "persistent
+// memory" — the same discipline PMDK imposes with its PMEMoid handles.
+type Off = uint64
+
+const (
+	// CacheLineSize is the granularity of dirtiness tracking and flushing.
+	CacheLineSize = 64
+	// XPBufferSize is the Optane internal write-combining buffer size.
+	// Sequential flushes within one XPBuffer block receive a latency
+	// discount; flushes that hop across blocks pay full media cost.
+	XPBufferSize = 256
+	// AtomicUnit is the largest store that persists atomically on PM.
+	AtomicUnit = 8
+	// InvalidOff marks an unset offset. Offset 0 is reserved for the
+	// superblock, so it is never handed out by Alloc.
+	InvalidOff Off = ^Off(0)
+)
+
+// Platform selects the persistence domain of the emulated device.
+type Platform int
+
+const (
+	// ADR: only flushed lines survive a crash (CPU caches are volatile).
+	ADR Platform = iota
+	// EADR: CPU caches are inside the power-fail protected domain, so
+	// every store is persistent the moment it completes and Flush is a
+	// no-op from a durability standpoint (it still updates the media
+	// image eagerly and costs nothing).
+	EADR
+)
+
+// SuperblockSize bytes at offset 0 are reserved for root metadata that
+// persistent systems must be able to find again after a crash.
+const SuperblockSize = 4096
+
+// Arena is one emulated persistent-memory device.
+//
+// Concurrency: distinct goroutines may concurrently access disjoint byte
+// ranges (the usage pattern of every system in this repository, which
+// partitions the arena into sections guarded by DRAM locks). Dirty-line
+// tracking and statistics use atomics, so overlapping flushes are safe;
+// overlapping unsynchronized stores are a data race exactly as they would
+// be on real hardware.
+type Arena struct {
+	buf   []byte // volatile view: what load/store sees
+	media []byte // persistent image: what survives a crash
+
+	dirty    []uint64 // bitmap, one bit per cache line
+	lastSeq  []uint32 // per-line sequence of the last flush (hot-line model)
+	flushSeq atomic.Uint64
+
+	lastLine atomic.Uint64 // last flushed line index + 1 (0 = none), for XPBuffer discount
+
+	// pendingNs accumulates the media cost of issued-but-undrained
+	// flushes; Fence pays it. This mirrors the hardware: CLWB is
+	// asynchronous, SFENCE blocks until the write-pending queue drains.
+	pendingNs atomic.Int64
+
+	allocMu sync.Mutex
+	next    Off // bump-allocator cursor
+
+	lat   LatencyModel
+	plat  Platform
+	stats Stats
+}
+
+// Option configures a new Arena.
+type Option func(*config)
+
+type config struct {
+	lat  LatencyModel
+	plat Platform
+}
+
+// WithLatency installs a latency model (see DefaultLatency).
+func WithLatency(m LatencyModel) Option { return func(c *config) { c.lat = m } }
+
+// WithPlatform selects ADR (default) or EADR persistence semantics.
+func WithPlatform(p Platform) Option { return func(c *config) { c.plat = p } }
+
+// New creates an Arena with the given capacity in bytes. Capacity is
+// rounded up to a whole number of cache lines. The first SuperblockSize
+// bytes are reserved for the superblock.
+func New(capacity int, opts ...Option) *Arena {
+	if capacity < SuperblockSize {
+		capacity = SuperblockSize
+	}
+	lines := (capacity + CacheLineSize - 1) / CacheLineSize
+	capacity = lines * CacheLineSize
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Arena{
+		buf:     make([]byte, capacity),
+		media:   make([]byte, capacity),
+		dirty:   make([]uint64, (lines+63)/64),
+		lastSeq: make([]uint32, lines),
+		next:    SuperblockSize,
+		lat:     c.lat,
+		plat:    c.plat,
+	}
+}
+
+// Size returns the arena capacity in bytes.
+func (a *Arena) Size() int { return len(a.buf) }
+
+// Remaining returns the number of unallocated bytes.
+func (a *Arena) Remaining() uint64 {
+	a.allocMu.Lock()
+	defer a.allocMu.Unlock()
+	return uint64(len(a.buf)) - a.next
+}
+
+// Platform reports the persistence domain the arena emulates.
+func (a *Arena) Platform() Platform { return a.plat }
+
+// Alloc reserves n bytes aligned to align (which must be a power of two,
+// at least 1) and returns the offset. Allocation is bump-only: persistent
+// allocators in this repository never free, matching the fixed
+// pre-allocated pools the DGAP paper uses. Alloc returns an error when the
+// arena is exhausted.
+func (a *Arena) Alloc(n uint64, align uint64) (Off, error) {
+	if align == 0 {
+		align = 1
+	}
+	a.allocMu.Lock()
+	defer a.allocMu.Unlock()
+	off := (a.next + align - 1) &^ (align - 1)
+	if off+n > uint64(len(a.buf)) {
+		return 0, fmt.Errorf("pmem: arena exhausted: want %d bytes at %d, capacity %d", n, off, len(a.buf))
+	}
+	a.next = off + n
+	a.stats.AllocBytes.Add(int64(n))
+	a.stats.AllocCalls.Add(1)
+	if a.lat.Enabled {
+		spin(a.lat.Alloc)
+	}
+	return off, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion; used at initialization
+// time where exhaustion is a programming error (capacity sizing bug).
+func (a *Arena) MustAlloc(n uint64, align uint64) Off {
+	off, err := a.Alloc(n, align)
+	if err != nil {
+		panic(err)
+	}
+	return off
+}
+
+func (a *Arena) check(off Off, n uint64) {
+	if off+n > uint64(len(a.buf)) || off+n < off {
+		panic(fmt.Sprintf("pmem: access out of range: [%d,%d) of %d", off, off+n, len(a.buf)))
+	}
+}
+
+func (a *Arena) markDirty(off Off, n uint64) {
+	first := off / CacheLineSize
+	last := (off + n - 1) / CacheLineSize
+	for l := first; l <= last; l++ {
+		w := l / 64
+		bit := uint64(1) << (l % 64)
+		for {
+			old := atomic.LoadUint64(&a.dirty[w])
+			if old&bit != 0 {
+				break
+			}
+			if atomic.CompareAndSwapUint64(&a.dirty[w], old, old|bit) {
+				break
+			}
+		}
+	}
+}
+
+// --- store operations (land in the volatile view) ---
+
+// WriteU32 stores a little-endian uint32 at off.
+func (a *Arena) WriteU32(off Off, v uint32) {
+	a.check(off, 4)
+	binary.LittleEndian.PutUint32(a.buf[off:], v)
+	a.markDirty(off, 4)
+	a.stats.LogicalBytes.Add(4)
+}
+
+// WriteU64 stores a little-endian uint64 at off.
+func (a *Arena) WriteU64(off Off, v uint64) {
+	a.check(off, 8)
+	binary.LittleEndian.PutUint64(a.buf[off:], v)
+	a.markDirty(off, 8)
+	a.stats.LogicalBytes.Add(8)
+}
+
+// WriteBytes copies p into the arena at off.
+func (a *Arena) WriteBytes(off Off, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	a.check(off, uint64(len(p)))
+	copy(a.buf[off:], p)
+	a.markDirty(off, uint64(len(p)))
+	a.stats.LogicalBytes.Add(int64(len(p)))
+}
+
+// CopyWithin copies n bytes from src to dst inside the arena (memmove
+// semantics: the ranges may overlap). It is the primitive used by PMA
+// shifts and rebalancing.
+func (a *Arena) CopyWithin(dst, src Off, n uint64) {
+	if n == 0 {
+		return
+	}
+	a.check(dst, n)
+	a.check(src, n)
+	copy(a.buf[dst:dst+n], a.buf[src:src+n])
+	a.markDirty(dst, n)
+	a.stats.LogicalBytes.Add(int64(n))
+}
+
+// --- load operations ---
+
+// ReadU32 loads a little-endian uint32 from off.
+func (a *Arena) ReadU32(off Off) uint32 {
+	a.check(off, 4)
+	return binary.LittleEndian.Uint32(a.buf[off:])
+}
+
+// ReadU64 loads a little-endian uint64 from off.
+func (a *Arena) ReadU64(off Off) uint64 {
+	a.check(off, 8)
+	return binary.LittleEndian.Uint64(a.buf[off:])
+}
+
+// ReadBytes copies n bytes starting at off into a fresh slice.
+func (a *Arena) ReadBytes(off Off, n uint64) []byte {
+	a.check(off, n)
+	out := make([]byte, n)
+	copy(out, a.buf[off:off+n])
+	return out
+}
+
+// Slice returns a direct view of the volatile image. It is valid only for
+// reads, and only while the caller holds whatever lock protects the range;
+// it must not be retained across operations that may move data.
+func (a *Arena) Slice(off Off, n uint64) []byte {
+	a.check(off, n)
+	return a.buf[off : off+n : off+n]
+}
+
+// --- persistence operations ---
+
+// Flush persists the cache lines covering [off, off+n) to the media image
+// (CLWB/CLFLUSHOPT). Latency is charged per line, with an XPBuffer
+// write-combining discount for lines sequential to the previous flush and
+// a hot-line penalty for lines flushed again shortly after a prior flush.
+func (a *Arena) Flush(off Off, n uint64) {
+	if n == 0 {
+		return
+	}
+	a.check(off, n)
+	first := off / CacheLineSize
+	last := (off + n - 1) / CacheLineSize
+	for l := first; l <= last; l++ {
+		a.flushLine(l)
+	}
+	a.stats.FlushCalls.Add(1)
+}
+
+func (a *Arena) flushLine(l uint64) {
+	w := l / 64
+	bit := uint64(1) << (l % 64)
+	wasDirty := false
+	for {
+		old := atomic.LoadUint64(&a.dirty[w])
+		if old&bit == 0 {
+			break // clean line: CLWB of a clean line is ~free
+		}
+		if atomic.CompareAndSwapUint64(&a.dirty[w], old, old&^bit) {
+			wasDirty = true
+			break
+		}
+	}
+	if !wasDirty {
+		return
+	}
+	start := l * CacheLineSize
+	copy(a.media[start:start+CacheLineSize], a.buf[start:start+CacheLineSize])
+	a.stats.MediaBytes.Add(CacheLineSize)
+	a.stats.LinesFlushed.Add(1)
+
+	seq := a.flushSeq.Add(1)
+	prev := atomic.LoadUint32(&a.lastSeq[l])
+	atomic.StoreUint32(&a.lastSeq[l], uint32(seq))
+
+	if a.plat == EADR || !a.lat.Enabled {
+		if prev != 0 && uint64(prev)+a.lat.HotWindow >= seq {
+			a.stats.HotFlushes.Add(1)
+		}
+		return
+	}
+	cost := a.lat.FlushPerLine
+	// XPBuffer write combining: a line immediately following the
+	// previously flushed line inside the same 256 B block rides the same
+	// media write; a non-sequential line pays the buffer-miss penalty.
+	lastPlus1 := a.lastLine.Swap(l + 1)
+	if lastPlus1 == l && (l%(XPBufferSize/CacheLineSize)) != 0 {
+		cost = a.lat.FlushPerLine / 4
+	} else if lastPlus1 != l {
+		cost += a.lat.RandomAccess
+	}
+	// Hot-line (in-place update) penalty: flushing the same line again
+	// while the previous flush is still draining blocks the pipeline.
+	if prev != 0 && uint64(prev)+a.lat.HotWindow >= seq {
+		cost += a.lat.HotLinePenalty
+		a.stats.HotFlushes.Add(1)
+	}
+	// CLWB itself is asynchronous: the cost is queued and paid when a
+	// fence drains the write-pending queue.
+	a.pendingNs.Add(int64(cost))
+}
+
+// Fence orders preceding flushes (SFENCE). On return, every line flushed
+// before the fence is guaranteed to be on media; the accumulated drain
+// cost of those flushes is paid here.
+func (a *Arena) Fence() {
+	a.stats.Fences.Add(1)
+	if a.lat.Enabled && a.plat != EADR {
+		drain := a.pendingNs.Swap(0)
+		spin(time.Duration(drain) + a.lat.Fence)
+	}
+}
+
+// Persist is the common store-flush pattern: flush the lines covering the
+// range. Callers still issue Fence to order against subsequent stores.
+func (a *Arena) Persist(off Off, n uint64) {
+	a.Flush(off, n)
+}
+
+// PersistU64 writes an 8-byte value and immediately flushes and fences it;
+// 8-byte aligned stores persist atomically on PM, so this is the primitive
+// for commit flags and log heads.
+func (a *Arena) PersistU64(off Off, v uint64) {
+	a.WriteU64(off, v)
+	a.Flush(off, 8)
+	a.Fence()
+}
+
+// --- crash simulation ---
+
+// Crash simulates a power failure: the volatile view is discarded and a
+// new arena is built whose content is exactly the media image (plus, on
+// EADR platforms, every completed store). Allocator state is reset to the
+// high-water mark so recovery code re-derives structure from superblock
+// roots, exactly as a restart would.
+func (a *Arena) Crash() *Arena {
+	n := &Arena{
+		buf:     make([]byte, len(a.buf)),
+		media:   make([]byte, len(a.media)),
+		dirty:   make([]uint64, len(a.dirty)),
+		lastSeq: make([]uint32, len(a.lastSeq)),
+		lat:     a.lat,
+		plat:    a.plat,
+	}
+	src := a.media
+	if a.plat == EADR {
+		src = a.buf // caches are in the persistence domain
+	}
+	copy(n.buf, src)
+	copy(n.media, src)
+	a.allocMu.Lock()
+	n.next = a.next
+	a.allocMu.Unlock()
+	return n
+}
+
+// ChaosCrash is Crash with uncontrolled cache eviction: each dirty line
+// has each of its 8-byte words independently persisted with probability
+// 1/2, modelling the hardware's freedom to evict any cached line (at
+// AtomicUnit granularity) before the power fails. Recovery code must be
+// correct for every such subset.
+func (a *Arena) ChaosCrash(seed int64) *Arena {
+	rng := rand.New(rand.NewSource(seed))
+	n := a.Crash()
+	if a.plat == EADR {
+		return n
+	}
+	for li := range a.lastSeq {
+		w := li / 64
+		bit := uint64(1) << (uint(li) % 64)
+		if atomic.LoadUint64(&a.dirty[w])&bit == 0 {
+			continue
+		}
+		start := uint64(li) * CacheLineSize
+		for word := uint64(0); word < CacheLineSize; word += AtomicUnit {
+			if rng.Intn(2) == 0 {
+				copy(n.buf[start+word:start+word+AtomicUnit], a.buf[start+word:start+word+AtomicUnit])
+				copy(n.media[start+word:start+word+AtomicUnit], a.buf[start+word:start+word+AtomicUnit])
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines reports how many cache lines are dirty (unflushed). Useful in
+// tests asserting that a structure was fully persisted.
+func (a *Arena) DirtyLines() int {
+	total := 0
+	for i := range a.dirty {
+		w := atomic.LoadUint64(&a.dirty[i])
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena) Stats() StatsSnapshot { return a.stats.snapshot() }
+
+// ResetStats zeroes all counters (used between warm-up and timed phases).
+func (a *Arena) ResetStats() { a.stats.reset() }

@@ -1,0 +1,322 @@
+package pmem
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	a := New(1 << 20)
+	off1 := a.MustAlloc(10, 64)
+	if off1%64 != 0 {
+		t.Fatalf("offset %d not 64-aligned", off1)
+	}
+	if off1 < SuperblockSize {
+		t.Fatalf("allocation %d overlaps superblock", off1)
+	}
+	off2 := a.MustAlloc(1, 1)
+	if off2 < off1+10 {
+		t.Fatalf("overlapping allocations: %d after [%d,%d)", off2, off1, off1+10)
+	}
+	off3 := a.MustAlloc(8, 256)
+	if off3%256 != 0 {
+		t.Fatalf("offset %d not 256-aligned", off3)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(SuperblockSize + 128)
+	if _, err := a.Alloc(128, 1); err != nil {
+		t.Fatalf("first alloc should fit: %v", err)
+	}
+	if _, err := a.Alloc(1, 1); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 8)
+	a.WriteU32(off, 0xDEADBEEF)
+	a.WriteU64(off+8, 0x0123456789ABCDEF)
+	a.WriteBytes(off+16, []byte("hello pmem"))
+	if got := a.ReadU32(off); got != 0xDEADBEEF {
+		t.Errorf("ReadU32 = %#x", got)
+	}
+	if got := a.ReadU64(off + 8); got != 0x0123456789ABCDEF {
+		t.Errorf("ReadU64 = %#x", got)
+	}
+	if got := a.ReadBytes(off+16, 10); string(got) != "hello pmem" {
+		t.Errorf("ReadBytes = %q", got)
+	}
+}
+
+func TestCrashDropsUnflushedWrites(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU32(off, 111)
+	a.Flush(off, 4)
+	a.Fence()
+	a.WriteU32(off+4, 222) // never flushed
+
+	b := a.Crash()
+	if got := b.ReadU32(off); got != 111 {
+		t.Errorf("flushed value lost: got %d", got)
+	}
+	if got := b.ReadU32(off + 4); got != 0 {
+		t.Errorf("unflushed value survived crash: got %d", got)
+	}
+}
+
+func TestCrashKeepsWholeFlushedLine(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(128, 64)
+	for i := uint64(0); i < 16; i++ {
+		a.WriteU32(off+i*4, uint32(i+1))
+	}
+	a.Flush(off, 64)
+	a.Fence()
+	b := a.Crash()
+	for i := uint64(0); i < 16; i++ {
+		if got := b.ReadU32(off + i*4); got != uint32(i+1) {
+			t.Fatalf("slot %d: got %d", i, got)
+		}
+	}
+}
+
+func TestEADRCrashKeepsAllStores(t *testing.T) {
+	a := New(1<<16, WithPlatform(EADR))
+	off := a.MustAlloc(64, 64)
+	a.WriteU32(off, 7) // no flush: eADR caches are persistent
+	b := a.Crash()
+	if got := b.ReadU32(off); got != 7 {
+		t.Errorf("eADR store lost on crash: got %d", got)
+	}
+}
+
+func TestChaosCrashAtomicUnit(t *testing.T) {
+	// Each 8-byte word must be either fully old or fully new.
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU64(off, 0x1111111111111111)
+	a.Flush(off, 8)
+	a.Fence()
+	a.WriteU64(off, 0x2222222222222222) // dirty, not flushed
+	for seed := int64(0); seed < 20; seed++ {
+		b := a.ChaosCrash(seed)
+		got := b.ReadU64(off)
+		if got != 0x1111111111111111 && got != 0x2222222222222222 {
+			t.Fatalf("seed %d: torn 8-byte word %#x", seed, got)
+		}
+	}
+}
+
+func TestChaosCrashCoversBothOutcomes(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU64(off, 42) // dirty
+	sawOld, sawNew := false, false
+	for seed := int64(0); seed < 64 && !(sawOld && sawNew); seed++ {
+		b := a.ChaosCrash(seed)
+		switch b.ReadU64(off) {
+		case 0:
+			sawOld = true
+		case 42:
+			sawNew = true
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("chaos crash not exploring outcomes: old=%v new=%v", sawOld, sawNew)
+	}
+}
+
+func TestCopyWithinOverlap(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 8)
+	a.WriteBytes(off, []byte("abcdefgh"))
+	a.CopyWithin(off+2, off, 8) // overlapping shift right by 2
+	if got := string(a.ReadBytes(off, 10)); got != "ababcdefgh" {
+		t.Errorf("CopyWithin overlap = %q", got)
+	}
+}
+
+func TestWriteAmplificationAccounting(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(4096, 64)
+	// A 4-byte logical write forces a 64-byte media write: amplification 16.
+	a.WriteU32(off, 1)
+	a.Flush(off, 4)
+	a.Fence()
+	s := a.Stats()
+	if s.LogicalBytes != 4 {
+		t.Errorf("LogicalBytes = %d", s.LogicalBytes)
+	}
+	if s.MediaBytes != 64 {
+		t.Errorf("MediaBytes = %d", s.MediaBytes)
+	}
+	if wa := s.WriteAmplification(); wa != 16 {
+		t.Errorf("amplification = %v", wa)
+	}
+}
+
+func TestFlushCleanLineIsFree(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU32(off, 1)
+	a.Flush(off, 4)
+	before := a.Stats().MediaBytes
+	a.Flush(off, 4) // clean: no media traffic
+	if got := a.Stats().MediaBytes; got != before {
+		t.Errorf("clean-line flush wrote media: %d -> %d", before, got)
+	}
+}
+
+func TestHotFlushDetection(t *testing.T) {
+	a := New(1<<16, WithLatency(LatencyModel{HotWindow: 8}))
+	off := a.MustAlloc(64, 64)
+	for i := 0; i < 5; i++ {
+		a.WriteU32(off, uint32(i))
+		a.Flush(off, 4)
+	}
+	if hot := a.Stats().HotFlushes; hot != 4 {
+		t.Errorf("HotFlushes = %d, want 4", hot)
+	}
+}
+
+func TestPersistU64Atomic(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(8, 8)
+	a.PersistU64(off, 99)
+	b := a.Crash()
+	if got := b.ReadU64(off); got != 99 {
+		t.Errorf("PersistU64 not durable: got %d", got)
+	}
+}
+
+func TestConcurrentDisjointWrites(t *testing.T) {
+	a := New(1 << 20)
+	const workers = 8
+	const per = 1000
+	base := a.MustAlloc(workers*per*8, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				off := base + uint64(w*per+i)*8
+				a.WriteU64(off, uint64(w*per+i))
+				a.Flush(off, 8)
+			}
+			a.Fence()
+		}(w)
+	}
+	wg.Wait()
+	b := a.Crash()
+	for i := 0; i < workers*per; i++ {
+		if got := b.ReadU64(base + uint64(i)*8); got != uint64(i) {
+			t.Fatalf("slot %d lost: got %d", i, got)
+		}
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(256, 64)
+	a.WriteBytes(off, make([]byte, 200)) // 4 lines
+	if got := a.DirtyLines(); got != 4 {
+		t.Errorf("DirtyLines = %d, want 4", got)
+	}
+	a.Flush(off, 200)
+	if got := a.DirtyLines(); got != 0 {
+		t.Errorf("DirtyLines after flush = %d", got)
+	}
+}
+
+func TestSaveLoadImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.img")
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteBytes(off, []byte("durable"))
+	a.Flush(off, 7)
+	a.Fence()
+	a.WriteBytes(off+32, []byte("volatile")) // unflushed: must not be saved
+	if err := a.SaveImage(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b.ReadBytes(off, 7)); got != "durable" {
+		t.Errorf("loaded image: %q", got)
+	}
+	if got := b.ReadBytes(off+32, 8); !bytes.Equal(got, make([]byte, 8)) {
+		t.Errorf("unflushed data leaked into image: %q", got)
+	}
+	// Allocator high-water mark must survive so recovery does not hand
+	// out already-used space.
+	if _, err := b.Alloc(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	off2 := b.MustAlloc(8, 8)
+	if off2 <= off {
+		t.Errorf("allocator reset: new offset %d below old %d", off2, off)
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.img")
+	writeFile(t, path, []byte("not an image at all........."))
+	if _, err := LoadImage(path); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := osWriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any sequence of writes and flushes, a crash preserves
+// exactly the flushed prefix state — reading back from the crashed arena
+// equals reading from a model that only applies flushed writes.
+func TestPropertyFlushedWritesSurvive(t *testing.T) {
+	f := func(vals []uint32, flushMask []bool) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		a := New(1 << 16)
+		off := a.MustAlloc(64*CacheLineSize, CacheLineSize)
+		model := make(map[uint64]uint32)
+		for i, v := range vals {
+			// one value per cache line so flush decisions are independent
+			o := off + uint64(i)*CacheLineSize
+			a.WriteU32(o, v)
+			if i < len(flushMask) && flushMask[i] {
+				a.Flush(o, 4)
+				model[o] = v
+			}
+		}
+		a.Fence()
+		b := a.Crash()
+		for i := range vals {
+			o := off + uint64(i)*CacheLineSize
+			want := model[o] // zero when unflushed
+			if b.ReadU32(o) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+// Package pmem emulates byte-addressable persistent memory (Intel Optane
+// DCPMM in App Direct mode) for systems that would normally be built on
+// PMDK. No real PMEM hardware is available to this repository, so the
+// package provides a synthetic equivalent that exercises the same code
+// paths and cost structure:
+//
+//   - An Arena holds two images of the same address space: a volatile view
+//     (the CPU caches + ADR-protected buffers that programs read and write)
+//     and a media image (what survives power loss). Store operations land
+//     in the volatile view and mark 64-byte cache lines dirty; Flush copies
+//     dirty lines to the media image, and Fence orders flushes, mirroring
+//     CLWB/CLFLUSHOPT + SFENCE.
+//
+//   - A LatencyModel charges calibrated busy-wait delays for media writes,
+//     fences, repeated flushes of the same (hot) line, and grants a
+//     write-combining discount for sequential lines within one 256-byte
+//     XPBuffer block, reproducing the asymmetric and buffered behaviour of
+//     Optane media that the DGAP paper's Figure 1 motivates.
+//
+//   - Crash discards the volatile view, keeping only flushed lines —
+//     exactly ADR semantics, where CPU caches are lost on power failure.
+//     ChaosCrash additionally persists a random subset of dirty lines at
+//     8-byte granularity, modelling uncontrolled cache eviction, so that
+//     recovery code can be tested against torn writes.
+//
+//   - Tx implements a PMDK-style undo-journal transaction, including the
+//     journal-allocation and ordering overheads that make such
+//     transactions expensive on PM; it serves as the comparison baseline
+//     for DGAP's lighter per-thread undo log.
+//
+// Statistics (logical bytes written, media bytes written, flushes, fences,
+// hot flushes) feed the write-amplification and component-ablation
+// experiments.
+package pmem

@@ -1,0 +1,45 @@
+package pmem_test
+
+import (
+	"fmt"
+
+	"dgap/internal/pmem"
+)
+
+// The canonical persistent-write pattern: store, flush, fence. Only what
+// was flushed before a crash survives it.
+func Example() {
+	a := pmem.New(1 << 20)
+	off := a.MustAlloc(64, 64)
+
+	a.WriteU64(off, 42)
+	a.Flush(off, 8)
+	a.Fence()
+	a.WriteU64(off+8, 99) // never flushed
+
+	recovered := a.Crash()
+	fmt.Println(recovered.ReadU64(off), recovered.ReadU64(off+8))
+	// Output: 42 0
+}
+
+// Transactions roll partial updates back after a crash.
+func Example_transaction() {
+	a := pmem.New(1 << 20)
+	off := a.MustAlloc(16, 64)
+	a.WriteU64(off, 1)
+	a.WriteU64(off+8, 2)
+	a.Flush(off, 16)
+	a.Fence()
+
+	tx, _ := pmem.Begin(a, 256)
+	_ = tx.Add(off, 16)
+	a.WriteU64(off, 10) // both fields must change together
+	a.WriteU64(off+8, 20)
+	a.Flush(off, 8) // ...but only one was flushed before the crash
+	a.Fence()
+
+	recovered := a.Crash()
+	pmem.RecoverTx(recovered)
+	fmt.Println(recovered.ReadU64(off), recovered.ReadU64(off+8))
+	// Output: 1 2
+}

@@ -1,0 +1,65 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Image persistence: the media image can be saved to and restored from a
+// regular file, giving the emulated device durability across process
+// restarts (the role the DAX-mounted pool file plays for PMDK).
+
+const imageMagic = 0x50474147 // "GAPP"
+
+// SaveImage writes the media image (the persistent state only — the
+// volatile view is deliberately not saved, matching power-loss semantics)
+// to path.
+func (a *Arena) SaveImage(path string) error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr, imageMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(a.plat))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(a.media)))
+	a.allocMu.Lock()
+	binary.LittleEndian.PutUint64(hdr[16:], a.next)
+	a.allocMu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := f.Write(a.media); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadImage restores an arena from a file produced by SaveImage. The
+// returned arena behaves exactly like one returned by Crash: only
+// persisted state is present.
+func LoadImage(path string, opts ...Option) (*Arena, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 24 {
+		return nil, fmt.Errorf("pmem: image %s truncated", path)
+	}
+	if binary.LittleEndian.Uint32(data) != imageMagic {
+		return nil, fmt.Errorf("pmem: image %s has bad magic", path)
+	}
+	plat := Platform(binary.LittleEndian.Uint32(data[4:]))
+	size := binary.LittleEndian.Uint64(data[8:])
+	next := binary.LittleEndian.Uint64(data[16:])
+	if uint64(len(data)-24) != size {
+		return nil, fmt.Errorf("pmem: image %s size mismatch: header %d, payload %d", path, size, len(data)-24)
+	}
+	a := New(int(size), append(opts, WithPlatform(plat))...)
+	copy(a.buf, data[24:])
+	copy(a.media, data[24:])
+	a.next = next
+	return a, nil
+}

@@ -1,0 +1,67 @@
+package pmem
+
+import "time"
+
+// LatencyModel describes the cost of persistence operations on the
+// emulated device. Costs are charged as busy-wait delays so that they
+// compose naturally with real computation time in wall-clock benchmarks.
+// The defaults are derived from published Optane DCPMM measurements
+// (Izraelevitz et al. 2019; Yang et al., FAST'20) scaled to the
+// DRAM-relative ratios the DGAP paper quotes: persistent writes ~7-8x
+// DRAM, fences tens of nanoseconds, and repeated flushes of one line
+// blocking on the previous drain.
+type LatencyModel struct {
+	// Enabled turns latency injection on. When false the arena still
+	// tracks dirtiness, media content and statistics, but operations run
+	// at DRAM speed (the mode unit tests use).
+	Enabled bool
+	// FlushPerLine is the media-write cost of flushing one dirty 64 B
+	// cache line.
+	FlushPerLine time.Duration
+	// Fence is the cost of SFENCE draining outstanding flushes.
+	Fence time.Duration
+	// HotLinePenalty is added when a line is flushed again within
+	// HotWindow flushes of its previous flush (in-place update penalty:
+	// the new flush blocks on the previous one and on media wear
+	// levelling).
+	HotLinePenalty time.Duration
+	// HotWindow is the flush-sequence distance within which a re-flush
+	// counts as hot.
+	HotWindow uint64
+	// RandomAccess is added when a flushed line is not sequential with
+	// the previously flushed one (an XPBuffer miss: small random writes
+	// cannot ride the 256 B write-combining buffer).
+	RandomAccess time.Duration
+	// Alloc is the cost of a persistent allocation (PMDK's allocator is a
+	// significant overhead for transaction journals).
+	Alloc time.Duration
+}
+
+// DefaultLatency returns the calibrated model used by the benchmark
+// harness.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		Enabled:        true,
+		FlushPerLine:   150 * time.Nanosecond,
+		Fence:          30 * time.Nanosecond,
+		HotLinePenalty: 1400 * time.Nanosecond,
+		HotWindow:      8,
+		RandomAccess:   100 * time.Nanosecond,
+		Alloc:          400 * time.Nanosecond,
+	}
+}
+
+// NoLatency returns a disabled model (DRAM speed); this is also the zero
+// value, provided for readability.
+func NoLatency() LatencyModel { return LatencyModel{} }
+
+// spin busy-waits for d. time.Sleep cannot express sub-microsecond waits,
+// and yielding would distort single-thread benchmarks, so we burn cycles.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}

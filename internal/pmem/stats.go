@@ -1,0 +1,86 @@
+package pmem
+
+import "sync/atomic"
+
+// Stats holds the arena's operation counters. All fields are updated with
+// atomics so concurrent writers do not contend on a lock.
+type Stats struct {
+	LogicalBytes atomic.Int64 // bytes the application asked to store
+	MediaBytes   atomic.Int64 // bytes actually written to media (lines * 64)
+	LinesFlushed atomic.Int64 // dirty cache lines written back
+	FlushCalls   atomic.Int64 // Flush invocations
+	Fences       atomic.Int64 // Fence invocations
+	HotFlushes   atomic.Int64 // flushes that hit the hot-line penalty
+	AllocBytes   atomic.Int64 // bytes handed out by Alloc
+	AllocCalls   atomic.Int64
+	TxCount      atomic.Int64 // transactions begun
+	TxJournal    atomic.Int64 // bytes journaled by transactions
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	LogicalBytes int64
+	MediaBytes   int64
+	LinesFlushed int64
+	FlushCalls   int64
+	Fences       int64
+	HotFlushes   int64
+	AllocBytes   int64
+	AllocCalls   int64
+	TxCount      int64
+	TxJournal    int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		LogicalBytes: s.LogicalBytes.Load(),
+		MediaBytes:   s.MediaBytes.Load(),
+		LinesFlushed: s.LinesFlushed.Load(),
+		FlushCalls:   s.FlushCalls.Load(),
+		Fences:       s.Fences.Load(),
+		HotFlushes:   s.HotFlushes.Load(),
+		AllocBytes:   s.AllocBytes.Load(),
+		AllocCalls:   s.AllocCalls.Load(),
+		TxCount:      s.TxCount.Load(),
+		TxJournal:    s.TxJournal.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.LogicalBytes.Store(0)
+	s.MediaBytes.Store(0)
+	s.LinesFlushed.Store(0)
+	s.FlushCalls.Store(0)
+	s.Fences.Store(0)
+	s.HotFlushes.Store(0)
+	s.AllocBytes.Store(0)
+	s.AllocCalls.Store(0)
+	s.TxCount.Store(0)
+	s.TxJournal.Store(0)
+}
+
+// WriteAmplification is the ratio of media bytes to logical bytes; the
+// quantity Figure 1(a) of the DGAP paper reports. It returns 0 when no
+// logical writes happened.
+func (s StatsSnapshot) WriteAmplification() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(s.MediaBytes) / float64(s.LogicalBytes)
+}
+
+// Sub returns s - prev field-by-field; useful for measuring one phase.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		LogicalBytes: s.LogicalBytes - prev.LogicalBytes,
+		MediaBytes:   s.MediaBytes - prev.MediaBytes,
+		LinesFlushed: s.LinesFlushed - prev.LinesFlushed,
+		FlushCalls:   s.FlushCalls - prev.FlushCalls,
+		Fences:       s.Fences - prev.Fences,
+		HotFlushes:   s.HotFlushes - prev.HotFlushes,
+		AllocBytes:   s.AllocBytes - prev.AllocBytes,
+		AllocCalls:   s.AllocCalls - prev.AllocCalls,
+		TxCount:      s.TxCount - prev.TxCount,
+		TxJournal:    s.TxJournal - prev.TxJournal,
+	}
+}

@@ -1,0 +1,150 @@
+package pmem
+
+import (
+	"os"
+	"testing"
+)
+
+func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+func TestTxCommit(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU64(off, 1)
+	a.Flush(off, 8)
+	a.Fence()
+
+	tx, err := Begin(a, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(off, 8); err != nil {
+		t.Fatal(err)
+	}
+	a.WriteU64(off, 2)
+	tx.Commit()
+
+	b := a.Crash()
+	if got := b.ReadU64(off); got != 2 {
+		t.Errorf("committed value = %d, want 2", got)
+	}
+}
+
+func TestTxAbortRollsBack(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU64(off, 1)
+	a.Flush(off, 8)
+	a.Fence()
+
+	tx, err := Begin(a, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(off, 8); err != nil {
+		t.Fatal(err)
+	}
+	a.WriteU64(off, 2)
+	tx.Abort()
+	if got := a.ReadU64(off); got != 1 {
+		t.Errorf("after abort = %d, want 1", got)
+	}
+}
+
+func TestTxCrashMidTransactionRecovers(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(128, 64)
+	for i := uint64(0); i < 2; i++ {
+		a.WriteU64(off+i*64, 10+i)
+		a.Flush(off+i*64, 8)
+	}
+	a.Fence()
+
+	tx, err := Begin(a, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(off, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(off+64, 8); err != nil {
+		t.Fatal(err)
+	}
+	a.WriteU64(off, 99)
+	a.WriteU64(off+64, 98)
+	a.Flush(off, 8) // partially persisted new data, then crash before commit
+	a.Fence()
+
+	b := a.Crash()
+	if !RecoverTx(b) {
+		t.Fatal("RecoverTx found no active journal")
+	}
+	if got := b.ReadU64(off); got != 10 {
+		t.Errorf("range 0 after recovery = %d, want 10", got)
+	}
+	if got := b.ReadU64(off + 64); got != 11 {
+		t.Errorf("range 1 after recovery = %d, want 11", got)
+	}
+	// Second recovery is a no-op.
+	if RecoverTx(b) {
+		t.Error("journal not retired after recovery")
+	}
+}
+
+func TestTxCrashAfterCommitIsDurable(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(64, 64)
+	a.WriteU64(off, 1)
+	a.Flush(off, 8)
+	a.Fence()
+
+	tx, _ := Begin(a, 256)
+	if err := tx.Add(off, 8); err != nil {
+		t.Fatal(err)
+	}
+	a.WriteU64(off, 5)
+	tx.Commit()
+
+	b := a.Crash()
+	if RecoverTx(b) {
+		t.Error("recovery rolled back a committed transaction")
+	}
+	if got := b.ReadU64(off); got != 5 {
+		t.Errorf("value = %d, want 5", got)
+	}
+}
+
+func TestTxJournalFull(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(4096, 64)
+	tx, _ := Begin(a, 64)
+	if err := tx.Add(off, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(off+64, 1); err == nil {
+		t.Fatal("expected journal-full error")
+	}
+	tx.Commit()
+}
+
+func TestTxAccountsJournalBytes(t *testing.T) {
+	a := New(1 << 16)
+	off := a.MustAlloc(256, 64)
+	tx, _ := Begin(a, 256)
+	_ = tx.Add(off, 100)
+	tx.Commit()
+	s := a.Stats()
+	if s.TxCount != 1 {
+		t.Errorf("TxCount = %d", s.TxCount)
+	}
+	if s.TxJournal < 100 {
+		t.Errorf("TxJournal = %d, want >= 100", s.TxJournal)
+	}
+}
+
+func TestRecoverTxNoJournal(t *testing.T) {
+	a := New(1 << 16)
+	if RecoverTx(a) {
+		t.Error("recovered nonexistent transaction")
+	}
+}

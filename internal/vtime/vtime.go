@@ -1,0 +1,233 @@
+// Package vtime provides a virtual-time execution model for the
+// scalability experiments. The paper's testbed has 18 physical cores;
+// this environment has one, so wall-clock multi-thread speedups are
+// physically impossible here. Instead, logical threads advance private
+// virtual clocks: each operation executes serially (so data structures
+// stay correct and measurable) while its measured duration is charged to
+// the logical thread that issued it, and lock acquisitions serialize in
+// virtual time. The simulated elapsed time of the parallel phase is the
+// maximum thread clock, which reproduces the scaling *shape* —
+// contention, skewed partitions, serial sections — without parallel
+// hardware.
+//
+// Two models are provided:
+//
+//   - Runner: a discrete-event driver for update workloads (writer
+//     threads inserting edges under per-resource locks).
+//
+//   - Pool: a parallel-for executor for analysis kernels, with a real
+//     goroutine mode (used by correctness tests) and a virtual mode that
+//     assigns measured chunk durations to logical threads using greedy
+//     (LPT-style) load balancing plus a per-phase barrier.
+package vtime
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Runner simulates n logical writer threads issuing operations that
+// contend on named resources (e.g. PMA sections). Operations run
+// serially in causal order: at each step the thread with the smallest
+// virtual clock executes its next operation.
+type Runner struct {
+	clocks []time.Duration
+	locks  map[int]time.Duration
+	// LockOverhead approximates the cost of one contended handoff.
+	LockOverhead time.Duration
+}
+
+// NewRunner creates a Runner with n logical threads.
+func NewRunner(n int) *Runner {
+	return &Runner{
+		clocks:       make([]time.Duration, n),
+		locks:        make(map[int]time.Duration),
+		LockOverhead: 100 * time.Nanosecond,
+	}
+}
+
+// Threads returns the logical thread count.
+func (r *Runner) Threads() int { return len(r.clocks) }
+
+// NextThread returns the id of the logical thread that should issue the
+// next operation (the one with the smallest virtual clock).
+func (r *Runner) NextThread() int {
+	best, bt := 0, r.clocks[0]
+	for i, c := range r.clocks {
+		if c < bt {
+			best, bt = i, c
+		}
+	}
+	return best
+}
+
+// Exec runs op on logical thread t while holding the named resources:
+// the thread's clock first advances to each resource's free time (lock
+// wait), the operation's real measured duration is added, and the
+// resources become free at the resulting clock.
+func (r *Runner) Exec(t int, resources []int, op func()) {
+	clock := r.clocks[t]
+	for _, res := range resources {
+		if free, ok := r.locks[res]; ok && free > clock {
+			clock = free + r.LockOverhead
+		}
+	}
+	t0 := time.Now()
+	op()
+	clock += time.Since(t0)
+	for _, res := range resources {
+		r.locks[res] = clock
+	}
+	r.clocks[t] = clock
+}
+
+// Elapsed returns the simulated parallel makespan.
+func (r *Runner) Elapsed() time.Duration {
+	var m time.Duration
+	for _, c := range r.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Pool executes parallel-for loops for the analysis kernels.
+type Pool struct {
+	// Threads is the logical (virtual mode) or real (goroutine mode)
+	// worker count.
+	Threads int
+	// Virtual selects virtual-time accounting: the body runs serially,
+	// chunk durations are LPT-assigned to logical threads.
+	Virtual bool
+	// BarrierOverhead is charged per For call in virtual mode (the cost
+	// of one synchronization point).
+	BarrierOverhead time.Duration
+
+	mu     sync.Mutex
+	vclock time.Duration // accumulated virtual elapsed time
+}
+
+// NewPool returns a Pool with t workers. Virtual mode is selected
+// automatically when t exceeds the real CPU count available — callers can
+// override the field afterwards.
+func NewPool(t int, virtual bool) *Pool {
+	return &Pool{Threads: t, Virtual: virtual, BarrierOverhead: 5 * time.Microsecond}
+}
+
+// For splits [0, n) into chunks of size grain and runs body(lo, hi) for
+// each. It is a barrier: all chunks complete before For returns. In
+// virtual mode the chunks execute serially and their measured durations
+// are packed onto Threads logical workers; the makespan (plus barrier
+// overhead) accrues to the pool's virtual clock.
+func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.Threads <= 1 && !p.Virtual {
+		t0 := time.Now()
+		body(0, n)
+		p.addClock(time.Since(t0))
+		return
+	}
+	nChunks := (n + grain - 1) / grain
+	if p.Virtual {
+		durs := make([]time.Duration, nChunks)
+		for c := 0; c < nChunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			t0 := time.Now()
+			body(lo, hi)
+			durs[c] = time.Since(t0)
+		}
+		p.addClock(makespan(durs, p.Threads) + p.BarrierOverhead)
+		return
+	}
+	// Real goroutine mode.
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int, nChunks)
+	for c := 0; c < nChunks; c++ {
+		next <- c
+	}
+	close(next)
+	for w := 0; w < p.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	p.addClock(time.Since(t0))
+}
+
+// Serial runs a non-parallelizable region, charging its real duration.
+func (p *Pool) Serial(body func()) {
+	t0 := time.Now()
+	body()
+	p.addClock(time.Since(t0))
+}
+
+func (p *Pool) addClock(d time.Duration) {
+	p.mu.Lock()
+	p.vclock += d
+	p.mu.Unlock()
+}
+
+// Elapsed returns the accumulated (virtual or real) time of all For and
+// Serial phases since the last Reset.
+func (p *Pool) Elapsed() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vclock
+}
+
+// Reset zeroes the pool's clock.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	p.vclock = 0
+	p.mu.Unlock()
+}
+
+// makespan packs chunk durations onto t workers using the
+// longest-processing-time-first heuristic and returns the resulting
+// parallel finish time.
+func makespan(durs []time.Duration, t int) time.Duration {
+	if t < 1 {
+		t = 1
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	loads := make([]time.Duration, t)
+	for _, d := range sorted {
+		mi := 0
+		for i := 1; i < t; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += d
+	}
+	var m time.Duration
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -1,0 +1,157 @@
+package vtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func busy(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+func TestRunnerNoContentionScales(t *testing.T) {
+	// Independent resources: 4 threads doing equal work should finish in
+	// ~1/4 the serial time.
+	serial := NewRunner(1)
+	for i := 0; i < 40; i++ {
+		serial.Exec(0, []int{i}, func() { busy(100 * time.Microsecond) })
+	}
+	par := NewRunner(4)
+	for i := 0; i < 40; i++ {
+		par.Exec(par.NextThread(), []int{i}, func() { busy(100 * time.Microsecond) })
+	}
+	ratio := float64(serial.Elapsed()) / float64(par.Elapsed())
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("speedup = %.2f, want ~4", ratio)
+	}
+}
+
+func TestRunnerFullContentionSerializes(t *testing.T) {
+	// One shared resource: more threads must not help.
+	par := NewRunner(8)
+	for i := 0; i < 40; i++ {
+		par.Exec(par.NextThread(), []int{7}, func() { busy(100 * time.Microsecond) })
+	}
+	serial := NewRunner(1)
+	for i := 0; i < 40; i++ {
+		serial.Exec(0, []int{7}, func() { busy(100 * time.Microsecond) })
+	}
+	ratio := float64(serial.Elapsed()) / float64(par.Elapsed())
+	if ratio > 1.2 {
+		t.Errorf("contended speedup = %.2f, want ~1", ratio)
+	}
+}
+
+func TestRunnerNextThreadBalances(t *testing.T) {
+	r := NewRunner(3)
+	counts := make([]int, 3)
+	for i := 0; i < 30; i++ {
+		th := r.NextThread()
+		counts[th]++
+		r.Exec(th, nil, func() { busy(10 * time.Microsecond) })
+	}
+	for i, c := range counts {
+		if c < 8 || c > 12 {
+			t.Errorf("thread %d executed %d ops, want ~10", i, c)
+		}
+	}
+}
+
+func TestPoolRealModeRunsAllChunks(t *testing.T) {
+	p := NewPool(4, false)
+	var sum atomic.Int64
+	p.For(1000, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 499500 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+}
+
+func TestPoolVirtualModeRunsAllChunksSerially(t *testing.T) {
+	p := NewPool(16, true)
+	var sum int64 // no atomics needed: virtual mode is serial
+	p.For(1000, 10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += int64(i)
+		}
+	})
+	if sum != 499500 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestPoolVirtualSpeedup(t *testing.T) {
+	// Timing-based: on a loaded single-CPU box individual chunk
+	// measurements can be polluted by scheduler hiccups, so retry a few
+	// times and accept a generous band around the ideal 16x.
+	for attempt := 0; attempt < 5; attempt++ {
+		work := func(lo, hi int) { busy(time.Duration(hi-lo) * 10 * time.Microsecond) }
+		p1 := NewPool(1, true)
+		p1.For(160, 10, work)
+		p16 := NewPool(16, true)
+		p16.For(160, 10, work)
+		ratio := float64(p1.Elapsed()) / float64(p16.Elapsed())
+		if ratio >= 4 && ratio <= 40 {
+			return
+		}
+		t.Logf("attempt %d: speedup = %.1f, retrying", attempt, ratio)
+	}
+	t.Error("virtual 16-thread speedup never landed in [4,40]")
+}
+
+func TestPoolSerialSectionLimitsScaling(t *testing.T) {
+	// Amdahl: half the work serial -> 16 threads give < 2x.
+	run := func(threads int) time.Duration {
+		p := NewPool(threads, true)
+		p.Serial(func() { busy(2 * time.Millisecond) })
+		p.For(16, 1, func(lo, hi int) { busy(time.Duration(hi-lo) * 125 * time.Microsecond) })
+		return p.Elapsed()
+	}
+	t1, t16 := run(1), run(16)
+	ratio := float64(t1) / float64(t16)
+	if ratio > 2.2 {
+		t.Errorf("Amdahl violated: speedup %.2f with 50%% serial fraction", ratio)
+	}
+}
+
+func TestPoolReset(t *testing.T) {
+	p := NewPool(2, true)
+	p.For(10, 1, func(lo, hi int) { busy(10 * time.Microsecond) })
+	if p.Elapsed() == 0 {
+		t.Fatal("no time accrued")
+	}
+	p.Reset()
+	if p.Elapsed() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestMakespanLPT(t *testing.T) {
+	durs := []time.Duration{8, 7, 6, 5, 4, 3, 2, 1}
+	if got := makespan(durs, 1); got != 36 {
+		t.Errorf("t=1 makespan = %d", got)
+	}
+	got := makespan(durs, 4)
+	if got != 9 { // LPT: {8,1} {7,2} {6,3} {5,4}
+		t.Errorf("t=4 makespan = %d, want 9", got)
+	}
+	if got := makespan(durs, 100); got != 8 {
+		t.Errorf("t=100 makespan = %d, want 8 (longest chunk)", got)
+	}
+}
+
+func TestPoolZeroAndNegativeN(t *testing.T) {
+	p := NewPool(4, false)
+	called := false
+	p.For(0, 10, func(lo, hi int) { called = true })
+	p.For(-5, 10, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}

@@ -1,0 +1,203 @@
+// Package workload drives graph-insertion experiments the way the
+// paper's evaluation does: the first 10% of the shuffled edge stream
+// warms the system up (YCSB-style), then the remaining 90% is timed.
+// Multi-writer runs partition the stream round-robin and execute on the
+// vtime discrete-event runner (this machine has one CPU; see package
+// vtime), with lock scopes chosen per system: DGAP serializes on PMA
+// sections, BAL and XPGraph on vertices, GraphOne and LLAMA on a global
+// ingestion lock — the granularity differences behind Table 3's scaling
+// shapes.
+package workload
+
+import (
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/vtime"
+)
+
+// WarmupFraction is the fraction of the stream inserted before timing
+// starts.
+const WarmupFraction = 0.10
+
+// Split divides an edge stream into warm-up and timed parts.
+func Split(edges []graph.Edge) (warm, timed []graph.Edge) {
+	cut := int(float64(len(edges)) * WarmupFraction)
+	return edges[:cut], edges[cut:]
+}
+
+// InsertResult reports one insertion run.
+type InsertResult struct {
+	Edges   int
+	Elapsed time.Duration
+}
+
+// MEPS returns million edges per second.
+func (r InsertResult) MEPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Edges) / r.Elapsed.Seconds() / 1e6
+}
+
+// InsertSerial inserts the timed stream with a single writer and real
+// wall-clock timing (after warming up).
+func InsertSerial(sys graph.System, edges []graph.Edge) (InsertResult, error) {
+	warm, timed := Split(edges)
+	for _, e := range warm {
+		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
+			return InsertResult{}, err
+		}
+	}
+	t0 := time.Now()
+	for _, e := range timed {
+		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
+			return InsertResult{}, err
+		}
+	}
+	return InsertResult{Edges: len(timed), Elapsed: time.Since(t0)}, nil
+}
+
+// LockScope classifies a system's write-lock granularity for the
+// virtual-time contention model.
+type LockScope int
+
+const (
+	// ScopeSection: writers contend per PMA section (DGAP).
+	ScopeSection LockScope = iota
+	// ScopeVertex: writers contend per source vertex (BAL, XPGraph's
+	// vertex-centric buffers).
+	ScopeVertex
+	// ScopeGlobal: a single ingestion lock (GraphOne's edge list,
+	// LLAMA's delta buffer).
+	ScopeGlobal
+)
+
+// sectionResolution approximates DGAP's vertex->section mapping for the
+// contention model: adjacent vertex ids share sections.
+const sectionResolution = 8
+
+// Resource maps an edge to the virtual lock id a system's insert path
+// serializes on.
+func (s LockScope) Resource(e graph.Edge) int {
+	switch s {
+	case ScopeSection:
+		return int(e.Src) / sectionResolution
+	case ScopeVertex:
+		return int(e.Src)
+	default:
+		return 0
+	}
+}
+
+// InsertParallel inserts the timed stream on n logical writer threads
+// using virtual-time contention accounting. The returned Elapsed is the
+// simulated parallel makespan.
+func InsertParallel(sys graph.System, edges []graph.Edge, n int, scope LockScope) (InsertResult, error) {
+	warm, timed := Split(edges)
+	for _, e := range warm {
+		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
+			return InsertResult{}, err
+		}
+	}
+	// Partition round-robin, then drive causally: always advance the
+	// thread with the smallest virtual clock.
+	parts := make([][]graph.Edge, n)
+	for i, e := range timed {
+		parts[i%n] = append(parts[i%n], e)
+	}
+	cursor := make([]int, n)
+	r := vtime.NewRunner(n)
+	var firstErr error
+	remaining := len(timed)
+	for remaining > 0 && firstErr == nil {
+		th := r.NextThread()
+		if cursor[th] >= len(parts[th]) {
+			// This thread is done; pick the busiest remaining one.
+			th = -1
+			for i := range parts {
+				if cursor[i] < len(parts[i]) {
+					th = i
+					break
+				}
+			}
+			if th < 0 {
+				break
+			}
+		}
+		e := parts[th][cursor[th]]
+		cursor[th]++
+		remaining--
+		r.Exec(th, []int{scope.Resource(e)}, func() {
+			if err := sys.InsertEdge(e.Src, e.Dst); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	if firstErr != nil {
+		return InsertResult{}, firstErr
+	}
+	return InsertResult{Edges: len(timed), Elapsed: r.Elapsed()}, nil
+}
+
+// InsertParallelDGAP uses real writer handles so each logical thread has
+// its own per-thread undo log, matching the paper's writer-thread model.
+func InsertParallelDGAP(g *dgap.Graph, edges []graph.Edge, n int) (InsertResult, error) {
+	warm, timed := Split(edges)
+	w0, err := g.NewWriter()
+	if err != nil {
+		return InsertResult{}, err
+	}
+	defer w0.Close()
+	for _, e := range warm {
+		if err := w0.InsertEdge(e.Src, e.Dst); err != nil {
+			return InsertResult{}, err
+		}
+	}
+	writers := make([]*dgap.Writer, n)
+	for i := range writers {
+		w, err := g.NewWriter()
+		if err != nil {
+			return InsertResult{}, err
+		}
+		defer w.Close()
+		writers[i] = w
+	}
+	parts := make([][]graph.Edge, n)
+	for i, e := range timed {
+		parts[i%n] = append(parts[i%n], e)
+	}
+	cursor := make([]int, n)
+	r := vtime.NewRunner(n)
+	var firstErr error
+	remaining := len(timed)
+	for remaining > 0 && firstErr == nil {
+		th := r.NextThread()
+		if cursor[th] >= len(parts[th]) {
+			th = -1
+			for i := range parts {
+				if cursor[i] < len(parts[i]) {
+					th = i
+					break
+				}
+			}
+			if th < 0 {
+				break
+			}
+		}
+		e := parts[th][cursor[th]]
+		cursor[th]++
+		remaining--
+		w := writers[th]
+		r.Exec(th, []int{ScopeSection.Resource(e)}, func() {
+			if err := w.InsertEdge(e.Src, e.Dst); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	if firstErr != nil {
+		return InsertResult{}, firstErr
+	}
+	return InsertResult{Edges: len(timed), Elapsed: r.Elapsed()}, nil
+}

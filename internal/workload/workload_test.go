@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"dgap/internal/bal"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+func TestSplitFraction(t *testing.T) {
+	edges := make([]graph.Edge, 1000)
+	warm, timed := Split(edges)
+	if len(warm) != 100 || len(timed) != 900 {
+		t.Errorf("split = %d/%d, want 100/900", len(warm), len(timed))
+	}
+}
+
+func TestMEPS(t *testing.T) {
+	r := InsertResult{Edges: 2_000_000, Elapsed: 1e9} // 1s
+	if got := r.MEPS(); got != 2 {
+		t.Errorf("MEPS = %v", got)
+	}
+	if (InsertResult{}).MEPS() != 0 {
+		t.Error("zero result must not divide by zero")
+	}
+}
+
+func TestInsertSerialLoadsEverything(t *testing.T) {
+	edges := graphgen.Uniform(64, 8, 3)
+	g := bal.New(pmem.New(64<<20), 64)
+	res, err := InsertSerial(g, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, timed := Split(edges)
+	if res.Edges != len(timed) {
+		t.Errorf("timed edges = %d, want %d", res.Edges, len(timed))
+	}
+	if got := g.Snapshot().NumEdges(); got != int64(len(edges)) {
+		t.Errorf("system holds %d edges, want %d", got, len(edges))
+	}
+}
+
+func TestInsertParallelSameGraphAsSerial(t *testing.T) {
+	edges := graphgen.Uniform(64, 10, 5)
+	ser := bal.New(pmem.New(64<<20), 64)
+	if _, err := InsertSerial(ser, edges); err != nil {
+		t.Fatal(err)
+	}
+	par := bal.New(pmem.New(64<<20), 64)
+	res, err := InsertParallel(par, edges, 8, ScopeVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, timed := Split(edges); res.Edges != len(timed) {
+		t.Errorf("timed edges = %d, want %d", res.Edges, len(timed))
+	}
+	ss, sp := ser.Snapshot(), par.Snapshot()
+	if ss.NumEdges() != sp.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", ss.NumEdges(), sp.NumEdges())
+	}
+	for v := 0; v < 64; v++ {
+		if ss.Degree(graph.V(v)) != sp.Degree(graph.V(v)) {
+			t.Fatalf("degree of %d differs", v)
+		}
+	}
+}
+
+func TestInsertParallelDGAP(t *testing.T) {
+	edges := graphgen.Uniform(64, 10, 7)
+	cfg := dgap.DefaultConfig(64, int64(len(edges)))
+	g, err := dgap.New(pmem.New(128<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := InsertParallelDGAP(g, edges, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual time accrued")
+	}
+	if got := g.ConsistentView().NumEdges(); got != int64(len(edges)) {
+		t.Errorf("graph holds %d edges, want %d", got, len(edges))
+	}
+}
+
+func TestLockScopeResources(t *testing.T) {
+	e := graph.Edge{Src: 42, Dst: 7}
+	if ScopeGlobal.Resource(e) != 0 {
+		t.Error("global scope must map to one resource")
+	}
+	if ScopeVertex.Resource(e) != 42 {
+		t.Error("vertex scope must map to the source id")
+	}
+	if ScopeSection.Resource(e) != 42/sectionResolution {
+		t.Error("section scope must group adjacent sources")
+	}
+}
+
+func TestParallelScalingShape(t *testing.T) {
+	// Per-vertex locks over many vertices must yield a shorter simulated
+	// makespan than a single global lock for the same work.
+	edges := graphgen.Uniform(256, 16, 9)
+	run := func(scope LockScope) int64 {
+		g := bal.New(pmem.New(128<<20, pmem.WithLatency(pmem.DefaultLatency())), 256)
+		res, err := InsertParallel(g, edges, 8, scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Elapsed)
+	}
+	vertexTime := run(ScopeVertex)
+	globalTime := run(ScopeGlobal)
+	if vertexTime >= globalTime {
+		t.Errorf("vertex-scoped locking (%d ns) not faster than global (%d ns)", vertexTime, globalTime)
+	}
+}

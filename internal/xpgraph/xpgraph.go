@@ -1,0 +1,237 @@
+// Package xpgraph implements the XPGraph-like baseline: the
+// state-of-the-art PM-native graph store the paper compares against
+// (Wang et al., MICRO'22). XPGraph keeps both of GraphOne's structures
+// on persistent memory — a circular edge log for ingestion and a blocked
+// adjacency list for analysis — with DRAM used as a staging cache, and
+// archives edges from the log into the adjacency list in batches of
+// "archiving threshold" size (Figure 5 sweeps this threshold: bigger
+// batches amortize PM writes into large sequential bursts, at the cost
+// of analysis lagging the log by up to one batch).
+//
+// Two behaviours matter for reproducing the paper's results:
+//
+//   - The circular log has a fixed capacity (8 GB in the original, scaled
+//     here); while the whole graph fits, archiving never needs to block
+//     ingestion, which is why XPGraph posts exceptional insert numbers
+//     on the three small graphs in Table 3.
+//
+//   - Analysis copies adjacency data through a DRAM cache, so BFS-style
+//     workloads run at DRAM speed (Figure 8) while ingestion-heavy
+//     workloads pay the log-to-adjacency archiving writes.
+package xpgraph
+
+import (
+	"sync"
+	"time"
+
+	"dgap/internal/chunkadj"
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+)
+
+// DefaultThreshold is the archiving threshold the paper picks (2^10).
+const DefaultThreshold = 1 << 10
+
+// IngestCPUCost models XPGraph's per-edge ingestion software overhead
+// (vertex-centric buffer management, hash-partitioned dispatch) — work
+// the original C++ engine does that this lean reimplementation does
+// not. Calibrated against XPGraph's published single-thread throughput
+// (~1.9 MEPS, Figure 6 of the DGAP paper); DESIGN.md records the
+// calibration.
+var IngestCPUCost = 250 * time.Nanosecond
+
+func busy(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+// BlockEdges is the adjacency block capacity.
+const BlockEdges = 60
+
+const blockBytes = 16 + BlockEdges*4
+
+// Graph is an XPGraph-like store.
+type Graph struct {
+	a *pmem.Arena
+
+	mu        sync.RWMutex
+	threshold int
+
+	// PM circular edge log.
+	logOff  pmem.Off
+	logCap  uint64 // in edges
+	logHead uint64 // absolute append counter
+	logTail uint64 // absolute archive counter
+
+	// PM blocked adjacency list with DRAM head/tail cache.
+	verts []vertex
+	// DRAM vertex cache of adjacency (what analysis reads; XPGraph
+	// caches vertices in DRAM as chained units, like GraphOne).
+	cache *chunkadj.Adj
+
+	edges int64
+}
+
+type vertex struct {
+	head, tail pmem.Off
+	count      int64
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Threshold is the archiving batch size in edges.
+	Threshold int
+	// LogCapEdges is the circular log capacity (the original's 8 GB /
+	// 8 B per edge, scaled down for the emulated device).
+	LogCapEdges int
+}
+
+// New creates an XPGraph-like store.
+func New(a *pmem.Arena, nVert int, cfg Config) (*Graph, error) {
+	if cfg.Threshold < 1 {
+		cfg.Threshold = DefaultThreshold
+	}
+	if cfg.LogCapEdges < cfg.Threshold*2 {
+		cfg.LogCapEdges = cfg.Threshold * 2
+	}
+	off, err := a.Alloc(uint64(cfg.LogCapEdges)*8, pmem.CacheLineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{
+		a:         a,
+		threshold: cfg.Threshold,
+		logOff:    off,
+		logCap:    uint64(cfg.LogCapEdges),
+		verts:     make([]vertex, nVert),
+		cache:     chunkadj.New(nVert),
+	}, nil
+}
+
+// Name implements graph.System.
+func (g *Graph) Name() string { return "XPGraph" }
+
+// InsertEdge appends to the PM circular edge log (one 8-byte persistent
+// store); when threshold edges have accumulated they are archived into
+// the PM adjacency list in one sequential batch.
+func (g *Graph) InsertEdge(src, dst graph.V) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n := int(max32(src, dst)) + 1; n > len(g.verts) {
+		nv := make([]vertex, n)
+		copy(nv, g.verts)
+		g.verts = nv
+		g.cache.Ensure(n)
+	}
+	// Circular log full: archiving must catch up first (only happens
+	// when the graph exceeds the log capacity, i.e. the large graphs).
+	if g.logHead-g.logTail >= g.logCap {
+		if err := g.archiveLocked(); err != nil {
+			return err
+		}
+	}
+	// "XPline-friendly" logging — XPGraph's core idea: log entries are
+	// buffered and flushed a whole 64 B line at a time, never re-flushing
+	// a partially filled line (which would hit the in-place penalty).
+	slot := g.logOff + pmem.Off(g.logHead%g.logCap)*8
+	g.a.WriteU32(slot, src)
+	g.a.WriteU32(slot+4, dst)
+	g.logHead++
+	if g.logHead%8 == 0 || g.logHead%g.logCap == 0 {
+		line := slot &^ (pmem.CacheLineSize - 1)
+		g.a.Flush(line, pmem.CacheLineSize)
+		g.a.Fence()
+	}
+	g.cache.Append(src, dst)
+	g.edges++
+	busy(IngestCPUCost)
+	if g.logHead-g.logTail >= uint64(g.threshold) {
+		return g.archiveLocked()
+	}
+	return nil
+}
+
+// Archive forces pending log entries into the adjacency list.
+func (g *Graph) Archive() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.archiveLocked()
+}
+
+// archiveLocked drains the log into the adjacency list. Edges are
+// grouped by source vertex so each vertex's pending edges land in its
+// blocks as one write burst with a single flush per touched block —
+// this is exactly why larger archiving thresholds win in Figure 5:
+// small batches degenerate to one flush (and one in-place block-header
+// update) per edge, large ones amortize both.
+func (g *Graph) archiveLocked() error {
+	pending := map[graph.V][]graph.V{}
+	for t := g.logTail; t < g.logHead; t++ {
+		slot := g.logOff + pmem.Off(t%g.logCap)*8
+		src := graph.V(g.a.ReadU32(slot))
+		pending[src] = append(pending[src], graph.V(g.a.ReadU32(slot+4)))
+	}
+	for src, dsts := range pending {
+		if err := g.appendRun(src, dsts); err != nil {
+			return err
+		}
+	}
+	g.logTail = g.logHead
+	return nil
+}
+
+// appendRun writes a vertex's pending edges into its block chain,
+// flushing each touched block region once.
+func (g *Graph) appendRun(src graph.V, dsts []graph.V) error {
+	v := &g.verts[src]
+	for len(dsts) > 0 {
+		fill := v.count % BlockEdges
+		if v.tail == 0 || (fill == 0 && v.count > 0) {
+			blk, err := g.a.Alloc(blockBytes, pmem.CacheLineSize)
+			if err != nil {
+				return err
+			}
+			if v.tail == 0 {
+				v.head = blk
+			} else {
+				g.a.PersistU64(v.tail, blk)
+			}
+			v.tail = blk
+			fill = 0
+		}
+		n := int64(BlockEdges) - fill
+		if int64(len(dsts)) < n {
+			n = int64(len(dsts))
+		}
+		first := v.tail + 16 + pmem.Off(fill)*4
+		for i := int64(0); i < n; i++ {
+			g.a.WriteU32(first+pmem.Off(i)*4, dsts[i])
+		}
+		g.a.WriteU64(v.tail+8, uint64(fill+n))
+		g.a.Flush(v.tail+8, 8)
+		g.a.Flush(first, uint64(n)*4)
+		g.a.Fence()
+		v.count += n
+		dsts = dsts[n:]
+	}
+	return nil
+}
+
+// Snapshot freezes the DRAM cache — XPGraph serves analysis from
+// DRAM-cached adjacency units.
+func (g *Graph) Snapshot() graph.Snapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.cache.Snapshot()
+}
+
+func max32(a, b graph.V) graph.V {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package xpgraph
+
+import (
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+func TestInsertAndSnapshot(t *testing.T) {
+	g, err := New(pmem.New(64<<20), 8, Config{Threshold: 4, LogCapEdges: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := graphgen.Uniform(8, 6, 33)
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := g.Snapshot()
+	if s.NumEdges() != int64(len(edges)) {
+		t.Errorf("NumEdges = %d, want %d", s.NumEdges(), len(edges))
+	}
+	want := map[graph.Edge]int{}
+	for _, e := range edges {
+		want[e]++
+	}
+	got := map[graph.Edge]int{}
+	for v := 0; v < 8; v++ {
+		s.Neighbors(graph.V(v), func(d graph.V) bool {
+			got[graph.Edge{Src: graph.V(v), Dst: d}]++
+			return true
+		})
+	}
+	for e, n := range want {
+		if got[e] != n {
+			t.Fatalf("edge %v: %d, want %d", e, got[e], n)
+		}
+	}
+}
+
+func TestArchivingDrainsLog(t *testing.T) {
+	g, err := New(pmem.New(64<<20), 4, Config{Threshold: 8, LogCapEdges: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := g.InsertEdge(graph.V(i%4), graph.V((i+1)%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 inserts with threshold 8: two archives happened (16 edges),
+	// 4 pending in the log.
+	if pending := g.logHead - g.logTail; pending != 4 {
+		t.Errorf("pending log entries = %d, want 4", pending)
+	}
+	if err := g.Archive(); err != nil {
+		t.Fatal(err)
+	}
+	if g.logHead != g.logTail {
+		t.Error("Archive left entries in the log")
+	}
+	// The PM adjacency holds everything after archiving.
+	var pmTotal int64
+	for v := range g.verts {
+		pmTotal += g.verts[v].count
+	}
+	if pmTotal != 20 {
+		t.Errorf("PM adjacency holds %d edges, want 20", pmTotal)
+	}
+}
+
+func TestCircularLogWraps(t *testing.T) {
+	g, err := New(pmem.New(64<<20), 4, Config{Threshold: 4, LogCapEdges: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := g.InsertEdge(graph.V(i%4), graph.V((i+1)%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Snapshot().NumEdges(); got != 50 {
+		t.Errorf("NumEdges = %d after log wrap", got)
+	}
+}
+
+func TestThresholdAffectsArchiveBatching(t *testing.T) {
+	run := func(threshold int) int64 {
+		a := pmem.New(64 << 20)
+		g, err := New(a, 16, Config{Threshold: threshold, LogCapEdges: 1 << 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := graphgen.Uniform(16, 32, 13)
+		a.ResetStats()
+		for _, e := range edges {
+			if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a.Stats().MediaBytes
+	}
+	small := run(2)
+	large := run(1 << 12)
+	if large >= small {
+		t.Errorf("large threshold should write less media: small=%d large=%d", small, large)
+	}
+}
+
+func TestVertexGrowth(t *testing.T) {
+	g, err := New(pmem.New(64<<20), 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertEdge(99, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Snapshot().NumVertices() != 100 {
+		t.Errorf("NumVertices = %d", g.Snapshot().NumVertices())
+	}
+}
