@@ -5,6 +5,7 @@
 //
 //	dgap-bench -exp fig6 -scale 0.0005
 //	dgap-bench -exp all -datasets small
+//	dgap-bench -json
 //	dgap-bench -list
 //
 // Each experiment prints the rows/series of the corresponding paper
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	noLatency := flag.Bool("no-latency", false, "disable the PM latency model (counting-only runs)")
+	jsonOut := flag.Bool("json", false, "time the analysis kernels (bulk and callback read paths) and write BENCH_kernels.json instead of printing tables")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +50,13 @@ func main() {
 	}
 
 	var err error
+	if *jsonOut {
+		if err := bench.KernelJSON(opt, "BENCH_kernels.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "all" {
 		err = bench.RunAll(opt)
 	} else {

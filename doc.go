@@ -12,7 +12,15 @@
 //   - internal/graphgen — Table 2 dataset stand-ins
 //   - internal/bench    — one experiment per paper table/figure
 //
+// Analytics read adjacency through the bulk zero-copy path
+// (graph.BulkSnapshot / graph.Sweeper): destinations arrive as slices —
+// on DGAP and CSR, direct views of the PM edge array — instead of one
+// callback per edge, and parallel work is partitioned by degree prefix
+// sums so skewed graphs load-balance. See the internal/graph and
+// internal/analytics package documentation.
+//
 // bench_test.go in this directory exposes each experiment as a standard
 // testing.B benchmark; cmd/dgap-bench prints the full paper-style
-// tables.
+// tables, and `dgap-bench -json` dumps kernel timings on both read
+// paths to BENCH_kernels.json for cross-PR perf tracking.
 package repro

@@ -1,0 +1,3 @@
+module dgap
+
+go 1.24

@@ -6,6 +6,20 @@
 // XPGraph, exactly as the paper uses one GAPBS implementation across all
 // frameworks.
 //
+// The kernels read adjacency through the bulk path (graph.Bulk /
+// graph.Sweep): each vertex's destinations arrive as one slice copied
+// into reusable scratch rather than one callback per edge, which removes
+// the closure invocation, per-vertex lock round-trip and edge-log chain
+// allocation that otherwise dominate kernel time on the DGAP backend.
+// Config.Callback restores the per-edge callback path so benchmarks can
+// quantify the difference.
+//
+// Parallel work is partitioned degree-aware: parallel-for ranges are
+// split at boundaries computed from a prefix sum of degrees (equal-edge
+// chunks) instead of equal vertex counts, so the hub vertices of skewed
+// graphs (orkut/rmat presets) spread across workers instead of
+// serializing one chunk.
+//
 // Parallelism goes through vtime.Pool, which provides both a real
 // goroutine mode (correctness on this machine) and a virtual-time mode
 // used by the scalability experiments (the evaluation host has one CPU;
@@ -17,6 +31,7 @@ package analytics
 import (
 	"time"
 
+	"dgap/internal/graph"
 	"dgap/internal/vtime"
 )
 
@@ -26,8 +41,18 @@ type Config struct {
 	Threads int
 	// Virtual selects virtual-time accounting for multi-thread runs.
 	Virtual bool
-	// Grain is the parallel-for chunk size in vertices (0 = default).
+	// Grain is the equal-vertex parallel-for chunk size (0 = default);
+	// it only applies to the legacy scheduler selected by Callback.
 	Grain int
+	// Callback disables the bulk read path and the degree-aware
+	// scheduler, restoring the original per-edge callback kernels with
+	// equal-vertex chunking. Benchmarks use it as the baseline the bulk
+	// path is measured against.
+	Callback bool
+	// EdgeChunks overrides how many equal-edge ranges the degree-aware
+	// scheduler produces (0 = automatic: enough chunks for the worker
+	// count to load-balance, clamped to the vertex count).
+	EdgeChunks int
 }
 
 // Serial is the default single-thread configuration.
@@ -50,6 +75,87 @@ func (c Config) grain(n int) int {
 		g = 64
 	}
 	return g
+}
+
+func (c Config) threads() int {
+	if c.Threads < 1 {
+		return 1
+	}
+	return c.Threads
+}
+
+// chunks is the equal-edge range count the degree-aware scheduler aims
+// for: enough surplus over the worker count that LPT packing (virtual
+// mode) and work stealing (real mode) can even out residual imbalance.
+func (c Config) chunks(n int) int {
+	ch := c.EdgeChunks
+	if ch <= 0 {
+		ch = max(8*c.threads(), 32)
+	}
+	return min(ch, n)
+}
+
+// bounds returns the parallel-for range boundaries for n vertices whose
+// work is proportional to deg(i): equal-edge chunks from a degree prefix
+// sum, or legacy equal-vertex chunks when Callback selects the old
+// scheduler.
+func (c Config) bounds(n int, deg func(i int) int) []int {
+	if c.Callback {
+		return vertexBounds(n, c.grain(n))
+	}
+	return edgeBounds(n, c.chunks(n), deg)
+}
+
+// vertexBounds chops [0, n) into equal-vertex ranges of size grain (the
+// legacy scheduler).
+func vertexBounds(n, grain int) []int {
+	if n <= 0 {
+		return nil
+	}
+	nChunks := (n + grain - 1) / grain
+	b := make([]int, nChunks+1)
+	for c := 1; c < nChunks; c++ {
+		b[c] = c * grain
+	}
+	b[nChunks] = n
+	return b
+}
+
+// edgeBounds chops [0, n) into at most chunks ranges of roughly equal
+// edge weight using a single pass over the degree prefix sum. Every
+// vertex also carries one unit of fixed weight so ranges of zero-degree
+// vertices still split across workers.
+func edgeBounds(n, chunks int, deg func(i int) int) []int {
+	if n <= 0 {
+		return nil
+	}
+	total := n
+	for i := 0; i < n; i++ {
+		total += deg(i)
+	}
+	target := (total + chunks - 1) / chunks
+	b := make([]int, 1, chunks+1)
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += deg(i) + 1
+		if acc >= target {
+			b = append(b, i+1)
+			acc = 0
+		}
+	}
+	if b[len(b)-1] != n {
+		b = append(b, n)
+	}
+	return b
+}
+
+// bulkOf returns the bulk accessor the kernel should read through, or
+// nil when the configuration forces the per-edge callback path.
+func bulkOf(s graph.Snapshot, cfg Config) graph.BulkSnapshot {
+	if cfg.Callback {
+		return nil
+	}
+	return graph.Bulk(s)
 }
 
 func elapsed(p *vtime.Pool) time.Duration { return p.Elapsed() }

@@ -9,11 +9,14 @@ import (
 // BC computes single-source betweenness centrality with Brandes'
 // algorithm (the approximation the paper uses runs it from one or a few
 // sources): a BFS builds the shortest-path DAG with path counts, then a
-// reverse sweep accumulates dependencies. It returns the centrality
-// score of every vertex for the given source.
+// reverse sweep accumulates dependencies. Both sweeps read adjacency
+// through the bulk path and partition each level by its degree prefix
+// sum. It returns the centrality score of every vertex for the given
+// source.
 func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
 	n := s.NumVertices()
 	p := cfg.pool()
+	bs := bulkOf(s, cfg)
 	scores := make([]float64, n)
 	if int(src) >= n {
 		return scores, elapsed(p)
@@ -29,7 +32,22 @@ func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
 		sigma[src] = 1
 	})
 
-	grain := cfg.grain(n)
+	levelBounds := func(level []graph.V) []int {
+		return cfg.bounds(len(level), func(i int) int { return s.Degree(level[i]) })
+	}
+	// forEachNeighbor visits v's destinations through whichever read path
+	// the configuration selected, reusing buf on the bulk path.
+	forEachNeighbor := func(v graph.V, buf *[]graph.V, fn func(u graph.V)) {
+		if bs == nil {
+			s.Neighbors(v, func(u graph.V) bool { fn(u); return true })
+			return
+		}
+		*buf = bs.CopyNeighbors(v, (*buf)[:0])
+		for _, u := range *buf {
+			fn(u)
+		}
+	}
+
 	// Forward phase: level-synchronous BFS recording sigma and levels.
 	levels := [][]graph.V{{src}}
 	for {
@@ -39,22 +57,23 @@ func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
 			break
 		}
 		d := int32(len(levels))
-		nextLocal := make([][]graph.V, (len(cur)+grain-1)/grain)
-		p.For(len(cur), grain, func(lo, hi int) {
+		bounds := levelBounds(cur)
+		nextLocal := make([][]graph.V, len(bounds)-1)
+		p.ForRanges(bounds, func(c, lo, hi int) {
 			var local []graph.V
+			scratch := getScratch()
 			for i := lo; i < hi; i++ {
-				v := cur[i]
-				s.Neighbors(v, func(u graph.V) bool {
+				forEachNeighbor(cur[i], scratch, func(u graph.V) {
 					if depth[u] == -1 {
 						// Benign duplicate discovery across chunks under
 						// real parallelism is resolved by the dedup below.
 						depth[u] = d
 						local = append(local, u)
 					}
-					return true
 				})
 			}
-			nextLocal[lo/grain] = local
+			putScratch(scratch)
+			nextLocal[c] = local
 		})
 		var next []graph.V
 		p.Serial(func() {
@@ -69,16 +88,17 @@ func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
 			}
 			// Sigma accumulates over all shortest predecessors, computed
 			// once per discovered vertex.
+			scratch := getScratch()
 			for _, u := range next {
 				var sum float64
-				s.Neighbors(u, func(w graph.V) bool {
+				forEachNeighbor(u, scratch, func(w graph.V) {
 					if depth[w] == d-1 {
 						sum += sigma[w]
 					}
-					return true
 				})
 				sigma[u] = sum
 			}
+			putScratch(scratch)
 		})
 		levels = append(levels, next)
 	}
@@ -86,19 +106,20 @@ func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
 	// Backward phase: accumulate dependencies level by level.
 	for l := len(levels) - 1; l >= 1; l-- {
 		cur := levels[l]
-		p.For(len(cur), grain, func(lo, hi int) {
+		p.ForRanges(levelBounds(cur), func(_, lo, hi int) {
+			scratch := getScratch()
 			for i := lo; i < hi; i++ {
 				v := cur[i]
 				var acc float64
-				s.Neighbors(v, func(u graph.V) bool {
+				forEachNeighbor(v, scratch, func(u graph.V) {
 					if depth[u] == int32(l+1) && sigma[u] > 0 {
 						acc += sigma[v] / sigma[u] * (1 + delta[u])
 					}
-					return true
 				})
 				delta[v] = acc
 				scores[v] += acc
 			}
+			putScratch(scratch)
 		})
 	}
 	return scores, elapsed(p)

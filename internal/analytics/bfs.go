@@ -13,11 +13,14 @@ const NoParent = int32(-1)
 // BFS runs the direction-optimizing breadth-first search of Beamer et
 // al. (the GAPBS implementation the paper uses): top-down while the
 // frontier is small, switching to bottom-up when the frontier's edge
-// count grows past a fraction of the remaining edges. It returns the
-// parent array.
+// count grows past a fraction of the remaining edges. Frontier expansion
+// reads adjacency through the bulk path, and each parallel phase is
+// partitioned by the frontier's degree prefix sum so one hub vertex does
+// not serialize its chunk. It returns the parent array.
 func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
 	n := s.NumVertices()
 	p := cfg.pool()
+	bs := bulkOf(s, cfg)
 	parent := make([]int32, n)
 	p.Serial(func() {
 		for i := range parent {
@@ -32,10 +35,10 @@ func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
 	const alpha = 15 // GAPBS direction-switch heuristic
 	frontier := []graph.V{src}
 	inFrontier := newBitmap(n)
-	grain := cfg.grain(n)
 	totalEdges := s.NumEdges()
 	var exploredEdges int64
 
+	vertBounds := cfg.bounds(n, func(i int) int { return s.Degree(graph.V(i)) })
 	for len(frontier) > 0 {
 		// Estimate work on each side of the switch.
 		var frontierEdges int64
@@ -46,9 +49,9 @@ func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
 		})
 		remaining := totalEdges - exploredEdges
 		if frontierEdges*alpha > remaining {
-			frontier = bfsBottomUp(s, p, parent, frontier, inFrontier, grain)
+			frontier = bfsBottomUp(s, p, parent, frontier, inFrontier, vertBounds)
 		} else {
-			frontier = bfsTopDown(s, p, parent, frontier, grain)
+			frontier = bfsTopDown(s, bs, p, parent, frontier, cfg)
 		}
 		exploredEdges += frontierEdges
 	}
@@ -58,20 +61,37 @@ func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
 // bfsTopDown expands the frontier by scanning each frontier vertex's
 // out-edges; vertices are claimed with a CAS on the parent array, so
 // each lands in exactly one chunk's local next-frontier.
-func bfsTopDown(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, grain int) []graph.V {
-	nextLocal := make([][]graph.V, (len(frontier)+grain-1)/grain)
-	p.For(len(frontier), grain, func(lo, hi int) {
+func bfsTopDown(s graph.Snapshot, bs graph.BulkSnapshot, p pool, parent []int32, frontier []graph.V, cfg Config) []graph.V {
+	bounds := cfg.bounds(len(frontier), func(i int) int { return s.Degree(frontier[i]) })
+	nextLocal := make([][]graph.V, len(bounds)-1)
+	p.ForRanges(bounds, func(c, lo, hi int) {
 		var local []graph.V
-		for i := lo; i < hi; i++ {
-			v := frontier[i]
-			s.Neighbors(v, func(u graph.V) bool {
-				if atomicClaimParent(parent, u, int32(v)) {
-					local = append(local, u)
+		if bs == nil {
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				s.Neighbors(v, func(u graph.V) bool {
+					if atomicClaimParent(parent, u, int32(v)) {
+						local = append(local, u)
+					}
+					return true
+				})
+			}
+		} else {
+			scratch := getScratch()
+			buf := *scratch
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				buf = bs.CopyNeighbors(v, buf[:0])
+				for _, u := range buf {
+					if atomicClaimParent(parent, u, int32(v)) {
+						local = append(local, u)
+					}
 				}
-				return true
-			})
+			}
+			*scratch = buf
+			putScratch(scratch)
 		}
-		nextLocal[lo/grain] = local
+		nextLocal[c] = local
 	})
 	var next []graph.V
 	p.Serial(func() {
@@ -85,17 +105,20 @@ func bfsTopDown(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, gr
 // bfsBottomUp scans all unreached vertices, adopting any in-frontier
 // neighbor as parent. Each unreached vertex is written by exactly one
 // chunk, so plain stores suffice; the frontier bitmap is read-only
-// during the sweep.
-func bfsBottomUp(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, inFrontier *bitmap, grain int) []graph.V {
-	n := s.NumVertices()
+// during the sweep. This phase deliberately keeps the per-edge callback
+// even in bulk mode: bottom-up runs exactly when the frontier is large,
+// so most scans hit an in-frontier neighbor within the first few edges,
+// and the early exit (stop at the first hit) saves far more than a bulk
+// copy of each hub's full adjacency would.
+func bfsBottomUp(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, inFrontier *bitmap, vertBounds []int) []graph.V {
 	p.Serial(func() {
 		inFrontier.clear()
 		for _, v := range frontier {
 			inFrontier.set(int(v))
 		}
 	})
-	nextLocal := make([][]graph.V, (n+grain-1)/grain)
-	p.For(n, grain, func(lo, hi int) {
+	nextLocal := make([][]graph.V, len(vertBounds)-1)
+	p.ForRanges(vertBounds, func(c, lo, hi int) {
 		var local []graph.V
 		for v := lo; v < hi; v++ {
 			if atomic.LoadInt32(&parent[v]) != NoParent {
@@ -110,7 +133,7 @@ func bfsBottomUp(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, i
 				return true
 			})
 		}
-		nextLocal[lo/grain] = local
+		nextLocal[c] = local
 	})
 	var next []graph.V
 	p.Serial(func() {

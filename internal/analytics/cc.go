@@ -12,45 +12,60 @@ import (
 // ones followed by pointer-jumping compression, iterating to a fixed
 // point. Label updates use atomic-min so the kernel is race-free under
 // real goroutine parallelism (GAPBS relies on benign x86 races instead).
-// It returns the component label of each vertex.
+// The hooking sweep reads adjacency through the bulk path with
+// equal-edge chunking. It returns the component label of each vertex.
 func CC(s graph.Snapshot, cfg Config) ([]graph.V, time.Duration) {
 	n := s.NumVertices()
 	p := cfg.pool()
+	bs := bulkOf(s, cfg)
 	comp := make([]uint32, n)
 	p.Serial(func() {
 		for v := range comp {
 			comp[v] = uint32(v)
 		}
 	})
-	grain := cfg.grain(n)
-	for {
-		changes := make([]int32, (n+grain-1)/grain+1)
-		// Hooking: adopt the smaller label across each edge.
-		p.For(n, grain, func(lo, hi int) {
-			var c int32
-			for v := lo; v < hi; v++ {
-				s.Neighbors(graph.V(v), func(u graph.V) bool {
-					cv := atomic.LoadUint32(&comp[v])
-					cu := atomic.LoadUint32(&comp[u])
-					switch {
-					case cu < cv:
-						if atomicMin(&comp[cv], cu) {
-							c++
-						}
-						atomicMin(&comp[v], cu)
-					case cv < cu:
-						if atomicMin(&comp[cu], cv) {
-							c++
-						}
-						atomicMin(&comp[u], cv)
-					}
-					return true
-				})
+	bounds := cfg.bounds(n, func(i int) int { return s.Degree(graph.V(i)) })
+	hookEdge := func(v int, u graph.V, c *int32) {
+		cv := atomic.LoadUint32(&comp[v])
+		cu := atomic.LoadUint32(&comp[u])
+		switch {
+		case cu < cv:
+			if atomicMin(&comp[cv], cu) {
+				*c++
 			}
-			changes[lo/grain] = c
+			atomicMin(&comp[v], cu)
+		case cv < cu:
+			if atomicMin(&comp[cu], cv) {
+				*c++
+			}
+			atomicMin(&comp[u], cv)
+		}
+	}
+	for {
+		changes := make([]int32, len(bounds))
+		// Hooking: adopt the smaller label across each edge.
+		p.ForRanges(bounds, func(ci, lo, hi int) {
+			var c int32
+			if bs == nil {
+				for v := lo; v < hi; v++ {
+					s.Neighbors(graph.V(v), func(u graph.V) bool {
+						hookEdge(v, u, &c)
+						return true
+					})
+				}
+			} else {
+				scratch := getScratch()
+				*scratch = graph.Sweep(bs, graph.V(lo), graph.V(hi), *scratch, func(v graph.V, dsts []graph.V) {
+					for _, u := range dsts {
+						hookEdge(int(v), u, &c)
+					}
+				})
+				putScratch(scratch)
+			}
+			changes[ci] = c
 		})
 		// Compression: pointer jumping.
-		p.For(n, grain, func(lo, hi int) {
+		p.ForRanges(bounds, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				for {
 					c := atomic.LoadUint32(&comp[v])

@@ -14,10 +14,14 @@ const dampingFactor = 0.85
 // PageRank runs the fixed-iteration pull-style PageRank of GAPBS over a
 // snapshot. The graph is treated as symmetric (every edge stored in both
 // directions, as the generators produce), so pulling over out-neighbors
-// equals pulling over in-neighbors.
+// equals pulling over in-neighbors. The pull phase sweeps the vertex
+// range through the bulk read path with equal-edge chunking; degrees are
+// fixed for the snapshot's lifetime, so the boundaries are computed once
+// and reused by every iteration.
 func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration) {
 	n := s.NumVertices()
 	p := cfg.pool()
+	bs := bulkOf(s, cfg)
 	ranks := make([]float64, n)
 	contrib := make([]float64, n)
 	base := (1 - dampingFactor) / float64(n)
@@ -27,9 +31,9 @@ func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration
 			ranks[v] = init
 		}
 	})
-	grain := cfg.grain(n)
+	bounds := cfg.bounds(n, func(i int) int { return s.Degree(graph.V(i)) })
 	for it := 0; it < iters; it++ {
-		p.For(n, grain, func(lo, hi int) {
+		p.ForRanges(bounds, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				if d := s.Degree(graph.V(v)); d > 0 {
 					contrib[v] = ranks[v] / float64(d)
@@ -38,15 +42,27 @@ func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration
 				}
 			}
 		})
-		p.For(n, grain, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				var sum float64
-				s.Neighbors(graph.V(v), func(u graph.V) bool {
-					sum += contrib[u]
-					return true
-				})
-				ranks[v] = base + dampingFactor*sum
+		p.ForRanges(bounds, func(_, lo, hi int) {
+			if bs == nil {
+				for v := lo; v < hi; v++ {
+					var sum float64
+					s.Neighbors(graph.V(v), func(u graph.V) bool {
+						sum += contrib[u]
+						return true
+					})
+					ranks[v] = base + dampingFactor*sum
+				}
+				return
 			}
+			scratch := getScratch()
+			*scratch = graph.Sweep(bs, graph.V(lo), graph.V(hi), *scratch, func(v graph.V, dsts []graph.V) {
+				var sum float64
+				for _, u := range dsts {
+					sum += contrib[u]
+				}
+				ranks[v] = base + dampingFactor*sum
+			})
+			putScratch(scratch)
 		})
 	}
 	return ranks, elapsed(p)

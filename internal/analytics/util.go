@@ -1,12 +1,26 @@
 package analytics
 
 import (
+	"sync"
 	"sync/atomic"
 
+	"dgap/internal/graph"
 	"dgap/internal/vtime"
 )
 
 type pool = *vtime.Pool
+
+// scratchPool recycles the per-chunk neighbor buffers of the bulk read
+// path, so a kernel's steady state does one pool round-trip per chunk
+// and zero allocations per vertex or edge.
+var scratchPool = sync.Pool{New: func() any {
+	s := make([]graph.V, 0, 1024)
+	return &s
+}}
+
+func getScratch() *[]graph.V { return scratchPool.Get().(*[]graph.V) }
+
+func putScratch(s *[]graph.V) { scratchPool.Put(s) }
 
 // atomicClaimParent sets parent[u] = val if it is still NoParent,
 // returning true on success; the primitive top-down BFS uses to claim

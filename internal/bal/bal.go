@@ -76,7 +76,7 @@ func (g *Graph) ensure(n int) {
 // the tail is full.
 func (g *Graph) InsertEdge(src, dst graph.V) error {
 	if int(src) >= len(g.verts) || int(dst) >= len(g.verts) {
-		g.ensure(int(max32(src, dst)) + 1)
+		g.ensure(int(max(src, dst)) + 1)
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -192,9 +192,24 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
 	}
 }
 
-func max32(a, b graph.V) graph.V {
-	if a > b {
-		return a
+// CopyNeighbors implements graph.BulkSnapshot: the same block-chain walk
+// as Neighbors, decoded block-at-a-time into the caller's scratch.
+func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	remaining := s.counts[v]
+	blk := s.heads[v]
+	a := s.g.a
+	for blk != 0 && remaining > 0 {
+		n := min(int64(BlockEdges), remaining)
+		view := a.Slice(blk+16, uint64(n)*4)
+		for i := int64(0); i < n; i++ {
+			d := binary.LittleEndian.Uint32(view[i*4:])
+			if d == emptySlot {
+				return buf
+			}
+			buf = append(buf, graph.V(d))
+		}
+		remaining -= n
+		blk = a.ReadU64(blk)
 	}
-	return b
+	return buf
 }

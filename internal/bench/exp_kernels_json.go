@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dgap/internal/analytics"
+)
+
+// KernelResult is one kernel timing in the machine-readable benchmark
+// dump: the nanoseconds one kernel took over one system's snapshot of
+// one dataset, on both read paths.
+type KernelResult struct {
+	Kernel     string `json:"kernel"`
+	System     string `json:"system"`
+	Graph      string `json:"graph"`
+	BulkNs     int64  `json:"bulk_ns"`
+	CallbackNs int64  `json:"callback_ns"`
+}
+
+// KernelDump is the top-level BENCH_kernels.json document. Scale and
+// seed pin the dataset generation so runs across PRs are comparable.
+type KernelDump struct {
+	Scale   float64        `json:"scale"`
+	Seed    int64          `json:"seed"`
+	Results []KernelResult `json:"results"`
+}
+
+// KernelJSON times every GAPBS kernel over every system snapshot — on
+// the bulk read path and the legacy callback path — and writes the
+// results to path as JSON, giving future PRs a perf trajectory to diff
+// against.
+func KernelJSON(o Options, path string) error {
+	o = o.defaults()
+	dump := KernelDump{Scale: o.Scale, Seed: o.Seed}
+	for _, spec := range o.specs() {
+		snaps, err := loadedSnapshots(spec, o)
+		if err != nil {
+			return err
+		}
+		src := analysisSource(snaps["CSR"])
+		for _, name := range sortedKeys(snaps) {
+			for _, k := range kernelNames {
+				bulk := runKernel(k, snaps[name], src, analytics.Serial)
+				cb := runKernel(k, snaps[name], src, analytics.Config{Threads: 1, Callback: true})
+				dump.Results = append(dump.Results, KernelResult{
+					Kernel:     k,
+					System:     name,
+					Graph:      spec.Name,
+					BulkNs:     bulk.Nanoseconds(),
+					CallbackNs: cb.Nanoseconds(),
+				})
+			}
+		}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "wrote %d kernel timings to %s\n", len(dump.Results), path)
+	return nil
+}

@@ -137,3 +137,24 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
 		c = int32(next)
 	}
 }
+
+// CopyNeighbors implements graph.BulkSnapshot for the chunked adjacency
+// (and therefore for the GraphOne and XPGraph snapshots built on it):
+// each chunk's edge words are appended with one tight copy loop instead
+// of a callback per edge.
+func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	remaining := s.counts[v]
+	c := s.heads[v]
+	for c >= 0 && remaining > 0 {
+		base := int(c) * chunkWords
+		n := min(int64(ChunkEdges), remaining)
+		buf = append(buf, s.pool[base+2:base+2+int(n)]...)
+		remaining -= n
+		next := s.pool[base]
+		if next == 0 {
+			return buf
+		}
+		c = int32(next)
+	}
+	return buf
+}

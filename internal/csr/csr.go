@@ -23,6 +23,8 @@ type Graph struct {
 	nEdges   int64
 	offsets  []uint64 // DRAM copy of the offset array for fast Degree()
 	edgeView []byte   // read-only view of the PM edge array
+	edgeU32  []uint32 // zero-copy u32 view of the same array (nil on
+	// hosts whose byte order forbids reinterpretation)
 }
 
 // Build constructs a CSR from an edge stream. Edges are grouped by
@@ -66,7 +68,7 @@ func Build(a *pmem.Arena, nVert int, edges []graph.Edge) (*Graph, error) {
 	a.Flush(edgeOff, uint64(len(ebuf)))
 	a.Fence()
 
-	return &Graph{
+	g := &Graph{
 		a:        a,
 		vertOff:  vertOff,
 		edgeOff:  edgeOff,
@@ -74,7 +76,11 @@ func Build(a *pmem.Arena, nVert int, edges []graph.Edge) (*Graph, error) {
 		nEdges:   int64(acc),
 		offsets:  offsets,
 		edgeView: a.Slice(edgeOff, acc*4),
-	}, nil
+	}
+	if view, ok := a.ViewU32(edgeOff, acc); ok {
+		g.edgeU32 = view
+	}
+	return g, nil
 }
 
 // Name implements graph.System naming for the harness tables.
@@ -112,4 +118,38 @@ func (g *Graph) Neighbors(v graph.V, fn func(graph.V) bool) {
 			return
 		}
 	}
+}
+
+// CopyNeighbors implements graph.BulkSnapshot: one memmove of the
+// vertex's contiguous edge run (per-slot decode on non-little-endian
+// hosts).
+func (g *Graph) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	if g.edgeU32 != nil {
+		return append(buf, g.edgeU32[lo:hi]...)
+	}
+	for i := lo; i < hi; i++ {
+		buf = append(buf, graph.V(binary.LittleEndian.Uint32(g.edgeView[i*4:])))
+	}
+	return buf
+}
+
+// SweepNeighbors implements graph.Sweeper: the CSR is immutable, so each
+// vertex's destinations are handed out as a zero-copy subslice of the PM
+// edge array view.
+func (g *Graph) SweepNeighbors(lo, hi graph.V, buf []graph.V, fn func(v graph.V, dsts []graph.V)) []graph.V {
+	if int(hi) > g.nVert {
+		hi = graph.V(g.nVert)
+	}
+	if g.edgeU32 != nil {
+		for v := lo; v < hi; v++ {
+			fn(v, g.edgeU32[g.offsets[v]:g.offsets[v+1]])
+		}
+		return buf
+	}
+	for v := lo; v < hi; v++ {
+		buf = g.CopyNeighbors(v, buf[:0])
+		fn(v, buf)
+	}
+	return buf
 }

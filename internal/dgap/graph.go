@@ -308,7 +308,7 @@ func (w *Writer) insert(src, dst graph.V, tomb bool) error {
 		return fmt.Errorf("dgap: vertex id out of range (max %d)", idMask)
 	}
 	g := w.g
-	if need := int(max32(src, dst)) + 1; need > g.NumVertices() {
+	if need := int(max(src, dst)) + 1; need > g.NumVertices() {
 		if err := g.EnsureVertices(need); err != nil {
 			return err
 		}
@@ -564,25 +564,4 @@ func (g *Graph) mirrorSection(ep *epoch, sec int) {
 	g.a.WriteU64(off, uint64(ep.secCount[sec].Load()))
 	g.a.Flush(off, 8)
 	g.a.Fence()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max32(a, b graph.V) graph.V {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

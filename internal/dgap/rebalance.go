@@ -88,7 +88,7 @@ func (ep *epoch) addRunCounts(start, length uint64) {
 	for s := start; s < start+length; {
 		sec := ep.secOf(s)
 		secEnd := (uint64(sec) + 1) << ep.secShift
-		n := min64(start+length, secEnd) - s
+		n := min(start+length, secEnd) - s
 		ep.secCount[sec].Add(int64(n))
 		s += n
 	}
@@ -285,7 +285,7 @@ func (g *Graph) rebalanceWindow(w *Writer, ep *epoch, lo, hi, lockHi, trigSec in
 		// characteristic per-entry fencing.
 		for _, r := range ranges {
 			for o := uint64(0); o < r.n; o += 1024 {
-				n := min64(1024, r.n-o)
+				n := min(1024, r.n-o)
 				if err := tx.Add(r.off+pmem.Off(o), n); err != nil {
 					return false, err
 				}

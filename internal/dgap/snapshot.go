@@ -2,6 +2,8 @@ package dgap
 
 import (
 	"encoding/binary"
+	"runtime"
+	"sync"
 
 	"dgap/internal/graph"
 )
@@ -13,6 +15,14 @@ import (
 // (array run first, then edge-log chain, an order merges preserve), the
 // first n entries are immutable history, so reads need no further
 // coordination with writers beyond per-section read locks.
+//
+// Two read paths are exposed. Neighbors is the per-edge callback of
+// graph.Snapshot. CopyNeighbors / SweepNeighbors implement the bulk path
+// (graph.BulkSnapshot, graph.Sweeper): the contiguous array run is
+// decoded from one Arena.Slice into caller-provided scratch, edge-log
+// chains and tombstone filtering reuse the same scratch, and a sweep over
+// ascending vertices pins the epoch once and takes each section lock once
+// per run of consecutive vertices instead of once per vertex.
 type Snapshot struct {
 	g     *Graph
 	nVert int
@@ -25,6 +35,11 @@ type Snapshot struct {
 	// Copy-on-Write degree cache (Config.CoWDegreeCache): shared pages.
 	pages []*degPage
 }
+
+var (
+	_ graph.BulkSnapshot = (*Snapshot)(nil)
+	_ graph.Sweeper      = (*Snapshot)(nil)
+)
 
 func (s *Snapshot) nOf(v graph.V) uint64 {
 	if s.pages != nil {
@@ -79,6 +94,25 @@ func (s *Snapshot) NumEdges() int64 { return s.edges }
 // Degree implements graph.Snapshot.
 func (s *Snapshot) Degree(v graph.V) int { return int(s.liveOf(v)) }
 
+// maxSnapRetries bounds the optimistic read loops: a validation failure
+// (epoch republished or vertex start moved between the unlocked read and
+// the lock acquisition) is transient, so a retry with a freshly loaded
+// epoch succeeds almost immediately. A bound this large only trips on a
+// real invariant violation, which is better surfaced than spun on.
+const maxSnapRetries = 1 << 16
+
+// snapRetry yields periodically so a blocked writer can publish the state
+// the reader is waiting for, and converts an exhausted retry budget into
+// a diagnosable panic instead of an unbounded busy-spin.
+func snapRetry(attempt int) {
+	if attempt >= maxSnapRetries {
+		panic("dgap: snapshot read could not reach a consistent view (stale epoch)")
+	}
+	if attempt%64 == 63 {
+		runtime.Gosched()
+	}
+}
+
 // Neighbors iterates v's live out-edges as of snapshot time. The paper's
 // v.e(): read up to n entries from the edge array; if the array holds
 // fewer than n (a chain has not been merged yet), continue through the
@@ -92,7 +126,8 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(dst graph.V) bool) {
 		return
 	}
 	g := s.g
-	for {
+	for attempt := 0; ; attempt++ {
+		snapRetry(attempt)
 		ep := g.ep.Load()
 		if int(v) >= len(ep.meta) {
 			return
@@ -117,7 +152,7 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(dst graph.V) bool) {
 
 func (s *Snapshot) iterate(ep *epoch, m *vertexMeta, start, n uint64, fn func(graph.V) bool) {
 	arr, lg := unpackCounts(m.counts.Load())
-	k := min64(n, arr)
+	k := min(n, arr)
 	if m.flags.Load()&flagHasTomb != 0 {
 		s.iterateWithTombs(ep, m, start, n, k, lg, fn)
 		return
@@ -138,6 +173,9 @@ func (s *Snapshot) iterate(ep *epoch, m *vertexMeta, start, n uint64, fn func(gr
 	chain := make([]uint32, lg)
 	cur := m.elHead.Load()
 	for i := int(lg) - 1; i >= 0; i-- {
+		if cur == noEntry {
+			panic("dgap: edge-log chain shorter than count")
+		}
 		chain[i] = g.a.ReadU32(ep.entryOff(cur) + 4)
 		cur = g.a.ReadU32(ep.entryOff(cur) + 8)
 	}
@@ -163,6 +201,9 @@ func (s *Snapshot) iterateWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64
 		chain := make([]uint32, lg)
 		cur := m.elHead.Load()
 		for i := int(lg) - 1; i >= 0; i-- {
+			if cur == noEntry {
+				panic("dgap: edge-log chain shorter than count")
+			}
 			chain[i] = g.a.ReadU32(ep.entryOff(cur) + 4)
 			cur = g.a.ReadU32(ep.entryOff(cur) + 8)
 		}
@@ -189,4 +230,223 @@ func (s *Snapshot) iterateWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64
 			return
 		}
 	}
+}
+
+// CopyNeighbors implements graph.BulkSnapshot: the same visibility and
+// ordering as Neighbors, decoded in one pass into the caller's scratch.
+// Vertices without tombstones allocate nothing once buf has capacity.
+func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	if int(v) >= s.nVert {
+		return buf
+	}
+	n := s.nOf(v)
+	if n == 0 {
+		return buf
+	}
+	g := s.g
+	for attempt := 0; ; attempt++ {
+		snapRetry(attempt)
+		ep := g.ep.Load()
+		if int(v) >= len(ep.meta) {
+			return buf
+		}
+		m := &ep.meta[v]
+		start := m.start.Load()
+		sec := ep.secOf(start)
+		if sec >= len(ep.locks) {
+			continue
+		}
+		l := &ep.locks[sec]
+		l.RLock()
+		if g.ep.Load() != ep || m.start.Load() != start {
+			l.RUnlock()
+			continue
+		}
+		buf = s.appendNeighbors(ep, m, start, n, buf)
+		l.RUnlock()
+		return buf
+	}
+}
+
+// SweepNeighbors implements graph.Sweeper: one epoch pin per sweep and
+// one section read-lock per run of consecutive vertices whose array runs
+// share a section, instead of one epoch load and one lock round-trip per
+// vertex. The epoch is re-validated under every freshly taken lock (an
+// epoch republish requires all section locks, so a held read lock keeps
+// it stable across the batch).
+func (s *Snapshot) SweepNeighbors(lo, hi graph.V, buf []graph.V, fn func(v graph.V, dsts []graph.V)) []graph.V {
+	if int(hi) > s.nVert {
+		hi = graph.V(s.nVert)
+	}
+	g := s.g
+	ep := g.ep.Load()
+	curSec := -1
+	var locked *sync.RWMutex
+	unlock := func() {
+		if locked != nil {
+			locked.RUnlock()
+			locked = nil
+			curSec = -1
+		}
+	}
+	for v := lo; v < hi; v++ {
+		n := s.nOf(v)
+		if n == 0 {
+			fn(v, buf[:0])
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			snapRetry(attempt)
+			if int(v) >= len(ep.meta) {
+				unlock()
+				ep = g.ep.Load()
+				if int(v) >= len(ep.meta) {
+					// The vertex genuinely has no storage in the current
+					// layout (cannot happen for v < nVert, but degrade to
+					// the empty answer rather than spin). fn still runs:
+					// the Sweeper contract promises one call per vertex.
+					fn(v, buf[:0])
+					break
+				}
+				continue
+			}
+			m := &ep.meta[v]
+			start := m.start.Load()
+			sec := ep.secOf(start)
+			if sec >= len(ep.locks) {
+				unlock()
+				ep = g.ep.Load()
+				continue
+			}
+			if sec != curSec {
+				unlock()
+				ep.locks[sec].RLock()
+				locked, curSec = &ep.locks[sec], sec
+				if g.ep.Load() != ep {
+					unlock()
+					ep = g.ep.Load()
+					continue
+				}
+			}
+			if m.start.Load() != start {
+				// Moved (possibly into another section) between the read
+				// and the lock; re-resolve under the fresh value.
+				continue
+			}
+			// Zero-copy fast path: a tombstone-free vertex whose visible
+			// entries all sit in the contiguous array run can hand the
+			// kernel a direct view of the PM edge array — no decode, no
+			// copy. The section read lock held across fn keeps the run
+			// stable for the duration of the call.
+			arr, _ := unpackCounts(m.counts.Load())
+			if n <= arr && m.flags.Load()&flagHasTomb == 0 {
+				if view, ok := g.a.ViewU32(ep.slotOff(start+1), n); ok {
+					fn(v, view)
+					break
+				}
+			}
+			buf = s.appendNeighbors(ep, m, start, n, buf[:0])
+			fn(v, buf)
+			break
+		}
+	}
+	unlock()
+	return buf
+}
+
+// appendNeighbors decodes the first n visible physical entries of the
+// vertex at start into buf. Called with the vertex's section read-locked
+// and the epoch validated.
+func (s *Snapshot) appendNeighbors(ep *epoch, m *vertexMeta, start, n uint64, buf []graph.V) []graph.V {
+	arr, lg := unpackCounts(m.counts.Load())
+	k := min(n, arr)
+	if m.flags.Load()&flagHasTomb != 0 {
+		return s.appendWithTombs(ep, m, start, n, k, lg, buf)
+	}
+	g := s.g
+	buf = appendRun(g, ep, start, k, buf)
+	rem := n - k
+	if rem == 0 {
+		return buf
+	}
+	// Edge-log chain: walk newest-first into the buffer tail, reverse in
+	// place to chronological order, keep the oldest rem entries.
+	return s.appendChain(ep, m, rem, lg, buf)
+}
+
+// appendRun appends the k array-resident entries of the run at start to
+// buf: one memmove through the arena's zero-copy u32 view where the host
+// byte order allows, a per-slot decode otherwise.
+func appendRun(g *Graph, ep *epoch, start, k uint64, buf []graph.V) []graph.V {
+	if view, ok := g.a.ViewU32(ep.slotOff(start+1), k); ok {
+		return append(buf, view...)
+	}
+	raw := g.a.Slice(ep.slotOff(start+1), k*slotBytes)
+	for i := uint64(0); i < k; i++ {
+		buf = append(buf, graph.V(binary.LittleEndian.Uint32(raw[i*slotBytes:])))
+	}
+	return buf
+}
+
+// appendChain appends the oldest rem edge-log chain values (chronological
+// order) to buf without allocating: the newest-first back-pointer walk
+// lands in the buffer tail and is reversed in place.
+func (s *Snapshot) appendChain(ep *epoch, m *vertexMeta, rem uint64, lg uint32, buf []graph.V) []graph.V {
+	g := s.g
+	cbase := len(buf)
+	cur := m.elHead.Load()
+	for i := uint32(0); i < lg; i++ {
+		if cur == noEntry {
+			panic("dgap: edge-log chain shorter than count")
+		}
+		off := ep.entryOff(cur)
+		buf = append(buf, graph.V(g.a.ReadU32(off+4)))
+		cur = g.a.ReadU32(off + 8)
+	}
+	for i, j := cbase, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	if rem < uint64(lg) {
+		buf = buf[:cbase+int(rem)]
+	}
+	return buf
+}
+
+// appendWithTombs is the bulk counterpart of iterateWithTombs: the raw
+// entry values are staged in buf itself, then compacted in place with
+// each tombstone cancelling one earlier occurrence of its destination.
+// Only the kill table allocates, and only on vertices that actually have
+// tombstones.
+func (s *Snapshot) appendWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64, lg uint32, buf []graph.V) []graph.V {
+	g := s.g
+	base := len(buf)
+	buf = appendRun(g, ep, start, k, buf)
+	if rem := n - k; rem > 0 {
+		buf = s.appendChain(ep, m, rem, lg, buf)
+	}
+	vals := buf[base:]
+	var kills map[uint32]int
+	for _, r := range vals {
+		if isTomb(uint32(r)) {
+			if kills == nil {
+				kills = make(map[uint32]int)
+			}
+			kills[uint32(r)&idMask]++
+		}
+	}
+	w := base
+	for _, r := range vals {
+		rv := uint32(r)
+		if isTomb(rv) {
+			continue
+		}
+		d := rv & idMask
+		if kills[d] > 0 {
+			kills[d]--
+			continue
+		}
+		buf[w] = graph.V(d)
+		w++
+	}
+	return buf[:w]
 }

@@ -143,6 +143,166 @@ func TestCSRMatchesStream(t *testing.T) {
 	}
 }
 
+// checkBulkMatchesCallback asserts that a snapshot's bulk read path
+// (CopyNeighbors and, when implemented, SweepNeighbors) yields exactly
+// the destination sequence of the per-edge Neighbors callback — same
+// order, same multiplicities — for every vertex.
+func checkBulkMatchesCallback(t *testing.T, s graph.Snapshot) {
+	t.Helper()
+	bs, ok := s.(graph.BulkSnapshot)
+	if !ok {
+		t.Fatalf("%T does not implement graph.BulkSnapshot natively", s)
+	}
+	var want, buf []graph.V
+	for v := 0; v < s.NumVertices(); v++ {
+		want = want[:0]
+		s.Neighbors(graph.V(v), func(d graph.V) bool { want = append(want, d); return true })
+		buf = bs.CopyNeighbors(graph.V(v), buf[:0])
+		if !equalV(want, buf) {
+			t.Fatalf("vertex %d: CopyNeighbors = %v, Neighbors = %v", v, buf, want)
+		}
+	}
+	if sw, ok := s.(graph.Sweeper); ok {
+		got := make([][]graph.V, s.NumVertices())
+		buf = sw.SweepNeighbors(0, graph.V(s.NumVertices()), buf, func(v graph.V, dsts []graph.V) {
+			got[v] = append([]graph.V(nil), dsts...)
+		})
+		for v := 0; v < s.NumVertices(); v++ {
+			want = want[:0]
+			s.Neighbors(graph.V(v), func(d graph.V) bool { want = append(want, d); return true })
+			if !equalV(want, got[v]) {
+				t.Fatalf("vertex %d: SweepNeighbors = %v, Neighbors = %v", v, got[v], want)
+			}
+		}
+	}
+	// The generic Sweep helper must agree regardless of which path it
+	// picks underneath.
+	graph.Sweep(bs, 0, graph.V(s.NumVertices()), buf[:0], func(v graph.V, dsts []graph.V) {
+		var w []graph.V
+		s.Neighbors(v, func(d graph.V) bool { w = append(w, d); return true })
+		if !equalV(w, dsts) {
+			t.Fatalf("vertex %d: Sweep = %v, Neighbors = %v", v, dsts, w)
+		}
+	})
+}
+
+func equalV(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBulkMatchesCallbackAllSystems cross-checks every backend's native
+// BulkSnapshot implementation against its callback Neighbors.
+func TestBulkMatchesCallbackAllSystems(t *testing.T) {
+	const V = 150
+	edges := graphgen.Uniform(V, 14, 71)
+	for name, sys := range buildAll(t, V, edges) {
+		t.Run(name, func(t *testing.T) {
+			checkBulkMatchesCallback(t, sys.Snapshot())
+		})
+	}
+	g, err := csr.Build(pmem.New(64<<20), V, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("csr", func(t *testing.T) {
+		checkBulkMatchesCallback(t, g.Snapshot())
+	})
+}
+
+// TestBulkMatchesCallbackAfterDeletes exercises the DGAP tombstone path:
+// snapshots taken after deletions (including deletions that land in the
+// edge-log chain) must agree between the bulk and callback readers.
+func TestBulkMatchesCallbackAfterDeletes(t *testing.T) {
+	const V = 80
+	edges := graphgen.Uniform(V, 12, 93)
+	a := pmem.New(256 << 20)
+	cfg := dgap.DefaultConfig(V, int64(len(edges)))
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every third edge; duplicates in the stream make some
+	// deletions cancel one of several occurrences, which the tombstone
+	// pre-pass must handle identically on both paths.
+	for i := 0; i < len(edges); i += 3 {
+		if err := g.DeleteEdge(edges[i].Src, edges[i].Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkBulkMatchesCallback(t, g.Snapshot())
+
+	// Interleave more inserts so tombstones coexist with fresh edge-log
+	// chain entries, then re-check.
+	for i := 1; i < len(edges); i += 4 {
+		if err := g.InsertEdge(edges[i].Src, edges[i].Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkBulkMatchesCallback(t, g.Snapshot())
+}
+
+// TestDGAPBulkZeroAlloc asserts the tombstone-free DGAP bulk path does
+// zero per-vertex allocations once the scratch buffer has grown: the
+// paper's in-place analytics claim depends on the read path not touching
+// the allocator per edge or per vertex.
+func TestDGAPBulkZeroAlloc(t *testing.T) {
+	const V = 120
+	edges := graphgen.Uniform(V, 16, 5)
+	a := pmem.New(256 << 20)
+	cfg := dgap.DefaultConfig(V, int64(len(edges)))
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := g.Snapshot()
+	bs, ok := s.(graph.BulkSnapshot)
+	if !ok {
+		t.Fatal("DGAP snapshot lacks the bulk path")
+	}
+	buf := make([]graph.V, 0, 4096)
+	// Warm up (buffer growth happens here if the cap above were short).
+	for v := 0; v < V; v++ {
+		buf = bs.CopyNeighbors(graph.V(v), buf[:0])
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for v := 0; v < V; v++ {
+			buf = bs.CopyNeighbors(graph.V(v), buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CopyNeighbors sweep allocated %.1f times per run, want 0", allocs)
+	}
+	sw := s.(graph.Sweeper)
+	allocs = testing.AllocsPerRun(10, func() {
+		buf = sw.SweepNeighbors(0, V, buf, func(graph.V, []graph.V) {})
+	})
+	if allocs != 0 {
+		t.Errorf("SweepNeighbors allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // TestSnapshotStalenessSemantics documents each framework's visibility
 // guarantee: DGAP/BAL see everything immediately; LLAMA misses the
 // unfrozen batch; GraphOne and XPGraph (DRAM cache) see everything.

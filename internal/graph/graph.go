@@ -1,6 +1,17 @@
-// Package graph defines the vertex/edge types and the snapshot interface
+// Package graph defines the vertex/edge types and the snapshot interfaces
 // shared by every graph system in this repository (DGAP and the baselines
 // it is evaluated against) and consumed by the analytics kernels.
+//
+// Two read paths are offered. Neighbors is the classic per-edge callback:
+// simple, universal, but it costs one closure invocation per edge plus
+// whatever per-vertex synchronization the backend needs. BulkSnapshot is
+// the bulk read path: CopyNeighbors appends a vertex's whole adjacency
+// run into a caller-provided scratch slice in one pass, so kernels touch
+// destinations through a plain slice loop with amortized zero
+// allocations. Backends that can amortize synchronization across an
+// ascending vertex range additionally implement Sweeper. Bulk and Sweep
+// give kernels a uniform entry point that degrades gracefully to the
+// callback path for backends without native support.
 package graph
 
 // V is a vertex identifier. DGAP stores destination ids in 4 bytes and
@@ -34,6 +45,67 @@ type Snapshot interface {
 	// Neighbors calls fn for each out-neighbor of v in this snapshot
 	// until fn returns false.
 	Neighbors(v V, fn func(dst V) bool)
+}
+
+// BulkSnapshot extends Snapshot with an append-style bulk neighbor copy.
+// It is the fast path for analytics: one call per vertex instead of one
+// callback per edge, with the caller's scratch buffer reused across
+// vertices so the steady state allocates nothing.
+type BulkSnapshot interface {
+	Snapshot
+	// CopyNeighbors appends v's out-neighbors to buf — in exactly the
+	// order Neighbors would deliver them — and returns the extended
+	// slice. The caller owns buf; passing the previous return value
+	// re-sliced to its prefix (buf[:0] for a fresh vertex) makes the
+	// copy amortized zero-allocation once the buffer has grown to the
+	// maximum degree.
+	CopyNeighbors(v V, buf []V) []V
+}
+
+// Sweeper is optionally implemented by snapshots that can amortize
+// per-vertex synchronization (locks, epoch pins) across an ascending
+// vertex range — DGAP takes each PM section lock once per run of
+// consecutive vertices instead of once per vertex. fn receives each
+// vertex's destinations in a slice that is only valid during the call.
+type Sweeper interface {
+	// SweepNeighbors calls fn once for every vertex in [lo, hi), using
+	// buf as scratch, and returns the (possibly grown) scratch for
+	// reuse by the next range.
+	SweepNeighbors(lo, hi V, buf []V, fn func(v V, dsts []V)) []V
+}
+
+// Bulk returns s as a BulkSnapshot: s itself when it has a native bulk
+// path, otherwise an adapter that materializes Neighbors callbacks into
+// the scratch buffer (correct everywhere, fast where implemented).
+func Bulk(s Snapshot) BulkSnapshot {
+	if bs, ok := s.(BulkSnapshot); ok {
+		return bs
+	}
+	return bulkAdapter{s}
+}
+
+type bulkAdapter struct{ Snapshot }
+
+func (b bulkAdapter) CopyNeighbors(v V, buf []V) []V {
+	b.Snapshot.Neighbors(v, func(d V) bool {
+		buf = append(buf, d)
+		return true
+	})
+	return buf
+}
+
+// Sweep iterates every vertex in [lo, hi) through the snapshot's fastest
+// available path: the backend's own Sweeper when present, a per-vertex
+// CopyNeighbors loop otherwise. It returns the scratch buffer for reuse.
+func Sweep(bs BulkSnapshot, lo, hi V, buf []V, fn func(v V, dsts []V)) []V {
+	if sw, ok := bs.(Sweeper); ok {
+		return sw.SweepNeighbors(lo, hi, buf, fn)
+	}
+	for v := lo; v < hi; v++ {
+		buf = bs.CopyNeighbors(v, buf[:0])
+		fn(v, buf)
+	}
+	return buf
 }
 
 // System is a dynamic graph framework: it ingests edges and serves

@@ -74,7 +74,7 @@ func (g *Graph) Name() string { return "GraphOne-FD" }
 func (g *Graph) InsertEdge(src, dst graph.V) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if n := int(max32(src, dst)) + 1; n > g.adj.NumVertices() {
+	if n := int(max(src, dst)) + 1; n > g.adj.NumVertices() {
 		g.adj.Ensure(n)
 	}
 	g.adj.Append(src, dst)
@@ -135,16 +135,10 @@ func (g *Graph) flushLocked() error {
 }
 
 // Snapshot freezes the chunked adjacency view (GraphOne serves analysis
-// from its DRAM adjacency units).
+// from its DRAM adjacency units). The returned snapshot supports the
+// graph.BulkSnapshot read path through chunkadj.
 func (g *Graph) Snapshot() graph.Snapshot {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.adj.Snapshot()
-}
-
-func max32(a, b graph.V) graph.V {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -209,3 +209,23 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
 		}
 	}
 }
+
+// CopyNeighbors implements graph.BulkSnapshot: the same newest-to-oldest
+// version-chain walk as Neighbors, with each fragment copied in one
+// memmove through the arena's zero-copy u32 view (per-slot decode on
+// non-little-endian hosts).
+func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	a := s.g.a
+	for off := s.heads[v]; off != 0; off = a.ReadU64(off) {
+		deg := a.ReadU64(off + 8)
+		if u32, ok := a.ViewU32(off+16, deg); ok {
+			buf = append(buf, u32...)
+			continue
+		}
+		view := a.Slice(off+16, deg*4)
+		for i := uint64(0); i < deg; i++ {
+			buf = append(buf, graph.V(binary.LittleEndian.Uint32(view[i*4:])))
+		}
+	}
+	return buf
+}

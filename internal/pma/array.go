@@ -451,17 +451,3 @@ func (p *Array) Keys() []uint64 {
 	p.ForEach(func(k uint64) bool { out = append(out, k); return true })
 	return out
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

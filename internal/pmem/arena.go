@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // Off is a byte offset into an Arena's address space. Persistent data
@@ -257,6 +258,31 @@ func (a *Arena) ReadBytes(off Off, n uint64) []byte {
 func (a *Arena) Slice(off Off, n uint64) []byte {
 	a.check(off, n)
 	return a.buf[off : off+n : off+n]
+}
+
+// hostLittle32 reports whether the host stores uint32 in the arena's
+// on-device byte order (little-endian), which makes a reinterpreted
+// []uint32 view of the byte image read the same values the per-element
+// binary.LittleEndian decode would.
+var hostLittle32 = func() bool {
+	x := uint32(0x01020304)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04
+}()
+
+// ViewU32 returns a zero-copy view of n little-endian uint32 values at
+// off, or ok=false when the host byte order or the offset's alignment
+// rules it out (callers fall back to the decoding path). The same
+// validity rules as Slice apply: reads only, under whatever lock
+// protects the range, never retained across data movement.
+func (a *Arena) ViewU32(off Off, n uint64) (view []uint32, ok bool) {
+	if !hostLittle32 || off%4 != 0 {
+		return nil, false
+	}
+	if n == 0 {
+		return nil, true
+	}
+	a.check(off, n*4)
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&a.buf[off])), n), true
 }
 
 // --- persistence operations ---

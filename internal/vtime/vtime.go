@@ -135,16 +135,38 @@ func (p *Pool) For(n, grain int, body func(lo, hi int)) {
 		return
 	}
 	nChunks := (n + grain - 1) / grain
+	bounds := make([]int, nChunks+1)
+	for c := 1; c < nChunks; c++ {
+		bounds[c] = c * grain
+	}
+	bounds[nChunks] = n
+	p.ForRanges(bounds, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForRanges runs body(c, lo, hi) for every range [bounds[c], bounds[c+1])
+// of the (ascending) boundary list. It is the irregular-chunk counterpart
+// of For — the analytics kernels pass degree-aware equal-edge boundaries
+// so skewed graphs do not serialize on hub-heavy chunks — and, like For,
+// a barrier: all ranges complete before it returns. In virtual mode each
+// range's measured duration is packed onto the logical workers.
+func (p *Pool) ForRanges(bounds []int, body func(c, lo, hi int)) {
+	nChunks := len(bounds) - 1
+	if nChunks <= 0 {
+		return
+	}
+	if p.Threads <= 1 && !p.Virtual {
+		t0 := time.Now()
+		for c := 0; c < nChunks; c++ {
+			body(c, bounds[c], bounds[c+1])
+		}
+		p.addClock(time.Since(t0))
+		return
+	}
 	if p.Virtual {
 		durs := make([]time.Duration, nChunks)
 		for c := 0; c < nChunks; c++ {
-			lo := c * grain
-			hi := lo + grain
-			if hi > n {
-				hi = n
-			}
 			t0 := time.Now()
-			body(lo, hi)
+			body(c, bounds[c], bounds[c+1])
 			durs[c] = time.Since(t0)
 		}
 		p.addClock(makespan(durs, p.Threads) + p.BarrierOverhead)
@@ -163,12 +185,7 @@ func (p *Pool) For(n, grain int, body func(lo, hi int)) {
 		go func() {
 			defer wg.Done()
 			for c := range next {
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+				body(c, bounds[c], bounds[c+1])
 			}
 		}()
 	}

@@ -121,7 +121,7 @@ func (g *Graph) Name() string { return "XPGraph" }
 func (g *Graph) InsertEdge(src, dst graph.V) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if n := int(max32(src, dst)) + 1; n > len(g.verts) {
+	if n := int(max(src, dst)) + 1; n > len(g.verts) {
 		nv := make([]vertex, n)
 		copy(nv, g.verts)
 		g.verts = nv
@@ -222,16 +222,10 @@ func (g *Graph) appendRun(src graph.V, dsts []graph.V) error {
 }
 
 // Snapshot freezes the DRAM cache — XPGraph serves analysis from
-// DRAM-cached adjacency units.
+// DRAM-cached adjacency units. The returned snapshot supports the
+// graph.BulkSnapshot read path through chunkadj.
 func (g *Graph) Snapshot() graph.Snapshot {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.cache.Snapshot()
-}
-
-func max32(a, b graph.V) graph.V {
-	if a > b {
-		return a
-	}
-	return b
 }
