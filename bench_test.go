@@ -349,6 +349,58 @@ func BenchmarkKernelPathDGAP(b *testing.B) {
 	}
 }
 
+// --- Ingest write path: scalar InsertEdge vs batched/routed InsertBatch ---
+
+// BenchmarkIngestPath loads every dynamic system with the same timed
+// stream through the scalar insert loop, the single-writer batched path
+// and the sharded batch router, reporting MEPS for each so the
+// per-backend win of the batched write path is directly visible — the
+// write-side mirror of BenchmarkNeighborsPath. cmd/dgap-bench -ingest
+// dumps the same comparison to BENCH_ingest.json for cross-PR tracking.
+func BenchmarkIngestPath(b *testing.B) {
+	edges, nVert := benchEdges(b, "orkut")
+	for _, name := range []string{"DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"} {
+		b.Run(name, func(b *testing.B) {
+			run := func(b *testing.B, ins func(sys graph.System) (workload.InsertResult, error)) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					sys := buildBenchSystem(b, name, nVert, len(edges))
+					res, err := ins(sys)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Elapsed
+				}
+				reportMEPS(b, len(edges)*9/10, b.N, total)
+			}
+			b.Run("Scalar", func(b *testing.B) {
+				run(b, func(sys graph.System) (workload.InsertResult, error) {
+					return workload.InsertSerial(sys, edges)
+				})
+			})
+			b.Run("Batched", func(b *testing.B) {
+				run(b, func(sys graph.System) (workload.InsertResult, error) {
+					return workload.InsertBatchedSerial(sys, edges, workload.AdaptiveBatchSize(len(edges)))
+				})
+			})
+			b.Run("Routed8", func(b *testing.B) {
+				run(b, func(sys graph.System) (workload.InsertResult, error) {
+					bs := workload.AdaptiveBatchSize(len(edges))
+					if g, ok := sys.(*dgap.Graph); ok {
+						return workload.InsertBatchedDGAP(g, edges, 8, bs)
+					}
+					scope := workload.ScopeGlobal
+					switch name {
+					case "BAL", "XPGraph":
+						scope = workload.ScopeVertex
+					}
+					return workload.InsertBatched(sys, edges, 8, scope, bs)
+				})
+			})
+		})
+	}
+}
+
 func BenchmarkFig7PageRank(b *testing.B) { benchmarkKernel(b, "PR", analytics.Serial) }
 func BenchmarkFig7CC(b *testing.B)       { benchmarkKernel(b, "CC", analytics.Serial) }
 func BenchmarkFig8BFS(b *testing.B)      { benchmarkKernel(b, "BFS", analytics.Serial) }

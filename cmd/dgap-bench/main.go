@@ -30,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	noLatency := flag.Bool("no-latency", false, "disable the PM latency model (counting-only runs)")
 	jsonOut := flag.Bool("json", false, "time the analysis kernels (bulk and callback read paths) and write BENCH_kernels.json instead of printing tables")
+	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json to emit both artifacts")
+	tiny := flag.Bool("tiny", false, "CI smoke scale: small datasets at a minimal scale factor")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +45,10 @@ func main() {
 	if *datasets != "" {
 		opt.Datasets = strings.Split(*datasets, ",")
 	}
+	if *tiny {
+		opt.Scale = 0.00005
+		opt.Datasets = []string{"small"}
+	}
 	if *noLatency {
 		// A zero model is replaced by the default; flag a disabled one
 		// explicitly by enabling with zero costs.
@@ -50,6 +56,15 @@ func main() {
 	}
 
 	var err error
+	if *ingest {
+		if err := bench.IngestJSON(opt, "BENCH_ingest.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			return
+		}
+	}
 	if *jsonOut {
 		if err := bench.KernelJSON(opt, "BENCH_kernels.json"); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)

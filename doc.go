@@ -19,8 +19,19 @@
 // sums so skewed graphs load-balance. See the internal/graph and
 // internal/analytics package documentation.
 //
+// Ingest mirrors that symmetry on the write side
+// (graph.BatchWriter / graph.Batch): every backend implements a native
+// InsertBatch that amortizes locking, durability fencing and
+// maintenance checks across a batch — DGAP groups each batch by PMA
+// section, taking the section lock, the coalesced cache-line flushes,
+// the fence and the rebalance check once per group — and
+// internal/workload routes edge streams across per-shard writers by
+// lock resource, feeding batches instead of single edges.
+//
 // bench_test.go in this directory exposes each experiment as a standard
 // testing.B benchmark; cmd/dgap-bench prints the full paper-style
-// tables, and `dgap-bench -json` dumps kernel timings on both read
-// paths to BENCH_kernels.json for cross-PR perf tracking.
+// tables, `dgap-bench -json` dumps kernel timings on both read paths to
+// BENCH_kernels.json, and `dgap-bench -ingest` dumps scalar vs batched
+// vs routed ingest timings to BENCH_ingest.json for cross-PR perf
+// tracking.
 package repro

@@ -16,7 +16,6 @@ package bal
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -113,12 +112,79 @@ func (g *Graph) InsertEdge(src, dst graph.V) error {
 	return nil
 }
 
+// InsertBatch implements graph.BatchWriter: edges are grouped by source
+// vertex (stream order preserved within each source), each vertex lock
+// is taken once per group, and each touched block pays two flush+fence
+// rounds — slots, then the covering count — instead of two per edge:
+// the same amortization the paper credits XPGraph's archiving threshold
+// with.
+func (g *Graph) InsertBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	maxID := graph.V(0)
+	for _, e := range edges {
+		maxID = max(maxID, e.Src, e.Dst)
+	}
+	if int(maxID) >= len(g.verts) {
+		g.ensure(int(maxID) + 1)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for src, dsts := range graph.GroupBySrc(edges) {
+		if err := g.appendRun(src, dsts); err != nil {
+			return err
+		}
+		g.edges.Add(int64(len(dsts)))
+	}
+	return nil
+}
+
+// appendRun appends a source's pending destinations into its block
+// chain under one vertex-lock acquisition, filling each block with one
+// write burst and persisting per touched block, not per edge.
+func (g *Graph) appendRun(src graph.V, dsts []graph.V) error {
+	v := &g.verts[src]
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(dsts) > 0 {
+		fill := v.count % BlockEdges
+		if v.tail == 0 || (fill == 0 && v.count > 0) {
+			blk, err := g.newBlock()
+			if err != nil {
+				return err
+			}
+			if v.tail == 0 {
+				v.head = blk
+			} else {
+				g.a.PersistU64(v.tail, blk)
+			}
+			v.tail = blk
+			fill = 0
+		}
+		n := min(int64(BlockEdges)-fill, int64(len(dsts)))
+		first := v.tail + 16 + pmem.Off(fill)*4
+		for i := int64(0); i < n; i++ {
+			g.a.WriteU32(first+pmem.Off(i)*4, dsts[i])
+		}
+		// Same crash-consistency ordering as the scalar path, amortized
+		// per block instead of per edge: the slots are durable before
+		// the count that covers them is persisted.
+		g.a.Flush(first, uint64(n)*4)
+		g.a.Fence()
+		g.a.PersistU64(v.tail+8, uint64(fill+n))
+		v.count += n
+		dsts = dsts[n:]
+	}
+	return nil
+}
+
 // newBlock allocates a block with all edge slots set to the empty
 // sentinel (one bulk write + flush, amortized over BlockEdges inserts).
 func (g *Graph) newBlock() (pmem.Off, error) {
-	blk, err := g.a.Alloc(blockBytes, pmem.CacheLineSize)
+	blk, err := g.a.AllocRegion("bal: edge block", blockBytes, pmem.CacheLineSize)
 	if err != nil {
-		return 0, fmt.Errorf("bal: %w", err)
+		return 0, err
 	}
 	ff := make([]byte, BlockEdges*4)
 	for i := range ff {

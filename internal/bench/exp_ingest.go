@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/workload"
+)
+
+// ingestShards matches the paper's mid-scale writer-thread point; the
+// batch size adapts to the stream (workload.AdaptiveBatchSize), since
+// section-grouped batching needs batches that put several edges in each
+// PMA section and section count grows with the graph.
+const ingestShards = 8
+
+// IngestResult is one ingest measurement in the machine-readable dump:
+// the same system loading the same timed stream through the scalar
+// InsertEdge loop, the single-writer batched path, and the sharded
+// router (virtual-time makespan at ingestShards writers).
+type IngestResult struct {
+	System    string  `json:"system"`
+	Graph     string  `json:"graph"`
+	Edges     int     `json:"edges"`
+	BatchSize int     `json:"batch_size"`
+	Shards    int     `json:"shards"`
+	ScalarNs  int64   `json:"scalar_ns"`
+	BatchedNs int64   `json:"batched_ns"`
+	RoutedNs  int64   `json:"routed_ns"`
+	Speedup   float64 `json:"speedup"` // scalar_ns / batched_ns (single-writer)
+}
+
+// IngestDump is the top-level BENCH_ingest.json document. Scale and
+// seed pin the dataset generation so runs across PRs are comparable —
+// the write-path counterpart of BENCH_kernels.json.
+type IngestDump struct {
+	Scale   float64        `json:"scale"`
+	Seed    int64          `json:"seed"`
+	Results []IngestResult `json:"results"`
+}
+
+// IngestJSON measures every dynamic system's ingest throughput on the
+// scalar and batched write paths (plus the sharded router) and writes
+// the results to path as JSON, giving future PRs a write-path perf
+// trajectory to diff against.
+func IngestJSON(o Options, path string) error {
+	o = o.defaults()
+	dump := IngestDump{Scale: o.Scale, Seed: o.Seed}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		for _, name := range SystemNames {
+			res, err := measureIngest(name, nVert, edges, o)
+			if err != nil {
+				return fmt.Errorf("ingest %s/%s: %w", spec.Name, name, err)
+			}
+			res.Graph = spec.Name
+			dump.Results = append(dump.Results, res)
+		}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "wrote %d ingest timings to %s\n", len(dump.Results), path)
+	return nil
+}
+
+// measureIngest loads three fresh instances of one system with the same
+// stream: scalar single-writer, batched single-writer, and the sharded
+// batch router.
+func measureIngest(name string, nVert int, edges []graph.Edge, o Options) (IngestResult, error) {
+	batchSize := workload.AdaptiveBatchSize(len(edges))
+	out := IngestResult{System: name, BatchSize: batchSize, Shards: ingestShards}
+	_, timed := workload.Split(edges)
+	out.Edges = len(timed)
+
+	sys, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, err
+	}
+	scalar, err := workload.InsertSerial(sys, edges)
+	if err != nil {
+		return out, err
+	}
+	out.ScalarNs = scalar.Elapsed.Nanoseconds()
+
+	sys, _, err = buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, err
+	}
+	batched, err := workload.InsertBatchedSerial(sys, edges, batchSize)
+	if err != nil {
+		return out, err
+	}
+	out.BatchedNs = batched.Elapsed.Nanoseconds()
+
+	sys, _, err = buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, err
+	}
+	var routed workload.InsertResult
+	if g, ok := sys.(*dgap.Graph); ok {
+		routed, err = workload.InsertBatchedDGAP(g, edges, ingestShards, batchSize)
+	} else {
+		routed, err = workload.InsertBatched(sys, edges, ingestShards, lockScope(name), batchSize)
+	}
+	if err != nil {
+		return out, err
+	}
+	out.RoutedNs = routed.Elapsed.Nanoseconds()
+
+	if out.BatchedNs > 0 {
+		out.Speedup = float64(out.ScalarNs) / float64(out.BatchedNs)
+	}
+	return out, nil
+}

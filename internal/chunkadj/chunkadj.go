@@ -75,6 +75,33 @@ func (a *Adj) Append(v graph.V, dst graph.V) {
 	a.edges++
 }
 
+// AppendRun appends a run of destinations to v's chain, filling each
+// tail chunk with one copy instead of a tail lookup and count store per
+// edge — the DRAM analogue of the persistent backends' batched block
+// fills. Equivalent to calling Append(v, d) for each d in order.
+func (a *Adj) AppendRun(v graph.V, dsts []graph.V) {
+	for len(dsts) > 0 {
+		fill := a.counts[v] % ChunkEdges
+		if a.tails[v] < 0 || (fill == 0 && a.counts[v] > 0) {
+			c := a.newChunk()
+			if a.tails[v] < 0 {
+				a.heads[v] = c
+			} else {
+				a.pool[int(a.tails[v])*chunkWords] = uint32(c)
+			}
+			a.tails[v] = c
+			fill = 0
+		}
+		base := int(a.tails[v]) * chunkWords
+		n := min(int64(ChunkEdges)-fill, int64(len(dsts)))
+		copy(a.pool[base+2+int(fill):base+2+int(fill)+int(n)], dsts[:n])
+		a.pool[base+1] = uint32(fill + n)
+		a.counts[v] += n
+		a.edges += n
+		dsts = dsts[n:]
+	}
+}
+
 func (a *Adj) newChunk() int32 {
 	idx := int32(len(a.pool) / chunkWords)
 	a.pool = append(a.pool, make([]uint32, chunkWords)...)

@@ -1,6 +1,7 @@
 package chunkadj
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -123,5 +124,40 @@ func TestPropertyMatchesReference(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAppendRunMatchesAppend(t *testing.T) {
+	const V = 24
+	one, run := New(V), New(V)
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 50; round++ {
+		v := graph.V(rng.Intn(V))
+		n := rng.Intn(2*ChunkEdges + 3)
+		dsts := make([]graph.V, n)
+		for i := range dsts {
+			dsts[i] = graph.V(rng.Intn(V))
+		}
+		for _, d := range dsts {
+			one.Append(v, d)
+		}
+		run.AppendRun(v, dsts)
+	}
+	if one.NumEdges() != run.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", one.NumEdges(), run.NumEdges())
+	}
+	so, sr := one.Snapshot(), run.Snapshot()
+	for v := 0; v < V; v++ {
+		var a, b []graph.V
+		so.Neighbors(graph.V(v), func(d graph.V) bool { a = append(a, d); return true })
+		sr.Neighbors(graph.V(v), func(d graph.V) bool { b = append(b, d); return true })
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: %d vs %d edges", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d differs at %d: %v vs %v", v, i, a, b)
+			}
+		}
 	}
 }

@@ -42,11 +42,11 @@ func Build(a *pmem.Arena, nVert int, edges []graph.Edge) (*Graph, error) {
 	}
 	offsets[nVert] = acc
 
-	vertOff, err := a.Alloc(uint64(nVert+1)*8, pmem.CacheLineSize)
+	vertOff, err := a.AllocRegion("csr: vertex array", uint64(nVert+1)*8, pmem.CacheLineSize)
 	if err != nil {
 		return nil, err
 	}
-	edgeOff, err := a.Alloc(acc*4+4, pmem.CacheLineSize)
+	edgeOff, err := a.AllocRegion("csr: edge array", acc*4+4, pmem.CacheLineSize)
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +88,12 @@ func (g *Graph) Name() string { return "CSR" }
 
 // InsertEdge always fails: CSR is the static baseline.
 func (g *Graph) InsertEdge(src, dst graph.V) error {
+	return errImmutable{}
+}
+
+// InsertBatch implements graph.BatchWriter symmetrically with
+// InsertEdge: the static baseline rejects all writes.
+func (g *Graph) InsertBatch([]graph.Edge) error {
 	return errImmutable{}
 }
 

@@ -1,0 +1,291 @@
+package dgap
+
+import (
+	"fmt"
+
+	"dgap/internal/graph"
+)
+
+// This file is the batched write path — the write-side mirror of the
+// bulk read path in snapshot.go. Where SweepNeighbors pins the epoch
+// once per sweep and takes each section read lock once per run of
+// vertices, InsertBatch groups a batch by PMA section and, per group,
+// takes the section write lock once, stages every edge-log entry into
+// the section's contiguous segment, issues one coalesced flush of the
+// staged range (~4 entries per cache line instead of one flush+fence
+// each), fences once, and evaluates the rebalance trigger once at the
+// group boundary. Rebalances therefore run at most once per group — one
+// undo-log session per section group instead of a potential session per
+// edge — which is where the batched path's flush/fence savings compound.
+//
+// The one-flush-one-fence accounting assumes the default
+// MetadataInDRAM=true. The "No DP" ablation deliberately write-through
+// mirrors vertex and tree metadata to PM with a flush+fence per update
+// (mirrorVertex/mirrorSection), and the batch path keeps that per-edge
+// cost: the ablation exists to model in-place PM metadata updates, so
+// coalescing them away would erase the effect it measures.
+
+var _ graph.BatchWriter = (*Graph)(nil)
+
+// InsertBatch implements graph.BatchWriter through the graph's internal
+// writer handle; concurrent ingest should route batches to per-shard
+// Writers instead (see internal/workload's Router).
+func (g *Graph) InsertBatch(edges []graph.Edge) error {
+	g.defMu.Lock()
+	defer g.defMu.Unlock()
+	return g.defaultWriter().InsertBatch(edges)
+}
+
+// InsertBatch adds a slice of directed edges through the batched write
+// path. It returns once every edge in the batch is durable; on error an
+// arbitrary subset of the batch (whole section groups, in section
+// order) may have been applied. A crash mid-batch loses only
+// unacknowledged edges: each section group is fenced before the next
+// begins, and torn edge-log entries are rejected by checksum during
+// recovery.
+func (w *Writer) InsertBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	g := w.g
+	maxID := graph.V(0)
+	for _, e := range edges {
+		if e.Src > idMask || e.Dst > idMask {
+			return fmt.Errorf("dgap: vertex id out of range (max %d)", idMask)
+		}
+		maxID = max(maxID, e.Src, e.Dst)
+	}
+	if need := int(maxID) + 1; need > g.NumVertices() {
+		if err := g.EnsureVertices(need); err != nil {
+			return err
+		}
+	}
+
+	// pending is a working copy so retries can be re-bucketed without
+	// touching the caller's slice; retry collects, in stream order, the
+	// edges each round could not place (position moved to another
+	// section, section log full, or array out of room).
+	pending := append(make([]graph.Edge, 0, len(edges)), edges...)
+	retry := make([]graph.Edge, 0, 16)
+	grouped := make([]graph.Edge, len(pending))
+	var secs, cursor, starts []int
+
+	for len(pending) > 0 {
+		ep := g.ep.Load()
+		// Plan: bucket each pending edge by the section its insert
+		// position falls in right now. The plan is only a grouping
+		// heuristic — insertGroup re-validates every edge under the
+		// section lock — so a stale read costs a retry, never
+		// correctness. A counting bucket pass keeps planning O(batch +
+		// sections) with no comparison sort; filling buckets in stream
+		// order keeps same-source edges in stream order within a group,
+		// preserving per-vertex insertion order end to end.
+		secs = secs[:0]
+		cursor = resetInts(cursor, ep.nSec)
+		for _, e := range pending {
+			m := &ep.meta[e.Src]
+			arr, _ := unpackCounts(m.counts.Load())
+			pos := m.start.Load() + 1 + arr
+			if pos >= ep.slots {
+				pos = ep.slots - 1
+			}
+			sec := ep.secOf(pos)
+			secs = append(secs, sec)
+			cursor[sec]++
+		}
+		starts = resetInts(starts, ep.nSec)
+		sum := 0
+		for s := 0; s < ep.nSec; s++ {
+			starts[s] = sum
+			sum += cursor[s]
+			cursor[s] = starts[s]
+		}
+		grouped = grouped[:len(pending)]
+		for i, e := range pending {
+			grouped[cursor[secs[i]]] = e
+			cursor[secs[i]]++
+		}
+
+		inserted := 0
+		needGrow := false
+		retry = retry[:0]
+		for s := 0; s < ep.nSec; s++ {
+			if cursor[s] == starts[s] {
+				continue
+			}
+			n, grow, err := w.insertGroup(s, grouped[starts[s]:cursor[s]], &retry)
+			if err != nil {
+				return err
+			}
+			inserted += n
+			needGrow = needGrow || grow
+		}
+		if inserted == 0 {
+			// No forward progress this round: either the edge array is
+			// out of room (grow it) or the plan raced a structural
+			// change; one scalar insert guarantees termination.
+			if needGrow {
+				// Same writer-quiescence protocol as the scalar path:
+				// structural growth runs under the snapshot read lock.
+				ep := g.ep.Load()
+				g.snapMu.RLock()
+				err := g.restructure(len(ep.meta), 2*ep.slots)
+				g.snapMu.RUnlock()
+				if err != nil {
+					return err
+				}
+			} else if len(retry) > 0 {
+				e := retry[0]
+				if err := w.insert(e.Src, e.Dst, false); err != nil {
+					return err
+				}
+				retry = retry[1:]
+			}
+		}
+		pending = append(pending[:0], retry...)
+	}
+	return nil
+}
+
+// resetInts returns a zeroed int slice of length n, reusing buf's
+// backing array when it is large enough.
+func resetInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// insertGroup inserts a planned group of edges whose target position
+// falls in section sec: one section lock acquisition, one coalesced
+// edge-log flush, one fence, and one rebalance-trigger check for the
+// whole group. Edges whose position moved out of sec (a racing writer,
+// a rebalance, or the group's own growth crossing a section boundary)
+// are appended to retry in stream order; once a source is deferred all
+// its later edges follow it there, keeping per-vertex order intact. The
+// grow result reports that an edge ran past the end of the edge array
+// and needs a restructure.
+func (w *Writer) insertGroup(sec int, group []graph.Edge, retry *[]graph.Edge) (inserted int, grow bool, err error) {
+	g := w.g
+	g.snapMu.RLock()
+	defer g.snapMu.RUnlock()
+	ep := g.ep.Load()
+	if sec >= ep.nSec {
+		*retry = append(*retry, group...)
+		return 0, false, nil
+	}
+	l := &ep.locks[sec]
+	l.Lock()
+	if g.ep.Load() != ep {
+		l.Unlock()
+		*retry = append(*retry, group...)
+		return 0, false, nil
+	}
+
+	var deferred map[graph.V]bool
+	logFrom := ep.elogUsed[sec].Load()
+	// Fast-path slot stores are flushed as one range at the group
+	// boundary: a hub vertex's grouped edges land on consecutive slots
+	// of the same cache line, and flushing that line once per group
+	// sidesteps the in-place re-flush penalty the scalar path only
+	// avoids because a shuffled stream scatters same-vertex inserts.
+	slotLo, slotHi := ^uint64(0), uint64(0)
+	dirty := false
+	forced := false
+
+loop:
+	for k, e := range group {
+		if deferred[e.Src] {
+			*retry = append(*retry, e)
+			continue
+		}
+		m := &ep.meta[e.Src]
+		arr, lg := unpackCounts(m.counts.Load())
+		pos := m.start.Load() + 1 + arr
+		if pos >= ep.slots || ep.secOf(pos) != sec {
+			if pos >= ep.slots {
+				grow = true
+			}
+			if deferred == nil {
+				deferred = make(map[graph.V]bool)
+			}
+			deferred[e.Src] = true
+			*retry = append(*retry, e)
+			continue
+		}
+		val := e.Dst
+		switch {
+		case lg == 0 && g.a.ReadU32(ep.slotOff(pos)) == slotEmpty:
+			// Fast path: one 4-byte store; flush and fence deferred to
+			// the group boundary.
+			g.a.WriteU32(ep.slotOff(pos), val)
+			slotLo = min(slotLo, pos)
+			slotHi = max(slotHi, pos)
+			m.counts.Store(packCounts(arr+1, 0))
+			ep.secCount[sec].Add(1)
+			g.mirrorVertex(ep, e.Src)
+			g.mirrorSection(ep, sec)
+			dirty = true
+		case g.cfg.EnableEdgeLog:
+			if !g.stageLogEntry(ep, m, e.Src, val, sec, arr, lg) {
+				// Section log full: everything left in the group waits
+				// for the forced merge at the group boundary.
+				forced = true
+				*retry = append(*retry, group[k:]...)
+				break loop
+			}
+			g.mirrorVertex(ep, e.Src)
+			dirty = true
+		default:
+			// "No EL" ablation: shiftInsert persists its own writes.
+			if !g.shiftInsert(ep, e.Src, val, pos, sec) {
+				forced = true
+				*retry = append(*retry, group[k:]...)
+				break loop
+			}
+			m.counts.Store(packCounts(arr+1, 0))
+			ep.secCount[sec].Add(1)
+			g.mirrorVertex(ep, e.Src)
+			g.mirrorSection(ep, sec)
+		}
+		m.live.Add(1)
+		g.liveTotal.Add(1)
+		if g.cow != nil {
+			nArr, nLg := unpackCounts(m.counts.Load())
+			g.cow.update(e.Src, nArr+uint64(nLg), m.live.Load())
+		}
+		inserted++
+	}
+
+	// Coalesced durability: one range flush covers the group's fast-path
+	// slots (each touched line flushed once — intervening clean lines
+	// cost nothing) and one covers its edge-log entries, which are
+	// contiguous in the section segment. Only this group's writes can be
+	// dirty in either range: every other path flushes before releasing
+	// the section lock.
+	if slotLo <= slotHi {
+		g.a.Flush(ep.slotOff(slotLo), (slotHi-slotLo+1)*slotBytes)
+		dirty = true
+	}
+	if used := ep.elogUsed[sec].Load(); used > logFrom {
+		g.a.Flush(ep.entryOff(uint32(sec)*ep.entriesPer+logFrom), uint64(used-logFrom)*logEntrySize)
+		dirty = true
+	}
+	if dirty {
+		g.a.Fence()
+	}
+	g.hook("batch:group")
+	trig := g.checkTriggers(ep, sec)
+	l.Unlock()
+	if forced {
+		trig = trigForced
+	}
+	if trig != trigNone {
+		if err := g.rebalance(w, sec, trig); err != nil {
+			return inserted, grow, err
+		}
+	}
+	return inserted, grow, nil
+}

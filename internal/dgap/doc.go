@@ -32,6 +32,15 @@
 // prefix, so long-running algorithms see a frozen graph while writers
 // keep appending.
 //
+// Two write paths are exposed. Writer.InsertEdge is the scalar path:
+// one section-lock round, one flush and one fence per edge.
+// Writer.InsertBatch (graph.BatchWriter) is the batched path: a batch
+// is grouped by PMA section, and each group pays the section lock, the
+// coalesced cache-line flushes of its slots and contiguous edge-log
+// entries, the fence, and the rebalance-trigger check once — so at most
+// one undo-log session runs per section group instead of potentially
+// per edge. See batch.go.
+//
 // Ablation switches (Config.EnableEdgeLog, UseUndoLog, MetadataInDRAM)
 // reproduce the paper's "No EL" / "No EL&UL" / "No EL&UL&DP" variants of
 // Table 5.

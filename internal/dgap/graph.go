@@ -130,7 +130,7 @@ func New(a *pmem.Arena, cfg Config) (*Graph, error) {
 	g.publishRoot(ep)
 	g.installMeta(ep, vts, starts)
 
-	tbl, err := a.Alloc(uint64(cfg.MaxWriters)*8, pmem.CacheLineSize)
+	tbl, err := a.AllocRegion("dgap: undo-log table", uint64(cfg.MaxWriters)*8, pmem.CacheLineSize)
 	if err != nil {
 		return nil, err
 	}
@@ -159,12 +159,12 @@ func New(a *pmem.Arena, cfg Config) (*Graph, error) {
 func (g *Graph) buildRegions(slots uint64, vertCap int) (*epoch, error) {
 	ss := uint64(g.cfg.SectionSlots)
 	nSec := int(slots / ss)
-	arrOff, err := g.a.Alloc(slots*slotBytes, pmem.CacheLineSize)
+	arrOff, err := g.a.AllocRegion("dgap: edge array", slots*slotBytes, pmem.CacheLineSize)
 	if err != nil {
 		return nil, err
 	}
 	elogSecBytes := uint64(g.cfg.ELogSize)
-	elogOff, err := g.a.Alloc(uint64(nSec)*elogSecBytes, pmem.CacheLineSize)
+	elogOff, err := g.a.AllocRegion("dgap: edge log", uint64(nSec)*elogSecBytes, pmem.CacheLineSize)
 	if err != nil {
 		return nil, err
 	}
@@ -192,17 +192,17 @@ func (g *Graph) buildRegions(slots uint64, vertCap int) (*epoch, error) {
 		ep.meta[i].elHead.Store(noEntry)
 	}
 	if !g.cfg.MetadataInDRAM {
-		ep.vertMirror, err = g.a.Alloc(uint64(vertCap)*16, pmem.CacheLineSize)
+		ep.vertMirror, err = g.a.AllocRegion("dgap: vertex mirror", uint64(vertCap)*16, pmem.CacheLineSize)
 		if err != nil {
 			return nil, err
 		}
-		ep.treeMirror, err = g.a.Alloc(uint64(nSec)*8, pmem.CacheLineSize)
+		ep.treeMirror, err = g.a.AllocRegion("dgap: tree mirror", uint64(nSec)*8, pmem.CacheLineSize)
 		if err != nil {
 			return nil, err
 		}
 	}
 	// Root record: written fully, then atomically published.
-	rec, err := g.a.Alloc(rootRecSize, pmem.CacheLineSize)
+	rec, err := g.a.AllocRegion("dgap: root record", rootRecSize, pmem.CacheLineSize)
 	if err != nil {
 		return nil, err
 	}
@@ -491,10 +491,27 @@ func (g *Graph) fixShiftedStarts(ep *epoch, lo, hi uint64, delta int64) {
 }
 
 // appendLog writes one 16-byte entry into section sec's edge log and
-// links it into the vertex's back-pointer chain. Returns false when the
-// log segment is full (a merge is required first). Called with the
+// links it into the vertex's back-pointer chain, persisting it before
+// returning (the scalar path's per-edge flush+fence). Returns false when
+// the log segment is full (a merge is required first). Called with the
 // section lock held.
 func (g *Graph) appendLog(ep *epoch, m *vertexMeta, src graph.V, val uint32, sec int, arr uint64, lg uint32) bool {
+	if !g.stageLogEntry(ep, m, src, val, sec, arr, lg) {
+		return false
+	}
+	g.a.Flush(ep.entryOff(m.elHead.Load()), logEntrySize)
+	g.a.Fence()
+	return true
+}
+
+// stageLogEntry stages one 16-byte entry into section sec's edge log and
+// links it into the vertex's back-pointer chain, leaving persistence to
+// the caller: the scalar path flushes and fences per entry, the batched
+// path flushes the whole staged range once per section group and fences
+// at the group boundary. Entries staged by one group are contiguous in
+// the segment, which is what makes the coalesced flush possible. Returns
+// false when the log segment is full. Called with the section lock held.
+func (g *Graph) stageLogEntry(ep *epoch, m *vertexMeta, src graph.V, val uint32, sec int, arr uint64, lg uint32) bool {
 	used := ep.elogUsed[sec].Load()
 	if used >= ep.entriesPer {
 		return false
@@ -507,8 +524,6 @@ func (g *Graph) appendLog(ep *epoch, m *vertexMeta, src graph.V, val uint32, sec
 	g.a.WriteU32(off+4, val)
 	g.a.WriteU32(off+8, back)
 	g.a.WriteU32(off+12, logChecksum(srcTag, val, back))
-	g.a.Flush(off, logEntrySize)
-	g.a.Fence()
 	m.elHead.Store(idx)
 	m.counts.Store(packCounts(arr, lg+1))
 	ep.elogUsed[sec].Store(used + 1)

@@ -22,7 +22,7 @@ func (g *Graph) Close() error {
 
 	const vRec = 32
 	size := uint64(48) + uint64(len(ep.meta))*vRec + uint64(ep.nSec)*16
-	dump, err := g.a.Alloc(size, pmem.CacheLineSize)
+	dump, err := g.a.AllocRegion("dgap: shutdown dump", size, pmem.CacheLineSize)
 	if err != nil {
 		return err
 	}

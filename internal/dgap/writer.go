@@ -102,7 +102,7 @@ func (w *Writer) DeleteEdge(src, dst graph.V) error { return w.insert(src, dst, 
 // so recovery ignores it.
 func (w *Writer) grow(capBytes uint64) error {
 	capBytes = pow2ceil(capBytes)
-	off, err := w.g.a.Alloc(ulHeader+capBytes, pmem.CacheLineSize)
+	off, err := w.g.a.AllocRegion("dgap: undo log", ulHeader+capBytes, pmem.CacheLineSize)
 	if err != nil {
 		return err
 	}

@@ -303,6 +303,307 @@ func TestDGAPBulkZeroAlloc(t *testing.T) {
 	}
 }
 
+// --- batched write path: InsertBatch vs scalar InsertEdge ---
+
+// chunkBatches cuts a stream into batches of the given size.
+func chunkBatches(edges []graph.Edge, size int) [][]graph.Edge {
+	var out [][]graph.Edge
+	for len(edges) > 0 {
+		n := size
+		if n > len(edges) {
+			n = len(edges)
+		}
+		out = append(out, edges[:n])
+		edges = edges[n:]
+	}
+	return out
+}
+
+// withDuplicates appends a resend of every seventh edge, so batch
+// streams always contain duplicate edges (which frameworks must store
+// as multiset entries, not dedup).
+func withDuplicates(edges []graph.Edge) []graph.Edge {
+	out := append([]graph.Edge(nil), edges...)
+	for i := 0; i < len(edges); i += 7 {
+		out = append(out, edges[i])
+	}
+	return out
+}
+
+// multiset summarizes per-vertex destination counts.
+func multiset(adj [][]graph.V) []map[graph.V]int {
+	out := make([]map[graph.V]int, len(adj))
+	for v := range adj {
+		out[v] = map[graph.V]int{}
+		for _, d := range adj[v] {
+			out[v][d]++
+		}
+	}
+	return out
+}
+
+// TestBatchMatchesScalarAllSystems is the batch-vs-scalar conformance
+// check: for every dynamic backend, a batch-loaded instance (in-order
+// batches, duplicates included, driven through graph.Batch) must yield
+// a snapshot with exactly the per-vertex destination sequences of a
+// scalar-loaded twin. Every backend must also implement
+// graph.BatchWriter natively — the fallback adapter is for external
+// systems, not the in-tree seven.
+func TestBatchMatchesScalarAllSystems(t *testing.T) {
+	const V = 150
+	edges := withDuplicates(graphgen.Uniform(V, 14, 71))
+	scalar := buildAll(t, V, edges)
+	batched := buildAllBatched(t, V, chunkBatches(edges, 97))
+	for name, sys := range batched {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := sys.(graph.BatchWriter); !ok {
+				t.Fatalf("%T lacks a native InsertBatch", sys)
+			}
+			want := graph.Adjacency(scalar[name].Snapshot())
+			got := graph.Adjacency(sys.Snapshot())
+			if len(want) != len(got) {
+				t.Fatalf("vertex counts differ: scalar %d, batched %d", len(want), len(got))
+			}
+			for v := range want {
+				if !equalV(want[v], got[v]) {
+					t.Fatalf("vertex %d: batched %v, scalar %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchOutOfOrderDelivery delivers the same batches in a permuted
+// order — the sharded router makes no cross-shard ordering promise — and
+// checks that every backend still exposes the exact inserted edge
+// multiset (per-vertex order may legitimately differ).
+func TestBatchOutOfOrderDelivery(t *testing.T) {
+	const V = 150
+	edges := withDuplicates(graphgen.Uniform(V, 14, 71))
+	scalar := buildAll(t, V, edges)
+	batches := chunkBatches(edges, 97)
+	// Deterministic permutation: reversed pairs of batches.
+	perm := make([][]graph.Edge, 0, len(batches))
+	for i := len(batches) - 1; i >= 0; i -= 2 {
+		if i-1 >= 0 {
+			perm = append(perm, batches[i-1])
+		}
+		perm = append(perm, batches[i])
+	}
+	batched := buildAllBatched(t, V, perm)
+	for name, sys := range batched {
+		t.Run(name, func(t *testing.T) {
+			want := multiset(graph.Adjacency(scalar[name].Snapshot()))
+			got := multiset(graph.Adjacency(sys.Snapshot()))
+			for v := range want {
+				for d, c := range want[v] {
+					if got[v][d] != c {
+						t.Fatalf("vertex %d->%d: batched %d, scalar %d", v, d, got[v][d], c)
+					}
+				}
+				if len(got[v]) > len(want[v]) {
+					t.Fatalf("vertex %d has phantom destinations", v)
+				}
+			}
+		})
+	}
+}
+
+// buildAllBatched constructs every dynamic system and loads it through
+// the bulk write path, one InsertBatch call per batch.
+func buildAllBatched(t *testing.T, nVert int, batches [][]graph.Edge) map[string]graph.System {
+	t.Helper()
+	nEdges := 0
+	for _, b := range batches {
+		nEdges += len(b)
+	}
+	out := map[string]graph.System{}
+	{
+		a := pmem.New(256 << 20)
+		cfg := dgap.DefaultConfig(nVert, int64(nEdges))
+		cfg.SectionSlots = 64
+		cfg.ELogSize = 512
+		g, err := dgap.New(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["dgap"] = g
+	}
+	out["bal"] = bal.New(pmem.New(256<<20), nVert)
+	out["llama"] = llama.New(pmem.New(256<<20), nVert, nEdges/100+1)
+	{
+		g, err := graphone.New(pmem.New(256<<20), nVert, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["graphone"] = g
+	}
+	{
+		g, err := xpgraph.New(pmem.New(256<<20), nVert, xpgraph.Config{Threshold: 128, LogCapEdges: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["xpgraph"] = g
+	}
+	for name, sys := range out {
+		bw := graph.Batch(sys)
+		for _, b := range batches {
+			if err := bw.InsertBatch(b); err != nil {
+				t.Fatalf("%s: insert batch: %v", name, err)
+			}
+		}
+	}
+	if l, ok := out["llama"].(*llama.Graph); ok {
+		if err := l.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, ok := out["graphone"].(*graphone.Graph); ok {
+		if err := g.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestCSRBatchRejects: the static baseline rejects the batched write
+// path exactly as it rejects the scalar one.
+func TestCSRBatchRejects(t *testing.T) {
+	const V = 32
+	edges := graphgen.Uniform(V, 4, 11)
+	g, err := csr.Build(pmem.New(64<<20), V, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InsertBatch(edges[:3]) == nil {
+		t.Error("CSR must reject batched inserts")
+	}
+}
+
+// TestBatchFallbackAdapter: a system without native InsertBatch must
+// still load correctly through graph.Batch's scalar-loop adapter.
+func TestBatchFallbackAdapter(t *testing.T) {
+	const V = 64
+	edges := graphgen.Uniform(V, 8, 29)
+	native := bal.New(pmem.New(64<<20), V)
+	for _, e := range edges {
+		if err := native.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrapped := scalarOnly{bal.New(pmem.New(64<<20), V)}
+	bw := graph.Batch(wrapped)
+	if _, isNative := any(bw).(*bal.Graph); isNative {
+		t.Fatal("adapter expected, got the native system")
+	}
+	for _, b := range chunkBatches(edges, 13) {
+		if err := bw.InsertBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := graph.Adjacency(native.Snapshot())
+	got := graph.Adjacency(wrapped.Snapshot())
+	for v := range want {
+		if !equalV(want[v], got[v]) {
+			t.Fatalf("vertex %d: adapter %v, native %v", v, got[v], want[v])
+		}
+	}
+}
+
+// scalarOnly hides bal.Graph's native InsertBatch, leaving only the
+// graph.System surface.
+type scalarOnly struct{ g *bal.Graph }
+
+func (s scalarOnly) Name() string                      { return s.g.Name() }
+func (s scalarOnly) InsertEdge(src, dst graph.V) error { return s.g.InsertEdge(src, dst) }
+func (s scalarOnly) Snapshot() graph.Snapshot          { return s.g.Snapshot() }
+
+// TestDGAPBatchCrashRecovery crashes DGAP in the middle of an
+// InsertBatch — after the first section group's fence, before the rest
+// of the batch — and verifies the recovery contract: every edge of
+// every acknowledged batch survives, nothing outside the submitted
+// stream appears, and the recovered graph stays internally consistent
+// and writable.
+func TestDGAPBatchCrashRecovery(t *testing.T) {
+	const V = 96
+	edges := withDuplicates(graphgen.Uniform(V, 12, 17))
+	a := pmem.New(256 << 20)
+	cfg := dgap.DefaultConfig(V, int64(len(edges)))
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := chunkBatches(edges, 64)
+	crashAt := len(batches) / 2
+	acked := 0
+	g.SetCrashHook(func(p string) {
+		if p == "batch:group" && acked == crashAt {
+			panic("inject-crash")
+		}
+	})
+	crashed := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				crashed = true
+			}
+		}()
+		for _, b := range batches {
+			if err := g.InsertBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			acked++
+		}
+	}()
+	if !crashed {
+		t.Fatal("crash hook never fired")
+	}
+	if acked != crashAt {
+		t.Fatalf("acknowledged %d batches, expected crash at %d", acked, crashAt)
+	}
+
+	r, err := dgap.Open(a.Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()
+	got := multiset(graph.Adjacency(s))
+	ackWant := map[graph.Edge]int{}
+	for _, b := range batches[:crashAt] {
+		for _, e := range b {
+			ackWant[e]++
+		}
+	}
+	allWant := map[graph.Edge]int{}
+	for _, e := range edges {
+		allWant[e]++
+	}
+	for e, c := range ackWant {
+		if got[e.Src][e.Dst] < c {
+			t.Errorf("acknowledged edge %d->%d: recovered %d copies, want >= %d",
+				e.Src, e.Dst, got[e.Src][e.Dst], c)
+		}
+	}
+	for v := range got {
+		for d, c := range got[v] {
+			if c > allWant[graph.Edge{Src: graph.V(v), Dst: d}] {
+				t.Errorf("phantom edge %d->%d: %d copies recovered, %d ever submitted",
+					v, d, c, allWant[graph.Edge{Src: graph.V(v), Dst: d}])
+			}
+		}
+	}
+	if n := graph.CountEdges(s); n != s.NumEdges() {
+		t.Errorf("recovered snapshot inconsistent: CountEdges %d, NumEdges %d", n, s.NumEdges())
+	}
+	// The recovered graph must accept further batches.
+	if err := r.InsertBatch(edges[:16]); err != nil {
+		t.Fatalf("recovered graph rejects batches: %v", err)
+	}
+	checkBulkMatchesCallback(t, r.Snapshot())
+}
+
 // TestSnapshotStalenessSemantics documents each framework's visibility
 // guarantee: DGAP/BAL see everything immediately; LLAMA misses the
 // unfrozen batch; GraphOne and XPGraph (DRAM cache) see everything.

@@ -12,6 +12,20 @@
 // ascending vertex range additionally implement Sweeper. Bulk and Sweep
 // give kernels a uniform entry point that degrades gracefully to the
 // callback path for backends without native support.
+//
+// The write path mirrors the read path symmetrically. InsertEdge is the
+// scalar per-edge call: universal, but it pays locking, durability
+// fencing and trigger bookkeeping once per edge. BatchWriter is the bulk
+// write path: InsertBatch ingests a whole edge slice, letting a backend
+// amortize that per-edge overhead across the batch (DGAP groups a batch
+// by PMA section — one section lock, one fence and one rebalance check
+// per group; BAL and XPGraph fill whole blocks per flush; LLAMA and
+// GraphOne take their ingestion lock once). Batch is the uniform entry
+// point, degrading to a scalar InsertEdge loop for backends without
+// native support — exactly as Bulk degrades to the callback reader:
+//
+//	Neighbors   ↔ InsertEdge   (scalar, universal)
+//	Bulk/Sweep  ↔ Batch        (bulk, amortized where implemented)
 package graph
 
 // V is a vertex identifier. DGAP stores destination ids in 4 bytes and
@@ -123,6 +137,42 @@ type System interface {
 	// returning.
 }
 
+// BatchWriter is the bulk write path, the symmetric counterpart of
+// BulkSnapshot: one call ingests a whole edge slice, so a backend can
+// take its write locks once per group of edges, coalesce durability
+// flushes, and defer maintenance (rebalance checks, archiving) to batch
+// boundaries instead of paying all three per edge. When InsertBatch
+// returns nil every edge in the batch is durable under the framework's
+// own guarantee; on error an arbitrary subset of the batch may have
+// been applied (implementations reorder internally — by PMA section, by
+// source vertex — so the applied subset is not a stream prefix, and
+// resubmitting the batch can duplicate edges). The batch slice is
+// read-only to the implementation and not retained.
+type BatchWriter interface {
+	InsertBatch(edges []Edge) error
+}
+
+// Batch returns sys's bulk write path: sys itself when it implements
+// BatchWriter natively, otherwise a scalar-loop adapter (correct
+// everywhere, fast where implemented) — the write-side twin of Bulk.
+func Batch(sys System) BatchWriter {
+	if bw, ok := sys.(BatchWriter); ok {
+		return bw
+	}
+	return scalarBatch{sys}
+}
+
+type scalarBatch struct{ System }
+
+func (s scalarBatch) InsertBatch(edges []Edge) error {
+	for _, e := range edges {
+		if err := s.System.InsertEdge(e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Deleter is implemented by systems that support edge deletion.
 type Deleter interface {
 	DeleteEdge(src, dst V) error
@@ -131,6 +181,17 @@ type Deleter interface {
 // Closer is implemented by systems with a graceful-shutdown path.
 type Closer interface {
 	Close() error
+}
+
+// GroupBySrc buckets an edge slice by source vertex, preserving stream
+// order within each source — the grouping every per-vertex batched
+// write path (block fills, chunk fills, level fragments) starts from.
+func GroupBySrc(edges []Edge) map[V][]V {
+	groups := make(map[V][]V)
+	for _, e := range edges {
+		groups[e.Src] = append(groups[e.Src], e.Dst)
+	}
+	return groups
 }
 
 // CountEdges iterates a snapshot and counts visible directed edges; a

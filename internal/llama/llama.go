@@ -90,6 +90,42 @@ func (g *Graph) InsertEdge(src, dst graph.V) error {
 	return nil
 }
 
+// InsertBatch implements graph.BatchWriter: the delta buffer takes the
+// whole batch under one lock acquisition and one calibrated CPU-cost
+// charge, freezing a snapshot level at exactly the same batchSize
+// boundaries the scalar path would — so the level structure (and hence
+// per-vertex iteration order) is identical to edge-at-a-time insertion.
+func (g *Graph) InsertBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range edges {
+		if int(e.Src) >= g.nVert {
+			g.nVert = int(e.Src) + 1
+		}
+		if int(e.Dst) >= g.nVert {
+			g.nVert = int(e.Dst) + 1
+		}
+	}
+	busy(time.Duration(len(edges)) * IngestCPUCost)
+	for len(edges) > 0 {
+		room := g.batchSize - len(g.buffer)
+		if room > len(edges) {
+			room = len(edges)
+		}
+		g.buffer = append(g.buffer, edges[:room]...)
+		edges = edges[room:]
+		if len(g.buffer) >= g.batchSize {
+			if err := g.freezeLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Freeze forces the current buffer into a snapshot level (exposed so
 // benchmarks can flush trailing edges before analysis).
 func (g *Graph) Freeze() error {
@@ -102,10 +138,7 @@ func (g *Graph) Freeze() error {
 }
 
 func (g *Graph) freezeLocked() error {
-	bysrc := map[graph.V][]graph.V{}
-	for _, e := range g.buffer {
-		bysrc[e.Src] = append(bysrc[e.Src], e.Dst)
-	}
+	bysrc := graph.GroupBySrc(g.buffer)
 	lv := &level{frag: make(map[graph.V]pmem.Off, len(bysrc))}
 	var prevLevel *level
 	if len(g.levels) > 0 {
@@ -113,7 +146,7 @@ func (g *Graph) freezeLocked() error {
 	}
 	for v, dsts := range bysrc {
 		size := 16 + uint64(len(dsts))*4
-		off, err := g.a.Alloc(size, pmem.CacheLineSize)
+		off, err := g.a.AllocRegion("llama: level fragment", size, pmem.CacheLineSize)
 		if err != nil {
 			return err
 		}

@@ -129,12 +129,44 @@ func (a *Arena) Remaining() uint64 {
 // Platform reports the persistence domain the arena emulates.
 func (a *Arena) Platform() Platform { return a.plat }
 
+// OutOfMemoryError is returned by Alloc when the arena cannot satisfy a
+// request. It carries the requesting region label and the exact sizes so
+// higher layers — in particular the multi-shard ingest router — can
+// report which persistent region exhausted the device and how far over
+// capacity the request ran, instead of surfacing a bare string.
+type OutOfMemoryError struct {
+	// Region names what the allocation was growing ("dgap: edge array",
+	// "bal: edge block", ...); empty when the caller did not label it.
+	Region string
+	// Requested is the allocation size in bytes.
+	Requested uint64
+	// Offset is the aligned cursor the request would have started at.
+	Offset Off
+	// Capacity is the arena size in bytes.
+	Capacity int
+}
+
+func (e *OutOfMemoryError) Error() string {
+	if e.Region == "" {
+		return fmt.Sprintf("pmem: arena exhausted: want %d bytes at %d, capacity %d",
+			e.Requested, e.Offset, e.Capacity)
+	}
+	return fmt.Sprintf("pmem: arena exhausted growing %s: want %d bytes at %d, capacity %d",
+		e.Region, e.Requested, e.Offset, e.Capacity)
+}
+
 // Alloc reserves n bytes aligned to align (which must be a power of two,
 // at least 1) and returns the offset. Allocation is bump-only: persistent
 // allocators in this repository never free, matching the fixed
-// pre-allocated pools the DGAP paper uses. Alloc returns an error when the
-// arena is exhausted.
+// pre-allocated pools the DGAP paper uses. Alloc returns an
+// *OutOfMemoryError when the arena is exhausted.
 func (a *Arena) Alloc(n uint64, align uint64) (Off, error) {
+	return a.AllocRegion("", n, align)
+}
+
+// AllocRegion is Alloc with a region label attached to any exhaustion
+// error, so growth failures identify the structure that hit the wall.
+func (a *Arena) AllocRegion(region string, n uint64, align uint64) (Off, error) {
 	if align == 0 {
 		align = 1
 	}
@@ -142,7 +174,7 @@ func (a *Arena) Alloc(n uint64, align uint64) (Off, error) {
 	defer a.allocMu.Unlock()
 	off := (a.next + align - 1) &^ (align - 1)
 	if off+n > uint64(len(a.buf)) {
-		return 0, fmt.Errorf("pmem: arena exhausted: want %d bytes at %d, capacity %d", n, off, len(a.buf))
+		return 0, &OutOfMemoryError{Region: region, Requested: n, Offset: off, Capacity: len(a.buf)}
 	}
 	a.next = off + n
 	a.stats.AllocBytes.Add(int64(n))

@@ -2,7 +2,9 @@ package pmem
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -318,5 +320,35 @@ func TestPropertyFlushedWritesSurvive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAllocExhaustionTypedError(t *testing.T) {
+	a := New(1 << 13)
+	_, err := a.AllocRegion("test: widget pool", 1<<20, CacheLineSize)
+	if err == nil {
+		t.Fatal("oversized alloc must fail")
+	}
+	var oom *OutOfMemoryError
+	if !errors.As(err, &oom) {
+		t.Fatalf("error %v is not an *OutOfMemoryError", err)
+	}
+	if oom.Region != "test: widget pool" || oom.Requested != 1<<20 || oom.Capacity != a.Size() {
+		t.Errorf("error lacks context: %+v", oom)
+	}
+	if !strings.Contains(err.Error(), "test: widget pool") {
+		t.Errorf("message %q does not name the region", err.Error())
+	}
+	// Unlabeled Alloc carries the same type with an empty region.
+	_, err = a.Alloc(1<<20, CacheLineSize)
+	if !errors.As(err, &oom) {
+		t.Fatalf("Alloc error %v is not an *OutOfMemoryError", err)
+	}
+	if oom.Region != "" {
+		t.Errorf("unlabeled alloc reported region %q", oom.Region)
+	}
+	// The failed requests must not move the cursor.
+	if _, err := a.Alloc(64, CacheLineSize); err != nil {
+		t.Errorf("small alloc after failures: %v", err)
 	}
 }

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/vtime"
+)
+
+// DefaultBatchSize is the router's batch granularity when the caller
+// does not choose one: large enough to amortize lock acquisitions and
+// fences across a section group, small enough that per-shard batches
+// stay cache-resident.
+const DefaultBatchSize = 512
+
+// MaxBatchSize caps adaptive batches at XPGraph's largest archiving
+// threshold (2^16, the top of the paper's Figure 5 sweep).
+const MaxBatchSize = 1 << 16
+
+// AdaptiveBatchSize picks a batch size for a stream of nEdges edges:
+// about 1/32 of the stream, clamped to [DefaultBatchSize, MaxBatchSize].
+// Section-grouped batching only amortizes when a batch lands several
+// edges per PMA section, and section count grows with the graph — so
+// larger streams need proportionally larger batches, the same
+// bigger-batches-win shape as XPGraph's archiving-threshold sweep.
+func AdaptiveBatchSize(nEdges int) int {
+	bs := nEdges / 32
+	if bs < DefaultBatchSize {
+		return DefaultBatchSize
+	}
+	if bs > MaxBatchSize {
+		return MaxBatchSize
+	}
+	return bs
+}
+
+// ShardError decorates a batch-insert failure with the ingest shard it
+// happened on, so multi-shard runs report which writer hit the wall.
+// Unwrap exposes the cause — typically a *pmem.OutOfMemoryError naming
+// the exhausted region — to errors.As.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("workload: ingest shard %d: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Router is the sharded ingest path: it partitions an edge stream
+// across Shards writer shards by lock resource — every edge of one PMA
+// section (or source vertex, per Scope) lands on the same shard, so a
+// shard's batches touch few, disjoint resources and its BatchWriter can
+// take each lock once per group — then drives fixed-size batches
+// through per-shard graph.BatchWriter sinks on the virtual-time runner.
+// It replaces the hand-rolled per-writer goroutine loops the drivers in
+// workload.go used to duplicate.
+type Router struct {
+	Shards    int
+	BatchSize int
+	Scope     LockScope
+}
+
+// routedBatch is one dispatch unit: a shard-local edge slice plus the
+// distinct virtual lock resources its execution serializes on.
+type routedBatch struct {
+	edges []graph.Edge
+	res   []int
+}
+
+// partition routes each edge to its shard: by lock resource for
+// section- and vertex-scoped systems (co-locating each resource's
+// edges, and with them each vertex's stream order, on one shard), and
+// round-robin for the global scope, where hashing by the single shared
+// resource would starve every shard but one.
+func (rt Router) partition(edges []graph.Edge) [][]graph.Edge {
+	parts := make([][]graph.Edge, rt.Shards)
+	for i, e := range edges {
+		sh := i % rt.Shards
+		if rt.Scope != ScopeGlobal {
+			sh = rt.Scope.Resource(e) % rt.Shards
+		}
+		parts[sh] = append(parts[sh], e)
+	}
+	return parts
+}
+
+// batches cuts each shard's stream into BatchSize dispatch units and
+// computes each unit's distinct resource set.
+func (rt Router) batches(edges []graph.Edge) [][]routedBatch {
+	parts := rt.partition(edges)
+	out := make([][]routedBatch, rt.Shards)
+	for sh, p := range parts {
+		for len(p) > 0 {
+			n := min(rt.BatchSize, len(p))
+			out[sh] = append(out[sh], routedBatch{edges: p[:n], res: distinctResources(rt.Scope, p[:n])})
+			p = p[n:]
+		}
+	}
+	return out
+}
+
+// distinctResources returns the sorted distinct lock resources a batch
+// serializes on under the scope.
+func distinctResources(scope LockScope, edges []graph.Edge) []int {
+	seen := map[int]bool{}
+	res := make([]int, 0, 4)
+	for _, e := range edges {
+		r := scope.Resource(e)
+		if !seen[r] {
+			seen[r] = true
+			res = append(res, r)
+		}
+	}
+	sort.Ints(res)
+	return res
+}
+
+// Run drives the timed stream through sinks — one graph.BatchWriter per
+// shard — in causal virtual-time order, each batch executing under its
+// distinct resource set. The returned Elapsed is the simulated parallel
+// makespan.
+func (rt Router) Run(sinks []graph.BatchWriter, timed []graph.Edge) (InsertResult, error) {
+	if rt.BatchSize < 1 {
+		rt.BatchSize = DefaultBatchSize
+	}
+	if len(sinks) != rt.Shards {
+		return InsertResult{}, fmt.Errorf("workload: %d sinks for %d shards", len(sinks), rt.Shards)
+	}
+	r := vtime.NewRunner(rt.Shards)
+	err := causalDrive(r, rt.batches(timed),
+		func(b routedBatch) []int { return b.res },
+		func(th int, b routedBatch) error {
+			if err := sinks[th].InsertBatch(b.edges); err != nil {
+				return &ShardError{Shard: th, Err: err}
+			}
+			return nil
+		})
+	if err != nil {
+		return InsertResult{}, err
+	}
+	return InsertResult{Edges: len(timed), Elapsed: r.Elapsed()}, nil
+}
+
+// InsertBatched inserts the timed stream through n router shards
+// feeding batchSize batches into the system's bulk write path
+// (graph.Batch: native InsertBatch where implemented, a scalar loop
+// otherwise). All shards share one sink handle; the system's own
+// internal locking arbitrates, exactly as the scalar InsertParallel
+// drivers share one System.
+func InsertBatched(sys graph.System, edges []graph.Edge, n int, scope LockScope, batchSize int) (InsertResult, error) {
+	warm, timed := Split(edges)
+	if err := insertAll(sys.InsertEdge, warm); err != nil {
+		return InsertResult{}, err
+	}
+	bw := graph.Batch(sys)
+	sinks := make([]graph.BatchWriter, n)
+	for i := range sinks {
+		sinks[i] = bw
+	}
+	rt := Router{Shards: n, BatchSize: batchSize, Scope: scope}
+	return rt.Run(sinks, timed)
+}
+
+// InsertBatchedDGAP routes the stream across n per-shard dgap.Writers,
+// so every shard owns its own persistent undo log and the batches it
+// receives are section-grouped by construction (the router's section
+// partitioning matches DGAP's lock granularity).
+func InsertBatchedDGAP(g *dgap.Graph, edges []graph.Edge, n int, batchSize int) (InsertResult, error) {
+	warm, timed := Split(edges)
+	writers, release, err := dgapWriters(g, n)
+	if err != nil {
+		return InsertResult{}, err
+	}
+	defer release()
+	if err := insertAll(writers[0].InsertEdge, warm); err != nil {
+		return InsertResult{}, err
+	}
+	sinks := make([]graph.BatchWriter, n)
+	for i := range sinks {
+		sinks[i] = writers[i]
+	}
+	rt := Router{Shards: n, BatchSize: batchSize, Scope: ScopeSection}
+	return rt.Run(sinks, timed)
+}

@@ -1,12 +1,23 @@
 // Package workload drives graph-insertion experiments the way the
 // paper's evaluation does: the first 10% of the shuffled edge stream
 // warms the system up (YCSB-style), then the remaining 90% is timed.
-// Multi-writer runs partition the stream round-robin and execute on the
-// vtime discrete-event runner (this machine has one CPU; see package
-// vtime), with lock scopes chosen per system: DGAP serializes on PMA
-// sections, BAL and XPGraph on vertices, GraphOne and LLAMA on a global
-// ingestion lock — the granularity differences behind Table 3's scaling
-// shapes.
+//
+// Two write paths are driven, mirroring the read-path split in package
+// graph. The scalar drivers (InsertSerial, InsertParallel,
+// InsertParallelDGAP) issue one InsertEdge per edge; every driver shares
+// the same insert loop and the same causal virtual-time dispatcher
+// instead of the four hand-rolled copies earlier revisions carried. The
+// batched drivers (InsertBatchedSerial, InsertBatched,
+// InsertBatchedDGAP) route the stream through a sharded Router (see
+// router.go) that partitions edges by lock resource and feeds
+// fixed-size batches to graph.BatchWriter sinks, so each shard's
+// batches take their locks once per group instead of once per edge.
+//
+// Multi-writer runs execute on the vtime discrete-event runner (this
+// machine has one CPU; see package vtime), with lock scopes chosen per
+// system: DGAP serializes on PMA sections, BAL and XPGraph on vertices,
+// GraphOne and LLAMA on a global ingestion lock — the granularity
+// differences behind Table 3's scaling shapes.
 package workload
 
 import (
@@ -41,22 +52,55 @@ func (r InsertResult) MEPS() float64 {
 	return float64(r.Edges) / r.Elapsed.Seconds() / 1e6
 }
 
+// insertAll drives every edge through ins, stopping at the first error —
+// the one scalar insert loop every driver shares.
+func insertAll(ins func(src, dst graph.V) error, edges []graph.Edge) error {
+	for _, e := range edges {
+		if err := ins(e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // InsertSerial inserts the timed stream with a single writer and real
 // wall-clock timing (after warming up).
 func InsertSerial(sys graph.System, edges []graph.Edge) (InsertResult, error) {
 	warm, timed := Split(edges)
-	for _, e := range warm {
-		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
-			return InsertResult{}, err
-		}
+	if err := insertAll(sys.InsertEdge, warm); err != nil {
+		return InsertResult{}, err
 	}
 	t0 := time.Now()
-	for _, e := range timed {
-		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
-			return InsertResult{}, err
-		}
+	if err := insertAll(sys.InsertEdge, timed); err != nil {
+		return InsertResult{}, err
 	}
 	return InsertResult{Edges: len(timed), Elapsed: time.Since(t0)}, nil
+}
+
+// InsertBatchedSerial inserts the timed stream through the system's
+// bulk write path — graph.Batch, so systems without native InsertBatch
+// fall back to a scalar loop — in batchSize chunks, with real
+// wall-clock timing. The scalar-vs-batched single-writer comparison in
+// BENCH_ingest.json is InsertSerial against this function.
+func InsertBatchedSerial(sys graph.System, edges []graph.Edge, batchSize int) (InsertResult, error) {
+	if batchSize < 1 {
+		batchSize = DefaultBatchSize
+	}
+	warm, timed := Split(edges)
+	if err := insertAll(sys.InsertEdge, warm); err != nil {
+		return InsertResult{}, err
+	}
+	bw := graph.Batch(sys)
+	total := len(timed)
+	t0 := time.Now()
+	for len(timed) > 0 {
+		n := min(batchSize, len(timed))
+		if err := bw.InsertBatch(timed[:n]); err != nil {
+			return InsertResult{}, err
+		}
+		timed = timed[n:]
+	}
+	return InsertResult{Edges: total, Elapsed: time.Since(t0)}, nil
 }
 
 // LockScope classifies a system's write-lock granularity for the
@@ -91,30 +135,33 @@ func (s LockScope) Resource(e graph.Edge) int {
 	}
 }
 
-// InsertParallel inserts the timed stream on n logical writer threads
-// using virtual-time contention accounting. The returned Elapsed is the
-// simulated parallel makespan.
-func InsertParallel(sys graph.System, edges []graph.Edge, n int, scope LockScope) (InsertResult, error) {
-	warm, timed := Split(edges)
-	for _, e := range warm {
-		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
-			return InsertResult{}, err
-		}
-	}
-	// Partition round-robin, then drive causally: always advance the
-	// thread with the smallest virtual clock.
+// roundRobin partitions edges across n streams the way the scalar
+// parallel drivers always have: edge i goes to stream i%n.
+func roundRobin(edges []graph.Edge, n int) [][]graph.Edge {
 	parts := make([][]graph.Edge, n)
-	for i, e := range timed {
+	for i, e := range edges {
 		parts[i%n] = append(parts[i%n], e)
 	}
-	cursor := make([]int, n)
-	r := vtime.NewRunner(n)
+	return parts
+}
+
+// causalDrive runs per-shard work streams on the virtual-time runner in
+// causal order — always advancing the thread with the smallest virtual
+// clock — executing each item under its resource set. It is the one
+// dispatcher shared by the scalar parallel drivers and the batched
+// router (replacing the near-duplicate loops each driver used to
+// hand-roll).
+func causalDrive[T any](r *vtime.Runner, parts [][]T, resources func(T) []int, exec func(th int, item T) error) error {
+	cursor := make([]int, len(parts))
+	remaining := 0
+	for _, p := range parts {
+		remaining += len(p)
+	}
 	var firstErr error
-	remaining := len(timed)
 	for remaining > 0 && firstErr == nil {
 		th := r.NextThread()
 		if cursor[th] >= len(parts[th]) {
-			// This thread is done; pick the busiest remaining one.
+			// This thread is done; pick the next one with work left.
 			th = -1
 			for i := range parts {
 				if cursor[i] < len(parts[i]) {
@@ -126,17 +173,41 @@ func InsertParallel(sys graph.System, edges []graph.Edge, n int, scope LockScope
 				break
 			}
 		}
-		e := parts[th][cursor[th]]
+		item := parts[th][cursor[th]]
 		cursor[th]++
 		remaining--
-		r.Exec(th, []int{scope.Resource(e)}, func() {
-			if err := sys.InsertEdge(e.Src, e.Dst); err != nil && firstErr == nil {
+		r.Exec(th, resources(item), func() {
+			if err := exec(th, item); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		})
 	}
-	if firstErr != nil {
-		return InsertResult{}, firstErr
+	return firstErr
+}
+
+// edgeResources returns the single-resource set of one edge under the
+// scope; the scalar drivers reuse one backing array across calls.
+func edgeResources(scope LockScope) func(graph.Edge) []int {
+	buf := make([]int, 1)
+	return func(e graph.Edge) []int {
+		buf[0] = scope.Resource(e)
+		return buf
+	}
+}
+
+// InsertParallel inserts the timed stream on n logical writer threads
+// using virtual-time contention accounting. The returned Elapsed is the
+// simulated parallel makespan.
+func InsertParallel(sys graph.System, edges []graph.Edge, n int, scope LockScope) (InsertResult, error) {
+	warm, timed := Split(edges)
+	if err := insertAll(sys.InsertEdge, warm); err != nil {
+		return InsertResult{}, err
+	}
+	r := vtime.NewRunner(n)
+	err := causalDrive(r, roundRobin(timed, n), edgeResources(scope),
+		func(_ int, e graph.Edge) error { return sys.InsertEdge(e.Src, e.Dst) })
+	if err != nil {
+		return InsertResult{}, err
 	}
 	return InsertResult{Edges: len(timed), Elapsed: r.Elapsed()}, nil
 }
@@ -145,59 +216,39 @@ func InsertParallel(sys graph.System, edges []graph.Edge, n int, scope LockScope
 // its own per-thread undo log, matching the paper's writer-thread model.
 func InsertParallelDGAP(g *dgap.Graph, edges []graph.Edge, n int) (InsertResult, error) {
 	warm, timed := Split(edges)
-	w0, err := g.NewWriter()
+	writers, release, err := dgapWriters(g, n)
 	if err != nil {
 		return InsertResult{}, err
 	}
-	defer w0.Close()
-	for _, e := range warm {
-		if err := w0.InsertEdge(e.Src, e.Dst); err != nil {
-			return InsertResult{}, err
-		}
+	defer release()
+	if err := insertAll(writers[0].InsertEdge, warm); err != nil {
+		return InsertResult{}, err
 	}
-	writers := make([]*dgap.Writer, n)
-	for i := range writers {
-		w, err := g.NewWriter()
-		if err != nil {
-			return InsertResult{}, err
-		}
-		defer w.Close()
-		writers[i] = w
-	}
-	parts := make([][]graph.Edge, n)
-	for i, e := range timed {
-		parts[i%n] = append(parts[i%n], e)
-	}
-	cursor := make([]int, n)
 	r := vtime.NewRunner(n)
-	var firstErr error
-	remaining := len(timed)
-	for remaining > 0 && firstErr == nil {
-		th := r.NextThread()
-		if cursor[th] >= len(parts[th]) {
-			th = -1
-			for i := range parts {
-				if cursor[i] < len(parts[i]) {
-					th = i
-					break
-				}
-			}
-			if th < 0 {
-				break
-			}
-		}
-		e := parts[th][cursor[th]]
-		cursor[th]++
-		remaining--
-		w := writers[th]
-		r.Exec(th, []int{ScopeSection.Resource(e)}, func() {
-			if err := w.InsertEdge(e.Src, e.Dst); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		})
-	}
-	if firstErr != nil {
-		return InsertResult{}, firstErr
+	err = causalDrive(r, roundRobin(timed, n), edgeResources(ScopeSection),
+		func(th int, e graph.Edge) error { return writers[th].InsertEdge(e.Src, e.Dst) })
+	if err != nil {
+		return InsertResult{}, err
 	}
 	return InsertResult{Edges: len(timed), Elapsed: r.Elapsed()}, nil
+}
+
+// dgapWriters allocates n writer handles and a release func closing all
+// of them.
+func dgapWriters(g *dgap.Graph, n int) ([]*dgap.Writer, func(), error) {
+	writers := make([]*dgap.Writer, 0, n)
+	release := func() {
+		for _, w := range writers {
+			w.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		w, err := g.NewWriter()
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		writers = append(writers, w)
+	}
+	return writers, release, nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 
 	"dgap/internal/bal"
@@ -98,6 +99,119 @@ func TestLockScopeResources(t *testing.T) {
 	}
 	if ScopeSection.Resource(e) != 42/sectionResolution {
 		t.Error("section scope must group adjacent sources")
+	}
+}
+
+func TestRouterPartitionByResource(t *testing.T) {
+	edges := graphgen.Uniform(256, 8, 13)
+	rt := Router{Shards: 4, BatchSize: 32, Scope: ScopeSection}
+	parts := rt.partition(edges)
+	total := 0
+	for sh, p := range parts {
+		total += len(p)
+		for _, e := range p {
+			if ScopeSection.Resource(e)%4 != sh {
+				t.Fatalf("edge %v routed to shard %d, resource %d", e, sh, ScopeSection.Resource(e))
+			}
+		}
+	}
+	if total != len(edges) {
+		t.Fatalf("partition dropped edges: %d of %d", total, len(edges))
+	}
+	// Global scope must still spread load across shards.
+	gparts := Router{Shards: 4, BatchSize: 32, Scope: ScopeGlobal}.partition(edges)
+	for sh, p := range gparts {
+		if len(p) == 0 {
+			t.Fatalf("global-scope shard %d starved", sh)
+		}
+	}
+}
+
+func TestRouterBatchResources(t *testing.T) {
+	rt := Router{Shards: 1, BatchSize: 4, Scope: ScopeVertex}
+	edges := []graph.Edge{{Src: 3, Dst: 1}, {Src: 3, Dst: 2}, {Src: 9, Dst: 1}, {Src: 3, Dst: 4}, {Src: 5, Dst: 0}}
+	bs := rt.batches(edges)
+	if len(bs) != 1 || len(bs[0]) != 2 {
+		t.Fatalf("batches = %v", bs)
+	}
+	if got := bs[0][0].res; len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Fatalf("first batch resources = %v, want [3 9]", got)
+	}
+}
+
+func TestInsertBatchedSameGraphAsSerial(t *testing.T) {
+	edges := graphgen.Uniform(64, 10, 5)
+	ser := bal.New(pmem.New(64<<20), 64)
+	if _, err := InsertSerial(ser, edges); err != nil {
+		t.Fatal(err)
+	}
+	bat := bal.New(pmem.New(64<<20), 64)
+	res, err := InsertBatched(bat, edges, 4, ScopeVertex, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, timed := Split(edges); res.Edges != len(timed) {
+		t.Errorf("timed edges = %d, want %d", res.Edges, len(timed))
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual time accrued")
+	}
+	ss, sb := ser.Snapshot(), bat.Snapshot()
+	if ss.NumEdges() != sb.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", ss.NumEdges(), sb.NumEdges())
+	}
+	for v := 0; v < 64; v++ {
+		if ss.Degree(graph.V(v)) != sb.Degree(graph.V(v)) {
+			t.Fatalf("degree of %d differs", v)
+		}
+	}
+}
+
+func TestInsertBatchedDGAP(t *testing.T) {
+	edges := graphgen.Uniform(64, 10, 7)
+	cfg := dgap.DefaultConfig(64, int64(len(edges)))
+	g, err := dgap.New(pmem.New(128<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := InsertBatchedDGAP(g, edges, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual time accrued")
+	}
+	if got := g.ConsistentView().NumEdges(); got != int64(len(edges)) {
+		t.Errorf("graph holds %d edges, want %d", got, len(edges))
+	}
+}
+
+// TestShardErrorSurfacesRegion: a shard whose batch insert fails must
+// surface which shard failed and, for arena exhaustion, which region
+// ran out — the typed chain ShardError -> pmem.OutOfMemoryError.
+func TestShardErrorSurfacesRegion(t *testing.T) {
+	edges := graphgen.Uniform(64, 12, 3)
+	// An arena too small for the stream: BAL exhausts it growing blocks.
+	g := bal.New(pmem.New(1<<13), 64)
+	rt := Router{Shards: 2, BatchSize: 16, Scope: ScopeVertex}
+	bw := graph.Batch(g)
+	_, err := rt.Run([]graph.BatchWriter{bw, bw}, edges)
+	if err == nil {
+		t.Fatal("expected shard failure on an exhausted arena")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a ShardError", err)
+	}
+	var oom *pmem.OutOfMemoryError
+	if !errors.As(err, &oom) {
+		t.Fatalf("error %v does not unwrap to pmem.OutOfMemoryError", err)
+	}
+	if oom.Region != "bal: edge block" {
+		t.Errorf("exhausted region = %q, want %q", oom.Region, "bal: edge block")
+	}
+	if oom.Requested == 0 || oom.Capacity == 0 {
+		t.Errorf("error lacks size context: %+v", oom)
 	}
 }
 
