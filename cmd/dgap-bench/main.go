@@ -1,12 +1,23 @@
 // Command dgap-bench regenerates the DGAP paper's evaluation tables and
-// figures on the emulated persistent-memory substrate.
+// figures on the emulated persistent-memory substrate, and dumps the
+// repo's machine-readable perf artifacts.
 //
 // Usage:
 //
-//	dgap-bench -exp fig6 -scale 0.0005
-//	dgap-bench -exp all -datasets small
-//	dgap-bench -json
-//	dgap-bench -list
+//	dgap-bench -exp fig6 -scale 0.0005     one paper experiment
+//	dgap-bench -exp all -datasets small    every experiment, small graphs
+//	dgap-bench -list                       list experiment ids
+//	dgap-bench -json                       kernel timings   -> BENCH_kernels.json
+//	dgap-bench -ingest                     ingest timings   -> BENCH_ingest.json
+//	dgap-bench -serve                      mixed read/write -> BENCH_serve.json
+//	dgap-bench -json -ingest -serve -tiny  all three dumps at CI smoke scale
+//
+// The JSON dumps are the cross-PR perf trajectory: -json times the four
+// GAPBS kernels on the bulk and callback read paths, -ingest times the
+// scalar/batched/routed write paths, and -serve runs the internal/serve
+// mixed workload — concurrent point queries and kernel refreshes over
+// snapshot leases while ingest streams through the router — at several
+// read:write ratios. -tiny shrinks any of them to CI smoke scale.
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact; EXPERIMENTS.md records the comparison against the paper's
@@ -30,7 +41,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	noLatency := flag.Bool("no-latency", false, "disable the PM latency model (counting-only runs)")
 	jsonOut := flag.Bool("json", false, "time the analysis kernels (bulk and callback read paths) and write BENCH_kernels.json instead of printing tables")
-	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json to emit both artifacts")
+	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json and -serve")
+	serveExp := flag.Bool("serve", false, "run the mixed read/write serving experiment (queries over snapshot leases concurrent with routed ingest) and write BENCH_serve.json; combines with -json and -ingest")
 	tiny := flag.Bool("tiny", false, "CI smoke scale: small datasets at a minimal scale factor")
 	flag.Parse()
 
@@ -61,8 +73,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
-		if !*jsonOut {
-			return
+	}
+	if *serveExp {
+		if err := bench.ServeJSON(opt, "BENCH_serve.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
 		}
 	}
 	if *jsonOut {
@@ -70,6 +85,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if *ingest || *serveExp || *jsonOut {
 		return
 	}
 	if *exp == "all" {

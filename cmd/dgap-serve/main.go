@@ -1,0 +1,266 @@
+// Command dgap-serve runs the internal/serve query-serving layer over
+// one graph system and exposes it interactively on stdin/stdout with a
+// simple line protocol, while ingest commands stream edges underneath
+// the served snapshots.
+//
+// Usage:
+//
+//	dgap-serve                          serve DGAP on the tiny orkut preset
+//	dgap-serve -system XPGraph -scale 0.0005 -dataset livejournal
+//	echo -e "topk 5\nstats" | dgap-serve
+//
+// Protocol (one command per line, one reply per command):
+//
+//	degree <v>        out-degree of vertex v
+//	neighbors <v>     v's neighbor list
+//	khop <v> <k>      number of vertices within k hops of v
+//	topk <k>          the k highest-degree vertices as id:degree
+//	pagerank          refresh PageRank, reply with the top-ranked vertex
+//	ingest <n>        stream n random edges through the router
+//	stats             per-class latency histograms and lease counters
+//	help              this command list
+//	quit              exit
+//
+// Every query reply is prefixed with the lease generation and snapshot
+// edge count it was served from (gen=G edges=E), making the bounded
+// staleness visible: issue ingest and watch queries keep answering from
+// the leased snapshot until the staleness bound refreshes it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgap/internal/bal"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/graphone"
+	"dgap/internal/llama"
+	"dgap/internal/pmem"
+	"dgap/internal/serve"
+	"dgap/internal/workload"
+	"dgap/internal/xpgraph"
+)
+
+func main() {
+	system := flag.String("system", "DGAP", "graph system to serve (DGAP, BAL, LLAMA, GraphOne-FD, XPGraph)")
+	dataset := flag.String("dataset", "orkut", "dataset preset to preload")
+	scale := flag.Float64("scale", 0.00005, "dataset scale factor relative to Table 2 sizes")
+	seed := flag.Int64("seed", 42, "generator seed")
+	workers := flag.Int("workers", 4, "query worker goroutines")
+	shards := flag.Int("shards", 4, "router ingest shards")
+	stalenessEdges := flag.Int64("staleness-edges", serve.DefaultStalenessEdges, "refresh the snapshot lease after this many applied edges (negative disables)")
+	stalenessAge := flag.Duration("staleness-age", serve.DefaultStalenessAge, "refresh the snapshot lease at this wall-clock age (negative disables)")
+	flag.Parse()
+
+	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *stalenessEdges, *stalenessAge); err != nil {
+		fmt.Fprintln(os.Stderr, "dgap-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system, dataset string, scale float64, seed int64, workers, shards int, stalenessEdges int64, stalenessAge time.Duration) error {
+	spec, err := graphgen.Preset(dataset)
+	if err != nil {
+		return err
+	}
+	edges := spec.Generate(scale, seed)
+	nVert := graphgen.MaxVertex(edges)
+	// Room for interactive ingest beyond the preloaded stream.
+	sys, err := buildSystem(system, nVert, 4*len(edges))
+	if err != nil {
+		return err
+	}
+	if err := graph.Batch(sys).InsertBatch(edges); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		MaxStalenessEdges: stalenessEdges,
+		MaxStalenessAge:   stalenessAge,
+		Workers:           workers,
+		IngestShards:      shards,
+		Scope:             workload.ScopeFor(system),
+	}
+	if g, ok := sys.(*dgap.Graph); ok {
+		sinks, release, err := workload.DGAPSinks(g, shards)
+		if err != nil {
+			return err
+		}
+		defer release()
+		cfg.Sinks = sinks
+	}
+	srv, err := serve.New(sys, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	fmt.Printf("serving %s: %s preset at scale %g — %d vertices, %d edges (type 'help' for commands)\n",
+		sys.Name(), spec.Name, scale, nVert, len(edges))
+	ingestSeed := seed
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		reply, err := dispatch(srv, nVert, line, &ingestSeed)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Println(reply)
+	}
+	return sc.Err()
+}
+
+// buildSystem mirrors the bench package's constructors at interactive
+// scale, each system on its own emulated-PM arena.
+func buildSystem(name string, nVert, nEdges int) (graph.System, error) {
+	capBytes := max(nEdges*96, 64<<20)
+	a := pmem.New(capBytes, pmem.WithLatency(pmem.DefaultLatency()))
+	switch name {
+	case "DGAP":
+		return dgap.New(a, dgap.DefaultConfig(nVert, int64(nEdges)))
+	case "BAL":
+		return bal.New(a, nVert), nil
+	case "LLAMA":
+		return llama.New(a, nVert, nEdges/100+1), nil
+	case "GraphOne-FD":
+		return graphone.New(a, nVert, graphone.DefaultFlushInterval)
+	case "XPGraph":
+		return xpgraph.New(a, nVert, xpgraph.Config{
+			Threshold:   xpgraph.DefaultThreshold,
+			LogCapEdges: 1 << 20,
+		})
+	default:
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+}
+
+func dispatch(srv *serve.Server, nVert int, line string, ingestSeed *int64) (string, error) {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	argN := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing argument (see help)", cmd)
+		}
+		n, err := strconv.Atoi(args[i])
+		if err == nil && n < 0 {
+			return 0, fmt.Errorf("%s: argument must be non-negative, got %d", cmd, n)
+		}
+		return n, err
+	}
+	provenance := func(r serve.Result) string {
+		return fmt.Sprintf("gen=%d edges=%d %v", r.Gen, r.Edges, r.Latency.Round(time.Microsecond))
+	}
+	switch cmd {
+	case "help":
+		return "degree <v> | neighbors <v> | khop <v> <k> | topk <k> | pagerank | ingest <n> | stats | quit", nil
+	case "degree":
+		v, err := argN(0)
+		if err != nil {
+			return "", err
+		}
+		r := srv.Do(serve.Query{Class: serve.ClassDegree, V: graph.V(v)})
+		if r.Err != nil {
+			return "", r.Err
+		}
+		return fmt.Sprintf("%d  (%s)", r.Value, provenance(r)), nil
+	case "neighbors":
+		v, err := argN(0)
+		if err != nil {
+			return "", err
+		}
+		r := srv.Do(serve.Query{Class: serve.ClassNeighbors, V: graph.V(v)})
+		if r.Err != nil {
+			return "", r.Err
+		}
+		return fmt.Sprintf("%v  (%s)", r.Verts, provenance(r)), nil
+	case "khop":
+		v, err := argN(0)
+		if err != nil {
+			return "", err
+		}
+		k, err := argN(1)
+		if err != nil {
+			return "", err
+		}
+		r := srv.Do(serve.Query{Class: serve.ClassKHop, V: graph.V(v), K: k})
+		if r.Err != nil {
+			return "", r.Err
+		}
+		return fmt.Sprintf("%d vertices within %d hops  (%s)", r.Value, k, provenance(r)), nil
+	case "topk":
+		k, err := argN(0)
+		if err != nil {
+			return "", err
+		}
+		r := srv.Do(serve.Query{Class: serve.ClassTopK, K: k})
+		if r.Err != nil {
+			return "", r.Err
+		}
+		var b strings.Builder
+		for i, v := range r.Verts {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%d", v, r.Degrees[i])
+		}
+		return fmt.Sprintf("%s  (%s)", b.String(), provenance(r)), nil
+	case "pagerank":
+		r := srv.Do(serve.Query{Class: serve.ClassKernel})
+		if r.Err != nil {
+			return "", r.Err
+		}
+		best, bestScore := 0, 0.0
+		for v, s := range r.Ranks {
+			if s > bestScore {
+				best, bestScore = v, s
+			}
+		}
+		return fmt.Sprintf("refreshed %d ranks, top %d (%.5f)  (%s)", len(r.Ranks), best, bestScore, provenance(r)), nil
+	case "ingest":
+		n, err := argN(0)
+		if err != nil {
+			return "", err
+		}
+		*ingestSeed++
+		stream := graphgen.Uniform(nVert, 1, *ingestSeed)
+		for len(stream) < n {
+			*ingestSeed++
+			stream = append(stream, graphgen.Uniform(nVert, 1, *ingestSeed)...)
+		}
+		res, err := srv.Ingest(stream[:n])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ingested %d edges (%.2f MEPS virtual, %d applied total)",
+			res.Edges, res.MEPS(), srv.Applied()), nil
+	case "stats":
+		st := srv.Stats()
+		var b strings.Builder
+		fmt.Fprintf(&b, "uptime %v, %d edges applied, %d lease generations, %d rejected",
+			st.Uptime.Round(time.Millisecond), st.Applied, st.Generations, st.Rejected)
+		for _, cs := range st.Classes {
+			if cs.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\n%-9s count=%-6d p50=%-10v p99=%-10v mean=%-10v qps=%.1f",
+				cs.Class, cs.Count, cs.P50, cs.P99, cs.Mean, cs.QPS)
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}

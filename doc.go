@@ -11,6 +11,7 @@
 //   - internal/analytics — PR / BFS / BC / CC kernels (GAPBS, Table 1)
 //   - internal/graphgen — Table 2 dataset stand-ins
 //   - internal/bench    — one experiment per paper table/figure
+//   - internal/serve    — concurrent query-serving layer (snapshot leases)
 //
 // Analytics read adjacency through the bulk zero-copy path
 // (graph.BulkSnapshot / graph.Sweeper): destinations arrive as slices —
@@ -28,10 +29,20 @@
 // internal/workload routes edge streams across per-shard writers by
 // lock resource, feeding batches instead of single edges.
 //
+// The two paths meet in internal/serve: a serving tier that multiplexes
+// concurrent point queries (degree, neighbors, k-hop, top-k-degree) and
+// kernel refreshes over refcounted snapshot leases — one shared
+// snapshot per lease generation, refreshed when a bounded-staleness
+// limit (applied edges or wall-clock age) trips — while ingest streams
+// underneath through the workload router. cmd/dgap-serve exposes the
+// query API interactively over a line protocol.
+//
 // bench_test.go in this directory exposes each experiment as a standard
 // testing.B benchmark; cmd/dgap-bench prints the full paper-style
 // tables, `dgap-bench -json` dumps kernel timings on both read paths to
-// BENCH_kernels.json, and `dgap-bench -ingest` dumps scalar vs batched
-// vs routed ingest timings to BENCH_ingest.json for cross-PR perf
-// tracking.
+// BENCH_kernels.json, `dgap-bench -ingest` dumps scalar vs batched vs
+// routed ingest timings to BENCH_ingest.json, and `dgap-bench -serve`
+// dumps the mixed read/write serving experiment (query latency
+// percentiles and ingest MEPS at several read:write ratios) to
+// BENCH_serve.json for cross-PR perf tracking.
 package repro

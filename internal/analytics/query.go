@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"sort"
+	"time"
+
+	"dgap/internal/graph"
+)
+
+// This file holds the point-query helpers the serving layer
+// (internal/serve) multiplexes alongside the whole-graph kernels:
+// bounded k-hop expansion and top-k-degree ranking. Like the kernels,
+// both read adjacency through the bulk path (graph.Bulk) so a query
+// over a DGAP snapshot touches destinations through slice loops with
+// amortized zero allocations per edge, and both charge their time to a
+// vtime.Pool so the scalability experiments can account for them.
+
+// KHop returns the number of distinct vertices reachable from src in at
+// most k hops, including src itself. It is a plain breadth-first
+// expansion bounded at depth k over the bulk read path (or the per-edge
+// callback path when cfg.Callback is set). The second return value is
+// the pool-accounted elapsed time.
+func KHop(s graph.Snapshot, src graph.V, k int, cfg Config) (int, time.Duration) {
+	n := s.NumVertices()
+	if int(src) >= n || k < 0 {
+		return 0, 0
+	}
+	p := cfg.pool()
+	bs := bulkOf(s, cfg)
+	reached := 1
+	p.Serial(func() {
+		visited := newBitmap(n)
+		visited.set(int(src))
+		frontier := []graph.V{src}
+		var next []graph.V
+		scratch := getScratch()
+		defer putScratch(scratch)
+		buf := *scratch
+		for hop := 0; hop < k && len(frontier) > 0; hop++ {
+			next = next[:0]
+			for _, u := range frontier {
+				if bs != nil {
+					buf = bs.CopyNeighbors(u, buf[:0])
+				} else {
+					buf = buf[:0]
+					s.Neighbors(u, func(d graph.V) bool {
+						buf = append(buf, d)
+						return true
+					})
+				}
+				for _, d := range buf {
+					if !visited.get(int(d)) {
+						visited.set(int(d))
+						next = append(next, d)
+						reached++
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+		*scratch = buf
+	})
+	return reached, p.Elapsed()
+}
+
+// vdeg pairs a vertex with its degree for top-k ranking.
+type vdeg struct {
+	v graph.V
+	d int
+}
+
+// less orders candidates by higher degree first, lower id on ties — the
+// deterministic ranking TopKDegree returns.
+func (a vdeg) less(b vdeg) bool {
+	if a.d != b.d {
+		return a.d > b.d
+	}
+	return a.v < b.v
+}
+
+// TopKDegree returns the ids of the k highest-degree vertices, ordered
+// by descending degree (ascending id on ties). The degree scan is
+// chunked across the pool's workers, each keeping a local top-k that a
+// serial pass merges, so the parallel phase never materializes more
+// than workers*k candidates.
+func TopKDegree(s graph.Snapshot, k int, cfg Config) ([]graph.V, time.Duration) {
+	n := s.NumVertices()
+	if k <= 0 || n == 0 {
+		return nil, 0
+	}
+	if k > n {
+		k = n
+	}
+	p := cfg.pool()
+	bounds := vertexBounds(n, max(n/cfg.chunks(n), 1))
+	locals := make([][]vdeg, len(bounds)-1)
+	p.ForRanges(bounds, func(c, lo, hi int) {
+		var acc []vdeg
+		for v := lo; v < hi; v++ {
+			acc = topkInsert(acc, vdeg{v: graph.V(v), d: s.Degree(graph.V(v))}, k)
+		}
+		locals[c] = acc
+	})
+	var out []graph.V
+	p.Serial(func() {
+		var all []vdeg
+		for _, l := range locals {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].less(all[j]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		out = make([]graph.V, len(all))
+		for i, c := range all {
+			out[i] = c.v
+		}
+	})
+	return out, p.Elapsed()
+}
+
+// topkInsert keeps acc as the best-first top-k candidate list while
+// inserting c: a linear insertion, cheap because k is small.
+func topkInsert(acc []vdeg, c vdeg, k int) []vdeg {
+	i := len(acc)
+	for i > 0 && c.less(acc[i-1]) {
+		i--
+	}
+	if i == len(acc) {
+		if len(acc) < k {
+			return append(acc, c)
+		}
+		return acc
+	}
+	if len(acc) < k {
+		acc = append(acc, vdeg{})
+	}
+	copy(acc[i+1:], acc[i:])
+	acc[i] = c
+	return acc
+}

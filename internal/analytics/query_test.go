@@ -1,0 +1,118 @@
+package analytics
+
+import (
+	"sort"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+)
+
+// bruteKHop counts vertices within k hops of src by repeated relaxation
+// over the callback read path.
+func bruteKHop(s graph.Snapshot, src graph.V, k int) int {
+	dist := make([]int, s.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []graph.V{src}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		var next []graph.V
+		for _, u := range frontier {
+			s.Neighbors(u, func(d graph.V) bool {
+				if dist[d] < 0 {
+					dist[d] = hop + 1
+					next = append(next, d)
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	n := 0
+	for _, d := range dist {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestKHopPath(t *testing.T) {
+	s := pathGraph(t, 10)
+	for k, want := range map[int]int{0: 1, 1: 2, 2: 3, 9: 10, 20: 10} {
+		if got, _ := KHop(s, 0, k, Serial); got != want {
+			t.Errorf("KHop(0, %d) = %d, want %d", k, got, want)
+		}
+	}
+	// From the middle both directions open up.
+	if got, _ := KHop(s, 5, 2, Serial); got != 5 {
+		t.Errorf("KHop(5, 2) = %d, want 5", got)
+	}
+}
+
+func TestKHopMatchesBruteForce(t *testing.T) {
+	const V = 200
+	edges := graphgen.Uniform(V, 6, 97)
+	s := buildSnap(t, V, edges)
+	for _, src := range []graph.V{0, 7, 113} {
+		for k := 0; k <= 4; k++ {
+			want := bruteKHop(s, src, k)
+			if got, _ := KHop(s, src, k, Serial); got != want {
+				t.Errorf("KHop(%d, %d) = %d, brute force %d", src, k, got, want)
+			}
+			// Callback path must agree with the bulk path.
+			if got, _ := KHop(s, src, k, Config{Threads: 1, Callback: true}); got != want {
+				t.Errorf("KHop callback(%d, %d) = %d, want %d", src, k, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKDegree(t *testing.T) {
+	const V = 300
+	edges := graphgen.Uniform(V, 9, 41)
+	s := buildSnap(t, V, edges)
+	want := make([]vdeg, V)
+	for v := 0; v < V; v++ {
+		want[v] = vdeg{v: graph.V(v), d: s.Degree(graph.V(v))}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+	for _, k := range []int{1, 5, 50, V, V + 10} {
+		got, _ := TopKDegree(s, k, Serial)
+		n := min(k, V)
+		if len(got) != n {
+			t.Fatalf("TopKDegree(%d) returned %d ids, want %d", k, len(got), n)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != want[i].v {
+				t.Fatalf("TopKDegree(%d)[%d] = %d (deg %d), want %d (deg %d)",
+					k, i, got[i], s.Degree(got[i]), want[i].v, want[i].d)
+			}
+		}
+	}
+	// Parallel chunking must produce the identical ranking.
+	got, _ := TopKDegree(s, 25, Config{Threads: 4})
+	for i := 0; i < 25; i++ {
+		if got[i] != want[i].v {
+			t.Fatalf("parallel TopKDegree[%d] = %d, want %d", i, got[i], want[i].v)
+		}
+	}
+}
+
+func TestTopKInsertKeepsOrder(t *testing.T) {
+	var acc []vdeg
+	for _, c := range []vdeg{{1, 5}, {2, 9}, {3, 5}, {4, 1}, {5, 9}} {
+		acc = topkInsert(acc, c, 3)
+	}
+	want := []vdeg{{2, 9}, {5, 9}, {1, 5}}
+	if len(acc) != len(want) {
+		t.Fatalf("acc = %v, want %v", acc, want)
+	}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("acc = %v, want %v", acc, want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/serve"
+	"dgap/internal/workload"
+)
+
+// Serve-experiment shape: router shards and query workers match the
+// ingest experiment's mid-scale point; the staleness bound is a few
+// router batches so lease refreshes demonstrably happen mid-stream.
+const (
+	serveShards  = 4
+	serveWorkers = 4
+)
+
+// serveRatios are the read:write mixes the experiment sweeps, expressed
+// as queries issued per 1000 edges applied. Writes are single edges and
+// queries are whole operations (a k-hop expansion, a top-k scan), so
+// even the "heavy" mix is far below 1:1 in op count while being
+// read-dominated in work.
+var serveRatios = []struct {
+	Label   string
+	PerKilo int
+}{
+	{"1:100", 10},
+	{"1:10", 100},
+}
+
+// ServeClassStats is one query class's latency summary in the dump.
+type ServeClassStats struct {
+	Class string  `json:"class"`
+	Count int64   `json:"count"`
+	P50Ns int64   `json:"p50_ns"`
+	P99Ns int64   `json:"p99_ns"`
+	QPS   float64 `json:"qps"`
+}
+
+// ServeResult is one mixed read/write measurement: one system serving
+// one dataset at one read:write ratio, with ingest streaming through
+// the router while the query classes run against snapshot leases.
+// QueriesDuringIngest, LeaseGenerations and the Min/MaxSeenEdges spread
+// are the concurrency evidence: completions landing inside the ingest
+// window, the staleness bound refreshing leases mid-stream, and
+// successive generations observing the edge count grow.
+type ServeResult struct {
+	System              string            `json:"system"`
+	Graph               string            `json:"graph"`
+	Ratio               string            `json:"ratio"`
+	QueriesPerKiloEdge  int               `json:"queries_per_kilo_edge"`
+	Edges               int               `json:"edges"`
+	IngestWallNs        int64             `json:"ingest_wall_ns"`
+	IngestVirtualNs     int64             `json:"ingest_virtual_ns"`
+	MEPS                float64           `json:"meps"`
+	Queries             int64             `json:"queries"`
+	Rejected            int64             `json:"rejected"`
+	QueriesDuringIngest int64             `json:"queries_during_ingest"`
+	LeaseGenerations    uint64            `json:"lease_generations"`
+	MinSeenEdges        int64             `json:"min_seen_edges"`
+	MaxSeenEdges        int64             `json:"max_seen_edges"`
+	Classes             []ServeClassStats `json:"classes"`
+}
+
+// ServeDump is the top-level BENCH_serve.json document.
+type ServeDump struct {
+	Scale   float64       `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Shards  int           `json:"shards"`
+	Workers int           `json:"workers"`
+	Results []ServeResult `json:"results"`
+}
+
+// ServeJSON runs the mixed read/write serving experiment — every
+// dynamic system, every dataset, at each read:write ratio — and writes
+// BENCH_serve.json, the serving-tier counterpart of BENCH_kernels.json
+// (reads) and BENCH_ingest.json (writes).
+func ServeJSON(o Options, path string) error {
+	o = o.defaults()
+	dump := ServeDump{Scale: o.Scale, Seed: o.Seed, Shards: serveShards, Workers: serveWorkers}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		for _, name := range SystemNames {
+			for _, ratio := range serveRatios {
+				res, err := measureServe(name, nVert, edges, ratio.PerKilo, o)
+				if err != nil {
+					return fmt.Errorf("serve %s/%s %s: %w", spec.Name, name, ratio.Label, err)
+				}
+				res.Graph = spec.Name
+				res.Ratio = ratio.Label
+				dump.Results = append(dump.Results, res)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "wrote %d mixed read/write timings to %s\n", len(dump.Results), path)
+	return nil
+}
+
+// serveQuery picks the i-th query of the paced stream: a rotation of
+// the cheap point classes with a periodic top-k scan and a rarer full
+// kernel refresh, over a deterministically scattered vertex.
+func serveQuery(i, nVert int) serve.Query {
+	v := graph.V(uint32(i*2654435761) % uint32(nVert))
+	switch {
+	case i%64 == 63:
+		return serve.Query{Class: serve.ClassKernel}
+	case i%16 == 15:
+		return serve.Query{Class: serve.ClassTopK, K: 8}
+	case i%4 == 3:
+		return serve.Query{Class: serve.ClassKHop, V: v, K: 2}
+	case i%2 == 0:
+		return serve.Query{Class: serve.ClassDegree, V: v}
+	default:
+		return serve.Query{Class: serve.ClassNeighbors, V: v}
+	}
+}
+
+// measureServe loads one fresh instance with the warmup stream, then
+// ingests the timed stream through the server's router while a paced
+// query stream (perKilo queries per 1000 applied edges) runs against
+// the server's snapshot leases.
+func measureServe(name string, nVert int, edges []graph.Edge, perKilo int, o Options) (ServeResult, error) {
+	out := ServeResult{System: name, QueriesPerKiloEdge: perKilo}
+	sys, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, err
+	}
+	warm, timed := workload.Split(edges)
+	out.Edges = len(timed)
+	if err := graph.Batch(sys).InsertBatch(warm); err != nil {
+		return out, err
+	}
+
+	cfg := serve.Config{
+		MaxStalenessEdges: int64(max(len(timed)/16, 256)),
+		MaxStalenessAge:   -1, // edge-count bound only: deterministic refresh cadence
+		Workers:           serveWorkers,
+		QueueDepth:        256,
+		IngestShards:      serveShards,
+		IngestBatch:       workload.AdaptiveBatchSize(len(edges)),
+		Scope:             lockScope(name),
+	}
+	if g, ok := sys.(*dgap.Graph); ok {
+		sinks, release, err := workload.DGAPSinks(g, serveShards)
+		if err != nil {
+			return out, err
+		}
+		defer release()
+		cfg.Sinks = sinks
+	}
+	srv, err := serve.New(sys, cfg)
+	if err != nil {
+		return out, err
+	}
+	defer srv.Close()
+
+	var (
+		ingesting atomic.Bool
+		issued    atomic.Int64
+		mu        sync.Mutex
+		errs      []error
+		wg        sync.WaitGroup
+	)
+	out.MinSeenEdges = int64(1) << 62
+	record := func(res serve.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if res.Err != nil {
+			errs = append(errs, res.Err)
+			return
+		}
+		out.Queries++
+		if ingesting.Load() {
+			out.QueriesDuringIngest++
+		}
+		out.MinSeenEdges = min(out.MinSeenEdges, res.Edges)
+		out.MaxSeenEdges = max(out.MaxSeenEdges, res.Edges)
+	}
+	target := func() int64 { return srv.Applied() * int64(perKilo) / 1000 }
+
+	// The query dispatcher keeps issuance at the target ratio of the
+	// applied-edge counter; each query blocks in its own goroutine, so
+	// completions land whenever a worker and the scheduler allow —
+	// including at the yield points inside the router stream, which is
+	// what QueriesDuringIngest certifies.
+	ingesting.Store(true)
+	dispatcherDone := make(chan struct{})
+	go func() {
+		defer close(dispatcherDone)
+		for ingesting.Load() || issued.Load() < target() {
+			for issued.Load() < target() {
+				q := serveQuery(int(issued.Load()), nVert)
+				issued.Add(1)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					record(srv.Do(q))
+				}()
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	t0 := time.Now()
+	ingestRes, ingestErr := srv.Ingest(timed)
+	wall := time.Since(t0)
+	// Drain the query side before touching (or returning) the shared
+	// result struct, even when ingest failed — in-flight queries keep
+	// calling record until the dispatcher stops and its goroutines end.
+	ingesting.Store(false)
+	<-dispatcherDone
+	wg.Wait()
+	mixedWall := time.Since(t0) // full mixed window, tail completions included
+	if ingestErr != nil {
+		return out, ingestErr
+	}
+	if len(errs) > 0 {
+		return out, errs[0]
+	}
+
+	out.IngestWallNs = wall.Nanoseconds()
+	out.IngestVirtualNs = ingestRes.Elapsed.Nanoseconds()
+	if s := wall.Seconds(); s > 0 {
+		out.MEPS = float64(len(timed)) / s / 1e6
+	}
+	st := srv.Stats()
+	out.Rejected = st.Rejected
+	out.LeaseGenerations = st.Generations
+	if out.Queries == 0 {
+		out.MinSeenEdges = 0
+	}
+	// QPS is measured over the whole mixed window (ingest plus the tail
+	// that drains the last due queries), since class counts include that
+	// tail; MEPS stays over the ingest span.
+	qsecs := mixedWall.Seconds()
+	for _, cs := range st.Classes {
+		if cs.Count == 0 {
+			continue
+		}
+		qps := 0.0
+		if qsecs > 0 {
+			qps = float64(cs.Count) / qsecs
+		}
+		out.Classes = append(out.Classes, ServeClassStats{
+			Class: cs.Class,
+			Count: cs.Count,
+			P50Ns: cs.P50.Nanoseconds(),
+			P99Ns: cs.P99.Nanoseconds(),
+			QPS:   qps,
+		})
+	}
+	return out, nil
+}

@@ -48,16 +48,9 @@ func buildSystem(name string, nVert, nEdges int, lat pmem.LatencyModel) (graph.S
 }
 
 // lockScope returns the virtual-time contention granularity of a
-// system's insert path.
+// system's insert path (the shared workload.ScopeFor mapping).
 func lockScope(name string) workload.LockScope {
-	switch name {
-	case "DGAP":
-		return workload.ScopeSection
-	case "BAL", "XPGraph":
-		return workload.ScopeVertex
-	default:
-		return workload.ScopeGlobal
-	}
+	return workload.ScopeFor(name)
 }
 
 // loadAll inserts the full stream (no timing) and settles pending

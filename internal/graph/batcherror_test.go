@@ -1,0 +1,72 @@
+package graph_test
+
+import (
+	"errors"
+	"testing"
+
+	"dgap/internal/graph"
+)
+
+// failingSys accepts inserts until failAt edges have landed, then
+// returns cause for every further insert — a stand-in for a backend
+// hitting arena exhaustion mid-batch.
+type failingSys struct {
+	applied int
+	failAt  int
+	cause   error
+}
+
+func (f *failingSys) Name() string { return "failing" }
+
+func (f *failingSys) InsertEdge(src, dst graph.V) error {
+	if f.applied >= f.failAt {
+		return f.cause
+	}
+	f.applied++
+	return nil
+}
+
+func (f *failingSys) Snapshot() graph.Snapshot { return nil }
+
+// TestBatchFallbackNamesFailingEdge: the scalar fallback adapter wraps
+// a mid-batch failure in graph.BatchError carrying the failing edge's
+// index and value — parity with workload.ShardError naming the failing
+// shard — and the applied prefix matches the index exactly.
+func TestBatchFallbackNamesFailingEdge(t *testing.T) {
+	cause := errors.New("arena exhausted")
+	sys := &failingSys{failAt: 5, cause: cause}
+	batch := make([]graph.Edge, 9)
+	for i := range batch {
+		batch[i] = graph.Edge{Src: graph.V(i), Dst: graph.V(i + 100)}
+	}
+
+	err := graph.Batch(sys).InsertBatch(batch)
+	if err == nil {
+		t.Fatal("batch over a failing system succeeded")
+	}
+	var be *graph.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T does not wrap graph.BatchError: %v", err, err)
+	}
+	if be.Index != 5 {
+		t.Errorf("BatchError.Index = %d, want 5", be.Index)
+	}
+	if be.Edge != batch[5] {
+		t.Errorf("BatchError.Edge = %v, want %v", be.Edge, batch[5])
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("BatchError does not unwrap to the cause: %v", err)
+	}
+	if sys.applied != be.Index {
+		t.Errorf("applied prefix %d does not match Index %d", sys.applied, be.Index)
+	}
+	if msg := err.Error(); msg == "" || msg == cause.Error() {
+		t.Errorf("unhelpful message %q", msg)
+	}
+
+	// A clean batch still succeeds.
+	sys2 := &failingSys{failAt: 100, cause: cause}
+	if err := graph.Batch(sys2).InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+}

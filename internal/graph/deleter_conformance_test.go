@@ -1,0 +1,137 @@
+package graph_test
+
+import (
+	"errors"
+	"testing"
+
+	"dgap/internal/csr"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+// TestDeleterConformance is the delete-support conformance check, gated
+// on each system's graph.Deleter assertion: systems that implement it
+// must provide tombstone semantics with snapshot isolation across
+// generations; systems that do not are thereby documented as rejecting
+// deletes. Today DGAP is the only implementor — BAL, LLAMA, GraphOne
+// and XPGraph are append-only ports (as in the paper's evaluation) and
+// CSR is static — so if a baseline grows a DeleteEdge, this test fails
+// until its semantics are covered here.
+func TestDeleterConformance(t *testing.T) {
+	const V = 32
+	edges := graphgen.Uniform(V, 6, 19)
+	for name, sys := range buildAll(t, V, edges) {
+		_, ok := sys.(graph.Deleter)
+		switch name {
+		case "dgap":
+			if !ok {
+				t.Errorf("dgap must implement graph.Deleter")
+			}
+		default:
+			if ok {
+				t.Errorf("%s unexpectedly implements graph.Deleter: add its delete semantics to this conformance test", name)
+			}
+		}
+	}
+	g, err := csr.Build(pmem.New(64<<20), V, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := any(g).(graph.Deleter); ok {
+		t.Error("static CSR unexpectedly implements graph.Deleter")
+	}
+}
+
+// TestDGAPDeleteSnapshotGenerations pins DGAP's tombstone visibility
+// rules across snapshot generations: a snapshot taken before a delete
+// keeps seeing the edge (its visible-entry prefix is immutable
+// history), the next generation sees one fewer copy per delete, and an
+// insert after a delete is a fresh edge the older tombstone does not
+// cancel.
+func TestDGAPDeleteSnapshotGenerations(t *testing.T) {
+	const V = 16
+	a := pmem.New(128 << 20)
+	cfg := dgap.DefaultConfig(V, 64)
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 1 carries a duplicate destination so deletes must cancel
+	// exactly one copy at a time.
+	for _, e := range []graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 1, Dst: 2}, {Src: 4, Dst: 5}} {
+		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dsts := func(s graph.Snapshot) []graph.V {
+		var out []graph.V
+		s.Neighbors(1, func(d graph.V) bool { out = append(out, d); return true })
+		return out
+	}
+
+	s1 := g.Snapshot()
+	if got := dsts(s1); len(got) != 3 {
+		t.Fatalf("gen1 sees %v, want 3 entries", got)
+	}
+
+	if err := g.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := g.Snapshot()
+	if got := dsts(s2); len(got) != 2 || countOf(got, 2) != 1 {
+		t.Fatalf("gen2 after one delete sees %v, want one 2 and one 3", got)
+	}
+	// The older generation's view is immutable history.
+	if got := dsts(s1); len(got) != 3 || countOf(got, 2) != 2 {
+		t.Fatalf("gen1 changed after later delete: %v", got)
+	}
+	if s2.Degree(1) != 2 || s1.Degree(1) != 3 {
+		t.Fatalf("degrees: gen1 %d (want 3), gen2 %d (want 2)", s1.Degree(1), s2.Degree(1))
+	}
+
+	if err := g.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s3 := g.Snapshot()
+	if got := dsts(s3); len(got) != 1 || countOf(got, 2) != 0 {
+		t.Fatalf("gen3 after both deletes sees %v, want only 3", got)
+	}
+
+	// A fresh insert after the tombstones is a new edge, and the prior
+	// generation does not see it.
+	if err := g.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s4 := g.Snapshot()
+	if got := dsts(s4); len(got) != 2 || countOf(got, 2) != 1 {
+		t.Fatalf("gen4 after re-insert sees %v, want 3 and one 2", got)
+	}
+	if got := dsts(s3); len(got) != 1 {
+		t.Fatalf("gen3 changed after later insert: %v", got)
+	}
+
+	// Deleting from a vertex with no live edges is rejected.
+	if err := g.DeleteEdge(9, 9); !errors.Is(err, dgap.ErrNoEdge) {
+		t.Errorf("delete on empty vertex: %v, want ErrNoEdge", err)
+	}
+
+	// Bulk and callback paths agree on every generation.
+	for i, s := range []graph.Snapshot{s1, s2, s3, s4} {
+		t.Logf("checking generation %d", i+1)
+		checkBulkMatchesCallback(t, s)
+	}
+}
+
+func countOf(ds []graph.V, want graph.V) int {
+	n := 0
+	for _, d := range ds {
+		if d == want {
+			n++
+		}
+	}
+	return n
+}

@@ -28,6 +28,8 @@
 //	Bulk/Sweep  ↔ Batch        (bulk, amortized where implemented)
 package graph
 
+import "fmt"
+
 // V is a vertex identifier. DGAP stores destination ids in 4 bytes and
 // reserves the top two bits for the pivot and tombstone flags, so valid
 // ids are below 1<<30.
@@ -165,13 +167,32 @@ func Batch(sys System) BatchWriter {
 type scalarBatch struct{ System }
 
 func (s scalarBatch) InsertBatch(edges []Edge) error {
-	for _, e := range edges {
+	for i, e := range edges {
 		if err := s.System.InsertEdge(e.Src, e.Dst); err != nil {
-			return err
+			return &BatchError{Index: i, Edge: e, Err: err}
 		}
 	}
 	return nil
 }
+
+// BatchError decorates a failure on the scalar batch fallback path with
+// the index (and value) of the edge that failed — the batch-level twin
+// of workload.ShardError, which names the failing shard. Because the
+// fallback applies edges in stream order, Index also tells the caller
+// exactly which prefix of the batch was applied: edges[:Index] landed,
+// edges[Index:] did not. (Native InsertBatch implementations reorder
+// internally and so cannot offer this; see BatchWriter.)
+type BatchError struct {
+	Index int
+	Edge  Edge
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("graph: batch edge %d (%d->%d): %v", e.Index, e.Edge.Src, e.Edge.Dst, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
 
 // Deleter is implemented by systems that support edge deletion.
 type Deleter interface {

@@ -1,0 +1,47 @@
+// Package serve is the concurrent query-serving layer: a long-lived
+// Server that wraps any graph.System and multiplexes point queries
+// (degree, neighbor lists, k-hop expansion, top-k-degree ranking) and
+// kernel refreshes (PageRank) over refcounted snapshot leases while an
+// edge stream ingests underneath through the sharded workload.Router.
+//
+// The paper's core promise — analysis against consistent snapshots
+// while the mutation stream continues — is exercised here for real:
+// queries and ingest share one Server and run concurrently, not in
+// alternating phases.
+//
+// # Snapshot leases
+//
+// Taking a snapshot is the expensive part of a read (DGAP's
+// ConsistentView quiesces writers and copies the degree cache), so the
+// Server does not take one per query. Instead it maintains one lease
+// generation at a time: a Lease pins a single shared snapshot, every
+// query acquires the current lease (one atomic refcount increment) and
+// releases it when done, and the lease is refreshed — a new generation
+// with a fresh snapshot — only when a configurable staleness bound is
+// exceeded: MaxStalenessEdges edges applied through the Server since
+// the snapshot was taken, or MaxStalenessAge of wall-clock age. A
+// retired generation's snapshot is held until its last in-flight query
+// releases it, so a query never observes its snapshot being torn down;
+// the bound, in turn, caps how far behind the ingest frontier any
+// served answer can be.
+//
+// # Query workers and admission control
+//
+// Queries execute on a bounded worker pool — vtime.Pool in its real
+// goroutine mode, reused as the executor: one ForRanges call whose
+// ranges are the long-lived worker loops — fed by a bounded queue.
+// Do blocks for a result; TrySubmit sheds load instead, returning
+// ErrOverloaded when the queue is full (the admission control a
+// serving tier needs to survive traffic it cannot absorb). Per-class
+// latency histograms (log-bucketed, p50/p99/mean, QPS) accumulate in
+// Stats.
+//
+// # Ingest
+//
+// Server.Ingest drives an edge stream through the PR 2 workload.Router
+// — partitioned by lock resource, batched per shard — into the wrapped
+// system's bulk write path (or caller-provided per-shard sinks, e.g.
+// per-shard dgap.Writers from workload.DGAPSinks). Each applied batch
+// advances the Server's applied-edge counter, which is what the
+// edge-staleness bound measures.
+package serve

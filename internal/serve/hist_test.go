@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistBucketRoundTrip: the reported bucket midpoint stays within
+// the documented ~12% relative error for values across the range.
+func TestHistBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 9, 100, 1023, 4096, 1e6, 123456789, 1e12} {
+		b := histBucket(v)
+		got := histValue(b)
+		if v < histSub {
+			if got != v {
+				t.Errorf("histValue(histBucket(%d)) = %d, want exact", v, got)
+			}
+			continue
+		}
+		if err := math.Abs(float64(got-v)) / float64(v); err > 0.125 {
+			t.Errorf("histValue(histBucket(%d)) = %d, relative error %.3f", v, got, err)
+		}
+	}
+	// Buckets are monotone in value.
+	prev := -1
+	for _, v := range []int64{0, 1, 5, 8, 12, 16, 31, 32, 1000, 1e6, 1e9} {
+		b := histBucket(v)
+		if b < prev {
+			t.Fatalf("histBucket(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.99, 990 * time.Microsecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if err := math.Abs(float64(got-c.want)) / float64(c.want); err > 0.15 {
+			t.Errorf("q%.2f = %v, want ~%v (err %.3f)", c.q, got, c.want, err)
+		}
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("max = %v, want 1ms", h.Max())
+	}
+	if mean := h.Mean(); mean < 450*time.Microsecond || mean > 550*time.Microsecond {
+		t.Errorf("mean = %v, want ~500µs", mean)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}

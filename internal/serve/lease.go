@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dgap/internal/graph"
+)
+
+// SnapshotReleaser is optionally implemented by snapshots that want an
+// explicit end-of-life signal when the last lease reference drops. The
+// in-tree backends rely on garbage collection and do not implement it;
+// the serve tests use it to prove a lease's snapshot is never torn down
+// while a query still holds the lease.
+type SnapshotReleaser interface {
+	ReleaseSnapshot()
+}
+
+// Lease is one pinned generation of the Server's shared snapshot.
+// Acquire hands the same *Lease to every query until the staleness
+// bound retires it; each holder must call Release exactly once. The
+// underlying snapshot outlives the generation: it is released (the
+// SnapshotReleaser signal, where implemented) only when the Server has
+// retired the lease AND the last in-flight holder has released it.
+type Lease struct {
+	// Snap is the generation's shared snapshot, on the bulk read path.
+	Snap graph.BulkSnapshot
+	// Gen is the lease generation, monotonically increasing from 1.
+	Gen uint64
+
+	// refs counts holders plus one reference owned by the Server itself
+	// until the lease is retired; the snapshot is released when it hits
+	// zero.
+	refs      atomic.Int64
+	born      time.Time
+	appliedAt int64 // Server.Applied() when the snapshot was taken
+}
+
+// Age returns how long ago the lease's snapshot was taken.
+func (l *Lease) Age() time.Duration { return time.Since(l.born) }
+
+// Release drops one holder reference. The last drop after retirement
+// releases the snapshot.
+func (l *Lease) Release() { l.unpin() }
+
+func (l *Lease) unpin() {
+	if n := l.refs.Add(-1); n == 0 {
+		if r, ok := l.Snap.(SnapshotReleaser); ok {
+			r.ReleaseSnapshot()
+		}
+	} else if n < 0 {
+		panic("serve: lease over-released")
+	}
+}
+
+// Acquire pins and returns the current lease, refreshing it first when
+// the configured staleness bound is exceeded, or nil once the Server
+// has been closed (the wrapped system may be shut down, so no new
+// snapshot may be taken). Callers must Release a non-nil lease when
+// done with its snapshot; queries submitted through Do/TrySubmit have
+// this done for them.
+func (s *Server) Acquire() *Lease {
+	s.leaseMu.Lock()
+	if s.leasesClosed.Load() {
+		s.leaseMu.Unlock()
+		return nil
+	}
+	l := s.lease
+	if l == nil || s.staleLocked(l) {
+		// Load the applied counter before taking the snapshot so edges
+		// racing with snapshot creation count toward the next refresh
+		// rather than silently extending this lease's budget.
+		appliedAt := s.applied.Load()
+		nl := &Lease{
+			Snap:      graph.Bulk(s.sys.Snapshot()),
+			Gen:       s.gen.Add(1),
+			born:      time.Now(),
+			appliedAt: appliedAt,
+		}
+		nl.refs.Store(1) // the Server's own reference, dropped on retire
+		if l != nil {
+			l.unpin()
+		}
+		s.lease = nl
+		l = nl
+	}
+	l.refs.Add(1)
+	s.leaseMu.Unlock()
+	return l
+}
+
+// staleLocked reports whether the lease has exceeded either staleness
+// bound. Called with leaseMu held.
+func (s *Server) staleLocked(l *Lease) bool {
+	if e := s.cfg.MaxStalenessEdges; e > 0 && s.applied.Load()-l.appliedAt >= e {
+		return true
+	}
+	if a := s.cfg.MaxStalenessAge; a > 0 && time.Since(l.born) >= a {
+		return true
+	}
+	return false
+}
+
+// retireLease stops further lease creation and drops the Server's own
+// reference so the snapshot can be released once in-flight holders
+// drain; called on Close after the workers have stopped. An Acquire
+// that slipped in before the flag lands is still retired here (the
+// leaseMu critical sections order the two), so no generation leaks.
+func (s *Server) retireLease() {
+	s.leasesClosed.Store(true)
+	s.leaseMu.Lock()
+	l := s.lease
+	s.lease = nil
+	s.leaseMu.Unlock()
+	if l != nil {
+		l.unpin()
+	}
+}

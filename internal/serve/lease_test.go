@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgap/internal/graph"
+)
+
+// fakeSys is an instrumented graph.System whose snapshots report
+// lifetime violations: a read after ReleaseSnapshot, or a double
+// release. It implements graph.BulkSnapshot natively so the lease keeps
+// the SnapshotReleaser signal (graph.Bulk would otherwise wrap it).
+type fakeSys struct {
+	edges atomic.Int64
+
+	mu    sync.Mutex
+	snaps []*fakeSnap
+}
+
+type fakeSnap struct {
+	edges int64
+	gen   int
+
+	released      atomic.Bool
+	readAfterFree atomic.Int64
+	doubleFree    atomic.Int64
+}
+
+func (f *fakeSys) Name() string { return "fake" }
+
+func (f *fakeSys) InsertEdge(src, dst graph.V) error {
+	f.edges.Add(1)
+	return nil
+}
+
+func (f *fakeSys) InsertBatch(edges []graph.Edge) error {
+	f.edges.Add(int64(len(edges)))
+	return nil
+}
+
+func (f *fakeSys) Snapshot() graph.Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &fakeSnap{edges: f.edges.Load(), gen: len(f.snaps)}
+	f.snaps = append(f.snaps, s)
+	return s
+}
+
+func (f *fakeSys) all() []*fakeSnap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*fakeSnap(nil), f.snaps...)
+}
+
+func (s *fakeSnap) checkLive() {
+	if s.released.Load() {
+		s.readAfterFree.Add(1)
+	}
+}
+
+func (s *fakeSnap) NumVertices() int { s.checkLive(); return 8 }
+func (s *fakeSnap) NumEdges() int64  { s.checkLive(); return s.edges }
+func (s *fakeSnap) Degree(v graph.V) int {
+	s.checkLive()
+	return int(s.edges % 7)
+}
+func (s *fakeSnap) Neighbors(v graph.V, fn func(graph.V) bool) { s.checkLive() }
+func (s *fakeSnap) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	s.checkLive()
+	return buf
+}
+
+func (s *fakeSnap) ReleaseSnapshot() {
+	if !s.released.CompareAndSwap(false, true) {
+		s.doubleFree.Add(1)
+	}
+}
+
+func checkNoViolations(t *testing.T, sys *fakeSys, wantAllReleased bool) {
+	t.Helper()
+	for _, s := range sys.all() {
+		if n := s.readAfterFree.Load(); n > 0 {
+			t.Errorf("snapshot gen %d: %d reads after release", s.gen, n)
+		}
+		if n := s.doubleFree.Load(); n > 0 {
+			t.Errorf("snapshot gen %d: released %d extra times", s.gen, n)
+		}
+		if wantAllReleased && !s.released.Load() {
+			t.Errorf("snapshot gen %d: never released", s.gen)
+		}
+	}
+}
+
+// edgeStream builds n distinct edges for Ingest calls.
+func edgeStream(n int, seed int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{Src: graph.V((seed + i) % 8), Dst: graph.V(i % 8)}
+	}
+	return out
+}
+
+// TestLeaseNeverReleasedWhileHeld hammers Acquire/Release from many
+// reader goroutines while ingest advances the staleness clock and
+// forces refreshes, then proves (under -race) that no snapshot was ever
+// read after release, none was released twice, and every generation was
+// released by the time the server closed.
+func TestLeaseNeverReleasedWhileHeld(t *testing.T) {
+	sys := &fakeSys{}
+	srv, err := New(sys, Config{
+		MaxStalenessEdges: 16,
+		MaxStalenessAge:   -1,
+		Workers:           4,
+		IngestShards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const iters = 300
+	var readersWG sync.WaitGroup
+	stop := make(chan struct{})
+	ingestIdle := make(chan struct{})
+
+	// Ingest loop: keeps tripping the edge-staleness bound.
+	go func() {
+		defer close(ingestIdle)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := srv.Ingest(edgeStream(8, i)); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func(r int) {
+			defer readersWG.Done()
+			for i := 0; i < iters; i++ {
+				if r%2 == 0 {
+					// Through the query path.
+					res := srv.Do(Query{Class: ClassDegree, V: graph.V(i % 8)})
+					if res.Err != nil {
+						t.Errorf("reader %d: %v", r, res.Err)
+						return
+					}
+				} else {
+					// Raw lease usage: hold across a yield so a refresh
+					// has every chance to race with the read.
+					l := srv.Acquire()
+					l.Snap.Degree(graph.V(i % 8))
+					runtime.Gosched()
+					l.Snap.NumEdges()
+					l.Release()
+				}
+			}
+		}(r)
+	}
+
+	// Let readers finish, then stop ingest and close.
+	readersWG.Wait()
+	close(stop)
+	<-ingestIdle
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if g := srv.Generations(); g < 2 {
+		t.Fatalf("only %d lease generations — staleness bound never tripped, test proved nothing", g)
+	}
+	checkNoViolations(t, sys, true)
+}
+
+// TestRefreshRespectsEdgeStalenessBound: the lease survives exactly up
+// to the configured applied-edge budget and is replaced on the acquire
+// that first sees it exceeded.
+func TestRefreshRespectsEdgeStalenessBound(t *testing.T) {
+	sys := &fakeSys{}
+	srv, err := New(sys, Config{MaxStalenessEdges: 100, MaxStalenessAge: -1, IngestShards: 1, IngestBatch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	l1 := srv.Acquire()
+	gen1 := l1.Gen
+	l1.Release()
+
+	if _, err := srv.Ingest(edgeStream(99, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l2 := srv.Acquire()
+	if l2.Gen != gen1 {
+		t.Fatalf("lease refreshed at 99/100 edges: gen %d -> %d", gen1, l2.Gen)
+	}
+	l2.Release()
+
+	if _, err := srv.Ingest(edgeStream(1, 99)); err != nil {
+		t.Fatal(err)
+	}
+	l3 := srv.Acquire()
+	if l3.Gen == gen1 {
+		t.Fatalf("lease not refreshed at 100/100 edges (gen still %d)", gen1)
+	}
+	// The retired generation must be released now that nobody holds it,
+	// and the live one must not be.
+	snaps := sys.all()
+	if !snaps[0].released.Load() {
+		t.Error("retired snapshot still unreleased with no holders")
+	}
+	if snaps[len(snaps)-1].released.Load() {
+		t.Error("live lease's snapshot was released")
+	}
+	l3.Release()
+	checkNoViolations(t, sys, false)
+}
+
+// TestRefreshRespectsAgeBound: with the edge bound disabled, a lease
+// older than MaxStalenessAge is refreshed on the next acquire.
+func TestRefreshRespectsAgeBound(t *testing.T) {
+	sys := &fakeSys{}
+	srv, err := New(sys, Config{MaxStalenessEdges: -1, MaxStalenessAge: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	l1 := srv.Acquire()
+	gen1 := l1.Gen
+	l1.Release()
+
+	l2 := srv.Acquire()
+	if l2.Gen != gen1 {
+		t.Fatalf("lease refreshed before the age bound: gen %d -> %d", gen1, l2.Gen)
+	}
+	l2.Release()
+
+	time.Sleep(30 * time.Millisecond)
+	l3 := srv.Acquire()
+	if l3.Gen == gen1 {
+		t.Fatal("lease not refreshed past MaxStalenessAge")
+	}
+	l3.Release()
+}
+
+// TestLeaseHolderOutlivesRefresh pins a lease, forces a refresh, and
+// proves the pinned generation's snapshot stays readable until its
+// holder releases it — and is released promptly afterwards.
+func TestLeaseHolderOutlivesRefresh(t *testing.T) {
+	sys := &fakeSys{}
+	srv, err := New(sys, Config{MaxStalenessEdges: 10, MaxStalenessAge: -1, IngestShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	held := srv.Acquire()
+	if _, err := srv.Ingest(edgeStream(32, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := srv.Acquire()
+	if fresh.Gen == held.Gen {
+		t.Fatal("refresh did not happen")
+	}
+	// The held generation is retired but must still be readable.
+	held.Snap.NumEdges()
+	old := sys.all()[0]
+	if old.released.Load() {
+		t.Fatal("retired snapshot released while still held")
+	}
+	held.Release()
+	if !old.released.Load() {
+		t.Fatal("retired snapshot not released after the last holder dropped it")
+	}
+	fresh.Release()
+	checkNoViolations(t, sys, false)
+}

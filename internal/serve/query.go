@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgap/internal/analytics"
+	"dgap/internal/graph"
+)
+
+// Class is a query class; each class has its own latency histogram.
+type Class int
+
+const (
+	// ClassDegree answers one vertex's out-degree.
+	ClassDegree Class = iota
+	// ClassNeighbors copies one vertex's neighbor list.
+	ClassNeighbors
+	// ClassKHop counts the vertices within K hops of V.
+	ClassKHop
+	// ClassTopK ranks the K highest-degree vertices.
+	ClassTopK
+	// ClassKernel refreshes a PageRank vector over the leased snapshot.
+	ClassKernel
+
+	nClasses
+)
+
+// NumClasses is the query-class count (histograms, benchmark sweeps).
+const NumClasses = int(nClasses)
+
+func (c Class) String() string {
+	switch c {
+	case ClassDegree:
+		return "degree"
+	case ClassNeighbors:
+		return "neighbors"
+	case ClassKHop:
+		return "khop"
+	case ClassTopK:
+		return "topk"
+	case ClassKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Query is one request against the served graph.
+type Query struct {
+	Class Class
+	// V is the subject vertex (ClassDegree, ClassNeighbors, ClassKHop).
+	V graph.V
+	// K is the hop bound (ClassKHop) or ranking size (ClassTopK).
+	K int
+}
+
+// Result is a query's answer, tagged with the lease generation and
+// snapshot edge count it was served from — the bounded-staleness
+// provenance a caller (or the mixed benchmark's concurrency check) can
+// inspect.
+type Result struct {
+	Query Query
+	// Gen is the lease generation the query was served from.
+	Gen uint64
+	// Edges is the snapshot's visible edge count — fixed per generation,
+	// so it grows across generations while ingest runs underneath.
+	Edges int64
+	// Value carries scalar answers: the degree (ClassDegree) or the
+	// k-hop reach count (ClassKHop).
+	Value int64
+	// Verts carries vertex-list answers: the neighbor list
+	// (ClassNeighbors) or the top-k ranking (ClassTopK).
+	Verts []graph.V
+	// Degrees holds each ranked vertex's degree (ClassTopK), read from
+	// the same snapshot as the ranking so the pair is self-consistent
+	// even while leases refresh underneath.
+	Degrees []int
+	// Ranks is the refreshed PageRank vector (ClassKernel).
+	Ranks []float64
+	// Latency is the submit-to-completion time, queue wait included.
+	Latency time.Duration
+	Err     error
+}
+
+// ErrBadVertex rejects queries naming a vertex outside the snapshot's
+// id space — backends index their degree tables unchecked, so the
+// serving tier must not let a malformed query reach them.
+var ErrBadVertex = errors.New("serve: vertex out of range")
+
+// execute runs one query against the current lease. The lease is held
+// exactly for the query's execution, so a refresh triggered by a
+// concurrent query can never tear this query's snapshot down.
+func (s *Server) execute(q Query) Result {
+	l := s.Acquire()
+	if l == nil {
+		return Result{Query: q, Err: ErrClosed}
+	}
+	defer l.Release()
+	snap := l.Snap
+	res := Result{Query: q, Gen: l.Gen, Edges: snap.NumEdges()}
+	if q.Class != ClassTopK && q.Class != ClassKernel && int(q.V) >= snap.NumVertices() {
+		res.Err = fmt.Errorf("%w: %d >= %d", ErrBadVertex, q.V, snap.NumVertices())
+		return res
+	}
+	acfg := analytics.Config{Threads: s.cfg.AnalyticsThreads}
+	switch q.Class {
+	case ClassDegree:
+		res.Value = int64(snap.Degree(q.V))
+	case ClassNeighbors:
+		res.Verts = snap.CopyNeighbors(q.V, nil)
+	case ClassKHop:
+		n, _ := analytics.KHop(snap, q.V, q.K, acfg)
+		res.Value = int64(n)
+	case ClassTopK:
+		res.Verts, _ = analytics.TopKDegree(snap, q.K, acfg)
+		res.Degrees = make([]int, len(res.Verts))
+		for i, v := range res.Verts {
+			res.Degrees[i] = snap.Degree(v)
+		}
+	case ClassKernel:
+		res.Ranks, _ = analytics.PageRank(snap, analytics.PageRankIters, acfg)
+	default:
+		res.Err = fmt.Errorf("serve: unknown query class %d", q.Class)
+	}
+	return res
+}

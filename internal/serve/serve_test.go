@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgap/internal/analytics"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+	"dgap/internal/workload"
+)
+
+func buildDGAP(t *testing.T, nVert int, nEdges int) *dgap.Graph {
+	t.Helper()
+	a := pmem.New(256 << 20)
+	cfg := dgap.DefaultConfig(nVert, int64(nEdges))
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestQueriesMatchDirectSnapshot: every query class answered through
+// the server agrees with the same computation run directly against a
+// snapshot of the loaded graph.
+func TestQueriesMatchDirectSnapshot(t *testing.T) {
+	const V = 120
+	edges := graphgen.Uniform(V, 10, 31)
+	g := buildDGAP(t, V, len(edges))
+	if err := g.InsertBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	direct := graph.Bulk(g.Snapshot())
+	for v := graph.V(0); v < 8; v++ {
+		if res := srv.Do(Query{Class: ClassDegree, V: v}); res.Err != nil || res.Value != int64(direct.Degree(v)) {
+			t.Fatalf("degree(%d) = %d (err %v), want %d", v, res.Value, res.Err, direct.Degree(v))
+		}
+		res := srv.Do(Query{Class: ClassNeighbors, V: v})
+		want := direct.CopyNeighbors(v, nil)
+		if res.Err != nil || len(res.Verts) != len(want) {
+			t.Fatalf("neighbors(%d) = %v (err %v), want %v", v, res.Verts, res.Err, want)
+		}
+		for i := range want {
+			if res.Verts[i] != want[i] {
+				t.Fatalf("neighbors(%d)[%d] = %d, want %d", v, i, res.Verts[i], want[i])
+			}
+		}
+	}
+	wantHop, _ := analytics.KHop(direct, 3, 2, analytics.Serial)
+	if res := srv.Do(Query{Class: ClassKHop, V: 3, K: 2}); res.Err != nil || res.Value != int64(wantHop) {
+		t.Fatalf("khop(3,2) = %d (err %v), want %d", res.Value, res.Err, wantHop)
+	}
+	wantTop, _ := analytics.TopKDegree(direct, 5, analytics.Serial)
+	res := srv.Do(Query{Class: ClassTopK, K: 5})
+	if res.Err != nil || len(res.Verts) != len(wantTop) {
+		t.Fatalf("topk(5) = %v (err %v), want %v", res.Verts, res.Err, wantTop)
+	}
+	for i := range wantTop {
+		if res.Verts[i] != wantTop[i] {
+			t.Fatalf("topk[%d] = %d, want %d", i, res.Verts[i], wantTop[i])
+		}
+	}
+	if res := srv.Do(Query{Class: ClassKernel}); res.Err != nil || len(res.Ranks) != V {
+		t.Fatalf("kernel refresh: %d ranks (err %v), want %d", len(res.Ranks), res.Err, V)
+	}
+	// Every result carries its provenance.
+	if res := srv.Do(Query{Class: ClassDegree, V: 0}); res.Gen == 0 || res.Edges != int64(len(edges)) {
+		t.Fatalf("provenance gen=%d edges=%d, want gen>0 edges=%d", res.Gen, res.Edges, len(edges))
+	}
+	if res := srv.Do(Query{Class: Class(99)}); res.Err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	// Out-of-range vertices are rejected with an error, not a panic in
+	// a worker (backends index their degree tables unchecked).
+	for _, c := range []Class{ClassDegree, ClassNeighbors, ClassKHop} {
+		if res := srv.Do(Query{Class: c, V: graph.V(1 << 28), K: 2}); !errors.Is(res.Err, ErrBadVertex) {
+			t.Errorf("%v with huge vertex: err = %v, want ErrBadVertex", c, res.Err)
+		}
+	}
+	// TopK degrees come from the same snapshot as the ranking.
+	if res := srv.Do(Query{Class: ClassTopK, K: 3}); res.Err != nil || len(res.Degrees) != len(res.Verts) {
+		t.Fatalf("topk degrees %v for verts %v (err %v)", res.Degrees, res.Verts, res.Err)
+	} else {
+		for i, v := range res.Verts {
+			if res.Degrees[i] != direct.Degree(v) {
+				t.Errorf("topk degree[%d] = %d, want %d", i, res.Degrees[i], direct.Degree(v))
+			}
+		}
+	}
+}
+
+// TestMixedReadWriteConcurrency is the subsystem's reason to exist,
+// checked under -race: ingest streams through the router's per-shard
+// DGAP writers while query clients hammer the server, and the results
+// prove genuine overlap — queries complete while ingest is mid-stream,
+// lease generations advance, and successive generations observe the
+// edge count growing.
+func TestMixedReadWriteConcurrency(t *testing.T) {
+	const V = 512
+	edges := graphgen.Uniform(V, 12, 7)
+	g := buildDGAP(t, V, len(edges))
+
+	warm, timed := workload.Split(edges)
+	if err := g.InsertBatch(warm); err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 4
+	sinks, release, err := workload.DGAPSinks(g, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Pace each batch slightly so the ingest window reliably spans many
+	// query completions regardless of scheduler timing; the pause is a
+	// yield point, not a phase barrier — queries run throughout.
+	paced := make([]graph.BatchWriter, shards)
+	for i := range paced {
+		paced[i] = pacedSink{sinks[i]}
+	}
+	srv, err := New(g, Config{
+		MaxStalenessEdges: 128,
+		MaxStalenessAge:   -1,
+		Workers:           4,
+		IngestShards:      shards,
+		IngestBatch:       64,
+		Scope:             workload.ScopeSection,
+		Sinks:             paced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold ingest until the serving side is demonstrably live, so the
+	// overlap check cannot be defeated by ingest winning the initial
+	// scheduling race.
+	served := make(chan struct{})
+	var once sync.Once
+	var ingesting atomic.Bool
+	ingestDone := make(chan error, 1)
+	ingesting.Store(true)
+	go func() {
+		<-served
+		_, err := srv.Ingest(timed)
+		ingesting.Store(false)
+		ingestDone <- err
+	}()
+
+	var (
+		mu               sync.Mutex
+		duringIngest     int
+		minGen, maxGen   uint64
+		minEdge, maxEdge int64
+	)
+	minGen, minEdge = ^uint64(0), int64(1)<<62
+	record := func(res Result) {
+		if res.Err != nil {
+			t.Errorf("query failed: %v", res.Err)
+			return
+		}
+		once.Do(func() { close(served) })
+		mid := ingesting.Load()
+		mu.Lock()
+		if mid {
+			duringIngest++
+		}
+		minGen, maxGen = min(minGen, res.Gen), max(maxGen, res.Gen)
+		minEdge, maxEdge = min(minEdge, res.Edges), max(maxEdge, res.Edges)
+		mu.Unlock()
+	}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ingesting.Load() || i < 50; i++ {
+				q := Query{Class: Class(i % 3), V: graph.V((c*31 + i) % V), K: 2}
+				record(srv.Do(q))
+			}
+		}(c)
+	}
+	if err := <-ingestDone; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if duringIngest == 0 {
+		t.Error("no query completed while ingest was active — the workload phase-alternated")
+	}
+	if maxGen <= minGen {
+		t.Errorf("lease generations never advanced under ingest (gen %d..%d)", minGen, maxGen)
+	}
+	if maxEdge <= minEdge {
+		t.Errorf("queries never observed the graph growing (edges %d..%d)", minEdge, maxEdge)
+	}
+	// The finished graph must contain exactly the full stream.
+	if got := g.Snapshot().NumEdges(); got != int64(len(edges)) {
+		t.Errorf("after mixed run: %d edges, want %d", got, len(edges))
+	}
+}
+
+// pacedSink inserts a short pause after each applied batch (see
+// TestMixedReadWriteConcurrency).
+type pacedSink struct{ bw graph.BatchWriter }
+
+func (p pacedSink) InsertBatch(edges []graph.Edge) error {
+	if err := p.bw.InsertBatch(edges); err != nil {
+		return err
+	}
+	time.Sleep(100 * time.Microsecond)
+	return nil
+}
+
+// slowSys serves 1ms degree reads, for admission-control tests.
+type slowSys struct{ fakeSys }
+
+type slowSnap struct{ *fakeSnap }
+
+func (s *slowSys) Snapshot() graph.Snapshot {
+	return slowSnap{s.fakeSys.Snapshot().(*fakeSnap)}
+}
+
+func (s slowSnap) Degree(v graph.V) int {
+	time.Sleep(time.Millisecond)
+	return s.fakeSnap.Degree(v)
+}
+
+func TestAdmissionControl(t *testing.T) {
+	srv, err := New(&slowSys{}, Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var accepted []<-chan Result
+	rejected := 0
+	for i := 0; i < 12; i++ {
+		ch, err := srv.TrySubmit(Query{Class: ClassDegree})
+		switch {
+		case err == nil:
+			accepted = append(accepted, ch)
+		case errors.Is(err, ErrOverloaded):
+			rejected++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if rejected == 0 {
+		t.Error("12 instant submits against workers=1 depth=1 never shed load")
+	}
+	for _, ch := range accepted {
+		if res := <-ch; res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if got := srv.Stats().Rejected; got != int64(rejected) {
+		t.Errorf("Stats.Rejected = %d, want %d", got, rejected)
+	}
+}
+
+func TestClosedServerRejects(t *testing.T) {
+	srv, err := New(&fakeSys{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res := srv.Do(Query{Class: ClassDegree}); !errors.Is(res.Err, ErrClosed) {
+		t.Errorf("Do after Close: %v, want ErrClosed", res.Err)
+	}
+	if _, err := srv.TrySubmit(Query{Class: ClassDegree}); !errors.Is(err, ErrClosed) {
+		t.Errorf("TrySubmit after Close: %v, want ErrClosed", err)
+	}
+	if err := srv.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("second Close: %v, want ErrClosed", err)
+	}
+	// Raw lease acquisition is also shut off: a post-Close Acquire would
+	// mint a generation nothing ever retires (and snapshot a system that
+	// may already be closed).
+	if l := srv.Acquire(); l != nil {
+		t.Error("Acquire after Close returned a live lease")
+	}
+}
+
+func TestStatsHistograms(t *testing.T) {
+	const V = 64
+	edges := graphgen.Uniform(V, 8, 13)
+	g := buildDGAP(t, V, len(edges))
+	if err := g.InsertBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if res := srv.Do(Query{Class: ClassDegree, V: graph.V(i % V)}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	st := srv.Stats()
+	cs := st.Classes[ClassDegree]
+	if cs.Count != n {
+		t.Fatalf("degree count = %d, want %d", cs.Count, n)
+	}
+	if cs.P50 <= 0 || cs.P99 < cs.P50 || cs.QPS <= 0 {
+		t.Errorf("degenerate stats: p50=%v p99=%v qps=%v", cs.P50, cs.P99, cs.QPS)
+	}
+	if st.Classes[ClassKernel].Count != 0 {
+		t.Errorf("kernel histogram polluted: %d", st.Classes[ClassKernel].Count)
+	}
+	if st.Generations == 0 {
+		t.Error("no lease generation recorded")
+	}
+}

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgap/internal/graph"
+	"dgap/internal/vtime"
+	"dgap/internal/workload"
+)
+
+// Staleness-bound defaults: refresh the shared snapshot after this many
+// edges have landed underneath it or this much wall-clock time, which-
+// ever trips first. Both are loose enough that a refresh amortizes over
+// many point queries and tight enough that served answers track an
+// active ingest stream.
+const (
+	DefaultStalenessEdges = 4096
+	DefaultStalenessAge   = 200 * time.Millisecond
+)
+
+// Config shapes a Server.
+type Config struct {
+	// MaxStalenessEdges retires the lease after this many edges have
+	// been applied through the Server since its snapshot was taken.
+	// 0 selects DefaultStalenessEdges; negative disables the bound.
+	MaxStalenessEdges int64
+	// MaxStalenessAge retires the lease at this wall-clock age.
+	// 0 selects DefaultStalenessAge; negative disables the bound.
+	MaxStalenessAge time.Duration
+
+	// Workers is the query worker count (0 = 4).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = 64): TrySubmit sheds
+	// load beyond it, Do blocks.
+	QueueDepth int
+	// AnalyticsThreads is the vtime.Pool worker count kernel-refresh and
+	// k-hop queries run with (0 = 1; they execute inside one query
+	// worker, so >1 adds goroutines per in-flight query).
+	AnalyticsThreads int
+
+	// IngestShards is the Router shard count for Ingest (0 = 4).
+	IngestShards int
+	// IngestBatch is the Router batch size (0 = workload.DefaultBatchSize).
+	IngestBatch int
+	// Scope is the wrapped system's lock granularity for the Router's
+	// partitioning (DGAP: ScopeSection, the zero value).
+	Scope workload.LockScope
+	// NoIngestYield disables the cooperative scheduler yield Ingest
+	// makes after each applied batch. The yield is the serving tier's
+	// ingest fairness: on the paper's multi-core testbed queries and
+	// ingest run on separate cores, but on a single-CPU host an Ingest
+	// call would otherwise hold the processor for whole preemption
+	// quanta and starve the query workers' latency.
+	NoIngestYield bool
+	// Sinks optionally provides one BatchWriter per ingest shard (e.g.
+	// per-shard dgap.Writers from workload.DGAPSinks). Empty means all
+	// shards share the system's graph.Batch path.
+	Sinks []graph.BatchWriter
+}
+
+func (c Config) defaults() Config {
+	switch {
+	case c.MaxStalenessEdges == 0:
+		c.MaxStalenessEdges = DefaultStalenessEdges
+	case c.MaxStalenessEdges < 0:
+		c.MaxStalenessEdges = 0
+	}
+	switch {
+	case c.MaxStalenessAge == 0:
+		c.MaxStalenessAge = DefaultStalenessAge
+	case c.MaxStalenessAge < 0:
+		c.MaxStalenessAge = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.AnalyticsThreads <= 0 {
+		c.AnalyticsThreads = 1
+	}
+	if c.IngestShards <= 0 {
+		c.IngestShards = 4
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = workload.DefaultBatchSize
+	}
+	return c
+}
+
+// Server errors.
+var (
+	ErrClosed     = errors.New("serve: server closed")
+	ErrOverloaded = errors.New("serve: query queue full")
+)
+
+// Server multiplexes concurrent queries and kernel refreshes over
+// refcounted snapshot leases of one wrapped graph.System while edge
+// batches ingest underneath. See the package documentation.
+type Server struct {
+	sys graph.System
+	cfg Config
+
+	// applied counts edges applied through Ingest — the clock the
+	// edge-staleness bound runs on.
+	applied atomic.Int64
+
+	leaseMu sync.Mutex
+	lease   *Lease
+	gen     atomic.Uint64
+	// leasesClosed stops Acquire from minting generations once Close has
+	// begun retiring the last one (set after the workers drain, so
+	// already-queued queries are still served).
+	leasesClosed atomic.Bool
+
+	// subMu guards queue sends against Close's channel close: senders
+	// hold it shared, Close exclusively.
+	subMu    sync.RWMutex
+	closed   bool
+	queue    chan *task
+	workers  *vtime.Pool
+	wg       sync.WaitGroup
+	rejected atomic.Int64
+	born     time.Time
+
+	hist [nClasses]*Hist
+}
+
+type task struct {
+	q    Query
+	enq  time.Time
+	done chan Result
+}
+
+// New starts a Server over sys: the query workers launch immediately
+// and run until Close.
+func New(sys graph.System, cfg Config) (*Server, error) {
+	cfg = cfg.defaults()
+	if len(cfg.Sinks) != 0 && len(cfg.Sinks) != cfg.IngestShards {
+		return nil, fmt.Errorf("serve: %d sinks for %d ingest shards", len(cfg.Sinks), cfg.IngestShards)
+	}
+	s := &Server{
+		sys:   sys,
+		cfg:   cfg,
+		queue: make(chan *task, cfg.QueueDepth),
+		born:  time.Now(),
+	}
+	for c := range s.hist {
+		s.hist[c] = &Hist{}
+	}
+	// The bounded worker pool is vtime.Pool in real goroutine mode: one
+	// ForRanges call whose unit ranges are the worker loops, so exactly
+	// cfg.Workers goroutines drain the queue for the Server's lifetime.
+	s.workers = vtime.NewPool(cfg.Workers, false)
+	bounds := make([]int, cfg.Workers+1)
+	for i := range bounds {
+		bounds[i] = i
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.workers.ForRanges(bounds, func(w, _, _ int) { s.worker(w) })
+	}()
+	return s, nil
+}
+
+func (s *Server) worker(int) {
+	for t := range s.queue {
+		res := s.execute(t.q)
+		res.Latency = time.Since(t.enq)
+		s.hist[t.q.Class].Observe(res.Latency)
+		t.done <- res
+	}
+}
+
+// Do submits a query and blocks for its result (including queue wait —
+// the latency histograms measure the same span).
+func (s *Server) Do(q Query) Result {
+	t, err := s.enqueue(q, true)
+	if err != nil {
+		return Result{Query: q, Err: err}
+	}
+	return <-t.done
+}
+
+// TrySubmit submits a query without blocking: the result channel
+// receives exactly one Result, or ErrOverloaded is returned when the
+// admission queue is full.
+func (s *Server) TrySubmit(q Query) (<-chan Result, error) {
+	t, err := s.enqueue(q, false)
+	if err != nil {
+		return nil, err
+	}
+	return t.done, nil
+}
+
+func (s *Server) enqueue(q Query, block bool) (*task, error) {
+	if q.Class < 0 || q.Class >= nClasses {
+		return nil, fmt.Errorf("serve: unknown query class %d", q.Class)
+	}
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t := &task{q: q, enq: time.Now(), done: make(chan Result, 1)}
+	if block {
+		s.queue <- t
+		return t, nil
+	}
+	select {
+	case s.queue <- t:
+		return t, nil
+	default:
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// Ingest streams edges underneath the serving layer: the stream is
+// partitioned and batched by the workload.Router (by the configured
+// lock scope) into the system's bulk write path or the configured
+// per-shard sinks, and every applied batch advances the applied-edge
+// counter the staleness bound measures. Safe to run concurrently with
+// queries; concurrent Ingest calls are safe when the sinks are (the
+// shared graph.Batch path serializes on the system's own locks).
+func (s *Server) Ingest(edges []graph.Edge) (workload.InsertResult, error) {
+	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
+	shared := graph.Batch(s.sys)
+	sinks := make([]graph.BatchWriter, rt.Shards)
+	for i := range sinks {
+		bw := shared
+		if len(s.cfg.Sinks) != 0 {
+			bw = s.cfg.Sinks[i]
+		}
+		sinks[i] = &countedSink{bw: bw, applied: &s.applied, yield: !s.cfg.NoIngestYield}
+	}
+	return rt.Run(sinks, edges)
+}
+
+// countedSink advances the server's applied-edge counter after each
+// batch lands, so lease staleness tracks acknowledged edges only, and
+// yields the processor at the batch boundary so in-flight queries keep
+// making progress while ingest streams (see Config.NoIngestYield).
+type countedSink struct {
+	bw      graph.BatchWriter
+	applied *atomic.Int64
+	yield   bool
+}
+
+func (c *countedSink) InsertBatch(edges []graph.Edge) error {
+	if err := c.bw.InsertBatch(edges); err != nil {
+		return err
+	}
+	c.applied.Add(int64(len(edges)))
+	if c.yield {
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// Applied returns the number of edges applied through Ingest so far.
+func (s *Server) Applied() int64 { return s.applied.Load() }
+
+// Generations returns how many lease generations have been created.
+func (s *Server) Generations() uint64 { return s.gen.Load() }
+
+// Close drains the query queue, stops the workers and retires the
+// current lease. Queries submitted after Close fail with ErrClosed.
+func (s *Server) Close() error {
+	s.subMu.Lock()
+	if s.closed {
+		s.subMu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.queue)
+	s.subMu.Unlock()
+	s.wg.Wait()
+	s.retireLease()
+	if c, ok := s.sys.(graph.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// ClassStats summarizes one query class's latency histogram.
+type ClassStats struct {
+	Class string
+	Count int64
+	P50   time.Duration
+	P99   time.Duration
+	Mean  time.Duration
+	QPS   float64 // completed queries per second of server uptime
+}
+
+// Stats is a point-in-time view of the Server's serving metrics.
+type Stats struct {
+	Uptime      time.Duration
+	Applied     int64
+	Generations uint64
+	Rejected    int64
+	Classes     []ClassStats // indexed by Class, ClassDegree..ClassKernel
+}
+
+// Stats snapshots the serving metrics.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Uptime:      time.Since(s.born),
+		Applied:     s.applied.Load(),
+		Generations: s.gen.Load(),
+		Rejected:    s.rejected.Load(),
+	}
+	for c := Class(0); c < nClasses; c++ {
+		h := s.hist[c]
+		cs := ClassStats{
+			Class: c.String(),
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			Mean:  h.Mean(),
+		}
+		if secs := st.Uptime.Seconds(); secs > 0 {
+			cs.QPS = float64(cs.Count) / secs
+		}
+		st.Classes = append(st.Classes, cs)
+	}
+	return st
+}

@@ -166,6 +166,24 @@ func InsertBatched(sys graph.System, edges []graph.Edge, n int, scope LockScope,
 	return rt.Run(sinks, timed)
 }
 
+// DGAPSinks allocates n per-shard dgap.Writer sinks — each owning its
+// own persistent undo log, so the shards never contend on
+// crash-protection state — plus a release func closing all of them.
+// Callers that drive a Router themselves (the serving layer's ingest
+// path) use this to get the same shard shape InsertBatchedDGAP builds
+// internally.
+func DGAPSinks(g *dgap.Graph, n int) ([]graph.BatchWriter, func(), error) {
+	writers, release, err := dgapWriters(g, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	sinks := make([]graph.BatchWriter, n)
+	for i := range sinks {
+		sinks[i] = writers[i]
+	}
+	return sinks, release, nil
+}
+
 // InsertBatchedDGAP routes the stream across n per-shard dgap.Writers,
 // so every shard owns its own persistent undo log and the batches it
 // receives are section-grouped by construction (the router's section

@@ -118,6 +118,22 @@ const (
 	ScopeGlobal
 )
 
+// ScopeFor maps a system's Name() to its insert-path lock granularity:
+// DGAP serializes on PMA sections, BAL and XPGraph on source vertices
+// (blocked/vertex-centric buffers), GraphOne and LLAMA on a global
+// ingestion lock. The one mapping every driver (bench experiments, the
+// serving layer, cmd/dgap-serve) partitions by.
+func ScopeFor(systemName string) LockScope {
+	switch systemName {
+	case "DGAP":
+		return ScopeSection
+	case "BAL", "XPGraph":
+		return ScopeVertex
+	default:
+		return ScopeGlobal
+	}
+}
+
 // sectionResolution approximates DGAP's vertex->section mapping for the
 // contention model: adjacent vertex ids share sections.
 const sectionResolution = 8
