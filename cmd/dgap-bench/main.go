@@ -10,14 +10,20 @@
 //	dgap-bench -json                       kernel timings   -> BENCH_kernels.json
 //	dgap-bench -ingest                     ingest timings   -> BENCH_ingest.json
 //	dgap-bench -serve                      mixed read/write -> BENCH_serve.json
-//	dgap-bench -json -ingest -serve -tiny  all three dumps at CI smoke scale
+//	dgap-bench -churn                      insert+delete    -> BENCH_churn.json
+//	dgap-bench -ingest -serve -churn -tiny CI smoke scale   -> BENCH_*_tiny.json
 //
 // The JSON dumps are the cross-PR perf trajectory: -json times the four
 // GAPBS kernels on the bulk and callback read paths, -ingest times the
-// scalar/batched/routed write paths, and -serve runs the internal/serve
+// scalar/batched/routed write paths, -serve runs the internal/serve
 // mixed workload — concurrent point queries and kernel refreshes over
 // snapshot leases while ingest streams through the router — at several
-// read:write ratios. -tiny shrinks any of them to CI smoke scale.
+// read:write ratios, and -churn drives the sliding-window insert/delete
+// stream (delete throughput, tombstone-compaction counts, post-churn
+// space). -tiny shrinks any of them to CI smoke scale AND diverts the
+// output to BENCH_*_tiny.json: the committed BENCH_*.json artifacts are
+// generated at pinned scales, and a smoke run must never overwrite
+// them.
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact; EXPERIMENTS.md records the comparison against the paper's
@@ -43,7 +49,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "time the analysis kernels (bulk and callback read paths) and write BENCH_kernels.json instead of printing tables")
 	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json and -serve")
 	serveExp := flag.Bool("serve", false, "run the mixed read/write serving experiment (queries over snapshot leases concurrent with routed ingest) and write BENCH_serve.json; combines with -json and -ingest")
-	tiny := flag.Bool("tiny", false, "CI smoke scale: small datasets at a minimal scale factor")
+	churn := flag.Bool("churn", false, "run the sliding-window churn experiment (batched deletes, tombstone compaction, post-churn space) and write BENCH_churn.json; combines with the other dumps")
+	tiny := flag.Bool("tiny", false, "CI smoke scale: small datasets at a minimal scale factor; JSON dumps go to BENCH_*_tiny.json so committed artifacts are never overwritten")
 	flag.Parse()
 
 	if *list {
@@ -69,24 +76,30 @@ func main() {
 
 	var err error
 	if *ingest {
-		if err := bench.IngestJSON(opt, "BENCH_ingest.json"); err != nil {
+		if err := bench.IngestJSON(opt, bench.ArtifactPath("BENCH_ingest.json", *tiny)); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
 	}
 	if *serveExp {
-		if err := bench.ServeJSON(opt, "BENCH_serve.json"); err != nil {
+		if err := bench.ServeJSON(opt, bench.ArtifactPath("BENCH_serve.json", *tiny)); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *churn {
+		if err := bench.ChurnJSON(opt, bench.ArtifactPath("BENCH_churn.json", *tiny)); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
 	}
 	if *jsonOut {
-		if err := bench.KernelJSON(opt, "BENCH_kernels.json"); err != nil {
+		if err := bench.KernelJSON(opt, bench.ArtifactPath("BENCH_kernels.json", *tiny)); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
 	}
-	if *ingest || *serveExp || *jsonOut {
+	if *ingest || *serveExp || *churn || *jsonOut {
 		return
 	}
 	if *exp == "all" {

@@ -29,6 +29,22 @@
 // internal/workload routes edge streams across per-shard writers by
 // lock resource, feeding batches instead of single edges.
 //
+// Deletion is first-class and mirrors the same symmetry
+// (graph.Deleter / graph.BatchDeleter / graph.Deletes): a delete
+// cancels one live (src, dst) edge and is physically an append — a
+// tombstone — so snapshot prefixes stay immutable history. DGAP, BAL,
+// GraphOne and XPGraph implement both paths natively (DGAP groups
+// tombstone batches by PMA section exactly like inserts); the static
+// CSR and LLAMA's append-only levels reject deletes, and graph.Deletes
+// returns nil for them. DGAP additionally reclaims the space:
+// tombstone compaction piggybacks on PMA rebalances, physically
+// dropping cancelled (edge, tombstone) pairs whenever no snapshot is
+// outstanding — see the internal/dgap package documentation. The
+// workload router accepts mixed insert/delete streams (workload.Op,
+// Router.RunOps) with the same lock-scope sharding, and
+// workload.ChurnOps generates the sliding-window churn stream behind
+// `dgap-bench -churn`.
+//
 // The two paths meet in internal/serve: a serving tier that multiplexes
 // concurrent point queries (degree, neighbors, k-hop, top-k-degree) and
 // kernel refreshes over refcounted snapshot leases — one shared
@@ -41,8 +57,13 @@
 // testing.B benchmark; cmd/dgap-bench prints the full paper-style
 // tables, `dgap-bench -json` dumps kernel timings on both read paths to
 // BENCH_kernels.json, `dgap-bench -ingest` dumps scalar vs batched vs
-// routed ingest timings to BENCH_ingest.json, and `dgap-bench -serve`
+// routed ingest timings to BENCH_ingest.json, `dgap-bench -serve`
 // dumps the mixed read/write serving experiment (query latency
 // percentiles and ingest MEPS at several read:write ratios) to
-// BENCH_serve.json for cross-PR perf tracking.
+// BENCH_serve.json, and `dgap-bench -churn` dumps the sliding-window
+// insert/delete experiment (delete MEPS, tombstone-compaction counts,
+// post-churn space against insert-only and no-compaction baselines) to
+// BENCH_churn.json for cross-PR perf tracking. Under -tiny every dump
+// diverts to BENCH_*_tiny.json so CI smoke runs never overwrite the
+// committed pinned-scale artifacts.
 package repro

@@ -16,6 +16,7 @@ package bal
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -31,20 +32,33 @@ const blockBytes = 16 + BlockEdges*4
 
 const emptySlot = uint32(0xFFFFFFFF)
 
+// tombBit marks a block word as a tombstone cancelling one earlier
+// occurrence of the same destination (vertex ids stay below 1<<30, so
+// the bit is free — the same encoding DGAP's slots use). Deletion is
+// append-only: block chains are shared with existing snapshots, whose
+// visibility is a per-vertex word-count prefix, so words are never
+// rewritten in place.
+const tombBit = uint32(1) << 30
+
+const idMask = tombBit - 1
+
 // Graph is a blocked adjacency list.
 type Graph struct {
 	a  *pmem.Arena
 	mu sync.RWMutex // guards the vertex table during growth
 
-	verts []vertex
-	edges atomic.Int64
+	verts  []vertex
+	edges  atomic.Int64 // live edges
+	blocks atomic.Int64 // blocks allocated (space accounting)
 }
 
 type vertex struct {
 	mu    sync.Mutex
 	head  pmem.Off // first block (0 = none)
 	tail  pmem.Off // last block, where appends go
-	count int64    // edges acknowledged (DRAM; recovery re-scans blocks)
+	count int64    // physical words acknowledged (edges + tombstones)
+	live  int64    // live out-degree
+	tombs int32    // tombstone words appended
 }
 
 // New creates a BAL over nVert vertices.
@@ -66,23 +80,20 @@ func (g *Graph) ensure(n int) {
 		nv[i].head = g.verts[i].head
 		nv[i].tail = g.verts[i].tail
 		nv[i].count = g.verts[i].count
+		nv[i].live = g.verts[i].live
+		nv[i].tombs = g.verts[i].tombs
 	}
 	g.verts = nv
 }
 
-// InsertEdge appends dst to src's tail block — one 4-byte persistent
-// store — allocating and linking a new sentinel-initialized block when
-// the tail is full.
-func (g *Graph) InsertEdge(src, dst graph.V) error {
-	if int(src) >= len(g.verts) || int(dst) >= len(g.verts) {
-		g.ensure(int(max(src, dst)) + 1)
-	}
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	v := &g.verts[src]
-	v.mu.Lock()
-	defer v.mu.Unlock()
-
+// appendWord appends one raw word (edge or tombstone) to the vertex's
+// tail block with the scalar persistence discipline. The paper's BAL
+// port keeps per-block metadata crash-consistent ("journaling and
+// transaction for crash consistency makes it slower in many cases"):
+// the word is flushed and fenced, then the block count is persisted in
+// place, ordered after it — two flush+fence rounds per word. Called
+// with the vertex lock held.
+func (g *Graph) appendWord(v *vertex, val uint32) error {
 	fill := v.count % BlockEdges
 	if v.tail == 0 || (fill == 0 && v.count > 0) {
 		blk, err := g.newBlock()
@@ -99,17 +110,83 @@ func (g *Graph) InsertEdge(src, dst graph.V) error {
 		fill = 0
 	}
 	slot := v.tail + 16 + pmem.Off(fill)*4
-	g.a.WriteU32(slot, dst)
+	g.a.WriteU32(slot, val)
 	g.a.Flush(slot, 4)
 	g.a.Fence()
-	// The paper's BAL port keeps per-block metadata crash-consistent
-	// ("journaling and transaction for crash consistency makes it slower
-	// in many cases"): the block count is persisted in place, ordered
-	// after the edge — a second flush+fence on every insert.
 	g.a.PersistU64(v.tail+8, uint64(fill+1))
 	v.count++
+	return nil
+}
+
+// InsertEdge appends dst to src's tail block — one 4-byte persistent
+// store — allocating and linking a new sentinel-initialized block when
+// the tail is full.
+func (g *Graph) InsertEdge(src, dst graph.V) error {
+	if int(src) >= len(g.verts) || int(dst) >= len(g.verts) {
+		g.ensure(int(max(src, dst)) + 1)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v := &g.verts[src]
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := g.appendWord(v, dst); err != nil {
+		return err
+	}
+	v.live++
 	g.edges.Add(1)
 	return nil
+}
+
+// DeleteEdge implements graph.Deleter: one live (src, dst) copy is
+// cancelled by appending a tombstone word to the block chain — the same
+// one-store append as an insert, so existing snapshots (word-count
+// prefixes over the append-only chain) keep their history.
+func (g *Graph) DeleteEdge(src, dst graph.V) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(src) >= len(g.verts) {
+		return fmt.Errorf("bal: delete %d->%d: %w", src, dst, graph.ErrEdgeNotFound)
+	}
+	v := &g.verts[src]
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.live <= 0 || g.liveMatches(v, dst) <= 0 {
+		return fmt.Errorf("bal: delete %d->%d: %w", src, dst, graph.ErrEdgeNotFound)
+	}
+	if err := g.appendWord(v, uint32(dst)|tombBit); err != nil {
+		return err
+	}
+	v.live--
+	v.tombs++
+	g.edges.Add(-1)
+	return nil
+}
+
+// liveMatches counts the live copies of dst in v's chain: edge
+// occurrences minus tombstones for the same destination. Called with
+// the vertex lock held.
+func (g *Graph) liveMatches(v *vertex, dst graph.V) int64 {
+	var n int64
+	remaining := v.count
+	blk := v.head
+	for blk != 0 && remaining > 0 {
+		k := min(int64(BlockEdges), remaining)
+		view := g.a.Slice(blk+16, uint64(k)*4)
+		for i := int64(0); i < k; i++ {
+			w := binary.LittleEndian.Uint32(view[i*4:])
+			if w&idMask == uint32(dst) {
+				if w&tombBit != 0 {
+					n--
+				} else {
+					n++
+				}
+			}
+		}
+		remaining -= k
+		blk = g.a.ReadU64(blk)
+	}
+	return n
 }
 
 // InsertBatch implements graph.BatchWriter: edges are grouped by source
@@ -132,10 +209,11 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	for src, dsts := range graph.GroupBySrc(edges) {
+		// appendRun accounts live and edge counts itself, from the words
+		// that actually landed.
 		if err := g.appendRun(src, dsts); err != nil {
 			return err
 		}
-		g.edges.Add(int64(len(dsts)))
 	}
 	return nil
 }
@@ -147,12 +225,26 @@ func (g *Graph) appendRun(src graph.V, dsts []graph.V) error {
 	v := &g.verts[src]
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	n, err := g.fillRun(v, dsts)
+	v.live += int64(n)
+	g.edges.Add(int64(n))
+	return err
+}
+
+// fillRun block-fills raw words (edges or tombstones) into v's chain,
+// persisting per touched block, and reports how many words landed —
+// callers must account live/tombstone counts from that number even on
+// error (a mid-run block-allocation failure leaves the already-filled
+// blocks counted in v.count, and a snapshot taken afterwards decodes
+// them).
+func (g *Graph) fillRun(v *vertex, dsts []graph.V) (int, error) {
+	filled := 0
 	for len(dsts) > 0 {
 		fill := v.count % BlockEdges
 		if v.tail == 0 || (fill == 0 && v.count > 0) {
 			blk, err := g.newBlock()
 			if err != nil {
-				return err
+				return filled, err
 			}
 			if v.tail == 0 {
 				v.head = blk
@@ -174,10 +266,92 @@ func (g *Graph) appendRun(src graph.V, dsts []graph.V) error {
 		g.a.Fence()
 		g.a.PersistU64(v.tail+8, uint64(fill+n))
 		v.count += n
+		filled += int(n)
 		dsts = dsts[n:]
+	}
+	return filled, nil
+}
+
+// DeleteBatch implements graph.BatchDeleter: tombstones are grouped by
+// source vertex (stream order preserved within each source), each
+// vertex lock is taken once, the group's live matches are counted in a
+// single chain scan, and the tombstone words are block-filled with
+// per-block persistence — the same amortization InsertBatch gets. On a
+// failed live-match the batch aborts with an error wrapping
+// graph.ErrEdgeNotFound; whole source groups applied before it stay
+// applied (grouping reorders across sources, so no index is reported —
+// the scalar fallback path is the one that names indices).
+func (g *Graph) DeleteBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	maxID := graph.V(0)
+	for _, e := range edges {
+		maxID = max(maxID, e.Src)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(maxID) >= len(g.verts) {
+		return fmt.Errorf("bal: delete names vertex %d beyond %d: %w", maxID, len(g.verts), graph.ErrEdgeNotFound)
+	}
+	for src, dsts := range graph.GroupBySrc(edges) {
+		if err := g.deleteRun(src, dsts); err != nil {
+			return err
+		}
 	}
 	return nil
 }
+
+// deleteRun validates and appends a source's tombstones under one
+// vertex-lock acquisition. One chain scan bounds every delete in the
+// group: a tombstone only cancels edges already in the chain, so
+// match counts taken up front stay exact as the group's own tombstones
+// are consumed from them in stream order.
+func (g *Graph) deleteRun(src graph.V, dsts []graph.V) error {
+	v := &g.verts[src]
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	matches := make(map[graph.V]int64, len(dsts))
+	for _, d := range dsts {
+		matches[d] = 0
+	}
+	remaining := v.count
+	blk := v.head
+	for blk != 0 && remaining > 0 {
+		k := min(int64(BlockEdges), remaining)
+		view := g.a.Slice(blk+16, uint64(k)*4)
+		for i := int64(0); i < k; i++ {
+			w := binary.LittleEndian.Uint32(view[i*4:])
+			if c, ok := matches[graph.V(w&idMask)]; ok {
+				if w&tombBit != 0 {
+					matches[graph.V(w&idMask)] = c - 1
+				} else {
+					matches[graph.V(w&idMask)] = c + 1
+				}
+			}
+		}
+		remaining -= k
+		blk = g.a.ReadU64(blk)
+	}
+	words := make([]graph.V, 0, len(dsts))
+	for _, d := range dsts {
+		if matches[d] <= 0 {
+			return fmt.Errorf("bal: delete %d->%d: %w", src, d, graph.ErrEdgeNotFound)
+		}
+		matches[d]--
+		words = append(words, d|graph.V(tombBit))
+	}
+	n, err := g.fillRun(v, words)
+	v.live -= int64(n)
+	v.tombs += int32(n)
+	g.edges.Add(-int64(n))
+	return err
+}
+
+// SpaceBytes reports the block-chain footprint (tombstone words
+// included — BAL never reclaims them), the churn benchmark's space
+// metric.
+func (g *Graph) SpaceBytes() int64 { return g.blocks.Load() * blockBytes }
 
 // newBlock allocates a block with all edge slots set to the empty
 // sentinel (one bulk write + flush, amortized over BlockEdges inserts).
@@ -186,6 +360,7 @@ func (g *Graph) newBlock() (pmem.Off, error) {
 	if err != nil {
 		return 0, err
 	}
+	g.blocks.Add(1)
 	ff := make([]byte, BlockEdges*4)
 	for i := range ff {
 		ff[i] = 0xFF
@@ -197,19 +372,22 @@ func (g *Graph) newBlock() (pmem.Off, error) {
 }
 
 // Snapshot captures per-vertex counts; block chains are append-only so a
-// count bounds exactly which edges are visible.
+// count bounds exactly which words are visible.
 func (g *Graph) Snapshot() graph.Snapshot {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	n := len(g.verts)
-	s := &Snapshot{g: g, counts: make([]int64, n), heads: make([]pmem.Off, n)}
+	s := &Snapshot{g: g, counts: make([]int64, n), lives: make([]int64, n),
+		tombs: make([]int32, n), heads: make([]pmem.Off, n)}
 	var total int64
 	for v := 0; v < n; v++ {
 		g.verts[v].mu.Lock()
 		s.counts[v] = g.verts[v].count
+		s.lives[v] = g.verts[v].live
+		s.tombs[v] = g.verts[v].tombs
 		s.heads[v] = g.verts[v].head
 		g.verts[v].mu.Unlock()
-		total += s.counts[v]
+		total += s.lives[v]
 	}
 	s.edges = total
 	return s
@@ -218,7 +396,9 @@ func (g *Graph) Snapshot() graph.Snapshot {
 // Snapshot is a consistent view of a BAL graph.
 type Snapshot struct {
 	g      *Graph
-	counts []int64
+	counts []int64 // physical words per vertex (edges + tombstones)
+	lives  []int64
+	tombs  []int32
 	heads  []pmem.Off
 	edges  int64
 }
@@ -229,12 +409,21 @@ func (s *Snapshot) NumVertices() int { return len(s.counts) }
 // NumEdges implements graph.Snapshot.
 func (s *Snapshot) NumEdges() int64 { return s.edges }
 
-// Degree implements graph.Snapshot.
-func (s *Snapshot) Degree(v graph.V) int { return int(s.counts[v]) }
+// Degree implements graph.Snapshot (live out-degree).
+func (s *Snapshot) Degree(v graph.V) int { return int(s.lives[v]) }
 
 // Neighbors walks the block chain — the pointer chasing that hurts BAL's
-// whole-graph analysis performance.
+// whole-graph analysis performance. Vertices with tombstones take the
+// filtering path.
 func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
+	if s.tombs[v] != 0 {
+		for _, d := range s.filtered(v, nil) {
+			if !fn(d) {
+				return
+			}
+		}
+		return
+	}
 	remaining := s.counts[v]
 	blk := s.heads[v]
 	a := s.g.a
@@ -261,6 +450,9 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
 // CopyNeighbors implements graph.BulkSnapshot: the same block-chain walk
 // as Neighbors, decoded block-at-a-time into the caller's scratch.
 func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	if s.tombs[v] != 0 {
+		return s.filtered(v, buf)
+	}
 	remaining := s.counts[v]
 	blk := s.heads[v]
 	a := s.g.a
@@ -278,4 +470,28 @@ func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
 		blk = a.ReadU64(blk)
 	}
 	return buf
+}
+
+// filtered appends v's live destinations to buf: the visible word
+// prefix is staged raw, then compacted by the shared kill-table pass
+// (graph.FilterTombs).
+func (s *Snapshot) filtered(v graph.V, buf []graph.V) []graph.V {
+	base := len(buf)
+	remaining := s.counts[v]
+	blk := s.heads[v]
+	a := s.g.a
+	for blk != 0 && remaining > 0 {
+		n := min(int64(BlockEdges), remaining)
+		view := a.Slice(blk+16, uint64(n)*4)
+		for i := int64(0); i < n; i++ {
+			w := binary.LittleEndian.Uint32(view[i*4:])
+			if w == emptySlot {
+				break
+			}
+			buf = append(buf, graph.V(w))
+		}
+		remaining -= n
+		blk = a.ReadU64(blk)
+	}
+	return graph.FilterTombs(buf, base)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"dgap/internal/graph"
@@ -65,6 +66,18 @@ func (o Options) specs() []graphgen.Spec {
 		out = append(out, s)
 	}
 	return out
+}
+
+// ArtifactPath guards the committed perf artifacts: the BENCH_*.json
+// dumps are generated at pinned scales so the cross-PR trajectory stays
+// comparable, and a -tiny smoke run silently overwriting one would
+// rebase that baseline. Tiny runs are therefore diverted to a
+// *_tiny.json sibling (git-ignored); full runs keep the committed name.
+func ArtifactPath(name string, tiny bool) string {
+	if !tiny {
+		return name
+	}
+	return strings.TrimSuffix(name, ".json") + "_tiny.json"
 }
 
 // Experiment is one regenerable paper artifact.

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestArtifactPath: -tiny runs must never write the committed artifact
+// names — they divert to a *_tiny.json sibling.
+func TestArtifactPath(t *testing.T) {
+	if got := ArtifactPath("BENCH_churn.json", false); got != "BENCH_churn.json" {
+		t.Errorf("full-scale path = %q", got)
+	}
+	if got := ArtifactPath("BENCH_churn.json", true); got != "BENCH_churn_tiny.json" {
+		t.Errorf("tiny path = %q", got)
+	}
+	if got := ArtifactPath("BENCH_ingest.json", true); got != "BENCH_ingest_tiny.json" {
+		t.Errorf("tiny path = %q", got)
+	}
+}
+
+// TestChurnJSONSmoke runs the churn experiment at test scale and checks
+// the acceptance shape of the dump: delete throughput present, DGAP
+// compaction nonzero, and DGAP's post-churn space strictly below its
+// no-compaction twin.
+func TestChurnJSONSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	path := filepath.Join(t.TempDir(), "churn.json")
+	if err := ChurnJSON(o, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump ChurnDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Results) == 0 {
+		t.Fatal("no churn results")
+	}
+	sawDGAP, sawUnsupported := false, false
+	for _, r := range dump.Results {
+		if !r.Supported {
+			sawUnsupported = true
+			continue
+		}
+		if r.Deletes == 0 || r.DeleteMEPS <= 0 {
+			t.Errorf("%s/%s: no delete throughput recorded: %+v", r.System, r.Graph, r)
+		}
+		if r.SpaceBytes <= 0 || r.AppendSpaceBytes <= 0 {
+			t.Errorf("%s/%s: missing space accounting: %+v", r.System, r.Graph, r)
+		}
+		if r.System == "DGAP" {
+			sawDGAP = true
+			if r.PairsDropped == 0 || r.Compactions == 0 {
+				t.Errorf("DGAP/%s: churn ran without compaction: %+v", r.Graph, r)
+			}
+			if r.SpaceBytes >= r.NoCompactSpaceBytes {
+				t.Errorf("DGAP/%s: compacted space %d not below no-compaction space %d",
+					r.Graph, r.SpaceBytes, r.NoCompactSpaceBytes)
+			}
+		}
+	}
+	if !sawDGAP {
+		t.Error("no DGAP churn row")
+	}
+	if !sawUnsupported {
+		t.Error("no supported=false row documenting a rejecting system (LLAMA)")
+	}
+}

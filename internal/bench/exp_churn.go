@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dgap/internal/bal"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/graphone"
+	"dgap/internal/workload"
+	"dgap/internal/xpgraph"
+)
+
+// Churn-experiment shape: router shards match the ingest experiment's
+// mid-scale point, and the sliding window holds a quarter of the timed
+// stream — large enough that the live set dominates the structure,
+// small enough that most of the stream is churn (deletes ≈ 3/4 of the
+// inserts).
+const (
+	churnShards     = 4
+	churnWindowFrac = 4
+)
+
+// ChurnResult is one mixed insert/delete measurement: a sliding-window
+// churn stream (insert the front, delete the tail) routed through the
+// sharded mixed router. SpaceBytes is the structure's post-churn
+// payload footprint; AppendSpaceBytes is an insert-only twin loaded
+// with the same inserts (what the structure would hold had nothing
+// been deleted). For DGAP, NoCompactSpaceBytes is a churn twin with
+// tombstone compaction disabled — the gap to SpaceBytes is the space
+// compaction reclaimed — and Compactions/PairsDropped count the
+// reclamation work (rebalance-piggybacked plus the final Compact).
+type ChurnResult struct {
+	System              string  `json:"system"`
+	Graph               string  `json:"graph"`
+	Supported           bool    `json:"supported"`
+	Ops                 int     `json:"ops"`
+	Inserts             int     `json:"inserts"`
+	Deletes             int     `json:"deletes"`
+	Window              int     `json:"window"`
+	VirtualNs           int64   `json:"virtual_ns"`
+	ChurnMEPS           float64 `json:"churn_meps"`
+	DeleteMEPS          float64 `json:"delete_meps"`
+	SpaceBytes          int64   `json:"space_bytes"`
+	AppendSpaceBytes    int64   `json:"append_space_bytes"`
+	Compactions         int64   `json:"compactions,omitempty"`
+	PairsDropped        int64   `json:"pairs_dropped,omitempty"`
+	NoCompactSpaceBytes int64   `json:"nocompact_space_bytes,omitempty"`
+}
+
+// ChurnDump is the top-level BENCH_churn.json document.
+type ChurnDump struct {
+	Scale   float64       `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Shards  int           `json:"shards"`
+	Results []ChurnResult `json:"results"`
+}
+
+// ChurnJSON runs the sliding-window churn experiment — every dynamic
+// system, every dataset — and writes BENCH_churn.json: delete
+// throughput and post-churn space alongside the insert-only and (for
+// DGAP) no-compaction baselines. Systems without delete support (LLAMA)
+// appear as supported=false rows, documenting the rejection.
+func ChurnJSON(o Options, path string) error {
+	o = o.defaults()
+	dump := ChurnDump{Scale: o.Scale, Seed: o.Seed, Shards: churnShards}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		for _, name := range SystemNames {
+			res, err := measureChurn(name, nVert, edges, o)
+			if err != nil {
+				return fmt.Errorf("churn %s/%s: %w", spec.Name, name, err)
+			}
+			res.Graph = spec.Name
+			dump.Results = append(dump.Results, res)
+		}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "wrote %d churn timings to %s\n", len(dump.Results), path)
+	return nil
+}
+
+// spaceOf reports a system's post-run structure footprint: occupied
+// slots plus live edge-log entries for DGAP (capacity churn would make
+// the comparison depend on power-of-two sizing), block/chunk bytes for
+// the append-only baselines.
+func spaceOf(sys graph.System) int64 {
+	switch s := sys.(type) {
+	case *dgap.Graph:
+		fp := s.Footprint()
+		return int64(fp.OccupiedBytes + fp.ELogBytes)
+	case *bal.Graph:
+		return s.SpaceBytes()
+	case *graphone.Graph:
+		return s.SpaceBytes()
+	case *xpgraph.Graph:
+		return s.SpaceBytes()
+	}
+	return 0
+}
+
+// loadBatched fills a fresh system with an insert-only stream through
+// its bulk write path (untimed).
+func loadBatched(sys graph.System, edges []graph.Edge, batchSize int) error {
+	bw := graph.Batch(sys)
+	for len(edges) > 0 {
+		n := min(batchSize, len(edges))
+		if err := bw.InsertBatch(edges[:n]); err != nil {
+			return err
+		}
+		edges = edges[n:]
+	}
+	return settle(sys)
+}
+
+// measureChurn runs one system through the churn stream plus its space
+// baselines.
+func measureChurn(name string, nVert int, edges []graph.Edge, o Options) (ChurnResult, error) {
+	out := ChurnResult{System: name}
+	warm, timed := workload.Split(edges)
+	window := max(len(timed)/churnWindowFrac, 1)
+	ops := workload.ChurnOps(timed, window)
+	out.Ops = len(ops)
+	out.Window = window
+	out.Inserts, out.Deletes = workload.SplitOps(ops)
+	batchSize := workload.AdaptiveBatchSize(len(ops))
+
+	sys, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, err
+	}
+	if graph.Deletes(sys) == nil {
+		// Documented rejection (LLAMA): no churn numbers, only the row.
+		return out, nil
+	}
+	out.Supported = true
+	if err := graph.Batch(sys).InsertBatch(warm); err != nil {
+		return out, err
+	}
+	var res workload.InsertResult
+	if g, ok := sys.(*dgap.Graph); ok {
+		res, err = workload.ChurnRoutedDGAP(g, ops, churnShards, batchSize)
+	} else {
+		res, err = workload.ChurnRouted(sys, ops, churnShards, lockScope(name), batchSize)
+	}
+	if err != nil {
+		return out, err
+	}
+	if err := settle(sys); err != nil {
+		return out, err
+	}
+	out.VirtualNs = res.Elapsed.Nanoseconds()
+	if s := res.Elapsed.Seconds(); s > 0 {
+		out.ChurnMEPS = float64(out.Ops) / s / 1e6
+		out.DeleteMEPS = float64(out.Deletes) / s / 1e6
+	}
+	if g, ok := sys.(*dgap.Graph); ok {
+		// Reclaim at the workload boundary, then read the counters —
+		// rebalance-piggybacked compactions during the stream are
+		// already included.
+		if err := g.Compact(); err != nil {
+			return out, err
+		}
+		st := g.Compaction()
+		out.Compactions = st.Compactions
+		out.PairsDropped = st.PairsDropped
+	}
+	out.SpaceBytes = spaceOf(sys)
+
+	// Insert-only twin: the same inserts, nothing deleted.
+	app, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, err
+	}
+	if err := loadBatched(app, edges, batchSize); err != nil {
+		return out, err
+	}
+	out.AppendSpaceBytes = spaceOf(app)
+
+	// DGAP only: a churn twin with compaction disabled — the space a
+	// tombstone-accumulating DGAP would be left holding.
+	if name == "DGAP" {
+		nc, err := buildDGAPNoCompact(nVert, len(edges), o)
+		if err != nil {
+			return out, err
+		}
+		if err := graph.Batch(nc).InsertBatch(warm); err != nil {
+			return out, err
+		}
+		if _, err := workload.ChurnRoutedDGAP(nc, ops, churnShards, batchSize); err != nil {
+			return out, err
+		}
+		if err := nc.Compact(); err != nil { // merges only; drops nothing
+			return out, err
+		}
+		out.NoCompactSpaceBytes = spaceOf(nc)
+	}
+	return out, nil
+}
+
+// buildDGAPNoCompact constructs the compaction-disabled DGAP twin.
+func buildDGAPNoCompact(nVert, nEdges int, o Options) (*dgap.Graph, error) {
+	a := arenaFor(nEdges, o.Latency)
+	cfg := dgap.DefaultConfig(nVert, int64(nEdges))
+	cfg.NoCompaction = true
+	return dgap.New(a, cfg)
+}

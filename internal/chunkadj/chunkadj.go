@@ -6,6 +6,14 @@
 // (PageRank, CC) slower on adjacency-list systems even when the data is
 // in DRAM, while per-vertex access (BFS) stays cheap. Both effects are
 // central to Figures 7 and 8 of the DGAP paper.
+//
+// Deletion is append-only, exactly like DGAP's: Delete appends a
+// tombstone word (the destination with TombBit set) to the vertex's
+// chain, so existing snapshots — whose visibility is a per-vertex
+// physical-word prefix — keep seeing the edge, and snapshots taken
+// afterwards cancel one earlier occurrence per tombstone. In-place
+// removal is impossible here: old snapshots share the chunk pool's
+// backing array, so mutating a word would rewrite their history.
 package chunkadj
 
 import "dgap/internal/graph"
@@ -14,6 +22,13 @@ import "dgap/internal/graph"
 const ChunkEdges = 62
 
 const chunkWords = ChunkEdges + 2 // [next][count][edges...]
+
+// TombBit marks a chunk word as a tombstone cancelling one earlier
+// occurrence of the same destination — the shared graph.TombBit
+// encoding, re-exported for the backends built on this structure.
+const TombBit = graph.TombBit
+
+const idMask = TombBit - 1
 
 // Adj is a growable chunked adjacency list. The chunk pool is a single
 // slice indexed by chunk number; chunks are appended and never moved,
@@ -24,13 +39,21 @@ type Adj struct {
 	pool   []uint32
 	heads  []int32 // first chunk per vertex, -1 = none
 	tails  []int32
-	counts []int64 // edges per vertex
-	edges  int64
+	counts []int64 // physical words per vertex (edges + tombstones)
+	lives  []int64 // live out-degree per vertex
+	tombs  []int32 // tombstone words per vertex
+	edges  int64   // live edges in total
 }
 
 // New creates an adjacency over nVert vertices.
 func New(nVert int) *Adj {
-	a := &Adj{heads: make([]int32, nVert), tails: make([]int32, nVert), counts: make([]int64, nVert)}
+	a := &Adj{
+		heads:  make([]int32, nVert),
+		tails:  make([]int32, nVert),
+		counts: make([]int64, nVert),
+		lives:  make([]int64, nVert),
+		tombs:  make([]int32, nVert),
+	}
 	for i := range a.heads {
 		a.heads[i] = -1
 		a.tails[i] = -1
@@ -44,20 +67,31 @@ func (a *Adj) Ensure(n int) {
 		a.heads = append(a.heads, -1)
 		a.tails = append(a.tails, -1)
 		a.counts = append(a.counts, 0)
+		a.lives = append(a.lives, 0)
+		a.tombs = append(a.tombs, 0)
 	}
 }
 
 // NumVertices returns the vertex-table size.
 func (a *Adj) NumVertices() int { return len(a.heads) }
 
-// NumEdges returns the total edge count.
+// NumEdges returns the live edge count.
 func (a *Adj) NumEdges() int64 { return a.edges }
 
-// Count returns one vertex's edge count.
+// Count returns one vertex's physical word count (edges + tombstones).
 func (a *Adj) Count(v graph.V) int64 { return a.counts[v] }
 
-// Append adds an edge to v's chain.
-func (a *Adj) Append(v graph.V, dst graph.V) {
+// Live returns one vertex's live out-degree.
+func (a *Adj) Live(v graph.V) int64 { return a.lives[v] }
+
+// SpaceBytes returns the chunk pool's footprint — the number the churn
+// benchmark reports as post-churn space (tombstones included: this
+// structure never reclaims them).
+func (a *Adj) SpaceBytes() int64 { return int64(len(a.pool)) * 4 }
+
+// appendWord appends one raw word (edge or tombstone) to v's chain,
+// allocating and linking a chunk when the tail is full.
+func (a *Adj) appendWord(v graph.V, w uint32) {
 	fill := a.counts[v] % ChunkEdges
 	if a.tails[v] < 0 || (fill == 0 && a.counts[v] > 0) {
 		c := a.newChunk()
@@ -69,9 +103,15 @@ func (a *Adj) Append(v graph.V, dst graph.V) {
 		a.tails[v] = c
 	}
 	base := int(a.tails[v]) * chunkWords
-	a.pool[base+2+int(fill)] = dst
+	a.pool[base+2+int(fill)] = w
 	a.pool[base+1] = uint32(fill + 1)
 	a.counts[v]++
+}
+
+// Append adds an edge to v's chain.
+func (a *Adj) Append(v graph.V, dst graph.V) {
+	a.appendWord(v, uint32(dst))
+	a.lives[v]++
 	a.edges++
 }
 
@@ -97,8 +137,58 @@ func (a *Adj) AppendRun(v graph.V, dsts []graph.V) {
 		copy(a.pool[base+2+int(fill):base+2+int(fill)+int(n)], dsts[:n])
 		a.pool[base+1] = uint32(fill + n)
 		a.counts[v] += n
+		a.lives[v] += n
 		a.edges += n
 		dsts = dsts[n:]
+	}
+}
+
+// Delete cancels one live (v, dst) edge by appending a tombstone word.
+// It returns false — appending nothing — when no live copy exists: the
+// chain's edge occurrences of dst, minus its tombstones, must be
+// positive.
+func (a *Adj) Delete(v graph.V, dst graph.V) bool {
+	if int(v) >= len(a.heads) || a.lives[v] <= 0 {
+		return false
+	}
+	var match int64
+	a.scan(v, a.counts[v], func(w uint32) bool {
+		if w&idMask == uint32(dst) {
+			if w&TombBit != 0 {
+				match--
+			} else {
+				match++
+			}
+		}
+		return true
+	})
+	if match <= 0 {
+		return false
+	}
+	a.appendWord(v, uint32(dst)|TombBit)
+	a.lives[v]--
+	a.tombs[v]++
+	a.edges--
+	return true
+}
+
+// scan walks the first n physical words of v's chain.
+func (a *Adj) scan(v graph.V, n int64, fn func(w uint32) bool) {
+	c := a.heads[v]
+	for c >= 0 && n > 0 {
+		base := int(c) * chunkWords
+		k := min(int64(ChunkEdges), n)
+		for i := int64(0); i < k; i++ {
+			if !fn(a.pool[base+2+int(i)]) {
+				return
+			}
+		}
+		n -= k
+		next := a.pool[base]
+		if next == 0 {
+			return
+		}
+		c = int32(next)
 	}
 }
 
@@ -111,7 +201,7 @@ func (a *Adj) newChunk() int32 {
 }
 
 // Snapshot freezes the current counts; the chunk pool is append-only so
-// a count bounds exactly which edges are visible. The pool slice header
+// a count bounds exactly which words are visible. The pool slice header
 // is captured too (appends may reallocate the backing array; the
 // captured header keeps the old one alive and consistent).
 func (a *Adj) Snapshot() *Snapshot {
@@ -119,6 +209,8 @@ func (a *Adj) Snapshot() *Snapshot {
 		pool:   a.pool,
 		heads:  append([]int32(nil), a.heads...),
 		counts: append([]int64(nil), a.counts...),
+		lives:  append([]int64(nil), a.lives...),
+		tombs:  append([]int32(nil), a.tombs...),
 		edges:  a.edges,
 	}
 	return s
@@ -129,6 +221,8 @@ type Snapshot struct {
 	pool   []uint32
 	heads  []int32
 	counts []int64
+	lives  []int64
+	tombs  []int32
 	edges  int64
 }
 
@@ -138,11 +232,20 @@ func (s *Snapshot) NumVertices() int { return len(s.heads) }
 // NumEdges implements graph.Snapshot.
 func (s *Snapshot) NumEdges() int64 { return s.edges }
 
-// Degree implements graph.Snapshot.
-func (s *Snapshot) Degree(v graph.V) int { return int(s.counts[v]) }
+// Degree implements graph.Snapshot (live out-degree).
+func (s *Snapshot) Degree(v graph.V) int { return int(s.lives[v]) }
 
-// Neighbors walks v's chunk chain.
+// Neighbors walks v's chunk chain, filtering cancelled pairs when the
+// vertex carries tombstones.
 func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
+	if s.tombs[v] != 0 {
+		for _, d := range s.filtered(v, nil) {
+			if !fn(d) {
+				return
+			}
+		}
+		return
+	}
 	remaining := s.counts[v]
 	c := s.heads[v]
 	for c >= 0 && remaining > 0 {
@@ -168,8 +271,12 @@ func (s *Snapshot) Neighbors(v graph.V, fn func(graph.V) bool) {
 // CopyNeighbors implements graph.BulkSnapshot for the chunked adjacency
 // (and therefore for the GraphOne and XPGraph snapshots built on it):
 // each chunk's edge words are appended with one tight copy loop instead
-// of a callback per edge.
+// of a callback per edge. Vertices with tombstones take the filtering
+// path.
 func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
+	if s.tombs[v] != 0 {
+		return s.filtered(v, buf)
+	}
 	remaining := s.counts[v]
 	c := s.heads[v]
 	for c >= 0 && remaining > 0 {
@@ -184,4 +291,25 @@ func (s *Snapshot) CopyNeighbors(v graph.V, buf []graph.V) []graph.V {
 		c = int32(next)
 	}
 	return buf
+}
+
+// filtered appends v's live destinations to buf: the visible physical
+// prefix is staged raw, then compacted by the shared kill-table pass
+// (graph.FilterTombs).
+func (s *Snapshot) filtered(v graph.V, buf []graph.V) []graph.V {
+	base := len(buf)
+	remaining := s.counts[v]
+	c := s.heads[v]
+	for c >= 0 && remaining > 0 {
+		cb := int(c) * chunkWords
+		n := min(int64(ChunkEdges), remaining)
+		buf = append(buf, s.pool[cb+2:cb+2+int(n)]...)
+		remaining -= n
+		next := s.pool[cb]
+		if next == 0 {
+			break
+		}
+		c = int32(next)
+	}
+	return graph.FilterTombs(buf, base)
 }

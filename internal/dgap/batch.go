@@ -18,6 +18,13 @@ import (
 // undo-log session per section group instead of a potential session per
 // edge — which is where the batched path's flush/fence savings compound.
 //
+// DeleteBatch is the same machinery with the tombstone flag carried
+// through: a tombstone is physically an append (deletion re-inserts the
+// edge value with tombBit set), so section grouping, coalesced flushes,
+// the single fence and the single rebalance session per group apply
+// unchanged. The only extra work is the per-edge live-match validation
+// every delete pays (see liveMatches).
+//
 // The one-flush-one-fence accounting assumes the default
 // MetadataInDRAM=true. The "No DP" ablation deliberately write-through
 // mirrors vertex and tree metadata to PM with a flush+fence per update
@@ -25,7 +32,8 @@ import (
 // cost: the ablation exists to model in-place PM metadata updates, so
 // coalescing them away would erase the effect it measures.
 
-var _ graph.BatchWriter = (*Graph)(nil)
+var _ graph.BatchMutator = (*Graph)(nil)
+var _ graph.BatchMutator = (*Writer)(nil)
 
 // InsertBatch implements graph.BatchWriter through the graph's internal
 // writer handle; concurrent ingest should route batches to per-shard
@@ -44,6 +52,22 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 // begins, and torn edge-log entries are rejected by checksum during
 // recovery.
 func (w *Writer) InsertBatch(edges []graph.Edge) error {
+	return w.applyBatch(edges, false)
+}
+
+// DeleteBatch implements graph.BatchDeleter: the batch's tombstones are
+// section-grouped and applied with the same one-lock, one-coalesced-
+// flush, one-fence, one-rebalance-session-per-group discipline as
+// InsertBatch. Every edge must have a live copy to cancel; on a failed
+// match the batch aborts with an error wrapping graph.ErrEdgeNotFound
+// (whole section groups applied before it stay applied).
+func (w *Writer) DeleteBatch(edges []graph.Edge) error {
+	return w.applyBatch(edges, true)
+}
+
+// applyBatch is the shared body of InsertBatch (tomb=false) and
+// DeleteBatch (tomb=true).
+func (w *Writer) applyBatch(edges []graph.Edge, tomb bool) error {
 	if len(edges) == 0 {
 		return nil
 	}
@@ -55,7 +79,13 @@ func (w *Writer) InsertBatch(edges []graph.Edge) error {
 		}
 		maxID = max(maxID, e.Src, e.Dst)
 	}
-	if need := int(maxID) + 1; need > g.NumVertices() {
+	if tomb {
+		// Deletes never grow the id space: an edge from a vertex that
+		// was never inserted cannot have a live copy.
+		if int(maxID) >= g.NumVertices() {
+			return fmt.Errorf("dgap: delete names vertex %d beyond %d: %w", maxID, g.NumVertices(), ErrNoEdge)
+		}
+	} else if need := int(maxID) + 1; need > g.NumVertices() {
 		if err := g.EnsureVertices(need); err != nil {
 			return err
 		}
@@ -74,7 +104,7 @@ func (w *Writer) InsertBatch(edges []graph.Edge) error {
 		ep := g.ep.Load()
 		// Plan: bucket each pending edge by the section its insert
 		// position falls in right now. The plan is only a grouping
-		// heuristic — insertGroup re-validates every edge under the
+		// heuristic — applyGroup re-validates every edge under the
 		// section lock — so a stale read costs a retry, never
 		// correctness. A counting bucket pass keeps planning O(batch +
 		// sections) with no comparison sort; filling buckets in stream
@@ -113,7 +143,7 @@ func (w *Writer) InsertBatch(edges []graph.Edge) error {
 			if cursor[s] == starts[s] {
 				continue
 			}
-			n, grow, err := w.insertGroup(s, grouped[starts[s]:cursor[s]], &retry)
+			n, grow, err := w.applyGroup(s, grouped[starts[s]:cursor[s]], tomb, &retry)
 			if err != nil {
 				return err
 			}
@@ -129,14 +159,14 @@ func (w *Writer) InsertBatch(edges []graph.Edge) error {
 				// structural growth runs under the snapshot read lock.
 				ep := g.ep.Load()
 				g.snapMu.RLock()
-				err := g.restructure(len(ep.meta), 2*ep.slots)
+				err := g.restructure(len(ep.meta), 2*ep.slots, false)
 				g.snapMu.RUnlock()
 				if err != nil {
 					return err
 				}
 			} else if len(retry) > 0 {
 				e := retry[0]
-				if err := w.insert(e.Src, e.Dst, false); err != nil {
+				if err := w.insert(e.Src, e.Dst, tomb); err != nil {
 					return err
 				}
 				retry = retry[1:]
@@ -158,16 +188,17 @@ func resetInts(buf []int, n int) []int {
 	return buf
 }
 
-// insertGroup inserts a planned group of edges whose target position
-// falls in section sec: one section lock acquisition, one coalesced
-// edge-log flush, one fence, and one rebalance-trigger check for the
-// whole group. Edges whose position moved out of sec (a racing writer,
-// a rebalance, or the group's own growth crossing a section boundary)
-// are appended to retry in stream order; once a source is deferred all
-// its later edges follow it there, keeping per-vertex order intact. The
-// grow result reports that an edge ran past the end of the edge array
-// and needs a restructure.
-func (w *Writer) insertGroup(sec int, group []graph.Edge, retry *[]graph.Edge) (inserted int, grow bool, err error) {
+// applyGroup applies a planned group of edges (inserts, or tombstones
+// when tomb is set) whose target position falls in section sec: one
+// section lock acquisition, one coalesced edge-log flush, one fence,
+// and one rebalance-trigger check for the whole group. Edges whose
+// position moved out of sec (a racing writer, a rebalance, or the
+// group's own growth crossing a section boundary) are appended to retry
+// in stream order; once a source is deferred all its later edges follow
+// it there, keeping per-vertex order intact. The grow result reports
+// that an edge ran past the end of the edge array and needs a
+// restructure.
+func (w *Writer) applyGroup(sec int, group []graph.Edge, tomb bool, retry *[]graph.Edge) (inserted int, grow bool, err error) {
 	g := w.g
 	g.snapMu.RLock()
 	defer g.snapMu.RUnlock()
@@ -216,6 +247,17 @@ loop:
 			continue
 		}
 		val := e.Dst
+		if tomb {
+			// Validated under the section lock, which pins the run and
+			// chain (see liveMatches); earlier tombstones of this group
+			// are already visible to the scan, so duplicate deletes in
+			// one batch consume distinct live copies.
+			if m.live.Load() <= 0 || g.liveMatches(ep, m, e.Dst) <= 0 {
+				l.Unlock()
+				return inserted, grow, fmt.Errorf("delete %d->%d: %w", e.Src, e.Dst, ErrNoEdge)
+			}
+			val |= tombBit
+		}
 		switch {
 		case lg == 0 && g.a.ReadU32(ep.slotOff(pos)) == slotEmpty:
 			// Fast path: one 4-byte store; flush and fence deferred to
@@ -250,8 +292,14 @@ loop:
 			g.mirrorVertex(ep, e.Src)
 			g.mirrorSection(ep, sec)
 		}
-		m.live.Add(1)
-		g.liveTotal.Add(1)
+		if tomb {
+			m.live.Add(-1)
+			m.flags.Store(m.flags.Load() | flagHasTomb)
+			g.liveTotal.Add(-1)
+		} else {
+			m.live.Add(1)
+			g.liveTotal.Add(1)
+		}
 		if g.cow != nil {
 			nArr, nLg := unpackCounts(m.counts.Load())
 			g.cow.update(e.Src, nArr+uint64(nLg), m.live.Load())

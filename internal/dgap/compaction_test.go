@@ -1,0 +1,241 @@
+package dgap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dgap/internal/graph"
+)
+
+// churnLoad drives a seeded random insert/delete mix and returns the
+// reference live multiset.
+func churnLoad(t *testing.T, g *Graph, nVert, ops int, seed int64) map[graph.Edge]int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := map[graph.Edge]int{}
+	for i := 0; i < ops; i++ {
+		e := graph.Edge{Src: graph.V(rng.Intn(nVert)), Dst: graph.V(rng.Intn(nVert))}
+		if rng.Intn(3) == 0 && model[e] > 0 {
+			if err := g.DeleteEdge(e.Src, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+			model[e]--
+		} else {
+			if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+			model[e]++
+		}
+	}
+	return model
+}
+
+// visible materializes a snapshot's per-vertex destination sequences
+// and releases the snapshot, so the graph is compactable afterwards.
+func visible(s graph.Snapshot) [][]graph.V {
+	adj := graph.Adjacency(s)
+	if r, ok := s.(interface{ ReleaseSnapshot() }); ok {
+		r.ReleaseSnapshot()
+	}
+	return adj
+}
+
+// TestCompactionPreservesVisibleSets is the compaction property test:
+// after a churn mix, physically dropping every cancelled pair must not
+// change any vertex's visible neighbor sequence, must clear the
+// tombstone flags (re-arming the zero-copy sweep path), and must
+// strictly shrink the occupied footprint.
+func TestCompactionPreservesVisibleSets(t *testing.T) {
+	for _, seed := range []int64{3, 17, 202} {
+		cfg := smallConfig(32, 128)
+		g := newTestGraph(t, cfg)
+		model := churnLoad(t, g, 32, 800, seed)
+		before := visible(g.Snapshot())
+		fpBefore := g.Footprint()
+
+		if err := g.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		st := g.Compaction()
+		if st.PairsDropped == 0 {
+			t.Fatalf("seed %d: no pairs dropped by a churn mix", seed)
+		}
+		fpAfter := g.Footprint()
+		if fpAfter.OccupiedBytes+fpAfter.ELogBytes >= fpBefore.OccupiedBytes+fpBefore.ELogBytes {
+			t.Errorf("seed %d: occupied space %d -> %d, want a strict drop",
+				seed, fpBefore.OccupiedBytes+fpBefore.ELogBytes, fpAfter.OccupiedBytes+fpAfter.ELogBytes)
+		}
+
+		after := visible(g.Snapshot())
+		if !reflect.DeepEqual(before, after) {
+			for v := range before {
+				if !reflect.DeepEqual(before[v], after[v]) {
+					t.Fatalf("seed %d: vertex %d visible set changed: %v -> %v", seed, v, before[v], after[v])
+				}
+			}
+		}
+		// Every tombstone was matched (validated deletes), so none
+		// survive a full compaction and the flags must be clear.
+		ep := g.ep.Load()
+		for v := range ep.meta {
+			if ep.meta[v].flags.Load()&flagHasTomb != 0 {
+				t.Fatalf("seed %d: vertex %d still flagged tombstoned after Compact", seed, v)
+			}
+		}
+		// The model still matches.
+		s := g.Snapshot()
+		for e, c := range model {
+			got := 0
+			s.Neighbors(e.Src, func(d graph.V) bool {
+				if d == e.Dst {
+					got++
+				}
+				return true
+			})
+			if got != c {
+				t.Fatalf("seed %d: edge %d->%d: %d copies after compaction, want %d", seed, e.Src, e.Dst, got, c)
+			}
+		}
+	}
+}
+
+// TestCompactionGatedByOutstandingSnapshots: while any snapshot is
+// alive, rebalances and Compact must copy tombstones instead of
+// dropping them — the snapshot's immutable prefix depends on it — and
+// the reclamation happens on the first compaction after release.
+func TestCompactionGatedByOutstandingSnapshots(t *testing.T) {
+	g := newTestGraph(t, smallConfig(16, 64))
+	churnLoad(t, g, 16, 400, 11)
+	// The snapshot-free churn above compacts organically through its
+	// rebalances; everything from here on asserts deltas against that.
+	base := g.Compaction().PairsDropped
+
+	held := g.Snapshot()
+	heldAdj := graph.Adjacency(held)
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Compaction().PairsDropped - base; d != 0 {
+		t.Fatalf("compaction dropped %d pairs with a snapshot outstanding", d)
+	}
+	// More churn (its rebalances must also keep their hands off) and
+	// the held snapshot's history must be intact throughout.
+	churnLoad(t, g, 16, 400, 12)
+	if d := g.Compaction().PairsDropped - base; d != 0 {
+		t.Fatalf("organic rebalance dropped %d pairs with a snapshot outstanding", d)
+	}
+	if got := graph.Adjacency(held); !reflect.DeepEqual(heldAdj, got) {
+		t.Fatal("held snapshot's visible sets changed while compaction was gated")
+	}
+
+	held.(interface{ ReleaseSnapshot() }).ReleaseSnapshot()
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Compaction().PairsDropped - base; d == 0 {
+		t.Fatal("no pairs dropped after the last snapshot was released")
+	}
+}
+
+// TestNoCompactionConfig: the ablation switch keeps every tombstone.
+func TestNoCompactionConfig(t *testing.T) {
+	cfg := smallConfig(16, 64)
+	cfg.NoCompaction = true
+	g := newTestGraph(t, cfg)
+	model := churnLoad(t, g, 16, 400, 5)
+	if err := g.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Compaction(); st.Compactions != 0 || st.PairsDropped != 0 {
+		t.Fatalf("NoCompaction graph compacted anyway: %+v", st)
+	}
+	s := g.Snapshot()
+	for e, c := range model {
+		got := 0
+		s.Neighbors(e.Src, func(d graph.V) bool {
+			if d == e.Dst {
+				got++
+			}
+			return true
+		})
+		if got != c {
+			t.Fatalf("edge %d->%d: %d copies, want %d", e.Src, e.Dst, got, c)
+		}
+	}
+}
+
+// TestBatchDeleteMatchesScalar: DGAP's native DeleteBatch (section-
+// grouped tombstones) must leave exactly the state a scalar-deleting
+// twin reaches, including when batches force merges and rebalances,
+// and compaction on both twins converges to identical visible sets.
+func TestBatchDeleteMatchesScalar(t *testing.T) {
+	const V = 48
+	rng := rand.New(rand.NewSource(23))
+	var ins []graph.Edge
+	for i := 0; i < 700; i++ {
+		ins = append(ins, graph.Edge{Src: graph.V(rng.Intn(V)), Dst: graph.V(rng.Intn(V))})
+	}
+	var del []graph.Edge
+	seen := map[graph.Edge]int{}
+	for _, e := range ins {
+		seen[e]++
+	}
+	for i := 0; i < len(ins); i += 3 {
+		if seen[ins[i]] > 0 {
+			del = append(del, ins[i])
+			seen[ins[i]]--
+		}
+	}
+
+	scalar := newTestGraph(t, smallConfig(V, 256))
+	for _, e := range ins {
+		if err := scalar.InsertEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range del {
+		if err := scalar.DeleteEdge(e.Src, e.Dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched := newTestGraph(t, smallConfig(V, 256))
+	if err := batched.InsertBatch(ins); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(del); i += 64 {
+		if err := batched.DeleteBatch(del[i:min(i+64, len(del))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := multisetOf(visible(scalar.Snapshot()))
+	got := multisetOf(visible(batched.Snapshot()))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("batched delete multiset diverges from scalar twin")
+	}
+	if err := scalar.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if batched.Compaction().PairsDropped == 0 {
+		t.Fatal("batched twin compacted nothing")
+	}
+	if !reflect.DeepEqual(multisetOf(visible(scalar.Snapshot())), multisetOf(visible(batched.Snapshot()))) {
+		t.Fatal("twins diverge after compaction")
+	}
+}
+
+func multisetOf(adj [][]graph.V) []map[graph.V]int {
+	out := make([]map[graph.V]int, len(adj))
+	for v := range adj {
+		out[v] = map[graph.V]int{}
+		for _, d := range adj[v] {
+			out[v][d]++
+		}
+	}
+	return out
+}

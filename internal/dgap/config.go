@@ -46,6 +46,13 @@ type Config struct {
 	// §6 future-work extension): snapshots share unmodified degree pages
 	// instead of copying one entry per vertex per task.
 	CoWDegreeCache bool
+
+	// NoCompaction disables tombstone compaction: rebalances and
+	// restructures copy cancelled (edge, tombstone) pairs instead of
+	// dropping them, so deleted edges occupy space forever — the
+	// append-only behaviour earlier revisions had, kept as the churn
+	// benchmark's space baseline.
+	NoCompaction bool
 }
 
 // DefaultConfig returns the paper's defaults for a graph expected to hold

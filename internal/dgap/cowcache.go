@@ -103,6 +103,7 @@ func (g *Graph) ConsistentViewCoW() *Snapshot {
 	g.snapMu.Lock()
 	nv := int(g.nVert.Load())
 	s := &Snapshot{g: g, pages: g.cow.capture(), nVert: nv, edges: g.liveTotal.Load()}
+	g.track(s)
 	g.snapMu.Unlock()
 	return s
 }

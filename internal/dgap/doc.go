@@ -41,6 +41,39 @@
 // one undo-log session runs per section group instead of potentially
 // per edge. See batch.go.
 //
+// # Deletion and compaction
+//
+// Deletion is an append: DeleteEdge re-inserts the edge value with the
+// tombstone bit set, after validating under the section lock that a
+// live (src, dst) copy exists (liveMatches) — so every tombstone is
+// matched to an edge, and an unmatched delete fails with ErrNoEdge.
+// Snapshot reads cancel one earlier occurrence per tombstone (the
+// kill-table passes in snapshot.go), which keeps the per-vertex
+// physical-entry prefix immutable history: a snapshot taken before a
+// delete keeps seeing the edge, the next one does not. DeleteBatch
+// (graph.BatchDeleter) runs tombstones through the same
+// section-grouped machinery as InsertBatch — one section lock, one
+// coalesced flush, one fence and at most one rebalance session per
+// group (batch.go).
+//
+// Tombstones would otherwise accumulate forever, so compaction
+// piggybacks on the maintenance that rewrites windows anyway: when a
+// rebalance or restructure stages a vertex's run, cancelled (edge,
+// tombstone) pairs are physically dropped instead of copied
+// (compactRun), the per-vertex live counter is untouched (it already
+// excluded them), and a vertex left tombstone-free has its flag
+// cleared — re-arming the zero-copy SweepNeighbors fast path that
+// tombstones disable. Dropping entries shortens physical sequences,
+// which would corrupt the immutable prefix of any live snapshot, so
+// compaction is gated on an outstanding-snapshot counter: snapshots
+// register at creation and deregister on ReleaseSnapshot (the serving
+// tier's lease drop calls it; a GC finalizer backstops everyone else),
+// and while the count is nonzero every rebalance copies tombstones
+// verbatim. Compact() forces one full compacting restructure at a
+// workload boundary; Compaction() and Footprint() expose the counters
+// the churn benchmark reports. Config.NoCompaction preserves the old
+// accumulate-forever behaviour as a space baseline.
+//
 // Ablation switches (Config.EnableEdgeLog, UseUndoLog, MetadataInDRAM)
 // reproduce the paper's "No EL" / "No EL&UL" / "No EL&UL&DP" variants of
 // Table 5.

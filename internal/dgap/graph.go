@@ -1,7 +1,7 @@
 package dgap
 
 import (
-	"errors"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,6 +47,17 @@ type Graph struct {
 	cow       *cowCache
 	liveTotal atomic.Int64
 
+	// snaps counts outstanding snapshots (created but not yet released
+	// or finalized). Tombstone compaction physically drops entries,
+	// which would break the immutable-prefix contract of any snapshot
+	// taken before it, so compaction only runs when this is zero; see
+	// rebalance.go.
+	snaps atomic.Int64
+
+	// Tombstone-compaction counters (see CompactionStats).
+	compactions  atomic.Int64
+	pairsDropped atomic.Int64
+
 	// Operation counters for the component experiments.
 	logAppends atomic.Int64
 	rebalances atomic.Int64
@@ -89,6 +100,50 @@ func (g *Graph) Stats() OpStats {
 	}
 }
 
+// CompactionStats reports the tombstone-compaction counters:
+// Compactions is the number of rebalances/restructures that dropped at
+// least one cancelled pair, PairsDropped the total (edge, tombstone)
+// pairs physically removed (two slots reclaimed per pair).
+type CompactionStats struct {
+	Compactions  int64
+	PairsDropped int64
+}
+
+// Compaction returns the graph's tombstone-compaction counters.
+func (g *Graph) Compaction() CompactionStats {
+	return CompactionStats{
+		Compactions:  g.compactions.Load(),
+		PairsDropped: g.pairsDropped.Load(),
+	}
+}
+
+// Footprint reports the structure's space: ArrayBytes is the edge
+// array's capacity, OccupiedBytes the slots actually holding pivots,
+// edges or tombstones, and ELogBytes the live edge-log entries — the
+// numbers the churn benchmark compares against the no-compaction
+// baseline.
+type Footprint struct {
+	ArrayBytes    uint64
+	OccupiedBytes uint64
+	ELogBytes     uint64
+}
+
+// Footprint returns the current epoch's space accounting.
+func (g *Graph) Footprint() Footprint {
+	ep := g.ep.Load()
+	var occ int64
+	var live uint32
+	for s := 0; s < ep.nSec; s++ {
+		occ += ep.secCount[s].Load()
+		live += ep.elogLive[s].Load()
+	}
+	return Footprint{
+		ArrayBytes:    ep.slots * slotBytes,
+		OccupiedBytes: uint64(occ) * slotBytes,
+		ELogBytes:     uint64(live) * logEntrySize,
+	}
+}
+
 func (g *Graph) hook(point string) {
 	if g.crashHook != nil {
 		g.crashHook(point)
@@ -98,8 +153,10 @@ func (g *Graph) hook(point string) {
 // SetCrashHook installs a failure-injection hook (testing only).
 func (g *Graph) SetCrashHook(fn func(point string)) { g.crashHook = fn }
 
-// ErrNoEdge is returned by DeleteEdge when the vertex has no live edges.
-var ErrNoEdge = errors.New("dgap: vertex has no live edge to delete")
+// ErrNoEdge is returned by DeleteEdge when the named edge has no live
+// copy to cancel (it wraps graph.ErrEdgeNotFound, so errors.Is matches
+// either sentinel).
+var ErrNoEdge = fmt.Errorf("dgap: %w", graph.ErrEdgeNotFound)
 
 // New initializes a fresh DGAP graph on the arena.
 func New(a *pmem.Arena, cfg Config) (*Graph, error) {
@@ -255,6 +312,15 @@ func (g *Graph) DeleteEdge(src, dst graph.V) error {
 	return g.defaultWriter().DeleteEdge(src, dst)
 }
 
+// DeleteBatch implements graph.BatchDeleter through the graph's
+// internal writer handle; concurrent churn should route batches to
+// per-shard Writers instead (see internal/workload's Router).
+func (g *Graph) DeleteBatch(edges []graph.Edge) error {
+	g.defMu.Lock()
+	defer g.defMu.Unlock()
+	return g.defaultWriter().DeleteBatch(edges)
+}
+
 // InsertVertex pre-creates vertices up to id (inclusive). Vertex ids are
 // dense, so this simply grows the id space.
 func (g *Graph) InsertVertex(id graph.V) error {
@@ -273,7 +339,9 @@ func (g *Graph) EnsureVertices(n int) error {
 		if n > len(ep.meta) {
 			// Capacity exceeded: stop-the-world restructure that doubles
 			// the vertex capacity (and grows the edge array to match).
-			if err := g.restructure(max(n, 2*len(ep.meta)), 0); err != nil {
+			// No compaction here: this path runs without snapMu, so the
+			// outstanding-snapshot gate cannot be trusted.
+			if err := g.restructure(max(n, 2*len(ep.meta)), 0, false); err != nil {
 				return err
 			}
 			continue
@@ -309,6 +377,13 @@ func (w *Writer) insert(src, dst graph.V, tomb bool) error {
 	}
 	g := w.g
 	if need := int(max(src, dst)) + 1; need > g.NumVertices() {
+		if tomb {
+			// Deletes never grow the id space (same rule as applyBatch):
+			// an edge naming a vertex that was never inserted cannot
+			// have a live copy, and a bogus delete must not trigger a
+			// stop-the-world restructure.
+			return fmt.Errorf("delete %d->%d: %w", src, dst, ErrNoEdge)
+		}
 		if err := g.EnsureVertices(need); err != nil {
 			return err
 		}
@@ -323,8 +398,9 @@ func (w *Writer) insert(src, dst graph.V, tomb bool) error {
 		start := m.start.Load()
 		pos := start + 1 + arr
 		if pos >= ep.slots {
-			// The run ends at the array boundary: grow.
-			if err := g.restructure(len(ep.meta), 2*ep.slots); err != nil {
+			// The run ends at the array boundary: grow (compacting on
+			// the way when admissible — the scalar path holds snapMu).
+			if err := g.restructure(len(ep.meta), 2*ep.slots, true); err != nil {
 				return err
 			}
 			continue
@@ -336,9 +412,9 @@ func (w *Writer) insert(src, dst graph.V, tomb bool) error {
 			l.Unlock()
 			continue
 		}
-		if tomb && m.live.Load() <= 0 {
+		if tomb && (m.live.Load() <= 0 || g.liveMatches(ep, m, dst) <= 0) {
 			l.Unlock()
-			return ErrNoEdge
+			return fmt.Errorf("delete %d->%d: %w", src, dst, ErrNoEdge)
 		}
 		val := dst
 		if tomb {
@@ -407,6 +483,48 @@ func (w *Writer) insert(src, dst graph.V, tomb bool) error {
 		}
 		return nil
 	}
+}
+
+// liveMatches counts the vertex's live copies of dst — array-run and
+// edge-log occurrences minus tombstones for the same destination. It
+// validates a delete: a tombstone may only be appended while at least
+// one live match exists, which keeps every tombstone matched to an
+// edge and makes compaction's pair-dropping exhaustive. Called with a
+// section lock of the vertex held (any section lock pins the vertex's
+// run: a rebalance window moving it must lock every section the run
+// touches, and the epoch cannot be republished).
+func (g *Graph) liveMatches(ep *epoch, m *vertexMeta, dst graph.V) int64 {
+	arr, lg := unpackCounts(m.counts.Load())
+	start := m.start.Load()
+	var n int64
+	raw := g.a.Slice(ep.slotOff(start+1), arr*slotBytes)
+	for i := uint64(0); i < arr; i++ {
+		val := binary.LittleEndian.Uint32(raw[i*slotBytes:])
+		switch {
+		case val&idMask != uint32(dst):
+		case isTomb(val):
+			n--
+		case isEdge(val):
+			n++
+		}
+	}
+	cur := m.elHead.Load()
+	for i := uint32(0); i < lg; i++ {
+		if cur == noEntry {
+			panic("dgap: edge-log chain shorter than count")
+		}
+		off := ep.entryOff(cur)
+		val := g.a.ReadU32(off + 4)
+		if val&idMask == uint32(dst) {
+			if isTomb(val) {
+				n--
+			} else {
+				n++
+			}
+		}
+		cur = g.a.ReadU32(off + 8)
+	}
+	return n
 }
 
 // checkTriggers decides, after an insert into section sec, whether a

@@ -1,6 +1,7 @@
 package dgap
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -205,8 +206,27 @@ func TestDeleteEdge(t *testing.T) {
 
 func TestDeleteNonexistentEdge(t *testing.T) {
 	g := newTestGraph(t, smallConfig(8, 32))
-	if err := g.DeleteEdge(1, 2); err != ErrNoEdge {
+	if err := g.DeleteEdge(1, 2); !errors.Is(err, ErrNoEdge) {
 		t.Errorf("err = %v, want ErrNoEdge", err)
+	}
+	if err := g.DeleteEdge(1, 2); !errors.Is(err, graph.ErrEdgeNotFound) {
+		t.Errorf("err = %v, want to wrap graph.ErrEdgeNotFound", err)
+	}
+	// A vertex with live edges still rejects a delete for a destination
+	// it has no live copy of (live-match validation, not just live>0).
+	mustInsert(t, g, 1, 3)
+	if err := g.DeleteEdge(1, 2); !errors.Is(err, ErrNoEdge) {
+		t.Errorf("delete of unmatched dst: %v, want ErrNoEdge", err)
+	}
+	// A delete naming a vertex beyond the id space is rejected without
+	// growing the graph: no stop-the-world restructure for a bogus op.
+	nv, resizes := g.NumVertices(), g.Stats().Resizes
+	if err := g.DeleteEdge(1_000_000, 2); !errors.Is(err, ErrNoEdge) {
+		t.Errorf("out-of-range delete: %v, want ErrNoEdge", err)
+	}
+	if g.NumVertices() != nv || g.Stats().Resizes != resizes {
+		t.Errorf("out-of-range delete grew the graph: %d vertices (was %d), %d resizes (was %d)",
+			g.NumVertices(), nv, g.Stats().Resizes, resizes)
 	}
 }
 

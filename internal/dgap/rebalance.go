@@ -94,11 +94,95 @@ func (ep *epoch) addRunCounts(start, length uint64) {
 	}
 }
 
+// compactOK reports whether tombstone compaction may run right now:
+// enabled by configuration and no snapshot outstanding. Dropping a
+// cancelled (edge, tombstone) pair shortens a vertex's physical entry
+// sequence, which would change what an existing snapshot's immutable
+// n-entry prefix decodes to — so compaction is deferred while any
+// snapshot is alive. Callers hold snapMu (shared or exclusive), which
+// excludes ConsistentView, so no new snapshot can appear after the
+// check.
+func (g *Graph) compactOK() bool {
+	return !g.cfg.NoCompaction && g.snaps.Load() == 0
+}
+
+// compactRun drops cancelled (edge, tombstone) pairs from a staged run,
+// in place. For each destination, min(#tombstones, #edges) pairs are
+// removed — the earliest edge occurrences, matching the kill-table
+// cancellation order snapshots apply — so the visible neighbor sequence
+// of the compacted run is identical to the uncompacted one. Unmatched
+// tombstones (none arise through the validated delete path, but a
+// pre-validation image may carry them) are kept, preserving their
+// future cancellation semantics exactly.
+func compactRun(edges []uint32) (out []uint32, pairs int64, tombsLeft bool) {
+	var tombs map[uint32]int64
+	for _, v := range edges {
+		if isTomb(v) {
+			if tombs == nil {
+				tombs = make(map[uint32]int64)
+			}
+			tombs[v&idMask]++
+		}
+	}
+	if tombs == nil {
+		return edges, 0, false
+	}
+	ecnt := make(map[uint32]int64, len(tombs))
+	for _, v := range edges {
+		if d := v & idMask; isEdge(v) && tombs[d] > 0 {
+			ecnt[d]++
+		}
+	}
+	drop := make(map[uint32]int64, len(tombs))
+	for d, t := range tombs {
+		m := min(t, ecnt[d])
+		drop[d] = m
+		pairs += m
+	}
+	dropT := make(map[uint32]int64, len(drop))
+	for d, m := range drop {
+		dropT[d] = m
+	}
+	w := 0
+	for _, v := range edges {
+		d := v & idMask
+		switch {
+		case isEdge(v) && drop[d] > 0:
+			drop[d]--
+			continue
+		case isTomb(v):
+			if dropT[d] > 0 {
+				dropT[d]--
+				continue
+			}
+			tombsLeft = true
+		}
+		edges[w] = v
+		w++
+	}
+	return edges[:w], pairs, tombsLeft
+}
+
+// Compact forces one full restructure with tombstone compaction: every
+// vertex's cancelled (edge, tombstone) pairs are physically dropped and
+// the edge array is re-sized to the surviving entries. Subject to the
+// outstanding-snapshot gate — while any snapshot is alive the
+// restructure still merges but drops nothing (check Compaction() to see
+// whether pairs were reclaimed). Organic compaction also happens on
+// every rebalance a churning section triggers; Compact exists for
+// deterministic reclamation at a workload boundary.
+func (g *Graph) Compact() error {
+	g.snapMu.RLock()
+	defer g.snapMu.RUnlock()
+	return g.restructure(len(g.ep.Load().meta), 0, true)
+}
+
 // rebalance restores the density invariant around section sec after an
 // insert tripped a trigger. It climbs the PMA tree looking for the
 // smallest window that can absorb the section (merging edge-log entries
 // of every moved vertex), and falls back to a full restructure when even
-// the root window cannot.
+// the root window cannot. Every caller holds snapMu.RLock, which the
+// compaction gate relies on.
 func (g *Graph) rebalance(w *Writer, sec int, trig rebalTrigger) error {
 	ep := g.ep.Load()
 	if sec >= ep.nSec {
@@ -111,7 +195,7 @@ func (g *Graph) rebalance(w *Writer, sec int, trig rebalTrigger) error {
 	if done {
 		return nil
 	}
-	return g.restructure(len(ep.meta), 2*ep.slots)
+	return g.restructure(len(ep.meta), 2*ep.slots, true)
 }
 
 // tryRebalance attempts windows of increasing size. It returns done=false
@@ -242,7 +326,15 @@ func (g *Graph) rebalanceWindow(w *Writer, ep *epoch, lo, hi, lockHi, trigSec in
 	}
 
 	// Stage the final layout: array entries then chain entries, keeping
-	// per-vertex insertion order (the prefix property snapshots rely on).
+	// per-vertex insertion order (the prefix property snapshots rely
+	// on). When compaction is admissible, cancelled (edge, tombstone)
+	// pairs are dropped from each staged run instead of being copied —
+	// the rebalance was going to rewrite the window anyway, so the
+	// reclamation is free — and vertices left tombstone-free get their
+	// flag cleared, restoring the snapshot zero-copy fast path.
+	compact := g.compactOK()
+	var dropped int64
+	var tombsLeft map[graph.V]bool
 	runs := make([]vertexRun, 0, lastV-firstV)
 	var clear []uint32 // global entry indices to zero after the move
 	for v := firstV; v < lastV; v++ {
@@ -252,7 +344,21 @@ func (g *Graph) rebalanceWindow(w *Writer, ep *epoch, lo, hi, lockHi, trigSec in
 		chrono, idxs := g.chainDsts(ep, m)
 		edges = append(edges, chrono...)
 		clear = append(clear, idxs...)
+		if compact && m.flags.Load()&flagHasTomb != 0 {
+			var pairs int64
+			var left bool
+			edges, pairs, left = compactRun(edges)
+			dropped += pairs
+			if tombsLeft == nil {
+				tombsLeft = make(map[graph.V]bool)
+			}
+			tombsLeft[v] = left
+		}
 		runs = append(runs, vertexRun{id: v, edges: edges})
+	}
+	if dropped > 0 {
+		g.compactions.Add(1)
+		g.pairsDropped.Add(dropped)
 	}
 
 	// Crash protection: back up the effective window plus the used
@@ -341,6 +447,16 @@ func (g *Graph) rebalanceWindow(w *Writer, ep *epoch, lo, hi, lockHi, trigSec in
 		m.start.Store(starts[i])
 		m.counts.Store(packCounts(uint64(len(r.edges)), 0))
 		m.elHead.Store(noEntry)
+		if compact && m.flags.Load()&flagHasTomb != 0 && !tombsLeft[r.id] {
+			m.flags.Store(m.flags.Load() &^ flagHasTomb)
+		}
+		if g.cow != nil {
+			// Compaction changes physical entry counts, which the CoW
+			// degree cache mirrors (merges alone preserve totals, so
+			// this only matters on compacted vertices — updating all
+			// moved ones is simpler and just as correct).
+			g.cow.update(r.id, uint64(len(r.edges)), m.live.Load())
+		}
 		g.mirrorVertex(ep, r.id)
 	}
 	for s := lo; s <= hi; s++ {
@@ -427,11 +543,14 @@ func (g *Graph) scanSegment(ep *epoch, sec int) (live, used uint32) {
 }
 
 // restructure is the stop-the-world growth path: it rebuilds the whole
-// graph into fresh, larger regions (merging every edge-log chain), then
+// graph into fresh regions (merging every edge-log chain), then
 // atomically switches the persistent root record. Used when the root
-// window is too dense (array resize) and when the vertex capacity is
-// exceeded.
-func (g *Graph) restructure(vertCap int, minSlots uint64) error {
+// window is too dense (array resize), when the vertex capacity is
+// exceeded, and — with compact set — by Compact. compact additionally
+// drops cancelled (edge, tombstone) pairs while staging, subject to
+// the outstanding-snapshot gate; callers passing compact=true hold
+// snapMu (EnsureVertices does not, so it passes false).
+func (g *Graph) restructure(vertCap int, minSlots uint64, compact bool) error {
 	for {
 		ep := g.ep.Load()
 		for i := range ep.locks {
@@ -441,7 +560,8 @@ func (g *Graph) restructure(vertCap int, minSlots uint64) error {
 			unlockRange(ep, 0, ep.nSec-1)
 			continue
 		}
-		if len(ep.meta) >= vertCap && (minSlots == 0 || ep.slots >= minSlots) {
+		compact = compact && g.compactOK()
+		if !compact && len(ep.meta) >= vertCap && (minSlots == 0 || ep.slots >= minSlots) {
 			// A concurrent restructure already satisfied the request.
 			unlockRange(ep, 0, ep.nSec-1)
 			return nil
@@ -450,6 +570,8 @@ func (g *Graph) restructure(vertCap int, minSlots uint64) error {
 			vertCap = len(ep.meta)
 		}
 
+		var dropped int64
+		var tombsLeft map[graph.V]bool
 		runs := make([]vertexRun, vertCap)
 		var totalEdges uint64
 		for v := 0; v < len(ep.meta); v++ {
@@ -459,11 +581,25 @@ func (g *Graph) restructure(vertCap int, minSlots uint64) error {
 			chrono, _ := g.chainDsts(ep, m)
 			edges = append(edges, chrono...)
 			g.merges.Add(int64(len(chrono))) // restructure merges every chain
+			if compact && m.flags.Load()&flagHasTomb != 0 {
+				var pairs int64
+				var left bool
+				edges, pairs, left = compactRun(edges)
+				dropped += pairs
+				if tombsLeft == nil {
+					tombsLeft = make(map[graph.V]bool)
+				}
+				tombsLeft[graph.V(v)] = left
+			}
 			runs[v] = vertexRun{id: graph.V(v), edges: edges}
 			totalEdges += uint64(len(edges))
 		}
 		for v := len(ep.meta); v < vertCap; v++ {
 			runs[v] = vertexRun{id: graph.V(v)}
+		}
+		if dropped > 0 {
+			g.compactions.Add(1)
+			g.pairsDropped.Add(dropped)
 		}
 
 		need := uint64(vertCap) + totalEdges
@@ -496,12 +632,24 @@ func (g *Graph) restructure(vertCap int, minSlots uint64) error {
 			nm.elHead.Store(noEntry)
 			if v < len(ep.meta) {
 				nm.live.Store(ep.meta[v].live.Load())
-				nm.flags.Store(ep.meta[v].flags.Load())
+				flags := ep.meta[v].flags.Load()
+				if compact && flags&flagHasTomb != 0 && !tombsLeft[graph.V(v)] {
+					flags &^= flagHasTomb
+				}
+				nm.flags.Store(flags)
 			}
 			nep.addRunCounts(starts[v], 1+uint64(len(runs[v].edges)))
 		}
 		if g.cow != nil {
 			g.cow.grow(nep.meta)
+			if compact {
+				// Physical counts changed for compacted vertices; refresh
+				// the degree cache from the new metadata.
+				for v := range nep.meta {
+					arr, lg := unpackCounts(nep.meta[v].counts.Load())
+					g.cow.update(graph.V(v), arr+uint64(lg), nep.meta[v].live.Load())
+				}
+			}
 		}
 		g.ep.Store(nep)
 		unlockRange(ep, 0, ep.nSec-1)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dgap/internal/graph"
 )
@@ -34,6 +35,11 @@ type Snapshot struct {
 
 	// Copy-on-Write degree cache (Config.CoWDegreeCache): shared pages.
 	pages []*degPage
+
+	// released flips when the snapshot's outstanding-snapshot reference
+	// is returned (explicitly via ReleaseSnapshot, or by the GC
+	// finalizer installed at creation).
+	released atomic.Bool
 }
 
 var (
@@ -72,8 +78,34 @@ func (g *Graph) ConsistentView() *Snapshot {
 		s.live[v] = uint32(lv)
 		s.edges += lv
 	}
+	g.track(s)
 	g.snapMu.Unlock()
 	return s
+}
+
+// track registers a new snapshot with the outstanding-snapshot counter
+// that gates tombstone compaction. Called with snapMu held (exclusive),
+// so the count a compacting rebalance reads under snapMu.RLock can
+// never miss a snapshot mid-creation. The finalizer backstops callers
+// that never release explicitly (analytics kernels, tests): the
+// snapshot merely delays compaction until collected, it never blocks
+// correctness.
+func (g *Graph) track(s *Snapshot) {
+	g.snaps.Add(1)
+	runtime.SetFinalizer(s, (*Snapshot).ReleaseSnapshot)
+}
+
+// ReleaseSnapshot returns the snapshot's reference in the
+// outstanding-snapshot count, letting tombstone compaction proceed once
+// no snapshot is alive. Idempotent; the snapshot must not be read
+// afterwards (its immutable-prefix contract ends here — a later
+// compaction may shorten the physical sequences it indexes). The serve
+// tier's lease drop calls this through its SnapshotReleaser interface;
+// other callers may ignore it and let the GC finalizer do the same.
+func (s *Snapshot) ReleaseSnapshot() {
+	if s.released.CompareAndSwap(false, true) {
+		s.g.snaps.Add(-1)
+	}
 }
 
 // Snapshot implements graph.System. It uses the CoW degree cache when
@@ -211,22 +243,11 @@ func (s *Snapshot) iterateWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64
 			vals = append(vals, chain[i])
 		}
 	}
-	kills := make(map[uint32]int)
-	for _, v := range vals {
-		if isTomb(v) {
-			kills[v&idMask]++
-		}
-	}
-	for _, v := range vals {
-		if isTomb(v) {
-			continue
-		}
-		d := v & idMask
-		if kills[d] > 0 {
-			kills[d]--
-			continue
-		}
-		if !fn(graph.V(d)) {
+	// Entries in a run are edges or tombstones only (never pivots or
+	// empty slots), so the shared kill-table pass applies directly —
+	// graph.V aliases uint32 and tombBit is graph.TombBit.
+	for _, d := range graph.FilterTombs(vals, 0) {
+		if !fn(d) {
 			return
 		}
 	}
@@ -413,10 +434,9 @@ func (s *Snapshot) appendChain(ep *epoch, m *vertexMeta, rem uint64, lg uint32, 
 }
 
 // appendWithTombs is the bulk counterpart of iterateWithTombs: the raw
-// entry values are staged in buf itself, then compacted in place with
-// each tombstone cancelling one earlier occurrence of its destination.
-// Only the kill table allocates, and only on vertices that actually have
-// tombstones.
+// entry values are staged in buf itself, then compacted by the shared
+// kill-table pass (graph.FilterTombs). Only the kill table allocates,
+// and only on vertices that actually have tombstones.
 func (s *Snapshot) appendWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64, lg uint32, buf []graph.V) []graph.V {
 	g := s.g
 	base := len(buf)
@@ -424,29 +444,5 @@ func (s *Snapshot) appendWithTombs(ep *epoch, m *vertexMeta, start, n, k uint64,
 	if rem := n - k; rem > 0 {
 		buf = s.appendChain(ep, m, rem, lg, buf)
 	}
-	vals := buf[base:]
-	var kills map[uint32]int
-	for _, r := range vals {
-		if isTomb(uint32(r)) {
-			if kills == nil {
-				kills = make(map[uint32]int)
-			}
-			kills[uint32(r)&idMask]++
-		}
-	}
-	w := base
-	for _, r := range vals {
-		rv := uint32(r)
-		if isTomb(rv) {
-			continue
-		}
-		d := rv & idMask
-		if kills[d] > 0 {
-			kills[d]--
-			continue
-		}
-		buf[w] = graph.V(d)
-		w++
-	}
-	return buf[:w]
+	return graph.FilterTombs(buf, base)
 }

@@ -1,0 +1,296 @@
+package graph_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dgap/internal/graph"
+)
+
+// churnSystems builds every dynamic backend empty and returns the ones
+// that support deletion (gated on graph.Deletes, like the conformance
+// check) alongside the full map.
+func churnSystems(t *testing.T, nVert int) map[string]graph.System {
+	t.Helper()
+	out := map[string]graph.System{}
+	for name, sys := range buildAll(t, nVert, nil) {
+		if graph.Deletes(sys) != nil {
+			out[name] = sys
+		}
+	}
+	if len(out) < 4 {
+		t.Fatalf("expected >= 4 deleting backends, have %d", len(out))
+	}
+	return out
+}
+
+// adjacencyMultiset summarizes a snapshot's per-vertex destination
+// counts.
+func adjacencyMultiset(s graph.Snapshot) []map[graph.V]int {
+	return multiset(graph.Adjacency(s))
+}
+
+// checkAgainstModel asserts a snapshot exposes exactly the model's live
+// multiset, with Degree and NumEdges consistent.
+func checkAgainstModel(t *testing.T, name string, s graph.Snapshot, model map[graph.Edge]int) {
+	t.Helper()
+	got := adjacencyMultiset(s)
+	var want int64
+	for e, c := range model {
+		want += int64(c)
+		if int(e.Src) < len(got) && got[e.Src][e.Dst] != c {
+			t.Fatalf("%s: edge %d->%d: %d copies, want %d", name, e.Src, e.Dst, got[e.Src][e.Dst], c)
+		}
+		if c > 0 && int(e.Src) >= len(got) {
+			t.Fatalf("%s: vertex %d missing", name, e.Src)
+		}
+	}
+	var visible int64
+	for v := range got {
+		deg := 0
+		for e, c := range got[v] {
+			visible += int64(c)
+			deg += c
+			if model[graph.Edge{Src: graph.V(v), Dst: e}] != c {
+				t.Fatalf("%s: phantom edge %d->%d (%d copies)", name, v, e, c)
+			}
+		}
+		if s.Degree(graph.V(v)) != deg {
+			t.Fatalf("%s: vertex %d Degree=%d, iterated %d", name, v, s.Degree(graph.V(v)), deg)
+		}
+	}
+	if visible != want {
+		t.Fatalf("%s: %d visible edges, model has %d", name, visible, want)
+	}
+	if s.NumEdges() != want {
+		t.Fatalf("%s: NumEdges=%d, model has %d", name, s.NumEdges(), want)
+	}
+}
+
+// TestChurnConformanceScalar interleaves scalar inserts and deletes —
+// duplicates, delete-before-insert, delete-then-reinsert — across every
+// deleting backend and checks each against a reference multiset, plus
+// the uniform rejection semantics for unmatched deletes.
+func TestChurnConformanceScalar(t *testing.T) {
+	const V = 48
+	for name, sys := range churnSystems(t, V) {
+		t.Run(name, func(t *testing.T) {
+			del := sys.(graph.Deleter)
+
+			// Delete-before-insert: an edge with no live copy is
+			// rejected, on an empty vertex and on one with other live
+			// edges.
+			if err := del.DeleteEdge(1, 2); !errors.Is(err, graph.ErrEdgeNotFound) {
+				t.Fatalf("delete on empty vertex: %v, want ErrEdgeNotFound", err)
+			}
+			mustIns := func(s, d graph.V) {
+				t.Helper()
+				if err := sys.InsertEdge(s, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustDel := func(s, d graph.V) {
+				t.Helper()
+				if err := del.DeleteEdge(s, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustIns(1, 3)
+			if err := del.DeleteEdge(1, 2); !errors.Is(err, graph.ErrEdgeNotFound) {
+				t.Fatalf("delete of unmatched dst: %v, want ErrEdgeNotFound", err)
+			}
+			// The rejected delete must not poison a later insert: the
+			// edge inserted after it stays visible.
+			mustIns(1, 2)
+			model := map[graph.Edge]int{{Src: 1, Dst: 3}: 1, {Src: 1, Dst: 2}: 1}
+			checkAgainstModel(t, name, sys.Snapshot(), model)
+
+			// Duplicates: two copies, one delete cancels exactly one.
+			mustIns(2, 5)
+			mustIns(2, 5)
+			mustDel(2, 5)
+			model[graph.Edge{Src: 2, Dst: 5}] = 1
+
+			// Delete-then-reinsert: the old tombstone does not cancel
+			// the fresh copy.
+			mustIns(3, 7)
+			mustDel(3, 7)
+			mustIns(3, 7)
+			model[graph.Edge{Src: 3, Dst: 7}] = 1
+			checkAgainstModel(t, name, sys.Snapshot(), model)
+
+			// Randomized churn against the model.
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 600; i++ {
+				e := graph.Edge{Src: graph.V(rng.Intn(V)), Dst: graph.V(rng.Intn(V))}
+				if rng.Intn(3) == 0 && model[e] > 0 {
+					mustDel(e.Src, e.Dst)
+					model[e]--
+				} else {
+					mustIns(e.Src, e.Dst)
+					model[e]++
+				}
+			}
+			s := sys.Snapshot()
+			checkAgainstModel(t, name, s, model)
+			// Bulk and callback read paths agree through tombstones.
+			checkBulkMatchesCallback(t, s)
+		})
+	}
+}
+
+// TestChurnConformanceBatched drives the same mixed stream through the
+// batched paths — InsertBatch/DeleteBatch segments with duplicates and
+// delete-then-reinsert across batch boundaries — and checks the final
+// multiset against a scalar-driven twin's model.
+func TestChurnConformanceBatched(t *testing.T) {
+	const V = 48
+	rng := rand.New(rand.NewSource(7))
+	model := map[graph.Edge]int{}
+	type seg struct {
+		del   bool
+		edges []graph.Edge
+	}
+	var segs []seg
+	for b := 0; b < 30; b++ {
+		del := b%3 == 2 // every third segment deletes
+		n := 20 + rng.Intn(40)
+		s := seg{del: del}
+		for i := 0; i < n; i++ {
+			e := graph.Edge{Src: graph.V(rng.Intn(V)), Dst: graph.V(rng.Intn(V))}
+			if del {
+				if model[e] <= 0 {
+					continue // only delete live edges
+				}
+				model[e]--
+			} else {
+				if rng.Intn(4) == 0 && len(s.edges) > 0 {
+					e = s.edges[rng.Intn(len(s.edges))] // in-batch duplicate
+				}
+				model[e]++
+			}
+			s.edges = append(s.edges, e)
+		}
+		segs = append(segs, s)
+	}
+	for name, sys := range churnSystems(t, V) {
+		t.Run(name, func(t *testing.T) {
+			bw := graph.Batch(sys)
+			bd := graph.Deletes(sys)
+			for _, s := range segs {
+				if len(s.edges) == 0 {
+					continue
+				}
+				var err error
+				if s.del {
+					err = bd.DeleteBatch(s.edges)
+				} else {
+					err = bw.InsertBatch(s.edges)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			s := sys.Snapshot()
+			checkAgainstModel(t, name, s, model)
+			checkBulkMatchesCallback(t, s)
+		})
+	}
+}
+
+// TestChurnSnapshotIsolation extends the cross-generation pinning the
+// DGAP-only test established to every deleting backend: a snapshot
+// taken before a delete keeps seeing the edge, the next generation does
+// not, and a batch of deletes landing mid-generation never changes an
+// already-taken snapshot.
+func TestChurnSnapshotIsolation(t *testing.T) {
+	const V = 16
+	for name, sys := range churnSystems(t, V) {
+		t.Run(name, func(t *testing.T) {
+			for _, e := range []graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 1, Dst: 2}, {Src: 4, Dst: 5}} {
+				if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := sys.Snapshot()
+			if err := graph.Deletes(sys).DeleteBatch([]graph.Edge{{Src: 1, Dst: 2}, {Src: 4, Dst: 5}}); err != nil {
+				t.Fatal(err)
+			}
+			after := sys.Snapshot()
+			if got := countOf(dstsOf(before, 1), 2); got != 2 {
+				t.Errorf("pre-delete snapshot sees %d copies of 1->2, want 2", got)
+			}
+			if before.Degree(4) != 1 {
+				t.Errorf("pre-delete snapshot Degree(4)=%d, want 1", before.Degree(4))
+			}
+			if got := countOf(dstsOf(after, 1), 2); got != 1 {
+				t.Errorf("post-delete snapshot sees %d copies of 1->2, want 1", got)
+			}
+			if after.Degree(4) != 0 {
+				t.Errorf("post-delete snapshot Degree(4)=%d, want 0", after.Degree(4))
+			}
+			checkBulkMatchesCallback(t, before)
+			checkBulkMatchesCallback(t, after)
+		})
+	}
+}
+
+func dstsOf(s graph.Snapshot, v graph.V) []graph.V {
+	var out []graph.V
+	s.Neighbors(v, func(d graph.V) bool { out = append(out, d); return true })
+	return out
+}
+
+// failingDeleter accepts deletes until failAt have landed, then fails —
+// a Deleter-only system (no native batch paths), so graph.Deletes hands
+// back the scalar fallback adapter.
+type failingDeleter struct {
+	failingSys
+	deleted int
+}
+
+func (f *failingDeleter) DeleteEdge(src, dst graph.V) error {
+	if f.deleted >= f.failAt {
+		return f.cause
+	}
+	f.deleted++
+	return nil
+}
+
+// TestDeleteFallbackNamesFailingEdge: the scalar delete fallback wraps
+// a mid-batch failure in graph.BatchError carrying the failing edge's
+// index and value, exactly as the insert fallback does — the regression
+// this PR fixes (delete-path errors used to bypass the wrapping).
+func TestDeleteFallbackNamesFailingEdge(t *testing.T) {
+	cause := errors.New("backend refused")
+	sys := &failingDeleter{failingSys: failingSys{failAt: 3, cause: cause}}
+	batch := make([]graph.Edge, 7)
+	for i := range batch {
+		batch[i] = graph.Edge{Src: graph.V(i), Dst: graph.V(i + 50)}
+	}
+	bd := graph.Deletes(sys)
+	if bd == nil {
+		t.Fatal("graph.Deletes returned nil for a Deleter")
+	}
+	err := bd.DeleteBatch(batch)
+	if err == nil {
+		t.Fatal("batch over a failing deleter succeeded")
+	}
+	var be *graph.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T does not wrap graph.BatchError: %v", err, err)
+	}
+	if be.Index != 3 {
+		t.Errorf("BatchError.Index = %d, want 3", be.Index)
+	}
+	if be.Edge != batch[3] {
+		t.Errorf("BatchError.Edge = %v, want %v", be.Edge, batch[3])
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("BatchError does not unwrap to the cause: %v", err)
+	}
+	if sys.deleted != be.Index {
+		t.Errorf("applied prefix %d does not match Index %d", sys.deleted, be.Index)
+	}
+}

@@ -14,24 +14,36 @@ import (
 // TestDeleterConformance is the delete-support conformance check, gated
 // on each system's graph.Deleter assertion: systems that implement it
 // must provide tombstone semantics with snapshot isolation across
-// generations; systems that do not are thereby documented as rejecting
-// deletes. Today DGAP is the only implementor — BAL, LLAMA, GraphOne
-// and XPGraph are append-only ports (as in the paper's evaluation) and
-// CSR is static — so if a baseline grows a DeleteEdge, this test fails
-// until its semantics are covered here.
+// generations (covered by this file and churn_conformance_test.go);
+// systems that do not are thereby documented as rejecting deletes.
+// DGAP, BAL, GraphOne and XPGraph support deletion — each natively on
+// the batched path too — while LLAMA's append-only levels and the
+// static CSR reject it, so graph.Deletes must return nil for them. If
+// a backend's support changes, this test fails until the conformance
+// suite covers the new state.
 func TestDeleterConformance(t *testing.T) {
 	const V = 32
 	edges := graphgen.Uniform(V, 6, 19)
 	for name, sys := range buildAll(t, V, edges) {
-		_, ok := sys.(graph.Deleter)
+		_, scalar := sys.(graph.Deleter)
+		_, batched := sys.(graph.BatchDeleter)
 		switch name {
-		case "dgap":
-			if !ok {
-				t.Errorf("dgap must implement graph.Deleter")
+		case "dgap", "bal", "graphone", "xpgraph":
+			if !scalar {
+				t.Errorf("%s must implement graph.Deleter", name)
+			}
+			if !batched {
+				t.Errorf("%s must implement graph.BatchDeleter natively", name)
+			}
+			if graph.Deletes(sys) == nil {
+				t.Errorf("graph.Deletes(%s) = nil for a deleting system", name)
 			}
 		default:
-			if ok {
-				t.Errorf("%s unexpectedly implements graph.Deleter: add its delete semantics to this conformance test", name)
+			if scalar || batched {
+				t.Errorf("%s unexpectedly implements deletion: add its semantics to the conformance suite", name)
+			}
+			if graph.Deletes(sys) != nil {
+				t.Errorf("graph.Deletes(%s) != nil for a non-deleting system", name)
 			}
 		}
 	}
@@ -41,6 +53,9 @@ func TestDeleterConformance(t *testing.T) {
 	}
 	if _, ok := any(g).(graph.Deleter); ok {
 		t.Error("static CSR unexpectedly implements graph.Deleter")
+	}
+	if graph.Deletes(g) != nil {
+		t.Error("graph.Deletes(csr) != nil for the static baseline")
 	}
 }
 

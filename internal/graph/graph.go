@@ -26,9 +26,19 @@
 //
 //	Neighbors   ↔ InsertEdge   (scalar, universal)
 //	Bulk/Sweep  ↔ Batch        (bulk, amortized where implemented)
+//
+// Deletion follows the same two-tier shape, but support is optional:
+// Deleter is the scalar path, BatchDeleter the bulk path, and Deletes
+// the uniform entry point (native, scalar fallback, or nil for systems
+// that reject deletes outright — the static CSR and LLAMA's
+// append-only levels). A delete cancels one live (src, dst) edge;
+// deleting an edge with no live copy fails with ErrEdgeNotFound.
 package graph
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // V is a vertex identifier. DGAP stores destination ids in 4 bytes and
 // reserves the top two bits for the pivot and tombstone flags, so valid
@@ -194,14 +204,121 @@ func (e *BatchError) Error() string {
 
 func (e *BatchError) Unwrap() error { return e.Err }
 
+// ErrEdgeNotFound reports a delete naming an edge with no live copy:
+// deletes cancel exactly one live (src, dst) occurrence, so a delete
+// that matches nothing is an error, not a no-op (systems wrap this
+// sentinel; match with errors.Is).
+var ErrEdgeNotFound = errors.New("graph: no live edge to delete")
+
+// ErrDeletesUnsupported reports a delete routed at a system that does
+// not implement deletion at all (CSR is static, LLAMA's levels are
+// append-only).
+var ErrDeletesUnsupported = errors.New("graph: system does not support deletes")
+
 // Deleter is implemented by systems that support edge deletion.
+// DeleteEdge cancels one live (src, dst) edge — snapshots taken before
+// the delete keep seeing it; snapshots taken after do not — and fails
+// with an error wrapping ErrEdgeNotFound when no live copy exists.
 type Deleter interface {
 	DeleteEdge(src, dst V) error
+}
+
+// BatchDeleter is the bulk delete path, the delete-side twin of
+// BatchWriter: one call cancels a whole edge slice, letting a backend
+// amortize locking and durability fencing across the batch (DGAP
+// groups tombstones by PMA section exactly as InsertBatch groups
+// inserts). The same partial-application contract applies: on error an
+// arbitrary subset of the batch may have been applied unless the
+// implementation documents stream order.
+type BatchDeleter interface {
+	DeleteBatch(edges []Edge) error
+}
+
+// BatchMutator combines both bulk write paths; the workload router's
+// mixed insert/delete streams run against this surface.
+type BatchMutator interface {
+	BatchWriter
+	BatchDeleter
+}
+
+// Deletes returns sys's bulk delete path: sys itself when it
+// implements BatchDeleter natively, a scalar-loop adapter over its
+// Deleter otherwise, or nil when sys cannot delete at all — the
+// delete-side twin of Batch, except that rejection is a real state
+// here (callers must check for nil rather than assume support).
+func Deletes(sys System) BatchDeleter {
+	if bd, ok := sys.(BatchDeleter); ok {
+		return bd
+	}
+	if d, ok := sys.(Deleter); ok {
+		return scalarDeletes{d}
+	}
+	return nil
+}
+
+type scalarDeletes struct{ d Deleter }
+
+// DeleteBatch applies the batch through one DeleteEdge per edge,
+// wrapping a failure in BatchError exactly as the insert fallback does:
+// the index names the failing edge and, because the fallback applies in
+// stream order, the applied prefix (so workload.ShardError reports the
+// failing edge index for deletes too).
+func (s scalarDeletes) DeleteBatch(edges []Edge) error {
+	for i, e := range edges {
+		if err := s.d.DeleteEdge(e.Src, e.Dst); err != nil {
+			return &BatchError{Index: i, Edge: e, Err: err}
+		}
+	}
+	return nil
 }
 
 // Closer is implemented by systems with a graceful-shutdown path.
 type Closer interface {
 	Close() error
+}
+
+// TombBit marks a raw adjacency word as a tombstone. Vertex ids stay
+// below 1<<30 (MaxV), leaving the bit free; every tombstone-appending
+// backend (DGAP's PM slots, BAL's blocks, chunkadj's chunks) shares
+// this encoding so the kill-table filter below applies uniformly.
+const TombBit = uint32(1) << 30
+
+// FilterTombs compacts staged raw adjacency words in place: buf[base:]
+// holds a vertex's visible physical entries in order (edges, and
+// tombstones flagged with TombBit); each tombstone is removed together
+// with one earliest remaining occurrence of its destination, and the
+// truncated buffer of surviving live destinations is returned. This is
+// the one kill-table pass every tombstone-filtering snapshot read path
+// uses — the semantics the churn conformance suite pins across
+// backends, so a change here changes all of them together.
+func FilterTombs(buf []V, base int) []V {
+	var kills map[uint32]int
+	for _, r := range buf[base:] {
+		if uint32(r)&TombBit != 0 {
+			if kills == nil {
+				kills = make(map[uint32]int)
+			}
+			kills[uint32(r)&uint32(MaxV)]++
+		}
+	}
+	if kills == nil {
+		return buf
+	}
+	w := base
+	for _, r := range buf[base:] {
+		rv := uint32(r)
+		if rv&TombBit != 0 {
+			continue
+		}
+		d := rv & uint32(MaxV)
+		if kills[d] > 0 {
+			kills[d]--
+			continue
+		}
+		buf[w] = V(d)
+		w++
+	}
+	return buf[:w]
 }
 
 // GroupBySrc buckets an edge slice by source vertex, preserving stream

@@ -12,6 +12,7 @@ package graphone
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"time"
 
@@ -130,6 +131,64 @@ func busy(d time.Duration) {
 	t0 := time.Now()
 	for time.Since(t0) < d {
 	}
+}
+
+// delTag marks a durable-log record as a deletion: vertex ids stay
+// below 1<<30, so the top bit of the Src word is free. The tag is set
+// when the record is staged and flows into the PM log bytes unchanged.
+const delTag = graph.V(1) << 31
+
+// DeleteEdge implements graph.Deleter: the DRAM adjacency appends a
+// tombstone (chunkadj.Delete) and the deletion is staged into the
+// durable edge list with the delete tag — same weak FD durability as
+// inserts (deletes since the last flush are lost on a crash).
+func (g *Graph) DeleteEdge(src, dst graph.V) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if int(src) >= g.adj.NumVertices() || !g.adj.Delete(src, dst) {
+		return fmt.Errorf("graphone: delete %d->%d: %w", src, dst, graph.ErrEdgeNotFound)
+	}
+	g.elog = append(g.elog, graph.Edge{Src: src | delTag, Dst: dst})
+	g.edges--
+	busy(IngestCPUCost)
+	if len(g.elog) >= g.interval {
+		return g.flushLocked()
+	}
+	return nil
+}
+
+// DeleteBatch implements graph.BatchDeleter: one ingestion-lock
+// acquisition for the whole batch, applied in stream order (so a
+// failure reports the exact index via graph.BatchError, with the
+// preceding prefix applied), one calibrated CPU-cost charge, and at
+// most one durable-log flush at the batch boundary.
+func (g *Graph) DeleteBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, e := range edges {
+		if int(e.Src) >= g.adj.NumVertices() || !g.adj.Delete(e.Src, e.Dst) {
+			return &graph.BatchError{Index: i, Edge: e,
+				Err: fmt.Errorf("graphone: %w", graph.ErrEdgeNotFound)}
+		}
+		g.elog = append(g.elog, graph.Edge{Src: e.Src | delTag, Dst: e.Dst})
+		g.edges--
+	}
+	busy(time.Duration(len(edges)) * IngestCPUCost)
+	if len(g.elog) >= g.interval {
+		return g.flushLocked()
+	}
+	return nil
+}
+
+// SpaceBytes reports the DRAM adjacency footprint (tombstones included
+// — GraphOne never reclaims them), the churn benchmark's space metric.
+func (g *Graph) SpaceBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.adj.SpaceBytes()
 }
 
 // Flush forces pending edges to the PM durable log.

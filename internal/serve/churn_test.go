@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/pmem"
+	"dgap/internal/workload"
+)
+
+func newServedDGAP(t *testing.T, nVert int, cfg Config) (*dgap.Graph, *Server) {
+	t.Helper()
+	a := pmem.New(256 << 20)
+	dcfg := dgap.DefaultConfig(nVert, 4096)
+	dcfg.SectionSlots = 64
+	dcfg.ELogSize = 512
+	g, err := dgap.New(a, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, srv
+}
+
+func neighborsOf(s graph.BulkSnapshot, v graph.V) []graph.V {
+	return s.CopyNeighbors(v, nil)
+}
+
+// TestIngestOpsDeleteVisibility pins the serving-tier delete contract:
+// a delete applied through IngestOps under a live lease never changes
+// answers served from that generation — the edge vanishes at the next
+// lease generation, taken after the delete.
+func TestIngestOpsDeleteVisibility(t *testing.T) {
+	g, srv := newServedDGAP(t, 16, Config{
+		MaxStalenessEdges: 4, // a 6-op stream forces a refreshable lease
+		MaxStalenessAge:   -1,
+		IngestShards:      2,
+		Workers:           2,
+	})
+	defer srv.Close()
+	if _, err := srv.Ingest([]graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 4, Dst: 5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	held := srv.Acquire()
+	if got := len(neighborsOf(held.Snap, 1)); got != 2 {
+		t.Fatalf("lease sees %d neighbors of 1, want 2", got)
+	}
+
+	// Mixed stream under the live lease: one insert, deletes of an old
+	// edge — all count toward the staleness clock.
+	ops := []workload.Op{
+		{Edge: graph.Edge{Src: 6, Dst: 7}},
+		{Edge: graph.Edge{Src: 1, Dst: 2}, Del: true},
+		{Edge: graph.Edge{Src: 4, Dst: 5}, Del: true},
+		{Edge: graph.Edge{Src: 6, Dst: 8}},
+	}
+	if _, err := srv.IngestOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Applied(); got != 7 {
+		t.Errorf("Applied = %d after 3 inserts + 4 ops, want 7 (deletes must advance the staleness clock)", got)
+	}
+
+	// Mid-snapshot invariance: the held generation still answers from
+	// its immutable prefix.
+	if got := neighborsOf(held.Snap, 1); len(got) != 2 {
+		t.Fatalf("held lease changed mid-generation: neighbors of 1 = %v", got)
+	}
+	if held.Snap.Degree(4) != 1 {
+		t.Fatalf("held lease Degree(4) = %d, want 1", held.Snap.Degree(4))
+	}
+
+	// The next generation (the ops tripped MaxStalenessEdges) must not
+	// see the deleted edges and must see the new ones.
+	fresh := srv.Acquire()
+	if fresh.Gen == held.Gen {
+		t.Fatal("staleness bound did not refresh the lease")
+	}
+	if got := neighborsOf(fresh.Snap, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("fresh lease neighbors of 1 = %v, want [3]", got)
+	}
+	if fresh.Snap.Degree(4) != 0 {
+		t.Fatalf("fresh lease Degree(4) = %d, want 0", fresh.Snap.Degree(4))
+	}
+	if got := neighborsOf(fresh.Snap, 6); len(got) != 2 {
+		t.Fatalf("fresh lease neighbors of 6 = %v, want two", got)
+	}
+	held.Release()
+	fresh.Release()
+	_ = g
+}
+
+// TestIngestOpsPerShardSinks: dgap per-shard Writer sinks serve the
+// delete sub-batches natively (they implement graph.BatchMutator), and
+// the routed mixed stream lands exactly.
+func TestIngestOpsPerShardSinks(t *testing.T) {
+	a := pmem.New(256 << 20)
+	dcfg := dgap.DefaultConfig(32, 4096)
+	dcfg.SectionSlots = 64
+	dcfg.ELogSize = 512
+	g, err := dgap.New(a, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks, release, err := workload.DGAPSinks(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	srv, err := New(g, Config{IngestShards: 2, Sinks: sinks, MaxStalenessEdges: -1, MaxStalenessAge: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var ops []workload.Op
+	for i := 0; i < 64; i++ {
+		ops = append(ops, workload.Op{Edge: graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 31)}})
+	}
+	for i := 0; i < 64; i += 2 {
+		ops = append(ops, workload.Op{Edge: graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 31)}, Del: true})
+	}
+	if _, err := srv.IngestOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Applied(); got != int64(len(ops)) {
+		t.Errorf("Applied = %d, want %d", got, len(ops))
+	}
+	l := srv.Acquire()
+	defer l.Release()
+	if got, want := l.Snap.NumEdges(), int64(64-32); got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+}
+
+// TestIngestOpsRejectsNonDeleters: a server over an append-only system
+// fails a mixed stream with graph.ErrDeletesUnsupported instead of
+// silently dropping the deletes.
+func TestIngestOpsRejectsNonDeleters(t *testing.T) {
+	sys := &fakeSys{} // fakeSys has no DeleteEdge
+	srv, err := New(sys, Config{IngestShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = srv.IngestOps([]workload.Op{{Edge: graph.Edge{Src: 1, Dst: 2}, Del: true}})
+	if !errors.Is(err, graph.ErrDeletesUnsupported) {
+		t.Fatalf("err = %v, want ErrDeletesUnsupported", err)
+	}
+}

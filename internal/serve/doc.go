@@ -44,4 +44,12 @@
 // per-shard dgap.Writers from workload.DGAPSinks). Each applied batch
 // advances the Server's applied-edge counter, which is what the
 // edge-staleness bound measures.
+//
+// Server.IngestOps extends the same path to mixed insert/delete
+// streams (workload.Op): deletes are applied under live leases — safe
+// because every supported backend's deletion is an appended tombstone,
+// so a held generation's immutable snapshot prefix never changes — and
+// become visible at the next lease generation. Deletes advance the
+// staleness clock like inserts, so delete-heavy traffic retires leases
+// at the same cadence.
 package serve

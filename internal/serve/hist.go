@@ -97,7 +97,9 @@ func (h *Hist) Max() time.Duration {
 
 // Quantile returns the latency at quantile q in [0, 1] (0.5 = p50,
 // 0.99 = p99), or 0 when nothing has been recorded. The answer is the
-// midpoint of the bucket holding the q-th sample.
+// midpoint of the bucket holding the q-th sample, clamped to the exact
+// recorded maximum — a bucket's midpoint can exceed the largest sample
+// that landed in it, and an unclamped answer would report p100 > Max.
 func (h *Hist) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -115,7 +117,7 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	for b, n := range h.buckets {
 		seen += n
 		if n > 0 && seen > rank {
-			return time.Duration(histValue(b))
+			return time.Duration(min(histValue(b), h.max))
 		}
 	}
 	return time.Duration(h.max)

@@ -65,3 +65,29 @@ func TestHistQuantiles(t *testing.T) {
 		t.Error("quantiles not monotone")
 	}
 }
+
+// TestQuantileClampedToMax: a bucket's midpoint can exceed the largest
+// sample that landed in it, so the top quantile must clamp to the
+// exact recorded maximum — p100 ≤ Max always (the bug this PR fixes:
+// Quantile(1.0) used to report the unclamped midpoint).
+func TestQuantileClampedToMax(t *testing.T) {
+	var h Hist
+	// 2^20+1 ns sits at the bottom of its bucket: the midpoint
+	// (2^20 + 2^16) overshoots the true maximum by ~6%.
+	v := time.Duration(1<<20 + 1)
+	if mid := histValue(histBucket(v.Nanoseconds())); mid <= v.Nanoseconds() {
+		t.Fatalf("test premise broken: bucket midpoint %d does not exceed sample %d", mid, v)
+	}
+	h.Observe(v)
+	h.Observe(v / 4)
+	if p100, max := h.Quantile(1.0), h.Max(); p100 > max {
+		t.Errorf("Quantile(1.0) = %v exceeds Max() = %v", p100, max)
+	}
+	if got := h.Quantile(1.0); got != v {
+		t.Errorf("Quantile(1.0) = %v, want the exact max %v", got, v)
+	}
+	// Lower quantiles stay bucket-midpoint answers.
+	if h.Quantile(0) >= v/2 {
+		t.Errorf("Quantile(0) = %v looks clamped to the max", h.Quantile(0))
+	}
+}

@@ -33,11 +33,14 @@ type Lease struct {
 	// zero.
 	refs      atomic.Int64
 	born      time.Time
-	appliedAt int64 // Server.Applied() when the snapshot was taken
+	now       func() time.Time // the Server's clock (Config.Clock)
+	appliedAt int64            // Server.Applied() when the snapshot was taken
 }
 
-// Age returns how long ago the lease's snapshot was taken.
-func (l *Lease) Age() time.Duration { return time.Since(l.born) }
+// Age returns how long ago the lease's snapshot was taken, measured on
+// the Server's clock (so tests with an injected Config.Clock observe
+// deterministic ages).
+func (l *Lease) Age() time.Duration { return l.now().Sub(l.born) }
 
 // Release drops one holder reference. The last drop after retirement
 // releases the snapshot.
@@ -74,7 +77,8 @@ func (s *Server) Acquire() *Lease {
 		nl := &Lease{
 			Snap:      graph.Bulk(s.sys.Snapshot()),
 			Gen:       s.gen.Add(1),
-			born:      time.Now(),
+			born:      s.cfg.Clock(),
+			now:       s.cfg.Clock,
 			appliedAt: appliedAt,
 		}
 		nl.refs.Store(1) // the Server's own reference, dropped on retire
@@ -95,7 +99,7 @@ func (s *Server) staleLocked(l *Lease) bool {
 	if e := s.cfg.MaxStalenessEdges; e > 0 && s.applied.Load()-l.appliedAt >= e {
 		return true
 	}
-	if a := s.cfg.MaxStalenessAge; a > 0 && time.Since(l.born) >= a {
+	if a := s.cfg.MaxStalenessAge; a > 0 && l.Age() >= a {
 		return true
 	}
 	return false

@@ -227,11 +227,35 @@ func TestRefreshRespectsEdgeStalenessBound(t *testing.T) {
 	checkNoViolations(t, sys, false)
 }
 
+// fakeClock is a manually advanced clock injected through Config.Clock
+// so age-bound tests are deterministic instead of sleep-and-hope (the
+// timing-dependence this PR's bugfix satellite removes).
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
 // TestRefreshRespectsAgeBound: with the edge bound disabled, a lease
-// older than MaxStalenessAge is refreshed on the next acquire.
+// older than MaxStalenessAge is refreshed on the next acquire — proven
+// on an injected clock, exactly at the bound, with no real sleeping.
 func TestRefreshRespectsAgeBound(t *testing.T) {
 	sys := &fakeSys{}
-	srv, err := New(sys, Config{MaxStalenessEdges: -1, MaxStalenessAge: 20 * time.Millisecond})
+	clk := newFakeClock()
+	srv, err := New(sys, Config{MaxStalenessEdges: -1, MaxStalenessAge: 20 * time.Millisecond, Clock: clk.Now})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,20 +263,30 @@ func TestRefreshRespectsAgeBound(t *testing.T) {
 
 	l1 := srv.Acquire()
 	gen1 := l1.Gen
+	if l1.Age() != 0 {
+		t.Fatalf("fresh lease age = %v on the fake clock, want 0", l1.Age())
+	}
 	l1.Release()
 
+	// One tick short of the bound: same generation, exact age.
+	clk.Advance(20*time.Millisecond - time.Nanosecond)
 	l2 := srv.Acquire()
 	if l2.Gen != gen1 {
 		t.Fatalf("lease refreshed before the age bound: gen %d -> %d", gen1, l2.Gen)
 	}
+	if want := 20*time.Millisecond - time.Nanosecond; l2.Age() != want {
+		t.Fatalf("lease age = %v, want exactly %v", l2.Age(), want)
+	}
 	l2.Release()
 
-	time.Sleep(30 * time.Millisecond)
+	// Crossing the bound by the last nanosecond refreshes.
+	clk.Advance(time.Nanosecond)
 	l3 := srv.Acquire()
 	if l3.Gen == gen1 {
-		t.Fatal("lease not refreshed past MaxStalenessAge")
+		t.Fatal("lease not refreshed at MaxStalenessAge")
 	}
 	l3.Release()
+	checkNoViolations(t, sys, false)
 }
 
 // TestLeaseHolderOutlivesRefresh pins a lease, forces a refresh, and

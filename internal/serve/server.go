@@ -59,8 +59,16 @@ type Config struct {
 	NoIngestYield bool
 	// Sinks optionally provides one BatchWriter per ingest shard (e.g.
 	// per-shard dgap.Writers from workload.DGAPSinks). Empty means all
-	// shards share the system's graph.Batch path.
+	// shards share the system's graph.Batch path. Sinks that also
+	// implement graph.BatchDeleter (dgap.Writers do) serve IngestOps'
+	// delete sub-batches too.
 	Sinks []graph.BatchWriter
+
+	// Clock overrides the wall clock the server reads — lease ages for
+	// the MaxStalenessAge bound, latency observations, uptime. nil
+	// selects time.Now; tests inject a fake so age-driven refreshes are
+	// deterministic instead of sleep-and-hope.
+	Clock func() time.Time
 }
 
 func (c Config) defaults() Config {
@@ -90,6 +98,9 @@ func (c Config) defaults() Config {
 	}
 	if c.IngestBatch <= 0 {
 		c.IngestBatch = workload.DefaultBatchSize
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -149,7 +160,7 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 		sys:   sys,
 		cfg:   cfg,
 		queue: make(chan *task, cfg.QueueDepth),
-		born:  time.Now(),
+		born:  cfg.Clock(),
 	}
 	for c := range s.hist {
 		s.hist[c] = &Hist{}
@@ -173,7 +184,7 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 func (s *Server) worker(int) {
 	for t := range s.queue {
 		res := s.execute(t.q)
-		res.Latency = time.Since(t.enq)
+		res.Latency = s.cfg.Clock().Sub(t.enq)
 		s.hist[t.q.Class].Observe(res.Latency)
 		t.done <- res
 	}
@@ -209,7 +220,7 @@ func (s *Server) enqueue(q Query, block bool) (*task, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	t := &task{q: q, enq: time.Now(), done: make(chan Result, 1)}
+	t := &task{q: q, enq: s.cfg.Clock(), done: make(chan Result, 1)}
 	if block {
 		s.queue <- t
 		return t, nil
@@ -244,18 +255,63 @@ func (s *Server) Ingest(edges []graph.Edge) (workload.InsertResult, error) {
 	return rt.Run(sinks, edges)
 }
 
+// IngestOps streams a mixed insert/delete stream underneath the
+// serving layer, sharded and batched by the workload.Router exactly
+// like Ingest. Deletes are applied under live leases safely by
+// construction: a lease's snapshot sees an immutable per-vertex prefix,
+// so a tombstone landing underneath never changes an answer served
+// from the current generation — the deleted edge vanishes at the next
+// lease generation, whose snapshot is taken after the delete. Every
+// applied op (insert or delete) advances the staleness clock, so a
+// delete-heavy stream retires leases at the same cadence an
+// insert-heavy one does. Fails with graph.ErrDeletesUnsupported (or a
+// per-shard sink error) when the wrapped system cannot delete.
+func (s *Server) IngestOps(ops []workload.Op) (workload.InsertResult, error) {
+	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
+	shared, err := workload.Mutator(s.sys)
+	if err != nil && len(s.cfg.Sinks) == 0 {
+		return workload.InsertResult{}, err
+	}
+	sinks := make([]graph.BatchMutator, rt.Shards)
+	for i := range sinks {
+		var bm graph.BatchMutator = shared
+		if len(s.cfg.Sinks) != 0 {
+			m, ok := s.cfg.Sinks[i].(graph.BatchMutator)
+			if !ok {
+				return workload.InsertResult{}, fmt.Errorf("serve: ingest shard %d sink %T: %w",
+					i, s.cfg.Sinks[i], graph.ErrDeletesUnsupported)
+			}
+			bm = m
+		}
+		sinks[i] = &countedSink{bw: bm, bd: bm, applied: &s.applied, yield: !s.cfg.NoIngestYield}
+	}
+	return rt.RunOps(sinks, ops)
+}
+
 // countedSink advances the server's applied-edge counter after each
 // batch lands, so lease staleness tracks acknowledged edges only, and
 // yields the processor at the batch boundary so in-flight queries keep
 // making progress while ingest streams (see Config.NoIngestYield).
 type countedSink struct {
 	bw      graph.BatchWriter
+	bd      graph.BatchDeleter // nil on the insert-only Ingest path
 	applied *atomic.Int64
 	yield   bool
 }
 
 func (c *countedSink) InsertBatch(edges []graph.Edge) error {
 	if err := c.bw.InsertBatch(edges); err != nil {
+		return err
+	}
+	c.applied.Add(int64(len(edges)))
+	if c.yield {
+		runtime.Gosched()
+	}
+	return nil
+}
+
+func (c *countedSink) DeleteBatch(edges []graph.Edge) error {
+	if err := c.bd.DeleteBatch(edges); err != nil {
 		return err
 	}
 	c.applied.Add(int64(len(edges)))
@@ -312,7 +368,7 @@ type Stats struct {
 // Stats snapshots the serving metrics.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Uptime:      time.Since(s.born),
+		Uptime:      s.cfg.Clock().Sub(s.born),
 		Applied:     s.applied.Load(),
 		Generations: s.gen.Load(),
 		Rejected:    s.rejected.Load(),

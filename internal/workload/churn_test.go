@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"dgap/internal/bal"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+)
+
+// TestChurnOpsShape: every edge is inserted in order, deletes start
+// exactly once the window is full and always name the edge inserted
+// window positions earlier, and the steady-state live set stays at the
+// window size.
+func TestChurnOpsShape(t *testing.T) {
+	edges := graphgen.Uniform(64, 8, 3)
+	const window = 100
+	ops := ChurnOps(edges, window)
+	ins, del := SplitOps(ops)
+	if ins != len(edges) {
+		t.Fatalf("inserts = %d, want %d", ins, len(edges))
+	}
+	if want := len(edges) - window; del != want {
+		t.Fatalf("deletes = %d, want %d", del, want)
+	}
+	live := map[graph.Edge]int{}
+	maxLive, insSeen := 0, 0
+	for _, o := range ops {
+		if o.Del {
+			if live[o.Edge] <= 0 {
+				t.Fatalf("delete of %v with no live copy", o.Edge)
+			}
+			live[o.Edge]--
+			if want := edges[insSeen-window-1]; o.Edge != want {
+				t.Fatalf("delete names %v, want the window tail %v", o.Edge, want)
+			}
+		} else {
+			if o.Edge != edges[insSeen] {
+				t.Fatalf("insert %d out of stream order", insSeen)
+			}
+			live[o.Edge]++
+			insSeen++
+		}
+		n := 0
+		for _, c := range live {
+			n += c
+		}
+		maxLive = max(maxLive, n)
+	}
+	if maxLive != window+1 {
+		t.Fatalf("peak live set %d, want window+1 = %d", maxLive, window+1)
+	}
+}
+
+// churnModel applies an op stream to a reference multiset.
+func churnModel(ops []Op) map[graph.Edge]int {
+	m := map[graph.Edge]int{}
+	for _, o := range ops {
+		if o.Del {
+			m[o.Edge]--
+		} else {
+			m[o.Edge]++
+		}
+	}
+	return m
+}
+
+func checkModel(t *testing.T, s graph.Snapshot, model map[graph.Edge]int) {
+	t.Helper()
+	got := map[graph.Edge]int{}
+	for v := 0; v < s.NumVertices(); v++ {
+		s.Neighbors(graph.V(v), func(d graph.V) bool {
+			got[graph.Edge{Src: graph.V(v), Dst: d}]++
+			return true
+		})
+	}
+	for e, c := range model {
+		if got[e] != c {
+			t.Fatalf("edge %v: %d copies, want %d", e, got[e], c)
+		}
+	}
+	for e, c := range got {
+		if model[e] != c {
+			t.Fatalf("phantom edge %v (%d copies)", e, c)
+		}
+	}
+}
+
+// TestRunOpsDGAP routes a sliding-window churn stream across per-shard
+// dgap.Writers and checks the final graph against the op model.
+func TestRunOpsDGAP(t *testing.T) {
+	edges := graphgen.Uniform(128, 12, 21)
+	ops := ChurnOps(edges, len(edges)/4)
+	a := pmem.New(256 << 20)
+	cfg := dgap.DefaultConfig(128, int64(len(edges)))
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChurnRoutedDGAP(g, ops, 4, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != len(ops) {
+		t.Fatalf("applied %d ops, want %d", res.Edges, len(ops))
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no virtual makespan")
+	}
+	checkModel(t, g.Snapshot(), churnModel(ops))
+}
+
+// TestRunOpsGlobalScope: mixed streams on a global-lock system hash by
+// source (index round-robin would split an edge's insert and delete
+// across shards), so a churn stream applies cleanly.
+func TestRunOpsGlobalScope(t *testing.T) {
+	edges := graphgen.Uniform(96, 10, 13)
+	ops := ChurnOps(edges, len(edges)/3)
+	g := bal.New(pmem.New(128<<20), 96)
+	res, err := ChurnRouted(g, ops, 4, ScopeGlobal, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != len(ops) {
+		t.Fatalf("applied %d ops, want %d", res.Edges, len(ops))
+	}
+	checkModel(t, g.Snapshot(), churnModel(ops))
+}
+
+// scalarDeleteSys is a Deleter without native batch paths, whose
+// deletes fail after failAt — so Mutator must hand back the scalar
+// fallback adapters for both directions.
+type scalarDeleteSys struct {
+	inserted, deleted, failAt int
+	cause                     error
+}
+
+func (f *scalarDeleteSys) Name() string { return "scalar-delete" }
+func (f *scalarDeleteSys) InsertEdge(src, dst graph.V) error {
+	f.inserted++
+	return nil
+}
+func (f *scalarDeleteSys) DeleteEdge(src, dst graph.V) error {
+	if f.deleted >= f.failAt {
+		return f.cause
+	}
+	f.deleted++
+	return nil
+}
+func (f *scalarDeleteSys) Snapshot() graph.Snapshot { return nil }
+
+// TestShardErrorNamesDeleteIndex: a delete failing on the scalar
+// fallback surfaces as ShardError wrapping graph.BatchError with the
+// failing edge's index — the parity with inserts this PR's bugfix
+// satellite pins.
+func TestShardErrorNamesDeleteIndex(t *testing.T) {
+	sys := &scalarDeleteSys{failAt: 2, cause: errors.New("backend refused")}
+	mut, err := Mutator(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]Op, 0, 8)
+	for i := 0; i < 8; i++ {
+		// All deletes on one source so they share a shard and
+		// sub-batch; the third delete fails.
+		ops = append(ops, Op{Edge: graph.Edge{Src: 3, Dst: graph.V(i)}, Del: true})
+	}
+	rt := Router{Shards: 2, BatchSize: 16, Scope: ScopeVertex}
+	_, err = rt.RunOps([]graph.BatchMutator{mut, mut}, ops)
+	if err == nil {
+		t.Fatal("failing delete stream succeeded")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T does not wrap ShardError: %v", err, err)
+	}
+	var be *graph.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v does not wrap graph.BatchError", err)
+	}
+	if be.Index != 2 {
+		t.Errorf("BatchError.Index = %d, want 2", be.Index)
+	}
+	if be.Edge.Dst != 2 {
+		t.Errorf("BatchError.Edge = %v, want dst 2", be.Edge)
+	}
+	if !errors.Is(err, sys.cause) {
+		t.Errorf("cause not unwrapped: %v", err)
+	}
+}
+
+// TestMutatorRejectsNonDeleters: Mutator surfaces
+// graph.ErrDeletesUnsupported for append-only systems.
+func TestMutatorRejectsNonDeleters(t *testing.T) {
+	if _, err := Mutator(insertOnlySys{}); !errors.Is(err, graph.ErrDeletesUnsupported) {
+		t.Fatalf("err = %v, want ErrDeletesUnsupported", err)
+	}
+}
+
+type insertOnlySys struct{}
+
+func (insertOnlySys) Name() string                      { return "insert-only" }
+func (insertOnlySys) InsertEdge(src, dst graph.V) error { return nil }
+func (insertOnlySys) Snapshot() graph.Snapshot          { return nil }

@@ -21,6 +21,7 @@
 package xpgraph
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -73,7 +74,8 @@ type Graph struct {
 	// caches vertices in DRAM as chained units, like GraphOne).
 	cache *chunkadj.Adj
 
-	edges int64
+	edges  int64
+	blocks int64 // PM adjacency blocks allocated (space accounting)
 }
 
 type vertex struct {
@@ -137,15 +139,7 @@ func (g *Graph) InsertEdge(src, dst graph.V) error {
 	// "XPline-friendly" logging — XPGraph's core idea: log entries are
 	// buffered and flushed a whole 64 B line at a time, never re-flushing
 	// a partially filled line (which would hit the in-place penalty).
-	slot := g.logOff + pmem.Off(g.logHead%g.logCap)*8
-	g.a.WriteU32(slot, src)
-	g.a.WriteU32(slot+4, dst)
-	g.logHead++
-	if g.logHead%8 == 0 || g.logHead%g.logCap == 0 {
-		line := slot &^ (pmem.CacheLineSize - 1)
-		g.a.Flush(line, pmem.CacheLineSize)
-		g.a.Fence()
-	}
+	g.logWord(src, dst)
 	g.cache.Append(src, dst)
 	g.edges++
 	busy(IngestCPUCost)
@@ -229,6 +223,90 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 	return nil
 }
 
+// logWord appends one (src, val) pair to the PM circular log with the
+// scalar path's XPline-friendly whole-line flush discipline. val is a
+// raw destination word — an edge, or a tombstone with chunkadj.TombBit
+// set (archiving replays tombstone words into the adjacency blocks
+// unchanged, so the PM copy carries the same append-only deletion
+// history as the DRAM cache).
+func (g *Graph) logWord(src graph.V, val uint32) {
+	slot := g.logOff + pmem.Off(g.logHead%g.logCap)*8
+	g.a.WriteU32(slot, src)
+	g.a.WriteU32(slot+4, val)
+	g.logHead++
+	if g.logHead%8 == 0 || g.logHead%g.logCap == 0 {
+		line := slot &^ (pmem.CacheLineSize - 1)
+		g.a.Flush(line, pmem.CacheLineSize)
+		g.a.Fence()
+	}
+}
+
+// DeleteEdge implements graph.Deleter: the DRAM cache appends a
+// tombstone (chunkadj.Delete validates a live match) and the deletion
+// is logged to the PM circular log as a tombstone word, archived into
+// the adjacency blocks at the usual threshold crossings.
+func (g *Graph) DeleteEdge(src, dst graph.V) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if int(src) >= len(g.verts) || !g.cache.Delete(src, dst) {
+		return fmt.Errorf("xpgraph: delete %d->%d: %w", src, dst, graph.ErrEdgeNotFound)
+	}
+	if g.logHead-g.logTail >= g.logCap {
+		if err := g.archiveLocked(); err != nil {
+			return err
+		}
+	}
+	g.logWord(src, uint32(dst)|chunkadj.TombBit)
+	g.edges--
+	busy(IngestCPUCost)
+	if g.logHead-g.logTail >= uint64(g.threshold) {
+		return g.archiveLocked()
+	}
+	return nil
+}
+
+// DeleteBatch implements graph.BatchDeleter: the whole batch under one
+// lock acquisition, applied in stream order (a failed live-match
+// reports the exact index via graph.BatchError, with the preceding
+// prefix applied and logged), archiving at the scalar path's threshold
+// crossings and one calibrated CPU-cost charge for the batch.
+func (g *Graph) DeleteBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, e := range edges {
+		if int(e.Src) >= len(g.verts) || !g.cache.Delete(e.Src, e.Dst) {
+			return &graph.BatchError{Index: i, Edge: e,
+				Err: fmt.Errorf("xpgraph: %w", graph.ErrEdgeNotFound)}
+		}
+		if g.logHead-g.logTail >= g.logCap {
+			if err := g.archiveLocked(); err != nil {
+				return err
+			}
+		}
+		g.logWord(e.Src, uint32(e.Dst)|chunkadj.TombBit)
+		g.edges--
+		if g.logHead-g.logTail >= uint64(g.threshold) {
+			if err := g.archiveLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	busy(time.Duration(len(edges)) * IngestCPUCost)
+	return nil
+}
+
+// SpaceBytes reports the DRAM cache plus PM adjacency-block footprint
+// (tombstone words included — XPGraph never reclaims them), the churn
+// benchmark's space metric.
+func (g *Graph) SpaceBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.cache.SpaceBytes() + g.blocks*blockBytes
+}
+
 // Archive forces pending log entries into the adjacency list.
 func (g *Graph) Archive() error {
 	g.mu.Lock()
@@ -269,6 +347,7 @@ func (g *Graph) appendRun(src graph.V, dsts []graph.V) error {
 			if err != nil {
 				return err
 			}
+			g.blocks++
 			if v.tail == 0 {
 				v.head = blk
 			} else {
