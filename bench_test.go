@@ -224,7 +224,7 @@ func BenchmarkTab3InsertThreads(b *testing.B) {
 
 // --- Figures 7-8 / Table 4: analysis kernels ---
 
-func loadedBenchSnapshot(b *testing.B, system string) graph.Snapshot {
+func loadedBenchSnapshot(b *testing.B, system string) *graph.View {
 	b.Helper()
 	edges, nVert := benchEdges(b, "orkut")
 	if system == "CSR" {
@@ -232,7 +232,7 @@ func loadedBenchSnapshot(b *testing.B, system string) graph.Snapshot {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return g.Snapshot()
+		return graph.ViewOf(g.Snapshot())
 	}
 	sys := buildBenchSystem(b, system, nVert, len(edges))
 	for _, e := range edges {
@@ -254,7 +254,7 @@ func loadedBenchSnapshot(b *testing.B, system string) graph.Snapshot {
 			b.Fatal(err)
 		}
 	}
-	return sys.Snapshot()
+	return graph.ViewOf(sys.Snapshot())
 }
 
 func benchmarkKernel(b *testing.B, kernel string, cfg analytics.Config) {
@@ -301,12 +301,11 @@ func BenchmarkNeighborsPath(b *testing.B) {
 				_ = sink
 			})
 			b.Run("Bulk", func(b *testing.B) {
-				bs := graph.Bulk(s)
 				var sink graph.V
 				buf := make([]graph.V, 0, 4096)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					buf = graph.Sweep(bs, 0, n, buf, func(_ graph.V, dsts []graph.V) {
+					buf = s.Sweep(0, n, buf, func(_ graph.V, dsts []graph.V) {
 						for _, d := range dsts {
 							sink += d
 						}

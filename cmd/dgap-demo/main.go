@@ -15,6 +15,7 @@ import (
 
 	"dgap/internal/analytics"
 	"dgap/internal/dgap"
+	"dgap/internal/graph"
 	"dgap/internal/graphgen"
 	"dgap/internal/pmem"
 )
@@ -41,19 +42,20 @@ func run(pool string, vertices, degree int) error {
 	if err != nil {
 		return err
 	}
+	// One resolved handle for all mutation and reads: Apply streams the
+	// whole mixed-capable op surface, View pre-resolves the bulk paths.
+	store := graph.Open(g)
 	t0 := time.Now()
-	for _, e := range edges {
-		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
-			return err
-		}
+	if err := store.Apply(graph.Inserts(edges)); err != nil {
+		return err
 	}
-	fmt.Printf("ingested %d edges in %v (%.2f MEPS)\n", len(edges), time.Since(t0).Round(time.Millisecond),
-		float64(len(edges))/time.Since(t0).Seconds()/1e6)
+	fmt.Printf("ingested %d edges in %v (%.2f MEPS) via %v\n", len(edges), time.Since(t0).Round(time.Millisecond),
+		float64(len(edges))/time.Since(t0).Seconds()/1e6, store.Caps())
 	st := g.Stats()
 	fmt.Printf("  edge-log appends: %d, rebalances: %d, resizes: %d\n\n", st.LogAppends, st.Rebalances, st.Resizes)
 
-	snap := g.ConsistentView()
-	ranks, d := analytics.PageRank(snap, analytics.PageRankIters, analytics.Serial)
+	view := store.View()
+	ranks, d := analytics.PageRank(view, analytics.PageRankIters, analytics.Serial)
 	top, topRank := 0, 0.0
 	for v, r := range ranks {
 		if r > topRank {
@@ -61,15 +63,17 @@ func run(pool string, vertices, degree int) error {
 		}
 	}
 	fmt.Printf("PageRank (20 iters) in %v; top vertex %d (rank %.5f)\n", d.Round(time.Millisecond), top, topRank)
-	comp, d2 := analytics.CC(snap, analytics.Serial)
+	comp, d2 := analytics.CC(view, analytics.Serial)
 	uniq := map[uint32]bool{}
 	for _, c := range comp {
 		uniq[c] = true
 	}
 	fmt.Printf("Connected Components in %v; %d components\n\n", d2.Round(time.Millisecond), len(uniq))
 
-	// Phase 2: graceful shutdown, save the pool, reopen.
-	if err := g.Close(); err != nil {
+	// Phase 2: graceful shutdown (via the store's resolved CapClose
+	// path), save the pool, reopen.
+	view.Release()
+	if err := store.Close(); err != nil {
 		return err
 	}
 	if err := a.SaveImage(pool); err != nil {
@@ -86,14 +90,13 @@ func run(pool string, vertices, degree int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("normal reboot in %v; graph has %d edges\n\n", time.Since(t0).Round(time.Microsecond), g2.ConsistentView().NumEdges())
+	store2 := graph.Open(g2)
+	fmt.Printf("normal reboot in %v; graph has %d edges\n\n", time.Since(t0).Round(time.Microsecond), store2.View().NumEdges())
 
 	// Phase 3: more inserts, then a simulated power failure.
 	more := graphgen.Uniform(vertices, 2, 99)
-	for _, e := range more {
-		if err := g2.InsertEdge(e.Src, e.Dst); err != nil {
-			return err
-		}
+	if err := store2.Apply(graph.Inserts(more)); err != nil {
+		return err
 	}
 	fmt.Printf("inserted %d more edges, then... power failure (no shutdown)\n", len(more))
 	a3 := a2.Crash()
@@ -102,7 +105,7 @@ func run(pool string, vertices, degree int) error {
 	if err != nil {
 		return err
 	}
-	got := g3.ConsistentView().NumEdges()
+	got := graph.Open(g3).View().NumEdges()
 	fmt.Printf("crash recovery in %v; recovered %d edges (want %d)\n",
 		time.Since(t0).Round(time.Microsecond), got, len(edges)+len(more))
 	if got != int64(len(edges)+len(more)) {

@@ -77,7 +77,7 @@ func run(system, dataset string, scale float64, seed int64, workers, shards int,
 	if err != nil {
 		return err
 	}
-	if err := graph.Batch(sys).InsertBatch(edges); err != nil {
+	if err := graph.Open(sys).Apply(graph.Inserts(edges)); err != nil {
 		return err
 	}
 

@@ -13,45 +13,41 @@
 //   - internal/bench    — one experiment per paper table/figure
 //   - internal/serve    — concurrent query-serving layer (snapshot leases)
 //
-// Analytics read adjacency through the bulk zero-copy path
-// (graph.BulkSnapshot / graph.Sweeper): destinations arrive as slices —
-// on DGAP and CSR, direct views of the PM edge array — instead of one
+// Every consumer reaches a graph through two resolved handles in
+// internal/graph, so capabilities are type-asserted once instead of at
+// every call site:
+//
+//   - graph.Store — opened once per system via graph.Open — resolves a
+//     Caps bitset (CapBatch, CapDelete, CapApply, CapSweep, CapClose,
+//     ...) and exposes one mutation entry point: Apply, over mixed
+//     insert/delete op streams (graph.Op). DGAP implements the mixed
+//     path natively (graph.Applier): a batch's inserts and tombstones
+//     plan into shared PMA-section groups — one section lock, one
+//     coalesced flush, one fence and one rebalance session per group —
+//     while other backends get each batch's inserts and deletes
+//     as one sub-batch each, inserts first (multiset-exact). Deletion cancels one live
+//     (src, dst) edge as an appended tombstone; CSR and LLAMA reject
+//     deletes (no CapDelete), and DGAP reclaims tombstone space via
+//     compaction piggybacked on PMA rebalances, gated on outstanding
+//     snapshots — see the internal/dgap package documentation.
+//   - graph.View — minted by Store.View() — is the read handle: one
+//     consistent snapshot with the bulk zero-copy fast paths
+//     (CopyNeighbors, Sweep) pre-resolved, degrading gracefully to the
+//     per-edge callback for backends without native support, plus an
+//     explicit Release that returns the snapshot to the backend's
+//     accounting (DGAP's compaction gate).
+//
+// Analytics kernels read Views only — destinations arrive as slices (on
+// DGAP and CSR, direct views of the PM edge array) instead of one
 // callback per edge, and parallel work is partitioned by degree prefix
-// sums so skewed graphs load-balance. See the internal/graph and
-// internal/analytics package documentation.
-//
-// Ingest mirrors that symmetry on the write side
-// (graph.BatchWriter / graph.Batch): every backend implements a native
-// InsertBatch that amortizes locking, durability fencing and
-// maintenance checks across a batch — DGAP groups each batch by PMA
-// section, taking the section lock, the coalesced cache-line flushes,
-// the fence and the rebalance check once per group — and
-// internal/workload routes edge streams across per-shard writers by
-// lock resource, feeding batches instead of single edges.
-//
-// Deletion is first-class and mirrors the same symmetry
-// (graph.Deleter / graph.BatchDeleter / graph.Deletes): a delete
-// cancels one live (src, dst) edge and is physically an append — a
-// tombstone — so snapshot prefixes stay immutable history. DGAP, BAL,
-// GraphOne and XPGraph implement both paths natively (DGAP groups
-// tombstone batches by PMA section exactly like inserts); the static
-// CSR and LLAMA's append-only levels reject deletes, and graph.Deletes
-// returns nil for them. DGAP additionally reclaims the space:
-// tombstone compaction piggybacks on PMA rebalances, physically
-// dropping cancelled (edge, tombstone) pairs whenever no snapshot is
-// outstanding — see the internal/dgap package documentation. The
-// workload router accepts mixed insert/delete streams (workload.Op,
-// Router.RunOps) with the same lock-scope sharding, and
-// workload.ChurnOps generates the sliding-window churn stream behind
-// `dgap-bench -churn`.
-//
-// The two paths meet in internal/serve: a serving tier that multiplexes
-// concurrent point queries (degree, neighbors, k-hop, top-k-degree) and
-// kernel refreshes over refcounted snapshot leases — one shared
-// snapshot per lease generation, refreshed when a bounded-staleness
-// limit (applied edges or wall-clock age) trips — while ingest streams
-// underneath through the workload router. cmd/dgap-serve exposes the
-// query API interactively over a line protocol.
+// sums so skewed graphs load-balance. internal/workload routes op
+// streams across per-shard graph.Applier sinks by lock resource
+// (fixed-size batches instead of single edges), and internal/serve
+// multiplexes concurrent point queries and kernel refreshes over
+// refcounted View leases — one shared View per lease generation,
+// refreshed when a bounded-staleness limit trips — while ingest streams
+// underneath through the router. cmd/dgap-serve exposes the query API
+// interactively over a line protocol.
 //
 // bench_test.go in this directory exposes each experiment as a standard
 // testing.B benchmark; cmd/dgap-bench prints the full paper-style
@@ -61,9 +57,10 @@
 // dumps the mixed read/write serving experiment (query latency
 // percentiles and ingest MEPS at several read:write ratios) to
 // BENCH_serve.json, and `dgap-bench -churn` dumps the sliding-window
-// insert/delete experiment (delete MEPS, tombstone-compaction counts,
-// post-churn space against insert-only and no-compaction baselines) to
-// BENCH_churn.json for cross-PR perf tracking. Under -tiny every dump
-// diverts to BENCH_*_tiny.json so CI smoke runs never overwrite the
-// committed pinned-scale artifacts.
+// insert/delete experiment (delete MEPS, the native mixed ApplyOps
+// path against the legacy split InsertBatch+DeleteBatch dispatch,
+// tombstone-compaction counts, post-churn space against insert-only
+// and no-compaction baselines) to BENCH_churn.json for cross-PR perf
+// tracking. Under -tiny every dump diverts to BENCH_*_tiny.json so CI
+// smoke runs never overwrite the committed pinned-scale artifacts.
 package repro

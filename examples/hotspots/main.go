@@ -19,6 +19,7 @@ import (
 
 	"dgap/internal/analytics"
 	"dgap/internal/dgap"
+	"dgap/internal/graph"
 	"dgap/internal/graphgen"
 	"dgap/internal/pmem"
 )
@@ -73,11 +74,11 @@ func main() {
 	for r := 1; ; r++ {
 		time.Sleep(5 * time.Millisecond)
 		mu.Lock()
-		snap := g.ConsistentView()
+		view := graph.ViewOf(g.ConsistentView())
 		seen := ingested
 		mu.Unlock()
 
-		ranks, elapsed := analytics.PageRank(snap, 10, analytics.Serial)
+		ranks, elapsed := analytics.PageRank(view, 10, analytics.Serial)
 		type tower struct {
 			id   int
 			rank float64
@@ -88,11 +89,12 @@ func main() {
 		}
 		sort.Slice(top, func(i, j int) bool { return top[i].rank > top[j].rank })
 		fmt.Printf("round %d: snapshot of %7d edges analyzed in %6s; hotspots:",
-			r, snap.NumEdges(), elapsed.Round(time.Microsecond))
+			r, view.NumEdges(), elapsed.Round(time.Microsecond))
 		for _, t := range top[:3] {
 			fmt.Printf(" tower%-4d(%.4f)", t.id, t.rank)
 		}
 		fmt.Println()
+		view.Release() // return the snapshot to DGAP's compaction gate
 		if top[0].id == prevTop {
 			// Hotspot ranking stabilized across waves.
 		}

@@ -1,6 +1,8 @@
-// Quickstart: create a DGAP graph on emulated persistent memory, insert
-// edges, take a consistent snapshot, iterate neighbors, and survive a
-// crash. This is the smallest end-to-end use of the public API.
+// Quickstart: create a DGAP graph on emulated persistent memory, open
+// its capability-resolved graph.Store handle, apply a mixed
+// insert/delete op stream through the one mutation entry point, read
+// through a graph.View, and survive a crash. This is the smallest
+// end-to-end use of the public API.
 package main
 
 import (
@@ -8,6 +10,7 @@ import (
 	"log"
 
 	"dgap/internal/dgap"
+	"dgap/internal/graph"
 	"dgap/internal/pmem"
 )
 
@@ -23,37 +26,43 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Insert edges. Each insert is durable when the call returns.
-	edges := [][2]uint32{{1, 2}, {1, 3}, {2, 3}, {3, 1}, {1, 4}}
-	for _, e := range edges {
-		if err := g.InsertEdge(e[0], e[1]); err != nil {
-			log.Fatal(err)
-		}
-	}
+	// Open resolves the backend's capabilities once; store.Caps() says
+	// what this handle can do (DGAP: batch, delete, apply, bulk, sweep,
+	// close, ...).
+	store := graph.Open(g)
+	fmt.Printf("opened %s with %v\n", store.Name(), store.Caps())
 
-	// Deletion re-inserts the edge with a tombstone flag.
-	if err := g.DeleteEdge(1, 3); err != nil {
+	// One mutation entry point: Apply takes a mixed op stream. Inserts
+	// and the deletion of 1->3 land in a single call — deletion is
+	// physically a tombstone append. Each acknowledged op is durable.
+	err = store.Apply([]graph.Op{
+		graph.OpInsert(1, 2),
+		graph.OpInsert(1, 3),
+		graph.OpInsert(2, 3),
+		graph.OpInsert(3, 1),
+		graph.OpInsert(1, 4),
+		graph.OpDelete(1, 3),
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Analysis tasks work on a consistent snapshot: updates after this
-	// call are invisible to it.
-	snap := g.ConsistentView()
-	fmt.Printf("graph: %d vertices, %d live edges\n", snap.NumVertices(), snap.NumEdges())
-	fmt.Print("neighbors of 1 (insertion order): ")
-	snap.Neighbors(1, func(dst uint32) bool {
-		fmt.Printf("%d ", dst)
-		return true
-	})
-	fmt.Println()
+	// Reads go through a View: one consistent snapshot with the bulk
+	// fast path resolved up front. Updates after View() are invisible
+	// to it; Release returns it to DGAP's compaction gate.
+	view := store.View()
+	fmt.Printf("graph: %d vertices, %d live edges\n", view.NumVertices(), view.NumEdges())
+	fmt.Printf("neighbors of 1 (insertion order): %v\n", view.CopyNeighbors(1, nil))
+	view.Release()
 
 	// Crash and recover: only flushed state survives, and every
-	// acknowledged insert was flushed before returning.
+	// acknowledged op was flushed before Apply returned.
 	crashed := arena.Crash()
 	g2, err := dgap.Open(crashed, dgap.DefaultConfig(100, 1000))
 	if err != nil {
 		log.Fatal(err)
 	}
+	recovered := graph.Open(g2).View()
 	fmt.Printf("after crash recovery: %d live edges (degree of 1 = %d)\n",
-		g2.ConsistentView().NumEdges(), g2.ConsistentView().Degree(1))
+		recovered.NumEdges(), recovered.Degree(1))
 }

@@ -1,16 +1,18 @@
 // Package analytics implements the four GAP Benchmark Suite kernels the
 // DGAP paper evaluates (Table 1) — PageRank, direction-optimizing BFS,
 // Brandes betweenness centrality, and Shiloach-Vishkin connected
-// components — against the backend-neutral graph.Snapshot interface, so
+// components — against the backend-neutral graph.View read handle, so
 // the same kernel code runs over DGAP, CSR, BAL, LLAMA, GraphOne and
 // XPGraph, exactly as the paper uses one GAPBS implementation across all
 // frameworks.
 //
-// The kernels read adjacency through the bulk path (graph.Bulk /
-// graph.Sweep): each vertex's destinations arrive as one slice copied
-// into reusable scratch rather than one callback per edge, which removes
-// the closure invocation, per-vertex lock round-trip and edge-log chain
-// allocation that otherwise dominate kernel time on the DGAP backend.
+// The kernels read adjacency through the View's pre-resolved bulk path
+// (CopyNeighbors / Sweep): each vertex's destinations arrive as one
+// slice copied into reusable scratch rather than one callback per edge,
+// which removes the closure invocation, per-vertex lock round-trip and
+// edge-log chain allocation that otherwise dominate kernel time on the
+// DGAP backend — and because the View resolved the fast paths once at
+// construction, the kernels themselves never type-assert a snapshot.
 // Config.Callback restores the per-edge callback path so benchmarks can
 // quantify the difference.
 //
@@ -31,7 +33,6 @@ package analytics
 import (
 	"time"
 
-	"dgap/internal/graph"
 	"dgap/internal/vtime"
 )
 
@@ -147,15 +148,6 @@ func edgeBounds(n, chunks int, deg func(i int) int) []int {
 		b = append(b, n)
 	}
 	return b
-}
-
-// bulkOf returns the bulk accessor the kernel should read through, or
-// nil when the configuration forces the per-edge callback path.
-func bulkOf(s graph.Snapshot, cfg Config) graph.BulkSnapshot {
-	if cfg.Callback {
-		return nil
-	}
-	return graph.Bulk(s)
 }
 
 func elapsed(p *vtime.Pool) time.Duration { return p.Elapsed() }

@@ -10,20 +10,21 @@ import (
 	"dgap/internal/pmem"
 )
 
-// buildSnap makes a CSR snapshot from an edge stream (CSR is the
+// buildSnap makes a CSR read View from an edge stream (CSR is the
 // simplest correct Snapshot implementation; cross-system agreement is
-// covered separately).
-func buildSnap(t *testing.T, nVert int, edges []graph.Edge) graph.Snapshot {
+// covered separately). Views implement graph.Snapshot, so the
+// reference implementations below read the same handle.
+func buildSnap(t *testing.T, nVert int, edges []graph.Edge) *graph.View {
 	t.Helper()
 	g, err := csr.Build(pmem.New(256<<20), nVert, edges)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g
+	return graph.ViewOf(g)
 }
 
 // pathGraph builds the symmetric path 0-1-2-...-n-1.
-func pathGraph(t *testing.T, n int) graph.Snapshot {
+func pathGraph(t *testing.T, n int) *graph.View {
 	var edges []graph.Edge
 	for i := 0; i < n-1; i++ {
 		edges = append(edges,

@@ -10,13 +10,12 @@ import (
 // algorithm (the approximation the paper uses runs it from one or a few
 // sources): a BFS builds the shortest-path DAG with path counts, then a
 // reverse sweep accumulates dependencies. Both sweeps read adjacency
-// through the bulk path and partition each level by its degree prefix
-// sum. It returns the centrality score of every vertex for the given
-// source.
-func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
-	n := s.NumVertices()
+// through the View's bulk path and partition each level by its degree
+// prefix sum. It returns the centrality score of every vertex for the
+// given source.
+func BC(g *graph.View, src graph.V, cfg Config) ([]float64, time.Duration) {
+	n := g.NumVertices()
 	p := cfg.pool()
-	bs := bulkOf(s, cfg)
 	scores := make([]float64, n)
 	if int(src) >= n {
 		return scores, elapsed(p)
@@ -33,16 +32,16 @@ func BC(s graph.Snapshot, src graph.V, cfg Config) ([]float64, time.Duration) {
 	})
 
 	levelBounds := func(level []graph.V) []int {
-		return cfg.bounds(len(level), func(i int) int { return s.Degree(level[i]) })
+		return cfg.bounds(len(level), func(i int) int { return g.Degree(level[i]) })
 	}
 	// forEachNeighbor visits v's destinations through whichever read path
 	// the configuration selected, reusing buf on the bulk path.
 	forEachNeighbor := func(v graph.V, buf *[]graph.V, fn func(u graph.V)) {
-		if bs == nil {
-			s.Neighbors(v, func(u graph.V) bool { fn(u); return true })
+		if cfg.Callback {
+			g.Neighbors(v, func(u graph.V) bool { fn(u); return true })
 			return
 		}
-		*buf = bs.CopyNeighbors(v, (*buf)[:0])
+		*buf = g.CopyNeighbors(v, (*buf)[:0])
 		for _, u := range *buf {
 			fn(u)
 		}

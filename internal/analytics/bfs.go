@@ -14,13 +14,12 @@ const NoParent = int32(-1)
 // al. (the GAPBS implementation the paper uses): top-down while the
 // frontier is small, switching to bottom-up when the frontier's edge
 // count grows past a fraction of the remaining edges. Frontier expansion
-// reads adjacency through the bulk path, and each parallel phase is
-// partitioned by the frontier's degree prefix sum so one hub vertex does
-// not serialize its chunk. It returns the parent array.
-func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
-	n := s.NumVertices()
+// reads adjacency through the View's bulk path, and each parallel phase
+// is partitioned by the frontier's degree prefix sum so one hub vertex
+// does not serialize its chunk. It returns the parent array.
+func BFS(g *graph.View, src graph.V, cfg Config) ([]int32, time.Duration) {
+	n := g.NumVertices()
 	p := cfg.pool()
-	bs := bulkOf(s, cfg)
 	parent := make([]int32, n)
 	p.Serial(func() {
 		for i := range parent {
@@ -35,23 +34,23 @@ func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
 	const alpha = 15 // GAPBS direction-switch heuristic
 	frontier := []graph.V{src}
 	inFrontier := newBitmap(n)
-	totalEdges := s.NumEdges()
+	totalEdges := g.NumEdges()
 	var exploredEdges int64
 
-	vertBounds := cfg.bounds(n, func(i int) int { return s.Degree(graph.V(i)) })
+	vertBounds := cfg.bounds(n, func(i int) int { return g.Degree(graph.V(i)) })
 	for len(frontier) > 0 {
 		// Estimate work on each side of the switch.
 		var frontierEdges int64
 		p.Serial(func() {
 			for _, v := range frontier {
-				frontierEdges += int64(s.Degree(v))
+				frontierEdges += int64(g.Degree(v))
 			}
 		})
 		remaining := totalEdges - exploredEdges
 		if frontierEdges*alpha > remaining {
-			frontier = bfsBottomUp(s, p, parent, frontier, inFrontier, vertBounds)
+			frontier = bfsBottomUp(g, p, parent, frontier, inFrontier, vertBounds)
 		} else {
-			frontier = bfsTopDown(s, bs, p, parent, frontier, cfg)
+			frontier = bfsTopDown(g, p, parent, frontier, cfg)
 		}
 		exploredEdges += frontierEdges
 	}
@@ -61,15 +60,15 @@ func BFS(s graph.Snapshot, src graph.V, cfg Config) ([]int32, time.Duration) {
 // bfsTopDown expands the frontier by scanning each frontier vertex's
 // out-edges; vertices are claimed with a CAS on the parent array, so
 // each lands in exactly one chunk's local next-frontier.
-func bfsTopDown(s graph.Snapshot, bs graph.BulkSnapshot, p pool, parent []int32, frontier []graph.V, cfg Config) []graph.V {
-	bounds := cfg.bounds(len(frontier), func(i int) int { return s.Degree(frontier[i]) })
+func bfsTopDown(g *graph.View, p pool, parent []int32, frontier []graph.V, cfg Config) []graph.V {
+	bounds := cfg.bounds(len(frontier), func(i int) int { return g.Degree(frontier[i]) })
 	nextLocal := make([][]graph.V, len(bounds)-1)
 	p.ForRanges(bounds, func(c, lo, hi int) {
 		var local []graph.V
-		if bs == nil {
+		if cfg.Callback {
 			for i := lo; i < hi; i++ {
 				v := frontier[i]
-				s.Neighbors(v, func(u graph.V) bool {
+				g.Neighbors(v, func(u graph.V) bool {
 					if atomicClaimParent(parent, u, int32(v)) {
 						local = append(local, u)
 					}
@@ -81,7 +80,7 @@ func bfsTopDown(s graph.Snapshot, bs graph.BulkSnapshot, p pool, parent []int32,
 			buf := *scratch
 			for i := lo; i < hi; i++ {
 				v := frontier[i]
-				buf = bs.CopyNeighbors(v, buf[:0])
+				buf = g.CopyNeighbors(v, buf[:0])
 				for _, u := range buf {
 					if atomicClaimParent(parent, u, int32(v)) {
 						local = append(local, u)
@@ -110,7 +109,7 @@ func bfsTopDown(s graph.Snapshot, bs graph.BulkSnapshot, p pool, parent []int32,
 // so most scans hit an in-frontier neighbor within the first few edges,
 // and the early exit (stop at the first hit) saves far more than a bulk
 // copy of each hub's full adjacency would.
-func bfsBottomUp(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, inFrontier *bitmap, vertBounds []int) []graph.V {
+func bfsBottomUp(g *graph.View, p pool, parent []int32, frontier []graph.V, inFrontier *bitmap, vertBounds []int) []graph.V {
 	p.Serial(func() {
 		inFrontier.clear()
 		for _, v := range frontier {
@@ -124,7 +123,7 @@ func bfsBottomUp(s graph.Snapshot, p pool, parent []int32, frontier []graph.V, i
 			if atomic.LoadInt32(&parent[v]) != NoParent {
 				continue
 			}
-			s.Neighbors(graph.V(v), func(u graph.V) bool {
+			g.Neighbors(graph.V(v), func(u graph.V) bool {
 				if inFrontier.get(int(u)) {
 					atomic.StoreInt32(&parent[v], int32(u))
 					local = append(local, graph.V(v))

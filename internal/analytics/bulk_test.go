@@ -11,10 +11,10 @@ import (
 	"dgap/internal/pmem"
 )
 
-// bulkTestSnapshots builds a DGAP and a CSR snapshot of the same skewed
-// graph: one backend with a native bulk/sweep path, one that only gains
-// the CopyNeighbors fast path.
-func bulkTestSnapshots(t *testing.T) map[string]graph.Snapshot {
+// bulkTestSnapshots builds a DGAP and a CSR read View of the same
+// skewed graph: one backend with a native bulk/sweep path, one that
+// only gains the CopyNeighbors fast path.
+func bulkTestSnapshots(t *testing.T) map[string]*graph.View {
 	t.Helper()
 	spec, err := graphgen.Preset("orkut")
 	if err != nil {
@@ -22,7 +22,7 @@ func bulkTestSnapshots(t *testing.T) map[string]graph.Snapshot {
 	}
 	edges := spec.Generate(0.00005, 99)
 	nVert := graphgen.MaxVertex(edges)
-	out := map[string]graph.Snapshot{}
+	out := map[string]*graph.View{}
 	{
 		g, err := dgap.New(pmem.New(256<<20), dgap.DefaultConfig(nVert, int64(len(edges))))
 		if err != nil {
@@ -33,14 +33,14 @@ func bulkTestSnapshots(t *testing.T) map[string]graph.Snapshot {
 				t.Fatal(err)
 			}
 		}
-		out["dgap"] = g.Snapshot()
+		out["dgap"] = graph.Open(g).View()
 	}
 	{
 		g, err := csr.Build(pmem.New(128<<20), nVert, edges)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out["csr"] = g.Snapshot()
+		out["csr"] = graph.Open(g).View()
 	}
 	return out
 }

@@ -12,19 +12,18 @@ import (
 // ones followed by pointer-jumping compression, iterating to a fixed
 // point. Label updates use atomic-min so the kernel is race-free under
 // real goroutine parallelism (GAPBS relies on benign x86 races instead).
-// The hooking sweep reads adjacency through the bulk path with
+// The hooking sweep reads adjacency through the View's bulk path with
 // equal-edge chunking. It returns the component label of each vertex.
-func CC(s graph.Snapshot, cfg Config) ([]graph.V, time.Duration) {
-	n := s.NumVertices()
+func CC(g *graph.View, cfg Config) ([]graph.V, time.Duration) {
+	n := g.NumVertices()
 	p := cfg.pool()
-	bs := bulkOf(s, cfg)
 	comp := make([]uint32, n)
 	p.Serial(func() {
 		for v := range comp {
 			comp[v] = uint32(v)
 		}
 	})
-	bounds := cfg.bounds(n, func(i int) int { return s.Degree(graph.V(i)) })
+	bounds := cfg.bounds(n, func(i int) int { return g.Degree(graph.V(i)) })
 	hookEdge := func(v int, u graph.V, c *int32) {
 		cv := atomic.LoadUint32(&comp[v])
 		cu := atomic.LoadUint32(&comp[u])
@@ -46,16 +45,16 @@ func CC(s graph.Snapshot, cfg Config) ([]graph.V, time.Duration) {
 		// Hooking: adopt the smaller label across each edge.
 		p.ForRanges(bounds, func(ci, lo, hi int) {
 			var c int32
-			if bs == nil {
+			if cfg.Callback {
 				for v := lo; v < hi; v++ {
-					s.Neighbors(graph.V(v), func(u graph.V) bool {
+					g.Neighbors(graph.V(v), func(u graph.V) bool {
 						hookEdge(v, u, &c)
 						return true
 					})
 				}
 			} else {
 				scratch := getScratch()
-				*scratch = graph.Sweep(bs, graph.V(lo), graph.V(hi), *scratch, func(v graph.V, dsts []graph.V) {
+				*scratch = g.Sweep(graph.V(lo), graph.V(hi), *scratch, func(v graph.V, dsts []graph.V) {
 					for _, u := range dsts {
 						hookEdge(int(v), u, &c)
 					}

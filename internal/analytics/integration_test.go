@@ -28,13 +28,13 @@ func TestKernelsAgreeAcrossAllSystems(t *testing.T) {
 	edges := spec.Generate(0.0001, 77)
 	nVert := graphgen.MaxVertex(edges)
 
-	snaps := map[string]graph.Snapshot{}
+	snaps := map[string]*graph.View{}
 	{
 		g, err := csr.Build(pmem.New(128<<20), nVert, edges)
 		if err != nil {
 			t.Fatal(err)
 		}
-		snaps["csr"] = g.Snapshot()
+		snaps["csr"] = graph.ViewOf(g.Snapshot())
 	}
 	{
 		g, err := dgap.New(pmem.New(256<<20), dgap.DefaultConfig(nVert, int64(len(edges))))
@@ -42,12 +42,12 @@ func TestKernelsAgreeAcrossAllSystems(t *testing.T) {
 			t.Fatal(err)
 		}
 		load(t, g, edges)
-		snaps["dgap"] = g.Snapshot()
+		snaps["dgap"] = graph.ViewOf(g.Snapshot())
 	}
 	{
 		g := bal.New(pmem.New(256<<20), nVert)
 		load(t, g, edges)
-		snaps["bal"] = g.Snapshot()
+		snaps["bal"] = graph.ViewOf(g.Snapshot())
 	}
 	{
 		g := llama.New(pmem.New(256<<20), nVert, len(edges)/50+1)
@@ -55,7 +55,7 @@ func TestKernelsAgreeAcrossAllSystems(t *testing.T) {
 		if err := g.Freeze(); err != nil {
 			t.Fatal(err)
 		}
-		snaps["llama"] = g.Snapshot()
+		snaps["llama"] = graph.ViewOf(g.Snapshot())
 	}
 	{
 		g, err := graphone.New(pmem.New(128<<20), nVert, 1<<12)
@@ -63,7 +63,7 @@ func TestKernelsAgreeAcrossAllSystems(t *testing.T) {
 			t.Fatal(err)
 		}
 		load(t, g, edges)
-		snaps["graphone"] = g.Snapshot()
+		snaps["graphone"] = graph.ViewOf(g.Snapshot())
 	}
 	{
 		g, err := xpgraph.New(pmem.New(256<<20), nVert, xpgraph.Config{Threshold: 512, LogCapEdges: 1 << 16})
@@ -71,7 +71,7 @@ func TestKernelsAgreeAcrossAllSystems(t *testing.T) {
 			t.Fatal(err)
 		}
 		load(t, g, edges)
-		snaps["xpgraph"] = g.Snapshot()
+		snaps["xpgraph"] = graph.ViewOf(g.Snapshot())
 	}
 
 	ref := snaps["csr"]
@@ -175,8 +175,8 @@ func TestKernelsOverLiveDGAPSnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap := g.ConsistentView()
-	before, _ := analytics.PageRank(snap, 5, analytics.Serial)
+	view := graph.ViewOf(g.ConsistentView())
+	before, _ := analytics.PageRank(view, 5, analytics.Serial)
 
 	done := make(chan error, 1)
 	go func() {
@@ -194,7 +194,7 @@ func TestKernelsOverLiveDGAPSnapshot(t *testing.T) {
 		}
 		done <- nil
 	}()
-	after, _ := analytics.PageRank(snap, 5, analytics.Serial) // racing the writer
+	after, _ := analytics.PageRank(view, 5, analytics.Serial) // racing the writer
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}

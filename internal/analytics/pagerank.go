@@ -12,16 +12,15 @@ const PageRankIters = 20
 const dampingFactor = 0.85
 
 // PageRank runs the fixed-iteration pull-style PageRank of GAPBS over a
-// snapshot. The graph is treated as symmetric (every edge stored in both
-// directions, as the generators produce), so pulling over out-neighbors
-// equals pulling over in-neighbors. The pull phase sweeps the vertex
-// range through the bulk read path with equal-edge chunking; degrees are
-// fixed for the snapshot's lifetime, so the boundaries are computed once
-// and reused by every iteration.
-func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration) {
-	n := s.NumVertices()
+// read View. The graph is treated as symmetric (every edge stored in
+// both directions, as the generators produce), so pulling over
+// out-neighbors equals pulling over in-neighbors. The pull phase sweeps
+// the vertex range through the View's bulk read path with equal-edge
+// chunking; degrees are fixed for the snapshot's lifetime, so the
+// boundaries are computed once and reused by every iteration.
+func PageRank(g *graph.View, iters int, cfg Config) ([]float64, time.Duration) {
+	n := g.NumVertices()
 	p := cfg.pool()
-	bs := bulkOf(s, cfg)
 	ranks := make([]float64, n)
 	contrib := make([]float64, n)
 	base := (1 - dampingFactor) / float64(n)
@@ -31,11 +30,11 @@ func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration
 			ranks[v] = init
 		}
 	})
-	bounds := cfg.bounds(n, func(i int) int { return s.Degree(graph.V(i)) })
+	bounds := cfg.bounds(n, func(i int) int { return g.Degree(graph.V(i)) })
 	for it := 0; it < iters; it++ {
 		p.ForRanges(bounds, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
-				if d := s.Degree(graph.V(v)); d > 0 {
+				if d := g.Degree(graph.V(v)); d > 0 {
 					contrib[v] = ranks[v] / float64(d)
 				} else {
 					contrib[v] = 0
@@ -43,10 +42,10 @@ func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration
 			}
 		})
 		p.ForRanges(bounds, func(_, lo, hi int) {
-			if bs == nil {
+			if cfg.Callback {
 				for v := lo; v < hi; v++ {
 					var sum float64
-					s.Neighbors(graph.V(v), func(u graph.V) bool {
+					g.Neighbors(graph.V(v), func(u graph.V) bool {
 						sum += contrib[u]
 						return true
 					})
@@ -55,7 +54,7 @@ func PageRank(s graph.Snapshot, iters int, cfg Config) ([]float64, time.Duration
 				return
 			}
 			scratch := getScratch()
-			*scratch = graph.Sweep(bs, graph.V(lo), graph.V(hi), *scratch, func(v graph.V, dsts []graph.V) {
+			*scratch = g.Sweep(graph.V(lo), graph.V(hi), *scratch, func(v graph.V, dsts []graph.V) {
 				var sum float64
 				for _, u := range dsts {
 					sum += contrib[u]

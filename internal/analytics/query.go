@@ -10,23 +10,22 @@ import (
 // This file holds the point-query helpers the serving layer
 // (internal/serve) multiplexes alongside the whole-graph kernels:
 // bounded k-hop expansion and top-k-degree ranking. Like the kernels,
-// both read adjacency through the bulk path (graph.Bulk) so a query
-// over a DGAP snapshot touches destinations through slice loops with
-// amortized zero allocations per edge, and both charge their time to a
-// vtime.Pool so the scalability experiments can account for them.
+// both read adjacency through the View's pre-resolved bulk path, so a
+// query over a DGAP snapshot touches destinations through slice loops
+// with amortized zero allocations per edge, and both charge their time
+// to a vtime.Pool so the scalability experiments can account for them.
 
 // KHop returns the number of distinct vertices reachable from src in at
 // most k hops, including src itself. It is a plain breadth-first
 // expansion bounded at depth k over the bulk read path (or the per-edge
 // callback path when cfg.Callback is set). The second return value is
 // the pool-accounted elapsed time.
-func KHop(s graph.Snapshot, src graph.V, k int, cfg Config) (int, time.Duration) {
-	n := s.NumVertices()
+func KHop(g *graph.View, src graph.V, k int, cfg Config) (int, time.Duration) {
+	n := g.NumVertices()
 	if int(src) >= n || k < 0 {
 		return 0, 0
 	}
 	p := cfg.pool()
-	bs := bulkOf(s, cfg)
 	reached := 1
 	p.Serial(func() {
 		visited := newBitmap(n)
@@ -39,11 +38,11 @@ func KHop(s graph.Snapshot, src graph.V, k int, cfg Config) (int, time.Duration)
 		for hop := 0; hop < k && len(frontier) > 0; hop++ {
 			next = next[:0]
 			for _, u := range frontier {
-				if bs != nil {
-					buf = bs.CopyNeighbors(u, buf[:0])
+				if !cfg.Callback {
+					buf = g.CopyNeighbors(u, buf[:0])
 				} else {
 					buf = buf[:0]
-					s.Neighbors(u, func(d graph.V) bool {
+					g.Neighbors(u, func(d graph.V) bool {
 						buf = append(buf, d)
 						return true
 					})
@@ -83,8 +82,8 @@ func (a vdeg) less(b vdeg) bool {
 // chunked across the pool's workers, each keeping a local top-k that a
 // serial pass merges, so the parallel phase never materializes more
 // than workers*k candidates.
-func TopKDegree(s graph.Snapshot, k int, cfg Config) ([]graph.V, time.Duration) {
-	n := s.NumVertices()
+func TopKDegree(g *graph.View, k int, cfg Config) ([]graph.V, time.Duration) {
+	n := g.NumVertices()
 	if k <= 0 || n == 0 {
 		return nil, 0
 	}
@@ -97,7 +96,7 @@ func TopKDegree(s graph.Snapshot, k int, cfg Config) ([]graph.V, time.Duration) 
 	p.ForRanges(bounds, func(c, lo, hi int) {
 		var acc []vdeg
 		for v := lo; v < hi; v++ {
-			acc = topkInsert(acc, vdeg{v: graph.V(v), d: s.Degree(graph.V(v))}, k)
+			acc = topkInsert(acc, vdeg{v: graph.V(v), d: g.Degree(graph.V(v))}, k)
 		}
 		locals[c] = acc
 	})

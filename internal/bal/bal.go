@@ -208,10 +208,10 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for src, dsts := range graph.GroupBySrc(edges) {
+	for _, run := range graph.GroupBySrc(edges) {
 		// appendRun accounts live and edge counts itself, from the words
 		// that actually landed.
-		if err := g.appendRun(src, dsts); err != nil {
+		if err := g.appendRun(run.Src, run.Dsts); err != nil {
 			return err
 		}
 	}
@@ -294,8 +294,8 @@ func (g *Graph) DeleteBatch(edges []graph.Edge) error {
 	if int(maxID) >= len(g.verts) {
 		return fmt.Errorf("bal: delete names vertex %d beyond %d: %w", maxID, len(g.verts), graph.ErrEdgeNotFound)
 	}
-	for src, dsts := range graph.GroupBySrc(edges) {
-		if err := g.deleteRun(src, dsts); err != nil {
+	for _, run := range graph.GroupBySrc(edges) {
+		if err := g.deleteRun(run.Src, run.Dsts); err != nil {
 			return err
 		}
 	}

@@ -65,6 +65,9 @@ func TestChurnJSONSmoke(t *testing.T) {
 				t.Errorf("DGAP/%s: compacted space %d not below no-compaction space %d",
 					r.Graph, r.SpaceBytes, r.NoCompactSpaceBytes)
 			}
+			if r.SplitVirtualNs == 0 || r.SplitChurnMEPS <= 0 {
+				t.Errorf("DGAP/%s: missing split-dispatch comparison: %+v", r.Graph, r)
+			}
 		}
 	}
 	if !sawDGAP {

@@ -14,19 +14,19 @@ import (
 // kernelFns names the four GAPBS kernels in Table 1.
 var kernelNames = []string{"PR", "BFS", "BC", "CC"}
 
-func runKernel(name string, s graph.Snapshot, src graph.V, cfg analytics.Config) time.Duration {
+func runKernel(name string, v *graph.View, src graph.V, cfg analytics.Config) time.Duration {
 	switch name {
 	case "PR":
-		_, d := analytics.PageRank(s, analytics.PageRankIters, cfg)
+		_, d := analytics.PageRank(v, analytics.PageRankIters, cfg)
 		return d
 	case "BFS":
-		_, d := analytics.BFS(s, src, cfg)
+		_, d := analytics.BFS(v, src, cfg)
 		return d
 	case "BC":
-		_, d := analytics.BC(s, src, cfg)
+		_, d := analytics.BC(v, src, cfg)
 		return d
 	default:
-		_, d := analytics.CC(s, cfg)
+		_, d := analytics.CC(v, cfg)
 		return d
 	}
 }
@@ -34,27 +34,27 @@ func runKernel(name string, s graph.Snapshot, src graph.V, cfg analytics.Config)
 // analysisSource picks the BFS/BC source vertex: the highest-degree
 // vertex reaches most of the graph, matching GAPBS's non-trivial
 // sources.
-func analysisSource(s graph.Snapshot) graph.V {
+func analysisSource(v *graph.View) graph.V {
 	best, bestDeg := graph.V(0), -1
-	for v := 0; v < s.NumVertices(); v++ {
-		if d := s.Degree(graph.V(v)); d > bestDeg {
-			best, bestDeg = graph.V(v), d
+	for u := 0; u < v.NumVertices(); u++ {
+		if d := v.Degree(graph.V(u)); d > bestDeg {
+			best, bestDeg = graph.V(u), d
 		}
 	}
 	return best
 }
 
-// loadedSnapshots builds every system (plus the CSR baseline), loads the
-// full dataset and returns analysis snapshots.
-func loadedSnapshots(spec graphgen.Spec, o Options) (map[string]graph.Snapshot, error) {
+// loadedViews builds every system (plus the CSR baseline), loads the
+// full dataset and returns analysis read Views.
+func loadedViews(spec graphgen.Spec, o Options) (map[string]*graph.View, error) {
 	edges := dataset(spec, o)
 	nVert := graphgen.MaxVertex(edges)
-	out := map[string]graph.Snapshot{}
+	out := map[string]*graph.View{}
 	c, err := csr.Build(arenaFor(len(edges), o.Latency), nVert, edges)
 	if err != nil {
 		return nil, err
 	}
-	out["CSR"] = c.Snapshot()
+	out["CSR"] = graph.Open(c).View()
 	for _, name := range SystemNames {
 		sys, _, err := buildSystem(name, nVert, len(edges), pmem.NoLatency())
 		if err != nil {
@@ -63,10 +63,11 @@ func loadedSnapshots(spec graphgen.Spec, o Options) (map[string]graph.Snapshot, 
 		// Loading is untimed here; latency off makes the sweep fast. The
 		// analysis reads hit the same memory layout either way (reads are
 		// not latency-charged; layout effects show up as cache behavior).
-		if err := loadAll(sys, edges); err != nil {
+		st, err := loadAll(sys, edges)
+		if err != nil {
 			return nil, err
 		}
-		out[name] = sys.Snapshot()
+		out[name] = st.View()
 	}
 	return out, nil
 }
@@ -79,7 +80,7 @@ func normalizedKernelTable(o Options, kernels []string, note string) error {
 		fmt.Fprintf(o.Out, "\n-- %s (normalized to CSR; smaller is better) --\n", k)
 		t := &table{header: append([]string{"graph"}, names...)}
 		for _, spec := range o.specs() {
-			snaps, err := loadedSnapshots(spec, o)
+			snaps, err := loadedViews(spec, o)
 			if err != nil {
 				return err
 			}
@@ -131,7 +132,7 @@ func Tab4(o Options) error {
 		}
 		t := &table{header: header}
 		for _, spec := range o.specs() {
-			snaps, err := loadedSnapshots(spec, o)
+			snaps, err := loadedViews(spec, o)
 			if err != nil {
 				return err
 			}

@@ -5,13 +5,10 @@ import (
 	"fmt"
 	"os"
 
-	"dgap/internal/bal"
 	"dgap/internal/dgap"
 	"dgap/internal/graph"
 	"dgap/internal/graphgen"
-	"dgap/internal/graphone"
 	"dgap/internal/workload"
-	"dgap/internal/xpgraph"
 )
 
 // Churn-experiment shape: router shards match the ingest experiment's
@@ -24,15 +21,34 @@ const (
 	churnWindowFrac = 4
 )
 
+// churnReps: every timed churn path — each system's routed run and
+// DGAP's split-dispatch ablation — is run on this many fresh instances
+// and reported best-of, so all rows carry the same statistic. The
+// virtual makespan charges real execution time, and on a 1-CPU host a
+// single run carries scheduler noise larger than the ~5-15% apply-path
+// effect being measured. Space and compaction counters are
+// deterministic per stream and read from one run.
+const churnReps = 5
+
 // ChurnResult is one mixed insert/delete measurement: a sliding-window
 // churn stream (insert the front, delete the tail) routed through the
-// sharded mixed router. SpaceBytes is the structure's post-churn
-// payload footprint; AppendSpaceBytes is an insert-only twin loaded
-// with the same inserts (what the structure would hold had nothing
-// been deleted). For DGAP, NoCompactSpaceBytes is a churn twin with
-// tombstone compaction disabled — the gap to SpaceBytes is the space
-// compaction reclaimed — and Compactions/PairsDropped count the
-// reclamation work (rebalance-piggybacked plus the final Compact).
+// sharded mixed router into graph.Applier sinks. SpaceBytes is the
+// structure's post-churn payload footprint; AppendSpaceBytes is an
+// insert-only twin loaded with the same inserts (what the structure
+// would hold had nothing been deleted). For DGAP, SplitVirtualNs/
+// SplitChurnMEPS time a twin driven through the legacy split dispatch
+// (each batch as one InsertBatch plus one DeleteBatch) against the
+// native mixed ApplyOps path the headline numbers use;
+// NoCompactSpaceBytes is a churn twin with tombstone compaction
+// disabled — the gap to SpaceBytes is the space compaction reclaimed —
+// and Compactions/PairsDropped count the reclamation work
+// (rebalance-piggybacked plus the final Compact). The native-vs-split
+// tradeoff being measured: mixed section groups halve the lock/flush/
+// fence/maintenance rounds per touched section but carry ~2x the ops
+// per group, so same-vertex appends collide into the edge log more
+// often before a trigger check can relieve the section — native wins
+// where fence/lock amortization dominates and lands within noise of
+// split where log pressure does.
 type ChurnResult struct {
 	System              string  `json:"system"`
 	Graph               string  `json:"graph"`
@@ -44,6 +60,8 @@ type ChurnResult struct {
 	VirtualNs           int64   `json:"virtual_ns"`
 	ChurnMEPS           float64 `json:"churn_meps"`
 	DeleteMEPS          float64 `json:"delete_meps"`
+	SplitVirtualNs      int64   `json:"split_virtual_ns,omitempty"`
+	SplitChurnMEPS      float64 `json:"split_churn_meps,omitempty"`
 	SpaceBytes          int64   `json:"space_bytes"`
 	AppendSpaceBytes    int64   `json:"append_space_bytes"`
 	Compactions         int64   `json:"compactions,omitempty"`
@@ -62,8 +80,9 @@ type ChurnDump struct {
 // ChurnJSON runs the sliding-window churn experiment — every dynamic
 // system, every dataset — and writes BENCH_churn.json: delete
 // throughput and post-churn space alongside the insert-only and (for
-// DGAP) no-compaction baselines. Systems without delete support (LLAMA)
-// appear as supported=false rows, documenting the rejection.
+// DGAP) split-dispatch and no-compaction baselines. Systems without
+// delete support (LLAMA) appear as supported=false rows, documenting
+// the rejection.
 func ChurnJSON(o Options, path string) error {
 	o = o.defaults()
 	dump := ChurnDump{Scale: o.Scale, Seed: o.Seed, Shards: churnShards}
@@ -99,32 +118,86 @@ func spaceOf(sys graph.System) int64 {
 	case *dgap.Graph:
 		fp := s.Footprint()
 		return int64(fp.OccupiedBytes + fp.ELogBytes)
-	case *bal.Graph:
-		return s.SpaceBytes()
-	case *graphone.Graph:
-		return s.SpaceBytes()
-	case *xpgraph.Graph:
+	case interface{ SpaceBytes() int64 }:
 		return s.SpaceBytes()
 	}
 	return 0
 }
 
 // loadBatched fills a fresh system with an insert-only stream through
-// its bulk write path (untimed).
+// its Store (untimed).
 func loadBatched(sys graph.System, edges []graph.Edge, batchSize int) error {
-	bw := graph.Batch(sys)
-	for len(edges) > 0 {
-		n := min(batchSize, len(edges))
-		if err := bw.InsertBatch(edges[:n]); err != nil {
+	st := graph.Open(sys)
+	ops := graph.Inserts(edges)
+	for len(ops) > 0 {
+		n := min(batchSize, len(ops))
+		if err := st.Apply(ops[:n]); err != nil {
 			return err
 		}
-		edges = edges[n:]
+		ops = ops[n:]
 	}
 	return settle(sys)
 }
 
+// splitApplier reproduces the dispatch the native mixed path replaced:
+// each router batch lands as one InsertBatch of its inserts followed by
+// one DeleteBatch of its deletes, so two lock/flush/fence/rebalance
+// rounds per touched section instead of one shared mixed round. The
+// regenerated artifact records it next to the native numbers as the
+// apply-path ablation. Buffers persist across batches (one sink per
+// shard, driven by one virtual thread at a time).
+type splitApplier struct {
+	w        *dgap.Writer
+	ins, del []graph.Edge
+}
+
+func (s *splitApplier) ApplyOps(ops []graph.Op) error {
+	s.ins, s.del = s.ins[:0], s.del[:0]
+	for _, o := range ops {
+		if o.Del {
+			s.del = append(s.del, o.Edge)
+		} else {
+			s.ins = append(s.ins, o.Edge)
+		}
+	}
+	if len(s.ins) > 0 {
+		if err := s.w.InsertBatch(s.ins); err != nil {
+			return err
+		}
+	}
+	if len(s.del) > 0 {
+		return s.w.DeleteBatch(s.del)
+	}
+	return nil
+}
+
+// churnDGAPSplit drives the churn stream into a fresh DGAP twin through
+// split-dispatch sinks, returning the virtual makespan for the
+// native-vs-split comparison.
+func churnDGAPSplit(nVert, nEdges int, warm []graph.Edge, ops []graph.Op, batchSize int, o Options) (workload.InsertResult, error) {
+	a := arenaFor(nEdges, o.Latency)
+	g, err := dgap.New(a, dgap.DefaultConfig(nVert, int64(nEdges)))
+	if err != nil {
+		return workload.InsertResult{}, err
+	}
+	if err := graph.Open(g).Apply(graph.Inserts(warm)); err != nil {
+		return workload.InsertResult{}, err
+	}
+	writers := make([]*dgap.Writer, churnShards)
+	sinks := make([]graph.Applier, churnShards)
+	for i := range writers {
+		if writers[i], err = g.NewWriter(); err != nil {
+			return workload.InsertResult{}, err
+		}
+		defer writers[i].Close()
+		sinks[i] = &splitApplier{w: writers[i]}
+	}
+	rt := workload.Router{Shards: churnShards, BatchSize: batchSize, Scope: workload.ScopeSection}
+	return rt.RunOps(sinks, ops)
+}
+
 // measureChurn runs one system through the churn stream plus its space
-// baselines.
+// (and, for DGAP, apply-path) baselines.
 func measureChurn(name string, nVert int, edges []graph.Edge, o Options) (ChurnResult, error) {
 	out := ChurnResult{System: name}
 	warm, timed := workload.Split(edges)
@@ -132,29 +205,78 @@ func measureChurn(name string, nVert int, edges []graph.Edge, o Options) (ChurnR
 	ops := workload.ChurnOps(timed, window)
 	out.Ops = len(ops)
 	out.Window = window
-	out.Inserts, out.Deletes = workload.SplitOps(ops)
+	out.Inserts, out.Deletes = graph.SplitOps(ops)
 	batchSize := workload.AdaptiveBatchSize(len(ops))
 
-	sys, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+	// churnOn warms a fresh instance and drives the routed churn
+	// stream, returning the makespan.
+	churnOn := func(sys graph.System) (workload.InsertResult, error) {
+		if err := graph.Open(sys).Apply(graph.Inserts(warm)); err != nil {
+			return workload.InsertResult{}, err
+		}
+		if g, ok := sys.(*dgap.Graph); ok {
+			return workload.ChurnRoutedDGAP(g, ops, churnShards, batchSize)
+		}
+		return workload.ChurnRouted(sys, ops, churnShards, lockScope(name), batchSize)
+	}
+	runOnce := func() (graph.System, workload.InsertResult, error) {
+		sys, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+		if err != nil {
+			return nil, workload.InsertResult{}, err
+		}
+		res, err := churnOn(sys)
+		return sys, res, err
+	}
+
+	first, _, err := buildSystem(name, nVert, len(edges), o.Latency)
 	if err != nil {
 		return out, err
 	}
-	if graph.Deletes(sys) == nil {
+	if !graph.Open(first).Caps().Has(graph.CapDelete) {
 		// Documented rejection (LLAMA): no churn numbers, only the row.
 		return out, nil
 	}
 	out.Supported = true
-	if err := graph.Batch(sys).InsertBatch(warm); err != nil {
-		return out, err
+	// Best-of-reps on fresh instances; the first instance keeps serving
+	// the space/compaction reads below. For DGAP each rep runs the
+	// native path and its split-dispatch ablation back to back, so a
+	// slow stretch of the host (the makespan charges real time) hits
+	// both sides of the comparison instead of one path's whole block.
+	var sys graph.System
+	var res, split workload.InsertResult
+	for rep := 0; rep < churnReps; rep++ {
+		var rsys graph.System
+		var rres workload.InsertResult
+		if rep == 0 {
+			// The capability-checked instance doubles as rep 0.
+			rsys = first
+			rres, err = churnOn(first)
+		} else {
+			rsys, rres, err = runOnce()
+		}
+		if err != nil {
+			return out, err
+		}
+		if rep == 0 {
+			sys, res = rsys, rres
+		} else if rres.Elapsed < res.Elapsed {
+			res = rres
+		}
+		if name == "DGAP" {
+			sres, err := churnDGAPSplit(nVert, len(edges), warm, ops, batchSize, o)
+			if err != nil {
+				return out, err
+			}
+			if rep == 0 || sres.Elapsed < split.Elapsed {
+				split = sres
+			}
+		}
 	}
-	var res workload.InsertResult
-	if g, ok := sys.(*dgap.Graph); ok {
-		res, err = workload.ChurnRoutedDGAP(g, ops, churnShards, batchSize)
-	} else {
-		res, err = workload.ChurnRouted(sys, ops, churnShards, lockScope(name), batchSize)
-	}
-	if err != nil {
-		return out, err
+	if name == "DGAP" {
+		out.SplitVirtualNs = split.Elapsed.Nanoseconds()
+		if s := split.Elapsed.Seconds(); s > 0 {
+			out.SplitChurnMEPS = float64(out.Ops) / s / 1e6
+		}
 	}
 	if err := settle(sys); err != nil {
 		return out, err
@@ -171,9 +293,9 @@ func measureChurn(name string, nVert int, edges []graph.Edge, o Options) (ChurnR
 		if err := g.Compact(); err != nil {
 			return out, err
 		}
-		st := g.Compaction()
-		out.Compactions = st.Compactions
-		out.PairsDropped = st.PairsDropped
+		cst := g.Compaction()
+		out.Compactions = cst.Compactions
+		out.PairsDropped = cst.PairsDropped
 	}
 	out.SpaceBytes = spaceOf(sys)
 
@@ -187,14 +309,14 @@ func measureChurn(name string, nVert int, edges []graph.Edge, o Options) (ChurnR
 	}
 	out.AppendSpaceBytes = spaceOf(app)
 
-	// DGAP only: a churn twin with compaction disabled — the space a
-	// tombstone-accumulating DGAP would be left holding.
 	if name == "DGAP" {
+		// A churn twin with compaction disabled — the space a tombstone-
+		// accumulating DGAP would be left holding.
 		nc, err := buildDGAPNoCompact(nVert, len(edges), o)
 		if err != nil {
 			return out, err
 		}
-		if err := graph.Batch(nc).InsertBatch(warm); err != nil {
+		if err := graph.Open(nc).Apply(graph.Inserts(warm)); err != nil {
 			return out, err
 		}
 		if _, err := workload.ChurnRoutedDGAP(nc, ops, churnShards, batchSize); err != nil {

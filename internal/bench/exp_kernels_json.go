@@ -35,7 +35,7 @@ func KernelJSON(o Options, path string) error {
 	o = o.defaults()
 	dump := KernelDump{Scale: o.Scale, Seed: o.Seed}
 	for _, spec := range o.specs() {
-		snaps, err := loadedSnapshots(spec, o)
+		snaps, err := loadedViews(spec, o)
 		if err != nil {
 			return err
 		}

@@ -143,7 +143,7 @@ func measureServe(name string, nVert int, edges []graph.Edge, perKilo int, o Opt
 	}
 	warm, timed := workload.Split(edges)
 	out.Edges = len(timed)
-	if err := graph.Batch(sys).InsertBatch(warm); err != nil {
+	if err := graph.Open(sys).Apply(graph.Inserts(warm)); err != nil {
 		return out, err
 	}
 

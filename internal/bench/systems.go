@@ -53,15 +53,22 @@ func lockScope(name string) workload.LockScope {
 	return workload.ScopeFor(name)
 }
 
-// loadAll inserts the full stream (no timing) and settles pending
-// batches so analysis sees the complete graph.
-func loadAll(sys graph.System, edges []graph.Edge) error {
-	for _, e := range edges {
-		if err := sys.InsertEdge(e.Src, e.Dst); err != nil {
-			return err
+// loadAll opens the system's Store, applies the full stream through
+// Store.Apply in adaptive batches (no timing) and settles pending
+// batches so analysis sees the complete graph. The Store is returned
+// for View minting.
+func loadAll(sys graph.System, edges []graph.Edge) (*graph.Store, error) {
+	st := graph.Open(sys)
+	ops := graph.Inserts(edges)
+	batch := workload.AdaptiveBatchSize(len(edges))
+	for len(ops) > 0 {
+		n := min(batch, len(ops))
+		if err := st.Apply(ops[:n]); err != nil {
+			return nil, err
 		}
+		ops = ops[n:]
 	}
-	return settle(sys)
+	return st, settle(sys)
 }
 
 // settle flushes framework-internal batches before analysis.

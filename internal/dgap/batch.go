@@ -9,21 +9,26 @@ import (
 // This file is the batched write path — the write-side mirror of the
 // bulk read path in snapshot.go. Where SweepNeighbors pins the epoch
 // once per sweep and takes each section read lock once per run of
-// vertices, InsertBatch groups a batch by PMA section and, per group,
-// takes the section write lock once, stages every edge-log entry into
-// the section's contiguous segment, issues one coalesced flush of the
-// staged range (~4 entries per cache line instead of one flush+fence
-// each), fences once, and evaluates the rebalance trigger once at the
-// group boundary. Rebalances therefore run at most once per group — one
-// undo-log session per section group instead of a potential session per
-// edge — which is where the batched path's flush/fence savings compound.
+// vertices, the apply machinery groups a mutation batch by PMA section
+// and, per group, takes the section write lock once, stages every
+// edge-log entry into the section's contiguous segment, issues one
+// coalesced flush of the staged range (~4 entries per cache line
+// instead of one flush+fence each), fences once, and evaluates the
+// rebalance trigger once at the group boundary. Rebalances therefore
+// run at most once per group — one undo-log session per section group
+// instead of a potential session per edge — which is where the batched
+// path's flush/fence savings compound.
 //
-// DeleteBatch is the same machinery with the tombstone flag carried
-// through: a tombstone is physically an append (deletion re-inserts the
-// edge value with tombBit set), so section grouping, coalesced flushes,
-// the single fence and the single rebalance session per group apply
-// unchanged. The only extra work is the per-edge live-match validation
-// every delete pays (see liveMatches).
+// ApplyOps is the native mixed surface (graph.Applier): a tombstone is
+// physically an append (deletion re-inserts the edge value with tombBit
+// set), so inserts and deletes of one batch plan into the same section
+// groups and share the group's lock acquisition, coalesced flushes,
+// fence and rebalance session — nothing splits the stream into separate
+// insert and delete rounds. The only delete-specific work is the
+// per-edge live-match validation every delete pays (see liveMatches),
+// and per-source stream order is preserved end to end, so a delete is
+// validated against exactly the inserts that preceded it. InsertBatch
+// and DeleteBatch are the single-kind specializations of the same body.
 //
 // The one-flush-one-fence accounting assumes the default
 // MetadataInDRAM=true. The "No DP" ablation deliberately write-through
@@ -32,8 +37,12 @@ import (
 // cost: the ablation exists to model in-place PM metadata updates, so
 // coalescing them away would erase the effect it measures.
 
-var _ graph.BatchMutator = (*Graph)(nil)
-var _ graph.BatchMutator = (*Writer)(nil)
+var (
+	_ graph.BatchMutator = (*Graph)(nil)
+	_ graph.BatchMutator = (*Writer)(nil)
+	_ graph.Applier      = (*Graph)(nil)
+	_ graph.Applier      = (*Writer)(nil)
+)
 
 // InsertBatch implements graph.BatchWriter through the graph's internal
 // writer handle; concurrent ingest should route batches to per-shard
@@ -44,6 +53,15 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 	return g.defaultWriter().InsertBatch(edges)
 }
 
+// ApplyOps implements graph.Applier through the graph's internal writer
+// handle; concurrent ingest should route op batches to per-shard
+// Writers instead.
+func (g *Graph) ApplyOps(ops []graph.Op) error {
+	g.defMu.Lock()
+	defer g.defMu.Unlock()
+	return g.defaultWriter().ApplyOps(ops)
+}
+
 // InsertBatch adds a slice of directed edges through the batched write
 // path. It returns once every edge in the batch is durable; on error an
 // arbitrary subset of the batch (whole section groups, in section
@@ -52,7 +70,7 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 // begins, and torn edge-log entries are rejected by checksum during
 // recovery.
 func (w *Writer) InsertBatch(edges []graph.Edge) error {
-	return w.applyBatch(edges, false)
+	return w.apply(opsOf(edges, false))
 }
 
 // DeleteBatch implements graph.BatchDeleter: the batch's tombstones are
@@ -62,58 +80,82 @@ func (w *Writer) InsertBatch(edges []graph.Edge) error {
 // match the batch aborts with an error wrapping graph.ErrEdgeNotFound
 // (whole section groups applied before it stay applied).
 func (w *Writer) DeleteBatch(edges []graph.Edge) error {
-	return w.applyBatch(edges, true)
+	return w.apply(opsOf(edges, true))
 }
 
-// applyBatch is the shared body of InsertBatch (tomb=false) and
-// DeleteBatch (tomb=true).
-func (w *Writer) applyBatch(edges []graph.Edge, tomb bool) error {
-	if len(edges) == 0 {
+// ApplyOps implements graph.Applier natively: one mixed insert/delete
+// stream, section-grouped whole — each group applies its inserts and
+// tombstones under one section lock with one coalesced flush, one fence
+// and at most one rebalance session. Per-source stream order is
+// preserved, so a delete finds exactly the live copies its preceding
+// inserts created; a delete with no live match aborts the batch with an
+// error wrapping graph.ErrEdgeNotFound.
+func (w *Writer) ApplyOps(ops []graph.Op) error {
+	return w.apply(append(make([]graph.Op, 0, len(ops)), ops...))
+}
+
+// opsOf wraps an edge slice as a freshly-owned single-kind op stream.
+func opsOf(edges []graph.Edge, tomb bool) []graph.Op {
+	ops := make([]graph.Op, len(edges))
+	for i, e := range edges {
+		ops[i] = graph.Op{Edge: e, Del: tomb}
+	}
+	return ops
+}
+
+// apply is the shared body of InsertBatch, DeleteBatch and ApplyOps.
+// It owns pending as its working buffer (rounds re-bucket it in place).
+func (w *Writer) apply(pending []graph.Op) error {
+	if len(pending) == 0 {
 		return nil
 	}
 	g := w.g
-	maxID := graph.V(0)
-	for _, e := range edges {
+	maxIns, maxDel := -1, -1
+	for _, o := range pending {
+		e := o.Edge
 		if e.Src > idMask || e.Dst > idMask {
 			return fmt.Errorf("dgap: vertex id out of range (max %d)", idMask)
 		}
-		maxID = max(maxID, e.Src, e.Dst)
-	}
-	if tomb {
-		// Deletes never grow the id space: an edge from a vertex that
-		// was never inserted cannot have a live copy.
-		if int(maxID) >= g.NumVertices() {
-			return fmt.Errorf("dgap: delete names vertex %d beyond %d: %w", maxID, g.NumVertices(), ErrNoEdge)
+		m := int(max(e.Src, e.Dst))
+		if o.Del {
+			maxDel = max(maxDel, m)
+		} else {
+			maxIns = max(maxIns, m)
 		}
-	} else if need := int(maxID) + 1; need > g.NumVertices() {
+	}
+	if need := maxIns + 1; need > g.NumVertices() {
 		if err := g.EnsureVertices(need); err != nil {
 			return err
 		}
 	}
+	if maxDel >= g.NumVertices() {
+		// Deletes never grow the id space: an edge from a vertex that
+		// was never inserted cannot have a live copy.
+		return fmt.Errorf("dgap: delete names vertex %d beyond %d: %w", maxDel, g.NumVertices(), ErrNoEdge)
+	}
 
-	// pending is a working copy so retries can be re-bucketed without
-	// touching the caller's slice; retry collects, in stream order, the
-	// edges each round could not place (position moved to another
-	// section, section log full, or array out of room).
-	pending := append(make([]graph.Edge, 0, len(edges)), edges...)
-	retry := make([]graph.Edge, 0, 16)
-	grouped := make([]graph.Edge, len(pending))
+	// retry collects, in stream order, the ops each round could not
+	// place (position moved to another section, section log full, or
+	// array out of room).
+	retry := make([]graph.Op, 0, 16)
+	grouped := make([]graph.Op, len(pending))
 	var secs, cursor, starts []int
 
 	for len(pending) > 0 {
 		ep := g.ep.Load()
-		// Plan: bucket each pending edge by the section its insert
-		// position falls in right now. The plan is only a grouping
-		// heuristic — applyGroup re-validates every edge under the
-		// section lock — so a stale read costs a retry, never
-		// correctness. A counting bucket pass keeps planning O(batch +
-		// sections) with no comparison sort; filling buckets in stream
-		// order keeps same-source edges in stream order within a group,
-		// preserving per-vertex insertion order end to end.
+		// Plan: bucket each pending op by the section its append
+		// position falls in right now (tombstones append exactly where
+		// inserts do). The plan is only a grouping heuristic —
+		// applyGroup re-validates every op under the section lock — so
+		// a stale read costs a retry, never correctness. A counting
+		// bucket pass keeps planning O(batch + sections) with no
+		// comparison sort; filling buckets in stream order keeps
+		// same-source ops in stream order within a group, preserving
+		// per-vertex mutation order end to end.
 		secs = secs[:0]
 		cursor = resetInts(cursor, ep.nSec)
-		for _, e := range pending {
-			m := &ep.meta[e.Src]
+		for _, o := range pending {
+			m := &ep.meta[o.Edge.Src]
 			arr, _ := unpackCounts(m.counts.Load())
 			pos := m.start.Load() + 1 + arr
 			if pos >= ep.slots {
@@ -131,8 +173,8 @@ func (w *Writer) applyBatch(edges []graph.Edge, tomb bool) error {
 			cursor[s] = starts[s]
 		}
 		grouped = grouped[:len(pending)]
-		for i, e := range pending {
-			grouped[cursor[secs[i]]] = e
+		for i, o := range pending {
+			grouped[cursor[secs[i]]] = o
 			cursor[secs[i]]++
 		}
 
@@ -143,7 +185,7 @@ func (w *Writer) applyBatch(edges []graph.Edge, tomb bool) error {
 			if cursor[s] == starts[s] {
 				continue
 			}
-			n, grow, err := w.applyGroup(s, grouped[starts[s]:cursor[s]], tomb, &retry)
+			n, grow, err := w.applyGroup(s, grouped[starts[s]:cursor[s]], &retry)
 			if err != nil {
 				return err
 			}
@@ -153,7 +195,7 @@ func (w *Writer) applyBatch(edges []graph.Edge, tomb bool) error {
 		if inserted == 0 {
 			// No forward progress this round: either the edge array is
 			// out of room (grow it) or the plan raced a structural
-			// change; one scalar insert guarantees termination.
+			// change; one scalar apply guarantees termination.
 			if needGrow {
 				// Same writer-quiescence protocol as the scalar path:
 				// structural growth runs under the snapshot read lock.
@@ -165,8 +207,8 @@ func (w *Writer) applyBatch(edges []graph.Edge, tomb bool) error {
 					return err
 				}
 			} else if len(retry) > 0 {
-				e := retry[0]
-				if err := w.insert(e.Src, e.Dst, tomb); err != nil {
+				o := retry[0]
+				if err := w.insert(o.Edge.Src, o.Edge.Dst, o.Del); err != nil {
 					return err
 				}
 				retry = retry[1:]
@@ -188,17 +230,16 @@ func resetInts(buf []int, n int) []int {
 	return buf
 }
 
-// applyGroup applies a planned group of edges (inserts, or tombstones
-// when tomb is set) whose target position falls in section sec: one
-// section lock acquisition, one coalesced edge-log flush, one fence,
-// and one rebalance-trigger check for the whole group. Edges whose
-// position moved out of sec (a racing writer, a rebalance, or the
-// group's own growth crossing a section boundary) are appended to retry
-// in stream order; once a source is deferred all its later edges follow
-// it there, keeping per-vertex order intact. The grow result reports
-// that an edge ran past the end of the edge array and needs a
-// restructure.
-func (w *Writer) applyGroup(sec int, group []graph.Edge, tomb bool, retry *[]graph.Edge) (inserted int, grow bool, err error) {
+// applyGroup applies a planned group of ops (inserts and tombstones
+// mixed) whose target position falls in section sec: one section lock
+// acquisition, one coalesced edge-log flush, one fence, and one
+// rebalance-trigger check for the whole group. Ops whose position moved
+// out of sec (a racing writer, a rebalance, or the group's own growth
+// crossing a section boundary) are appended to retry in stream order;
+// once a source is deferred all its later ops follow it there, keeping
+// per-vertex order intact. The grow result reports that an op ran past
+// the end of the edge array and needs a restructure.
+func (w *Writer) applyGroup(sec int, group []graph.Op, retry *[]graph.Op) (inserted int, grow bool, err error) {
 	g := w.g
 	g.snapMu.RLock()
 	defer g.snapMu.RUnlock()
@@ -218,7 +259,7 @@ func (w *Writer) applyGroup(sec int, group []graph.Edge, tomb bool, retry *[]gra
 	var deferred map[graph.V]bool
 	logFrom := ep.elogUsed[sec].Load()
 	// Fast-path slot stores are flushed as one range at the group
-	// boundary: a hub vertex's grouped edges land on consecutive slots
+	// boundary: a hub vertex's grouped ops land on consecutive slots
 	// of the same cache line, and flushing that line once per group
 	// sidesteps the in-place re-flush penalty the scalar path only
 	// avoids because a shuffled stream scatters same-vertex inserts.
@@ -227,9 +268,10 @@ func (w *Writer) applyGroup(sec int, group []graph.Edge, tomb bool, retry *[]gra
 	forced := false
 
 loop:
-	for k, e := range group {
+	for k, o := range group {
+		e := o.Edge
 		if deferred[e.Src] {
-			*retry = append(*retry, e)
+			*retry = append(*retry, o)
 			continue
 		}
 		m := &ep.meta[e.Src]
@@ -243,11 +285,11 @@ loop:
 				deferred = make(map[graph.V]bool)
 			}
 			deferred[e.Src] = true
-			*retry = append(*retry, e)
+			*retry = append(*retry, o)
 			continue
 		}
 		val := e.Dst
-		if tomb {
+		if o.Del {
 			// Validated under the section lock, which pins the run and
 			// chain (see liveMatches); earlier tombstones of this group
 			// are already visible to the scan, so duplicate deletes in
@@ -292,7 +334,7 @@ loop:
 			g.mirrorVertex(ep, e.Src)
 			g.mirrorSection(ep, sec)
 		}
-		if tomb {
+		if o.Del {
 			m.live.Add(-1)
 			m.flags.Store(m.flags.Load() | flagHasTomb)
 			g.liveTotal.Add(-1)

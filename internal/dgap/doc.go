@@ -34,12 +34,14 @@
 //
 // Two write paths are exposed. Writer.InsertEdge is the scalar path:
 // one section-lock round, one flush and one fence per edge.
-// Writer.InsertBatch (graph.BatchWriter) is the batched path: a batch
-// is grouped by PMA section, and each group pays the section lock, the
-// coalesced cache-line flushes of its slots and contiguous edge-log
-// entries, the fence, and the rebalance-trigger check once — so at most
-// one undo-log session runs per section group instead of potentially
-// per edge. See batch.go.
+// Writer.ApplyOps (graph.Applier) is the batched path, applied natively
+// to mixed insert/delete streams: a batch is grouped by PMA section —
+// inserts and tombstones together — and each group pays the section
+// lock, the coalesced cache-line flushes of its slots and contiguous
+// edge-log entries, the fence, and the rebalance-trigger check once —
+// so at most one undo-log session runs per section group instead of
+// potentially per edge. InsertBatch and DeleteBatch are the single-kind
+// specializations of the same machinery. See batch.go.
 //
 // # Deletion and compaction
 //
@@ -50,11 +52,11 @@
 // Snapshot reads cancel one earlier occurrence per tombstone (the
 // kill-table passes in snapshot.go), which keeps the per-vertex
 // physical-entry prefix immutable history: a snapshot taken before a
-// delete keeps seeing the edge, the next one does not. DeleteBatch
-// (graph.BatchDeleter) runs tombstones through the same
-// section-grouped machinery as InsertBatch — one section lock, one
-// coalesced flush, one fence and at most one rebalance session per
-// group (batch.go).
+// delete keeps seeing the edge, the next one does not. Batched
+// tombstones run through the same section-grouped apply machinery as
+// inserts — in the same groups, when a mixed stream arrives through
+// ApplyOps — one section lock, one coalesced flush, one fence and at
+// most one rebalance session per group (batch.go).
 //
 // Tombstones would otherwise accumulate forever, so compaction
 // piggybacks on the maintenance that rewrites windows anyway: when a

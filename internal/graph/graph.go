@@ -1,38 +1,43 @@
-// Package graph defines the vertex/edge types and the snapshot interfaces
-// shared by every graph system in this repository (DGAP and the baselines
-// it is evaluated against) and consumed by the analytics kernels.
+// Package graph defines the vertex/edge types, the backend SPI
+// (System and its optional capability interfaces) shared by every graph
+// system in this repository, and the two resolved handles every
+// consumer works through:
 //
-// Two read paths are offered. Neighbors is the classic per-edge callback:
-// simple, universal, but it costs one closure invocation per edge plus
-// whatever per-vertex synchronization the backend needs. BulkSnapshot is
-// the bulk read path: CopyNeighbors appends a vertex's whole adjacency
-// run into a caller-provided scratch slice in one pass, so kernels touch
-// destinations through a plain slice loop with amortized zero
-// allocations. Backends that can amortize synchronization across an
-// ascending vertex range additionally implement Sweeper. Bulk and Sweep
-// give kernels a uniform entry point that degrades gracefully to the
-// callback path for backends without native support.
+//   - Store — opened once via Open(sys) — is the mutation handle. It
+//     resolves the system's capabilities into a Caps bitset (CapBatch,
+//     CapDelete, CapSweep, CapClose, ...) exactly once and exposes one
+//     mutation entry point, Apply, over mixed insert/delete op streams
+//     (Op, OpInsert, OpDelete). Backends with a native mixed path
+//     (Applier — DGAP) get the stream unsplit; the rest get its
+//     inserts and deletes as one batch each, inserts first — the
+//     multiset-exact split the sharded router has always dispatched.
+//   - View — returned by Store.View() or ViewOf(snapshot) — is the read
+//     handle: one consistent snapshot with the bulk and sweep fast
+//     paths resolved at construction and an explicit Release that
+//     threads the backend's snapshot accounting (DGAP's compaction
+//     gate).
 //
-// The write path mirrors the read path symmetrically. InsertEdge is the
-// scalar per-edge call: universal, but it pays locking, durability
-// fencing and trigger bookkeeping once per edge. BatchWriter is the bulk
-// write path: InsertBatch ingests a whole edge slice, letting a backend
-// amortize that per-edge overhead across the batch (DGAP groups a batch
-// by PMA section — one section lock, one fence and one rebalance check
-// per group; BAL and XPGraph fill whole blocks per flush; LLAMA and
-// GraphOne take their ingestion lock once). Batch is the uniform entry
-// point, degrading to a scalar InsertEdge loop for backends without
-// native support — exactly as Bulk degrades to the callback reader:
+// Underneath, the backend SPI keeps its symmetric two-tier shape, now
+// as internals behind Store and View:
 //
-//	Neighbors   ↔ InsertEdge   (scalar, universal)
-//	Bulk/Sweep  ↔ Batch        (bulk, amortized where implemented)
+//	Neighbors   ↔ InsertEdge            (scalar, universal)
+//	Bulk/Sweep  ↔ Batch/Deletes/Apply   (bulk, amortized where implemented)
 //
-// Deletion follows the same two-tier shape, but support is optional:
-// Deleter is the scalar path, BatchDeleter the bulk path, and Deletes
-// the uniform entry point (native, scalar fallback, or nil for systems
-// that reject deletes outright — the static CSR and LLAMA's
-// append-only levels). A delete cancels one live (src, dst) edge;
-// deleting an edge with no live copy fails with ErrEdgeNotFound.
+// On the read side, Neighbors is the classic per-edge callback — simple,
+// universal, one closure invocation per edge; BulkSnapshot.CopyNeighbors
+// appends a vertex's whole adjacency into caller scratch in one pass,
+// and Sweeper amortizes per-vertex synchronization across ascending
+// ranges. On the write side, InsertEdge pays locking, durability fencing
+// and trigger bookkeeping per edge; BatchWriter.InsertBatch amortizes
+// all three across a batch (DGAP per PMA-section group, BAL and XPGraph
+// per block fill, LLAMA and GraphOne per ingestion-lock round), with
+// BatchDeleter the delete-side twin. Deletion support is optional: a
+// delete cancels one live (src, dst) edge, fails with ErrEdgeNotFound
+// when no live copy exists, and is rejected wholesale by the static CSR
+// and LLAMA's append-only levels (ErrDeletesUnsupported). The uniform
+// free-function adapters (Bulk, Sweep, Batch, Deletes) remain for the
+// implementation and its tests; external code resolves capabilities
+// through Open instead of re-asserting them at call sites.
 package graph
 
 import (
@@ -177,8 +182,17 @@ func Batch(sys System) BatchWriter {
 type scalarBatch struct{ System }
 
 func (s scalarBatch) InsertBatch(edges []Edge) error {
+	return scalarLoop(edges, s.System.InsertEdge)
+}
+
+// scalarLoop is the one stream-order fallback loop both scalar batch
+// adapters share: it drives every edge through the per-edge call and
+// wraps the first failure in BatchError, so Index names both the
+// failing edge and the applied prefix (edges[:Index] landed,
+// edges[Index:] did not).
+func scalarLoop(edges []Edge, apply func(src, dst V) error) error {
 	for i, e := range edges {
-		if err := s.System.InsertEdge(e.Src, e.Dst); err != nil {
+		if err := apply(e.Src, e.Dst); err != nil {
 			return &BatchError{Index: i, Edge: e, Err: err}
 		}
 	}
@@ -234,8 +248,10 @@ type BatchDeleter interface {
 	DeleteBatch(edges []Edge) error
 }
 
-// BatchMutator combines both bulk write paths; the workload router's
-// mixed insert/delete streams run against this surface.
+// BatchMutator combines both single-kind bulk write paths. Mixed
+// streams flow through Applier/Store.Apply instead; this surface
+// remains for backends that implement both kinds natively without a
+// mixed path.
 type BatchMutator interface {
 	BatchWriter
 	BatchDeleter
@@ -258,18 +274,12 @@ func Deletes(sys System) BatchDeleter {
 
 type scalarDeletes struct{ d Deleter }
 
-// DeleteBatch applies the batch through one DeleteEdge per edge,
-// wrapping a failure in BatchError exactly as the insert fallback does:
-// the index names the failing edge and, because the fallback applies in
-// stream order, the applied prefix (so workload.ShardError reports the
-// failing edge index for deletes too).
+// DeleteBatch applies the batch through one DeleteEdge per edge via the
+// same stream-order scalarLoop the insert fallback uses, so a failure's
+// BatchError names the failing edge index and the applied prefix for
+// deletes too (workload.ShardError surfaces it per shard).
 func (s scalarDeletes) DeleteBatch(edges []Edge) error {
-	for i, e := range edges {
-		if err := s.d.DeleteEdge(e.Src, e.Dst); err != nil {
-			return &BatchError{Index: i, Edge: e, Err: err}
-		}
-	}
-	return nil
+	return scalarLoop(edges, s.d.DeleteEdge)
 }
 
 // Closer is implemented by systems with a graceful-shutdown path.
@@ -321,15 +331,32 @@ func FilterTombs(buf []V, base int) []V {
 	return buf[:w]
 }
 
-// GroupBySrc buckets an edge slice by source vertex, preserving stream
-// order within each source — the grouping every per-vertex batched
-// write path (block fills, chunk fills, level fragments) starts from.
-func GroupBySrc(edges []Edge) map[V][]V {
-	groups := make(map[V][]V)
+// SrcRun is one source vertex's grouped destinations, in stream order.
+type SrcRun struct {
+	Src  V
+	Dsts []V
+}
+
+// GroupBySrc buckets an edge slice by source vertex — the grouping
+// every per-vertex batched write path (block fills, chunk fills, level
+// fragments) starts from. Stream order is preserved twice over: within
+// each source's destination run, and across runs (sources appear in
+// first-appearance order), so batch application — and with it physical
+// layout — is deterministic run-to-run instead of following Go's
+// randomized map iteration.
+func GroupBySrc(edges []Edge) []SrcRun {
+	idx := make(map[V]int, 16)
+	runs := make([]SrcRun, 0, 16)
 	for _, e := range edges {
-		groups[e.Src] = append(groups[e.Src], e.Dst)
+		i, ok := idx[e.Src]
+		if !ok {
+			i = len(runs)
+			idx[e.Src] = i
+			runs = append(runs, SrcRun{Src: e.Src})
+		}
+		runs[i].Dsts = append(runs[i].Dsts, e.Dst)
 	}
-	return groups
+	return runs
 }
 
 // CountEdges iterates a snapshot and counts visible directed edges; a

@@ -1,0 +1,59 @@
+package graph
+
+// Op is one mutation of an edge stream: an insert, or the deletion of
+// one live (Src, Dst) copy. Mixed streams of Ops are the unit of the
+// unified mutation surface — Store.Apply and the native Applier fast
+// path — and of the workload router's sharded dispatch.
+type Op struct {
+	Edge Edge
+	Del  bool
+}
+
+// OpInsert returns the op inserting the directed edge src->dst.
+func OpInsert(src, dst V) Op { return Op{Edge: Edge{Src: src, Dst: dst}} }
+
+// OpDelete returns the op cancelling one live src->dst copy.
+func OpDelete(src, dst V) Op { return Op{Edge: Edge{Src: src, Dst: dst}, Del: true} }
+
+// Inserts wraps an edge slice as an insert-only op stream.
+func Inserts(edges []Edge) []Op {
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{Edge: e}
+	}
+	return ops
+}
+
+// SplitOps counts a mixed stream's composition.
+func SplitOps(ops []Op) (inserts, deletes int) {
+	for _, o := range ops {
+		if o.Del {
+			deletes++
+		} else {
+			inserts++
+		}
+	}
+	return inserts, deletes
+}
+
+// Applier is the unified bulk mutation surface: one call applies a
+// mixed insert/delete stream. Backends that implement it natively
+// (DGAP's section-grouped mixed path) process inserts and tombstones of
+// one batch together — one lock acquisition, one coalesced flush, one
+// fence and one rebalance session per section group — instead of
+// splitting the stream into separate insert and delete batches.
+// Implementations must be multiset-exact: a delete observes at least
+// the same-edge inserts that preceded it in the stream (it may
+// additionally observe later ones from the same batch, as the
+// insert-first split adapter does), so every final per-(src, dst) live
+// count matches a strictly ordered application. DGAP's native path
+// preserves full per-source stream order. The ops slice must not be
+// retained; on error an arbitrary subset of the batch may have been
+// applied.
+//
+// Store.Apply is the uniform entry point: it uses the native path
+// where implemented and otherwise splits the stream onto the legacy
+// batch surfaces, inserts first.
+type Applier interface {
+	ApplyOps(ops []Op) error
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Caps is the capability bitset of an opened Store, resolved once by
+// Open: consumers branch on bits instead of re-asserting interface
+// types at every call site. The bits are truthful — a set bit means the
+// behavior is observable (deletes succeed, the native sweep is taken),
+// which the conformance suite in store_conformance_test.go pins for
+// every in-tree backend.
+type Caps uint32
+
+const (
+	// CapBatch: the system ingests insert batches natively (InsertBatch
+	// amortizes locks/fences) rather than through the scalar-loop
+	// fallback.
+	CapBatch Caps = 1 << iota
+	// CapDelete: the system supports edge deletion at all (natively
+	// batched or per edge). Without it, Apply rejects delete ops with
+	// ErrDeletesUnsupported.
+	CapDelete
+	// CapBatchDelete: deletion is natively batched (DeleteBatch), not a
+	// scalar DeleteEdge loop.
+	CapBatchDelete
+	// CapApply: the system applies mixed insert/delete streams natively
+	// (Applier) — inserts and tombstones of one batch share lock,
+	// flush, fence and maintenance sessions.
+	CapApply
+	// CapBulk: snapshots implement the bulk read path (BulkSnapshot)
+	// natively; Views copy neighbors without the callback adapter.
+	CapBulk
+	// CapSweep: snapshots amortize per-vertex synchronization across
+	// ascending ranges (Sweeper); View.Sweep takes the native path.
+	CapSweep
+	// CapClose: the system has a graceful-shutdown path (Closer).
+	CapClose
+)
+
+// Has reports whether every bit of want is set.
+func (c Caps) Has(want Caps) bool { return c&want == want }
+
+func (c Caps) String() string {
+	names := []struct {
+		bit  Caps
+		name string
+	}{
+		{CapBatch, "batch"},
+		{CapDelete, "delete"},
+		{CapBatchDelete, "batchdelete"},
+		{CapApply, "apply"},
+		{CapBulk, "bulk"},
+		{CapSweep, "sweep"},
+		{CapClose, "close"},
+	}
+	var parts []string
+	for _, n := range names {
+		if c.Has(n.bit) {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "caps()"
+	}
+	return "caps(" + strings.Join(parts, "|") + ")"
+}
+
+// Store is the one resolved handle consumers mutate a graph system
+// through. Open performs every capability type-assertion exactly once;
+// afterwards the Store exposes a single mutation entry point — Apply,
+// over mixed insert/delete op streams — and mints read Views whose
+// bulk/sweep fast paths are likewise pre-resolved. The legacy per-
+// feature surfaces (InsertBatch, DeleteBatch, the scalar loops) are
+// internals behind it.
+type Store struct {
+	sys  System
+	caps Caps
+	bw   BatchWriter  // insert path: native or scalar-loop fallback
+	bd   BatchDeleter // delete path: native, scalar fallback, or nil
+	ap   Applier      // native mixed path, nil when unimplemented
+
+	// The read bits (CapBulk, CapSweep) are snapshot properties, so
+	// resolving them costs one throwaway snapshot; the probe is
+	// deferred to the first Caps() call so the many Stores opened only
+	// to mutate (bench loaders, router drivers) never pay it.
+	readOnce sync.Once
+	readCaps Caps
+}
+
+// Open resolves sys's capabilities and returns its Store: the write and
+// shutdown surfaces by interface assertion here, the read bits (CapBulk,
+// CapSweep) from one throwaway snapshot probed on the first Caps() call
+// and released immediately where the backend supports an explicit
+// release.
+func Open(sys System) *Store {
+	st := &Store{sys: sys}
+	if bw, ok := sys.(BatchWriter); ok {
+		st.bw = bw
+		st.caps |= CapBatch
+	} else {
+		st.bw = scalarBatch{sys}
+	}
+	if bd, ok := sys.(BatchDeleter); ok {
+		st.bd = bd
+		st.caps |= CapDelete | CapBatchDelete
+	} else if d, ok := sys.(Deleter); ok {
+		st.bd = scalarDeletes{d}
+		st.caps |= CapDelete
+	}
+	if ap, ok := sys.(Applier); ok {
+		st.ap = ap
+		st.caps |= CapApply
+	}
+	if _, ok := sys.(Closer); ok {
+		st.caps |= CapClose
+	}
+	return st
+}
+
+// System returns the wrapped system (backend-specific escape hatch;
+// prefer the Store surface).
+func (st *Store) System() System { return st.sys }
+
+// Name returns the wrapped system's name.
+func (st *Store) Name() string { return st.sys.Name() }
+
+// Caps returns the capability bitset: write and shutdown bits resolved
+// at Open, read bits probed once on first call.
+func (st *Store) Caps() Caps {
+	st.readOnce.Do(func() {
+		if probe := st.sys.Snapshot(); probe != nil {
+			if _, ok := probe.(BulkSnapshot); ok {
+				st.readCaps |= CapBulk
+			}
+			if _, ok := probe.(Sweeper); ok {
+				st.readCaps |= CapSweep
+			}
+			if r, ok := probe.(SnapshotReleaser); ok {
+				r.ReleaseSnapshot()
+			}
+		}
+	})
+	return st.caps | st.readCaps
+}
+
+// View takes a consistent snapshot and returns it as a read handle with
+// the bulk and sweep fast paths pre-resolved. Callers that care about
+// snapshot-gated maintenance (DGAP's tombstone compaction) should
+// Release the View when done; others may let the GC backstop it.
+func (st *Store) View() *View { return ViewOf(st.sys.Snapshot()) }
+
+// Close runs the system's graceful-shutdown path when it has one
+// (CapClose) and is a no-op otherwise.
+func (st *Store) Close() error {
+	if c, ok := st.sys.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Apply applies a mixed insert/delete op stream: the one mutation entry
+// point. Systems with a native mixed path (CapApply) get the stream
+// unsplit — DGAP applies the ops in per-source stream order within
+// shared section groups. For the rest, Apply splits the stream into
+// one insert sub-batch and one delete sub-batch (stream order within
+// each) and applies the inserts first. That reordering is
+// multiset-exact: a delete cancels an unspecified live (src, dst) copy
+// and only requires one live match, so applying a batch's inserts
+// ahead of its deletes preserves every final per-(src, dst) live count
+// — a delete never loses sight of an insert that preceded it, and
+// validation can only get more permissive (a delete whose only
+// matching insert shares its batch succeeds here and would fail
+// interleaved), never stricter. The per-vertex visible order within a
+// batch window was never part of the batched contract (cross-shard
+// delivery already permutes it; see Router.RunOps), and flushing
+// same-kind sub-batches any finer was measured to fragment skewed
+// churn streams into tens of tiny calls per batch — hot (src, dst)
+// pairs recur constantly — destroying exactly the lock/fence
+// amortization batching exists for. Delete ops against a system
+// without CapDelete fail with an error wrapping ErrDeletesUnsupported.
+// Errors from the underlying batch paths pass through unchanged
+// (scalar fallbacks wrap the failing op in BatchError, indexed within
+// its sub-batch); on error an arbitrary subset of the stream may have
+// been applied.
+//
+// Apply is safe for concurrent use exactly when the underlying system's
+// batch paths are; per-shard handles (dgap.Writer) implement Applier
+// themselves and should be used directly as router sinks.
+func (st *Store) Apply(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if st.ap != nil {
+		return st.ap.ApplyOps(ops)
+	}
+	nDel := 0
+	for _, o := range ops {
+		if o.Del {
+			nDel++
+		}
+	}
+	if nDel == 0 {
+		return st.bw.InsertBatch(edgesOf(ops))
+	}
+	if st.bd == nil {
+		return fmt.Errorf("graph: %s: %w", st.sys.Name(), ErrDeletesUnsupported)
+	}
+	// One backing array serves both sub-batches: the counts are exact,
+	// so neither append ever reallocates past its region.
+	buf := make([]Edge, len(ops))
+	ins := buf[: 0 : len(ops)-nDel]
+	del := buf[len(ops)-nDel:][:0]
+	for _, o := range ops {
+		if o.Del {
+			del = append(del, o.Edge)
+		} else {
+			ins = append(ins, o.Edge)
+		}
+	}
+	if len(ins) > 0 {
+		if err := st.bw.InsertBatch(ins); err != nil {
+			return err
+		}
+	}
+	return st.bd.DeleteBatch(del)
+}
+
+// ApplyOps makes the Store itself an Applier, so shared-handle router
+// sinks and per-shard native handles are interchangeable.
+func (st *Store) ApplyOps(ops []Op) error { return st.Apply(ops) }
+
+// edgesOf materializes an op stream's edges (kinds ignored).
+func edgesOf(ops []Op) []Edge {
+	edges := make([]Edge, len(ops))
+	for i, o := range ops {
+		edges[i] = o.Edge
+	}
+	return edges
+}

@@ -1,0 +1,397 @@
+package graph_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dgap/internal/bal"
+	"dgap/internal/chunkadj"
+	"dgap/internal/csr"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/graphone"
+	"dgap/internal/llama"
+	"dgap/internal/pmem"
+	"dgap/internal/xpgraph"
+)
+
+// chunkSys adapts the chunked DRAM adjacency (the structure GraphOne
+// and XPGraph build on) into a graph.System, making it the seventh
+// backend of the capability conformance sweep: a scalar-only Deleter
+// with a native bulk snapshot and no batch surfaces — the profile the
+// Store's fallback adapters exist for.
+type chunkSys struct{ a *chunkadj.Adj }
+
+func (c chunkSys) Name() string { return "chunkadj" }
+
+func (c chunkSys) InsertEdge(src, dst graph.V) error {
+	c.a.Ensure(int(max(src, dst)) + 1)
+	c.a.Append(src, dst)
+	return nil
+}
+
+func (c chunkSys) DeleteEdge(src, dst graph.V) error {
+	if int(src) >= c.a.NumVertices() || !c.a.Delete(src, dst) {
+		return graph.ErrEdgeNotFound
+	}
+	return nil
+}
+
+func (c chunkSys) Snapshot() graph.Snapshot { return c.a.Snapshot() }
+
+// storeBackend is one backend under the capability conformance sweep.
+type storeBackend struct {
+	name string
+	// build returns a fresh empty instance (CSR: prebuilt, static).
+	build func(t *testing.T, nVert, nEdges int) graph.System
+	// settle flushes framework-internal batches before reads.
+	settle func(t *testing.T, sys graph.System)
+	// caps is the expected — and pinned — capability bitset.
+	caps graph.Caps
+}
+
+func storeBackends() []storeBackend {
+	noop := func(*testing.T, graph.System) {}
+	return []storeBackend{
+		{
+			name: "dgap",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				cfg := dgap.DefaultConfig(nVert, int64(nEdges))
+				cfg.SectionSlots = 64
+				cfg.ELogSize = 512
+				g, err := dgap.New(pmem.New(256<<20), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			settle: noop,
+			caps: graph.CapBatch | graph.CapDelete | graph.CapBatchDelete |
+				graph.CapApply | graph.CapBulk | graph.CapSweep | graph.CapClose,
+		},
+		{
+			name: "bal",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				return bal.New(pmem.New(256<<20), nVert)
+			},
+			settle: noop,
+			caps:   graph.CapBatch | graph.CapDelete | graph.CapBatchDelete | graph.CapBulk,
+		},
+		{
+			name: "llama",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				return llama.New(pmem.New(256<<20), nVert, nEdges/50+1)
+			},
+			settle: func(t *testing.T, sys graph.System) {
+				if err := sys.(*llama.Graph).Freeze(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			caps: graph.CapBatch | graph.CapBulk,
+		},
+		{
+			name: "graphone",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				g, err := graphone.New(pmem.New(256<<20), nVert, 1<<10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			settle: func(t *testing.T, sys graph.System) {
+				if err := sys.(*graphone.Graph).Flush(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			caps: graph.CapBatch | graph.CapDelete | graph.CapBatchDelete | graph.CapBulk,
+		},
+		{
+			name: "xpgraph",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				g, err := xpgraph.New(pmem.New(256<<20), nVert, xpgraph.Config{Threshold: 128, LogCapEdges: 4096})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			settle: noop,
+			caps:   graph.CapBatch | graph.CapDelete | graph.CapBatchDelete | graph.CapBulk,
+		},
+		{
+			name: "csr",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				g, err := csr.Build(pmem.New(64<<20), nVert, graphgen.Uniform(nVert, 4, 7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			},
+			settle: noop,
+			caps:   graph.CapBatch | graph.CapBulk | graph.CapSweep,
+		},
+		{
+			name: "chunkadj",
+			build: func(t *testing.T, nVert, nEdges int) graph.System {
+				return chunkSys{chunkadj.New(nVert)}
+			},
+			settle: noop,
+			caps:   graph.CapDelete | graph.CapBulk,
+		},
+	}
+}
+
+// TestStoreCapsTruthful pins every backend's resolved Caps bitset and
+// cross-checks the behavior-defining bits against observed behavior:
+// CapDelete iff a delete through Apply actually succeeds (and its edge
+// actually disappears), CapSweep iff the View's underlying snapshot
+// carries a native Sweeper, CapBulk iff it carries a native bulk path,
+// CapApply iff the system exposes a native mixed Applier, CapClose iff
+// it has a shutdown path.
+func TestStoreCapsTruthful(t *testing.T) {
+	for _, b := range storeBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			sys := b.build(t, 32, 256)
+			st := graph.Open(sys)
+			if got := st.Caps(); got != b.caps {
+				t.Fatalf("Caps = %v, want %v", got, b.caps)
+			}
+
+			// Read bits against the actual snapshot type behind a View.
+			view := st.View()
+			if _, ok := view.Snapshot().(graph.BulkSnapshot); ok != st.Caps().Has(graph.CapBulk) {
+				t.Errorf("CapBulk = %v but native BulkSnapshot = %v", st.Caps().Has(graph.CapBulk), ok)
+			}
+			if _, ok := view.Snapshot().(graph.Sweeper); ok != st.Caps().Has(graph.CapSweep) {
+				t.Errorf("CapSweep = %v but native Sweeper = %v", st.Caps().Has(graph.CapSweep), ok)
+			}
+			view.Release()
+
+			// Write bits against the actual interface surfaces.
+			if _, ok := sys.(graph.BatchWriter); ok != st.Caps().Has(graph.CapBatch) {
+				t.Errorf("CapBatch = %v but native BatchWriter = %v", st.Caps().Has(graph.CapBatch), ok)
+			}
+			if _, ok := sys.(graph.BatchDeleter); ok != st.Caps().Has(graph.CapBatchDelete) {
+				t.Errorf("CapBatchDelete = %v but native BatchDeleter = %v", st.Caps().Has(graph.CapBatchDelete), ok)
+			}
+			if _, ok := sys.(graph.Applier); ok != st.Caps().Has(graph.CapApply) {
+				t.Errorf("CapApply = %v but native Applier = %v", st.Caps().Has(graph.CapApply), ok)
+			}
+			if _, ok := sys.(graph.Closer); ok != st.Caps().Has(graph.CapClose) {
+				t.Errorf("CapClose = %v but native Closer = %v", st.Caps().Has(graph.CapClose), ok)
+			}
+
+			// CapDelete ⇔ deletes observably succeed. CSR also rejects
+			// inserts, so the mutation probe only runs on systems that
+			// accept the insert first.
+			ins := st.Apply([]graph.Op{graph.OpInsert(1, 2)})
+			if b.name == "csr" {
+				if ins == nil {
+					t.Fatal("static CSR accepted an insert through Apply")
+				}
+				return
+			}
+			if ins != nil {
+				t.Fatalf("insert through Apply: %v", ins)
+			}
+			err := st.Apply([]graph.Op{graph.OpDelete(1, 2)})
+			if st.Caps().Has(graph.CapDelete) {
+				if err != nil {
+					t.Fatalf("CapDelete set but delete failed: %v", err)
+				}
+				b.settle(t, sys)
+				v := st.View()
+				if d := v.Degree(1); d != 0 {
+					t.Fatalf("CapDelete set but deleted edge still visible (degree %d)", d)
+				}
+				v.Release()
+				// A second delete has no live copy to cancel.
+				if err := st.Apply([]graph.Op{graph.OpDelete(1, 2)}); !errors.Is(err, graph.ErrEdgeNotFound) {
+					t.Fatalf("delete with no live copy: %v, want ErrEdgeNotFound", err)
+				}
+			} else if !errors.Is(err, graph.ErrDeletesUnsupported) {
+				t.Fatalf("CapDelete unset but delete returned %v, want ErrDeletesUnsupported", err)
+			}
+		})
+	}
+}
+
+// oracleSys pairs a backend instance with a scalar twin: the property
+// test applies the same op stream to both — batched mixed Apply against
+// one-InsertEdge/DeleteEdge-per-op stream order — and the visible
+// per-vertex destination sequences must agree exactly.
+func TestApplyMatchesScalarOracle(t *testing.T) {
+	const nVert = 48
+	rng := rand.New(rand.NewSource(23))
+	for _, b := range storeBackends() {
+		if b.name == "csr" {
+			continue // static: no mutation path to compare
+		}
+		t.Run(b.name, func(t *testing.T) {
+			batched := b.build(t, nVert, 4096)
+			scalar := b.build(t, nVert, 4096)
+			st := graph.Open(batched)
+			withDeletes := st.Caps().Has(graph.CapDelete)
+
+			// A valid mixed stream over the live multiset: inserts of
+			// random edges, deletes of a random currently-live edge
+			// (skipped entirely for append-only backends).
+			const nOps = 1500
+			ops := make([]graph.Op, 0, nOps)
+			var live []graph.Edge
+			for len(ops) < nOps {
+				if withDeletes && len(live) > 0 && rng.Float64() < 0.4 {
+					i := rng.Intn(len(live))
+					e := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					ops = append(ops, graph.Op{Edge: e, Del: true})
+				} else {
+					e := graph.Edge{Src: graph.V(rng.Intn(nVert)), Dst: graph.V(rng.Intn(nVert))}
+					live = append(live, e)
+					ops = append(ops, graph.Op{Edge: e})
+				}
+			}
+
+			// Batched mixed application in random-size batches…
+			for i := 0; i < len(ops); {
+				n := min(1+rng.Intn(64), len(ops)-i)
+				if err := st.Apply(ops[i : i+n]); err != nil {
+					t.Fatalf("Apply ops[%d:%d]: %v", i, i+n, err)
+				}
+				i += n
+			}
+			// …against the scalar oracle in stream order.
+			for _, o := range ops {
+				var err error
+				if o.Del {
+					err = scalar.(graph.Deleter).DeleteEdge(o.Edge.Src, o.Edge.Dst)
+				} else {
+					err = scalar.InsertEdge(o.Edge.Src, o.Edge.Dst)
+				}
+				if err != nil {
+					t.Fatalf("oracle %v: %v", o, err)
+				}
+			}
+			b.settle(t, batched)
+			b.settle(t, scalar)
+
+			got := graph.Adjacency(graph.Open(batched).View())
+			want := graph.Adjacency(graph.Open(scalar).View())
+			if len(got) != len(want) {
+				t.Fatalf("vertex counts differ: %d vs %d", len(got), len(want))
+			}
+			for v := range want {
+				if !equalV(got[v], want[v]) {
+					t.Fatalf("vertex %d: Apply %v, scalar oracle %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// batchRecorder records the sub-batch sequence Store.Apply emits, so
+// the per-source-order contract of the adapter is testable directly.
+type batchRecorder struct {
+	calls []recordedCall
+}
+
+type recordedCall struct {
+	del   bool
+	edges []graph.Edge
+}
+
+func (r *batchRecorder) Name() string                      { return "recorder" }
+func (r *batchRecorder) InsertEdge(src, dst graph.V) error { return nil }
+func (r *batchRecorder) Snapshot() graph.Snapshot          { return nil }
+func (r *batchRecorder) InsertBatch(edges []graph.Edge) error {
+	r.calls = append(r.calls, recordedCall{edges: append([]graph.Edge(nil), edges...)})
+	return nil
+}
+func (r *batchRecorder) DeleteBatch(edges []graph.Edge) error {
+	r.calls = append(r.calls, recordedCall{del: true, edges: append([]graph.Edge(nil), edges...)})
+	return nil
+}
+
+// TestStoreApplyAdapterSplitsOnce: the adapter dispatches any mixed
+// stream as exactly one InsertBatch (the batch's inserts, stream
+// order) followed by one DeleteBatch (its deletes, stream order) — the
+// multiset-exact two-call shape the sharded router's throughput
+// depends on, never fragmented by hot (src, dst) recurrence.
+func TestStoreApplyAdapterSplitsOnce(t *testing.T) {
+	rec := &batchRecorder{}
+	st := graph.Open(rec)
+	err := st.Apply([]graph.Op{
+		graph.OpInsert(1, 2),
+		graph.OpDelete(1, 9),
+		graph.OpInsert(5, 6),
+		graph.OpDelete(1, 2), // same edge as the first insert: still one split
+		graph.OpInsert(1, 2), // hot edge recurs: still one split
+		graph.OpDelete(7, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []recordedCall{
+		{edges: []graph.Edge{{Src: 1, Dst: 2}, {Src: 5, Dst: 6}, {Src: 1, Dst: 2}}},
+		{del: true, edges: []graph.Edge{{Src: 1, Dst: 9}, {Src: 1, Dst: 2}, {Src: 7, Dst: 8}}},
+	}
+	if len(rec.calls) != len(want) {
+		t.Fatalf("adapter emitted %d sub-batches %+v, want %d (one insert + one delete)", len(rec.calls), rec.calls, len(want))
+	}
+	for i, w := range want {
+		g := rec.calls[i]
+		if g.del != w.del || len(g.edges) != len(w.edges) {
+			t.Fatalf("sub-batch %d = %+v, want %+v", i, g, w)
+		}
+		for j := range w.edges {
+			if g.edges[j] != w.edges[j] {
+				t.Fatalf("sub-batch %d = %+v, want %+v", i, g, w)
+			}
+		}
+	}
+
+	// Delete-only and insert-only streams stay single calls.
+	rec.calls = nil
+	if err := st.Apply([]graph.Op{graph.OpDelete(1, 2), graph.OpDelete(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply([]graph.Op{graph.OpInsert(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 2 || !rec.calls[0].del || rec.calls[1].del {
+		t.Fatalf("single-kind streams emitted %+v, want one call each", rec.calls)
+	}
+}
+
+// TestGroupBySrcDeterministicOrder pins the fix for nondeterministic
+// batch application: runs appear in first-appearance stream order with
+// per-source destinations in stream order, so backends that iterate the
+// grouping lay edges out identically run-to-run.
+func TestGroupBySrcDeterministicOrder(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 9, Dst: 1}, {Src: 2, Dst: 7}, {Src: 9, Dst: 3},
+		{Src: 5, Dst: 0}, {Src: 2, Dst: 8}, {Src: 9, Dst: 2},
+	}
+	runs := graph.GroupBySrc(edges)
+	wantSrc := []graph.V{9, 2, 5}
+	if len(runs) != len(wantSrc) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(wantSrc))
+	}
+	for i, w := range wantSrc {
+		if runs[i].Src != w {
+			t.Fatalf("run %d source = %d, want %d (first-appearance order)", i, runs[i].Src, w)
+		}
+	}
+	if !equalV(runs[0].Dsts, []graph.V{1, 3, 2}) {
+		t.Fatalf("run for source 9 = %v, want stream order [1 3 2]", runs[0].Dsts)
+	}
+	// Shuffled duplicates of the same stream must group identically.
+	again := graph.GroupBySrc(edges)
+	for i := range runs {
+		if again[i].Src != runs[i].Src || !equalV(again[i].Dsts, runs[i].Dsts) {
+			t.Fatal("GroupBySrc not deterministic across calls")
+		}
+	}
+}

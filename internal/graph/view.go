@@ -1,0 +1,96 @@
+package graph
+
+import "sync/atomic"
+
+// SnapshotReleaser is optionally implemented by snapshots that want an
+// explicit end-of-life signal — DGAP deregisters the snapshot from the
+// outstanding-snapshot counter that gates tombstone compaction. Views
+// thread the signal through Release; backends without it rely on
+// garbage collection.
+type SnapshotReleaser interface {
+	ReleaseSnapshot()
+}
+
+// View is the read handle consumers iterate a graph through: one
+// consistent snapshot with the bulk and sweep fast paths resolved once
+// at construction, so analytics kernels and the serving tier stop
+// type-asserting per snapshot. A View is also a BulkSnapshot (and a
+// Sweeper via Sweep degrading gracefully), so it can stand in wherever
+// a snapshot is expected.
+//
+// Release returns the snapshot's reference to the backend where the
+// backend counts them (SnapshotReleaser — DGAP's compaction gate):
+// after Release the View must not be read. Release is idempotent, and a
+// View that is never released merely delays snapshot-gated maintenance
+// until the GC backstop fires; it never blocks correctness.
+type View struct {
+	snap Snapshot
+	bulk BulkSnapshot // native, or the callback adapter
+	sw   Sweeper      // nil without native support
+
+	released atomic.Bool
+}
+
+// ViewOf resolves a snapshot's fast paths once and returns it as a
+// View. Passing an existing View returns it unchanged.
+func ViewOf(s Snapshot) *View {
+	if v, ok := s.(*View); ok {
+		return v
+	}
+	v := &View{snap: s, bulk: Bulk(s)}
+	if sw, ok := s.(Sweeper); ok {
+		v.sw = sw
+	}
+	return v
+}
+
+// Snapshot returns the underlying snapshot.
+func (v *View) Snapshot() Snapshot { return v.snap }
+
+// NumVertices implements Snapshot.
+func (v *View) NumVertices() int { return v.snap.NumVertices() }
+
+// NumEdges implements Snapshot.
+func (v *View) NumEdges() int64 { return v.snap.NumEdges() }
+
+// Degree implements Snapshot.
+func (v *View) Degree(u V) int { return v.snap.Degree(u) }
+
+// Neighbors implements Snapshot (the per-edge callback path).
+func (v *View) Neighbors(u V, fn func(dst V) bool) { v.snap.Neighbors(u, fn) }
+
+// CopyNeighbors implements BulkSnapshot through the path resolved at
+// construction: native where the backend has one, the callback adapter
+// otherwise.
+func (v *View) CopyNeighbors(u V, buf []V) []V { return v.bulk.CopyNeighbors(u, buf) }
+
+// SweepNeighbors implements Sweeper; Sweep is the ergonomic alias.
+func (v *View) SweepNeighbors(lo, hi V, buf []V, fn func(u V, dsts []V)) []V {
+	return v.Sweep(lo, hi, buf, fn)
+}
+
+// Sweep iterates every vertex in [lo, hi) through the fastest resolved
+// path — the backend's own Sweeper when present (one lock/epoch
+// round-trip per run of vertices), a per-vertex CopyNeighbors loop
+// otherwise — and returns the scratch buffer for reuse.
+func (v *View) Sweep(lo, hi V, buf []V, fn func(u V, dsts []V)) []V {
+	if v.sw != nil {
+		return v.sw.SweepNeighbors(lo, hi, buf, fn)
+	}
+	for u := lo; u < hi; u++ {
+		buf = v.bulk.CopyNeighbors(u, buf[:0])
+		fn(u, buf)
+	}
+	return buf
+}
+
+// Release drops the View's snapshot reference (SnapshotReleaser, where
+// the backend implements it). Idempotent; the View must not be read
+// afterwards.
+func (v *View) Release() {
+	if v.released.CompareAndSwap(false, true) {
+		if r, ok := v.snap.(SnapshotReleaser); ok {
+			r.ReleaseSnapshot()
+		}
+	}
+}

@@ -110,8 +110,8 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 	if n := int(maxID) + 1; n > g.adj.NumVertices() {
 		g.adj.Ensure(n)
 	}
-	for src, dsts := range graph.GroupBySrc(edges) {
-		g.adj.AppendRun(src, dsts)
+	for _, run := range graph.GroupBySrc(edges) {
+		g.adj.AppendRun(run.Src, run.Dsts)
 	}
 	g.elog = append(g.elog, edges...)
 	g.edges += int64(len(edges))

@@ -144,7 +144,8 @@ func (g *Graph) freezeLocked() error {
 	if len(g.levels) > 0 {
 		prevLevel = g.levels[len(g.levels)-1]
 	}
-	for v, dsts := range bysrc {
+	for _, run := range bysrc {
+		v, dsts := run.Src, run.Dsts
 		size := 16 + uint64(len(dsts))*4
 		off, err := g.a.AllocRegion("llama: level fragment", size, pmem.CacheLineSize)
 		if err != nil {

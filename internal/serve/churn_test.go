@@ -27,7 +27,7 @@ func newServedDGAP(t *testing.T, nVert int, cfg Config) (*dgap.Graph, *Server) {
 	return g, srv
 }
 
-func neighborsOf(s graph.BulkSnapshot, v graph.V) []graph.V {
+func neighborsOf(s *graph.View, v graph.V) []graph.V {
 	return s.CopyNeighbors(v, nil)
 }
 
@@ -48,13 +48,13 @@ func TestIngestOpsDeleteVisibility(t *testing.T) {
 	}
 
 	held := srv.Acquire()
-	if got := len(neighborsOf(held.Snap, 1)); got != 2 {
+	if got := len(neighborsOf(held.View, 1)); got != 2 {
 		t.Fatalf("lease sees %d neighbors of 1, want 2", got)
 	}
 
 	// Mixed stream under the live lease: one insert, deletes of an old
 	// edge — all count toward the staleness clock.
-	ops := []workload.Op{
+	ops := []graph.Op{
 		{Edge: graph.Edge{Src: 6, Dst: 7}},
 		{Edge: graph.Edge{Src: 1, Dst: 2}, Del: true},
 		{Edge: graph.Edge{Src: 4, Dst: 5}, Del: true},
@@ -69,11 +69,11 @@ func TestIngestOpsDeleteVisibility(t *testing.T) {
 
 	// Mid-snapshot invariance: the held generation still answers from
 	// its immutable prefix.
-	if got := neighborsOf(held.Snap, 1); len(got) != 2 {
+	if got := neighborsOf(held.View, 1); len(got) != 2 {
 		t.Fatalf("held lease changed mid-generation: neighbors of 1 = %v", got)
 	}
-	if held.Snap.Degree(4) != 1 {
-		t.Fatalf("held lease Degree(4) = %d, want 1", held.Snap.Degree(4))
+	if held.View.Degree(4) != 1 {
+		t.Fatalf("held lease Degree(4) = %d, want 1", held.View.Degree(4))
 	}
 
 	// The next generation (the ops tripped MaxStalenessEdges) must not
@@ -82,13 +82,13 @@ func TestIngestOpsDeleteVisibility(t *testing.T) {
 	if fresh.Gen == held.Gen {
 		t.Fatal("staleness bound did not refresh the lease")
 	}
-	if got := neighborsOf(fresh.Snap, 1); len(got) != 1 || got[0] != 3 {
+	if got := neighborsOf(fresh.View, 1); len(got) != 1 || got[0] != 3 {
 		t.Fatalf("fresh lease neighbors of 1 = %v, want [3]", got)
 	}
-	if fresh.Snap.Degree(4) != 0 {
-		t.Fatalf("fresh lease Degree(4) = %d, want 0", fresh.Snap.Degree(4))
+	if fresh.View.Degree(4) != 0 {
+		t.Fatalf("fresh lease Degree(4) = %d, want 0", fresh.View.Degree(4))
 	}
-	if got := neighborsOf(fresh.Snap, 6); len(got) != 2 {
+	if got := neighborsOf(fresh.View, 6); len(got) != 2 {
 		t.Fatalf("fresh lease neighbors of 6 = %v, want two", got)
 	}
 	held.Release()
@@ -96,9 +96,9 @@ func TestIngestOpsDeleteVisibility(t *testing.T) {
 	_ = g
 }
 
-// TestIngestOpsPerShardSinks: dgap per-shard Writer sinks serve the
-// delete sub-batches natively (they implement graph.BatchMutator), and
-// the routed mixed stream lands exactly.
+// TestIngestOpsPerShardSinks: dgap per-shard Writer sinks apply the
+// mixed op batches natively (they implement graph.Applier), and the
+// routed mixed stream lands exactly.
 func TestIngestOpsPerShardSinks(t *testing.T) {
 	a := pmem.New(256 << 20)
 	dcfg := dgap.DefaultConfig(32, 4096)
@@ -119,12 +119,12 @@ func TestIngestOpsPerShardSinks(t *testing.T) {
 	}
 	defer srv.Close()
 
-	var ops []workload.Op
+	var ops []graph.Op
 	for i := 0; i < 64; i++ {
-		ops = append(ops, workload.Op{Edge: graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 31)}})
+		ops = append(ops, graph.Op{Edge: graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 31)}})
 	}
 	for i := 0; i < 64; i += 2 {
-		ops = append(ops, workload.Op{Edge: graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 31)}, Del: true})
+		ops = append(ops, graph.Op{Edge: graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 31)}, Del: true})
 	}
 	if _, err := srv.IngestOps(ops); err != nil {
 		t.Fatal(err)
@@ -134,14 +134,15 @@ func TestIngestOpsPerShardSinks(t *testing.T) {
 	}
 	l := srv.Acquire()
 	defer l.Release()
-	if got, want := l.Snap.NumEdges(), int64(64-32); got != want {
+	if got, want := l.View.NumEdges(), int64(64-32); got != want {
 		t.Errorf("NumEdges = %d, want %d", got, want)
 	}
 }
 
 // TestIngestOpsRejectsNonDeleters: a server over an append-only system
 // fails a mixed stream with graph.ErrDeletesUnsupported instead of
-// silently dropping the deletes.
+// silently dropping the deletes — up front, before any sub-batch is
+// applied, on both the shared-Store path and configured Store sinks.
 func TestIngestOpsRejectsNonDeleters(t *testing.T) {
 	sys := &fakeSys{} // fakeSys has no DeleteEdge
 	srv, err := New(sys, Config{IngestShards: 1})
@@ -149,8 +150,26 @@ func TestIngestOpsRejectsNonDeleters(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	_, err = srv.IngestOps([]workload.Op{{Edge: graph.Edge{Src: 1, Dst: 2}, Del: true}})
+	mixed := []graph.Op{{Edge: graph.Edge{Src: 1, Dst: 2}}, {Edge: graph.Edge{Src: 1, Dst: 2}, Del: true}}
+	_, err = srv.IngestOps(mixed)
 	if !errors.Is(err, graph.ErrDeletesUnsupported) {
 		t.Fatalf("err = %v, want ErrDeletesUnsupported", err)
+	}
+	if n := sys.edges.Load(); n != 0 {
+		t.Fatalf("rejected stream applied %d inserts; want up-front rejection", n)
+	}
+
+	sys2 := &fakeSys{}
+	srv2, err := New(sys2, Config{IngestShards: 1, Sinks: []graph.Applier{graph.Open(sys2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	_, err = srv2.IngestOps(mixed)
+	if !errors.Is(err, graph.ErrDeletesUnsupported) {
+		t.Fatalf("Store-sink err = %v, want ErrDeletesUnsupported", err)
+	}
+	if n := sys2.edges.Load(); n != 0 {
+		t.Fatalf("rejected stream applied %d inserts through sinks; want up-front rejection", n)
 	}
 }

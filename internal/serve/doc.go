@@ -1,8 +1,9 @@
 // Package serve is the concurrent query-serving layer: a long-lived
-// Server that wraps any graph.System and multiplexes point queries
-// (degree, neighbor lists, k-hop expansion, top-k-degree ranking) and
-// kernel refreshes (PageRank) over refcounted snapshot leases while an
-// edge stream ingests underneath through the sharded workload.Router.
+// Server that opens one capability-resolved graph.Store over any
+// graph.System and multiplexes point queries (degree, neighbor lists,
+// k-hop expansion, top-k-degree ranking) and kernel refreshes
+// (PageRank) over refcounted leases of graph.View read handles while
+// an op stream ingests underneath through the sharded workload.Router.
 //
 // The paper's core promise — analysis against consistent snapshots
 // while the mutation stream continues — is exercised here for real:
@@ -14,16 +15,19 @@
 // Taking a snapshot is the expensive part of a read (DGAP's
 // ConsistentView quiesces writers and copies the degree cache), so the
 // Server does not take one per query. Instead it maintains one lease
-// generation at a time: a Lease pins a single shared snapshot, every
+// generation at a time: a Lease pins a single shared graph.View (the
+// bulk fast paths resolved once when the generation is minted), every
 // query acquires the current lease (one atomic refcount increment) and
 // releases it when done, and the lease is refreshed — a new generation
-// with a fresh snapshot — only when a configurable staleness bound is
-// exceeded: MaxStalenessEdges edges applied through the Server since
-// the snapshot was taken, or MaxStalenessAge of wall-clock age. A
-// retired generation's snapshot is held until its last in-flight query
-// releases it, so a query never observes its snapshot being torn down;
-// the bound, in turn, caps how far behind the ingest frontier any
-// served answer can be.
+// with a fresh View — only when a configurable staleness bound is
+// exceeded: MaxStalenessEdges ops applied through the Server since the
+// snapshot was taken, or MaxStalenessAge of wall-clock age. A retired
+// generation's View is held until its last in-flight query releases it
+// — and only then released back through graph.SnapshotReleaser into
+// the backend's snapshot accounting (DGAP's compaction gate) — so a
+// query never observes its snapshot being torn down; the bound, in
+// turn, caps how far behind the ingest frontier any served answer can
+// be.
 //
 // # Query workers and admission control
 //
@@ -38,18 +42,19 @@
 //
 // # Ingest
 //
-// Server.Ingest drives an edge stream through the PR 2 workload.Router
-// — partitioned by lock resource, batched per shard — into the wrapped
-// system's bulk write path (or caller-provided per-shard sinks, e.g.
-// per-shard dgap.Writers from workload.DGAPSinks). Each applied batch
-// advances the Server's applied-edge counter, which is what the
-// edge-staleness bound measures.
+// Server.Ingest drives an edge stream through the workload.Router —
+// partitioned by lock resource, batched per shard — into the Server's
+// resolved Store handle (or caller-provided per-shard graph.Applier
+// sinks, e.g. per-shard dgap.Writers from workload.DGAPSinks). Each
+// applied batch advances the Server's applied-edge counter, which is
+// what the edge-staleness bound measures.
 //
 // Server.IngestOps extends the same path to mixed insert/delete
-// streams (workload.Op): deletes are applied under live leases — safe
-// because every supported backend's deletion is an appended tombstone,
-// so a held generation's immutable snapshot prefix never changes — and
-// become visible at the next lease generation. Deletes advance the
-// staleness clock like inserts, so delete-heavy traffic retires leases
-// at the same cadence.
+// streams (graph.Op): each dispatch batch lands as one ApplyOps call,
+// so DGAP applies its inserts and tombstones in shared section groups.
+// Deletes are applied under live leases — safe because every supported
+// backend's deletion is an appended tombstone, so a held generation's
+// immutable snapshot prefix never changes — and become visible at the
+// next lease generation. Deletes advance the staleness clock like
+// inserts, so delete-heavy traffic retires leases at the same cadence.
 package serve

@@ -7,29 +7,22 @@ import (
 	"dgap/internal/graph"
 )
 
-// SnapshotReleaser is optionally implemented by snapshots that want an
-// explicit end-of-life signal when the last lease reference drops. The
-// in-tree backends rely on garbage collection and do not implement it;
-// the serve tests use it to prove a lease's snapshot is never torn down
-// while a query still holds the lease.
-type SnapshotReleaser interface {
-	ReleaseSnapshot()
-}
-
 // Lease is one pinned generation of the Server's shared snapshot.
 // Acquire hands the same *Lease to every query until the staleness
 // bound retires it; each holder must call Release exactly once. The
-// underlying snapshot outlives the generation: it is released (the
-// SnapshotReleaser signal, where implemented) only when the Server has
-// retired the lease AND the last in-flight holder has released it.
+// underlying View outlives the generation: it is released — threading
+// graph.SnapshotReleaser into the backend's snapshot accounting, DGAP's
+// compaction gate — only when the Server has retired the lease AND the
+// last in-flight holder has released it.
 type Lease struct {
-	// Snap is the generation's shared snapshot, on the bulk read path.
-	Snap graph.BulkSnapshot
+	// View is the generation's shared read handle, with the bulk and
+	// sweep fast paths pre-resolved (graph.View).
+	View *graph.View
 	// Gen is the lease generation, monotonically increasing from 1.
 	Gen uint64
 
 	// refs counts holders plus one reference owned by the Server itself
-	// until the lease is retired; the snapshot is released when it hits
+	// until the lease is retired; the View is released when it hits
 	// zero.
 	refs      atomic.Int64
 	born      time.Time
@@ -43,14 +36,12 @@ type Lease struct {
 func (l *Lease) Age() time.Duration { return l.now().Sub(l.born) }
 
 // Release drops one holder reference. The last drop after retirement
-// releases the snapshot.
+// releases the View.
 func (l *Lease) Release() { l.unpin() }
 
 func (l *Lease) unpin() {
 	if n := l.refs.Add(-1); n == 0 {
-		if r, ok := l.Snap.(SnapshotReleaser); ok {
-			r.ReleaseSnapshot()
-		}
+		l.View.Release()
 	} else if n < 0 {
 		panic("serve: lease over-released")
 	}
@@ -60,8 +51,8 @@ func (l *Lease) unpin() {
 // the configured staleness bound is exceeded, or nil once the Server
 // has been closed (the wrapped system may be shut down, so no new
 // snapshot may be taken). Callers must Release a non-nil lease when
-// done with its snapshot; queries submitted through Do/TrySubmit have
-// this done for them.
+// done with its View; queries submitted through Do/TrySubmit have this
+// done for them.
 func (s *Server) Acquire() *Lease {
 	s.leaseMu.Lock()
 	if s.leasesClosed.Load() {
@@ -75,7 +66,7 @@ func (s *Server) Acquire() *Lease {
 		// rather than silently extending this lease's budget.
 		appliedAt := s.applied.Load()
 		nl := &Lease{
-			Snap:      graph.Bulk(s.sys.Snapshot()),
+			View:      s.store.View(),
 			Gen:       s.gen.Add(1),
 			born:      s.cfg.Clock(),
 			now:       s.cfg.Clock,
@@ -106,10 +97,10 @@ func (s *Server) staleLocked(l *Lease) bool {
 }
 
 // retireLease stops further lease creation and drops the Server's own
-// reference so the snapshot can be released once in-flight holders
-// drain; called on Close after the workers have stopped. An Acquire
-// that slipped in before the flag lands is still retired here (the
-// leaseMu critical sections order the two), so no generation leaks.
+// reference so the View can be released once in-flight holders drain;
+// called on Close after the workers have stopped. An Acquire that
+// slipped in before the flag lands is still retired here (the leaseMu
+// critical sections order the two), so no generation leaks.
 func (s *Server) retireLease() {
 	s.leasesClosed.Store(true)
 	s.leaseMu.Lock()

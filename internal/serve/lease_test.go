@@ -160,9 +160,9 @@ func TestLeaseNeverReleasedWhileHeld(t *testing.T) {
 					// Raw lease usage: hold across a yield so a refresh
 					// has every chance to race with the read.
 					l := srv.Acquire()
-					l.Snap.Degree(graph.V(i % 8))
+					l.View.Degree(graph.V(i % 8))
 					runtime.Gosched()
-					l.Snap.NumEdges()
+					l.View.NumEdges()
 					l.Release()
 				}
 			}
@@ -309,7 +309,7 @@ func TestLeaseHolderOutlivesRefresh(t *testing.T) {
 		t.Fatal("refresh did not happen")
 	}
 	// The held generation is retired but must still be readable.
-	held.Snap.NumEdges()
+	held.View.NumEdges()
 	old := sys.all()[0]
 	if old.released.Load() {
 		t.Fatal("retired snapshot released while still held")

@@ -89,38 +89,39 @@ type Result struct {
 // serving tier must not let a malformed query reach them.
 var ErrBadVertex = errors.New("serve: vertex out of range")
 
-// execute runs one query against the current lease. The lease is held
-// exactly for the query's execution, so a refresh triggered by a
-// concurrent query can never tear this query's snapshot down.
+// execute runs one query against the current lease's View. The lease is
+// held exactly for the query's execution, so a refresh triggered by a
+// concurrent query can never tear this query's snapshot down; the
+// View's bulk fast path was resolved once when the lease was minted.
 func (s *Server) execute(q Query) Result {
 	l := s.Acquire()
 	if l == nil {
 		return Result{Query: q, Err: ErrClosed}
 	}
 	defer l.Release()
-	snap := l.Snap
-	res := Result{Query: q, Gen: l.Gen, Edges: snap.NumEdges()}
-	if q.Class != ClassTopK && q.Class != ClassKernel && int(q.V) >= snap.NumVertices() {
-		res.Err = fmt.Errorf("%w: %d >= %d", ErrBadVertex, q.V, snap.NumVertices())
+	view := l.View
+	res := Result{Query: q, Gen: l.Gen, Edges: view.NumEdges()}
+	if q.Class != ClassTopK && q.Class != ClassKernel && int(q.V) >= view.NumVertices() {
+		res.Err = fmt.Errorf("%w: %d >= %d", ErrBadVertex, q.V, view.NumVertices())
 		return res
 	}
 	acfg := analytics.Config{Threads: s.cfg.AnalyticsThreads}
 	switch q.Class {
 	case ClassDegree:
-		res.Value = int64(snap.Degree(q.V))
+		res.Value = int64(view.Degree(q.V))
 	case ClassNeighbors:
-		res.Verts = snap.CopyNeighbors(q.V, nil)
+		res.Verts = view.CopyNeighbors(q.V, nil)
 	case ClassKHop:
-		n, _ := analytics.KHop(snap, q.V, q.K, acfg)
+		n, _ := analytics.KHop(view, q.V, q.K, acfg)
 		res.Value = int64(n)
 	case ClassTopK:
-		res.Verts, _ = analytics.TopKDegree(snap, q.K, acfg)
+		res.Verts, _ = analytics.TopKDegree(view, q.K, acfg)
 		res.Degrees = make([]int, len(res.Verts))
 		for i, v := range res.Verts {
-			res.Degrees[i] = snap.Degree(v)
+			res.Degrees[i] = view.Degree(v)
 		}
 	case ClassKernel:
-		res.Ranks, _ = analytics.PageRank(snap, analytics.PageRankIters, acfg)
+		res.Ranks, _ = analytics.PageRank(view, analytics.PageRankIters, acfg)
 	default:
 		res.Err = fmt.Errorf("serve: unknown query class %d", q.Class)
 	}

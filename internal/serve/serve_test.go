@@ -44,7 +44,7 @@ func TestQueriesMatchDirectSnapshot(t *testing.T) {
 	}
 	defer srv.Close()
 
-	direct := graph.Bulk(g.Snapshot())
+	direct := graph.ViewOf(g.Snapshot())
 	for v := graph.V(0); v < 8; v++ {
 		if res := srv.Do(Query{Class: ClassDegree, V: v}); res.Err != nil || res.Value != int64(direct.Degree(v)) {
 			t.Fatalf("degree(%d) = %d (err %v), want %d", v, res.Value, res.Err, direct.Degree(v))
@@ -128,7 +128,7 @@ func TestMixedReadWriteConcurrency(t *testing.T) {
 	// Pace each batch slightly so the ingest window reliably spans many
 	// query completions regardless of scheduler timing; the pause is a
 	// yield point, not a phase barrier — queries run throughout.
-	paced := make([]graph.BatchWriter, shards)
+	paced := make([]graph.Applier, shards)
 	for i := range paced {
 		paced[i] = pacedSink{sinks[i]}
 	}
@@ -220,10 +220,10 @@ func TestMixedReadWriteConcurrency(t *testing.T) {
 
 // pacedSink inserts a short pause after each applied batch (see
 // TestMixedReadWriteConcurrency).
-type pacedSink struct{ bw graph.BatchWriter }
+type pacedSink struct{ ap graph.Applier }
 
-func (p pacedSink) InsertBatch(edges []graph.Edge) error {
-	if err := p.bw.InsertBatch(edges); err != nil {
+func (p pacedSink) ApplyOps(ops []graph.Op) error {
+	if err := p.ap.ApplyOps(ops); err != nil {
 		return err
 	}
 	time.Sleep(100 * time.Microsecond)

@@ -57,12 +57,11 @@ type Config struct {
 	// call would otherwise hold the processor for whole preemption
 	// quanta and starve the query workers' latency.
 	NoIngestYield bool
-	// Sinks optionally provides one BatchWriter per ingest shard (e.g.
-	// per-shard dgap.Writers from workload.DGAPSinks). Empty means all
-	// shards share the system's graph.Batch path. Sinks that also
-	// implement graph.BatchDeleter (dgap.Writers do) serve IngestOps'
-	// delete sub-batches too.
-	Sinks []graph.BatchWriter
+	// Sinks optionally provides one graph.Applier per ingest shard
+	// (e.g. per-shard dgap.Writers from workload.DGAPSinks, which apply
+	// mixed op streams natively). Empty means all shards share the
+	// Server's resolved graph.Store handle.
+	Sinks []graph.Applier
 
 	// Clock overrides the wall clock the server reads — lease ages for
 	// the MaxStalenessAge bound, latency observations, uptime. nil
@@ -116,7 +115,11 @@ var (
 // batches ingest underneath. See the package documentation.
 type Server struct {
 	sys graph.System
-	cfg Config
+	// store is the system's capability-resolved handle, opened once at
+	// New: leases mint Views from it, Ingest/IngestOps mutate through
+	// it, and Close runs its shutdown path.
+	store *graph.Store
+	cfg   Config
 
 	// applied counts edges applied through Ingest — the clock the
 	// edge-staleness bound runs on.
@@ -158,6 +161,7 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		sys:   sys,
+		store: graph.Open(sys),
 		cfg:   cfg,
 		queue: make(chan *task, cfg.QueueDepth),
 		born:  cfg.Clock(),
@@ -234,25 +238,30 @@ func (s *Server) enqueue(q Query, block bool) (*task, error) {
 	}
 }
 
+// sinks builds the per-shard counted Appliers one ingest call drives:
+// the configured per-shard sinks, or the Server's shared Store.
+func (s *Server) sinks(n int) []graph.Applier {
+	out := make([]graph.Applier, n)
+	for i := range out {
+		var ap graph.Applier = s.store
+		if len(s.cfg.Sinks) != 0 {
+			ap = s.cfg.Sinks[i]
+		}
+		out[i] = &countedSink{ap: ap, applied: &s.applied, yield: !s.cfg.NoIngestYield}
+	}
+	return out
+}
+
 // Ingest streams edges underneath the serving layer: the stream is
 // partitioned and batched by the workload.Router (by the configured
-// lock scope) into the system's bulk write path or the configured
+// lock scope) into the Server's resolved Store handle or the configured
 // per-shard sinks, and every applied batch advances the applied-edge
 // counter the staleness bound measures. Safe to run concurrently with
 // queries; concurrent Ingest calls are safe when the sinks are (the
-// shared graph.Batch path serializes on the system's own locks).
+// shared Store path serializes on the system's own locks).
 func (s *Server) Ingest(edges []graph.Edge) (workload.InsertResult, error) {
 	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
-	shared := graph.Batch(s.sys)
-	sinks := make([]graph.BatchWriter, rt.Shards)
-	for i := range sinks {
-		bw := shared
-		if len(s.cfg.Sinks) != 0 {
-			bw = s.cfg.Sinks[i]
-		}
-		sinks[i] = &countedSink{bw: bw, applied: &s.applied, yield: !s.cfg.NoIngestYield}
-	}
-	return rt.Run(sinks, edges)
+	return rt.Run(s.sinks(rt.Shards), edges)
 }
 
 // IngestOps streams a mixed insert/delete stream underneath the
@@ -266,55 +275,45 @@ func (s *Server) Ingest(edges []graph.Edge) (workload.InsertResult, error) {
 // delete-heavy stream retires leases at the same cadence an
 // insert-heavy one does. Fails with graph.ErrDeletesUnsupported (or a
 // per-shard sink error) when the wrapped system cannot delete.
-func (s *Server) IngestOps(ops []workload.Op) (workload.InsertResult, error) {
-	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
-	shared, err := workload.Mutator(s.sys)
-	if err != nil && len(s.cfg.Sinks) == 0 {
-		return workload.InsertResult{}, err
-	}
-	sinks := make([]graph.BatchMutator, rt.Shards)
-	for i := range sinks {
-		var bm graph.BatchMutator = shared
-		if len(s.cfg.Sinks) != 0 {
-			m, ok := s.cfg.Sinks[i].(graph.BatchMutator)
-			if !ok {
-				return workload.InsertResult{}, fmt.Errorf("serve: ingest shard %d sink %T: %w",
-					i, s.cfg.Sinks[i], graph.ErrDeletesUnsupported)
+func (s *Server) IngestOps(ops []graph.Op) (workload.InsertResult, error) {
+	if _, dels := graph.SplitOps(ops); dels > 0 {
+		// Reject delete-incapable paths up front rather than failing
+		// mid-stream with whole insert sub-batches already applied: the
+		// shared path via the Store's resolved caps, configured sinks
+		// via the same caps when they can report them (graph.Store
+		// sinks); other Appliers (dgap.Writer, wrappers) claim the full
+		// mixed contract and surface any rejection per shard.
+		if len(s.cfg.Sinks) == 0 {
+			if !s.store.Caps().Has(graph.CapDelete) {
+				return workload.InsertResult{}, fmt.Errorf("serve: %s: %w", s.store.Name(), graph.ErrDeletesUnsupported)
 			}
-			bm = m
+		} else {
+			for i, ap := range s.cfg.Sinks {
+				if cr, ok := ap.(interface{ Caps() graph.Caps }); ok && !cr.Caps().Has(graph.CapDelete) {
+					return workload.InsertResult{}, fmt.Errorf("serve: ingest shard %d sink: %w", i, graph.ErrDeletesUnsupported)
+				}
+			}
 		}
-		sinks[i] = &countedSink{bw: bm, bd: bm, applied: &s.applied, yield: !s.cfg.NoIngestYield}
 	}
-	return rt.RunOps(sinks, ops)
+	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
+	return rt.RunOps(s.sinks(rt.Shards), ops)
 }
 
-// countedSink advances the server's applied-edge counter after each
-// batch lands, so lease staleness tracks acknowledged edges only, and
-// yields the processor at the batch boundary so in-flight queries keep
-// making progress while ingest streams (see Config.NoIngestYield).
+// countedSink advances the server's applied-edge counter after each op
+// batch lands, so lease staleness tracks acknowledged mutations only,
+// and yields the processor at the batch boundary so in-flight queries
+// keep making progress while ingest streams (see Config.NoIngestYield).
 type countedSink struct {
-	bw      graph.BatchWriter
-	bd      graph.BatchDeleter // nil on the insert-only Ingest path
+	ap      graph.Applier
 	applied *atomic.Int64
 	yield   bool
 }
 
-func (c *countedSink) InsertBatch(edges []graph.Edge) error {
-	if err := c.bw.InsertBatch(edges); err != nil {
+func (c *countedSink) ApplyOps(ops []graph.Op) error {
+	if err := c.ap.ApplyOps(ops); err != nil {
 		return err
 	}
-	c.applied.Add(int64(len(edges)))
-	if c.yield {
-		runtime.Gosched()
-	}
-	return nil
-}
-
-func (c *countedSink) DeleteBatch(edges []graph.Edge) error {
-	if err := c.bd.DeleteBatch(edges); err != nil {
-		return err
-	}
-	c.applied.Add(int64(len(edges)))
+	c.applied.Add(int64(len(ops)))
 	if c.yield {
 		runtime.Gosched()
 	}
@@ -340,10 +339,7 @@ func (s *Server) Close() error {
 	s.subMu.Unlock()
 	s.wg.Wait()
 	s.retireLease()
-	if c, ok := s.sys.(graph.Closer); ok {
-		return c.Close()
-	}
-	return nil
+	return s.store.Close()
 }
 
 // ClassStats summarizes one query class's latency histogram.

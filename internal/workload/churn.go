@@ -5,35 +5,7 @@ import (
 
 	"dgap/internal/dgap"
 	"dgap/internal/graph"
-	"dgap/internal/vtime"
 )
-
-// Op is one mutation of a mixed insert/delete stream.
-type Op struct {
-	Edge graph.Edge
-	Del  bool
-}
-
-// Inserts wraps an edge slice as an insert-only op stream.
-func Inserts(edges []graph.Edge) []Op {
-	ops := make([]Op, len(edges))
-	for i, e := range edges {
-		ops[i] = Op{Edge: e}
-	}
-	return ops
-}
-
-// SplitOps counts a mixed stream's composition.
-func SplitOps(ops []Op) (inserts, deletes int) {
-	for _, o := range ops {
-		if o.Del {
-			deletes++
-		} else {
-			inserts++
-		}
-	}
-	return inserts, deletes
-}
 
 // ChurnOps turns an edge stream into a sliding-window churn stream:
 // every edge is inserted in stream order, and once window inserts have
@@ -45,174 +17,44 @@ func SplitOps(ops []Op) (inserts, deletes int) {
 // edge inserted exactly window ops before it, so on any path that
 // preserves per-edge causal order the delete always finds its live
 // copy.
-func ChurnOps(edges []graph.Edge, window int) []Op {
+func ChurnOps(edges []graph.Edge, window int) []graph.Op {
 	if window < 1 {
 		window = 1
 	}
-	ops := make([]Op, 0, 2*len(edges)-min(window, len(edges)))
+	ops := make([]graph.Op, 0, 2*len(edges)-min(window, len(edges)))
 	for i, e := range edges {
-		ops = append(ops, Op{Edge: e})
+		ops = append(ops, graph.Op{Edge: e})
 		if i >= window {
-			ops = append(ops, Op{Edge: edges[i-window], Del: true})
+			ops = append(ops, graph.Op{Edge: edges[i-window], Del: true})
 		}
 	}
 	return ops
 }
 
-// opBatch is one mixed dispatch unit: a shard-local op slice plus the
-// distinct virtual lock resources its execution serializes on.
-type opBatch struct {
-	ops []Op
-	res []int
-}
-
-// partitionOps routes each op to its shard by the lock resource of its
-// edge — the same sharding Router.partition applies to pure insert
-// streams — so an edge's insert and its later delete always land on
-// the same shard, in stream order; a delete can then never race ahead
-// of the insert it cancels. The one divergence from the insert-only
-// partition is the global scope: round-robin by stream index would
-// split an edge's insert and delete across shards, so mixed streams
-// hash by source vertex instead (work still spreads; the single shared
-// lock resource still serializes every batch in virtual time).
-func (rt Router) partitionOps(ops []Op) [][]Op {
-	parts := make([][]Op, rt.Shards)
-	for _, o := range ops {
-		var sh int
-		if rt.Scope != ScopeGlobal {
-			sh = rt.Scope.Resource(o.Edge) % rt.Shards
-		} else {
-			sh = int(o.Edge.Src) % rt.Shards
-		}
-		parts[sh] = append(parts[sh], o)
-	}
-	return parts
-}
-
-// opBatches cuts each shard's stream into BatchSize dispatch units.
-func (rt Router) opBatches(ops []Op) [][]opBatch {
-	parts := rt.partitionOps(ops)
-	out := make([][]opBatch, rt.Shards)
-	for sh, p := range parts {
-		for len(p) > 0 {
-			n := min(rt.BatchSize, len(p))
-			b := opBatch{ops: p[:n]}
-			seen := map[int]bool{}
-			for _, o := range b.ops {
-				if r := rt.Scope.Resource(o.Edge); !seen[r] {
-					seen[r] = true
-					b.res = append(b.res, r)
-				}
-			}
-			out[sh] = append(out[sh], b)
-			p = p[n:]
-		}
-	}
-	return out
-}
-
-// RunOps drives a mixed insert/delete stream through sinks — one
-// graph.BatchMutator per shard — with the same lock-scope sharding and
-// causal virtual-time dispatch as Run. Each dispatch batch is applied
-// as one InsertBatch of its inserts followed by one DeleteBatch of its
-// deletes. That reordering is multiset-exact: a delete cancels an
-// unspecified live (src, dst) occurrence and only requires one live
-// match, so moving a batch's inserts ahead of its deletes preserves
-// every final per-(src, dst) live count; validation can only get more
-// permissive (a delete whose matching insert shares its batch succeeds
-// here and would fail interleaved), never stricter. The per-vertex
-// visible ORDER inside one batch window is likewise not part of the
-// router contract — cross-shard delivery already permutes it, see
-// TestBatchOutOfOrderDelivery. Failures arrive as ShardError; when a
-// sink's delete path is the scalar fallback, the wrapped
-// graph.BatchError names the failing op's index within its sub-batch.
-func (rt Router) RunOps(sinks []graph.BatchMutator, ops []Op) (InsertResult, error) {
-	if rt.BatchSize < 1 {
-		rt.BatchSize = DefaultBatchSize
-	}
-	if len(sinks) != rt.Shards {
-		return InsertResult{}, fmt.Errorf("workload: %d sinks for %d shards", len(sinks), rt.Shards)
-	}
-	r := vtime.NewRunner(rt.Shards)
-	ins := make([][]graph.Edge, rt.Shards)
-	del := make([][]graph.Edge, rt.Shards)
-	err := causalDrive(r, rt.opBatches(ops),
-		func(b opBatch) []int { return b.res },
-		func(th int, b opBatch) error {
-			ins[th] = ins[th][:0]
-			del[th] = del[th][:0]
-			for _, o := range b.ops {
-				if o.Del {
-					del[th] = append(del[th], o.Edge)
-				} else {
-					ins[th] = append(ins[th], o.Edge)
-				}
-			}
-			if len(ins[th]) > 0 {
-				if err := sinks[th].InsertBatch(ins[th]); err != nil {
-					return &ShardError{Shard: th, Err: err}
-				}
-			}
-			if len(del[th]) > 0 {
-				if err := sinks[th].DeleteBatch(del[th]); err != nil {
-					return &ShardError{Shard: th, Err: err}
-				}
-			}
-			return nil
-		})
-	if err != nil {
-		return InsertResult{}, err
-	}
-	return InsertResult{Edges: len(ops), Elapsed: r.Elapsed()}, nil
-}
-
-// Mutator bundles a system's two bulk write paths into the
-// graph.BatchMutator the mixed router drives: the native surfaces where
-// implemented, scalar fallbacks otherwise. Returns an error wrapping
-// graph.ErrDeletesUnsupported for systems that cannot delete at all.
-func Mutator(sys graph.System) (graph.BatchMutator, error) {
-	bd := graph.Deletes(sys)
-	if bd == nil {
-		return nil, fmt.Errorf("workload: %s: %w", sys.Name(), graph.ErrDeletesUnsupported)
-	}
-	return mutator{graph.Batch(sys), bd}, nil
-}
-
-type mutator struct {
-	graph.BatchWriter
-	graph.BatchDeleter
-}
-
 // ChurnRouted drives a mixed op stream across n router shards into the
-// system's bulk write paths — the mixed-workload counterpart of
-// InsertBatched. All shards share one mutator handle; the system's own
-// locking arbitrates.
-func ChurnRouted(sys graph.System, ops []Op, n int, scope LockScope, batchSize int) (InsertResult, error) {
-	mut, err := Mutator(sys)
-	if err != nil {
-		return InsertResult{}, err
-	}
-	sinks := make([]graph.BatchMutator, n)
-	for i := range sinks {
-		sinks[i] = mut
+// system's resolved mutation handle — the mixed-workload counterpart of
+// InsertBatched. All shards share one graph.Store; the system's own
+// locking arbitrates. Fails with an error wrapping
+// graph.ErrDeletesUnsupported when the system cannot delete at all.
+func ChurnRouted(sys graph.System, ops []graph.Op, n int, scope LockScope, batchSize int) (InsertResult, error) {
+	st := graph.Open(sys)
+	if !st.Caps().Has(graph.CapDelete) {
+		return InsertResult{}, fmt.Errorf("workload: %s: %w", st.Name(), graph.ErrDeletesUnsupported)
 	}
 	rt := Router{Shards: n, BatchSize: batchSize, Scope: scope}
-	return rt.RunOps(sinks, ops)
+	return rt.RunOps(sharedSinks(st, n), ops)
 }
 
 // ChurnRoutedDGAP routes a mixed op stream across n per-shard
-// dgap.Writers (each implementing both batched paths natively over its
-// own undo log), section-sharded like InsertBatchedDGAP.
-func ChurnRoutedDGAP(g *dgap.Graph, ops []Op, n int, batchSize int) (InsertResult, error) {
-	writers, release, err := dgapWriters(g, n)
+// dgap.Writers — each applying mixed batches through the native
+// section-grouped ApplyOps over its own undo log — section-sharded like
+// InsertBatchedDGAP.
+func ChurnRoutedDGAP(g *dgap.Graph, ops []graph.Op, n int, batchSize int) (InsertResult, error) {
+	sinks, release, err := DGAPSinks(g, n)
 	if err != nil {
 		return InsertResult{}, err
 	}
 	defer release()
-	sinks := make([]graph.BatchMutator, n)
-	for i := range sinks {
-		sinks[i] = writers[i]
-	}
 	rt := Router{Shards: n, BatchSize: batchSize, Scope: ScopeSection}
 	return rt.RunOps(sinks, ops)
 }

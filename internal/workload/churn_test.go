@@ -19,7 +19,7 @@ func TestChurnOpsShape(t *testing.T) {
 	edges := graphgen.Uniform(64, 8, 3)
 	const window = 100
 	ops := ChurnOps(edges, window)
-	ins, del := SplitOps(ops)
+	ins, del := graph.SplitOps(ops)
 	if ins != len(edges) {
 		t.Fatalf("inserts = %d, want %d", ins, len(edges))
 	}
@@ -56,7 +56,7 @@ func TestChurnOpsShape(t *testing.T) {
 }
 
 // churnModel applies an op stream to a reference multiset.
-func churnModel(ops []Op) map[graph.Edge]int {
+func churnModel(ops []graph.Op) map[graph.Edge]int {
 	m := map[graph.Edge]int{}
 	for _, o := range ops {
 		if o.Del {
@@ -133,7 +133,7 @@ func TestRunOpsGlobalScope(t *testing.T) {
 }
 
 // scalarDeleteSys is a Deleter without native batch paths, whose
-// deletes fail after failAt — so Mutator must hand back the scalar
+// deletes fail after failAt — so graph.Open must resolve the scalar
 // fallback adapters for both directions.
 type scalarDeleteSys struct {
 	inserted, deleted, failAt int
@@ -156,22 +156,22 @@ func (f *scalarDeleteSys) Snapshot() graph.Snapshot { return nil }
 
 // TestShardErrorNamesDeleteIndex: a delete failing on the scalar
 // fallback surfaces as ShardError wrapping graph.BatchError with the
-// failing edge's index — the parity with inserts this PR's bugfix
-// satellite pins.
+// failing edge's index — the insert/delete error parity the resolved
+// Store keeps intact.
 func TestShardErrorNamesDeleteIndex(t *testing.T) {
 	sys := &scalarDeleteSys{failAt: 2, cause: errors.New("backend refused")}
-	mut, err := Mutator(sys)
-	if err != nil {
-		t.Fatal(err)
+	st := graph.Open(sys)
+	if !st.Caps().Has(graph.CapDelete) || st.Caps().Has(graph.CapBatchDelete) {
+		t.Fatalf("caps = %v, want scalar-fallback delete", st.Caps())
 	}
-	ops := make([]Op, 0, 8)
+	ops := make([]graph.Op, 0, 8)
 	for i := 0; i < 8; i++ {
 		// All deletes on one source so they share a shard and
 		// sub-batch; the third delete fails.
-		ops = append(ops, Op{Edge: graph.Edge{Src: 3, Dst: graph.V(i)}, Del: true})
+		ops = append(ops, graph.OpDelete(3, graph.V(i)))
 	}
 	rt := Router{Shards: 2, BatchSize: 16, Scope: ScopeVertex}
-	_, err = rt.RunOps([]graph.BatchMutator{mut, mut}, ops)
+	_, err := rt.RunOps([]graph.Applier{st, st}, ops)
 	if err == nil {
 		t.Fatal("failing delete stream succeeded")
 	}
@@ -194,10 +194,12 @@ func TestShardErrorNamesDeleteIndex(t *testing.T) {
 	}
 }
 
-// TestMutatorRejectsNonDeleters: Mutator surfaces
-// graph.ErrDeletesUnsupported for append-only systems.
-func TestMutatorRejectsNonDeleters(t *testing.T) {
-	if _, err := Mutator(insertOnlySys{}); !errors.Is(err, graph.ErrDeletesUnsupported) {
+// TestChurnRoutedRejectsNonDeleters: the resolved Store's missing
+// CapDelete surfaces as graph.ErrDeletesUnsupported for append-only
+// systems before any op is applied.
+func TestChurnRoutedRejectsNonDeleters(t *testing.T) {
+	ops := []graph.Op{graph.OpInsert(0, 1), graph.OpDelete(0, 1)}
+	if _, err := ChurnRouted(insertOnlySys{}, ops, 2, ScopeGlobal, 4); !errors.Is(err, graph.ErrDeletesUnsupported) {
 		t.Fatalf("err = %v, want ErrDeletesUnsupported", err)
 	}
 }

@@ -36,10 +36,11 @@ func AdaptiveBatchSize(nEdges int) int {
 	return bs
 }
 
-// ShardError decorates a batch-insert failure with the ingest shard it
+// ShardError decorates a batch-apply failure with the ingest shard it
 // happened on, so multi-shard runs report which writer hit the wall.
 // Unwrap exposes the cause — typically a *pmem.OutOfMemoryError naming
-// the exhausted region — to errors.As.
+// the exhausted region, or a *graph.BatchError naming the failing op —
+// to errors.As.
 type ShardError struct {
 	Shard int
 	Err   error
@@ -51,53 +52,61 @@ func (e *ShardError) Error() string {
 
 func (e *ShardError) Unwrap() error { return e.Err }
 
-// Router is the sharded ingest path: it partitions an edge stream
-// across Shards writer shards by lock resource — every edge of one PMA
-// section (or source vertex, per Scope) lands on the same shard, so a
-// shard's batches touch few, disjoint resources and its BatchWriter can
-// take each lock once per group — then drives fixed-size batches
-// through per-shard graph.BatchWriter sinks on the virtual-time runner.
-// It replaces the hand-rolled per-writer goroutine loops the drivers in
-// workload.go used to duplicate.
+// Router is the sharded ingest path: it partitions an op stream across
+// Shards writer shards by lock resource — every op of one PMA section
+// (or source vertex, per Scope) lands on the same shard, so a shard's
+// batches touch few, disjoint resources and its sink can take each lock
+// once per group — then drives fixed-size batches through per-shard
+// graph.Applier sinks on the virtual-time runner. Sinks are the unified
+// mutation surface: per-shard native handles (dgap.Writer) or a shared
+// graph.Store, interchangeably.
 type Router struct {
 	Shards    int
 	BatchSize int
 	Scope     LockScope
 }
 
-// routedBatch is one dispatch unit: a shard-local edge slice plus the
+// opBatch is one dispatch unit: a shard-local op slice plus the
 // distinct virtual lock resources its execution serializes on.
-type routedBatch struct {
-	edges []graph.Edge
-	res   []int
+type opBatch struct {
+	ops []graph.Op
+	res []int
 }
 
-// partition routes each edge to its shard: by lock resource for
-// section- and vertex-scoped systems (co-locating each resource's
-// edges, and with them each vertex's stream order, on one shard), and
-// round-robin for the global scope, where hashing by the single shared
-// resource would starve every shard but one.
-func (rt Router) partition(edges []graph.Edge) [][]graph.Edge {
-	parts := make([][]graph.Edge, rt.Shards)
-	for i, e := range edges {
-		sh := i % rt.Shards
-		if rt.Scope != ScopeGlobal {
-			sh = rt.Scope.Resource(e) % rt.Shards
+// partition routes each op to its shard: by lock resource for section-
+// and vertex-scoped systems (co-locating each resource's ops, and with
+// them each vertex's stream order, on one shard), and — for the global
+// scope, where hashing by the single shared resource would starve every
+// shard but one — round-robin by stream index for insert-only streams,
+// or by source vertex for mixed streams (index round-robin would split
+// an edge's insert and delete across shards; hashing by source keeps
+// them in order on one shard while work still spreads).
+func (rt Router) partition(ops []graph.Op, insertOnly bool) [][]graph.Op {
+	parts := make([][]graph.Op, rt.Shards)
+	for i, o := range ops {
+		var sh int
+		switch {
+		case rt.Scope != ScopeGlobal:
+			sh = rt.Scope.Resource(o.Edge) % rt.Shards
+		case insertOnly:
+			sh = i % rt.Shards
+		default:
+			sh = int(o.Edge.Src) % rt.Shards
 		}
-		parts[sh] = append(parts[sh], e)
+		parts[sh] = append(parts[sh], o)
 	}
 	return parts
 }
 
 // batches cuts each shard's stream into BatchSize dispatch units and
 // computes each unit's distinct resource set.
-func (rt Router) batches(edges []graph.Edge) [][]routedBatch {
-	parts := rt.partition(edges)
-	out := make([][]routedBatch, rt.Shards)
+func (rt Router) batches(ops []graph.Op, insertOnly bool) [][]opBatch {
+	parts := rt.partition(ops, insertOnly)
+	out := make([][]opBatch, rt.Shards)
 	for sh, p := range parts {
 		for len(p) > 0 {
 			n := min(rt.BatchSize, len(p))
-			out[sh] = append(out[sh], routedBatch{edges: p[:n], res: distinctResources(rt.Scope, p[:n])})
+			out[sh] = append(out[sh], opBatch{ops: p[:n], res: distinctResources(rt.Scope, p[:n])})
 			p = p[n:]
 		}
 	}
@@ -106,11 +115,11 @@ func (rt Router) batches(edges []graph.Edge) [][]routedBatch {
 
 // distinctResources returns the sorted distinct lock resources a batch
 // serializes on under the scope.
-func distinctResources(scope LockScope, edges []graph.Edge) []int {
+func distinctResources(scope LockScope, ops []graph.Op) []int {
 	seen := map[int]bool{}
 	res := make([]int, 0, 4)
-	for _, e := range edges {
-		r := scope.Resource(e)
+	for _, o := range ops {
+		r := scope.Resource(o.Edge)
 		if !seen[r] {
 			seen[r] = true
 			res = append(res, r)
@@ -120,11 +129,10 @@ func distinctResources(scope LockScope, edges []graph.Edge) []int {
 	return res
 }
 
-// Run drives the timed stream through sinks — one graph.BatchWriter per
-// shard — in causal virtual-time order, each batch executing under its
-// distinct resource set. The returned Elapsed is the simulated parallel
-// makespan.
-func (rt Router) Run(sinks []graph.BatchWriter, timed []graph.Edge) (InsertResult, error) {
+// dispatch drives the partitioned, batched op stream through sinks in
+// causal virtual-time order, each batch executing — as one ApplyOps
+// call on its shard's sink — under its distinct resource set.
+func (rt Router) dispatch(sinks []graph.Applier, ops []graph.Op, insertOnly bool) (InsertResult, error) {
 	if rt.BatchSize < 1 {
 		rt.BatchSize = DefaultBatchSize
 	}
@@ -132,10 +140,10 @@ func (rt Router) Run(sinks []graph.BatchWriter, timed []graph.Edge) (InsertResul
 		return InsertResult{}, fmt.Errorf("workload: %d sinks for %d shards", len(sinks), rt.Shards)
 	}
 	r := vtime.NewRunner(rt.Shards)
-	err := causalDrive(r, rt.batches(timed),
-		func(b routedBatch) []int { return b.res },
-		func(th int, b routedBatch) error {
-			if err := sinks[th].InsertBatch(b.edges); err != nil {
+	err := causalDrive(r, rt.batches(ops, insertOnly),
+		func(b opBatch) []int { return b.res },
+		func(th int, b opBatch) error {
+			if err := sinks[th].ApplyOps(b.ops); err != nil {
 				return &ShardError{Shard: th, Err: err}
 			}
 			return nil
@@ -143,27 +151,54 @@ func (rt Router) Run(sinks []graph.BatchWriter, timed []graph.Edge) (InsertResul
 	if err != nil {
 		return InsertResult{}, err
 	}
-	return InsertResult{Edges: len(timed), Elapsed: r.Elapsed()}, nil
+	return InsertResult{Edges: len(ops), Elapsed: r.Elapsed()}, nil
+}
+
+// Run drives an insert-only edge stream through sinks — one
+// graph.Applier per shard. The returned Elapsed is the simulated
+// parallel makespan.
+func (rt Router) Run(sinks []graph.Applier, timed []graph.Edge) (InsertResult, error) {
+	return rt.dispatch(sinks, graph.Inserts(timed), true)
+}
+
+// RunOps drives a mixed insert/delete op stream through sinks with the
+// same lock-scope sharding and causal virtual-time dispatch as Run.
+// Each dispatch batch lands as one ApplyOps call, so sinks with a
+// native mixed path (dgap.Writer) apply its inserts and tombstones in
+// shared section groups, and graph.Store sinks split it into the
+// multiset-exact insert-first two-call dispatch (see Store.Apply). The
+// per-vertex visible order within and across batch windows is not part
+// of the router contract — cross-shard delivery already permutes it,
+// see TestBatchOutOfOrderDelivery.
+// Failures arrive as ShardError; when a sink bottoms out in a scalar
+// fallback, the wrapped graph.BatchError names the failing op's index
+// within its sub-batch.
+func (rt Router) RunOps(sinks []graph.Applier, ops []graph.Op) (InsertResult, error) {
+	return rt.dispatch(sinks, ops, false)
+}
+
+// sharedSinks replicates one shared handle across n shards.
+func sharedSinks(ap graph.Applier, n int) []graph.Applier {
+	sinks := make([]graph.Applier, n)
+	for i := range sinks {
+		sinks[i] = ap
+	}
+	return sinks
 }
 
 // InsertBatched inserts the timed stream through n router shards
-// feeding batchSize batches into the system's bulk write path
-// (graph.Batch: native InsertBatch where implemented, a scalar loop
-// otherwise). All shards share one sink handle; the system's own
-// internal locking arbitrates, exactly as the scalar InsertParallel
-// drivers share one System.
+// feeding batchSize batches into the system's resolved mutation handle
+// (graph.Open: native batch paths where implemented, scalar loops
+// otherwise). All shards share one Store; the system's own internal
+// locking arbitrates, exactly as the scalar InsertParallel drivers
+// share one System.
 func InsertBatched(sys graph.System, edges []graph.Edge, n int, scope LockScope, batchSize int) (InsertResult, error) {
 	warm, timed := Split(edges)
 	if err := insertAll(sys.InsertEdge, warm); err != nil {
 		return InsertResult{}, err
 	}
-	bw := graph.Batch(sys)
-	sinks := make([]graph.BatchWriter, n)
-	for i := range sinks {
-		sinks[i] = bw
-	}
 	rt := Router{Shards: n, BatchSize: batchSize, Scope: scope}
-	return rt.Run(sinks, timed)
+	return rt.Run(sharedSinks(graph.Open(sys), n), timed)
 }
 
 // DGAPSinks allocates n per-shard dgap.Writer sinks — each owning its
@@ -171,13 +206,14 @@ func InsertBatched(sys graph.System, edges []graph.Edge, n int, scope LockScope,
 // crash-protection state — plus a release func closing all of them.
 // Callers that drive a Router themselves (the serving layer's ingest
 // path) use this to get the same shard shape InsertBatchedDGAP builds
-// internally.
-func DGAPSinks(g *dgap.Graph, n int) ([]graph.BatchWriter, func(), error) {
+// internally. Writers implement graph.Applier natively, so the sinks
+// serve mixed op streams too.
+func DGAPSinks(g *dgap.Graph, n int) ([]graph.Applier, func(), error) {
 	writers, release, err := dgapWriters(g, n)
 	if err != nil {
 		return nil, nil, err
 	}
-	sinks := make([]graph.BatchWriter, n)
+	sinks := make([]graph.Applier, n)
 	for i := range sinks {
 		sinks[i] = writers[i]
 	}
@@ -198,7 +234,7 @@ func InsertBatchedDGAP(g *dgap.Graph, edges []graph.Edge, n int, batchSize int) 
 	if err := insertAll(writers[0].InsertEdge, warm); err != nil {
 		return InsertResult{}, err
 	}
-	sinks := make([]graph.BatchWriter, n)
+	sinks := make([]graph.Applier, n)
 	for i := range sinks {
 		sinks[i] = writers[i]
 	}

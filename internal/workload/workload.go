@@ -8,10 +8,12 @@
 // the same insert loop and the same causal virtual-time dispatcher
 // instead of the four hand-rolled copies earlier revisions carried. The
 // batched drivers (InsertBatchedSerial, InsertBatched,
-// InsertBatchedDGAP) route the stream through a sharded Router (see
-// router.go) that partitions edges by lock resource and feeds
-// fixed-size batches to graph.BatchWriter sinks, so each shard's
-// batches take their locks once per group instead of once per edge.
+// InsertBatchedDGAP, and the mixed ChurnRouted/ChurnRoutedDGAP) route
+// the stream through a sharded Router (see router.go) that partitions
+// op streams by lock resource and feeds fixed-size batches to
+// graph.Applier sinks — per-shard native handles or a shared
+// graph.Store — so each shard's batches take their locks once per group
+// instead of once per edge.
 //
 // Multi-writer runs execute on the vtime discrete-event runner (this
 // machine has one CPU; see package vtime), with lock scopes chosen per
@@ -78,10 +80,11 @@ func InsertSerial(sys graph.System, edges []graph.Edge) (InsertResult, error) {
 }
 
 // InsertBatchedSerial inserts the timed stream through the system's
-// bulk write path — graph.Batch, so systems without native InsertBatch
-// fall back to a scalar loop — in batchSize chunks, with real
-// wall-clock timing. The scalar-vs-batched single-writer comparison in
-// BENCH_ingest.json is InsertSerial against this function.
+// resolved mutation handle — graph.Open / Store.Apply, so systems
+// without native batch paths fall back to scalar loops — in batchSize
+// chunks, with real wall-clock timing. The scalar-vs-batched
+// single-writer comparison in BENCH_ingest.json is InsertSerial against
+// this function.
 func InsertBatchedSerial(sys graph.System, edges []graph.Edge, batchSize int) (InsertResult, error) {
 	if batchSize < 1 {
 		batchSize = DefaultBatchSize
@@ -90,17 +93,17 @@ func InsertBatchedSerial(sys graph.System, edges []graph.Edge, batchSize int) (I
 	if err := insertAll(sys.InsertEdge, warm); err != nil {
 		return InsertResult{}, err
 	}
-	bw := graph.Batch(sys)
-	total := len(timed)
+	st := graph.Open(sys)
+	ops := graph.Inserts(timed)
 	t0 := time.Now()
-	for len(timed) > 0 {
-		n := min(batchSize, len(timed))
-		if err := bw.InsertBatch(timed[:n]); err != nil {
+	for len(ops) > 0 {
+		n := min(batchSize, len(ops))
+		if err := st.Apply(ops[:n]); err != nil {
 			return InsertResult{}, err
 		}
-		timed = timed[n:]
+		ops = ops[n:]
 	}
-	return InsertResult{Edges: total, Elapsed: time.Since(t0)}, nil
+	return InsertResult{Edges: len(timed), Elapsed: time.Since(t0)}, nil
 }
 
 // LockScope classifies a system's write-lock granularity for the

@@ -105,13 +105,13 @@ func TestLockScopeResources(t *testing.T) {
 func TestRouterPartitionByResource(t *testing.T) {
 	edges := graphgen.Uniform(256, 8, 13)
 	rt := Router{Shards: 4, BatchSize: 32, Scope: ScopeSection}
-	parts := rt.partition(edges)
+	parts := rt.partition(graph.Inserts(edges), true)
 	total := 0
 	for sh, p := range parts {
 		total += len(p)
-		for _, e := range p {
-			if ScopeSection.Resource(e)%4 != sh {
-				t.Fatalf("edge %v routed to shard %d, resource %d", e, sh, ScopeSection.Resource(e))
+		for _, o := range p {
+			if ScopeSection.Resource(o.Edge)%4 != sh {
+				t.Fatalf("edge %v routed to shard %d, resource %d", o.Edge, sh, ScopeSection.Resource(o.Edge))
 			}
 		}
 	}
@@ -119,7 +119,7 @@ func TestRouterPartitionByResource(t *testing.T) {
 		t.Fatalf("partition dropped edges: %d of %d", total, len(edges))
 	}
 	// Global scope must still spread load across shards.
-	gparts := Router{Shards: 4, BatchSize: 32, Scope: ScopeGlobal}.partition(edges)
+	gparts := Router{Shards: 4, BatchSize: 32, Scope: ScopeGlobal}.partition(graph.Inserts(edges), true)
 	for sh, p := range gparts {
 		if len(p) == 0 {
 			t.Fatalf("global-scope shard %d starved", sh)
@@ -130,7 +130,7 @@ func TestRouterPartitionByResource(t *testing.T) {
 func TestRouterBatchResources(t *testing.T) {
 	rt := Router{Shards: 1, BatchSize: 4, Scope: ScopeVertex}
 	edges := []graph.Edge{{Src: 3, Dst: 1}, {Src: 3, Dst: 2}, {Src: 9, Dst: 1}, {Src: 3, Dst: 4}, {Src: 5, Dst: 0}}
-	bs := rt.batches(edges)
+	bs := rt.batches(graph.Inserts(edges), true)
 	if len(bs) != 1 || len(bs[0]) != 2 {
 		t.Fatalf("batches = %v", bs)
 	}
@@ -194,8 +194,8 @@ func TestShardErrorSurfacesRegion(t *testing.T) {
 	// An arena too small for the stream: BAL exhausts it growing blocks.
 	g := bal.New(pmem.New(1<<13), 64)
 	rt := Router{Shards: 2, BatchSize: 16, Scope: ScopeVertex}
-	bw := graph.Batch(g)
-	_, err := rt.Run([]graph.BatchWriter{bw, bw}, edges)
+	st := graph.Open(g)
+	_, err := rt.Run([]graph.Applier{st, st}, edges)
 	if err == nil {
 		t.Fatal("expected shard failure on an exhausted arena")
 	}

@@ -207,8 +207,8 @@ func (g *Graph) InsertBatch(edges []graph.Edge) error {
 	// per-vertex stream order preserved — instead of a tail lookup per
 	// edge. Under the ingestion lock the fill's position inside the
 	// batch is unobservable, so deferring it past the log loop is safe.
-	for src, dsts := range graph.GroupBySrc(edges) {
-		g.cache.AppendRun(src, dsts)
+	for _, run := range graph.GroupBySrc(edges) {
+		g.cache.AppendRun(run.Src, run.Dsts)
 	}
 	if g.logHead%8 != 0 {
 		slot := g.logOff + pmem.Off((g.logHead-1)%g.logCap)*8
