@@ -11,6 +11,7 @@
 //	dgap-bench -ingest                     ingest timings   -> BENCH_ingest.json
 //	dgap-bench -serve                      mixed read/write -> BENCH_serve.json
 //	dgap-bench -churn                      insert+delete    -> BENCH_churn.json
+//	dgap-bench -recover                    crash restart    -> BENCH_recover.json
 //	dgap-bench -ingest -serve -churn -tiny CI smoke scale   -> BENCH_*_tiny.json
 //
 // The JSON dumps are the cross-PR perf trajectory: -json times the four
@@ -20,7 +21,10 @@
 // snapshot leases while ingest streams through the router — at several
 // read:write ratios, and -churn drives the sliding-window insert/delete
 // stream (delete throughput, tombstone-compaction counts, post-churn
-// space). -tiny shrinks any of them to CI smoke scale AND diverts the
+// space), and -recover kills the serving stack mid-churn at every
+// injected crash point, chaos-crashes the arena (seeded by -crashseed),
+// reopens, and records restart-to-first-query and restart-to-full-QPS
+// per point. -tiny shrinks any of them to CI smoke scale AND diverts the
 // output to BENCH_*_tiny.json: the committed BENCH_*.json artifacts are
 // generated at pinned scales, and a smoke run must never overwrite
 // them.
@@ -50,6 +54,8 @@ func main() {
 	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json and -serve")
 	serveExp := flag.Bool("serve", false, "run the mixed read/write serving experiment (queries over snapshot leases concurrent with routed ingest) and write BENCH_serve.json; combines with -json and -ingest")
 	churn := flag.Bool("churn", false, "run the sliding-window churn experiment (batched deletes, tombstone compaction, post-churn space) and write BENCH_churn.json; combines with the other dumps")
+	recoverExp := flag.Bool("recover", false, "run the crash-recovery experiment (kill the serving stack at every crash point, chaos-crash, reopen, measure restart-to-first-query and restart-to-full-QPS) and write BENCH_recover.json; combines with the other dumps")
+	crashSeed := flag.Int64("crashseed", 0, "base seed for the recovery experiment's chaotic power cuts (0 = fixed default); derived per-point seeds are printed on failure")
 	tiny := flag.Bool("tiny", false, "CI smoke scale: small datasets at a minimal scale factor; JSON dumps go to BENCH_*_tiny.json so committed artifacts are never overwritten")
 	flag.Parse()
 
@@ -60,7 +66,7 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
+	opt := bench.Options{Scale: *scale, Seed: *seed, CrashSeed: *crashSeed, Out: os.Stdout}
 	if *datasets != "" {
 		opt.Datasets = strings.Split(*datasets, ",")
 	}
@@ -93,13 +99,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *recoverExp {
+		if err := bench.RecoverJSON(opt, bench.ArtifactPath("BENCH_recover.json", *tiny)); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		if err := bench.KernelJSON(opt, bench.ArtifactPath("BENCH_kernels.json", *tiny)); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
 	}
-	if *ingest || *serveExp || *churn || *jsonOut {
+	if *ingest || *serveExp || *churn || *recoverExp || *jsonOut {
 		return
 	}
 	if *exp == "all" {

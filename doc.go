@@ -19,7 +19,7 @@
 //
 //   - graph.Store — opened once per system via graph.Open — resolves a
 //     Caps bitset (CapBatch, CapDelete, CapApply, CapSweep, CapClose,
-//     ...) and exposes one mutation entry point: Apply, over mixed
+//     CapRecover, ...) and exposes one mutation entry point: Apply, over mixed
 //     insert/delete op streams (graph.Op). DGAP implements the mixed
 //     path natively (graph.Applier): a batch's inserts and tombstones
 //     plan into shared PMA-section groups — one section lock, one
@@ -36,6 +36,20 @@
 //     per-edge callback for backends without native support, plus an
 //     explicit Release that returns the snapshot to the backend's
 //     accounting (DGAP's compaction gate).
+//
+// Recovery is a first-class Store capability (CapRecover, resolved from
+// graph.Recoverable): Checkpoint persists a clean-shutdown dump that the
+// first subsequent mutation atomically invalidates, and a reopened
+// backend reports graph.RecoveryStats (graceful or crash path, replayed
+// ops, scrubbed torn writes, attach time). The contract — every
+// acknowledged op survives any crash; an in-flight batch survives as at
+// most a per-source prefix; chaotic per-cacheline crashes additionally
+// never yield phantom edges — is documented on graph.Recoverable,
+// verified against a DRAM oracle (graph.Oracle) by crash-sweep and
+// property tests at every injected crash point, and exercised end to
+// end by serve.Reopen, which re-attaches the serving stack to a
+// recovered backend. examples/crashrecovery demonstrates the contract
+// including exactly-once resume of a torn batch.
 //
 // Analytics kernels read Views only — destinations arrive as slices (on
 // DGAP and CSR, direct views of the PM edge array) instead of one
@@ -60,7 +74,11 @@
 // insert/delete experiment (delete MEPS, the native mixed ApplyOps
 // path against the legacy split InsertBatch+DeleteBatch dispatch,
 // tombstone-compaction counts, post-churn space against insert-only
-// and no-compaction baselines) to BENCH_churn.json for cross-PR perf
-// tracking. Under -tiny every dump diverts to BENCH_*_tiny.json so CI
-// smoke runs never overwrite the committed pinned-scale artifacts.
+// and no-compaction baselines) to BENCH_churn.json, and `dgap-bench
+// -recover` kills the serving stack mid-churn at every injected crash
+// point, chaos-crashes the arena, reopens, and dumps
+// restart-to-first-query and restart-to-full-QPS per point to
+// BENCH_recover.json — all for cross-PR perf tracking. Under -tiny
+// every dump diverts to BENCH_*_tiny.json so CI smoke runs never
+// overwrite the committed pinned-scale artifacts.
 package repro

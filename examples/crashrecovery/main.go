@@ -1,167 +1,204 @@
-// Crashrecovery: a torture demonstration of DGAP's durability contract.
-// Edges stream in while the "power" is cut at random points — including
-// mid-rebalance, via the failure-injection hook — and after every crash
-// the graph reopens and must contain exactly the acknowledged edges
-// (plus, possibly, one in-flight edge whose ack was lost with the
-// power). The per-thread undo log and the pivot-based vertex-array
-// reconstruction do the heavy lifting.
+// Crashrecovery: a torture demonstration of the Store-level recovery
+// contract. A mixed insert/delete churn stream drives a DGAP instance
+// through its capability-resolved graph.Store handle while the "power"
+// is cut at randomly chosen injected crash points — mid-Apply,
+// mid-rebalance, mid-compaction, mid-restructure. After every crash the
+// graph reopens from the media image, reports its graph.RecoveryStats,
+// and is verified against a DRAM oracle of the acknowledged op stream:
+// every acked op visible, at most a per-source prefix of the in-flight
+// batch, nothing else. The example then resumes the torn batch
+// exactly-once — the per-source prefix guarantee is what makes that
+// decidable — and keeps going. Periodic Checkpoint calls exercise the
+// other half of the contract: a checkpoint is atomically invalidated by
+// the first mutation after it, so a stale dump is never trusted.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"slices"
 
 	"dgap/internal/dgap"
 	"dgap/internal/graph"
 	"dgap/internal/graphgen"
 	"dgap/internal/pmem"
+	"dgap/internal/workload"
 )
 
-const vertices = 400
+const (
+	vertices = 400
+	chunk    = 64
+)
 
 type crashSignal struct{ point string }
 
 func main() {
 	edges := graphgen.Uniform(vertices, 24, 2024)
+	ops := workload.ChurnOps(edges, 1024)
 	cfg := dgap.DefaultConfig(vertices, int64(len(edges))/8) // tight estimate:
 	cfg.SectionSlots = 64                                    // small sections + undersized array
 	cfg.ELogSize = 512                                       // => constant merges and rebalances
 
-	arena := pmem.New(512 << 20)
-	g, err := dgap.New(arena, cfg)
+	g, err := dgap.New(pmem.New(512<<20), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := graph.Open(g)
+	if !st.Caps().Has(graph.CapRecover) {
+		log.Fatalf("%s does not advertise CapRecover", st.Name())
+	}
 
 	rng := rand.New(rand.NewSource(7))
-	acked := 0
+	oracle := graph.NewOracle()
 	crashes := 0
-	rebalSeen := 0
 
-	for acked < len(edges) {
-		// Arm a crash one to three rebalances ahead.
-		armAt := rebalSeen + 1 + rng.Intn(3)
+	for cursor := 0; cursor < len(ops); {
+		// Arm a crash at a random point, a few firings ahead.
+		point := dgap.CrashPoints[rng.Intn(len(dgap.CrashPoints))]
+		arm, fired := 1+rng.Intn(4), 0
 		g.SetCrashHook(func(p string) {
-			if p == "rebalance:mid-move" {
-				rebalSeen++
-				if rebalSeen >= armAt {
+			if p == point {
+				fired++
+				if fired == arm {
 					panic(crashSignal{p})
 				}
 			}
 		})
+		// An occasional checkpoint: it never makes a mid-stream crash
+		// graceful (the next mutation invalidates it before touching
+		// media), which is exactly the property being demonstrated.
+		if crashes%3 == 1 {
+			if err := st.Checkpoint(); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+		}
 
-		crashed := insertUntil(g, edges, &acked)
-		if !crashed {
-			break // stream finished without hitting the armed crash
+		inflight := drive(st, oracle, ops, &cursor)
+		if inflight == nil {
+			break // stream finished before the armed point fired
 		}
 		crashes++
 
-		// Power loss: volatile state gone, reopen from the media image.
-		arena = arena.Crash()
-		g, err = dgap.Open(arena, cfg)
+		// Power loss: volatile state gone. Reopen from the media image,
+		// re-resolve the Store handle, and audit the attach.
+		g, err = dgap.Open(g.Arena().Crash(), cfg)
 		if err != nil {
 			log.Fatalf("recovery %d failed: %v", crashes, err)
 		}
-		verify(g, edges, acked, crashes)
-		// The in-flight edge was never acknowledged, so it may or may not
-		// have become durable before the power cut. Exactly-once resume
-		// requires checking which happened before re-sending it.
-		if acked < len(edges) && countEdge(g, edges[acked]) > countIn(edges[:acked], edges[acked]) {
-			acked++
+		st = graph.Open(g)
+		rs, ok := g.Recovery()
+		if !ok {
+			log.Fatalf("crash %d: reopened graph reports no recovery stats", crashes)
 		}
-		fmt.Printf("crash %2d at edge %6d (mid-rebalance): recovered, %d edges verified\n",
-			crashes, acked, acked)
+		s := g.ConsistentView()
+		if err := oracle.CheckPrefix(s, inflight); err != nil {
+			log.Fatalf("crash %d at %s: %v", crashes, point, err)
+		}
+		// Exactly-once resume of the torn batch: the per-source prefix
+		// guarantee means each source's survivor count is decidable from
+		// the visible neighbors, so the rest re-applies without
+		// duplicating what already landed.
+		resumed := 0
+		for src, srcOps := range groupOps(inflight) {
+			k := survivors(s, oracle.Neighbors(src), src, srcOps)
+			if k < 0 {
+				log.Fatalf("crash %d at %s: vertex %d violates the prefix contract", crashes, point, src)
+			}
+			if err := st.Apply(srcOps[k:]); err != nil {
+				log.Fatalf("crash %d: resume: %v", crashes, err)
+			}
+			resumed += len(srcOps) - k
+		}
+		s.ReleaseSnapshot()
+		if err := oracle.Apply(inflight); err != nil {
+			log.Fatalf("crash %d: oracle resume: %v", crashes, err)
+		}
+		cursor += len(inflight) // the torn chunk is now fully applied; don't replay it
+		fmt.Printf("crash %2d at %-26s %6d ops acked, %2d resumed (graceful=%v, replayed %d ops, %d undo ranges, attach %v)\n",
+			crashes, point+":", oracle.Ops(), resumed, rs.Graceful, rs.ReplayedOps, rs.UndoRangesReplayed, rs.AttachTime)
 	}
 
-	final := g.ConsistentView()
-	fmt.Printf("\nsurvived %d mid-rebalance crashes; final graph: %d edges (want %d)\n",
-		crashes, final.NumEdges(), len(edges))
-	if final.NumEdges() != int64(len(edges)) {
-		log.Fatal("edge count mismatch")
+	// Final audit, then the graceful path: checkpoint, power-off, reopen.
+	s := g.ConsistentView()
+	if err := oracle.CheckPrefix(s, nil); err != nil {
+		log.Fatalf("final state: %v", err)
+	}
+	s.ReleaseSnapshot()
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	g, err = dgap.Open(g.Arena().Crash(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, _ := g.Recovery()
+	fmt.Printf("\nsurvived %d crashes over %d churn ops; final reopen graceful=%v, %d edges\n",
+		crashes, oracle.Ops(), rs.Graceful, g.ConsistentView().NumEdges())
+	if !rs.Graceful {
+		log.Fatal("reopen after Close took the crash path")
 	}
 }
 
-// insertUntil pushes edges from the acked cursor onward, returning true
-// if the armed crash fired.
-func insertUntil(g *dgap.Graph, edges []graph.Edge, acked *int) (crashed bool) {
+// drive streams ops chunk by chunk through the Store, mirroring every
+// acknowledged chunk into the oracle, until the armed crash fires (the
+// in-flight chunk is returned) or the stream ends (nil).
+func drive(st *graph.Store, oracle *graph.Oracle, ops []graph.Op, cursor *int) (inflight []graph.Op) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(crashSignal); ok {
-				crashed = true
-				return
+			if _, ok := r.(crashSignal); !ok {
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
-	for *acked < len(edges) {
-		e := edges[*acked]
-		if err := g.InsertEdge(e.Src, e.Dst); err != nil {
+	for *cursor < len(ops) {
+		end := min(*cursor+chunk, len(ops))
+		part := ops[*cursor:end]
+		inflight = part // published only if Apply panics below
+		if err := st.Apply(part); err != nil {
 			log.Fatal(err)
 		}
-		*acked++
+		if err := oracle.Apply(part); err != nil {
+			log.Fatal(err)
+		}
+		*cursor = end
+		inflight = nil
 	}
-	return false
+	return nil
 }
 
-// countEdge counts live (src, dst) occurrences in the latest view.
-func countEdge(g *dgap.Graph, e graph.Edge) int {
-	n := 0
-	g.ConsistentView().Neighbors(e.Src, func(d graph.V) bool {
-		if d == e.Dst {
-			n++
-		}
-		return true
-	})
-	return n
+// groupOps splits a batch by source vertex, preserving per-source order.
+func groupOps(ops []graph.Op) map[graph.V][]graph.Op {
+	m := make(map[graph.V][]graph.Op)
+	for _, op := range ops {
+		m[op.Edge.Src] = append(m[op.Edge.Src], op)
+	}
+	return m
 }
 
-// countIn counts (src, dst) occurrences in an edge stream prefix.
-func countIn(edges []graph.Edge, e graph.Edge) int {
-	n := 0
-	for _, x := range edges {
-		if x == e {
-			n++
+// survivors returns the smallest k such that acked plus the first k of
+// src's in-flight ops reproduces src's visible neighbor list, or -1 if
+// no prefix does (a contract violation).
+func survivors(s graph.Snapshot, acked []graph.V, src graph.V, srcOps []graph.Op) int {
+	var visible []graph.V
+	s.Neighbors(src, func(d graph.V) bool { visible = append(visible, d); return true })
+	sim := slices.Clone(acked)
+	for k := 0; ; k++ {
+		if slices.Equal(sim, visible) {
+			return k
 		}
-	}
-	return n
-}
-
-// verify checks that the recovered graph holds every acknowledged edge
-// (the in-flight edge, if any, is allowed but nothing else).
-func verify(g *dgap.Graph, edges []graph.Edge, acked, crashNo int) {
-	want := map[[2]graph.V]int{}
-	for _, e := range edges[:acked] {
-		want[[2]graph.V{e.Src, e.Dst}]++
-	}
-	inflight := [2]graph.V{}
-	if acked < len(edges) {
-		inflight = [2]graph.V{edges[acked].Src, edges[acked].Dst}
-	}
-	s := g.ConsistentView()
-	got := map[[2]graph.V]int{}
-	for v := 0; v < s.NumVertices(); v++ {
-		s.Neighbors(graph.V(v), func(d graph.V) bool {
-			got[[2]graph.V{graph.V(v), d}]++
-			return true
-		})
-	}
-	for k, n := range want {
-		extra := 0
-		if k == inflight {
-			extra = 1
+		if k == len(srcOps) {
+			return -1
 		}
-		if got[k] != n && got[k] != n+extra {
-			log.Fatalf("crash %d: edge %v: got %d, want %d", crashNo, k, got[k], n)
+		op := srcOps[k]
+		if !op.Del {
+			sim = append(sim, op.Edge.Dst)
+			continue
 		}
-	}
-	for k, n := range got {
-		allowed := want[k]
-		if k == inflight {
-			allowed++
+		i := slices.Index(sim, op.Edge.Dst)
+		if i < 0 {
+			return -1
 		}
-		if n > allowed {
-			log.Fatalf("crash %d: phantom edge %v x%d", crashNo, k, n)
-		}
+		sim = slices.Delete(sim, i, i+1)
 	}
 }

@@ -29,6 +29,11 @@ type Options struct {
 	Datasets []string
 	// Seed makes dataset generation deterministic.
 	Seed int64
+	// CrashSeed is the base seed for the recovery experiment's chaotic
+	// power cuts (pmem.Arena.ChaosCrash); each crash point derives its
+	// own seed from it, and failures print the derived seed so a bad
+	// interleaving replays exactly. 0 selects a fixed default.
+	CrashSeed int64
 	// Latency is the PM cost model (DefaultLatency unless overridden).
 	Latency pmem.LatencyModel
 	// Out receives the experiment's table.
@@ -42,6 +47,9 @@ func (o Options) defaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.CrashSeed == 0 {
+		o.CrashSeed = 9176
 	}
 	z := pmem.LatencyModel{}
 	if o.Latency == z {

@@ -1,0 +1,410 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/serve"
+	"dgap/internal/workload"
+)
+
+// Recovery-experiment shape. The churn stream drives the serving stack's
+// IngestOps path; query batches measure point-query throughput with the
+// same methodology before the crash (on a twin stack) and after the
+// reopen, so "full QPS" has a like-for-like baseline.
+const (
+	recoverChunk      = 256 // ops per IngestOps call while driving to the crash
+	recoverBatch      = 256 // queries per throughput sample
+	recoverSteadyFrac = 0.7 // a sample at this fraction of PreQPS counts as recovered
+	recoverMaxRounds  = 40  // post-reopen sample rounds before giving up
+	recoverAttempts   = 3   // churn re-shapes tried until a point fires
+)
+
+// recoverCrash is the injected-crash panic payload.
+type recoverCrash struct{ point string }
+
+// RecoverResult is one crash point's restart measurement: where the
+// stack was killed, how the backend reattached, and the two
+// recovery-time metrics — power-on to first answered query, and
+// power-on to a query-throughput sample back at PreQPS.
+type RecoverResult struct {
+	Point     string `json:"point"`
+	CrashSeed int64  `json:"crash_seed"`
+	// Crashed is false when the point never fired over any attempted
+	// churn shape (possible at -tiny scale); the recovery fields are
+	// then absent-as-zero.
+	Crashed  bool  `json:"crashed"`
+	AckedOps int64 `json:"acked_ops"`
+
+	Graceful           bool  `json:"graceful"`
+	ReplayedOps        int64 `json:"replayed_ops"`
+	DroppedTorn        int64 `json:"dropped_torn"`
+	UndoRangesReplayed int64 `json:"undo_ranges_replayed"`
+
+	AttachNs     int64   `json:"attach_ns"`
+	FirstQueryNs int64   `json:"first_query_ns"`
+	FullQPSNs    int64   `json:"full_qps_ns"`
+	PostQPS      float64 `json:"post_qps"`
+	// ReachedSteady is false when no post-reopen sample hit the steady
+	// fraction within the round budget; FullQPSNs then covers the last
+	// sample taken.
+	ReachedSteady bool `json:"reached_steady"`
+}
+
+// RecoverDump is the top-level BENCH_recover.json document.
+type RecoverDump struct {
+	Scale         float64         `json:"scale"`
+	Seed          int64           `json:"seed"`
+	CrashSeedBase int64           `json:"crash_seed_base"`
+	Graph         string          `json:"graph"`
+	ChurnOps      int             `json:"churn_ops"`
+	PreQPS        float64         `json:"pre_qps"`
+	Results       []RecoverResult `json:"results"`
+}
+
+// recoverConfig undersizes DGAP relative to the stream the same way the
+// crash-sweep tests do, so every structural path — merges, window
+// rebalances with tombstone compaction, full restructures — runs while
+// the stream is driven, and therefore every crash point can fire.
+func recoverConfig(nVert int) dgap.Config {
+	cfg := dgap.DefaultConfig(nVert, 64)
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	return cfg
+}
+
+func recoverServeConfig() serve.Config {
+	return serve.Config{
+		MaxStalenessEdges: 1024,
+		MaxStalenessAge:   -1,
+		Workers:           serveWorkers,
+		QueueDepth:        256,
+		IngestShards:      serveShards,
+	}
+}
+
+// armAtBench mirrors the crash-sweep arming: hot points (every apply
+// group, every merge) pass a few firings first so the image holds real
+// history; rare structural points crash on the first.
+func armAtBench(point string) int {
+	switch point {
+	case "compact:rewrite", "restructure:before-publish", "restructure:after-publish":
+		return 1
+	default:
+		return 4
+	}
+}
+
+// recoverQuery is the i-th query of a throughput sample: alternating
+// degree and neighbor-list lookups over deterministically scattered
+// vertices — the cheap point classes whose throughput a restart
+// actually interrupts.
+func recoverQuery(i, nVert int) serve.Query {
+	v := graph.V(uint32(i*2654435761) % uint32(nVert))
+	if i%2 == 0 {
+		return serve.Query{Class: serve.ClassDegree, V: v}
+	}
+	return serve.Query{Class: serve.ClassNeighbors, V: v}
+}
+
+// queryBatchQPS pushes one fixed-size query batch through the server
+// from serveWorkers goroutines and returns its completed-queries/sec.
+func queryBatchQPS(srv *serve.Server, nVert int) (float64, error) {
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	t0 := time.Now()
+	for w := 0; w < serveWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= recoverBatch {
+					return
+				}
+				if res := srv.Do(recoverQuery(int(i), nVert)); res.Err != nil {
+					mu.Lock()
+					errs = append(errs, res.Err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return 0, errs[0]
+	}
+	secs := time.Since(t0).Seconds()
+	if secs <= 0 {
+		return 0, nil
+	}
+	return recoverBatch / secs, nil
+}
+
+// ingestChunks streams ops through srv.IngestOps chunk by chunk. The
+// sink mirror (if non-nil) receives each acknowledged chunk. When a
+// hook panic fires, the in-flight chunk and true are returned.
+func ingestChunks(srv *serve.Server, oracle *graph.Oracle, ops []graph.Op) (inflight []graph.Op, crashed bool, err error) {
+	for i := 0; i < len(ops); i += recoverChunk {
+		end := i + recoverChunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		chunk := ops[i:end]
+		var ingestErr error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(recoverCrash); ok {
+						crashed = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			_, ingestErr = srv.IngestOps(chunk)
+		}()
+		if crashed {
+			return chunk, true, nil
+		}
+		if ingestErr != nil {
+			return nil, false, ingestErr
+		}
+		if oracle != nil {
+			if err := oracle.Apply(chunk); err != nil {
+				return nil, false, fmt.Errorf("oracle rejected acknowledged chunk: %w", err)
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// churnShapes returns the op streams attempted per crash point: the
+// same edges re-shaped with successively smaller churn windows, which
+// shifts when deletes (and so tombstone pressure and compaction) start
+// relative to array growth.
+func churnShapes(edges []graph.Edge) [][]graph.Op {
+	shapes := make([][]graph.Op, 0, recoverAttempts)
+	w := max(len(edges)/2, 256)
+	for i := 0; i < recoverAttempts; i++ {
+		shapes = append(shapes, workload.ChurnOps(edges, w))
+		w = max(w/4, 64)
+	}
+	return shapes
+}
+
+// measureBaselineQPS builds a twin of the crash stack — same graph
+// shape, same warm stream — and measures steady point-query throughput
+// with churn chunks interleaved between samples. It runs on a twin
+// because queries pin snapshot leases, and a pinned lease would gate
+// tombstone compaction on the stack being crashed (compact:rewrite
+// could then never fire).
+func measureBaselineQPS(nVert int, ops []graph.Op, warmN int, o Options) (float64, error) {
+	g, err := dgap.New(arenaFor(len(ops), o.Latency), recoverConfig(nVert))
+	if err != nil {
+		return 0, err
+	}
+	srv, err := serve.New(g, recoverServeConfig())
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	if _, _, err := ingestChunks(srv, nil, ops[:warmN]); err != nil {
+		return 0, err
+	}
+	// One discarded warmup sample, then the average of a few, each with
+	// a churn chunk applied in between so leases refresh as they would
+	// in steady serving.
+	if _, err := queryBatchQPS(srv, nVert); err != nil {
+		return 0, err
+	}
+	rest := ops[warmN:]
+	sum, n := 0.0, 0
+	for i := 0; i < 4; i++ {
+		if len(rest) > 0 {
+			adv := min(recoverChunk, len(rest))
+			if _, _, err := ingestChunks(srv, nil, rest[:adv]); err != nil {
+				return 0, err
+			}
+			rest = rest[adv:]
+		}
+		qps, err := queryBatchQPS(srv, nVert)
+		if err != nil {
+			return 0, err
+		}
+		sum += qps
+		n++
+	}
+	return sum / float64(n), nil
+}
+
+// measureRecoverPoint kills the serving stack at one crash point while
+// a churn stream drives it, chaos-crashes the arena, and measures the
+// restart: reattach, first answered query, and throughput back at the
+// baseline. The pre-crash stack runs no queries (see measureBaselineQPS
+// for why), so the crash lands mid-churn with every hook reachable.
+func measureRecoverPoint(point string, nVert int, shapes [][]graph.Op, freshOps []graph.Op, preQPS float64, chaosSeed int64, o Options) (RecoverResult, error) {
+	res := RecoverResult{Point: point, CrashSeed: chaosSeed}
+	for _, ops := range shapes {
+		warmN := len(ops) / 8
+		cfg := recoverConfig(nVert)
+		g, err := dgap.New(arenaFor(len(ops), o.Latency), cfg)
+		if err != nil {
+			return res, err
+		}
+		srv, err := serve.New(g, recoverServeConfig())
+		if err != nil {
+			return res, err
+		}
+		oracle := graph.NewOracle()
+		if _, _, err := ingestChunks(srv, oracle, ops[:warmN]); err != nil {
+			return res, err
+		}
+		arm, fired := armAtBench(point), 0
+		g.SetCrashHook(func(p string) {
+			if p == point {
+				fired++
+				if fired == arm {
+					panic(recoverCrash{p})
+				}
+			}
+		})
+		inflight, crashed, err := ingestChunks(srv, oracle, ops[warmN:])
+		if err != nil {
+			return res, err
+		}
+		if !crashed {
+			srv.Close() // clean instance; this shape never reached the point
+			continue
+		}
+		res.Crashed = true
+		res.AckedOps = oracle.Ops()
+		// Abandon the crashed stack: its shutdown must refuse (poisoned
+		// instance), never certify a clean image.
+		if err := srv.Close(); !errors.Is(err, dgap.ErrPoisoned) {
+			return res, fmt.Errorf("crashed stack Close = %v, want dgap.ErrPoisoned", err)
+		}
+
+		// Materialize the chaotic power cut first (simulation machinery —
+		// copying the arena image is not recovery work), then measure:
+		// everything from power-on counts toward recovery time.
+		a2 := g.Arena().ChaosCrash(chaosSeed)
+		t0 := time.Now()
+		g2, err := dgap.Open(a2, cfg)
+		if err != nil {
+			return res, fmt.Errorf("crashseed=%d: reopen after crash at %s: %w", chaosSeed, point, err)
+		}
+		srv2, rs, err := serve.Reopen(g2, recoverServeConfig())
+		if err != nil {
+			return res, fmt.Errorf("crashseed=%d: serve.Reopen after crash at %s: %w", chaosSeed, point, err)
+		}
+		defer srv2.Close()
+		if first := srv2.Do(recoverQuery(0, nVert)); first.Err != nil {
+			return res, fmt.Errorf("crashseed=%d: first query after reopen: %w", chaosSeed, first.Err)
+		}
+		res.FirstQueryNs = time.Since(t0).Nanoseconds()
+		res.Graceful = rs.Graceful
+		res.ReplayedOps = rs.ReplayedOps
+		res.DroppedTorn = rs.DroppedTorn
+		res.UndoRangesReplayed = rs.UndoRangesReplayed
+		res.AttachNs = rs.AttachTime.Nanoseconds()
+
+		// Correctness gate before throughput: the served view must hold
+		// the acked stream within the in-flight multiset envelope.
+		l := srv2.Acquire()
+		verr := oracle.CheckMultiset(l.View, inflight)
+		l.Release()
+		if verr != nil {
+			return res, fmt.Errorf("crashseed=%d: view after crash at %s: %w", chaosSeed, point, verr)
+		}
+
+		// Ramp back: fresh insert chunks interleaved with query samples,
+		// exactly the baseline methodology, until a sample reaches the
+		// steady fraction of PreQPS.
+		fresh := freshOps
+		for round := 0; round < recoverMaxRounds; round++ {
+			if len(fresh) == 0 {
+				fresh = freshOps
+			}
+			adv := min(recoverChunk, len(fresh))
+			if _, _, err := ingestChunks(srv2, nil, fresh[:adv]); err != nil {
+				return res, err
+			}
+			fresh = fresh[adv:]
+			qps, err := queryBatchQPS(srv2, nVert)
+			if err != nil {
+				return res, err
+			}
+			res.PostQPS = qps
+			res.FullQPSNs = time.Since(t0).Nanoseconds()
+			if qps >= recoverSteadyFrac*preQPS {
+				res.ReachedSteady = true
+				break
+			}
+		}
+		return res, nil
+	}
+	return res, nil // Crashed=false: no shape reached the point
+}
+
+// RecoverJSON runs the crash-recovery experiment — kill the serving
+// stack mid-churn at every injected crash point, chaos-crash the arena,
+// reopen, and measure restart-to-first-query and restart-to-full-QPS —
+// and writes BENCH_recover.json.
+func RecoverJSON(o Options, path string) error {
+	o = o.defaults()
+	spec := o.specs()[0]
+	edges := dataset(spec, o)
+	nVert := graphgen.MaxVertex(edges)
+	shapes := churnShapes(edges)
+	freshOps := graph.Inserts(graphgen.Uniform(nVert, 4, o.Seed+999))
+
+	warmN := len(shapes[0]) / 8
+	preQPS, err := measureBaselineQPS(nVert, shapes[0], warmN, o)
+	if err != nil {
+		return fmt.Errorf("recover baseline on %s: %w", spec.Name, err)
+	}
+	dump := RecoverDump{
+		Scale:         o.Scale,
+		Seed:          o.Seed,
+		CrashSeedBase: o.CrashSeed,
+		Graph:         spec.Name,
+		ChurnOps:      len(shapes[0]),
+		PreQPS:        preQPS,
+	}
+	for i, point := range dgap.CrashPoints {
+		res, err := measureRecoverPoint(point, nVert, shapes, freshOps, preQPS, o.CrashSeed+int64(i), o)
+		if err != nil {
+			return fmt.Errorf("recover %s at %s: %w", spec.Name, point, err)
+		}
+		dump.Results = append(dump.Results, res)
+		state := "no-crash"
+		if res.Crashed {
+			state = fmt.Sprintf("first-query %.2fms full-qps %.2fms (attach %.2fms, replayed %d, torn %d)",
+				float64(res.FirstQueryNs)/1e6, float64(res.FullQPSNs)/1e6,
+				float64(res.AttachNs)/1e6, res.ReplayedOps, res.DroppedTorn)
+		}
+		fmt.Fprintf(o.Out, "recover %-26s %s\n", point, state)
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "wrote %d crash-point recovery timings to %s\n", len(dump.Results), path)
+	return nil
+}

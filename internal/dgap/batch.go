@@ -243,6 +243,7 @@ func (w *Writer) applyGroup(sec int, group []graph.Op, retry *[]graph.Op) (inser
 	g := w.g
 	g.snapMu.RLock()
 	defer g.snapMu.RUnlock()
+	g.markDirty()
 	ep := g.ep.Load()
 	if sec >= ep.nSec {
 		*retry = append(*retry, group...)
@@ -354,7 +355,10 @@ loop:
 	// cost nothing) and one covers its edge-log entries, which are
 	// contiguous in the section segment. Only this group's writes can be
 	// dirty in either range: every other path flushes before releasing
-	// the section lock.
+	// the section lock. The three hooks bracket the group's durability
+	// boundary: staged (stores issued, nothing flushed), flushed (lines
+	// written back, not yet fenced), and the post-fence batch:group.
+	g.hook("apply:staged")
 	if slotLo <= slotHi {
 		g.a.Flush(ep.slotOff(slotLo), (slotHi-slotLo+1)*slotBytes)
 		dirty = true
@@ -363,6 +367,7 @@ loop:
 		g.a.Flush(ep.entryOff(uint32(sec)*ep.entriesPer+logFrom), uint64(used-logFrom)*logEntrySize)
 		dirty = true
 	}
+	g.hook("apply:flushed")
 	if dirty {
 		g.a.Fence()
 	}

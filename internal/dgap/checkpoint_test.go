@@ -1,0 +1,131 @@
+package dgap
+
+import (
+	"errors"
+	"testing"
+
+	"dgap/internal/graphgen"
+)
+
+func TestCheckpointInvalidatedByMutation(t *testing.T) {
+	cfg := smallConfig(64, 512)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(64, 10, 101)
+	half := len(edges) / 2
+	for _, e := range edges[:half] {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after a checkpoint must clear the shutdown flag before
+	// touching media; a crash then replays from the image instead of
+	// trusting the stale dump (which knows nothing of these edges).
+	for _, e := range edges[half:] {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	g2 := crashReopen(t, g, cfg)
+	rs, ok := g2.Recovery()
+	if !ok {
+		t.Fatal("Recovery() reported no attach stats after Open")
+	}
+	if rs.Graceful {
+		t.Fatal("reopen trusted a checkpoint that later mutations invalidated")
+	}
+	checkEqualAdj(t, refAdjacency(64, edges), g2.ConsistentView())
+}
+
+func TestCheckpointThenPowerCut(t *testing.T) {
+	cfg := smallConfig(32, 256)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(32, 8, 103)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint on a clean graph is a no-op, not a second dump.
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := crashReopen(t, g, cfg)
+	rs, ok := g2.Recovery()
+	if !ok || !rs.Graceful {
+		t.Fatalf("Recovery() = %+v, %v; want graceful attach", rs, ok)
+	}
+	checkEqualAdj(t, refAdjacency(32, edges), g2.ConsistentView())
+	// Graceful reopen leaves the graph fully writable.
+	mustInsert(t, g2, 1, 2)
+}
+
+func TestRecoveryStatsOnFreshGraph(t *testing.T) {
+	g := newTestGraph(t, smallConfig(8, 32))
+	if rs, ok := g.Recovery(); ok {
+		t.Fatalf("fresh graph reports recovery stats %+v", rs)
+	}
+}
+
+func TestCloseAfterInjectedCrashIsRejected(t *testing.T) {
+	cfg := smallConfig(64, 256)
+	g := newTestGraph(t, cfg)
+	fired := 0
+	g.SetCrashHook(func(p string) {
+		if p == "rebalance:moved" {
+			fired++
+			if fired == 2 {
+				panic(crashPanic{p})
+			}
+		}
+	})
+	edges := graphgen.Uniform(64, 10, 107)
+	acked := insertUntilHook(t, g, edges)
+	if acked == len(edges) {
+		t.Fatal("hook never fired; test is vacuous")
+	}
+	// The instance is poisoned: Close/Checkpoint must refuse rather than
+	// write a shutdown marker over a half-applied structural operation.
+	if err := g.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close after injected crash = %v, want ErrPoisoned", err)
+	}
+	if err := g.Checkpoint(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Checkpoint after injected crash = %v, want ErrPoisoned", err)
+	}
+	// Because Close refused, reopening takes the crash path and every
+	// acknowledged edge survives.
+	g2 := crashReopen(t, g, cfg)
+	rs, ok := g2.Recovery()
+	if !ok || rs.Graceful {
+		t.Fatalf("Recovery() = %+v, %v; want crash-path attach", rs, ok)
+	}
+	checkEqualAdjMaybeInflight(t, 64, edges, acked, g2.ConsistentView())
+}
+
+func TestRebuildScrubsOrphanSlot(t *testing.T) {
+	cfg := smallConfig(32, 256)
+	g := newTestGraph(t, cfg)
+	edges := graphgen.Uniform(32, 6, 109)
+	for _, e := range edges {
+		mustInsert(t, g, e.Src, e.Dst)
+	}
+	// Forge the wreckage a chaos crash can leave: a value slot stranded
+	// behind a gap, with no pivot run reaching it. Recovery must scrub it
+	// back to a gap (and count it) so a later append can never adopt it.
+	ep := g.ep.Load()
+	orphan := ep.slots - 1
+	if g.a.ReadU32(ep.slotOff(orphan)) != slotEmpty || g.a.ReadU32(ep.slotOff(orphan-1)) != slotEmpty {
+		t.Fatal("tail slots unexpectedly occupied; enlarge the test config")
+	}
+	g.a.WriteU32(ep.slotOff(orphan), 7) // plain value, no pivot bit
+	g.a.Flush(ep.slotOff(orphan), slotBytes)
+	g.a.Fence()
+	g2 := crashReopen(t, g, cfg)
+	rs, ok := g2.Recovery()
+	if !ok || rs.DroppedTorn == 0 {
+		t.Fatalf("Recovery() = %+v, %v; want the forged orphan in DroppedTorn", rs, ok)
+	}
+	checkEqualAdj(t, refAdjacency(32, edges), g2.ConsistentView())
+	if got := g2.a.ReadU32(g2.ep.Load().slotOff(orphan)); got != slotEmpty {
+		t.Fatalf("orphan slot = %#x after recovery, want scrubbed to empty", got)
+	}
+}

@@ -38,8 +38,27 @@ type Graph struct {
 
 	// crashHook, when set, is invoked at named points inside structural
 	// operations; failure-injection tests panic out of it and then crash
-	// the arena, exercising recovery at exactly that point.
+	// the arena, exercising recovery at exactly that point. A panic out
+	// of the hook poisons the instance (see ErrPoisoned).
 	crashHook func(point string)
+
+	// closed makes Close idempotent: only the first call dumps.
+	closed atomic.Bool
+	// clean tracks whether the image currently carries a valid
+	// checkpoint (NORMAL_SHUTDOWN set): Checkpoint sets it, and the
+	// first mutation afterwards clears the persistent flag before
+	// touching the image, so a crash mid-mutation is always seen as a
+	// crash rather than trusting a stale dump.
+	clean atomic.Bool
+	// poisoned is set when a crash hook panicked out of a structural
+	// operation: DRAM state (and held section locks) may be torn, so
+	// Checkpoint and Close refuse to dump.
+	poisoned atomic.Bool
+
+	// recovered holds how this instance attached to its image; attached
+	// is false for instances created fresh by New.
+	recovered graph.RecoveryStats
+	attached  bool
 
 	// cow is the Copy-on-Write degree cache (nil unless enabled); see
 	// cowcache.go. liveTotal tracks the live edge count for O(1)
@@ -146,12 +165,56 @@ func (g *Graph) Footprint() Footprint {
 
 func (g *Graph) hook(point string) {
 	if g.crashHook != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				// The injected crash aborts a structural operation midway:
+				// DRAM metadata and lock state are no longer trustworthy,
+				// so poison the instance before re-raising — Close on a
+				// poisoned graph must not mark the image clean.
+				g.poisoned.Store(true)
+				panic(r)
+			}
+		}()
 		g.crashHook(point)
 	}
 }
 
 // SetCrashHook installs a failure-injection hook (testing only).
 func (g *Graph) SetCrashHook(fn func(point string)) { g.crashHook = fn }
+
+// CrashPoints lists every named crash-injection point, in the order a
+// mutation stream encounters them: the batched apply path's staged
+// stores, coalesced flush and fence ("apply:*", "batch:group"), the
+// undo-log arm ("undo:staged"), the rebalance window session
+// ("rebalance:*", with "compact:rewrite" fired when the rewrite also
+// drops cancelled pairs), and the restructure's root flip
+// ("restructure:*"). The crash-point sweeps and dgap-bench -recover
+// iterate this list.
+var CrashPoints = []string{
+	"apply:staged",
+	"apply:flushed",
+	"batch:group",
+	"undo:staged",
+	"rebalance:armed",
+	"compact:rewrite",
+	"rebalance:mid-move",
+	"rebalance:moved",
+	"restructure:before-publish",
+	"restructure:after-publish",
+}
+
+// markDirty invalidates an outstanding checkpoint before the first
+// mutation after New/Open/Checkpoint touches the image: the persistent
+// NORMAL_SHUTDOWN flag is cleared (flush+fence) ahead of the mutation's
+// own stores, so a crash between them replays rather than reloading the
+// stale dump. Mutating callers invoke it under snapMu.RLock (ordering
+// against Checkpoint's exclusive dump) and pay one atomic load when no
+// checkpoint is outstanding.
+func (g *Graph) markDirty() {
+	if g.clean.Load() && g.clean.CompareAndSwap(true, false) {
+		g.a.PersistU64(sbShutdown, 0)
+	}
+}
 
 // ErrNoEdge is returned by DeleteEdge when the named edge has no live
 // copy to cancel (it wraps graph.ErrEdgeNotFound, so errors.Is matches
@@ -347,6 +410,11 @@ func (g *Graph) EnsureVertices(n int) error {
 			continue
 		}
 		if g.nVert.CompareAndSwap(cur, uint64(n)) {
+			// Growing the id space is a mutation like any other: a stale
+			// checkpoint must not survive it (its dump carries the old
+			// count, so a crash after this persist would forget the
+			// acknowledged growth).
+			g.markDirty()
 			// Persist under a lock, re-reading the counter so a racing
 			// larger growth is never overwritten by a smaller value.
 			g.nvMu.Lock()
@@ -390,6 +458,7 @@ func (w *Writer) insert(src, dst graph.V, tomb bool) error {
 	}
 	g.snapMu.RLock()
 	defer g.snapMu.RUnlock()
+	g.markDirty()
 	for {
 		ep := g.ep.Load()
 		m := &ep.meta[src]

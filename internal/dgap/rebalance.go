@@ -422,6 +422,12 @@ func (g *Graph) rebalanceWindow(w *Writer, ep *epoch, lo, hi, lockHi, trigSec in
 	// are zeroed entry by entry but flushed once per touched segment
 	// prefix (they are contiguous within each section's used region).
 	starts := g.writeLayout(ep, effStart, effSlots, runs, leadW)
+	if dropped > 0 {
+		// The rewrite physically dropped cancelled pairs; a crash here
+		// must restore them from the undo backup (they were still
+		// cancelling each other, so visibility is unchanged either way).
+		g.hook("compact:rewrite")
+	}
 	g.hook("rebalance:mid-move")
 	zero := make([]byte, logEntrySize)
 	touched := map[uint32]bool{}
@@ -551,6 +557,7 @@ func (g *Graph) scanSegment(ep *epoch, sec int) (live, used uint32) {
 // the outstanding-snapshot gate; callers passing compact=true hold
 // snapMu (EnsureVertices does not, so it passes false).
 func (g *Graph) restructure(vertCap int, minSlots uint64, compact bool) error {
+	g.markDirty()
 	for {
 		ep := g.ep.Load()
 		for i := range ep.locks {

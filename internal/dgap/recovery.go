@@ -6,17 +6,55 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dgap/internal/graph"
 	"dgap/internal/pmem"
 )
 
-// Close performs a graceful shutdown: it quiesces writers, dumps the
-// DRAM metadata (vertex array, density counters, edge-log marks) to a PM
-// region for fast reload, and sets the NORMAL_SHUTDOWN flag.
+// ErrPoisoned is returned by Checkpoint and Close after an injected
+// crash hook panicked out of a structural operation: the instance's
+// DRAM metadata (and held section locks) may be torn, so dumping it and
+// marking the image NORMAL_SHUTDOWN could corrupt recovery. Reopen from
+// the arena image instead — exactly what a real crash forces.
+var ErrPoisoned = fmt.Errorf("dgap: instance poisoned by injected crash; reopen from the arena image")
+
+// Graph implements graph.Recoverable: Checkpoint is the graceful dump,
+// Recovery reports how Open attached.
+var _ graph.Recoverable = (*Graph)(nil)
+
+// Close performs a graceful shutdown: the first call runs Checkpoint
+// (dump DRAM metadata, set NORMAL_SHUTDOWN); repeated calls return nil
+// without re-dumping. Close after an injected crash fails with
+// ErrPoisoned rather than marking a torn image clean.
 func (g *Graph) Close() error {
+	if g.closed.Swap(true) {
+		return nil
+	}
+	return g.Checkpoint()
+}
+
+// Recovery implements graph.Recoverable: how this instance attached to
+// its image. ok is false for instances created fresh by New.
+func (g *Graph) Recovery() (graph.RecoveryStats, bool) { return g.recovered, g.attached }
+
+// Checkpoint performs the graceful dump without retiring the instance:
+// it quiesces writers (snapMu), dumps the DRAM metadata (vertex array,
+// density counters, edge-log marks) to a PM region for fast reload, and
+// sets the NORMAL_SHUTDOWN flag. The graph stays fully usable; the
+// first mutation afterwards clears the flag again before touching the
+// image (markDirty), so the checkpoint is invalidated crash-safely.
+// A Checkpoint with no intervening mutation is a no-op, which is what
+// makes Close idempotent.
+func (g *Graph) Checkpoint() error {
+	if g.poisoned.Load() {
+		return ErrPoisoned
+	}
 	g.snapMu.Lock()
 	defer g.snapMu.Unlock()
+	if g.clean.Load() {
+		return nil // the image already carries this state's dump
+	}
 	ep := g.ep.Load()
 	nv := g.nVert.Load()
 
@@ -51,13 +89,19 @@ func (g *Graph) Close() error {
 	g.a.Fence()
 	g.a.PersistU64(sbMetaDump, dump)
 	g.a.PersistU64(sbShutdown, 1)
+	g.clean.Store(true)
 	return nil
 }
 
 // Open attaches to an initialized DGAP image: the fast path reloads the
-// graceful-shutdown dump; the crash path replays undo logs and rebuilds
-// all DRAM metadata from the edge array's pivots and the edge logs.
+// graceful-shutdown dump; the crash path replays undo logs, rebuilds
+// all DRAM metadata from the edge array's pivots and the edge logs, and
+// scrubs torn remnants of unacknowledged groups (checksum-failing log
+// entries, entries past a break in a back-pointer chain, edge slots
+// orphaned behind a gap). Recovery() reports what was replayed and
+// dropped, and the attach time.
 func Open(a *pmem.Arena, cfg Config) (*Graph, error) {
+	t0 := time.Now()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -73,10 +117,11 @@ func Open(a *pmem.Arena, cfg Config) (*Graph, error) {
 	// takes the crash path again.
 	a.PersistU64(sbShutdown, 0)
 
+	rs := graph.RecoveryStats{Graceful: normal}
 	if !normal {
 		// Step 1 of the paper's crash path: undo interrupted rebalances
 		// before trusting the edge array.
-		g.replayUndoLogs()
+		rs.UndoRangesReplayed = g.replayUndoLogs()
 		pmem.RecoverTx(a)
 	}
 
@@ -90,7 +135,7 @@ func Open(a *pmem.Arena, cfg Config) (*Graph, error) {
 			return nil, err
 		}
 	} else {
-		g.rebuildFromImage(ep)
+		g.rebuildFromImage(ep, &rs)
 	}
 	g.ep.Store(ep)
 	var liveSum int64
@@ -110,6 +155,9 @@ func Open(a *pmem.Arena, cfg Config) (*Graph, error) {
 			return nil, err
 		}
 	}
+	rs.AttachTime = time.Since(t0)
+	g.recovered = rs
+	g.attached = true
 	return g, nil
 }
 
@@ -151,8 +199,9 @@ func (g *Graph) loadEpoch() (*epoch, error) {
 
 // replayUndoLogs restores every armed per-thread undo log: each backed-up
 // range is copied back, returning the structure to its exact
-// pre-rebalance state.
-func (g *Graph) replayUndoLogs() {
+// pre-rebalance state. Returns the number of ranges replayed.
+func (g *Graph) replayUndoLogs() int64 {
+	var replayed int64
 	for tid := 0; tid < g.cfg.MaxWriters; tid++ {
 		ent := g.a.ReadU64(g.ulogTable + pmem.Off(tid)*8)
 		off, _ := unpackUlogEntry(ent)
@@ -170,10 +219,12 @@ func (g *Graph) replayUndoLogs() {
 			g.a.WriteBytes(dst, g.a.ReadBytes(cur+ulRangeHd, n))
 			g.a.Flush(dst, n)
 			cur += ulRangeHd + pmem.Off(n)
+			replayed++
 		}
 		g.a.Fence()
 		g.a.PersistU64(off+ulActive, 0)
 	}
+	return replayed
 }
 
 // loadDump restores DRAM metadata from the graceful-shutdown dump.
@@ -213,14 +264,20 @@ func (g *Graph) loadDump(ep *epoch) error {
 // rebuildFromImage reconstructs all DRAM metadata from the persistent
 // image: a sequential scan of the edge array recovers every vertex's
 // start and array-resident entries from its pivot; a scan of the edge
-// logs recovers the chains.
-func (g *Graph) rebuildFromImage(ep *epoch) {
+// logs recovers the chains. Torn remnants of unacknowledged groups are
+// dropped AND scrubbed from the media — an orphan slot or half-written
+// log entry left in place could be adopted as a phantom edge by a later
+// append — and counted in rs.DroppedTorn; everything adopted counts in
+// rs.ReplayedOps.
+func (g *Graph) rebuildFromImage(ep *epoch, rs *graph.RecoveryStats) {
 	nv := g.a.ReadU64(sbNVert)
 	vertCap := int(nv)
+	scrubbed := false
 
 	type chainEnt struct {
-		idx uint32
-		dst uint32
+		idx  uint32
+		dst  uint32
+		back uint32
 	}
 	chains := make(map[graph.V][]chainEnt)
 
@@ -252,14 +309,31 @@ func (g *Graph) rebuildFromImage(ep *epoch) {
 				tombV[curV] = true
 			}
 			ep.secCount[ep.secOf(s)].Add(1)
+			rs.ReplayedOps++
 		default:
-			// An edge slot with no preceding pivot would mean a torn
-			// layout; undo replay prevents this, but stay defensive.
-			continue
+			// An edge slot with no preceding pivot is a torn remnant: a
+			// chaos crash can persist the later slots of an unfenced
+			// group while dropping earlier ones, leaving this value
+			// stranded behind a gap. Scrub it back to a gap so a future
+			// append can never adopt it as a phantom edge.
+			g.a.WriteU32(ep.slotOff(s), slotEmpty)
+			g.a.Flush(ep.slotOff(s), slotBytes)
+			rs.DroppedTorn++
+			scrubbed = true
 		}
 	}
 
-	// Pass 2: edge logs.
+	// Pass 2: edge logs. Checksum-valid entries are chain candidates;
+	// anything nonzero that fails the checksum is a torn append, zeroed
+	// so the slot is reusable and can never be misread.
+	zero := make([]byte, logEntrySize)
+	scrub := func(idx uint32) {
+		off := ep.entryOff(idx)
+		g.a.WriteBytes(off, zero)
+		g.a.Flush(off, logEntrySize)
+		rs.DroppedTorn++
+		scrubbed = true
+	}
 	for sec := 0; sec < ep.nSec; sec++ {
 		base := uint32(sec) * ep.entriesPer
 		for i := uint32(0); i < ep.entriesPer; i++ {
@@ -267,16 +341,60 @@ func (g *Graph) rebuildFromImage(ep *epoch) {
 			srcTag := g.a.ReadU32(off)
 			dst := g.a.ReadU32(off + 4)
 			back := g.a.ReadU32(off + 8)
-			if srcTag&pivotBit == 0 || g.a.ReadU32(off+12) != logChecksum(srcTag, dst, back) {
+			chk := g.a.ReadU32(off + 12)
+			if srcTag&pivotBit == 0 || chk != logChecksum(srcTag, dst, back) {
+				if srcTag|dst|back|chk != 0 {
+					scrub(base + i)
+				}
 				continue
 			}
 			src := graph.V(srcTag & idMask)
-			chains[src] = append(chains[src], chainEnt{idx: base + i, dst: dst})
-			ep.elogLive[sec].Add(1)
-			if used := i + 1; used > ep.elogUsed[sec].Load() {
-				ep.elogUsed[sec].Store(used)
+			chains[src] = append(chains[src], chainEnt{idx: base + i, dst: dst, back: back})
+		}
+	}
+
+	// Pass 2b: validate each chain's back-pointer thread. A healthy
+	// chain lives in one section and links noEntry -> ... -> head in
+	// ascending index order; an entry whose predecessor was torn away
+	// is itself part of the torn group (its op would surface without
+	// the same source's earlier op), so the suffix from the first break
+	// is dropped and scrubbed too.
+	for src, ch := range chains {
+		sort.Slice(ch, func(i, j int) bool { return ch[i].idx < ch[j].idx })
+		ok := 0
+		for j, e := range ch {
+			want := uint32(noEntry)
+			if j > 0 {
+				want = ch[j-1].idx
+			}
+			if e.back != want {
+				break
+			}
+			ok = j + 1
+		}
+		if ok < len(ch) {
+			for _, e := range ch[ok:] {
+				scrub(e.idx)
+			}
+			if ok == 0 {
+				delete(chains, src)
+			} else {
+				chains[src] = ch[:ok]
 			}
 		}
+	}
+	for _, ch := range chains {
+		for _, e := range ch {
+			sec := int(e.idx / ep.entriesPer)
+			ep.elogLive[sec].Add(1)
+			if used := e.idx%ep.entriesPer + 1; used > ep.elogUsed[sec].Load() {
+				ep.elogUsed[sec].Store(used)
+			}
+			rs.ReplayedOps++
+		}
+	}
+	if scrubbed {
+		g.a.Fence()
 	}
 
 	ep.meta = make([]vertexMeta, vertCap)

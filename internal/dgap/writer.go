@@ -137,6 +137,9 @@ func (w *Writer) beginUndo(ranges []backupRange) error {
 	}
 	a.Flush(w.off, ulHeader+need)
 	a.Fence()
+	// The backup is durable but not yet authoritative: a crash here
+	// ignores it (active=0) and the untouched window stands.
+	w.g.hook("undo:staged")
 	a.PersistU64(w.off+ulActive, 1)
 	return nil
 }

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Oracle is a DRAM reference adjacency used to verify what a recovered
+// image makes visible. It applies the same op semantics the persistent
+// systems implement — inserts append in per-source stream order, a
+// delete cancels the earliest remaining occurrence of its destination
+// (the kill-table order snapshots use) and requires a live match — and
+// its two check methods encode the recovery contract of Recoverable:
+// everything acknowledged survives, and of an in-flight batch only a
+// per-source prefix (or, under torn-line chaos crashes, a per-source
+// op subset bounded by the batch's own ops) may surface.
+type Oracle struct {
+	adj  map[V][]V
+	nOps int64
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle { return &Oracle{adj: make(map[V][]V)} }
+
+// Ops returns the number of ops applied so far (the acknowledged
+// count, when the caller applies exactly the acked stream).
+func (o *Oracle) Ops() int64 { return o.nOps }
+
+// Apply replays ops into the reference adjacency. A delete with no
+// live match fails — on the acked stream that means the driver
+// acknowledged an op the backend must have rejected.
+func (o *Oracle) Apply(ops []Op) error {
+	for _, op := range ops {
+		if err := o.apply1(op); err != nil {
+			return err
+		}
+		o.nOps++
+	}
+	return nil
+}
+
+func (o *Oracle) apply1(op Op) error {
+	if !op.Del {
+		o.adj[op.Edge.Src] = append(o.adj[op.Edge.Src], op.Edge.Dst)
+		return nil
+	}
+	return deleteFirst(o.adj, op.Edge)
+}
+
+// deleteFirst removes the earliest occurrence of e.Dst from e.Src's
+// list, failing when there is none.
+func deleteFirst(adj map[V][]V, e Edge) error {
+	l := adj[e.Src]
+	for i, d := range l {
+		if d == e.Dst {
+			adj[e.Src] = append(l[:i:i], l[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("oracle: delete %d->%d: %w", e.Src, e.Dst, ErrEdgeNotFound)
+}
+
+// Neighbors returns the oracle's visible neighbor sequence of v.
+func (o *Oracle) Neighbors(v V) []V { return o.adj[v] }
+
+// groupBySrc splits an op stream per source, preserving stream order.
+func groupBySrc(ops []Op) map[V][]Op {
+	m := make(map[V][]Op)
+	for _, op := range ops {
+		m[op.Edge.Src] = append(m[op.Edge.Src], op)
+	}
+	return m
+}
+
+// vertexSpan returns one past the largest vertex id either side knows.
+func (o *Oracle) vertexSpan(s Snapshot, inflight []Op) V {
+	n := V(s.NumVertices())
+	for v := range o.adj {
+		if v+1 > n {
+			n = v + 1
+		}
+	}
+	for _, op := range inflight {
+		if op.Edge.Src+1 > n {
+			n = op.Edge.Src + 1
+		}
+	}
+	return n
+}
+
+// CheckPrefix asserts that, for every vertex, the neighbor sequence s
+// makes visible equals the oracle's acknowledged sequence extended by
+// some prefix of that source's in-flight ops. This is the deterministic
+// power-cut contract: group boundaries are fenced and per-source order
+// is preserved, so recovery surfaces each source's in-flight ops in
+// order up to some cut, never beyond or out of order.
+func (o *Oracle) CheckPrefix(s Snapshot, inflight []Op) error {
+	bySrc := groupBySrc(inflight)
+	var buf []V
+	for v := V(0); v < o.vertexSpan(s, inflight); v++ {
+		buf = buf[:0]
+		s.Neighbors(v, func(d V) bool { buf = append(buf, d); return true })
+		want := o.adj[v]
+		if slices.Equal(buf, want) {
+			continue
+		}
+		// Extend the acked sequence op by op through the source's
+		// in-flight tail, accepting the first prefix that matches.
+		seq := slices.Clone(want)
+		scratch := map[V][]V{v: seq}
+		matched := false
+		for _, op := range bySrc[v] {
+			if op.Del {
+				if deleteFirst(scratch, op.Edge) != nil {
+					break // no live match: no longer a valid prefix
+				}
+			} else {
+				scratch[v] = append(scratch[v], op.Edge.Dst)
+			}
+			if slices.Equal(buf, scratch[v]) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("oracle: vertex %d: visible %v, want acked %v plus a prefix of in-flight %v",
+				v, buf, want, bySrc[v])
+		}
+	}
+	return nil
+}
+
+// CheckMultiset asserts that every vertex's visible neighbor multiset
+// equals the oracle's acknowledged multiset adjusted by a subset of
+// that source's in-flight ops: for each destination d,
+//
+//	acked(d) - inflightDeletes(d) <= visible(d) <= acked(d) + inflightInserts(d)
+//
+// and no destination outside that envelope appears at all. This is the
+// torn-line (ChaosCrash) contract: within the one unfenced in-flight
+// group, individual line persists may land independently, so per-op
+// order across the array/log split is not recoverable — but acked ops
+// never vanish beyond in-flight tombstones, and nothing the batch
+// never wrote can surface.
+func (o *Oracle) CheckMultiset(s Snapshot, inflight []Op) error {
+	bySrc := groupBySrc(inflight)
+	var buf []V
+	for v := V(0); v < o.vertexSpan(s, inflight); v++ {
+		buf = buf[:0]
+		s.Neighbors(v, func(d V) bool { buf = append(buf, d); return true })
+		acked := counts(o.adj[v])
+		vis := counts(buf)
+		ins, del := map[V]int64{}, map[V]int64{}
+		for _, op := range bySrc[v] {
+			if op.Del {
+				del[op.Edge.Dst]++
+			} else {
+				ins[op.Edge.Dst]++
+			}
+		}
+		for d := range vis {
+			if acked[d]+ins[d] == 0 {
+				return fmt.Errorf("oracle: vertex %d: phantom neighbor %d (never acked or in flight)", v, d)
+			}
+		}
+		for d, a := range acked {
+			lo, hi := a-del[d], a+ins[d]
+			if lo < 0 {
+				lo = 0
+			}
+			if got := vis[d]; got < lo || got > hi {
+				return fmt.Errorf("oracle: vertex %d: neighbor %d visible %d times, want %d..%d (acked %d, in-flight +%d/-%d)",
+					v, d, got, lo, hi, a, ins[d], del[d])
+			}
+		}
+		for d, i := range ins {
+			if acked[d] == 0 && vis[d] > i {
+				return fmt.Errorf("oracle: vertex %d: neighbor %d visible %d times but only %d in flight", v, d, vis[d], i)
+			}
+		}
+	}
+	return nil
+}
+
+func counts(l []V) map[V]int64 {
+	m := make(map[V]int64, len(l))
+	for _, d := range l {
+		m[d]++
+	}
+	return m
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrRecoveryUnsupported is wrapped by Store.Checkpoint (and by
+// serve.Reopen) when the backend has no persistent recovery path —
+// DRAM-only systems lose everything on a power cut and cannot pretend
+// otherwise.
+var ErrRecoveryUnsupported = errors.New("recovery unsupported")
+
+// RecoveryStats reports how an instance attached to its persistent
+// image: the graceful fast path reloads a checkpoint dump, the crash
+// path replays undo logs and rebuilds metadata from the raw image.
+type RecoveryStats struct {
+	// Graceful reports the checkpoint fast path: the image carried a
+	// NORMAL_SHUTDOWN flag and a metadata dump, so nothing was replayed.
+	Graceful bool
+	// UndoRangesReplayed counts interrupted-rebalance backup ranges
+	// copied back from per-writer undo logs before the image was
+	// trusted (crash path only).
+	UndoRangesReplayed int64
+	// ReplayedOps counts physical entries re-adopted from the image
+	// while rebuilding metadata on the crash path: edge-array entries
+	// plus checksum-valid edge-log entries.
+	ReplayedOps int64
+	// DroppedTorn counts torn remnants of un-acknowledged mutation
+	// groups the crash path discarded and scrubbed: edge-log entries
+	// failing their checksum, entries past a break in a vertex's
+	// back-pointer chain, and edge slots orphaned behind a gap.
+	DroppedTorn int64
+	// AttachTime is the wall-clock duration of the reopen, dominated by
+	// the image scan on the crash path.
+	AttachTime time.Duration
+}
+
+// Recoverable is the capability behind CapRecover: the system persists
+// across process lifetimes and can report how it came back.
+//
+// # Recovery contract
+//
+// Checkpoint writes a graceful metadata dump and marks the image
+// NORMAL_SHUTDOWN, generalizing the shutdown dump Close performs: the
+// instance stays fully usable afterwards, and the next mutation
+// invalidates the checkpoint crash-safely — the NORMAL_SHUTDOWN flag is
+// cleared and persisted before the mutation touches the image, so a
+// crash at any point re-enters the replay path rather than trusting a
+// stale dump. Reopening a checkpointed image is O(metadata); reopening
+// a crashed one replays undo logs, rebuilds metadata from the image,
+// and discards torn remnants.
+//
+// What survives a crash: every acknowledged mutation — an op whose
+// Apply/ApplyOps call returned — is durable and visible after reopen.
+// Of an in-flight (unacknowledged) batch, a per-source prefix may
+// survive: per-source op order is preserved end to end and group
+// boundaries are fenced, so recovery never surfaces an op without the
+// same source's ops that preceded it in the batch, and never surfaces
+// torn garbage (checksums, chain validation and slot scrubbing discard
+// partial writes). The Oracle in this package checks exactly this
+// contract; serve.Reopen and the crash-point sweeps drive it.
+type Recoverable interface {
+	// Checkpoint dumps metadata and marks the image NORMAL_SHUTDOWN;
+	// the instance stays usable. Checkpoint briefly quiesces writers
+	// like a snapshot does; callers must not grow the vertex id space
+	// concurrently.
+	Checkpoint() error
+	// Recovery reports how this instance attached to its image. ok is
+	// false for instances created fresh (never reopened); the stats are
+	// only meaningful when ok is true.
+	Recovery() (RecoveryStats, bool)
+}
+
+// Checkpoint runs the backend's graceful checkpoint when it is
+// recoverable (CapRecover) and fails wrapping ErrRecoveryUnsupported
+// otherwise — truthfully: a DRAM-only backend cannot be made durable by
+// wishing.
+func (st *Store) Checkpoint() error {
+	if st.rc == nil {
+		return fmt.Errorf("graph: %s: %w", st.sys.Name(), ErrRecoveryUnsupported)
+	}
+	return st.rc.Checkpoint()
+}
+
+// Recovery reports how the wrapped system attached to its persistent
+// image; ok is false when the system is not recoverable or was created
+// fresh rather than reopened.
+func (st *Store) Recovery() (RecoveryStats, bool) {
+	if st.rc == nil {
+		return RecoveryStats{}, false
+	}
+	return st.rc.Recovery()
+}

@@ -38,6 +38,10 @@ const (
 	CapSweep
 	// CapClose: the system has a graceful-shutdown path (Closer).
 	CapClose
+	// CapRecover: the system persists across process lifetimes — it can
+	// checkpoint gracefully and report how a reopen attached
+	// (Recoverable). Truthfully absent on DRAM-only backends.
+	CapRecover
 )
 
 // Has reports whether every bit of want is set.
@@ -55,6 +59,7 @@ func (c Caps) String() string {
 		{CapBulk, "bulk"},
 		{CapSweep, "sweep"},
 		{CapClose, "close"},
+		{CapRecover, "recover"},
 	}
 	var parts []string
 	for _, n := range names {
@@ -81,6 +86,7 @@ type Store struct {
 	bw   BatchWriter  // insert path: native or scalar-loop fallback
 	bd   BatchDeleter // delete path: native, scalar fallback, or nil
 	ap   Applier      // native mixed path, nil when unimplemented
+	rc   Recoverable  // checkpoint/recovery path, nil when unimplemented
 
 	// The read bits (CapBulk, CapSweep) are snapshot properties, so
 	// resolving them costs one throwaway snapshot; the probe is
@@ -116,6 +122,10 @@ func Open(sys System) *Store {
 	}
 	if _, ok := sys.(Closer); ok {
 		st.caps |= CapClose
+	}
+	if rc, ok := sys.(Recoverable); ok {
+		st.rc = rc
+		st.caps |= CapRecover
 	}
 	return st
 }
@@ -153,7 +163,11 @@ func (st *Store) Caps() Caps {
 func (st *Store) View() *View { return ViewOf(st.sys.Snapshot()) }
 
 // Close runs the system's graceful-shutdown path when it has one
-// (CapClose) and is a no-op otherwise.
+// (CapClose) and is a no-op otherwise. Close is idempotent — a second
+// call returns nil without re-running the shutdown dump — and
+// crash-safe: after an injected crash has poisoned the instance, Close
+// refuses to dump rather than risk marking a torn image as gracefully
+// shut down (see dgap.ErrPoisoned).
 func (st *Store) Close() error {
 	if c, ok := st.sys.(Closer); ok {
 		return c.Close()

@@ -69,7 +69,8 @@ func storeBackends() []storeBackend {
 			},
 			settle: noop,
 			caps: graph.CapBatch | graph.CapDelete | graph.CapBatchDelete |
-				graph.CapApply | graph.CapBulk | graph.CapSweep | graph.CapClose,
+				graph.CapApply | graph.CapBulk | graph.CapSweep | graph.CapClose |
+				graph.CapRecover,
 		},
 		{
 			name: "bal",
@@ -180,6 +181,18 @@ func TestStoreCapsTruthful(t *testing.T) {
 			}
 			if _, ok := sys.(graph.Closer); ok != st.Caps().Has(graph.CapClose) {
 				t.Errorf("CapClose = %v but native Closer = %v", st.Caps().Has(graph.CapClose), ok)
+			}
+			if _, ok := sys.(graph.Recoverable); ok != st.Caps().Has(graph.CapRecover) {
+				t.Errorf("CapRecover = %v but native Recoverable = %v", st.Caps().Has(graph.CapRecover), ok)
+			}
+			// CapRecover ⇔ Checkpoint observably works; without it the
+			// sentinel names the refusal.
+			if err := st.Checkpoint(); st.Caps().Has(graph.CapRecover) {
+				if err != nil {
+					t.Errorf("CapRecover set but Checkpoint failed: %v", err)
+				}
+			} else if !errors.Is(err, graph.ErrRecoveryUnsupported) {
+				t.Errorf("Checkpoint without CapRecover = %v, want ErrRecoveryUnsupported", err)
 			}
 
 			// CapDelete ⇔ deletes observably succeed. CSR also rejects

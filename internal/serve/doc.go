@@ -57,4 +57,20 @@
 // immutable snapshot prefix never changes — and become visible at the
 // next lease generation. Deletes advance the staleness clock like
 // inserts, so delete-heavy traffic retires leases at the same cadence.
+//
+// # Restart after a crash
+//
+// The serving stack restarts in two halves. The system half reopens the
+// backend from its media image (dgap.Open over the survivor of a power
+// cut); the serving half is Reopen, which verifies the backend actually
+// attached from media — graph.Recoverable with Recovery() stats, not a
+// freshly created (empty) system — starts a new Server, and mints the
+// first lease generation before returning, so a nil error means queries
+// are being answered, not that they will be at first use. A Server that
+// was attached to the crashed instance is abandoned: its Close surfaces
+// the backend's poison error (e.g. dgap.ErrPoisoned) instead of
+// stamping a half-applied structural operation as a clean shutdown.
+// BENCH_recover.json measures this path end to end — time from reopen
+// to first answered query and to full query throughput, per crash
+// point.
 package serve

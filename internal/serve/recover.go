@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"fmt"
+
+	"dgap/internal/graph"
+)
+
+// Reopen attaches a fresh Server to a graph system that was just
+// recovered from its media image — the serving half of a restart after
+// power failure.
+//
+// The caller is responsible for the system half first: reopen the
+// backend from its arena image (e.g. dgap.Open over pmem.Arena.Crash's
+// survivor) and hand the result here. A Server that was attached to the
+// crashed instance must simply be abandoned — an injected or real crash
+// leaves the old instance's locks in an undefined state, and its
+// Close/Checkpoint refuse with the backend's poison error rather than
+// stamp a half-applied structural operation as a clean shutdown.
+//
+// Reopen verifies the handoff rather than trusting it: the system must
+// implement graph.Recoverable (else graph.ErrRecoveryUnsupported), and
+// its Recovery() stats must report an actual attach from media — a
+// freshly created system is rejected, because "serving an empty graph"
+// is the classic silent failure mode of a restart path. On success the
+// first lease generation is already minted, so a nil error means the
+// server is answering queries now, not at first use; the returned stats
+// are the backend's own attach report (graceful or crash path, replayed
+// ops, scrubbed torn writes, attach time).
+func Reopen(sys graph.System, cfg Config) (*Server, graph.RecoveryStats, error) {
+	rc, ok := sys.(graph.Recoverable)
+	if !ok {
+		return nil, graph.RecoveryStats{}, fmt.Errorf("serve: reopen %s: %w", sys.Name(), graph.ErrRecoveryUnsupported)
+	}
+	rs, attached := rc.Recovery()
+	if !attached {
+		return nil, graph.RecoveryStats{}, fmt.Errorf("serve: reopen %s: system was created fresh, not attached from a media image", sys.Name())
+	}
+	srv, err := New(sys, cfg)
+	if err != nil {
+		return nil, rs, err
+	}
+	// Prime the first lease: a recovery-surfaced failure in snapshot
+	// construction fails Reopen instead of the first customer query, and
+	// that query pays no snapshot-minting latency.
+	l := srv.Acquire()
+	if l == nil {
+		srv.Close()
+		return nil, rs, ErrClosed
+	}
+	l.Release()
+	return srv, rs, nil
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"dgap/internal/bal"
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+	"dgap/internal/workload"
+)
+
+// servedCrash is the injected-crash panic payload for the serving-tier
+// restart tests.
+type servedCrash struct{ point string }
+
+// crashyDGAP builds a deliberately small DGAP so a modest churn stream
+// hits merges, rebalances and restructures while being served.
+func crashyDGAP(t *testing.T, nVert int) (*dgap.Graph, dgap.Config) {
+	t.Helper()
+	cfg := dgap.DefaultConfig(nVert, 256)
+	cfg.SectionSlots = 32
+	cfg.ELogSize = 256
+	cfg.ULogSize = 256
+	g, err := dgap.New(pmem.New(256<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, cfg
+}
+
+// ingestUntilCrash streams ops through srv.IngestOps chunk by chunk,
+// mirroring acknowledged chunks into the oracle, until the armed hook
+// fires. Returns the chunk in flight at the crash, or nil when the
+// stream completed without firing.
+func ingestUntilCrash(t *testing.T, srv *Server, oracle *graph.Oracle, ops []graph.Op, chunk int) []graph.Op {
+	t.Helper()
+	for i := 0; i < len(ops); i += chunk {
+		end := i + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		part := ops[i:end]
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(servedCrash); ok {
+						crashed = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			if _, err := srv.IngestOps(part); err != nil {
+				t.Fatalf("IngestOps: %v", err)
+			}
+		}()
+		if crashed {
+			return part
+		}
+		if err := oracle.Apply(part); err != nil {
+			t.Fatalf("oracle rejected an acknowledged chunk: %v", err)
+		}
+	}
+	return nil
+}
+
+// TestReopenServesAckedOpsAfterCrash is the full restart drill: kill the
+// stack mid-churn at an Apply boundary, abandon the old server (whose
+// shutdown must refuse to stamp a clean checkpoint), power-cut the
+// arena, reopen the system, re-attach a Server with Reopen, and verify
+// the served view holds exactly the acknowledged op stream plus at most
+// a per-source prefix of the in-flight chunk.
+func TestReopenServesAckedOpsAfterCrash(t *testing.T) {
+	const V = 96
+	g, dcfg := crashyDGAP(t, V)
+	srv, err := New(g, Config{Workers: 2, IngestShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	g.SetCrashHook(func(p string) {
+		if p == "apply:flushed" {
+			fired++
+			if fired == 5 {
+				panic(servedCrash{p})
+			}
+		}
+	})
+	edges := graphgen.Uniform(V, 16, 53)
+	ops := workload.ChurnOps(edges, 192)
+	oracle := graph.NewOracle()
+	inflight := ingestUntilCrash(t, srv, oracle, ops, 64)
+	if inflight == nil {
+		t.Fatal("crash hook never fired; test is vacuous")
+	}
+	// The old server is attached to a poisoned instance: shutting it
+	// down must surface the poison, not certify a clean shutdown.
+	if err := srv.Close(); !errors.Is(err, dgap.ErrPoisoned) {
+		t.Fatalf("Close of crashed server = %v, want dgap.ErrPoisoned", err)
+	}
+
+	g2, err := dgap.Open(g.Arena().Crash(), dcfg)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	srv2, rs, err := Reopen(g2, Config{Workers: 2, IngestShards: 2})
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	defer srv2.Close()
+	if rs.Graceful {
+		t.Fatalf("recovery stats %+v claim graceful shutdown after a crash", rs)
+	}
+	l := srv2.Acquire()
+	if l == nil {
+		t.Fatal("no lease after Reopen")
+	}
+	if err := oracle.CheckPrefix(l.View, inflight); err != nil {
+		t.Fatalf("served view after reopen: %v", err)
+	}
+	l.Release()
+	// The re-attached stack both serves and ingests.
+	if res := srv2.Do(Query{Class: ClassDegree, V: 1}); res.Err != nil {
+		t.Fatalf("query after reopen: %v", res.Err)
+	}
+	if _, err := srv2.IngestOps([]graph.Op{graph.OpInsert(2, 3)}); err != nil {
+		t.Fatalf("ingest after reopen: %v", err)
+	}
+}
+
+// TestReopenAfterChaosCrash repeats the drill with a chaotic power cut
+// (each dirty line persists per-word with p=1/2), where only the
+// multiset envelope is guaranteed. The chaos seed appears in every
+// failure message so a failing interleaving replays exactly.
+func TestReopenAfterChaosCrash(t *testing.T) {
+	const V, chaosSeed = 80, int64(6871)
+	g, dcfg := crashyDGAP(t, V)
+	srv, err := New(g, Config{Workers: 2, IngestShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	g.SetCrashHook(func(p string) {
+		if p == "rebalance:mid-move" {
+			fired++
+			if fired == 2 {
+				panic(servedCrash{p})
+			}
+		}
+	})
+	edges := graphgen.Uniform(V, 14, 59)
+	ops := workload.ChurnOps(edges, 160)
+	oracle := graph.NewOracle()
+	inflight := ingestUntilCrash(t, srv, oracle, ops, 48)
+	if inflight == nil {
+		t.Fatal("crash hook never fired; test is vacuous")
+	}
+	g2, err := dgap.Open(g.Arena().ChaosCrash(chaosSeed), dcfg)
+	if err != nil {
+		t.Fatalf("crashseed=%d: Open after chaos crash: %v", chaosSeed, err)
+	}
+	srv2, rs, err := Reopen(g2, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("crashseed=%d: Reopen: %v", chaosSeed, err)
+	}
+	defer srv2.Close()
+	if rs.Graceful {
+		t.Fatalf("crashseed=%d: stats %+v claim graceful shutdown", chaosSeed, rs)
+	}
+	l := srv2.Acquire()
+	if err := oracle.CheckMultiset(l.View, inflight); err != nil {
+		t.Fatalf("crashseed=%d: served view after chaos reopen: %v", chaosSeed, err)
+	}
+	l.Release()
+}
+
+// TestReopenGraceful: a checkpointed shutdown reopens on the fast path
+// and Reopen reports it as such.
+func TestReopenGraceful(t *testing.T) {
+	cfg := dgap.DefaultConfig(16, 64)
+	g, err := dgap.New(pmem.New(64<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dgap.Open(g.Arena().Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, rs, err := Reopen(g2, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !rs.Graceful {
+		t.Fatalf("stats %+v after graceful shutdown, want Graceful", rs)
+	}
+	if res := srv.Do(Query{Class: ClassDegree, V: 1}); res.Err != nil || res.Value != 1 {
+		t.Fatalf("degree(1) = %d (err %v), want 1", res.Value, res.Err)
+	}
+}
+
+// TestReopenRejections: Reopen refuses both a backend with no recovery
+// capability and a recoverable backend that was created fresh rather
+// than attached from a media image.
+func TestReopenRejections(t *testing.T) {
+	if _, _, err := Reopen(bal.New(pmem.New(4<<20), 8), Config{}); !errors.Is(err, graph.ErrRecoveryUnsupported) {
+		t.Fatalf("Reopen of non-recoverable system = %v, want ErrRecoveryUnsupported", err)
+	}
+	g, err := dgap.New(pmem.New(64<<20), dgap.DefaultConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Reopen(g, Config{}); err == nil || errors.Is(err, graph.ErrRecoveryUnsupported) {
+		t.Fatalf("Reopen of fresh system = %v, want created-fresh rejection", err)
+	}
+}
