@@ -2,8 +2,10 @@ package dgap
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
+	"dgap/internal/graph"
 	"dgap/internal/graphgen"
 )
 
@@ -91,6 +93,11 @@ func TestCloseAfterInjectedCrashIsRejected(t *testing.T) {
 	if err := g.Checkpoint(); !errors.Is(err, ErrPoisoned) {
 		t.Fatalf("Checkpoint after injected crash = %v, want ErrPoisoned", err)
 	}
+	// The failure is latched, not masked: a second Close must report it
+	// again rather than pretend the retry shut down cleanly.
+	if err := g.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("second Close after failed first = %v, want ErrPoisoned", err)
+	}
 	// Because Close refused, reopening takes the crash path and every
 	// acknowledged edge survives.
 	g2 := crashReopen(t, g, cfg)
@@ -99,6 +106,90 @@ func TestCloseAfterInjectedCrashIsRejected(t *testing.T) {
 		t.Fatalf("Recovery() = %+v, %v; want crash-path attach", rs, ok)
 	}
 	checkEqualAdjMaybeInflight(t, 64, edges, acked, g2.ConsistentView())
+}
+
+// Concurrent writers race to invalidate a fresh checkpoint: whichever
+// writer durably clears NORMAL_SHUTDOWN, the losers must not reach
+// their own stores (and acknowledge) before the clear is on media — a
+// crash after any acknowledged insert must take the replay path, never
+// trust the stale dump. Run under -race.
+func TestConcurrentWritersInvalidateCheckpoint(t *testing.T) {
+	const V = 64
+	cfg := smallConfig(V, 2048)
+	g := newTestGraph(t, cfg)
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const per = 40
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			w, err := g.NewWriter()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer w.Close()
+			for i := 0; i < per; i++ {
+				if err := w.InsertEdge(graph.V(wkr), graph.V(workers+i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	g2 := crashReopen(t, g, cfg)
+	rs, ok := g2.Recovery()
+	if !ok || rs.Graceful {
+		t.Fatalf("Recovery() = %+v, %v; want crash-path attach (checkpoint was invalidated)", rs, ok)
+	}
+	s := g2.ConsistentView()
+	for wkr := 0; wkr < workers; wkr++ {
+		deg := 0
+		s.Neighbors(graph.V(wkr), func(graph.V) bool { deg++; return true })
+		if deg != per {
+			t.Fatalf("writer %d: %d acknowledged edges survived, want %d", wkr, deg, per)
+		}
+	}
+}
+
+// Vertex id-space growth is a mutation like any other: it must
+// serialize against Checkpoint so the dump can never carry a
+// pre-growth count under a set shutdown flag. Hammer growth against
+// checkpoints, crash, and assert no acknowledged growth is forgotten
+// whichever attach path the reopen takes. Run under -race.
+func TestEnsureVerticesOrdersAgainstCheckpoint(t *testing.T) {
+	cfg := smallConfig(8, 256)
+	g := newTestGraph(t, cfg)
+	const target = 512
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 16; n <= target; n += 16 {
+			if err := g.EnsureVertices(n); err != nil {
+				t.Errorf("EnsureVertices(%d): %v", n, err)
+				return
+			}
+		}
+	}()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		if err := g.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+	}
+	g2 := crashReopen(t, g, cfg)
+	if got := g2.NumVertices(); got < target {
+		t.Fatalf("NumVertices after crash = %d, want >= %d (acknowledged growth lost)", got, target)
+	}
 }
 
 func TestRebuildScrubsOrphanSlot(t *testing.T) {

@@ -42,14 +42,23 @@ type Graph struct {
 	// of the hook poisons the instance (see ErrPoisoned).
 	crashHook func(point string)
 
-	// closed makes Close idempotent: only the first call dumps.
-	closed atomic.Bool
+	// closeOnce/closeErr make Close idempotent without masking failure:
+	// only the first call dumps, and its result is latched for repeats —
+	// a failed shutdown (dump error, ErrPoisoned) stays visible to
+	// callers that retry.
+	closeOnce sync.Once
+	closeErr  error
 	// clean tracks whether the image currently carries a valid
 	// checkpoint (NORMAL_SHUTDOWN set): Checkpoint sets it, and the
 	// first mutation afterwards clears the persistent flag before
 	// touching the image, so a crash mid-mutation is always seen as a
 	// crash rather than trusting a stale dump.
 	clean atomic.Bool
+	// dirtyMu serializes the clean→dirty transition so that `clean`
+	// only reads false once NORMAL_SHUTDOWN is durably cleared: the
+	// flag flips after the persist, and racing mutations block on the
+	// mutex until then (see markDirty).
+	dirtyMu sync.Mutex
 	// poisoned is set when a crash hook panicked out of a structural
 	// operation: DRAM state (and held section locks) may be torn, so
 	// Checkpoint and Close refuse to dump.
@@ -207,13 +216,26 @@ var CrashPoints = []string{
 // mutation after New/Open/Checkpoint touches the image: the persistent
 // NORMAL_SHUTDOWN flag is cleared (flush+fence) ahead of the mutation's
 // own stores, so a crash between them replays rather than reloading the
-// stale dump. Mutating callers invoke it under snapMu.RLock (ordering
-// against Checkpoint's exclusive dump) and pay one atomic load when no
-// checkpoint is outstanding.
+// stale dump. The clear is a durability barrier for every racing
+// mutation, not just the one that performs it: `clean` flips only after
+// the persist completes, and concurrent callers serialize on dirtyMu —
+// so no mutation can return with `clean` observed false (and proceed to
+// its own stores) while NORMAL_SHUTDOWN is still set on media. Mutating
+// callers invoke it under snapMu.RLock (ordering against Checkpoint's
+// exclusive dump) and pay one atomic load when no checkpoint is
+// outstanding.
 func (g *Graph) markDirty() {
-	if g.clean.Load() && g.clean.CompareAndSwap(true, false) {
-		g.a.PersistU64(sbShutdown, 0)
+	if !g.clean.Load() {
+		// The flag was cleared by a prior mutation, and the clearer's
+		// persist completed before it flipped `clean` — durably dirty.
+		return
 	}
+	g.dirtyMu.Lock()
+	if g.clean.Load() {
+		g.a.PersistU64(sbShutdown, 0)
+		g.clean.Store(false)
+	}
+	g.dirtyMu.Unlock()
 }
 
 // ErrNoEdge is returned by DeleteEdge when the named edge has no live
@@ -401,27 +423,36 @@ func (g *Graph) EnsureVertices(n int) error {
 		ep := g.ep.Load()
 		if n > len(ep.meta) {
 			// Capacity exceeded: stop-the-world restructure that doubles
-			// the vertex capacity (and grows the edge array to match).
-			// No compaction here: this path runs without snapMu, so the
-			// outstanding-snapshot gate cannot be trusted.
-			if err := g.restructure(max(n, 2*len(ep.meta)), 0, false); err != nil {
+			// the vertex capacity (and grows the edge array to match),
+			// under the same writer-quiescence protocol as every other
+			// structural path so it cannot interleave with Checkpoint's
+			// exclusive dump. No compaction here: pure capacity growth
+			// must not hinge on the outstanding-snapshot gate.
+			g.snapMu.RLock()
+			err := g.restructure(max(n, 2*len(ep.meta)), 0, false)
+			g.snapMu.RUnlock()
+			if err != nil {
 				return err
 			}
 			continue
 		}
+		// Growing the id space is a mutation like any other, so it runs
+		// under snapMu like any other: without the read lock, Checkpoint
+		// could dump the pre-growth count concurrently, overwrite this
+		// path's markDirty with NORMAL_SHUTDOWN=1, and a crash would
+		// reload the stale dump — forgetting acknowledged growth.
+		g.snapMu.RLock()
 		if g.nVert.CompareAndSwap(cur, uint64(n)) {
-			// Growing the id space is a mutation like any other: a stale
-			// checkpoint must not survive it (its dump carries the old
-			// count, so a crash after this persist would forget the
-			// acknowledged growth).
 			g.markDirty()
 			// Persist under a lock, re-reading the counter so a racing
 			// larger growth is never overwritten by a smaller value.
 			g.nvMu.Lock()
 			g.a.PersistU64(sbNVert, g.nVert.Load())
 			g.nvMu.Unlock()
+			g.snapMu.RUnlock()
 			return nil
 		}
+		g.snapMu.RUnlock()
 	}
 }
 

@@ -552,10 +552,12 @@ func (g *Graph) scanSegment(ep *epoch, sec int) (live, used uint32) {
 // graph into fresh regions (merging every edge-log chain), then
 // atomically switches the persistent root record. Used when the root
 // window is too dense (array resize), when the vertex capacity is
-// exceeded, and — with compact set — by Compact. compact additionally
-// drops cancelled (edge, tombstone) pairs while staging, subject to
-// the outstanding-snapshot gate; callers passing compact=true hold
-// snapMu (EnsureVertices does not, so it passes false).
+// exceeded, and — with compact set — by Compact. Every caller holds
+// snapMu (shared), ordering the rebuild against Checkpoint's exclusive
+// dump. compact additionally drops cancelled (edge, tombstone) pairs
+// while staging, subject to the outstanding-snapshot gate;
+// EnsureVertices passes false — pure capacity growth must not hinge on
+// that gate.
 func (g *Graph) restructure(vertCap int, minSlots uint64, compact bool) error {
 	g.markDirty()
 	for {

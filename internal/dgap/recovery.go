@@ -24,14 +24,14 @@ var ErrPoisoned = fmt.Errorf("dgap: instance poisoned by injected crash; reopen 
 var _ graph.Recoverable = (*Graph)(nil)
 
 // Close performs a graceful shutdown: the first call runs Checkpoint
-// (dump DRAM metadata, set NORMAL_SHUTDOWN); repeated calls return nil
-// without re-dumping. Close after an injected crash fails with
+// (dump DRAM metadata, set NORMAL_SHUTDOWN) and latches its result;
+// repeated calls return that first result without re-dumping, so a
+// failed shutdown (a dump error, ErrPoisoned) is never masked as nil
+// for callers that retry. Close after an injected crash fails with
 // ErrPoisoned rather than marking a torn image clean.
 func (g *Graph) Close() error {
-	if g.closed.Swap(true) {
-		return nil
-	}
-	return g.Checkpoint()
+	g.closeOnce.Do(func() { g.closeErr = g.Checkpoint() })
+	return g.closeErr
 }
 
 // Recovery implements graph.Recoverable: how this instance attached to

@@ -64,8 +64,9 @@ type RecoveryStats struct {
 type Recoverable interface {
 	// Checkpoint dumps metadata and marks the image NORMAL_SHUTDOWN;
 	// the instance stays usable. Checkpoint briefly quiesces writers
-	// like a snapshot does; callers must not grow the vertex id space
-	// concurrently.
+	// like a snapshot does; concurrent mutations — including vertex
+	// id-space growth — serialize against the dump and re-invalidate
+	// the checkpoint crash-safely.
 	Checkpoint() error
 	// Recovery reports how this instance attached to its image. ok is
 	// false for instances created fresh (never reopened); the stats are

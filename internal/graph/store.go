@@ -163,11 +163,12 @@ func (st *Store) Caps() Caps {
 func (st *Store) View() *View { return ViewOf(st.sys.Snapshot()) }
 
 // Close runs the system's graceful-shutdown path when it has one
-// (CapClose) and is a no-op otherwise. Close is idempotent — a second
-// call returns nil without re-running the shutdown dump — and
-// crash-safe: after an injected crash has poisoned the instance, Close
-// refuses to dump rather than risk marking a torn image as gracefully
-// shut down (see dgap.ErrPoisoned).
+// (CapClose) and is a no-op otherwise. Close is idempotent — repeated
+// calls return the first call's result without re-running the shutdown
+// dump, so a successful close stays nil on retry and a failed one is
+// not masked as success — and crash-safe: after an injected crash has
+// poisoned the instance, Close refuses to dump rather than risk
+// marking a torn image as gracefully shut down (see dgap.ErrPoisoned).
 func (st *Store) Close() error {
 	if c, ok := st.sys.(Closer); ok {
 		return c.Close()
