@@ -19,7 +19,10 @@
 // scalar/batched/routed write paths, -serve runs the internal/serve
 // mixed workload — concurrent point queries and kernel refreshes over
 // snapshot leases while ingest streams through the router — at several
-// read:write ratios, and -churn drives the sliding-window insert/delete
+// read:write ratios plus the refresh-latency rows (full-recompute vs
+// delta-incremental kernel maintenance per refresh cadence, and a
+// staleness-vs-cost sweep over the refresh window),
+// and -churn drives the sliding-window insert/delete
 // stream (delete throughput, tombstone-compaction counts, post-churn
 // space), and -recover kills the serving stack mid-churn at every
 // injected crash point, chaos-crashes the arena (seeded by -crashseed),
@@ -52,7 +55,7 @@ func main() {
 	noLatency := flag.Bool("no-latency", false, "disable the PM latency model (counting-only runs)")
 	jsonOut := flag.Bool("json", false, "time the analysis kernels (bulk and callback read paths) and write BENCH_kernels.json instead of printing tables")
 	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json and -serve")
-	serveExp := flag.Bool("serve", false, "run the mixed read/write serving experiment (queries over snapshot leases concurrent with routed ingest) and write BENCH_serve.json; combines with -json and -ingest")
+	serveExp := flag.Bool("serve", false, "run the mixed read/write serving experiment (queries over snapshot leases concurrent with routed ingest, plus full-vs-incremental kernel refresh rows) and write BENCH_serve.json; combines with -json and -ingest")
 	churn := flag.Bool("churn", false, "run the sliding-window churn experiment (batched deletes, tombstone compaction, post-churn space) and write BENCH_churn.json; combines with the other dumps")
 	recoverExp := flag.Bool("recover", false, "run the crash-recovery experiment (kill the serving stack at every crash point, chaos-crash, reopen, measure restart-to-first-query and restart-to-full-QPS) and write BENCH_recover.json; combines with the other dumps")
 	crashSeed := flag.Int64("crashseed", 0, "base seed for the recovery experiment's chaotic power cuts (0 = fixed default); derived per-point seeds are printed on failure")

@@ -28,6 +28,23 @@
 // see the vtime package documentation). Each kernel returns its output
 // and the pool's elapsed time, which is wall-clock time in real mode and
 // the simulated parallel makespan in virtual mode.
+//
+// # Incremental maintenance
+//
+// Beyond the one-shot kernels, PRMaintainer and CCMaintainer keep a
+// kernel result current across graph.Delta batches (the bounded op logs
+// a graph.Journal records between two snapshot cuts) instead of
+// recomputing per snapshot. The delta contract: Update(view, delta)
+// requires delta to be exactly the multiset of ops separating the
+// maintainer's last-synced snapshot from view — op order within the
+// delta may differ from application order (sharded ingest), but the
+// multiset must match, and for PageRank every logical edge must appear
+// in both directions (the symmetry the pull kernels assume). An
+// overflowed delta, a vertex-count change, or incremental work
+// exceeding its budget (a fraction of the estimated full-rebuild cost)
+// falls back to a full rebuild inside Update — the result is always
+// the same as recomputing over view, only the cost differs.
+// UpdateStats reports which path ran and what it cost.
 package analytics
 
 import (

@@ -1,0 +1,614 @@
+package analytics
+
+import (
+	"time"
+
+	"dgap/internal/graph"
+)
+
+// This file implements the incremental kernel maintainers driven by
+// the graph.Delta op stream: delta-PageRank (push-style residual
+// propagation seeded from the vertices a delta touched) and dynamic
+// connected components (a min-label union-find with tombstone-triggered
+// recompute islands). Both expose the same result types as the full
+// kernels and both keep the full recompute as their correctness
+// fallback — a delta marked Overflow, a vertex-space change, or delta
+// work approaching full-sweep cost all route through it, so an
+// incremental answer is never a wrong answer.
+
+// UpdateStats reports what one maintainer update cost — the evidence
+// the serving tier and the refresh benchmark record to show refresh
+// cost scaling with churn rather than graph size.
+type UpdateStats struct {
+	// Full reports that the update fell back to a full recompute
+	// (overflowed delta, resized vertex space, or delta work exceeding
+	// the incremental budget).
+	Full bool
+	// Ops is the number of delta ops consumed.
+	Ops int
+	// Touched counts vertices whose state the update rewrote: pushed
+	// vertices for PageRank, island vertices for components.
+	Touched int
+	// EdgeWork counts adjacency entries scanned — the actual cost
+	// driver, comparable against the view's NumEdges for a full sweep.
+	EdgeWork int
+	// Elapsed is the wall-clock compute time of the update.
+	Elapsed time.Duration
+}
+
+// PROpts tunes a PRMaintainer.
+type PROpts struct {
+	// Eps is the total L1 error budget of the maintained vector against
+	// the exact stationary PageRank (0 selects 1e-7). The push threshold
+	// derives from it: residuals are drained below Eps·(1−d)/n per
+	// vertex, which bounds ‖maintained − exact‖₁ ≤ Eps at all times —
+	// the error does not accumulate across generations, because
+	// residuals carry the exact discrepancy forward.
+	Eps float64
+	// MaxCostFrac is the incremental work budget as a fraction of the
+	// estimated full-rebuild cost (0 selects 0.25). A rebuild is not
+	// one sweep — it is a power iteration to the push threshold, about
+	// log(1/θ)/log(1/d) sweeps of the whole adjacency — so the budget
+	// scales with that: when a delta's residual seeding plus push
+	// propagation exceeds the fraction of it, the update abandons the
+	// incremental path and pays for the rebuild directly instead of
+	// approaching its cost edge-by-edge.
+	MaxCostFrac float64
+}
+
+func (o PROpts) eps() float64 {
+	if o.Eps > 0 {
+		return o.Eps
+	}
+	return 1e-7
+}
+
+func (o PROpts) costFrac() float64 {
+	if o.MaxCostFrac > 0 {
+		return o.MaxCostFrac
+	}
+	return 0.25
+}
+
+// prMaxFullIters caps the full-rebuild power iteration; at the default
+// damping each iteration shrinks the residual by 0.85, so ~250
+// iterations reach ~1e-18 — any realistic threshold is hit long before.
+const prMaxFullIters = 300
+
+// PRMaintainer maintains a converged PageRank vector incrementally
+// across snapshot generations. It holds the estimate p and its exact
+// residual r (the per-vertex defect of the PageRank fixed-point
+// equation), so the invariant p = (1−d)/n + d·Mp − r is exact at every
+// generation: an Update folds a delta's edge changes into r at the
+// touched vertices and their frontiers, then pushes residual mass
+// through the new view's adjacency until every |r[v]| is below the
+// threshold. Work is proportional to the churn (touched degrees plus
+// propagated mass), not the graph.
+//
+// The maintainer inherits the full kernel's symmetry contract: the
+// adjacency stores every edge in both directions (as the generators
+// and ingest streams in this repo do), so a vertex's out-neighbors
+// are exactly the vertices whose pull sum its rank feeds. Residual
+// pushes rely on that identity — on an asymmetric adjacency they
+// would credit the wrong vertices — so deltas must carry both
+// directions of each logical edge, like every other mutation here.
+//
+// The maintained vector is the stationary PageRank within the Eps
+// budget — a slightly different truncation than the fixed-iteration
+// full kernel (PageRank with PageRankIters), whose own truncation
+// error at 20 iterations is orders of magnitude larger than Eps. A
+// consumer switching between the two paths (serve's kernel cache)
+// therefore sees the incremental answer as the more converged of the
+// pair, with the difference bounded by the full kernel's truncation.
+//
+// A PRMaintainer is not safe for concurrent use; the serving tier
+// serializes updates behind its kernel-cache mutex.
+type PRMaintainer struct {
+	opts PROpts
+	n    int
+	p, r []float64
+
+	// Push worklist: queue holds vertices whose residual exceeded the
+	// threshold, inq dedupes membership.
+	queue   []graph.V
+	inq     []bool
+	scratch []graph.V
+	// contrib and next are full-rebuild scratch, kept across rebuilds.
+	contrib, next []float64
+}
+
+// NewPRMaintainer builds a maintainer over an initial view with one
+// full computation (stats.Full is always true for the build).
+func NewPRMaintainer(view *graph.View, opts PROpts) (*PRMaintainer, UpdateStats) {
+	m := &PRMaintainer{opts: opts}
+	t0 := time.Now()
+	st := UpdateStats{Full: true}
+	m.rebuild(view, &st)
+	st.Elapsed = time.Since(t0)
+	return m, st
+}
+
+// Ranks returns a copy of the maintained PageRank vector (the caller
+// may hold it across future updates).
+func (m *PRMaintainer) Ranks() []float64 {
+	out := make([]float64, m.n)
+	copy(out, m.p)
+	return out
+}
+
+// theta is the per-vertex residual threshold the maintainer drains to.
+func (m *PRMaintainer) theta() float64 {
+	return m.opts.eps() * (1 - dampingFactor) / float64(max(m.n, 1))
+}
+
+// rebuildCost estimates the edge-work of a full rebuild over a view
+// with e edges: one adjacency sweep per power iteration until the
+// per-vertex delta reaches θ/2 (each iteration contracts error by d),
+// plus the exact-residual sweep. This is the yardstick the incremental
+// budget is a fraction of.
+func (m *PRMaintainer) rebuildCost(e int64) int {
+	theta := m.theta()
+	iters := 1
+	for err := 1.0; err > theta/2 && iters < prMaxFullIters; iters++ {
+		err *= dampingFactor
+	}
+	return int(e) * (iters + 1)
+}
+
+// rebuild is the full-recompute fallback: converge the pull iteration,
+// then compute the exact residual in one more sweep so the incremental
+// invariant starts (or restarts) exact.
+func (m *PRMaintainer) rebuild(view *graph.View, st *UpdateStats) {
+	n := view.NumVertices()
+	m.n = n
+	m.p = resizeF(m.p, n)
+	m.r = resizeF(m.r, n)
+	m.next = resizeF(m.next, n)
+	m.contrib = resizeF(m.contrib, n)
+	m.inq = resizeB(m.inq, n)
+	m.queue = m.queue[:0]
+	st.Touched += n
+	if n == 0 {
+		return
+	}
+	theta := m.theta()
+	init := 1 / float64(n)
+	for v := range m.p {
+		m.p[v] = init
+	}
+	for it := 0; it < prMaxFullIters; it++ {
+		m.pullSweep(view, m.p, m.next, st)
+		maxd := 0.0
+		for v, nv := range m.next {
+			if d := abs(nv - m.p[v]); d > maxd {
+				maxd = d
+			}
+		}
+		m.p, m.next = m.next, m.p
+		if maxd <= theta/2 {
+			break
+		}
+	}
+	// r = b + d·Mp − p, exactly, for the final iterate.
+	m.pullSweep(view, m.p, m.r, st)
+	for v := range m.r {
+		m.r[v] -= m.p[v]
+		m.inq[v] = false
+	}
+	m.seedQueue()
+	// Residuals are already at the threshold's edge; the drain mops up
+	// stragglers. No budget: a rebuild must land in invariant state.
+	m.drain(view, int(^uint(0)>>1), st)
+}
+
+// pullSweep computes out = (1−d)/n + d·M·in over the view's bulk path.
+func (m *PRMaintainer) pullSweep(view *graph.View, in, out []float64, st *UpdateStats) {
+	n := m.n
+	base := (1 - dampingFactor) / float64(n)
+	for v := 0; v < n; v++ {
+		if d := view.Degree(graph.V(v)); d > 0 {
+			m.contrib[v] = dampingFactor * in[v] / float64(d)
+		} else {
+			m.contrib[v] = 0
+		}
+	}
+	m.scratch = view.Sweep(0, graph.V(n), m.scratch, func(v graph.V, dsts []graph.V) {
+		sum := 0.0
+		for _, u := range dsts {
+			sum += m.contrib[u]
+		}
+		out[v] = base + sum
+		st.EdgeWork += len(dsts)
+	})
+}
+
+func (m *PRMaintainer) seedQueue() {
+	theta := m.theta()
+	for v, rv := range m.r {
+		if abs(rv) > theta && !m.inq[v] {
+			m.inq[v] = true
+			m.queue = append(m.queue, graph.V(v))
+		}
+	}
+}
+
+// bump adds x to r[w], enqueueing w when its residual crosses the
+// threshold.
+func (m *PRMaintainer) bump(w graph.V, x, theta float64) {
+	m.r[w] += x
+	if abs(m.r[w]) > theta && !m.inq[w] {
+		m.inq[w] = true
+		m.queue = append(m.queue, w)
+	}
+}
+
+// drain pushes residual mass until every |r| is below the threshold or
+// the edge-work budget is exhausted (returning false so the caller can
+// fall back to a full rebuild). Each push moves a vertex's residual
+// into its rank and spreads the damped share onto its current
+// out-neighbors — local push on the PageRank linear system, which
+// contracts total residual mass by (1−d) per unit pushed. The worklist
+// is FIFO (Andersen–Chung–Lang order): a popped vertex has absorbed
+// the pushes of the whole previous frontier, so each push moves an
+// accumulated residual — LIFO order was measured to re-push freshly
+// bumped vertices with tiny amounts, costing orders of magnitude more
+// edge-work for the same threshold.
+func (m *PRMaintainer) drain(view *graph.View, budget int, st *UpdateStats) bool {
+	theta := m.theta()
+	head := 0
+	for head < len(m.queue) {
+		v := m.queue[head]
+		head++
+		// Compact the drained prefix once it dominates the worklist, so
+		// a long cascade does not grow the backing array unboundedly.
+		if head > 1024 && head*2 > len(m.queue) {
+			n := copy(m.queue, m.queue[head:])
+			m.queue = m.queue[:n]
+			head = 0
+		}
+		m.inq[v] = false
+		rv := m.r[v]
+		if abs(rv) <= theta {
+			continue
+		}
+		m.p[v] += rv
+		m.r[v] = 0
+		st.Touched++
+		deg := view.Degree(v)
+		if deg == 0 {
+			continue // dangling: mass leaks, as in the full kernel
+		}
+		st.EdgeWork += deg
+		if st.EdgeWork > budget {
+			// Restore the popped residual so state stays coherent even
+			// though the caller will rebuild anyway.
+			m.p[v] -= rv
+			m.r[v] = rv
+			return false
+		}
+		c := dampingFactor * rv / float64(deg)
+		m.scratch = view.CopyNeighbors(v, m.scratch[:0])
+		for _, w := range m.scratch {
+			m.bump(w, c, theta)
+		}
+	}
+	m.queue = m.queue[:0]
+	return true
+}
+
+// prSrcDelta is one touched source's net change within a delta.
+type prSrcDelta struct {
+	net      int // inserted minus deleted out-edges
+	ins, del []graph.V
+}
+
+// Update advances the maintained vector to the state of view, which
+// must be separated from the previously synced view by exactly the
+// ops in delta (a Journal cut pair). Overflowed deltas, vertex-space
+// changes, op ids outside the space, or incremental work past the
+// budget all fall back to a full rebuild — stats.Full reports which
+// path ran.
+func (m *PRMaintainer) Update(view *graph.View, delta graph.Delta) (st UpdateStats) {
+	t0 := time.Now()
+	st.Ops = len(delta.Ops)
+	// Named return: the deferred stamp must land on the value the
+	// caller sees, not a dead local.
+	defer func() { st.Elapsed = time.Since(t0) }()
+
+	n := view.NumVertices()
+	if delta.Overflow || n != m.n {
+		st.Full = true
+		m.rebuild(view, &st)
+		return st
+	}
+	if len(delta.Ops) == 0 {
+		return st
+	}
+
+	// Fold the delta into per-source net multiset changes: deltas are
+	// multiset contracts (recording order may differ from application
+	// order under sharded ingest), and the residual adjustment below
+	// only needs each source's old-degree reconstruction and net
+	// destination changes.
+	touched := make(map[graph.V]*prSrcDelta, len(delta.Ops))
+	for _, o := range delta.Ops {
+		if int(o.Edge.Src) >= n || int(o.Edge.Dst) >= n {
+			st.Full = true
+			m.rebuild(view, &st)
+			return st
+		}
+		sd := touched[o.Edge.Src]
+		if sd == nil {
+			sd = &prSrcDelta{}
+			touched[o.Edge.Src] = sd
+		}
+		if o.Del {
+			sd.net--
+			sd.del = append(sd.del, o.Edge.Dst)
+		} else {
+			sd.net++
+			sd.ins = append(sd.ins, o.Edge.Dst)
+		}
+	}
+
+	// Budget check before doing any work: seeding scans each touched
+	// source's new adjacency once. The budget is a fraction of the
+	// estimated rebuild cost (iterations × edges, not one sweep), the
+	// actual alternative the incremental path competes with.
+	budget := int(m.opts.costFrac() * float64(m.rebuildCost(max(view.NumEdges(), 1))))
+	seedWork := len(delta.Ops)
+	for u := range touched {
+		seedWork += view.Degree(u)
+	}
+	if seedWork > budget {
+		st.Full = true
+		m.rebuild(view, &st)
+		return st
+	}
+
+	// Residual seeding: a source u whose out-degree moved from D0 to D1
+	// changes its contribution to every current neighbor by
+	// d·p[u]·(1/D1 − 1/D0) and adds/removes d·p[u]/D0 at inserted and
+	// deleted destinations (the algebra of new−old contribution with
+	// old multiset = new − ins + del). Dangling endpoints collapse the
+	// terms whose degree is zero.
+	theta := m.theta()
+	for u, sd := range touched {
+		d1 := view.Degree(u)
+		d0 := d1 - sd.net
+		coef := dampingFactor * m.p[u]
+		switch {
+		case d0 > 0 && d1 > 0:
+			if adj := coef * (1/float64(d1) - 1/float64(d0)); adj != 0 {
+				m.scratch = view.CopyNeighbors(u, m.scratch[:0])
+				st.EdgeWork += len(m.scratch)
+				for _, w := range m.scratch {
+					m.bump(w, adj, theta)
+				}
+			}
+			inv0 := coef / float64(d0)
+			for _, w := range sd.ins {
+				m.bump(w, inv0, theta)
+			}
+			for _, w := range sd.del {
+				m.bump(w, -inv0, theta)
+			}
+		case d1 > 0: // d0 == 0: the source had no old contribution
+			inv1 := coef / float64(d1)
+			m.scratch = view.CopyNeighbors(u, m.scratch[:0])
+			st.EdgeWork += len(m.scratch)
+			for _, w := range m.scratch {
+				m.bump(w, inv1, theta)
+			}
+		case d0 > 0: // d1 == 0: every old contribution disappears
+			inv0 := coef / float64(d0)
+			for _, w := range sd.ins {
+				m.bump(w, inv0, theta)
+			}
+			for _, w := range sd.del {
+				m.bump(w, -inv0, theta)
+			}
+		}
+	}
+
+	if !m.drain(view, budget, &st) {
+		st.Full = true
+		m.rebuild(view, &st)
+	}
+	return st
+}
+
+// CCOpts tunes a CCMaintainer.
+type CCOpts struct {
+	// MaxIslandFrac is the island-size budget as a fraction of the
+	// vertex count (0 selects 0.5): when the components containing
+	// deleted edges cover more than this fraction of the graph, the
+	// update recomputes fully instead of rebuilding the islands.
+	MaxIslandFrac float64
+}
+
+func (o CCOpts) islandFrac() float64 {
+	if o.MaxIslandFrac > 0 {
+		return o.MaxIslandFrac
+	}
+	return 0.5
+}
+
+// CCMaintainer maintains connected-component labels incrementally: a
+// union-find whose root is always the minimum vertex id of its
+// component (so materialized labels match the full CC kernel exactly),
+// updated in place for inserts, with deletions handled by recompute
+// islands — a union-find cannot split, so every component containing a
+// deleted edge is reset and re-derived from the new view's adjacency.
+// Island recompute is closed by construction: any live edge incident
+// to an island vertex leads to a vertex of the same (pre-split)
+// component, because old edges connected their endpoints and this
+// delta's inserts were unioned first.
+//
+// Like PRMaintainer, a CCMaintainer is not safe for concurrent use.
+type CCMaintainer struct {
+	opts   CCOpts
+	n      int
+	parent []graph.V
+
+	scratch []graph.V
+	island  []graph.V
+}
+
+// NewCCMaintainer builds a maintainer over an initial view with one
+// full computation.
+func NewCCMaintainer(view *graph.View, opts CCOpts) (*CCMaintainer, UpdateStats) {
+	m := &CCMaintainer{opts: opts}
+	t0 := time.Now()
+	st := UpdateStats{Full: true}
+	m.rebuild(view, &st)
+	st.Elapsed = time.Since(t0)
+	return m, st
+}
+
+// Labels materializes the maintained component labels: label[v] is the
+// minimum vertex id of v's component, exactly what the full CC kernel
+// returns.
+func (m *CCMaintainer) Labels() []graph.V {
+	out := make([]graph.V, m.n)
+	for v := range out {
+		out[v] = m.find(graph.V(v))
+	}
+	return out
+}
+
+// find returns v's root (the component's minimum id), halving paths as
+// it walks.
+func (m *CCMaintainer) find(v graph.V) graph.V {
+	for m.parent[v] != v {
+		m.parent[v] = m.parent[m.parent[v]]
+		v = m.parent[v]
+	}
+	return v
+}
+
+// union hooks the larger root under the smaller, preserving the
+// root-is-minimum invariant (union by minimum rather than by rank —
+// path halving keeps finds cheap regardless).
+func (m *CCMaintainer) union(a, b graph.V) {
+	ra, rb := m.find(a), m.find(b)
+	switch {
+	case ra < rb:
+		m.parent[rb] = ra
+	case rb < ra:
+		m.parent[ra] = rb
+	}
+}
+
+// rebuild derives the union-find from the whole view.
+func (m *CCMaintainer) rebuild(view *graph.View, st *UpdateStats) {
+	n := view.NumVertices()
+	m.n = n
+	if cap(m.parent) < n {
+		m.parent = make([]graph.V, n)
+	}
+	m.parent = m.parent[:n]
+	for v := range m.parent {
+		m.parent[v] = graph.V(v)
+	}
+	st.Touched += n
+	if n == 0 {
+		return
+	}
+	m.scratch = view.Sweep(0, graph.V(n), m.scratch, func(v graph.V, dsts []graph.V) {
+		st.EdgeWork += len(dsts)
+		for _, w := range dsts {
+			m.union(v, w)
+		}
+	})
+}
+
+// Update advances the maintained labels to the state of view across
+// delta (the same contract as PRMaintainer.Update). Inserts are plain
+// unions; deletes mark their components dirty, and every dirty
+// component is rebuilt from the new view's adjacency — work
+// proportional to the islands, not the graph, unless the islands
+// cover more than the budget fraction of it.
+func (m *CCMaintainer) Update(view *graph.View, delta graph.Delta) (st UpdateStats) {
+	t0 := time.Now()
+	st.Ops = len(delta.Ops)
+	// Named return: the deferred stamp must land on the value the
+	// caller sees, not a dead local.
+	defer func() { st.Elapsed = time.Since(t0) }()
+
+	n := view.NumVertices()
+	if delta.Overflow || n != m.n {
+		st.Full = true
+		m.rebuild(view, &st)
+		return st
+	}
+
+	var dels []graph.Edge
+	for _, o := range delta.Ops {
+		if int(o.Edge.Src) >= n || int(o.Edge.Dst) >= n {
+			st.Full = true
+			m.rebuild(view, &st)
+			return st
+		}
+		if o.Del {
+			dels = append(dels, o.Edge)
+		} else {
+			m.union(o.Edge.Src, o.Edge.Dst)
+		}
+	}
+	if len(dels) == 0 {
+		return st
+	}
+
+	// Dirty roots are resolved after all of the delta's inserts have
+	// been unioned, so an island is a whole post-insert component.
+	dirty := make(map[graph.V]bool, len(dels))
+	for _, e := range dels {
+		dirty[m.find(e.Src)] = true
+		dirty[m.find(e.Dst)] = true
+	}
+	m.island = m.island[:0]
+	for v := 0; v < n; v++ {
+		if dirty[m.find(graph.V(v))] {
+			m.island = append(m.island, graph.V(v))
+		}
+	}
+	if float64(len(m.island)) > m.opts.islandFrac()*float64(n) {
+		st.Full = true
+		m.rebuild(view, &st)
+		return st
+	}
+	st.Touched += len(m.island)
+	for _, v := range m.island {
+		m.parent[v] = v
+	}
+	for _, v := range m.island {
+		m.scratch = view.CopyNeighbors(v, m.scratch[:0])
+		st.EdgeWork += len(m.scratch)
+		for _, w := range m.scratch {
+			m.union(v, w)
+		}
+	}
+	return st
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"math"
 	"time"
 
 	"dgap/internal/graph"
@@ -10,6 +11,16 @@ import (
 const PageRankIters = 20
 
 const dampingFactor = 0.85
+
+// FixedIterTol bounds the L1 truncation error of the fixed-iteration
+// kernel: the power iteration contracts by the damping factor per
+// sweep, so PageRankIters sweeps leave at most d^iters of the initial
+// error mass (~4e-2 at the paper's 20 iterations). A consumer that
+// maintains a PageRank vector incrementally (PRMaintainer) can target
+// this as its PROpts.Eps to match — not exceed — the accuracy of the
+// fixed-iteration path it replaces; a tighter target makes the
+// incremental path pay for precision the full path never had.
+var FixedIterTol = math.Pow(dampingFactor, PageRankIters)
 
 // PageRank runs the fixed-iteration pull-style PageRank of GAPBS over a
 // read View. The graph is treated as symmetric (every edge stored in

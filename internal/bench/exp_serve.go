@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,12 +38,20 @@ var serveRatios = []struct {
 }
 
 // ServeClassStats is one query class's latency summary in the dump.
+// The latency quantiles cover submit-to-completion (queue wait
+// included); the compute quantiles cover only the analytics kernel's
+// own measured duration and stay zero for the point classes that run
+// none (degree, neighbors).
 type ServeClassStats struct {
-	Class string  `json:"class"`
-	Count int64   `json:"count"`
-	P50Ns int64   `json:"p50_ns"`
-	P99Ns int64   `json:"p99_ns"`
-	QPS   float64 `json:"qps"`
+	Class        string  `json:"class"`
+	Count        int64   `json:"count"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	P999Ns       int64   `json:"p999_ns"`
+	MaxNs        int64   `json:"max_ns"`
+	QPS          float64 `json:"qps"`
+	ComputeP50Ns int64   `json:"compute_p50_ns,omitempty"`
+	ComputeP99Ns int64   `json:"compute_p99_ns,omitempty"`
 }
 
 // ServeResult is one mixed read/write measurement: one system serving
@@ -70,13 +79,40 @@ type ServeResult struct {
 	Classes             []ServeClassStats `json:"classes"`
 }
 
+// RefreshResult is one kernel-refresh measurement: churn streaming
+// through one system's serving stack with a ClassKernel query paced
+// every OpsPerRefresh ops, in one of two modes — "full" (the
+// NoIncremental baseline: every refresh recomputes the fixed-iteration
+// kernel) or "incremental" (the maintained vector advanced by each
+// generation's journal delta). The compute quantiles are the refresh
+// latency curve; across rows they trace cost against
+// ops-since-last-generation (the staleness the caller tolerated),
+// which is the staleness-vs-cost trade the delta journal buys.
+type RefreshResult struct {
+	System        string `json:"system"`
+	Graph         string `json:"graph"`
+	Mode          string `json:"mode"`
+	Ratio         string `json:"ratio"`
+	OpsPerRefresh int    `json:"ops_per_refresh"`
+	Refreshes     int    `json:"refreshes"`
+	ChurnOps      int    `json:"churn_ops"`
+	KernelFull    int64  `json:"kernel_full"`
+	KernelIncr    int64  `json:"kernel_incremental"`
+	DeltaOps      int64  `json:"delta_ops"`
+	ComputeP50Ns  int64  `json:"compute_p50_ns"`
+	ComputeP99Ns  int64  `json:"compute_p99_ns"`
+	ComputeMeanNs int64  `json:"compute_mean_ns"`
+	ComputeSumNs  int64  `json:"compute_total_ns"`
+}
+
 // ServeDump is the top-level BENCH_serve.json document.
 type ServeDump struct {
-	Scale   float64       `json:"scale"`
-	Seed    int64         `json:"seed"`
-	Shards  int           `json:"shards"`
-	Workers int           `json:"workers"`
-	Results []ServeResult `json:"results"`
+	Scale   float64         `json:"scale"`
+	Seed    int64           `json:"seed"`
+	Shards  int             `json:"shards"`
+	Workers int             `json:"workers"`
+	Results []ServeResult   `json:"results"`
+	Refresh []RefreshResult `json:"refresh"`
 }
 
 // ServeJSON runs the mixed read/write serving experiment — every
@@ -98,6 +134,43 @@ func ServeJSON(o Options, path string) error {
 				res.Graph = spec.Name
 				res.Ratio = ratio.Label
 				dump.Results = append(dump.Results, res)
+			}
+		}
+		// Kernel-refresh rows: full vs incremental at the same read:write
+		// mixes. The churn stream deletes, so systems without CapDelete
+		// (LLAMA) sit these out — there is no steady-state refresh story
+		// to measure on an append-only backend.
+		for _, name := range SystemNames {
+			for _, ratio := range serveRatios {
+				per := 1000 / ratio.PerKilo
+				for _, mode := range []string{"full", "incremental"} {
+					rr, ok, err := measureRefresh(name, nVert, edges, mode, per, 0, ratio.Label, o)
+					if err != nil {
+						return fmt.Errorf("refresh %s/%s %s %s: %w", spec.Name, name, ratio.Label, mode, err)
+					}
+					if !ok {
+						continue
+					}
+					rr.Graph = spec.Name
+					dump.Refresh = append(dump.Refresh, rr)
+				}
+			}
+		}
+		// Staleness-vs-cost sweep on DGAP: widen the refresh window from
+		// 1/64th to 1/4 of the churn stream and watch incremental refresh
+		// cost grow with the delta while the full baseline stays flat at
+		// graph size.
+		for _, div := range []int{64, 16, 4} {
+			for _, mode := range []string{"full", "incremental"} {
+				rr, ok, err := measureRefresh("DGAP", nVert, edges, mode, 0, div, fmt.Sprintf("window/%d", div), o)
+				if err != nil {
+					return fmt.Errorf("refresh sweep %s window/%d %s: %w", spec.Name, div, mode, err)
+				}
+				if !ok {
+					continue
+				}
+				rr.Graph = spec.Name
+				dump.Refresh = append(dump.Refresh, rr)
 			}
 		}
 	}
@@ -129,6 +202,138 @@ func serveQuery(i, nVert int) serve.Query {
 	default:
 		return serve.Query{Class: serve.ClassNeighbors, V: v}
 	}
+}
+
+// symmetricChurnOps turns a generator edge stream — which carries every
+// logical edge in both directions, the adjacency symmetry the PageRank
+// kernels (full and incremental) are written against — into a mirrored
+// sliding-window churn stream: each logical edge (the Src < Dst
+// orientation of its mirrored pair) is inserted in both directions, and
+// once half the logical edges are live, each insert is followed by the
+// mirrored delete of the logical edge that many positions earlier. The
+// plain workload.ChurnOps stream would not do here: it slides over the
+// directed stream, so a snapshot cut mid-window sees one direction of
+// an edge without the other, and an asymmetric adjacency breaks the
+// residual algebra incremental PageRank maintains.
+func symmetricChurnOps(edges []graph.Edge) []graph.Op {
+	var canon []graph.Edge
+	for _, e := range edges {
+		if e.Src < e.Dst {
+			canon = append(canon, e)
+		}
+	}
+	window := max(len(canon)/2, 1)
+	ops := make([]graph.Op, 0, 4*len(canon))
+	for i, e := range canon {
+		ops = append(ops, graph.OpInsert(e.Src, e.Dst), graph.OpInsert(e.Dst, e.Src))
+		if i >= window {
+			d := canon[i-window]
+			ops = append(ops, graph.OpDelete(d.Src, d.Dst), graph.OpDelete(d.Dst, d.Src))
+		}
+	}
+	return ops
+}
+
+// refreshMaxRounds caps one refresh row's measurement loop so wide
+// sweeps stay bounded; the churn stream is truncated to what the
+// capped rounds actually applied and ChurnOps reports it.
+const refreshMaxRounds = 512
+
+// measureRefresh loads one fresh instance with the warmup stream, then
+// alternates synchronously between one refresh window of churn ops and
+// one ClassKernel query, recording each refresh's kernel path, delta
+// size and compute time. opsPerRefresh fixes the window directly;
+// windowDiv > 0 derives it as that fraction of the whole churn stream
+// (the staleness sweep). mode "full" runs the NoIncremental baseline.
+// Returns ok=false for systems that cannot delete: a churn stream has
+// nothing to slide on an append-only backend.
+func measureRefresh(name string, nVert int, edges []graph.Edge, mode string, opsPerRefresh, windowDiv int, label string, o Options) (RefreshResult, bool, error) {
+	out := RefreshResult{System: name, Mode: mode, Ratio: label}
+	sys, _, err := buildSystem(name, nVert, len(edges), o.Latency)
+	if err != nil {
+		return out, false, err
+	}
+	store := graph.Open(sys)
+	if !store.Caps().Has(graph.CapDelete) {
+		return out, false, nil
+	}
+	warm, timed := workload.Split(edges)
+	if err := store.Apply(graph.Inserts(warm)); err != nil {
+		return out, false, err
+	}
+	churn := symmetricChurnOps(timed)
+	if windowDiv > 0 {
+		opsPerRefresh = max(len(churn)/windowDiv, 1)
+	}
+	out.OpsPerRefresh = opsPerRefresh
+
+	cfg := serve.Config{
+		MaxStalenessEdges: int64(opsPerRefresh),
+		MaxStalenessAge:   -1, // refresh cadence driven by applied ops only
+		Workers:           1,
+		IngestShards:      serveShards,
+		IngestBatch:       workload.AdaptiveBatchSize(len(edges)),
+		Scope:             lockScope(name),
+		NoIncremental:     mode == "full",
+		// Size the journal to the refresh window (wide sweeps exceed the
+		// default), so the sweep measures delta cost rather than
+		// overflow fallbacks.
+		DeltaWindow: 2*opsPerRefresh + 1024,
+	}
+	if g, ok := sys.(*dgap.Graph); ok {
+		sinks, release, err := workload.DGAPSinks(g, serveShards)
+		if err != nil {
+			return out, false, err
+		}
+		defer release()
+		cfg.Sinks = sinks
+	}
+	srv, err := serve.New(sys, cfg)
+	if err != nil {
+		return out, false, err
+	}
+	defer srv.Close()
+
+	// Prime outside the measurement: the first kernel query pays the
+	// maintainer build (or baseline warmup), which is a one-time cost,
+	// not a refresh.
+	if res := srv.Do(serve.Query{Class: serve.ClassKernel}); res.Err != nil {
+		return out, false, res.Err
+	}
+
+	var computes []time.Duration
+	for len(churn) >= opsPerRefresh && out.Refreshes < refreshMaxRounds {
+		chunk := churn[:opsPerRefresh]
+		churn = churn[opsPerRefresh:]
+		if _, err := srv.IngestOps(chunk); err != nil {
+			return out, false, err
+		}
+		out.ChurnOps += len(chunk)
+		res := srv.Do(serve.Query{Class: serve.ClassKernel})
+		if res.Err != nil {
+			return out, false, res.Err
+		}
+		out.Refreshes++
+		out.DeltaOps += int64(res.DeltaOps)
+		switch res.Kernel {
+		case serve.KernelIncremental:
+			out.KernelIncr++
+		default:
+			out.KernelFull++
+		}
+		computes = append(computes, res.Compute)
+		out.ComputeSumNs += res.Compute.Nanoseconds()
+	}
+	if len(computes) > 0 {
+		sort.Slice(computes, func(i, j int) bool { return computes[i] < computes[j] })
+		q := func(f float64) int64 {
+			return computes[min(int(f*float64(len(computes))), len(computes)-1)].Nanoseconds()
+		}
+		out.ComputeP50Ns = q(0.50)
+		out.ComputeP99Ns = q(0.99)
+		out.ComputeMeanNs = out.ComputeSumNs / int64(len(computes))
+	}
+	return out, true, nil
 }
 
 // measureServe loads one fresh instance with the warmup stream, then
@@ -258,11 +463,15 @@ func measureServe(name string, nVert int, edges []graph.Edge, perKilo int, o Opt
 			qps = float64(cs.Count) / qsecs
 		}
 		out.Classes = append(out.Classes, ServeClassStats{
-			Class: cs.Class,
-			Count: cs.Count,
-			P50Ns: cs.P50.Nanoseconds(),
-			P99Ns: cs.P99.Nanoseconds(),
-			QPS:   qps,
+			Class:        cs.Class,
+			Count:        cs.Count,
+			P50Ns:        cs.P50.Nanoseconds(),
+			P99Ns:        cs.P99.Nanoseconds(),
+			P999Ns:       cs.P999.Nanoseconds(),
+			MaxNs:        cs.Max.Nanoseconds(),
+			QPS:          qps,
+			ComputeP50Ns: cs.ComputeP50.Nanoseconds(),
+			ComputeP99Ns: cs.ComputeP99.Nanoseconds(),
 		})
 	}
 	return out, nil

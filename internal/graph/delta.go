@@ -1,0 +1,148 @@
+package graph
+
+import "sync"
+
+// Delta is the op stream applied between two generation cuts of a
+// Journal — the contract incremental kernel maintainers consume. When
+// Overflow is set the ops are unavailable (the journal's window was
+// exceeded, a cut predates an invalidation, or the cuts are out of
+// order) and the consumer must fall back to a full recompute over the
+// current view; Ops is nil in that case.
+//
+// A valid delta is a multiset contract, not a sequence contract: the
+// ops between the two cuts are all present, each exactly once, but
+// their order may differ from backend application order when producers
+// record concurrently (the serve tier's sharded ingest does). Every
+// maintainer in internal/analytics is order-insensitive for exactly
+// this reason — it folds a delta into per-vertex net multiset changes
+// before touching any state.
+type Delta struct {
+	// Ops are the mutations applied between the From and To cuts.
+	// nil when Overflow is set. The slice is a copy owned by the caller.
+	Ops []Op
+	// From and To are the journal cut sequence numbers bounding the
+	// delta: ops with sequence in [From, To).
+	From, To uint64
+	// Overflow marks the delta as unavailable: the window between the
+	// cuts was trimmed, invalidated, or never existed. Consumers must
+	// recompute from the full view.
+	Overflow bool
+}
+
+// Journal is a bounded log of the graph.Op stream flowing through a
+// Store (or any other Applier the producer wraps), cut into generations
+// by its consumers. It is the seam between the mutation path — which
+// appends ops as batches are acknowledged — and incremental analytics,
+// which ask for the exact delta between the generation they maintain
+// and the generation they are moving to.
+//
+// The journal is bounded: it retains at most the configured window of
+// ops, trimming the oldest beyond it. A consumer whose last cut has
+// been trimmed gets Delta.Overflow instead of a partial stream, which
+// is the signal to recompute from scratch — bounded memory traded for
+// an occasional full refresh, never for a wrong incremental one.
+//
+// Invalidate poisons everything recorded so far: deltas from any cut
+// taken before the invalidation come back Overflow. Producers call it
+// when the backend mutated in a way the recorded stream does not
+// explain — an Apply error (an arbitrary subset of the batch may have
+// landed), or any out-of-band mutation. Store.Apply, once a journal is
+// attached with Store.Watch, does both halves of this automatically.
+//
+// Record, Cut, Between and Invalidate are individually safe for
+// concurrent use. What the journal cannot provide by itself is
+// atomicity between recording and snapshotting: an op applied to the
+// backend but recorded after a concurrent Cut-plus-snapshot would leave
+// that snapshot ahead of its cut. Producers that need exact deltas
+// bracket {apply, Record} and {snapshot, Cut} in their own critical
+// sections — see serve.Server, which does this so lease-generation
+// deltas are exact even under sharded concurrent ingest.
+type Journal struct {
+	mu    sync.Mutex
+	limit int
+	ops   []Op   // ops[i] has sequence base+i
+	base  uint64 // sequence of ops[0]
+	next  uint64 // sequence the next recorded op gets
+	// invalid is the sequence at the latest Invalidate: cuts taken
+	// before it cannot anchor a valid delta.
+	invalid uint64
+}
+
+// DefaultJournalWindow is the op window NewJournal(0) selects: large
+// enough to span many lease generations of serve-tier traffic, small
+// enough (~¾ MB of ops) to be a rounding error next to any graph.
+const DefaultJournalWindow = 1 << 16
+
+// NewJournal returns a journal retaining at most window ops
+// (0 selects DefaultJournalWindow).
+func NewJournal(window int) *Journal {
+	if window <= 0 {
+		window = DefaultJournalWindow
+	}
+	return &Journal{limit: window}
+}
+
+// Window returns the journal's op capacity.
+func (j *Journal) Window() int { return j.limit }
+
+// Record appends an acknowledged op batch to the log, trimming the
+// oldest ops beyond the window. Call it only for batches the backend
+// has durably applied — a failed batch is Invalidate's job.
+func (j *Journal) Record(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.ops = append(j.ops, ops...)
+	j.next += uint64(len(ops))
+	if over := len(j.ops) - j.limit; over > 0 {
+		j.base += uint64(over)
+		// Slide rather than re-slice so trimmed ops do not pin the
+		// backing array forever.
+		n := copy(j.ops, j.ops[over:])
+		j.ops = j.ops[:n]
+	}
+	j.mu.Unlock()
+}
+
+// Invalidate marks everything recorded so far as untrustworthy: the
+// backend changed in a way the log does not explain (a failed Apply
+// leaves an arbitrary subset of its batch behind; an out-of-band
+// mutation leaves no trace at all). Deltas anchored at cuts taken
+// before the invalidation come back Overflow; cuts taken after are
+// clean.
+func (j *Journal) Invalidate() {
+	j.mu.Lock()
+	j.invalid = j.next
+	j.mu.Unlock()
+}
+
+// Cut marks a generation boundary at the current position of the
+// stream and returns its sequence number. Consumers take one cut per
+// snapshot generation and later ask Between(prev, cur) for the exact
+// ops separating them.
+func (j *Journal) Cut() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Between returns the delta between two cuts: the ops recorded in
+// [from, to). The delta comes back Overflow when the window no longer
+// holds it — from was trimmed past, an Invalidate landed at or after
+// from, or the cuts are out of order (a consumer trying to rewind).
+func (j *Journal) Between(from, to uint64) Delta {
+	d := Delta{From: from, To: to}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from > to || from < j.base || from < j.invalid || to > j.next {
+		d.Overflow = true
+		return d
+	}
+	if from == to {
+		return d
+	}
+	d.Ops = make([]Op, to-from)
+	copy(d.Ops, j.ops[from-j.base:to-j.base])
+	return d
+}

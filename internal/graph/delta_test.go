@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func opsN(lo, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = OpInsert(V(lo+i), V(lo+i+1))
+	}
+	return ops
+}
+
+func TestJournalBetween(t *testing.T) {
+	j := NewJournal(100)
+	c0 := j.Cut()
+	j.Record(opsN(0, 5))
+	c1 := j.Cut()
+	j.Record(opsN(5, 3))
+	c2 := j.Cut()
+
+	d := j.Between(c0, c1)
+	if d.Overflow || len(d.Ops) != 5 || d.From != 0 || d.To != 5 {
+		t.Fatalf("Between(c0,c1) = %+v, want 5 ops [0,5)", d)
+	}
+	if d.Ops[0].Edge.Src != 0 || d.Ops[4].Edge.Src != 4 {
+		t.Fatalf("wrong ops: %v", d.Ops)
+	}
+	if d := j.Between(c1, c2); d.Overflow || len(d.Ops) != 3 {
+		t.Fatalf("Between(c1,c2) = %+v, want 3 ops", d)
+	}
+	if d := j.Between(c0, c2); d.Overflow || len(d.Ops) != 8 {
+		t.Fatalf("Between(c0,c2) = %+v, want 8 ops", d)
+	}
+	if d := j.Between(c2, c2); d.Overflow || len(d.Ops) != 0 {
+		t.Fatalf("empty delta = %+v, want valid empty", d)
+	}
+	// Rewinding (from > to) is an overflow, not a panic.
+	if d := j.Between(c2, c0); !d.Overflow {
+		t.Fatalf("backwards delta = %+v, want overflow", d)
+	}
+	// A cut from the future is an overflow.
+	if d := j.Between(c0, c2+10); !d.Overflow {
+		t.Fatalf("future delta = %+v, want overflow", d)
+	}
+}
+
+func TestJournalDeltaIsACopy(t *testing.T) {
+	j := NewJournal(4)
+	c0 := j.Cut()
+	j.Record(opsN(0, 3))
+	d := j.Between(c0, j.Cut())
+	// Recording more (and trimming) must not mutate a handed-out delta.
+	j.Record(opsN(50, 4))
+	if d.Ops[0].Edge.Src != 0 || d.Ops[2].Edge.Src != 2 {
+		t.Fatalf("delta mutated by later Record: %v", d.Ops)
+	}
+}
+
+func TestJournalOverflow(t *testing.T) {
+	j := NewJournal(6)
+	c0 := j.Cut()
+	j.Record(opsN(0, 4))
+	c1 := j.Cut()
+	j.Record(opsN(4, 4)) // 8 ops total: the first 2 are trimmed
+	c2 := j.Cut()
+
+	if d := j.Between(c0, c2); !d.Overflow {
+		t.Fatalf("trimmed-anchor delta = %+v, want overflow", d)
+	}
+	// c1 = seq 4, base = 2: still anchored inside the window.
+	d := j.Between(c1, c2)
+	if d.Overflow || len(d.Ops) != 4 || d.Ops[0].Edge.Src != 4 {
+		t.Fatalf("Between(c1,c2) = %+v, want ops 4..7", d)
+	}
+}
+
+func TestJournalInvalidate(t *testing.T) {
+	j := NewJournal(100)
+	c0 := j.Cut()
+	j.Record(opsN(0, 3))
+	j.Invalidate()
+	c1 := j.Cut()
+	j.Record(opsN(3, 2))
+	c2 := j.Cut()
+
+	if d := j.Between(c0, c2); !d.Overflow {
+		t.Fatalf("delta across invalidation = %+v, want overflow", d)
+	}
+	if d := j.Between(c0, c1); !d.Overflow {
+		t.Fatalf("delta anchored before invalidation = %+v, want overflow", d)
+	}
+	// A consumer that resynced at a cut after the invalidation is clean.
+	if d := j.Between(c1, c2); d.Overflow || len(d.Ops) != 2 {
+		t.Fatalf("post-invalidation delta = %+v, want 2 ops", d)
+	}
+}
+
+// watchSys is a minimal System whose InsertEdge can be made to fail,
+// for exercising the Store.Watch seam on both Apply outcomes.
+type watchSys struct {
+	fail  bool
+	edges []Edge
+}
+
+func (w *watchSys) Name() string { return "watchsys" }
+func (w *watchSys) InsertEdge(src, dst V) error {
+	if w.fail {
+		return errors.New("watchsys: injected failure")
+	}
+	w.edges = append(w.edges, Edge{Src: src, Dst: dst})
+	return nil
+}
+func (w *watchSys) Snapshot() Snapshot { return emptySnap{} }
+
+type emptySnap struct{}
+
+func (emptySnap) NumVertices() int              { return 0 }
+func (emptySnap) NumEdges() int64               { return 0 }
+func (emptySnap) Degree(V) int                  { return 0 }
+func (emptySnap) Neighbors(V, func(dst V) bool) {}
+
+func TestStoreWatchRecordsAndInvalidates(t *testing.T) {
+	sys := &watchSys{}
+	st := Open(sys)
+	j := NewJournal(100)
+	st.Watch(j)
+
+	c0 := j.Cut()
+	if err := st.Apply(opsN(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	c1 := j.Cut()
+	if d := j.Between(c0, c1); d.Overflow || len(d.Ops) != 4 {
+		t.Fatalf("watched Apply recorded %+v, want 4 ops", d)
+	}
+
+	// A failed Apply leaves an unexplained subset behind: the journal
+	// must be invalidated, and a fresh cut must be clean again.
+	sys.fail = true
+	if err := st.Apply(opsN(4, 2)); err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	c2 := j.Cut()
+	if d := j.Between(c0, c2); !d.Overflow {
+		t.Fatalf("delta across failed Apply = %+v, want overflow", d)
+	}
+	sys.fail = false
+	if err := st.Apply(opsN(6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if d := j.Between(c2, j.Cut()); d.Overflow || len(d.Ops) != 3 {
+		t.Fatalf("post-failure delta = %+v, want 3 ops", d)
+	}
+
+	// Deletes rejected before any mutation must NOT invalidate: the
+	// backend was not touched.
+	c3 := j.Cut()
+	if err := st.Apply([]Op{OpDelete(0, 1)}); !errors.Is(err, ErrDeletesUnsupported) {
+		t.Fatalf("delete on delete-incapable system: %v", err)
+	}
+	if d := j.Between(c3, j.Cut()); d.Overflow {
+		t.Fatalf("clean rejection invalidated the journal: %+v", d)
+	}
+}

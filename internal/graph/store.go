@@ -94,6 +94,10 @@ type Store struct {
 	// to mutate (bench loaders, router drivers) never pay it.
 	readOnce sync.Once
 	readCaps Caps
+
+	// journal, when attached with Watch, receives every op stream
+	// Apply acknowledges (and an Invalidate for every Apply failure).
+	journal *Journal
 }
 
 // Open resolves sys's capabilities and returns its Store: the write and
@@ -156,6 +160,18 @@ func (st *Store) Caps() Caps {
 	return st.caps | st.readCaps
 }
 
+// Watch attaches a Journal to the Store's mutation path: from now on
+// every op stream Apply acknowledges is recorded, and every Apply
+// failure invalidates the journal (an arbitrary subset of a failed
+// batch may have landed, which the recorded stream cannot explain).
+// Attach before the first concurrent Apply; Watch itself is not
+// synchronized against in-flight calls. Mutations that bypass this
+// Store — per-shard native handles such as dgap.Writer, or direct
+// System calls — are invisible to the seam; producers driving those
+// must Record/Invalidate on the journal themselves, as the serve
+// tier's counted sinks do.
+func (st *Store) Watch(j *Journal) { st.journal = j }
+
 // View takes a consistent snapshot and returns it as a read handle with
 // the bulk and sweep fast paths pre-resolved. Callers that care about
 // snapshot-gated maintenance (DGAP's tombstone compaction) should
@@ -209,7 +225,7 @@ func (st *Store) Apply(ops []Op) error {
 		return nil
 	}
 	if st.ap != nil {
-		return st.ap.ApplyOps(ops)
+		return st.journaled(ops, st.ap.ApplyOps(ops))
 	}
 	nDel := 0
 	for _, o := range ops {
@@ -218,9 +234,10 @@ func (st *Store) Apply(ops []Op) error {
 		}
 	}
 	if nDel == 0 {
-		return st.bw.InsertBatch(edgesOf(ops))
+		return st.journaled(ops, st.bw.InsertBatch(edgesOf(ops)))
 	}
 	if st.bd == nil {
+		// Rejected before any mutation: the journal stays clean.
 		return fmt.Errorf("graph: %s: %w", st.sys.Name(), ErrDeletesUnsupported)
 	}
 	// One backing array serves both sub-batches: the counts are exact,
@@ -237,10 +254,25 @@ func (st *Store) Apply(ops []Op) error {
 	}
 	if len(ins) > 0 {
 		if err := st.bw.InsertBatch(ins); err != nil {
-			return err
+			return st.journaled(ops, err)
 		}
 	}
-	return st.bd.DeleteBatch(del)
+	return st.journaled(ops, st.bd.DeleteBatch(del))
+}
+
+// journaled forwards one Apply outcome into the attached journal:
+// acknowledged streams are recorded, failures invalidate it (the
+// backend holds an arbitrary subset of the batch the log cannot
+// explain). A nil journal makes both a no-op.
+func (st *Store) journaled(ops []Op, err error) error {
+	if st.journal != nil {
+		if err != nil {
+			st.journal.Invalidate()
+		} else {
+			st.journal.Record(ops)
+		}
+	}
+	return err
 }
 
 // ApplyOps makes the Store itself an Applier, so shared-handle router

@@ -58,6 +58,36 @@
 // next lease generation. Deletes advance the staleness clock like
 // inserts, so delete-heavy traffic retires leases at the same cadence.
 //
+// # Incremental kernel maintenance
+//
+// ClassKernel queries do not recompute PageRank from scratch per
+// refresh. The Server keeps a bounded graph.Journal of the ingested op
+// stream and one analytics.PRMaintainer synced to a lease generation:
+// every lease carries the journal cut taken atomically with its
+// snapshot, so the ops between two leases' cuts are exactly the
+// mutations separating their snapshots — the delta contract. A kernel
+// query whose lease matches the maintainer's generation is answered
+// from the maintained vector with no compute at all (KernelCached); a
+// newer lease advances the maintainer by its generation delta
+// (KernelIncremental), costing work proportional to the churn rather
+// than the graph; and everything the delta cannot explain — journal
+// overflow past the DeltaWindow, a failed ingest batch invalidating
+// the log, incremental work exceeding its budget — falls back to a
+// full recompute (KernelFull), so an incremental answer is never a
+// wrong answer. Result.Kernel, Result.DeltaOps and Result.Compute
+// report the path taken and its cost per query; Stats.Kernel
+// aggregates them. Config.NoIncremental restores the recompute-always
+// baseline the refresh benchmark compares against. The maintained
+// vector targets Config.KernelEps total error, by default the full
+// kernel's own truncation (analytics.FixedIterTol), so the incremental
+// path matches the accuracy of the path it replaces rather than paying
+// drain work for precision the baseline never had.
+//
+// The exactness bracket is ingestMu: counted sinks apply a batch and
+// record it in the journal under the shared side, lease minting takes
+// the snapshot and cuts the journal under the exclusive side. Either a
+// batch is in both the snapshot and the delta, or in neither.
+//
 // # Restart after a crash
 //
 // The serving stack restarts in two halves. The system half reopens the

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"dgap/internal/analytics"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+)
+
+// symmetricChurn builds a mirrored op stream (every logical edge in
+// both directions — the adjacency symmetry the PageRank kernels are
+// written against): n fresh inserts beyond vertex base, and deletes of
+// the first nDel base edges with Src < Dst.
+func symmetricChurn(base []graph.Edge, nVert, n, nDel int) []graph.Op {
+	var ops []graph.Op
+	for i := 0; i < n; i++ {
+		src := graph.V((i * 7) % nVert)
+		dst := graph.V((i*13 + 1) % nVert)
+		if src == dst {
+			dst = (dst + 1) % graph.V(nVert)
+		}
+		ops = append(ops, graph.OpInsert(src, dst), graph.OpInsert(dst, src))
+	}
+	for _, e := range base {
+		if nDel == 0 {
+			break
+		}
+		if e.Src < e.Dst {
+			ops = append(ops, graph.OpDelete(e.Src, e.Dst), graph.OpDelete(e.Dst, e.Src))
+			nDel--
+		}
+	}
+	return ops
+}
+
+// TestKernelCachePaths drives one kernel query through each answer
+// path — build (full), cached, incremental — and checks the maintained
+// vector against a converged full recompute at every step, plus the
+// kernel counters and provenance fields along the way.
+func TestKernelCachePaths(t *testing.T) {
+	const V = 150
+	base := graphgen.Uniform(V, 12, 7)
+	g := buildDGAP(t, V, 4*len(base))
+	if err := g.InsertBatch(base); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{
+		Workers:           1,
+		MaxStalenessEdges: 1,    // any applied op retires the lease at next acquire
+		MaxStalenessAge:   -1,   // age never triggers: generations move only on ingest
+		KernelEps:         1e-7, // tight budget so ranks pin against a converged reference
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	checkRanks := func(res Result, label string) {
+		t.Helper()
+		if res.Err != nil {
+			t.Fatalf("%s: %v", label, res.Err)
+		}
+		view := graph.ViewOf(g.Snapshot())
+		defer view.Release()
+		ref, _ := analytics.PageRank(view, 300, analytics.Serial)
+		if len(res.Ranks) != len(ref) {
+			t.Fatalf("%s: %d ranks, want %d", label, len(res.Ranks), len(ref))
+		}
+		for v := range ref {
+			if d := math.Abs(res.Ranks[v] - ref[v]); d > 1e-6 {
+				t.Fatalf("%s: rank[%d] = %.12g, want %.12g (diff %.3g)", label, v, res.Ranks[v], ref[v], d)
+			}
+		}
+	}
+
+	res := srv.Do(Query{Class: ClassKernel})
+	if res.Kernel != KernelFull {
+		t.Fatalf("first kernel query path = %v, want full (maintainer build)", res.Kernel)
+	}
+	checkRanks(res, "build")
+
+	res = srv.Do(Query{Class: ClassKernel})
+	if res.Kernel != KernelCached {
+		t.Fatalf("same-generation kernel query path = %v, want cached", res.Kernel)
+	}
+	if res.DeltaOps != 0 || res.Compute != 0 {
+		t.Fatalf("cached path reported work: delta=%d compute=%v", res.DeltaOps, res.Compute)
+	}
+	checkRanks(res, "cached")
+
+	ops := symmetricChurn(base, V, 20, 6)
+	if _, err := srv.IngestOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	res = srv.Do(Query{Class: ClassKernel})
+	if res.Kernel != KernelIncremental {
+		t.Fatalf("post-ingest kernel query path = %v, want incremental", res.Kernel)
+	}
+	if res.DeltaOps != len(ops) {
+		t.Fatalf("incremental refresh consumed %d delta ops, want %d", res.DeltaOps, len(ops))
+	}
+	checkRanks(res, "incremental")
+
+	st := srv.Stats()
+	if st.Kernel.Full != 1 || st.Kernel.Cached != 1 || st.Kernel.Incremental != 1 {
+		t.Fatalf("kernel counters = %+v, want full=1 cached=1 incremental=1", st.Kernel)
+	}
+	if st.Kernel.DeltaOps != int64(len(ops)) {
+		t.Fatalf("kernel delta ops = %d, want %d", st.Kernel.DeltaOps, len(ops))
+	}
+	ks := st.Classes[ClassKernel]
+	if ks.Count != 3 || ks.Max <= 0 || ks.P999 <= 0 {
+		t.Fatalf("kernel class stats missing tails: %+v", ks)
+	}
+	if ks.ComputeMean <= 0 {
+		t.Fatalf("kernel compute time not recorded: %+v", ks)
+	}
+}
+
+// TestKernelJournalOverflow: a generation gap wider than the configured
+// delta window costs one full recompute — never a wrong vector.
+func TestKernelJournalOverflow(t *testing.T) {
+	const V = 120
+	base := graphgen.Uniform(V, 10, 11)
+	g := buildDGAP(t, V, 4*len(base))
+	if err := g.InsertBatch(base); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{
+		Workers:           1,
+		MaxStalenessEdges: 1,
+		MaxStalenessAge:   -1,
+		DeltaWindow:       8,    // far below one churn burst
+		KernelEps:         1e-7, // tight budget so ranks pin against a converged reference
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if res := srv.Do(Query{Class: ClassKernel}); res.Kernel != KernelFull {
+		t.Fatalf("build path = %v, want full", res.Kernel)
+	}
+	if _, err := srv.IngestOps(symmetricChurn(base, V, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	res := srv.Do(Query{Class: ClassKernel})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Kernel != KernelFull {
+		t.Fatalf("overflowed-delta refresh path = %v, want full fallback", res.Kernel)
+	}
+	view := graph.ViewOf(g.Snapshot())
+	defer view.Release()
+	ref, _ := analytics.PageRank(view, 300, analytics.Serial)
+	for v := range ref {
+		if d := math.Abs(res.Ranks[v] - ref[v]); d > 1e-6 {
+			t.Fatalf("post-overflow rank[%d] off by %.3g", v, d)
+		}
+	}
+}
+
+// TestKernelBaselineMode: NoIncremental reverts ClassKernel to the
+// fixed-iteration full kernel on every query — no cache, no journal.
+func TestKernelBaselineMode(t *testing.T) {
+	const V = 100
+	base := graphgen.Uniform(V, 8, 13)
+	g := buildDGAP(t, V, 2*len(base))
+	if err := g.InsertBatch(base); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{Workers: 1, NoIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		res := srv.Do(Query{Class: ClassKernel})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Kernel != KernelFull {
+			t.Fatalf("baseline query %d path = %v, want full", i, res.Kernel)
+		}
+	}
+	st := srv.Stats()
+	if st.Kernel.Full != 2 || st.Kernel.Cached != 0 || st.Kernel.Incremental != 0 {
+		t.Fatalf("baseline kernel counters = %+v, want full=2 only", st.Kernel)
+	}
+}

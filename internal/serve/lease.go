@@ -28,6 +28,11 @@ type Lease struct {
 	born      time.Time
 	now       func() time.Time // the Server's clock (Config.Clock)
 	appliedAt int64            // Server.Applied() when the snapshot was taken
+	// cut is the delta-journal sequence taken atomically with the
+	// snapshot (under the exclusive side of Server.ingestMu), so the
+	// ops between two leases' cuts are exactly the mutations separating
+	// their snapshots. Zero when the server keeps no journal.
+	cut uint64
 }
 
 // Age returns how long ago the lease's snapshot was taken, measured on
@@ -65,12 +70,27 @@ func (s *Server) Acquire() *Lease {
 		// racing with snapshot creation count toward the next refresh
 		// rather than silently extending this lease's budget.
 		appliedAt := s.applied.Load()
+		var view *graph.View
+		var cut uint64
+		if s.journal != nil {
+			// Snapshot and journal cut must be one atomic step against
+			// the counted sinks' {apply, record} (ingestMu's shared
+			// side), or this generation's delta would not match what
+			// the snapshot sees.
+			s.ingestMu.Lock()
+			view = s.store.View()
+			cut = s.journal.Cut()
+			s.ingestMu.Unlock()
+		} else {
+			view = s.store.View()
+		}
 		nl := &Lease{
-			View:      s.store.View(),
+			View:      view,
 			Gen:       s.gen.Add(1),
 			born:      s.cfg.Clock(),
 			now:       s.cfg.Clock,
 			appliedAt: appliedAt,
+			cut:       cut,
 		}
 		nl.refs.Store(1) // the Server's own reference, dropped on retire
 		if l != nil {

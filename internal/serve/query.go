@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dgap/internal/analytics"
@@ -56,6 +58,39 @@ type Query struct {
 	K int
 }
 
+// KernelPath records which path answered a ClassKernel query.
+type KernelPath int
+
+const (
+	// KernelNone: the query ran no kernel (every class but ClassKernel).
+	KernelNone KernelPath = iota
+	// KernelFull: a full recompute — the NoIncremental baseline, a
+	// maintainer (re)build, or a fallback on an overflowed delta or an
+	// over-budget incremental update.
+	KernelFull
+	// KernelIncremental: the maintained vector advanced by the lease
+	// generation's delta.
+	KernelIncremental
+	// KernelCached: the maintained vector returned as-is — the lease
+	// generation was already synced, so no compute ran at all.
+	KernelCached
+)
+
+func (k KernelPath) String() string {
+	switch k {
+	case KernelNone:
+		return "none"
+	case KernelFull:
+		return "full"
+	case KernelIncremental:
+		return "incremental"
+	case KernelCached:
+		return "cached"
+	default:
+		return fmt.Sprintf("kernelpath(%d)", int(k))
+	}
+}
+
 // Result is a query's answer, tagged with the lease generation and
 // snapshot edge count it was served from — the bounded-staleness
 // provenance a caller (or the mixed benchmark's concurrency check) can
@@ -79,6 +114,17 @@ type Result struct {
 	Degrees []int
 	// Ranks is the refreshed PageRank vector (ClassKernel).
 	Ranks []float64
+	// Kernel is the path a ClassKernel query was answered through
+	// (KernelNone for every other class).
+	Kernel KernelPath
+	// DeltaOps is the size of the generation delta a ClassKernel query
+	// consumed (zero on the cached, baseline, and overflow paths).
+	DeltaOps int
+	// Compute is the kernel's own measured compute time (ClassKHop,
+	// ClassTopK, ClassKernel) — the duration the analytics kernels
+	// return, without queue wait or lease acquisition. Latency minus
+	// Compute is the serving tier's overhead.
+	Compute time.Duration
 	// Latency is the submit-to-completion time, queue wait included.
 	Latency time.Duration
 	Err     error
@@ -112,18 +158,100 @@ func (s *Server) execute(q Query) Result {
 	case ClassNeighbors:
 		res.Verts = view.CopyNeighbors(q.V, nil)
 	case ClassKHop:
-		n, _ := analytics.KHop(view, q.V, q.K, acfg)
+		n, el := analytics.KHop(view, q.V, q.K, acfg)
 		res.Value = int64(n)
+		res.Compute = el
 	case ClassTopK:
-		res.Verts, _ = analytics.TopKDegree(view, q.K, acfg)
+		var el time.Duration
+		res.Verts, el = analytics.TopKDegree(view, q.K, acfg)
+		res.Compute = el
 		res.Degrees = make([]int, len(res.Verts))
 		for i, v := range res.Verts {
 			res.Degrees[i] = view.Degree(v)
 		}
 	case ClassKernel:
-		res.Ranks, _ = analytics.PageRank(view, analytics.PageRankIters, acfg)
+		s.kernel(l, &res, acfg)
 	default:
 		res.Err = fmt.Errorf("serve: unknown query class %d", q.Class)
 	}
+	if q.Class == ClassKHop || q.Class == ClassTopK || q.Class == ClassKernel {
+		s.compute[q.Class].Observe(res.Compute)
+	}
 	return res
+}
+
+// kernelCache is the per-server PageRank maintainer synced to a lease
+// generation: ClassKernel queries whose lease matches are answered from
+// it without compute, newer generations advance it by their journal
+// delta, and everything else (first query, overflow, budget, older
+// lease) recomputes fully. The mutex serializes maintainer access; the
+// counters feed Stats.Kernel.
+type kernelCache struct {
+	mu  sync.Mutex
+	pr  *analytics.PRMaintainer
+	gen uint64 // lease generation pr is synced to
+	cut uint64 // that generation's journal cut
+
+	full, incr, cached atomic.Int64
+	deltaOps           atomic.Int64
+}
+
+// kernel answers a ClassKernel query: the maintained vector when the
+// incremental path is on, the full fixed-iteration kernel otherwise.
+// The two paths differ in truncation, not in target: the maintainer
+// drains to Config.KernelEps of the stationary PageRank, which
+// defaults to the fixed-iteration kernel's own truncation error
+// (analytics.FixedIterTol) — so switching paths stays within the
+// accuracy the full path already serves, and the incremental path
+// never pays drain work for precision the baseline never had.
+func (s *Server) kernel(l *Lease, res *Result, acfg analytics.Config) {
+	k := &s.kern
+	if s.journal == nil {
+		res.Ranks, res.Compute = analytics.PageRank(l.View, analytics.PageRankIters, acfg)
+		res.Kernel = KernelFull
+		k.full.Add(1)
+		return
+	}
+	k.mu.Lock()
+	switch {
+	case k.pr != nil && k.gen == l.Gen:
+		res.Ranks = k.pr.Ranks()
+		k.mu.Unlock()
+		res.Kernel = KernelCached
+		k.cached.Add(1)
+		return
+	case k.pr == nil:
+		pr, st := analytics.NewPRMaintainer(l.View, analytics.PROpts{Eps: s.cfg.KernelEps})
+		k.pr, k.gen, k.cut = pr, l.Gen, l.cut
+		res.Ranks = pr.Ranks()
+		k.mu.Unlock()
+		res.Compute = st.Elapsed
+		res.Kernel = KernelFull
+		k.full.Add(1)
+		return
+	case l.Gen < k.gen:
+		// A query still holding an older generation than the cache:
+		// the maintainer cannot rewind, so recompute over the old view
+		// outside the cache lock and leave the cache alone.
+		k.mu.Unlock()
+		res.Ranks, res.Compute = analytics.PageRank(l.View, analytics.PageRankIters, acfg)
+		res.Kernel = KernelFull
+		k.full.Add(1)
+		return
+	}
+	delta := s.journal.Between(k.cut, l.cut)
+	st := k.pr.Update(l.View, delta)
+	k.gen, k.cut = l.Gen, l.cut
+	res.Ranks = k.pr.Ranks()
+	k.mu.Unlock()
+	res.Compute = st.Elapsed
+	res.DeltaOps = st.Ops
+	if st.Full {
+		res.Kernel = KernelFull
+		k.full.Add(1)
+	} else {
+		res.Kernel = KernelIncremental
+		k.incr.Add(1)
+		k.deltaOps.Add(int64(st.Ops))
+	}
 }

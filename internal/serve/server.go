@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dgap/internal/analytics"
 	"dgap/internal/graph"
 	"dgap/internal/vtime"
 	"dgap/internal/workload"
@@ -63,6 +64,26 @@ type Config struct {
 	// Server's resolved graph.Store handle.
 	Sinks []graph.Applier
 
+	// NoIncremental disables incremental kernel maintenance: every
+	// ClassKernel query recomputes the full fixed-iteration PageRank
+	// over its leased snapshot, and no delta journal is kept. This is
+	// the refresh benchmark's baseline mode; leave it unset to serve
+	// maintained vectors (see the package documentation).
+	NoIncremental bool
+	// DeltaWindow bounds the delta journal backing incremental kernel
+	// maintenance, in ops (0 selects graph.DefaultJournalWindow). A
+	// generation gap wider than the window overflows the journal and
+	// costs one full recompute — bounded memory, never a wrong answer.
+	DeltaWindow int
+	// KernelEps is the incremental PageRank maintainer's total L1 error
+	// budget. Zero selects analytics.FixedIterTol — the truncation
+	// error of the fixed-iteration full kernel — so by default the
+	// maintained vector matches the accuracy of the path it replaces
+	// instead of paying (orders of magnitude more drain work) for
+	// precision the full path never had. Tests that assert tight
+	// incremental-vs-converged equivalence set it explicitly.
+	KernelEps float64
+
 	// Clock overrides the wall clock the server reads — lease ages for
 	// the MaxStalenessAge bound, latency observations, uptime. nil
 	// selects time.Now; tests inject a fake so age-driven refreshes are
@@ -101,6 +122,9 @@ func (c Config) defaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.KernelEps == 0 {
+		c.KernelEps = analytics.FixedIterTol
+	}
 	return c
 }
 
@@ -125,6 +149,23 @@ type Server struct {
 	// edge-staleness bound runs on.
 	applied atomic.Int64
 
+	// journal is the bounded op log feeding incremental kernel
+	// maintenance (nil when Config.NoIncremental is set): counted sinks
+	// record every acknowledged ingest batch into it, and each lease
+	// generation carries the journal cut taken with its snapshot.
+	journal *graph.Journal
+	// ingestMu is the delta-exactness bracket: counted sinks hold it
+	// shared across {apply batch, record in journal}, and lease minting
+	// holds it exclusively across {take snapshot, cut journal}. Without
+	// it a batch applied before a concurrent snapshot but recorded
+	// after the cut would leave that generation's delta missing ops the
+	// snapshot already sees. Appliers never take leaseMu, so the
+	// leaseMu → ingestMu ordering in Acquire cannot deadlock.
+	ingestMu sync.RWMutex
+	// kern is the per-server kernel cache: one PageRank maintainer
+	// synced to a lease generation, advanced by that generation's delta.
+	kern kernelCache
+
 	leaseMu sync.Mutex
 	lease   *Lease
 	gen     atomic.Uint64
@@ -144,6 +185,10 @@ type Server struct {
 	born     time.Time
 
 	hist [nClasses]*Hist
+	// compute holds per-class kernel compute-time histograms: the
+	// durations the analytics kernels measure and return (pure compute,
+	// no queue wait or lease acquisition), which used to be discarded.
+	compute [nClasses]*Hist
 }
 
 type task struct {
@@ -168,6 +213,10 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 	}
 	for c := range s.hist {
 		s.hist[c] = &Hist{}
+		s.compute[c] = &Hist{}
+	}
+	if !cfg.NoIncremental {
+		s.journal = graph.NewJournal(cfg.DeltaWindow)
 	}
 	// The bounded worker pool is vtime.Pool in real goroutine mode: one
 	// ForRanges call whose unit ranges are the worker loops, so exactly
@@ -247,7 +296,7 @@ func (s *Server) sinks(n int) []graph.Applier {
 		if len(s.cfg.Sinks) != 0 {
 			ap = s.cfg.Sinks[i]
 		}
-		out[i] = &countedSink{ap: ap, applied: &s.applied, yield: !s.cfg.NoIngestYield}
+		out[i] = &countedSink{s: s, ap: ap}
 	}
 	return out
 }
@@ -303,18 +352,39 @@ func (s *Server) IngestOps(ops []graph.Op) (workload.InsertResult, error) {
 // batch lands, so lease staleness tracks acknowledged mutations only,
 // and yields the processor at the batch boundary so in-flight queries
 // keep making progress while ingest streams (see Config.NoIngestYield).
+// When the server keeps a delta journal, the sink is also its recording
+// seam: apply and record happen under the shared side of ingestMu, so a
+// lease minted concurrently (exclusive side) sees either both or
+// neither — its generation delta is exact. The journal is fed here
+// rather than through graph.Store.Watch because per-shard sinks
+// (dgap.Writer) bypass the Store entirely.
 type countedSink struct {
-	ap      graph.Applier
-	applied *atomic.Int64
-	yield   bool
+	s  *Server
+	ap graph.Applier
 }
 
 func (c *countedSink) ApplyOps(ops []graph.Op) error {
-	if err := c.ap.ApplyOps(ops); err != nil {
+	s := c.s
+	var err error
+	if s.journal != nil {
+		s.ingestMu.RLock()
+		err = c.ap.ApplyOps(ops)
+		if err != nil {
+			// An arbitrary subset of the batch may have landed; the
+			// journal can no longer explain the backend's state.
+			s.journal.Invalidate()
+		} else {
+			s.journal.Record(ops)
+		}
+		s.ingestMu.RUnlock()
+	} else {
+		err = c.ap.ApplyOps(ops)
+	}
+	if err != nil {
 		return err
 	}
-	c.applied.Add(int64(len(ops)))
-	if c.yield {
+	s.applied.Add(int64(len(ops)))
+	if !s.cfg.NoIngestYield {
 		runtime.Gosched()
 	}
 	return nil
@@ -348,8 +418,35 @@ type ClassStats struct {
 	Count int64
 	P50   time.Duration
 	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
 	Mean  time.Duration
 	QPS   float64 // completed queries per second of server uptime
+
+	// Compute summarizes the class's kernel compute-time histogram —
+	// the duration the analytics kernel itself measured, excluding
+	// queue wait and lease acquisition. Zero for classes that run no
+	// kernel (degree, neighbors).
+	ComputeP50  time.Duration
+	ComputeP99  time.Duration
+	ComputeMean time.Duration
+}
+
+// KernelStats counts which path each ClassKernel query was answered
+// through, and how much delta the incremental path consumed.
+type KernelStats struct {
+	// Full counts full recomputes: the baseline path (NoIncremental),
+	// maintainer (re)builds, and fallbacks on overflowed deltas or
+	// over-budget updates.
+	Full int64
+	// Incremental counts refreshes answered by advancing the maintained
+	// vector with a generation delta.
+	Incremental int64
+	// Cached counts queries answered from the maintained vector without
+	// any recompute (lease generation already synced).
+	Cached int64
+	// DeltaOps totals the journal ops consumed by incremental refreshes.
+	DeltaOps int64
 }
 
 // Stats is a point-in-time view of the Server's serving metrics.
@@ -358,6 +455,7 @@ type Stats struct {
 	Applied     int64
 	Generations uint64
 	Rejected    int64
+	Kernel      KernelStats
 	Classes     []ClassStats // indexed by Class, ClassDegree..ClassKernel
 }
 
@@ -368,15 +466,26 @@ func (s *Server) Stats() Stats {
 		Applied:     s.applied.Load(),
 		Generations: s.gen.Load(),
 		Rejected:    s.rejected.Load(),
+		Kernel: KernelStats{
+			Full:        s.kern.full.Load(),
+			Incremental: s.kern.incr.Load(),
+			Cached:      s.kern.cached.Load(),
+			DeltaOps:    s.kern.deltaOps.Load(),
+		},
 	}
 	for c := Class(0); c < nClasses; c++ {
-		h := s.hist[c]
+		h, ch := s.hist[c], s.compute[c]
 		cs := ClassStats{
-			Class: c.String(),
-			Count: h.Count(),
-			P50:   h.Quantile(0.50),
-			P99:   h.Quantile(0.99),
-			Mean:  h.Mean(),
+			Class:       c.String(),
+			Count:       h.Count(),
+			P50:         h.Quantile(0.50),
+			P99:         h.Quantile(0.99),
+			P999:        h.Quantile(0.999),
+			Max:         h.Max(),
+			Mean:        h.Mean(),
+			ComputeP50:  ch.Quantile(0.50),
+			ComputeP99:  ch.Quantile(0.99),
+			ComputeMean: ch.Mean(),
 		}
 		if secs := st.Uptime.Seconds(); secs > 0 {
 			cs.QPS = float64(cs.Count) / secs
