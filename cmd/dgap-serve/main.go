@@ -18,6 +18,8 @@
 //	pagerank          refresh PageRank, reply with the top-ranked vertex
 //	ingest <n>        stream n random edges through the router
 //	stats             per-class latency histograms and lease counters
+//	STATS             every registered instrument, flat "name value" text
+//	slow              the slow-query log, newest first, with phase spans
 //	help              this command list
 //	quit              exit
 //
@@ -25,12 +27,18 @@
 // edge count it was served from (gen=G edges=E), making the bounded
 // staleness visible: issue ingest and watch queries keep answering from
 // the leased snapshot until the staleness bound refreshes it.
+//
+// With -http ADDR the same introspection goes live over HTTP: /metrics
+// (text, or JSON with ?format=json), /stats, /slow and /debug/pprof —
+// see serve.(*Server).DebugMux.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -42,6 +50,7 @@ import (
 	"dgap/internal/graphgen"
 	"dgap/internal/graphone"
 	"dgap/internal/llama"
+	"dgap/internal/obs"
 	"dgap/internal/pmem"
 	"dgap/internal/serve"
 	"dgap/internal/workload"
@@ -57,15 +66,17 @@ func main() {
 	shards := flag.Int("shards", 4, "router ingest shards")
 	stalenessEdges := flag.Int64("staleness-edges", serve.DefaultStalenessEdges, "refresh the snapshot lease after this many applied edges (negative disables)")
 	stalenessAge := flag.Duration("staleness-age", serve.DefaultStalenessAge, "refresh the snapshot lease at this wall-clock age (negative disables)")
+	httpAddr := flag.String("http", "", "serve /metrics, /stats, /slow and /debug/pprof on this address (empty disables)")
+	slowThr := flag.Duration("slow-threshold", serve.DefaultSlowThreshold, "retain queries at or above this latency in the slow-query log (negative retains all)")
 	flag.Parse()
 
-	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *stalenessEdges, *stalenessAge); err != nil {
+	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *stalenessEdges, *stalenessAge, *httpAddr, *slowThr); err != nil {
 		fmt.Fprintln(os.Stderr, "dgap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, dataset string, scale float64, seed int64, workers, shards int, stalenessEdges int64, stalenessAge time.Duration) error {
+func run(system, dataset string, scale float64, seed int64, workers, shards int, stalenessEdges int64, stalenessAge time.Duration, httpAddr string, slowThr time.Duration) error {
 	spec, err := graphgen.Preset(dataset)
 	if err != nil {
 		return err
@@ -87,6 +98,7 @@ func run(system, dataset string, scale float64, seed int64, workers, shards int,
 		Workers:           workers,
 		IngestShards:      shards,
 		Scope:             workload.ScopeFor(system),
+		SlowThreshold:     slowThr,
 	}
 	if g, ok := sys.(*dgap.Graph); ok {
 		sinks, release, err := workload.DGAPSinks(g, shards)
@@ -104,6 +116,15 @@ func run(system, dataset string, scale float64, seed int64, workers, shards int,
 
 	fmt.Printf("serving %s: %s preset at scale %g — %d vertices, %d edges (type 'help' for commands)\n",
 		sys.Name(), spec.Name, scale, nVert, len(edges))
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, srv.DebugMux()) }()
+		fmt.Printf("introspection on http://%s/metrics (/stats, /slow, /debug/pprof)\n", ln.Addr())
+	}
 	ingestSeed := seed
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -166,7 +187,7 @@ func dispatch(srv *serve.Server, nVert int, line string, ingestSeed *int64) (str
 	}
 	switch cmd {
 	case "help":
-		return "degree <v> | neighbors <v> | khop <v> <k> | topk <k> | pagerank | ingest <n> | stats | quit", nil
+		return "degree <v> | neighbors <v> | khop <v> <k> | topk <k> | pagerank | ingest <n> | stats | STATS | slow | quit", nil
 	case "degree":
 		v, err := argN(0)
 		if err != nil {
@@ -258,6 +279,37 @@ func dispatch(srv *serve.Server, nVert int, line string, ingestSeed *int64) (str
 			}
 			fmt.Fprintf(&b, "\n%-9s count=%-6d p50=%-10v p99=%-10v mean=%-10v qps=%.1f",
 				cs.Class, cs.Count, cs.P50, cs.P99, cs.Mean, cs.QPS)
+		}
+		return b.String(), nil
+	case "STATS", "metrics":
+		// The full registry dump: every instrument across every layer in
+		// the flat text exposition /metrics serves — serve.*, workload.*,
+		// graph.journal.*, dgap.* — one "name value" line each.
+		var b strings.Builder
+		if err := srv.Obs().WriteText(&b); err != nil {
+			return "", err
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "slow":
+		l := srv.Slow()
+		if l == nil {
+			return "slow-query log disabled", nil
+		}
+		entries := l.Entries()
+		if len(entries) == 0 {
+			return fmt.Sprintf("no queries at or above %v (%d observed)", l.Threshold(), l.Observed()), nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d retained of %d observed at threshold %v (newest first)", len(entries), l.Observed(), l.Threshold())
+		for _, e := range entries {
+			sp := e.Span
+			fmt.Fprintf(&b, "\n#%-4d %-9s %-12s total=%-10v admission=%-10v lease=%-10v exec=%-10v kernel=%-10v gen=%d",
+				e.Seq, sp.Class, sp.Detail, sp.Total,
+				sp.Phases[obs.PhaseAdmission], sp.Phases[obs.PhaseLease],
+				sp.Phases[obs.PhaseExec], sp.Phases[obs.PhaseKernel], sp.Gen)
+			if sp.Err {
+				b.WriteString(" err")
+			}
 		}
 		return b.String(), nil
 	default:

@@ -1,0 +1,123 @@
+// Observability walkthrough: serve a DGAP graph while ingest churns
+// underneath, then read the story the obs layer tells — the unified
+// metrics registry every layer registers into (serve.*, workload.*,
+// graph.journal.*, dgap.*), the per-query trace spans that partition
+// each latency into admission/lease/exec/kernel phases, the bounded
+// slow-query ring that retains over-threshold spans with their phase
+// breakdown, and the histogram snapshot/merge API that aggregates
+// across servers. The same registry is what dgap-serve exposes live on
+// /metrics, /stats and /slow with -http.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/obs"
+	"dgap/internal/pmem"
+	"dgap/internal/serve"
+)
+
+func main() {
+	const nVert = 2000
+	base := graphgen.Uniform(nVert, 16, 1)
+
+	arena := pmem.New(256<<20, pmem.WithLatency(pmem.NoLatency()))
+	g, err := dgap.New(arena, dgap.DefaultConfig(nVert, int64(4*len(base))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graph.Open(g).Apply(graph.Inserts(base)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A negative threshold retains every span in the ring — the
+	// trace-everything setting; production keeps the default (10ms) so
+	// only genuine tail events occupy the fixed-size buffer.
+	srv, err := serve.New(g, serve.Config{
+		Workers:       2,
+		SlowThreshold: -1,
+		SlowLogSize:   6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Drive every layer: ingest through the router (workload.* counters,
+	// journal occupancy), point and kernel queries through the workers
+	// (per-class histograms, span phases, kernel-path counters).
+	if _, err := srv.Ingest(graphgen.Uniform(nVert, 4, 2)); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if res := srv.Do(serve.Query{Class: serve.ClassDegree, V: graph.V(i % nVert)}); res.Err != nil {
+			log.Fatal(res.Err)
+		}
+	}
+	khop := srv.Do(serve.Query{Class: serve.ClassKHop, V: 7, K: 2})
+	if khop.Err != nil {
+		log.Fatal(khop.Err)
+	}
+	if res := srv.Do(serve.Query{Class: serve.ClassKernel}); res.Err != nil {
+		log.Fatal(res.Err)
+	}
+
+	// Every query's Result carries its trace span: the four phases
+	// partition the end-to-end latency, so the one breakdown answers
+	// "where did the time go" without a profiler.
+	fmt.Printf("khop query: total %v = admission %v + lease %v + exec %v + kernel %v\n",
+		khop.Latency.Round(time.Microsecond),
+		khop.Phases[obs.PhaseAdmission].Round(time.Microsecond),
+		khop.Phases[obs.PhaseLease].Round(time.Microsecond),
+		khop.Phases[obs.PhaseExec].Round(time.Microsecond),
+		khop.Phases[obs.PhaseKernel].Round(time.Microsecond))
+
+	// The registry is the flat text /metrics serves: one
+	// layer.subsystem.metric line per instrument, histograms expanded to
+	// .count/.mean/.p50/.p99/.p999/.max. Print one instrument per layer.
+	var b strings.Builder
+	if err := srv.Obs().WriteText(&b); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\none instrument per layer, from the unified registry:")
+	for _, prefix := range []string{"serve.query.degree.latency.count", "serve.kernel.path.", "workload.router.shard", "graph.journal.occupancy", "dgap.pma.log_appends", "dgap.graph.live_edges"} {
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+
+	// The slow-query ring: bounded, newest first, each entry a full span.
+	fmt.Printf("\nslow-query ring (threshold %v, %d observed, capacity-bounded):\n",
+		srv.Slow().Threshold(), srv.Slow().Observed())
+	for _, e := range srv.Slow().Entries() {
+		fmt.Printf("  #%-4d %-8s %-8s total=%v\n",
+			e.Seq, e.Span.Class, e.Span.Detail, e.Span.Total.Round(time.Microsecond))
+	}
+
+	// Histograms merge across instruments (and, via Snapshot, across
+	// processes) — the aggregation path a fleet scraper uses to build
+	// one latency distribution from many servers without sharing any
+	// instrument state.
+	var fleet obs.Hist
+	fleet.Merge(srv.Obs().Hist("serve.query.degree.latency"))
+	fleet.Merge(srv.Obs().Hist("serve.query.khop.latency"))
+	fmt.Printf("\nmerged fleet histogram: %d queries, p50 %v, p99 %v\n",
+		fleet.Count(),
+		fleet.Quantile(0.50).Round(time.Microsecond),
+		fleet.Quantile(0.99).Round(time.Microsecond))
+
+	// The same exposition, as JSON (what /metrics?format=json returns).
+	var j strings.Builder
+	if err := srv.Obs().WriteJSON(&j); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst JSON metrics bytes:\n%.120s…\n", j.String())
+}

@@ -1,0 +1,36 @@
+package dgap
+
+import "dgap/internal/obs"
+
+// RegisterObs implements obs.Instrumented: the graph publishes its
+// structural counters into the registry under the dgap.* namespace.
+// Everything is func-backed over atomics (or the existing snapshot
+// accessors), read only at exposition time — registration adds zero
+// cost to the mutation and rebalance paths.
+func (g *Graph) RegisterObs(r *obs.Registry) {
+	r.CounterFunc("dgap.compact.count", g.compactions.Load)
+	r.CounterFunc("dgap.compact.pairs_dropped", g.pairsDropped.Load)
+	r.CounterFunc("dgap.pma.log_appends", g.logAppends.Load)
+	r.CounterFunc("dgap.pma.rebalances", g.rebalances.Load)
+	r.CounterFunc("dgap.pma.merges", g.merges.Load)
+	r.CounterFunc("dgap.pma.resizes", g.resizes.Load)
+	r.GaugeFunc("dgap.snapshot.outstanding", g.snaps.Load)
+	r.GaugeFunc("dgap.graph.vertices", func() int64 { return int64(g.nVert.Load()) })
+	r.GaugeFunc("dgap.graph.live_edges", g.liveTotal.Load)
+	r.GaugeFunc("dgap.space.array_bytes", func() int64 { return int64(g.Footprint().ArrayBytes) })
+	r.GaugeFunc("dgap.space.occupied_bytes", func() int64 { return int64(g.Footprint().OccupiedBytes) })
+	r.GaugeFunc("dgap.space.elog_bytes", func() int64 { return int64(g.Footprint().ELogBytes) })
+	// Recovery stats are fixed at attach time, so they are read once and
+	// published as constants rather than re-derived per exposition.
+	if st, ok := g.Recovery(); ok {
+		graceful := int64(0)
+		if st.Graceful {
+			graceful = 1
+		}
+		r.GaugeFunc("dgap.recover.graceful", func() int64 { return graceful })
+		r.GaugeFunc("dgap.recover.undo_ranges", func() int64 { return st.UndoRangesReplayed })
+		r.GaugeFunc("dgap.recover.replayed_ops", func() int64 { return st.ReplayedOps })
+		r.GaugeFunc("dgap.recover.dropped_torn", func() int64 { return st.DroppedTorn })
+		r.GaugeFunc("dgap.recover.attach_ns", func() int64 { return st.AttachTime.Nanoseconds() })
+	}
+}

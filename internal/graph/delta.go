@@ -66,6 +66,28 @@ type Journal struct {
 	// invalid is the sequence at the latest Invalidate: cuts taken
 	// before it cannot anchor a valid delta.
 	invalid uint64
+	// invalidations and overflows count Invalidate calls and Overflow
+	// answers handed out by Between — the journal's health counters
+	// (every overflow costs a consumer one full recompute).
+	invalidations int64
+	overflows     int64
+}
+
+// JournalStats is a point-in-time snapshot of a journal's occupancy and
+// health counters, the shape the observability registry exposes as
+// graph.journal.* instruments.
+type JournalStats struct {
+	// Len is the current op occupancy (at most Window).
+	Len int
+	// Window is the configured op capacity.
+	Window int
+	// Recorded is the total ops ever recorded, including trimmed ones.
+	Recorded int64
+	// Invalidations counts Invalidate calls.
+	Invalidations int64
+	// Overflows counts Between answers that came back Overflow — each
+	// one cost some consumer a full recompute.
+	Overflows int64
 }
 
 // DefaultJournalWindow is the op window NewJournal(0) selects: large
@@ -114,7 +136,21 @@ func (j *Journal) Record(ops []Op) {
 func (j *Journal) Invalidate() {
 	j.mu.Lock()
 	j.invalid = j.next
+	j.invalidations++
 	j.mu.Unlock()
+}
+
+// Stats snapshots the journal's occupancy and health counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Len:           len(j.ops),
+		Window:        j.limit,
+		Recorded:      int64(j.next),
+		Invalidations: j.invalidations,
+		Overflows:     j.overflows,
+	}
 }
 
 // Cut marks a generation boundary at the current position of the
@@ -137,6 +173,7 @@ func (j *Journal) Between(from, to uint64) Delta {
 	defer j.mu.Unlock()
 	if from > to || from < j.base || from < j.invalid || to > j.next {
 		d.Overflow = true
+		j.overflows++
 		return d
 	}
 	if from == to {

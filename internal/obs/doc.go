@@ -1,0 +1,68 @@
+// Package obs is the zero-dependency observability layer: a Registry
+// of named metric instruments every tier of the stack registers into,
+// per-query trace Spans with a fixed phase breakdown, and a bounded
+// SlowLog ring retaining over-threshold spans. It turns the stack's
+// internal state — admission queues, lease generations, kernel cache
+// paths, compaction and recovery counters — from post-hoc bench dumps
+// into something a running server exposes live.
+//
+// # Instruments
+//
+// A Registry holds four instrument kinds, all safe for concurrent use:
+//
+//   - Counter: a monotonically increasing atomic count (ops applied,
+//     loads shed). CounterFunc adapts an existing atomic the owner
+//     already maintains.
+//   - Gauge: an instantaneous level (queue depth, occupancy).
+//     GaugeFunc reads the level on demand at exposition time, so
+//     registering one costs nothing on any hot path.
+//   - Hist: a log-bucketed histogram (see below) for latency or size
+//     distributions, with quantile, snapshot and merge APIs.
+//
+// Registration is idempotent — asking for an existing name returns the
+// same instrument — and hot paths hold pre-resolved instrument handles:
+// the map lookup happens once at wiring time, after which an
+// observation is one atomic add or one short mutex-guarded bucket
+// increment. Exposition (Snapshot, WriteText, MetricsHandler) walks the
+// registry without blocking writers beyond those same short sections.
+//
+// # Naming convention
+//
+// Instrument names are dot-separated layer.subsystem.metric paths,
+// lowercase, with the owning layer first:
+//
+//	serve.queue.depth            admission queue occupancy (gauge)
+//	serve.queue.wait             admission wait distribution (hist, ns)
+//	serve.query.degree.latency   per-class end-to-end latency (hist, ns)
+//	serve.kernel.path.cached     kernel cache hits (counter)
+//	serve.lease.generation       current lease generation (gauge)
+//	workload.router.shard0.ops   per-shard ops dispatched (counter)
+//	workload.router.batch.size   dispatch batch sizes (hist, ops)
+//	graph.journal.occupancy      delta-journal window fill (gauge)
+//	dgap.compact.pairs_dropped   tombstone pairs reclaimed (counter)
+//
+// Histograms observe int64 values whose unit is the instrument's own
+// (nanoseconds for latency, ops for sizes); the flat-text exposition
+// derives .count/.mean/.p50/.p99/.p999/.max series per histogram in
+// that unit.
+//
+// # Spans and the slow-query log
+//
+// A Span is one request's trace: a class label, a start time, the
+// end-to-end duration, and a fixed per-phase breakdown
+// (admission wait, lease pin, execution, kernel compute — see Phase).
+// The serving tier fills one per query and feeds both the latency
+// histograms and the SlowLog: a bounded ring buffer retaining only
+// spans over a configurable threshold, newest first, so the
+// investigation surface for a tail-latency incident is one bounded,
+// always-on structure instead of a debug rebuild.
+//
+// # Exposition
+//
+// MetricsHandler serves a registry over HTTP as flat text
+// ("name value" lines, histograms expanded into derived series) or as
+// JSON (?format=json: the full Snapshot, histogram buckets included).
+// Components that own backend-specific counters implement Instrumented
+// to register them when a serving tier wires a registry through the
+// stack.
+package obs

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// histSubBits is the sub-bucket resolution of Hist: 2^histSubBits
+// sub-buckets per power of two, bounding the quantile error at
+// ~1/2^histSubBits of the reported value.
+const histSubBits = 3
+
+const histSub = 1 << histSubBits
+
+// histBuckets covers values up to 2^62: histSub exact unit buckets for
+// tiny values plus histSub log sub-buckets per power of two above.
+const histBuckets = histSub + (63-histSubBits)*histSub
+
+// Hist is a concurrency-safe log-bucketed histogram — the HDR-style
+// shape services use for tail latency, sized down to one small fixed
+// array. Values below histSub are recorded exactly; above, each power
+// of two is split into histSub sub-buckets, so quantiles are accurate
+// to ~12%. The unit is the caller's: latency instruments observe
+// nanoseconds (Observe), size instruments observe raw int64 values
+// (ObserveValue).
+type Hist struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	top := bits.Len64(uint64(v)) - 1 // v in [2^top, 2^top+1), top >= histSubBits
+	minor := int(v>>(top-histSubBits)) & (histSub - 1)
+	return histSub + (top-histSubBits)*histSub + minor
+}
+
+// histValue returns the midpoint of a bucket's value range, the value a
+// quantile reports for samples landing in it.
+func histValue(b int) int64 {
+	if b < histSub {
+		return int64(b)
+	}
+	g := (b - histSub) / histSub
+	minor := int64((b - histSub) % histSub)
+	top := g + histSubBits
+	width := int64(1) << (top - histSubBits)
+	lower := int64(1)<<top + minor*width
+	return lower + width/2
+}
+
+// histLower returns the inclusive lower bound of a bucket's value range.
+func histLower(b int) int64 {
+	if b < histSub {
+		return int64(b)
+	}
+	g := (b - histSub) / histSub
+	minor := int64((b - histSub) % histSub)
+	top := g + histSubBits
+	width := int64(1) << (top - histSubBits)
+	return int64(1)<<top + minor*width
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) { h.ObserveValue(d.Nanoseconds()) }
+
+// ObserveValue records one sample in the histogram's own unit.
+func (h *Hist) ObserveValue(v int64) {
+	b := histBucket(v)
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average recorded latency.
+func (h *Hist) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest recorded latency exactly.
+func (h *Hist) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Quantile returns the latency at quantile q in [0, 1] (0.5 = p50,
+// 0.99 = p99), or 0 when nothing has been recorded. The answer is the
+// midpoint of the bucket holding the q-th sample, clamped to the exact
+// recorded maximum — a bucket's midpoint can exceed the largest sample
+// that landed in it, and an unclamped answer would report p100 > Max.
+func (h *Hist) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if n > 0 && seen > rank {
+			return time.Duration(min(histValue(b), h.max))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot: the
+// bucket's inclusive lower bound, the midpoint a quantile reports for
+// it, and the sample count that landed in it, all in the histogram's
+// own unit.
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Mid   int64 `json:"mid"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time export of a Hist: the aggregate
+// counters plus every non-empty bucket in ascending value order. It is
+// the exposition and aggregation surface — consumers read quantiles,
+// merge shards, or serialize to JSON without reaching into Hist's
+// private state.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns the value at quantile q of the snapshot, with the
+// same bucket-midpoint semantics (and max clamp) as Hist.Quantile.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count-1))
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > rank {
+			return min(b.Mid, s.Max)
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the snapshot's average value.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Snapshot exports the histogram's current state: aggregate counters
+// plus every non-empty bucket. The snapshot is an independent copy —
+// concurrent observations after it returns do not alter it.
+func (h *Hist) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	for b, n := range h.buckets {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: histLower(b), Mid: histValue(b), Count: n})
+		}
+	}
+	return s
+}
+
+// Merge folds other's samples into h, bucket by bucket — the
+// aggregation path for per-shard or per-rep histograms. Both histograms
+// must record the same unit. Merge snapshots other first (its own short
+// lock), then folds under h's lock, so the two are never locked at
+// once and h.Merge(o) concurrent with o.Merge(h) cannot deadlock;
+// observations landing in other between the two steps are simply not
+// part of this merge.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other == h {
+		return
+	}
+	var buckets [histBuckets]int64
+	other.mu.Lock()
+	count, sum, omax := other.count, other.sum, other.max
+	buckets = other.buckets
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.count += count
+	h.sum += sum
+	if omax > h.max {
+		h.max = omax
+	}
+	for b, n := range buckets {
+		h.buckets[b] += n
+	}
+	h.mu.Unlock()
+}

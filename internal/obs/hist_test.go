@@ -1,4 +1,4 @@
-package serve
+package obs
 
 import (
 	"math"
@@ -20,6 +20,9 @@ func TestHistBucketRoundTrip(t *testing.T) {
 		}
 		if err := math.Abs(float64(got-v)) / float64(v); err > 0.125 {
 			t.Errorf("histValue(histBucket(%d)) = %d, relative error %.3f", v, got, err)
+		}
+		if lo := histLower(b); lo > v || histLower(b+1) <= v {
+			t.Errorf("histLower: %d not in [%d, %d)", v, lo, histLower(b+1))
 		}
 	}
 	// Buckets are monotone in value.
@@ -68,8 +71,7 @@ func TestHistQuantiles(t *testing.T) {
 
 // TestQuantileClampedToMax: a bucket's midpoint can exceed the largest
 // sample that landed in it, so the top quantile must clamp to the
-// exact recorded maximum — p100 ≤ Max always (the bug this PR fixes:
-// Quantile(1.0) used to report the unclamped midpoint).
+// exact recorded maximum — p100 ≤ Max always.
 func TestQuantileClampedToMax(t *testing.T) {
 	var h Hist
 	// 2^20+1 ns sits at the bottom of its bucket: the midpoint
@@ -89,5 +91,83 @@ func TestQuantileClampedToMax(t *testing.T) {
 	// Lower quantiles stay bucket-midpoint answers.
 	if h.Quantile(0) >= v/2 {
 		t.Errorf("Quantile(0) = %v looks clamped to the max", h.Quantile(0))
+	}
+}
+
+// TestHistSnapshot: the snapshot reproduces the histogram's aggregates
+// and quantiles without access to private state, and is an independent
+// copy.
+func TestHistSnapshot(t *testing.T) {
+	var h Hist
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.ObserveValue(int64(i) * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Max != 1e6 || s.Sum != h.Count()*s.Mean() {
+		t.Fatalf("snapshot aggregates: %+v", s)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := s.Quantile(q), h.Quantile(q).Nanoseconds(); got != want {
+			t.Errorf("snapshot q%.2f = %d, hist says %d", q, got, want)
+		}
+	}
+	var total int64
+	for i, b := range s.Buckets {
+		if b.Count <= 0 {
+			t.Fatalf("bucket %d empty in snapshot: %+v", i, b)
+		}
+		if i > 0 && b.Lo <= s.Buckets[i-1].Lo {
+			t.Fatalf("buckets not ascending at %d: %+v", i, s.Buckets)
+		}
+		if b.Mid < b.Lo {
+			t.Fatalf("bucket %d midpoint below lower bound: %+v", i, b)
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	// Snapshot is a copy: later observations don't alter it.
+	h.ObserveValue(1 << 40)
+	if s.Max == h.Max().Nanoseconds() {
+		t.Fatal("snapshot aliased live histogram state")
+	}
+}
+
+// TestHistMerge: merging two histograms equals observing both sample
+// sets into one.
+func TestHistMerge(t *testing.T) {
+	var a, b, both Hist
+	for i := 1; i <= 500; i++ {
+		v := int64(i) * 977
+		a.ObserveValue(v)
+		both.ObserveValue(v)
+	}
+	for i := 1; i <= 300; i++ {
+		v := int64(i) * 104729
+		b.ObserveValue(v)
+		both.ObserveValue(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatalf("merge aggregates: count %d/%d max %v/%v mean %v/%v",
+			a.Count(), both.Count(), a.Max(), both.Max(), a.Mean(), both.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("merge q%.3f = %v, want %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging from an empty or self histogram is a no-op.
+	before := a.Snapshot()
+	var empty Hist
+	a.Merge(&empty)
+	a.Merge(&a)
+	a.Merge(nil)
+	if after := a.Snapshot(); after.Count != before.Count || after.Sum != before.Sum {
+		t.Fatalf("no-op merges changed state: %+v vs %+v", after, before)
 	}
 }

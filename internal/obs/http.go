@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// writeJSON encodes v indented onto w, ignoring transport errors the
+// handler could not act on anyway.
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// WriteJSONResponse sets the JSON content type and encodes v indented
+// onto w — the helper sibling packages mounting their own snapshot
+// endpoints next to MetricsHandler use (serve's /stats).
+func WriteJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, v)
+}
+
+// MetricsHandler serves a registry's exposition over HTTP: flat text by
+// default, the full JSON snapshot (histogram buckets included) when the
+// request asks for it with ?format=json or an Accept header naming
+// application/json.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// SlowLogHandler serves a slow log's retained entries as JSON, newest
+// first.
+func SlowLogHandler(l *SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		entries := []SlowEntry{}
+		if l != nil {
+			entries = l.Entries()
+		}
+		writeJSON(w, entries)
+	})
+}
+
+func wantJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

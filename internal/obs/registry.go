@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level. The zero value is ready to use; all
+// methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Instrumented is implemented by components owning internal counters a
+// serving tier should expose — backends register their own instruments
+// when a registry is wired through the stack (dgap.Graph registers its
+// compaction, PMA and recovery counters this way, without the serving
+// tier importing the backend).
+type Instrumented interface {
+	RegisterObs(r *Registry)
+}
+
+// Metric is one named instrument's exported state, the unit of the
+// Snapshot and JSON expositions. Exactly one of Value (counter, gauge)
+// or Hist (hist) is meaningful, selected by Kind.
+type Metric struct {
+	Name  string        `json:"name"`
+	Kind  string        `json:"kind"` // "counter", "gauge" or "hist"
+	Value int64         `json:"value,omitempty"`
+	Hist  *HistSnapshot `json:"hist,omitempty"`
+}
+
+// Registry is a namespace of metric instruments. Registration methods
+// are idempotent — the same name always yields the same instrument —
+// and return pre-resolved handles the owner keeps, so hot paths never
+// touch the registry map. Names follow the layer.subsystem.metric
+// convention (see the package documentation); registering one name as
+// two different kinds panics, since the second caller would silently
+// observe into a dead instrument otherwise.
+type Registry struct {
+	mu    sync.Mutex
+	kinds map[string]string
+	ctrs  map[string]*Counter
+	gaug  map[string]*Gauge
+	funcs map[string]func() int64
+	hists map[string]*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds: map[string]string{},
+		ctrs:  map[string]*Counter{},
+		gaug:  map[string]*Gauge{},
+		funcs: map[string]func() int64{},
+		hists: map[string]*Hist{},
+	}
+}
+
+func (r *Registry) claim(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: instrument %q registered as both %s and %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "counter")
+	c := r.ctrs[name]
+	if c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge")
+	g := r.gaug[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gaug[name] = g
+	}
+	return g
+}
+
+// Hist returns the named histogram, creating it on first use.
+func (r *Registry) Hist(name string) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "hist")
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers a counter whose value is read on demand at
+// exposition time — the adapter for monotonic atomics a component
+// already maintains, costing its hot path nothing. Re-registering a
+// name replaces the function.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "counter")
+	r.funcs[name] = fn
+}
+
+// GaugeFunc registers a gauge whose level is read on demand at
+// exposition time. Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge")
+	r.funcs[name] = fn
+}
+
+// Names returns every registered instrument name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.kinds))
+	for n := range r.kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot exports every instrument's current state, sorted by name.
+// Func-backed instruments are read here, under no registry-wide
+// freeze: the snapshot is per-instrument atomic, not cross-instrument
+// consistent, which is the usual exposition contract.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	type entry struct {
+		name, kind string
+		ctr        *Counter
+		gauge      *Gauge
+		fn         func() int64
+		hist       *Hist
+	}
+	entries := make([]entry, 0, len(r.kinds))
+	for name, kind := range r.kinds {
+		e := entry{name: name, kind: kind}
+		e.ctr, e.gauge, e.fn, e.hist = r.ctrs[name], r.gaug[name], r.funcs[name], r.hists[name]
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	out := make([]Metric, 0, len(entries))
+	for _, e := range entries {
+		m := Metric{Name: e.name, Kind: e.kind}
+		switch {
+		case e.hist != nil:
+			s := e.hist.Snapshot()
+			m.Hist = &s
+		case e.fn != nil:
+			m.Value = e.fn()
+		case e.ctr != nil:
+			m.Value = e.ctr.Load()
+		case e.gauge != nil:
+			m.Value = e.gauge.Load()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteText writes the flat-text exposition: one "name value" line per
+// counter and gauge, and derived .count/.mean/.p50/.p99/.p999/.max
+// series per histogram, in the histogram's own unit. Lines are sorted
+// by instrument name.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		if m.Hist != nil {
+			s := m.Hist
+			_, err = fmt.Fprintf(w, "%s.count %d\n%s.mean %d\n%s.p50 %d\n%s.p99 %d\n%s.p999 %d\n%s.max %d\n",
+				m.Name, s.Count, m.Name, s.Mean(), m.Name, s.Quantile(0.50),
+				m.Name, s.Quantile(0.99), m.Name, s.Quantile(0.999), m.Name, s.Max)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the Snapshot as an indented JSON array, histogram
+// buckets included.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

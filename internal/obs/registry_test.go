@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.ops.total")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("test.ops.total") != c {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	g := r.Gauge("test.queue.depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 || r.Gauge("test.queue.depth") != g {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+	h := r.Hist("test.latency")
+	h.Observe(3 * time.Millisecond)
+	if r.Hist("test.latency") != h {
+		t.Fatal("re-registering a hist must return the same instrument")
+	}
+	level := int64(42)
+	r.GaugeFunc("test.live.level", func() int64 { return level })
+	r.CounterFunc("test.live.count", func() int64 { return 9 })
+
+	byName := map[string]Metric{}
+	for _, m := range r.Snapshot() {
+		byName[m.Name] = m
+	}
+	if len(byName) != 5 {
+		t.Fatalf("snapshot has %d metrics: %v", len(byName), r.Names())
+	}
+	if m := byName["test.ops.total"]; m.Kind != "counter" || m.Value != 5 {
+		t.Fatalf("counter metric %+v", m)
+	}
+	if m := byName["test.queue.depth"]; m.Kind != "gauge" || m.Value != 5 {
+		t.Fatalf("gauge metric %+v", m)
+	}
+	if m := byName["test.live.level"]; m.Kind != "gauge" || m.Value != 42 {
+		t.Fatalf("gauge-func metric %+v", m)
+	}
+	if m := byName["test.live.count"]; m.Kind != "counter" || m.Value != 9 {
+		t.Fatalf("counter-func metric %+v", m)
+	}
+	m := byName["test.latency"]
+	if m.Kind != "hist" || m.Hist == nil || m.Hist.Count != 1 {
+		t.Fatalf("hist metric %+v", m)
+	}
+	// Func values are read at exposition time, not registration time.
+	level = 77
+	for _, m := range r.Snapshot() {
+		if m.Name == "test.live.level" && m.Value != 77 {
+			t.Fatalf("gauge func read stale value %d", m.Value)
+		}
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds must panic")
+		}
+	}()
+	r.Gauge("test.x")
+}
+
+// TestRegistryExpositionRoundTrip: every registered instrument appears
+// in both the flat-text and the JSON exposition, and the JSON parses
+// back into the same snapshot.
+func TestRegistryExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b.total").Add(3)
+	r.Gauge("a.b.depth").Set(-4)
+	r.Hist("a.b.latency").Observe(time.Millisecond)
+	r.GaugeFunc("a.c.level", func() int64 { return 11 })
+
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a.b.total 3", "a.b.depth -4", "a.c.level 11",
+		"a.b.latency.count 1", "a.b.latency.p50 ", "a.b.latency.p999 ", "a.b.latency.max "} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var jsonOut strings.Builder
+	if err := r.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []Metric
+	if err := json.Unmarshal([]byte(jsonOut.String()), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	want := r.Snapshot()
+	if len(metrics) != len(want) {
+		t.Fatalf("JSON round-trip: %d metrics, want %d", len(metrics), len(want))
+	}
+	for i := range want {
+		if metrics[i].Name != want[i].Name || metrics[i].Kind != want[i].Kind || metrics[i].Value != want[i].Value {
+			t.Errorf("metric %d round-tripped to %+v, want %+v", i, metrics[i], want[i])
+		}
+	}
+	if metrics[1].Hist == nil || metrics[1].Hist.Count != 1 || len(metrics[1].Hist.Buckets) != 1 {
+		t.Errorf("hist did not round-trip: %+v", metrics[1])
+	}
+}

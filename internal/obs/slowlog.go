@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow-query span, stamped with the sequence
+// number of its admission to the log (monotonic across the log's
+// lifetime, so a reader polling Entries can tell new entries from ones
+// it has already seen even after the ring wraps).
+type SlowEntry struct {
+	Seq  uint64 `json:"seq"`
+	Span Span   `json:"span"`
+}
+
+// SlowLog is a bounded ring buffer of over-threshold request spans —
+// the always-on slow-query log. Writers pay one threshold comparison
+// per request and, only for retained spans, one short mutex-guarded
+// ring store; memory is fixed at capacity entries regardless of how
+// many slow requests ever occur. Safe for concurrent use.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next uint64 // sequence of the next retained span; ring[next%cap] is the oldest slot
+}
+
+// DefaultSlowLogSize is the ring capacity NewSlowLog(0, ·) selects.
+const DefaultSlowLogSize = 128
+
+// NewSlowLog returns a slow log retaining the most recent capacity
+// spans whose Total is at least threshold (capacity <= 0 selects
+// DefaultSlowLogSize). A zero threshold retains every observed span —
+// the trace-everything setting tests and interactive debugging use.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogSize
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the retention threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Cap returns the ring capacity.
+func (l *SlowLog) Cap() int { return len(l.ring) }
+
+// Observe offers one span to the log, retaining it (and evicting the
+// oldest entry once the ring is full) when its Total meets the
+// threshold. Reports whether the span was retained.
+func (l *SlowLog) Observe(sp Span) bool {
+	if sp.Total < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next%uint64(len(l.ring))] = SlowEntry{Seq: l.next, Span: sp}
+	l.next++
+	l.mu.Unlock()
+	return true
+}
+
+// Observed returns how many spans have ever been retained (including
+// entries since evicted by the ring).
+func (l *SlowLog) Observed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Entries snapshots the retained spans, newest first. The slice is the
+// caller's.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := min(l.next, uint64(len(l.ring)))
+	out := make([]SlowEntry, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		out = append(out, l.ring[(l.next-i)%uint64(len(l.ring))])
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSlowLogThreshold: only spans at or over the threshold are
+// retained, newest first.
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond)
+	if l.Threshold() != 10*time.Millisecond || l.Cap() != 8 {
+		t.Fatalf("threshold %v cap %d", l.Threshold(), l.Cap())
+	}
+	if l.Observe(Span{Class: "fast", Total: 9 * time.Millisecond}) {
+		t.Fatal("sub-threshold span retained")
+	}
+	if !l.Observe(Span{Class: "edge", Total: 10 * time.Millisecond}) {
+		t.Fatal("at-threshold span dropped")
+	}
+	if !l.Observe(Span{Class: "slow", Total: time.Second}) {
+		t.Fatal("over-threshold span dropped")
+	}
+	es := l.Entries()
+	if len(es) != 2 || es[0].Span.Class != "slow" || es[1].Span.Class != "edge" {
+		t.Fatalf("entries = %+v", es)
+	}
+	if es[0].Seq != 1 || es[1].Seq != 0 {
+		t.Fatalf("sequence numbers = %d, %d", es[0].Seq, es[1].Seq)
+	}
+	if l.Observed() != 2 {
+		t.Fatalf("observed = %d", l.Observed())
+	}
+	if NewSlowLog(0, 0).Cap() != DefaultSlowLogSize {
+		t.Fatal("zero capacity must select the default")
+	}
+}
+
+// TestSlowLogBounded: the ring never grows beyond its capacity no
+// matter how many spans land, and retains exactly the newest.
+func TestSlowLogBounded(t *testing.T) {
+	const capacity = 16
+	l := NewSlowLog(capacity, 0)
+	for i := 0; i < 10*capacity; i++ {
+		l.Observe(Span{Total: time.Duration(i)})
+	}
+	es := l.Entries()
+	if len(es) != capacity {
+		t.Fatalf("ring holds %d entries, cap %d", len(es), capacity)
+	}
+	for i, e := range es {
+		wantSeq := uint64(10*capacity - 1 - i)
+		if e.Seq != wantSeq || e.Span.Total != time.Duration(wantSeq) {
+			t.Fatalf("entry %d: seq %d total %v, want seq %d", i, e.Seq, e.Span.Total, wantSeq)
+		}
+	}
+}
+
+// TestSlowLogConcurrent: concurrent writers and readers race cleanly
+// (run under -race in CI) and every retained span is accounted for.
+func TestSlowLogConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 500
+	)
+	l := NewSlowLog(64, 100)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if es := l.Entries(); len(es) > l.Cap() {
+					t.Errorf("entries %d exceed cap %d", len(es), l.Cap())
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Half the spans are below the threshold of 100.
+				l.Observe(Span{Class: "w", Total: time.Duration(50 + 100*(i%2))})
+			}
+		}(w)
+	}
+	// Wait for the writers (wg also covers the reader, stopped below).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for l.Observed() < writers*perW/2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if got, want := l.Observed(), uint64(writers*perW/2); got != want {
+		t.Fatalf("observed %d spans, want %d", got, want)
+	}
+	es := l.Entries()
+	if len(es) != l.Cap() {
+		t.Fatalf("ring holds %d, want full cap %d", len(es), l.Cap())
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Seq != es[i-1].Seq-1 {
+			t.Fatalf("entries not contiguous newest-first: %d after %d", es[i].Seq, es[i-1].Seq)
+		}
+	}
+	for _, e := range es {
+		if e.Span.Total != 150 {
+			t.Fatalf("sub-threshold span retained: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Phase is one segment of a request's lifecycle. The serving tier
+// stamps every query with a duration per phase; the four phases
+// partition the end-to-end latency, so they sum to it (execution is
+// recorded net of kernel compute).
+type Phase int
+
+const (
+	// PhaseAdmission is the wait in the admission queue: submit to
+	// worker pickup.
+	PhaseAdmission Phase = iota
+	// PhaseLease is the snapshot-lease pin: acquiring (and possibly
+	// refreshing) the current lease generation.
+	PhaseLease
+	// PhaseExec is the query's execution on the worker net of kernel
+	// compute: reading the view, copying results, dispatch overhead.
+	PhaseExec
+	// PhaseKernel is the analytics kernel's own measured compute time
+	// (k-hop, top-k, PageRank refresh); zero for point reads.
+	PhaseKernel
+
+	// NumPhases is the phase count (sizing arrays).
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseAdmission:
+		return "admission"
+	case PhaseLease:
+		return "lease"
+	case PhaseExec:
+		return "exec"
+	case PhaseKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Phases is a per-phase duration breakdown.
+type Phases [NumPhases]time.Duration
+
+// Total sums the phases.
+func (p Phases) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p {
+		t += d
+	}
+	return t
+}
+
+// phasesJSON is the named-field JSON shape of a Phases breakdown.
+type phasesJSON struct {
+	AdmissionNs int64 `json:"admission_ns"`
+	LeaseNs     int64 `json:"lease_ns"`
+	ExecNs      int64 `json:"exec_ns"`
+	KernelNs    int64 `json:"kernel_ns"`
+}
+
+// MarshalJSON renders the breakdown with named phase fields.
+func (p Phases) MarshalJSON() ([]byte, error) {
+	return json.Marshal(phasesJSON{
+		AdmissionNs: p[PhaseAdmission].Nanoseconds(),
+		LeaseNs:     p[PhaseLease].Nanoseconds(),
+		ExecNs:      p[PhaseExec].Nanoseconds(),
+		KernelNs:    p[PhaseKernel].Nanoseconds(),
+	})
+}
+
+// UnmarshalJSON parses the named phase fields.
+func (p *Phases) UnmarshalJSON(data []byte) error {
+	var j phasesJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	p[PhaseAdmission] = time.Duration(j.AdmissionNs)
+	p[PhaseLease] = time.Duration(j.LeaseNs)
+	p[PhaseExec] = time.Duration(j.ExecNs)
+	p[PhaseKernel] = time.Duration(j.KernelNs)
+	return nil
+}
+
+// Span is one request's trace: what ran, when, how long end to end, and
+// where the time went. The serving tier fills one per query; spans over
+// the slow threshold are retained in the SlowLog with their breakdown.
+type Span struct {
+	// Class labels the request (the serving tier's query class).
+	Class string `json:"class"`
+	// Detail optionally narrows it (e.g. the subject vertex).
+	Detail string `json:"detail,omitempty"`
+	// Start is when the request was submitted.
+	Start time.Time `json:"start"`
+	// Total is the end-to-end latency, queue wait included.
+	Total time.Duration `json:"total_ns"`
+	// Phases is the per-phase breakdown; the phases sum to Total.
+	Phases Phases `json:"phases"`
+	// Gen is the lease generation the request was served from.
+	Gen uint64 `json:"gen,omitempty"`
+	// Err marks a request that failed.
+	Err bool `json:"err,omitempty"`
+}

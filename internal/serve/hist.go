@@ -1,124 +1,10 @@
 package serve
 
-import (
-	"math/bits"
-	"sync"
-	"time"
-)
+import "dgap/internal/obs"
 
-// histSubBits is the sub-bucket resolution of Hist: 2^histSubBits
-// sub-buckets per power of two, bounding the quantile error at
-// ~1/2^histSubBits of the reported value.
-const histSubBits = 3
-
-const histSub = 1 << histSubBits
-
-// histBuckets covers values up to 2^62 ns: histSub exact unit buckets
-// for tiny values plus histSub log sub-buckets per power of two above.
-const histBuckets = histSub + (63-histSubBits)*histSub
-
-// Hist is a concurrency-safe log-bucketed latency histogram — the
-// HDR-style shape services use for tail latency, sized down to one
-// small fixed array. Values below histSub nanoseconds are recorded
-// exactly; above, each power of two is split into histSub sub-buckets,
-// so quantiles are accurate to ~12%.
-type Hist struct {
-	mu      sync.Mutex
-	count   int64
-	sum     int64
-	max     int64
-	buckets [histBuckets]int64
-}
-
-// histBucket maps a nanosecond value to its bucket index.
-func histBucket(v int64) int {
-	if v < 0 {
-		v = 0
-	}
-	if v < histSub {
-		return int(v)
-	}
-	top := bits.Len64(uint64(v)) - 1 // v in [2^top, 2^top+1), top >= histSubBits
-	minor := int(v>>(top-histSubBits)) & (histSub - 1)
-	return histSub + (top-histSubBits)*histSub + minor
-}
-
-// histValue returns the midpoint of a bucket's value range, the value a
-// quantile reports for samples landing in it.
-func histValue(b int) int64 {
-	if b < histSub {
-		return int64(b)
-	}
-	g := (b - histSub) / histSub
-	minor := int64((b - histSub) % histSub)
-	top := g + histSubBits
-	width := int64(1) << (top - histSubBits)
-	lower := int64(1)<<top + minor*width
-	return lower + width/2
-}
-
-// Observe records one latency sample.
-func (h *Hist) Observe(d time.Duration) {
-	v := d.Nanoseconds()
-	b := histBucket(v)
-	h.mu.Lock()
-	h.count++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
-	h.buckets[b]++
-	h.mu.Unlock()
-}
-
-// Count returns the number of recorded samples.
-func (h *Hist) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
-
-// Mean returns the average recorded latency.
-func (h *Hist) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / h.count)
-}
-
-// Max returns the largest recorded latency exactly.
-func (h *Hist) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return time.Duration(h.max)
-}
-
-// Quantile returns the latency at quantile q in [0, 1] (0.5 = p50,
-// 0.99 = p99), or 0 when nothing has been recorded. The answer is the
-// midpoint of the bucket holding the q-th sample, clamped to the exact
-// recorded maximum — a bucket's midpoint can exceed the largest sample
-// that landed in it, and an unclamped answer would report p100 > Max.
-func (h *Hist) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(q * float64(h.count-1))
-	var seen int64
-	for b, n := range h.buckets {
-		seen += n
-		if n > 0 && seen > rank {
-			return time.Duration(min(histValue(b), h.max))
-		}
-	}
-	return time.Duration(h.max)
-}
+// Hist is the per-class latency histogram type, re-homed as obs.Hist so
+// the observability layer owns one histogram implementation with
+// snapshot/merge/exposition APIs. The alias keeps every existing caller
+// and test compiling during the migration; new code should name
+// obs.Hist directly.
+type Hist = obs.Hist

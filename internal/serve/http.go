@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"dgap/internal/obs"
+)
+
+// DebugMux returns the server's live introspection surface, ready to
+// hand to http.Serve on whatever listener the operator chose:
+//
+//	/metrics     every registered instrument, flat text (?format=json
+//	             or an Accept: application/json header selects JSON)
+//	/stats       the Stats() snapshot as JSON — the same shape
+//	             dgap-bench records per serve row
+//	/slow        the slow-query ring as JSON, newest first, each entry
+//	             carrying its per-phase trace span
+//	/debug/pprof the stdlib profiler endpoints
+//
+// The mux only reads: it holds no locks across requests and exposes no
+// mutation, so exposing it costs the serving path nothing beyond the
+// instruments it already maintains.
+func (s *Server) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(s.reg))
+	mux.Handle("/slow", obs.SlowLogHandler(s.slow))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		obs.WriteJSONResponse(w, s.Stats())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

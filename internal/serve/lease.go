@@ -33,6 +33,10 @@ type Lease struct {
 	// ops between two leases' cuts are exactly the mutations separating
 	// their snapshots. Zero when the server keeps no journal.
 	cut uint64
+	// released, when set, runs after the View is released — the hook
+	// the Server's outstanding-view gauge (serve.lease.outstanding)
+	// decrements through.
+	released func()
 }
 
 // Age returns how long ago the lease's snapshot was taken, measured on
@@ -47,6 +51,9 @@ func (l *Lease) Release() { l.unpin() }
 func (l *Lease) unpin() {
 	if n := l.refs.Add(-1); n == 0 {
 		l.View.Release()
+		if l.released != nil {
+			l.released()
+		}
 	} else if n < 0 {
 		panic("serve: lease over-released")
 	}
@@ -59,13 +66,31 @@ func (l *Lease) unpin() {
 // done with its View; queries submitted through Do/TrySubmit have this
 // done for them.
 func (s *Server) Acquire() *Lease {
+	l, _ := s.acquireTimed()
+	return l
+}
+
+// acquireTimed is Acquire plus the lease-pin trace phase: the returned
+// duration is the snapshot-refresh cost this call paid, measured only
+// when a mint actually happens (and obs is on) so the fast path — pin
+// an existing lease under a mutex, ~tens of nanoseconds — never pays a
+// clock read for a phase that would round to zero anyway. Queries that
+// ride an existing lease report PhaseLease 0 and the pin cost stays
+// inside PhaseExec; the query that triggers a refresh carries the whole
+// mint in its span, which is exactly the tail event worth seeing.
+func (s *Server) acquireTimed() (*Lease, time.Duration) {
+	var leaseDur time.Duration
 	s.leaseMu.Lock()
 	if s.leasesClosed.Load() {
 		s.leaseMu.Unlock()
-		return nil
+		return nil, 0
 	}
 	l := s.lease
 	if l == nil || s.staleLocked(l) {
+		var t0 time.Time
+		if s.obsOn {
+			t0 = s.cfg.Clock()
+		}
 		// Load the applied counter before taking the snapshot so edges
 		// racing with snapshot creation count toward the next refresh
 		// rather than silently extending this lease's budget.
@@ -91,17 +116,22 @@ func (s *Server) Acquire() *Lease {
 			now:       s.cfg.Clock,
 			appliedAt: appliedAt,
 			cut:       cut,
+			released:  func() { s.views.Add(-1) },
 		}
+		s.views.Add(1)
 		nl.refs.Store(1) // the Server's own reference, dropped on retire
 		if l != nil {
 			l.unpin()
 		}
 		s.lease = nl
 		l = nl
+		if s.obsOn {
+			leaseDur = s.cfg.Clock().Sub(t0)
+		}
 	}
 	l.refs.Add(1)
 	s.leaseMu.Unlock()
-	return l
+	return l, leaseDur
 }
 
 // staleLocked reports whether the lease has exceeded either staleness

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/obs"
+)
+
+// TestSpanPhasesPartitionLatency: under concurrent load (and -race),
+// every query's four trace phases — admission wait, lease pin,
+// execution, kernel compute — sum to within 5% of its end-to-end
+// latency. The phases are a partition of the measured span, so a
+// breakdown that doesn't re-add is an instrumentation bug, not noise.
+func TestSpanPhasesPartitionLatency(t *testing.T) {
+	const V = 128
+	edges := graphgen.Uniform(V, 8, 11)
+	g := buildDGAP(t, V, len(edges))
+	if err := g.InsertBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var checked int
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := Query{Class: Class(i % 4), V: graph.V((c*17 + i) % V), K: 2}
+				res := srv.Do(q)
+				if res.Err != nil {
+					t.Errorf("query failed: %v", res.Err)
+					return
+				}
+				sum, lat := res.Phases.Total(), res.Latency
+				diff := sum - lat
+				if diff < 0 {
+					diff = -diff
+				}
+				if slack := lat/20 + time.Microsecond; diff > slack {
+					t.Errorf("%v: phases %v sum to %v, latency %v (off by %v > %v)",
+						q.Class, res.Phases, sum, lat, diff, slack)
+					return
+				}
+				mu.Lock()
+				checked++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if checked == 0 {
+		t.Fatal("no spans checked")
+	}
+}
+
+// TestSlowLogCapturesSpans: a negative threshold retains every span, the
+// ring stays bounded at its configured capacity, entries come back
+// newest-first, and each retained span's phase breakdown re-adds to its
+// total.
+func TestSlowLogCapturesSpans(t *testing.T) {
+	const V = 64
+	edges := graphgen.Uniform(V, 6, 3)
+	g := buildDGAP(t, V, len(edges))
+	if err := g.InsertBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(g, Config{Workers: 1, SlowThreshold: -1, SlowLogSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if res := srv.Do(Query{Class: ClassDegree, V: graph.V(i % V)}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	l := srv.Slow()
+	if l == nil {
+		t.Fatal("Slow() = nil with obs on")
+	}
+	if got := l.Observed(); got != n {
+		t.Fatalf("Observed = %d, want %d (threshold<0 retains all)", got, n)
+	}
+	entries := l.Entries()
+	if len(entries) != 8 {
+		t.Fatalf("ring holds %d entries, want capacity 8", len(entries))
+	}
+	for i, e := range entries {
+		if i > 0 && e.Seq >= entries[i-1].Seq {
+			t.Fatalf("entries not newest-first: seq[%d]=%d after seq[%d]=%d", i, e.Seq, i-1, entries[i-1].Seq)
+		}
+		if e.Span.Class != "degree" {
+			t.Errorf("entry class %q, want degree", e.Span.Class)
+		}
+		if !strings.HasPrefix(e.Span.Detail, "v=") {
+			t.Errorf("degree span detail %q, want v=<vertex>", e.Span.Detail)
+		}
+		sum, tot := e.Span.Phases.Total(), e.Span.Total
+		diff := sum - tot
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tot/20+time.Microsecond {
+			t.Errorf("retained span phases %v vs total %v", sum, tot)
+		}
+	}
+}
+
+// TestSlowLogThresholdFilters: healthy queries below the threshold are
+// never retained.
+func TestSlowLogThresholdFilters(t *testing.T) {
+	srv, err := New(&fakeSys{}, Config{SlowThreshold: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		if res := srv.Do(Query{Class: ClassDegree}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if got := srv.Slow().Observed(); got != 0 {
+		t.Errorf("hour threshold retained %d spans", got)
+	}
+}
+
+// TestNoObsDisablesPerQueryPath: the ablation baseline serves correctly
+// with no slow log and zero phases, while the registry (and exposition)
+// still exists.
+func TestNoObsDisablesPerQueryPath(t *testing.T) {
+	srv, err := New(&fakeSys{}, Config{NoObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res := srv.Do(Query{Class: ClassDegree})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Phases.Total() != 0 {
+		t.Errorf("NoObs query carries phases %v", res.Phases)
+	}
+	if srv.Slow() != nil {
+		t.Error("NoObs server has a slow log")
+	}
+	if srv.Obs() == nil {
+		t.Fatal("NoObs server lost its registry")
+	}
+	found := false
+	for _, n := range srv.Obs().Names() {
+		if n == "serve.queue.depth" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("serve.queue.depth missing from NoObs registry")
+	}
+	if srv.Stats().Classes[ClassDegree].Count != 1 {
+		t.Error("latency histogram lost under NoObs")
+	}
+}
+
+// TestMetricsExposition: the debug mux's /metrics endpoint round-trips
+// every registered instrument — each name appears in the text format,
+// and the JSON format decodes to exactly the registered name set —
+// after real traffic has touched the serve, router, journal and backend
+// layers.
+func TestMetricsExposition(t *testing.T) {
+	const V = 96
+	edges := graphgen.Uniform(V, 8, 17)
+	g := buildDGAP(t, V, len(edges))
+	srv, err := New(g, Config{Workers: 2, IngestShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if res := srv.Do(Query{Class: ClassDegree, V: graph.V(i)}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if res := srv.Do(Query{Class: ClassKernel}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	names := srv.Obs().Names()
+	// Every layer registered: serve, router, journal, backend.
+	for _, want := range []string{
+		"serve.queue.depth", "serve.queue.wait", "serve.query.degree.latency",
+		"serve.lease.outstanding", "serve.kernel.path.full",
+		"workload.router.shard0.ops", "workload.router.batch.size",
+		"graph.journal.occupancy", "graph.journal.window",
+		"dgap.compact.count", "dgap.pma.log_appends", "dgap.snapshot.outstanding",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("instrument %q not registered", want)
+		}
+	}
+
+	mux := srv.DebugMux()
+
+	// Text exposition: every instrument name appears (histograms as
+	// derived name.count series).
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, n := range names {
+		if !strings.Contains(text, n+" ") && !strings.Contains(text, n+".count ") {
+			t.Errorf("instrument %q missing from text exposition", n)
+		}
+	}
+
+	// JSON exposition decodes to exactly the registered name set.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var ms []obs.Metric
+	if err := json.Unmarshal(rec.Body.Bytes(), &ms); err != nil {
+		t.Fatalf("/metrics?format=json: %v", err)
+	}
+	if len(ms) != len(names) {
+		t.Fatalf("JSON exposition has %d metrics, registry has %d", len(ms), len(names))
+	}
+	for i, m := range ms {
+		if m.Name != names[i] {
+			t.Errorf("JSON metric[%d] = %q, want %q", i, m.Name, names[i])
+		}
+		if m.Kind == "hist" && m.Hist == nil {
+			t.Errorf("hist %q has no snapshot in JSON", m.Name)
+		}
+	}
+
+	// /stats carries the Stats snapshot, queue fields included.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/stats: %v", err)
+	}
+	for _, k := range []string{"queue_depth", "in_flight", "shed_total", "applied", "classes"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("/stats missing %q", k)
+		}
+	}
+
+	// /slow serves a JSON array (empty here — nothing crossed the
+	// default threshold, or entries if something did).
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+	var slow []obs.SlowEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &slow); err != nil {
+		t.Fatalf("/slow: %v", err)
+	}
+
+	// /debug/pprof is mounted.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/: %d", rec.Code)
+	}
+}
+
+// TestLeaseOutstandingGauge: the outstanding-views gauge tracks minted
+// generations and drains to zero once the server closes.
+func TestLeaseOutstandingGauge(t *testing.T) {
+	srv, err := New(&fakeSys{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := srv.Do(Query{Class: ClassDegree}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := gaugeValue(t, srv.Obs(), "serve.lease.outstanding"); got != 1 {
+		t.Errorf("outstanding = %d with a live lease, want 1", got)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeValue(t, srv.Obs(), "serve.lease.outstanding"); got != 0 {
+		t.Errorf("outstanding = %d after Close, want 0", got)
+	}
+}
+
+func gaugeValue(t *testing.T, r *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("gauge %q not registered", name)
+	return 0
+}

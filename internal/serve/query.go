@@ -9,6 +9,7 @@ import (
 
 	"dgap/internal/analytics"
 	"dgap/internal/graph"
+	"dgap/internal/obs"
 )
 
 // Class is a query class; each class has its own latency histogram.
@@ -56,6 +57,22 @@ type Query struct {
 	V graph.V
 	// K is the hop bound (ClassKHop) or ranking size (ClassTopK).
 	K int
+}
+
+// detail renders the query's arguments for the slow-query log. Only
+// called for spans already selected for retention, so the formatting
+// cost never lands on a healthy query.
+func (q Query) detail() string {
+	switch q.Class {
+	case ClassDegree, ClassNeighbors:
+		return fmt.Sprintf("v=%d", q.V)
+	case ClassKHop:
+		return fmt.Sprintf("v=%d k=%d", q.V, q.K)
+	case ClassTopK:
+		return fmt.Sprintf("k=%d", q.K)
+	default:
+		return ""
+	}
 }
 
 // KernelPath records which path answered a ClassKernel query.
@@ -127,7 +144,11 @@ type Result struct {
 	Compute time.Duration
 	// Latency is the submit-to-completion time, queue wait included.
 	Latency time.Duration
-	Err     error
+	// Phases is the query's trace-span breakdown — admission wait,
+	// lease pin, execution (net of kernel compute), kernel compute —
+	// partitioning Latency. Zero when Config.NoObs disabled spans.
+	Phases obs.Phases
+	Err    error
 }
 
 // ErrBadVertex rejects queries naming a vertex outside the snapshot's
@@ -140,13 +161,14 @@ var ErrBadVertex = errors.New("serve: vertex out of range")
 // concurrent query can never tear this query's snapshot down; the
 // View's bulk fast path was resolved once when the lease was minted.
 func (s *Server) execute(q Query) Result {
-	l := s.Acquire()
+	l, leaseDur := s.acquireTimed()
 	if l == nil {
 		return Result{Query: q, Err: ErrClosed}
 	}
 	defer l.Release()
 	view := l.View
 	res := Result{Query: q, Gen: l.Gen, Edges: view.NumEdges()}
+	res.Phases[obs.PhaseLease] = leaseDur
 	if q.Class != ClassTopK && q.Class != ClassKernel && int(q.V) >= view.NumVertices() {
 		res.Err = fmt.Errorf("%w: %d >= %d", ErrBadVertex, q.V, view.NumVertices())
 		return res

@@ -272,8 +272,18 @@ func TestAdmissionControl(t *testing.T) {
 			t.Fatal(res.Err)
 		}
 	}
-	if got := srv.Stats().Rejected; got != int64(rejected) {
-		t.Errorf("Stats.Rejected = %d, want %d", got, rejected)
+	st := srv.Stats()
+	if st.Rejected != int64(rejected) {
+		t.Errorf("Stats.Rejected = %d, want %d", st.Rejected, rejected)
+	}
+	if st.ShedTotal != st.Rejected {
+		t.Errorf("Stats.ShedTotal = %d, want %d (canonical name for the same counter)", st.ShedTotal, st.Rejected)
+	}
+	if st.QueueDepth < 0 || st.QueueDepth > 1 {
+		t.Errorf("Stats.QueueDepth = %d with depth-1 queue", st.QueueDepth)
+	}
+	if st.InFlight < 0 || st.InFlight > 1 {
+		t.Errorf("Stats.InFlight = %d with one worker", st.InFlight)
 	}
 }
 

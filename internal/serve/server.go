@@ -10,6 +10,7 @@ import (
 
 	"dgap/internal/analytics"
 	"dgap/internal/graph"
+	"dgap/internal/obs"
 	"dgap/internal/vtime"
 	"dgap/internal/workload"
 )
@@ -23,6 +24,11 @@ const (
 	DefaultStalenessEdges = 4096
 	DefaultStalenessAge   = 200 * time.Millisecond
 )
+
+// DefaultSlowThreshold is the slow-query log's retention threshold when
+// Config.SlowThreshold is zero: an order of magnitude above a healthy
+// point query, low enough to catch every tail event worth a look.
+const DefaultSlowThreshold = 10 * time.Millisecond
 
 // Config shapes a Server.
 type Config struct {
@@ -84,6 +90,25 @@ type Config struct {
 	// incremental-vs-converged equivalence set it explicitly.
 	KernelEps float64
 
+	// SlowThreshold is the slow-query log's retention bound: a query
+	// whose end-to-end latency reaches it is retained in the bounded
+	// ring with its per-phase breakdown (admission wait, lease pin,
+	// execution, kernel compute). 0 selects DefaultSlowThreshold;
+	// negative retains every span — the trace-everything setting tests
+	// and interactive debugging use.
+	SlowThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring in entries
+	// (0 = obs.DefaultSlowLogSize). Memory is fixed at this capacity no
+	// matter how many slow queries ever occur.
+	SlowLogSize int
+	// NoObs disables the per-query observability hot path — trace
+	// spans, the slow-query log, the admission-wait histogram and the
+	// in-flight/queue-wait instruments — leaving only the pre-existing
+	// per-class latency histograms. This is the overhead ablation's
+	// baseline mode; the metrics registry itself still exists so
+	// exposition endpoints keep working.
+	NoObs bool
+
 	// Clock overrides the wall clock the server reads — lease ages for
 	// the MaxStalenessAge bound, latency observations, uptime. nil
 	// selects time.Now; tests inject a fake so age-driven refreshes are
@@ -118,6 +143,12 @@ func (c Config) defaults() Config {
 	}
 	if c.IngestBatch <= 0 {
 		c.IngestBatch = workload.DefaultBatchSize
+	}
+	switch {
+	case c.SlowThreshold == 0:
+		c.SlowThreshold = DefaultSlowThreshold
+	case c.SlowThreshold < 0:
+		c.SlowThreshold = 0
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -189,6 +220,62 @@ type Server struct {
 	// durations the analytics kernels measure and return (pure compute,
 	// no queue wait or lease acquisition), which used to be discarded.
 	compute [nClasses]*Hist
+
+	// reg is the server's metrics registry: every instrument above plus
+	// the router, journal, lease and backend instruments registered at
+	// New. Always non-nil, so exposition endpoints work in every mode.
+	reg *obs.Registry
+	// obsOn gates the per-query observability hot path (spans, slow
+	// log, queue-wait/in-flight observations); false under Config.NoObs.
+	obsOn bool
+	// slow is the bounded slow-query ring (nil under Config.NoObs).
+	slow *obs.SlowLog
+	// queueWait is the admission-wait histogram (serve.queue.wait),
+	// pre-resolved and sampled 1-in-queueWaitSample per worker so the
+	// mutex observe stays off the common path (the per-query span still
+	// carries the exact admission wait).
+	queueWait *obs.Hist
+	// slots holds one padded in-flight flag per worker, single-writer so
+	// the serve.query.inflight gauge costs the hot path two plain atomic
+	// stores instead of contended read-modify-writes; views counts lease
+	// Views minted but not yet released (retired-but-held generations
+	// included).
+	slots []workerSlot
+	views atomic.Int64
+
+	// since measures elapsed time from a timestamp taken on the server's
+	// clock. With the real clock it is time.Since — a monotonic-only
+	// read, about half the cost of time.Now on hosts with slow wall-clock
+	// reads — and the per-query hot path only ever needs durations, so it
+	// never pays for a wall reading it would throw away. With an injected
+	// Config.Clock it defers to that clock so fake-clock tests stay
+	// deterministic.
+	since func(time.Time) time.Duration
+}
+
+// workerSlot is one worker's in-flight flag, padded out to its own
+// cache line so the single-writer stores never false-share between
+// workers.
+type workerSlot struct {
+	busy atomic.Int64
+	_    [56]byte
+}
+
+// queueWaitSample is the admission-wait histogram's sampling stride:
+// each worker observes its first query and every queueWaitSample-th
+// after that. The distribution is position-sampled (queries don't know
+// their arrival index), so the histogram stays unbiased while the
+// common path pays no histogram mutex at all.
+const queueWaitSample = 8
+
+// inflightNow sums the per-worker in-flight flags — the value behind
+// the serve.query.inflight gauge and Stats.InFlight.
+func (s *Server) inflightNow() int64 {
+	var n int64
+	for i := range s.slots {
+		n += s.slots[i].busy.Load()
+	}
+	return n
 }
 
 type task struct {
@@ -200,6 +287,7 @@ type task struct {
 // New starts a Server over sys: the query workers launch immediately
 // and run until Close.
 func New(sys graph.System, cfg Config) (*Server, error) {
+	injected := cfg.Clock != nil
 	cfg = cfg.defaults()
 	if len(cfg.Sinks) != 0 && len(cfg.Sinks) != cfg.IngestShards {
 		return nil, fmt.Errorf("serve: %d sinks for %d ingest shards", len(cfg.Sinks), cfg.IngestShards)
@@ -211,13 +299,30 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 		queue: make(chan *task, cfg.QueueDepth),
 		born:  cfg.Clock(),
 	}
-	for c := range s.hist {
-		s.hist[c] = &Hist{}
-		s.compute[c] = &Hist{}
+	if injected {
+		clk := cfg.Clock
+		s.since = func(t time.Time) time.Duration { return clk().Sub(t) }
+	} else {
+		s.since = time.Since
 	}
+	s.reg = obs.NewRegistry()
+	s.obsOn = !cfg.NoObs
+	if s.obsOn {
+		s.slow = obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowThreshold)
+	}
+	// The per-class histograms live in the registry (one instrument per
+	// class and dimension) with the handles pre-resolved here, so the
+	// hot path never touches the registry map.
+	for c := Class(0); c < nClasses; c++ {
+		s.hist[c] = s.reg.Hist("serve.query." + c.String() + ".latency")
+		s.compute[c] = s.reg.Hist("serve.query." + c.String() + ".compute")
+	}
+	s.queueWait = s.reg.Hist("serve.queue.wait")
+	s.slots = make([]workerSlot, cfg.Workers)
 	if !cfg.NoIncremental {
 		s.journal = graph.NewJournal(cfg.DeltaWindow)
 	}
+	s.registerInstruments()
 	// The bounded worker pool is vtime.Pool in real goroutine mode: one
 	// ForRanges call whose unit ranges are the worker loops, so exactly
 	// cfg.Workers goroutines drain the queue for the Server's lifetime.
@@ -234,10 +339,97 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) worker(int) {
+// registerInstruments wires the serving tier's state into the metrics
+// registry. Everything here is a func-backed instrument reading atomics
+// the server already maintains (or a pre-registered histogram), so
+// registration costs the hot paths nothing; the backend registers its
+// own counters when it is obs.Instrumented.
+func (s *Server) registerInstruments() {
+	r := s.reg
+	r.GaugeFunc("serve.queue.depth", func() int64 { return int64(len(s.queue)) })
+	r.GaugeFunc("serve.queue.capacity", func() int64 { return int64(cap(s.queue)) })
+	r.CounterFunc("serve.queue.shed", s.rejected.Load)
+	r.GaugeFunc("serve.query.inflight", s.inflightNow)
+	r.CounterFunc("serve.ingest.applied", s.applied.Load)
+	r.CounterFunc("serve.kernel.path.full", s.kern.full.Load)
+	r.CounterFunc("serve.kernel.path.incremental", s.kern.incr.Load)
+	r.CounterFunc("serve.kernel.path.cached", s.kern.cached.Load)
+	r.CounterFunc("serve.kernel.delta_ops", s.kern.deltaOps.Load)
+	r.GaugeFunc("serve.lease.generation", func() int64 { return int64(s.gen.Load()) })
+	r.GaugeFunc("serve.lease.outstanding", s.views.Load)
+	r.GaugeFunc("serve.lease.age_ns", func() int64 {
+		s.leaseMu.Lock()
+		l := s.lease
+		s.leaseMu.Unlock()
+		if l == nil {
+			return 0
+		}
+		return l.Age().Nanoseconds()
+	})
+	if j := s.journal; j != nil {
+		r.GaugeFunc("graph.journal.occupancy", func() int64 { return int64(j.Stats().Len) })
+		r.GaugeFunc("graph.journal.window", func() int64 { return int64(j.Window()) })
+		r.CounterFunc("graph.journal.recorded", func() int64 { return j.Stats().Recorded })
+		r.CounterFunc("graph.journal.invalidations", func() int64 { return j.Stats().Invalidations })
+		r.CounterFunc("graph.journal.overflows", func() int64 { return j.Stats().Overflows })
+	}
+	if in, ok := s.sys.(obs.Instrumented); ok {
+		in.RegisterObs(r)
+	}
+}
+
+// Obs returns the server's metrics registry — the exposition surface
+// DebugMux and the STATS protocol command read. Never nil.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Slow returns the slow-query log, or nil when Config.NoObs disabled
+// the per-query observability path.
+func (s *Server) Slow() *obs.SlowLog { return s.slow }
+
+func (s *Server) worker(w int) {
+	slot := &s.slots[w]
+	sampled := 0
 	for t := range s.queue {
+		if !s.obsOn {
+			res := s.execute(t.q)
+			res.Latency = s.since(t.enq)
+			s.hist[t.q.Class].Observe(res.Latency)
+			t.done <- res
+			continue
+		}
+		wait := s.since(t.enq)
+		if sampled == 0 {
+			s.queueWait.Observe(wait)
+			sampled = queueWaitSample
+		}
+		sampled--
+		slot.busy.Store(1)
 		res := s.execute(t.q)
-		res.Latency = s.cfg.Clock().Sub(t.enq)
+		res.Latency = s.since(t.enq)
+		slot.busy.Store(0)
+		// The four phases partition the latency: admission is the queue
+		// wait, lease was stamped by execute, kernel is the analytics
+		// kernel's own measured compute, and exec is the remainder
+		// (clamped — the kernel clocks itself, so sub-nanosecond skew
+		// against the server clock cannot drive the remainder negative).
+		res.Phases[obs.PhaseAdmission] = wait
+		res.Phases[obs.PhaseKernel] = res.Compute
+		exec := res.Latency - wait - res.Phases[obs.PhaseLease] - res.Compute
+		if exec < 0 {
+			exec = 0
+		}
+		res.Phases[obs.PhaseExec] = exec
+		if res.Latency >= s.slow.Threshold() {
+			s.slow.Observe(obs.Span{
+				Class:  t.q.Class.String(),
+				Detail: t.q.detail(),
+				Start:  t.enq,
+				Total:  res.Latency,
+				Phases: res.Phases,
+				Gen:    res.Gen,
+				Err:    res.Err != nil,
+			})
+		}
 		s.hist[t.q.Class].Observe(res.Latency)
 		t.done <- res
 	}
@@ -309,8 +501,17 @@ func (s *Server) sinks(n int) []graph.Applier {
 // queries; concurrent Ingest calls are safe when the sinks are (the
 // shared Store path serializes on the system's own locks).
 func (s *Server) Ingest(edges []graph.Edge) (workload.InsertResult, error) {
-	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
+	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope, Obs: s.routerObs()}
 	return rt.Run(s.sinks(rt.Shards), edges)
+}
+
+// routerObs is the registry ingest routers record into (per-shard op
+// throughput, batch sizes), nil when the observability hot path is off.
+func (s *Server) routerObs() *obs.Registry {
+	if !s.obsOn {
+		return nil
+	}
+	return s.reg
 }
 
 // IngestOps streams a mixed insert/delete stream underneath the
@@ -344,7 +545,7 @@ func (s *Server) IngestOps(ops []graph.Op) (workload.InsertResult, error) {
 			}
 		}
 	}
-	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope}
+	rt := workload.Router{Shards: s.cfg.IngestShards, BatchSize: s.cfg.IngestBatch, Scope: s.cfg.Scope, Obs: s.routerObs()}
 	return rt.RunOps(s.sinks(rt.Shards), ops)
 }
 
@@ -414,22 +615,22 @@ func (s *Server) Close() error {
 
 // ClassStats summarizes one query class's latency histogram.
 type ClassStats struct {
-	Class string
-	Count int64
-	P50   time.Duration
-	P99   time.Duration
-	P999  time.Duration
-	Max   time.Duration
-	Mean  time.Duration
-	QPS   float64 // completed queries per second of server uptime
+	Class string        `json:"class"`
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	QPS   float64       `json:"qps"` // completed queries per second of server uptime
 
 	// Compute summarizes the class's kernel compute-time histogram —
 	// the duration the analytics kernel itself measured, excluding
 	// queue wait and lease acquisition. Zero for classes that run no
 	// kernel (degree, neighbors).
-	ComputeP50  time.Duration
-	ComputeP99  time.Duration
-	ComputeMean time.Duration
+	ComputeP50  time.Duration `json:"compute_p50_ns,omitempty"`
+	ComputeP99  time.Duration `json:"compute_p99_ns,omitempty"`
+	ComputeMean time.Duration `json:"compute_mean_ns,omitempty"`
 }
 
 // KernelStats counts which path each ClassKernel query was answered
@@ -438,25 +639,37 @@ type KernelStats struct {
 	// Full counts full recomputes: the baseline path (NoIncremental),
 	// maintainer (re)builds, and fallbacks on overflowed deltas or
 	// over-budget updates.
-	Full int64
+	Full int64 `json:"full"`
 	// Incremental counts refreshes answered by advancing the maintained
 	// vector with a generation delta.
-	Incremental int64
+	Incremental int64 `json:"incremental"`
 	// Cached counts queries answered from the maintained vector without
 	// any recompute (lease generation already synced).
-	Cached int64
+	Cached int64 `json:"cached"`
 	// DeltaOps totals the journal ops consumed by incremental refreshes.
-	DeltaOps int64
+	DeltaOps int64 `json:"delta_ops"`
 }
 
 // Stats is a point-in-time view of the Server's serving metrics.
 type Stats struct {
-	Uptime      time.Duration
-	Applied     int64
-	Generations uint64
-	Rejected    int64
-	Kernel      KernelStats
-	Classes     []ClassStats // indexed by Class, ClassDegree..ClassKernel
+	Uptime      time.Duration `json:"uptime_ns"`
+	Applied     int64         `json:"applied"`
+	Generations uint64        `json:"generations"`
+	// Rejected is the shed count; ShedTotal is its canonical name (the
+	// two report the same counter during the migration).
+	Rejected int64 `json:"rejected"`
+	// QueueDepth is the admission queue's occupancy at the snapshot:
+	// queries accepted but not yet picked up by a worker.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of queries executing on workers at the
+	// snapshot.
+	InFlight int64 `json:"in_flight"`
+	// ShedTotal counts queries shed by TrySubmit with ErrOverloaded
+	// since the server started.
+	ShedTotal int64       `json:"shed_total"`
+	Kernel    KernelStats `json:"kernel"`
+	// Classes is indexed by Class, ClassDegree..ClassKernel.
+	Classes []ClassStats `json:"classes"`
 }
 
 // Stats snapshots the serving metrics.
@@ -466,6 +679,9 @@ func (s *Server) Stats() Stats {
 		Applied:     s.applied.Load(),
 		Generations: s.gen.Load(),
 		Rejected:    s.rejected.Load(),
+		QueueDepth:  len(s.queue),
+		InFlight:    s.inflightNow(),
+		ShedTotal:   s.rejected.Load(),
 		Kernel: KernelStats{
 			Full:        s.kern.full.Load(),
 			Incremental: s.kern.incr.Load(),

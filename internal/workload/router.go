@@ -6,6 +6,7 @@ import (
 
 	"dgap/internal/dgap"
 	"dgap/internal/graph"
+	"dgap/internal/obs"
 	"dgap/internal/vtime"
 )
 
@@ -64,6 +65,13 @@ type Router struct {
 	Shards    int
 	BatchSize int
 	Scope     LockScope
+	// Obs, when set, receives the router's dispatch instruments:
+	// workload.router.shard<i>.ops (per-shard op throughput),
+	// workload.router.batch.size (dispatch batch sizes, in ops) and
+	// workload.router.batches (dispatch calls). Handles are resolved
+	// once per dispatch call, so the per-batch cost is one atomic add
+	// and one histogram observation.
+	Obs *obs.Registry
 }
 
 // opBatch is one dispatch unit: a shard-local op slice plus the
@@ -139,12 +147,30 @@ func (rt Router) dispatch(sinks []graph.Applier, ops []graph.Op, insertOnly bool
 	if len(sinks) != rt.Shards {
 		return InsertResult{}, fmt.Errorf("workload: %d sinks for %d shards", len(sinks), rt.Shards)
 	}
+	// Pre-resolve the dispatch instruments once per call; nil Obs costs
+	// the batch loop nothing but a pointer check.
+	var shardOps []*obs.Counter
+	var batchSize *obs.Hist
+	var batches *obs.Counter
+	if rt.Obs != nil {
+		shardOps = make([]*obs.Counter, rt.Shards)
+		for i := range shardOps {
+			shardOps[i] = rt.Obs.Counter(fmt.Sprintf("workload.router.shard%d.ops", i))
+		}
+		batchSize = rt.Obs.Hist("workload.router.batch.size")
+		batches = rt.Obs.Counter("workload.router.batches")
+	}
 	r := vtime.NewRunner(rt.Shards)
 	err := causalDrive(r, rt.batches(ops, insertOnly),
 		func(b opBatch) []int { return b.res },
 		func(th int, b opBatch) error {
 			if err := sinks[th].ApplyOps(b.ops); err != nil {
 				return &ShardError{Shard: th, Err: err}
+			}
+			if rt.Obs != nil {
+				shardOps[th].Add(int64(len(b.ops)))
+				batchSize.ObserveValue(int64(len(b.ops)))
+				batches.Inc()
 			}
 			return nil
 		})
