@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dgap-bench -exp fig6 -scale 0.0005     one paper experiment
+//	dgap-bench -exp fig6 -scale-factor 0.0005   one paper experiment
 //	dgap-bench -exp all -datasets small    every experiment, small graphs
 //	dgap-bench -list                       list experiment ids
 //	dgap-bench -json                       kernel timings   -> BENCH_kernels.json
@@ -12,6 +12,7 @@
 //	dgap-bench -serve                      mixed read/write -> BENCH_serve.json
 //	dgap-bench -churn                      insert+delete    -> BENCH_churn.json
 //	dgap-bench -recover                    crash restart    -> BENCH_recover.json
+//	dgap-bench -scale                      shard scaling    -> BENCH_scale.json
 //	dgap-bench -ingest -serve -churn -tiny CI smoke scale   -> BENCH_*_tiny.json
 //
 // The JSON dumps are the cross-PR perf trajectory: -json times the four
@@ -27,7 +28,10 @@
 // space), and -recover kills the serving stack mid-churn at every
 // injected crash point, chaos-crashes the arena (seeded by -crashseed),
 // reopens, and records restart-to-first-query and restart-to-full-QPS
-// per point. -tiny shrinks any of them to CI smoke scale AND diverts the
+// per point, and -scale serves the same churn workload over a
+// graph.Cluster of 1/2/4 DGAP partitions next to the plain single-Store
+// baseline (routed ingest MEPS, point-query p50/p99, kernel refresh
+// latency per shard count). -tiny shrinks any of them to CI smoke scale AND diverts the
 // output to BENCH_*_tiny.json: the committed BENCH_*.json artifacts are
 // generated at pinned scales, and a smoke run must never overwrite
 // them.
@@ -48,7 +52,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1a, fig1b, fig1c, fig5, fig6, tab3, fig7, fig8, tab4, tab5, fig9, recovery, all)")
-	scale := flag.Float64("scale", 0.0005, "dataset scale factor relative to Table 2 sizes")
+	scale := flag.Float64("scale-factor", 0.0005, "dataset scale factor relative to Table 2 sizes")
 	datasets := flag.String("datasets", "", "comma-separated dataset subset (or 'small'); empty = experiment default")
 	seed := flag.Int64("seed", 42, "generator seed")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -59,6 +63,7 @@ func main() {
 	churn := flag.Bool("churn", false, "run the sliding-window churn experiment (batched deletes, tombstone compaction, post-churn space) and write BENCH_churn.json; combines with the other dumps")
 	recoverExp := flag.Bool("recover", false, "run the crash-recovery experiment (kill the serving stack at every crash point, chaos-crash, reopen, measure restart-to-first-query and restart-to-full-QPS) and write BENCH_recover.json; combines with the other dumps")
 	crashSeed := flag.Int64("crashseed", 0, "base seed for the recovery experiment's chaotic power cuts (0 = fixed default); derived per-point seeds are printed on failure")
+	scaleExp := flag.Bool("scale", false, "run the shard-count scaling experiment (the same served churn workload over a graph.Cluster of 1/2/4 DGAP partitions vs the plain single-Store baseline) and write BENCH_scale.json; combines with the other dumps")
 	tiny := flag.Bool("tiny", false, "CI smoke scale: small datasets at a minimal scale factor; JSON dumps go to BENCH_*_tiny.json so committed artifacts are never overwritten")
 	flag.Parse()
 
@@ -108,13 +113,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scaleExp {
+		if err := bench.ScaleJSON(opt, bench.ArtifactPath("BENCH_scale.json", *tiny)); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		if err := bench.KernelJSON(opt, bench.ArtifactPath("BENCH_kernels.json", *tiny)); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
 			os.Exit(1)
 		}
 	}
-	if *ingest || *serveExp || *churn || *recoverExp || *jsonOut {
+	if *ingest || *serveExp || *churn || *recoverExp || *scaleExp || *jsonOut {
 		return
 	}
 	if *exp == "all" {

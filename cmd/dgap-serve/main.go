@@ -7,6 +7,7 @@
 //
 //	dgap-serve                          serve DGAP on the tiny orkut preset
 //	dgap-serve -system XPGraph -scale 0.0005 -dataset livejournal
+//	dgap-serve -shards 4                serve a 4-partition graph.Cluster
 //	echo -e "topk 5\nstats" | dgap-serve
 //
 // Protocol (one command per line, one reply per command):
@@ -59,24 +60,25 @@ import (
 
 func main() {
 	system := flag.String("system", "DGAP", "graph system to serve (DGAP, BAL, LLAMA, GraphOne-FD, XPGraph)")
+	clusterShards := flag.Int("shards", 1, "graph partitions: >1 serves a graph.Cluster of that many -system members (composite views, per-shard instruments)")
 	dataset := flag.String("dataset", "orkut", "dataset preset to preload")
 	scale := flag.Float64("scale", 0.00005, "dataset scale factor relative to Table 2 sizes")
 	seed := flag.Int64("seed", 42, "generator seed")
 	workers := flag.Int("workers", 4, "query worker goroutines")
-	shards := flag.Int("shards", 4, "router ingest shards")
+	shards := flag.Int("ingest-shards", 4, "router ingest shards")
 	stalenessEdges := flag.Int64("staleness-edges", serve.DefaultStalenessEdges, "refresh the snapshot lease after this many applied edges (negative disables)")
 	stalenessAge := flag.Duration("staleness-age", serve.DefaultStalenessAge, "refresh the snapshot lease at this wall-clock age (negative disables)")
 	httpAddr := flag.String("http", "", "serve /metrics, /stats, /slow and /debug/pprof on this address (empty disables)")
 	slowThr := flag.Duration("slow-threshold", serve.DefaultSlowThreshold, "retain queries at or above this latency in the slow-query log (negative retains all)")
 	flag.Parse()
 
-	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *stalenessEdges, *stalenessAge, *httpAddr, *slowThr); err != nil {
+	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *clusterShards, *stalenessEdges, *stalenessAge, *httpAddr, *slowThr); err != nil {
 		fmt.Fprintln(os.Stderr, "dgap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, dataset string, scale float64, seed int64, workers, shards int, stalenessEdges int64, stalenessAge time.Duration, httpAddr string, slowThr time.Duration) error {
+func run(system, dataset string, scale float64, seed int64, workers, shards, clusterShards int, stalenessEdges int64, stalenessAge time.Duration, httpAddr string, slowThr time.Duration) error {
 	spec, err := graphgen.Preset(dataset)
 	if err != nil {
 		return err
@@ -84,8 +86,21 @@ func run(system, dataset string, scale float64, seed int64, workers, shards int,
 	edges := spec.Generate(scale, seed)
 	nVert := graphgen.MaxVertex(edges)
 	// Room for interactive ingest beyond the preloaded stream.
-	sys, err := buildSystem(system, nVert, 4*len(edges))
-	if err != nil {
+	var sys graph.System
+	if clusterShards > 1 {
+		// A Cluster opens like any Store: serve.New sees one System,
+		// leases pin composite views, and each member registers its
+		// backend instruments under a shard<i> instance scope.
+		members := make([]graph.System, clusterShards)
+		for i := range members {
+			if members[i], err = buildSystem(system, nVert, 4*len(edges)); err != nil {
+				return err
+			}
+		}
+		if sys, err = graph.NewCluster(members, nil); err != nil {
+			return err
+		}
+	} else if sys, err = buildSystem(system, nVert, 4*len(edges)); err != nil {
 		return err
 	}
 	if err := graph.Open(sys).Apply(graph.Inserts(edges)); err != nil {

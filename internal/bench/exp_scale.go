@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/obs"
+	"dgap/internal/serve"
+	"dgap/internal/workload"
+)
+
+// scaleShardCounts is the shard-count axis of the scaling curve: the
+// same served churn workload over a 1-, 2- and 4-way graph.Cluster of
+// DGAP partitions, next to the plain single-Store path as the
+// no-composite baseline the 1-shard row must match within noise.
+var scaleShardCounts = []int{1, 2, 4}
+
+// scaleMaxRounds bounds one row's churn/query loop at tiny scales.
+const scaleMaxRounds = 256
+
+// scaleQueriesPerRound is the point-query batch issued after every
+// ingested churn chunk.
+const scaleQueriesPerRound = 32
+
+// scaleKernelEvery is the round cadence of kernel-refresh queries.
+const scaleKernelEvery = 4
+
+// ScaleResult is one shard-count scaling row: routed mixed-churn ingest
+// throughput (virtual makespan MEPS), served point-query latency and
+// kernel refresh compute over the composite view, with churn underneath
+// throughout.
+type ScaleResult struct {
+	Graph  string `json:"graph"`
+	System string `json:"system"`
+	// Mode is "store" for the plain single-Store baseline, "cluster"
+	// for graph.Cluster rows (including the 1-shard composite).
+	Mode            string  `json:"mode"`
+	Shards          int     `json:"shards"`
+	ChurnOps        int     `json:"churn_ops"`
+	IngestVirtualNs int64   `json:"ingest_virtual_ns"`
+	MEPS            float64 `json:"meps"`
+	Queries         int     `json:"queries"`
+	QueryP50Ns      int64   `json:"query_p50_ns"`
+	QueryP99Ns      int64   `json:"query_p99_ns"`
+	Refreshes       int     `json:"refreshes"`
+	RefreshP50Ns    int64   `json:"kernel_refresh_p50_ns"`
+	RefreshMeanNs   int64   `json:"kernel_refresh_mean_ns"`
+	FinalEdges      int64   `json:"final_edges"`
+}
+
+// ScaleDump is the BENCH_scale.json schema.
+type ScaleDump struct {
+	Scale   float64       `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Results []ScaleResult `json:"results"`
+}
+
+// ScaleJSON measures the shard-count scaling curves and writes
+// BENCH_scale.json: per dataset, a plain-Store DGAP baseline plus a
+// graph.Cluster of 1/2/4 DGAP partitions, all serving the same mixed
+// mirrored churn with point queries and periodic kernel refreshes on
+// top. Every row uses the identical shared-sink ingest path and
+// vertex-granular router scope, so rows differ only in how the store
+// is partitioned.
+func ScaleJSON(o Options, path string) error {
+	o = o.defaults()
+	dump := ScaleDump{Scale: o.Scale, Seed: o.Seed}
+	for _, spec := range o.specs() {
+		edges := dataset(spec, o)
+		nVert := graphgen.MaxVertex(edges)
+		res, err := measureScale(nVert, edges, 1, false, o)
+		if err != nil {
+			return fmt.Errorf("scale %s/store: %w", spec.Name, err)
+		}
+		res.Graph = spec.Name
+		dump.Results = append(dump.Results, res)
+		for _, shards := range scaleShardCounts {
+			res, err := measureScale(nVert, edges, shards, true, o)
+			if err != nil {
+				return fmt.Errorf("scale %s/cluster%d: %w", spec.Name, shards, err)
+			}
+			res.Graph = spec.Name
+			dump.Results = append(dump.Results, res)
+		}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "wrote %d scaling rows to %s\n", len(dump.Results), path)
+	scaleTable(o, dump.Results)
+	return nil
+}
+
+// measureScale runs one row: preload the warm split, then serve rounds
+// of {churn chunk, point-query batch, periodic kernel refresh} and
+// report routed-ingest MEPS (virtual makespan), query p50/p99 and
+// refresh compute quantiles.
+func measureScale(nVert int, edges []graph.Edge, shards int, cluster bool, o Options) (ScaleResult, error) {
+	out := ScaleResult{Mode: "store", Shards: shards}
+	var sys graph.System
+	if cluster {
+		out.Mode = "cluster"
+		members := make([]graph.System, shards)
+		for i := range members {
+			m, _, err := buildSystem("DGAP", nVert, len(edges), o.Latency)
+			if err != nil {
+				return out, err
+			}
+			members[i] = m
+		}
+		c, err := graph.NewCluster(members, nil)
+		if err != nil {
+			return out, err
+		}
+		sys = c
+	} else {
+		m, _, err := buildSystem("DGAP", nVert, len(edges), o.Latency)
+		if err != nil {
+			return out, err
+		}
+		sys = m
+	}
+	out.System = sys.Name()
+
+	store := graph.Open(sys)
+	warm, timed := workload.Split(edges)
+	if err := store.Apply(graph.Inserts(warm)); err != nil {
+		return out, err
+	}
+	churn := symmetricChurnOps(timed)
+	opsPerRound := max(len(churn)/scaleMaxRounds, 512)
+
+	cfg := serve.Config{
+		MaxStalenessEdges: int64(opsPerRound),
+		MaxStalenessAge:   -1,
+		Workers:           1,
+		IngestShards:      serveShards,
+		IngestBatch:       workload.AdaptiveBatchSize(len(edges)),
+		// Vertex-granular routing for every row — plain and composite —
+		// so the virtual-time contention model is identical across the
+		// shard-count axis and rows differ only in store partitioning.
+		Scope:       workload.ScopeVertex,
+		DeltaWindow: 2*opsPerRound + 1024,
+	}
+	srv, err := serve.New(sys, cfg)
+	if err != nil {
+		return out, err
+	}
+	defer srv.Close()
+
+	// Prime the kernel maintainer outside the measurement.
+	if res := srv.Do(serve.Query{Class: serve.ClassKernel}); res.Err != nil {
+		return out, res.Err
+	}
+
+	var queries, computes obs.Hist
+	var virtual time.Duration
+	for round := 0; len(churn) >= opsPerRound && round < scaleMaxRounds; round++ {
+		chunk := churn[:opsPerRound]
+		churn = churn[opsPerRound:]
+		ir, err := srv.IngestOps(chunk)
+		if err != nil {
+			return out, err
+		}
+		virtual += ir.Elapsed
+		out.ChurnOps += len(chunk)
+
+		for q := 0; q < scaleQueriesPerRound; q++ {
+			i := round*scaleQueriesPerRound + q
+			v := graph.V(uint32(i*2654435761) % uint32(nVert))
+			var qu serve.Query
+			switch {
+			case i%4 == 3:
+				qu = serve.Query{Class: serve.ClassKHop, V: v, K: 2}
+			case i%2 == 0:
+				qu = serve.Query{Class: serve.ClassDegree, V: v}
+			default:
+				qu = serve.Query{Class: serve.ClassNeighbors, V: v}
+			}
+			t0 := time.Now()
+			if res := srv.Do(qu); res.Err != nil {
+				return out, res.Err
+			}
+			queries.Observe(time.Since(t0))
+			out.Queries++
+		}
+
+		if round%scaleKernelEvery == scaleKernelEvery-1 {
+			res := srv.Do(serve.Query{Class: serve.ClassKernel})
+			if res.Err != nil {
+				return out, res.Err
+			}
+			computes.Observe(res.Compute)
+			out.Refreshes++
+		}
+	}
+
+	out.IngestVirtualNs = virtual.Nanoseconds()
+	if virtual > 0 {
+		out.MEPS = float64(out.ChurnOps) / virtual.Seconds() / 1e6
+	}
+	out.QueryP50Ns = queries.Quantile(0.50).Nanoseconds()
+	out.QueryP99Ns = queries.Quantile(0.99).Nanoseconds()
+	if out.Refreshes > 0 {
+		out.RefreshP50Ns = computes.Quantile(0.50).Nanoseconds()
+		out.RefreshMeanNs = computes.Mean().Nanoseconds()
+	}
+	v := store.View()
+	out.FinalEdges = v.NumEdges()
+	v.Release()
+	return out, nil
+}
+
+func scaleTable(o Options, rows []ScaleResult) {
+	fmt.Fprintf(o.Out, "\n%-14s %-8s %6s %10s %12s %12s %12s\n",
+		"graph", "mode", "shards", "meps", "q_p50_us", "q_p99_us", "refresh_us")
+	for _, r := range rows {
+		fmt.Fprintf(o.Out, "%-14s %-8s %6d %10.3f %12.1f %12.1f %12.1f\n",
+			r.Graph, r.Mode, r.Shards, r.MEPS,
+			float64(r.QueryP50Ns)/1e3, float64(r.QueryP99Ns)/1e3,
+			float64(r.RefreshP50Ns)/1e3)
+	}
+}

@@ -1,0 +1,390 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dgap/internal/obs"
+)
+
+// Cluster federates N member Systems into one System: each member is
+// opened as its own Store partition, ops are placed by source-vertex
+// ownership (see Partitioner), and Snapshot pins one snapshot per shard
+// at a consistent op-stream cut. A Cluster is opened like any backend —
+// graph.Open(cluster) — and reports only the capability intersection of
+// its members (via CapsReporter), so composing a delete-incapable
+// member truthfully strips CapDelete from the whole.
+//
+// Consistency contract: ApplyOps holds the cut bracket in read mode for
+// the entire multi-shard dispatch, and Snapshot holds it in write mode
+// while snapshotting every member. A composite view therefore observes
+// every Apply batch entirely or not at all — an edge's insert on one
+// shard is never visible while its mirror on another shard is still in
+// flight. This is the same bracket discipline serve.Server's ingest
+// lock applies one level up; the Cluster enforces it internally so that
+// direct Store users get it too.
+type Cluster struct {
+	stores []*Store
+	part   Partitioner
+	name   string
+	caps   Caps
+
+	// mu is the consistent-cut bracket: writers (ApplyOps, InsertEdge)
+	// hold it in read mode across their whole multi-shard dispatch;
+	// Snapshot and Checkpoint hold it in write mode. Member stores
+	// still provide their own internal synchronization — the bracket
+	// only orders multi-shard dispatch against composite cuts.
+	mu sync.RWMutex
+
+	// gens[i] counts acknowledged dispatches into shard i; the vector
+	// captured at Snapshot time names the composite cut (ClusterView.Gens).
+	gens []atomic.Uint64
+	// ops[i] counts acknowledged ops applied to shard i (observability).
+	ops []atomic.Int64
+}
+
+// NewCluster opens every member as a Store partition under p (nil means
+// BlockCyclic with the default block). Members must be distinct
+// instances; at least one is required.
+func NewCluster(members []System, p Partitioner) (*Cluster, error) {
+	if len(members) == 0 {
+		return nil, errors.New("graph: cluster needs at least one member")
+	}
+	if p == nil {
+		p = BlockCyclic{}
+	}
+	c := &Cluster{
+		part:   p,
+		stores: make([]*Store, len(members)),
+		gens:   make([]atomic.Uint64, len(members)),
+		ops:    make([]atomic.Int64, len(members)),
+	}
+	names := make([]string, len(members))
+	uniform := true
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("graph: cluster member %d is nil", i)
+		}
+		c.stores[i] = Open(m)
+		names[i] = m.Name()
+		if names[i] != names[0] {
+			uniform = false
+		}
+	}
+	if uniform {
+		c.name = fmt.Sprintf("Cluster[%sx%d]", names[0], len(members))
+	} else {
+		c.name = "Cluster[" + strings.Join(names, ",") + "]"
+	}
+	caps := c.stores[0].Caps()
+	for _, st := range c.stores[1:] {
+		caps &= st.Caps()
+	}
+	c.caps = caps
+	return c, nil
+}
+
+// Name reports the composite identity, e.g. "Cluster[DGAPx4]".
+func (c *Cluster) Name() string { return c.name }
+
+// Shards reports the partition count.
+func (c *Cluster) Shards() int { return len(c.stores) }
+
+// Shard exposes member i's Store — for tests and shard-local
+// introspection, not for routing writes around the Cluster (doing so
+// bypasses the consistent-cut bracket).
+func (c *Cluster) Shard(i int) *Store { return c.stores[i] }
+
+// Partitioner reports the placement in force.
+func (c *Cluster) Partitioner() Partitioner { return c.part }
+
+// StoreCaps reports the truthful intersection of member capabilities;
+// graph.Open consults it (CapsReporter) to mask the bits the composite
+// surface would otherwise claim.
+func (c *Cluster) StoreCaps() Caps { return c.caps }
+
+// Gens returns the current per-shard generation vector (a copy).
+func (c *Cluster) Gens() []uint64 {
+	g := make([]uint64, len(c.gens))
+	for i := range c.gens {
+		g[i] = c.gens[i].Load()
+	}
+	return g
+}
+
+// InsertEdge routes one edge to its owner shard under the cut bracket.
+func (c *Cluster) InsertEdge(src, dst V) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh := c.part.Owner(src, len(c.stores))
+	if err := c.stores[sh].sys.InsertEdge(src, dst); err != nil {
+		return fmt.Errorf("graph: cluster shard %d: %w", sh, err)
+	}
+	c.gens[sh].Add(1)
+	c.ops[sh].Add(1)
+	return nil
+}
+
+// ApplyOps splits a mixed op stream per shard (preserving per-shard
+// stream order) and dispatches every partition under one cut bracket,
+// so no composite snapshot can observe the batch half-applied. Deletes
+// are rejected up front when any member lacks CapDelete — before any
+// shard has been mutated.
+func (c *Cluster) ApplyOps(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if !c.caps.Has(CapDelete) {
+		for _, o := range ops {
+			if o.Del {
+				return fmt.Errorf("graph: %s: %w", c.name, ErrDeletesUnsupported)
+			}
+		}
+	}
+	n := len(c.stores)
+	parts := PartitionOps(ops, n, RouteByOwner(n, c.part))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for sh, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		if err := c.stores[sh].Apply(p); err != nil {
+			return fmt.Errorf("graph: cluster shard %d: %w", sh, err)
+		}
+		c.gens[sh].Add(1)
+		c.ops[sh].Add(int64(len(p)))
+	}
+	return nil
+}
+
+// InsertBatch applies an insert-only batch through the op path.
+func (c *Cluster) InsertBatch(edges []Edge) error {
+	return c.ApplyOps(Inserts(edges))
+}
+
+// DeleteBatch applies a delete-only batch through the op path.
+func (c *Cluster) DeleteBatch(edges []Edge) error {
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{Edge: e, Del: true}
+	}
+	return c.ApplyOps(ops)
+}
+
+// Snapshot pins one snapshot per shard under the write side of the cut
+// bracket and returns them as a single composite ClusterView. The
+// captured per-shard generation vector names the cut.
+func (c *Cluster) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.stores)
+	cv := &ClusterView{
+		part:  c.part,
+		views: make([]*View, n),
+		nv:    make([]int, n),
+		gens:  make([]uint64, n),
+	}
+	for i, st := range c.stores {
+		v := st.View()
+		cv.views[i] = v
+		cv.nv[i] = v.NumVertices()
+		if cv.nv[i] > cv.verts {
+			cv.verts = cv.nv[i]
+		}
+		cv.edges += v.NumEdges()
+		cv.gens[i] = c.gens[i].Load()
+	}
+	return cv
+}
+
+// Checkpoint quiesces dispatch and checkpoints every recover-capable
+// member at one cut.
+func (c *Cluster) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, st := range c.stores {
+		if err := st.Checkpoint(); err != nil {
+			return fmt.Errorf("graph: cluster shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Recovery aggregates member recovery reports: available when every
+// member reports one, graceful only if all shards were, counters
+// summed, attach time the slowest shard's.
+func (c *Cluster) Recovery() (RecoveryStats, bool) {
+	var agg RecoveryStats
+	agg.Graceful = true
+	for _, st := range c.stores {
+		rs, ok := st.Recovery()
+		if !ok {
+			return RecoveryStats{}, false
+		}
+		agg.Graceful = agg.Graceful && rs.Graceful
+		agg.UndoRangesReplayed += rs.UndoRangesReplayed
+		agg.ReplayedOps += rs.ReplayedOps
+		agg.DroppedTorn += rs.DroppedTorn
+		if rs.AttachTime > agg.AttachTime {
+			agg.AttachTime = rs.AttachTime
+		}
+	}
+	return agg, true
+}
+
+// Close closes every member, reporting all failures.
+func (c *Cluster) Close() error {
+	var errs []error
+	for i, st := range c.stores {
+		if err := st.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("graph: cluster shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RegisterObs wires cluster-level dispatch counters and forwards each
+// instrumented member into a per-shard instance scope, so N shards of
+// the same backend expose dgap.shard<i>.* series instead of silently
+// sharing one global set.
+func (c *Cluster) RegisterObs(r *obs.Registry) {
+	r.GaugeFunc("graph.cluster.shards", func() int64 { return int64(len(c.stores)) })
+	for i, st := range c.stores {
+		r.CounterFunc(fmt.Sprintf("graph.cluster.shard%d.applied", i), c.ops[i].Load)
+		sh := i
+		r.GaugeFunc(fmt.Sprintf("graph.cluster.shard%d.generation", i), func() int64 {
+			return int64(c.gens[sh].Load())
+		})
+		if in, ok := st.sys.(obs.Instrumented); ok {
+			in.RegisterObs(r.Instance(fmt.Sprintf("shard%d", i)))
+		}
+	}
+}
+
+// ClusterView is the composite snapshot a Cluster pins: one member View
+// per shard, all taken at a single op-stream cut. It satisfies the same
+// read surfaces ViewOf resolves (Snapshot, BulkSnapshot, Sweeper,
+// SnapshotReleaser), so analytics kernels traverse shard boundaries
+// through the ordinary graph.View without knowing the store is
+// partitioned.
+type ClusterView struct {
+	views []*View
+	part  Partitioner
+	// nv[i] is shard i's vertex-id bound at the cut. The composite
+	// vertex space is the max over shards, so reads of vertices a
+	// member has never seen are answered empty here rather than
+	// indexing past that member's tables.
+	nv    []int
+	verts int
+	edges int64
+	gens  []uint64
+
+	released atomic.Bool
+}
+
+var (
+	_ Snapshot         = (*ClusterView)(nil)
+	_ BulkSnapshot     = (*ClusterView)(nil)
+	_ Sweeper          = (*ClusterView)(nil)
+	_ SnapshotReleaser = (*ClusterView)(nil)
+)
+
+func (cv *ClusterView) owner(v V) int { return cv.part.Owner(v, len(cv.views)) }
+
+// Gens returns the per-shard generation vector naming this view's cut
+// (a copy). Two ClusterViews with equal vectors pin identical composite
+// states.
+func (cv *ClusterView) Gens() []uint64 {
+	g := make([]uint64, len(cv.gens))
+	copy(g, cv.gens)
+	return g
+}
+
+// NumVertices is the composite vertex-id bound: the max over shards.
+func (cv *ClusterView) NumVertices() int { return cv.verts }
+
+// NumEdges sums live edges over all shards at the cut.
+func (cv *ClusterView) NumEdges() int64 { return cv.edges }
+
+// Degree reads the owner shard, or 0 beyond that shard's id bound.
+func (cv *ClusterView) Degree(v V) int {
+	o := cv.owner(v)
+	if int(v) >= cv.nv[o] {
+		return 0
+	}
+	return cv.views[o].Degree(v)
+}
+
+// Neighbors streams the owner shard's adjacency for v.
+func (cv *ClusterView) Neighbors(v V, fn func(dst V) bool) {
+	o := cv.owner(v)
+	if int(v) >= cv.nv[o] {
+		return
+	}
+	cv.views[o].Neighbors(v, fn)
+}
+
+// CopyNeighbors appends the owner shard's adjacency for v to buf.
+func (cv *ClusterView) CopyNeighbors(v V, buf []V) []V {
+	o := cv.owner(v)
+	if int(v) >= cv.nv[o] {
+		return buf
+	}
+	return cv.views[o].CopyNeighbors(v, buf)
+}
+
+// SweepNeighbors fans a [lo, hi) range out to the owning shards in
+// maximal same-owner runs, so each member's native sweep keeps its
+// per-run amortization (the reason BlockCyclic is the default
+// placement). Vertices beyond a shard's id bound are reported with nil
+// adjacency, preserving the dense-range contract kernels iterate by.
+func (cv *ClusterView) SweepNeighbors(lo, hi V, buf []V, fn func(v V, dsts []V)) []V {
+	for lo < hi {
+		o := cv.owner(lo)
+		end := lo + 1
+		for end < hi && cv.owner(end) == o {
+			end++
+		}
+		run := end
+		if bound := V(cv.nv[o]); run > bound {
+			run = bound
+		}
+		if lo < run {
+			buf = cv.views[o].Sweep(lo, run, buf, fn)
+		} else {
+			run = lo
+		}
+		for u := run; u < end; u++ {
+			fn(u, nil)
+		}
+		lo = end
+	}
+	return buf
+}
+
+// ReleaseSnapshot releases every member snapshot exactly once.
+func (cv *ClusterView) ReleaseSnapshot() {
+	if !cv.released.CompareAndSwap(false, true) {
+		return
+	}
+	for _, v := range cv.views {
+		v.Release()
+	}
+}
+
+// ViewGens extracts the composite generation vector from a View pinned
+// over a Cluster, or nil when the view wraps a single-shard snapshot.
+// Serving tiers use it to key caches by composite cut identity.
+func ViewGens(v *View) []uint64 {
+	if v == nil {
+		return nil
+	}
+	if cv, ok := v.Snapshot().(*ClusterView); ok {
+		return cv.Gens()
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dgap/internal/analytics"
+	"dgap/internal/graph"
+)
+
+// churnPair is one logical mirrored event: both directions of an
+// undirected edge, inserted or deleted together. The consistency
+// property under test is exactly that no composite snapshot ever sees
+// one direction without the other, so the generator keeps every pair
+// whole and the drivers keep pairs inside one ApplyOps batch.
+type churnPair struct {
+	u, v graph.V
+	del  bool
+}
+
+func (p churnPair) ops() []graph.Op {
+	if p.del {
+		return []graph.Op{graph.OpDelete(p.u, p.v), graph.OpDelete(p.v, p.u)}
+	}
+	return []graph.Op{graph.OpInsert(p.u, p.v), graph.OpInsert(p.v, p.u)}
+}
+
+// mirroredChurn generates nEvents mirrored events over nVert vertices:
+// a sliding window of live undirected edges, each event inserting a
+// fresh edge or deleting the oldest live one.
+func mirroredChurn(r *rand.Rand, nVert, nEvents int) []churnPair {
+	var pairs []churnPair
+	var live []churnPair
+	for len(pairs) < nEvents {
+		if len(live) > 24 && r.Intn(2) == 0 {
+			p := live[0]
+			live = live[1:]
+			p.del = true
+			pairs = append(pairs, p)
+			continue
+		}
+		u := graph.V(r.Intn(nVert))
+		v := graph.V(r.Intn(nVert - 1))
+		if v >= u {
+			v++
+		}
+		p := churnPair{u: u, v: v}
+		live = append(live, p)
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+func pairOps(pairs []churnPair) []graph.Op {
+	ops := make([]graph.Op, 0, 2*len(pairs))
+	for _, p := range pairs {
+		ops = append(ops, p.ops()...)
+	}
+	return ops
+}
+
+// sortedAdj returns the snapshot's adjacency with every list sorted,
+// for order-insensitive comparison.
+func sortedAdj(s graph.Snapshot) [][]graph.V {
+	adj := graph.Adjacency(s)
+	for _, l := range adj {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	return adj
+}
+
+// TestClusterMatchesOracleAtCuts is the seeded cross-shard consistency
+// property test: identical mixed mirrored churn is applied to a Cluster
+// and to a single-Store oracle in matching batches, and at every cut
+// the composite ClusterView must agree with the oracle view — raw
+// adjacency, k-hop reachability (exact), PageRank (up to float
+// summation order) and connected components (up to label renaming).
+func TestClusterMatchesOracleAtCuts(t *testing.T) {
+	for _, tc := range []struct {
+		shards int
+		seed   int64
+		part   graph.Partitioner
+	}{
+		{2, 7, nil},
+		{3, 23, graph.BlockCyclic{Block: 8}},
+		{4, 41, graph.HashMod{}},
+	} {
+		t.Run("", func(t *testing.T) {
+			const nVert = 96
+			cluster := graph.Open(dgapCluster(t, tc.shards, nVert, 8192, tc.part))
+			oracle := graph.Open(dgapMember(t, nVert, 8192))
+
+			r := rand.New(rand.NewSource(tc.seed))
+			pairs := mirroredChurn(r, nVert, 1200)
+			const cuts = 5
+			for c := 0; c < cuts; c++ {
+				lo, hi := c*len(pairs)/cuts, (c+1)*len(pairs)/cuts
+				for lo < hi {
+					n := min(1+r.Intn(64), hi-lo)
+					ops := pairOps(pairs[lo : lo+n])
+					if err := cluster.Apply(ops); err != nil {
+						t.Fatal(err)
+					}
+					if err := oracle.Apply(ops); err != nil {
+						t.Fatal(err)
+					}
+					lo += n
+				}
+				vc, vo := cluster.View(), oracle.View()
+				compareViews(t, vc, vo, r)
+				vc.Release()
+				vo.Release()
+			}
+		})
+	}
+}
+
+func compareViews(t *testing.T, vc, vo *graph.View, r *rand.Rand) {
+	t.Helper()
+	if vc.NumEdges() != vo.NumEdges() {
+		t.Fatalf("NumEdges: cluster %d, oracle %d", vc.NumEdges(), vo.NumEdges())
+	}
+	ac, ao := sortedAdj(vc.Snapshot()), sortedAdj(vo.Snapshot())
+	for v := range ao {
+		if !equalV(ac[v], ao[v]) {
+			t.Fatalf("adjacency(%d): cluster %v, oracle %v", v, ac[v], ao[v])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		src := graph.V(r.Intn(vo.NumVertices()))
+		k := 1 + i%3
+		nc, _ := analytics.KHop(vc, src, k, analytics.Serial)
+		no, _ := analytics.KHop(vo, src, k, analytics.Serial)
+		if nc != no {
+			t.Fatalf("KHop(%d, k=%d): cluster %d, oracle %d", src, k, nc, no)
+		}
+	}
+	rc, _ := analytics.PageRank(vc, analytics.PageRankIters, analytics.Serial)
+	ro, _ := analytics.PageRank(vo, analytics.PageRankIters, analytics.Serial)
+	for v := range ro {
+		if d := math.Abs(rc[v] - ro[v]); d > 1e-9 {
+			t.Fatalf("PageRank(%d): cluster %g, oracle %g (|Δ|=%g)", v, rc[v], ro[v], d)
+		}
+	}
+	cc, _ := analytics.CC(vc, analytics.Serial)
+	co, _ := analytics.CC(vo, analytics.Serial)
+	fwd := map[graph.V]graph.V{}
+	rev := map[graph.V]graph.V{}
+	for v := range co {
+		if m, ok := fwd[cc[v]]; ok && m != co[v] {
+			t.Fatalf("CC label %d maps to both %d and %d", cc[v], m, co[v])
+		}
+		if m, ok := rev[co[v]]; ok && m != cc[v] {
+			t.Fatalf("CC labels %d and %d both map to %d", m, cc[v], co[v])
+		}
+		fwd[cc[v]] = co[v]
+		rev[co[v]] = cc[v]
+	}
+}
+
+// TestClusterCutBracketUnderRace drives mirrored churn through a
+// Cluster while concurrent readers repeatedly pin composite views: the
+// cut bracket guarantees every snapshot observes whole ApplyOps batches
+// only, so every view must be perfectly mirror-symmetric — an edge's
+// insert on one shard is never visible while its mirror on another
+// shard is still in flight. Run under -race in CI.
+func TestClusterCutBracketUnderRace(t *testing.T) {
+	const nVert = 64
+	st := graph.Open(dgapCluster(t, 2, nVert, 1<<16, nil))
+	pairs := mirroredChurn(rand.New(rand.NewSource(99)), nVert, 1500)
+
+	// The stream replays whole rounds until the readers have observed
+	// enough cuts: replaying mirrored pairs keeps every intermediate
+	// multiset mirror-symmetric, so the invariant holds across rounds.
+	const wantSnaps = 24
+	var snaps atomic.Int64
+	rounds := 0
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		r := rand.New(rand.NewSource(100))
+		for ; rounds < 200 && snaps.Load() < wantSnaps; rounds++ {
+			for lo := 0; lo < len(pairs); {
+				n := min(1+r.Intn(32), len(pairs)-lo)
+				if err := st.Apply(pairOps(pairs[lo : lo+n])); err != nil {
+					t.Error(err)
+					return
+				}
+				lo += n
+			}
+		}
+	}()
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := st.View()
+				if v.NumEdges()%2 != 0 {
+					t.Errorf("odd composite edge count %d: a mirrored batch is half-visible", v.NumEdges())
+				}
+				counts := map[graph.Edge]int{}
+				for u, l := range graph.Adjacency(v.Snapshot()) {
+					for _, d := range l {
+						counts[graph.Edge{Src: graph.V(u), Dst: d}]++
+					}
+				}
+				for e, n := range counts {
+					if m := counts[graph.Edge{Src: e.Dst, Dst: e.Src}]; m != n {
+						t.Errorf("mirror asymmetry at cut: %d→%d ×%d but %d→%d ×%d",
+							e.Src, e.Dst, n, e.Dst, e.Src, m)
+						break
+					}
+				}
+				v.Release()
+				snaps.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if snaps.Load() == 0 {
+		t.Fatal("no composite snapshots taken while churn ran; test is vacuous")
+	}
+
+	// Final state equals the scalar oracle of the replayed stream.
+	o := graph.NewOracle()
+	for i := 0; i < rounds; i++ {
+		if err := o.Apply(pairOps(pairs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := st.View()
+	defer v.Release()
+	adj := sortedAdj(v.Snapshot())
+	for u := range adj {
+		want := append([]graph.V(nil), o.Neighbors(graph.V(u))...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !equalV(adj[u], want) {
+			t.Fatalf("final adjacency(%d): cluster %v, oracle %v", u, adj[u], want)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package graph_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/llama"
+	"dgap/internal/pmem"
+)
+
+// allCaps is every capability bit the Caps stringer must name.
+var allCaps = []struct {
+	bit  graph.Caps
+	name string
+}{
+	{graph.CapBatch, "batch"},
+	{graph.CapDelete, "delete"},
+	{graph.CapBatchDelete, "batchdelete"},
+	{graph.CapApply, "apply"},
+	{graph.CapBulk, "bulk"},
+	{graph.CapSweep, "sweep"},
+	{graph.CapClose, "close"},
+	{graph.CapRecover, "recover"},
+}
+
+// TestCapsStringEveryBit pins the stringer over the full bitset: every
+// bit renders its own distinct name (CapRecover included, the bit PR 6
+// added), the all-bits rendering names all eight, and the empty set
+// renders "caps()". A new Caps bit without a stringer entry fails the
+// popcount here.
+func TestCapsStringEveryBit(t *testing.T) {
+	if got := graph.Caps(0).String(); got != "caps()" {
+		t.Fatalf("empty Caps = %q", got)
+	}
+	var all graph.Caps
+	seen := map[string]bool{}
+	for _, c := range allCaps {
+		all |= c.bit
+		s := c.bit.String()
+		if s != "caps("+c.name+")" {
+			t.Errorf("Caps(%s).String() = %q, want caps(%s)", c.name, s, c.name)
+		}
+		if seen[s] {
+			t.Errorf("duplicate stringer name %q", s)
+		}
+		seen[s] = true
+	}
+	want := "caps(batch|delete|batchdelete|apply|bulk|sweep|close|recover)"
+	if got := all.String(); got != want {
+		t.Fatalf("all-bits Caps = %q, want %q", got, want)
+	}
+	if bits := strings.Count(all.String(), "|") + 1; bits != len(allCaps) {
+		t.Fatalf("all-bits stringer names %d bits, want %d", bits, len(allCaps))
+	}
+}
+
+func dgapMember(t *testing.T, nVert, nEdges int) graph.System {
+	t.Helper()
+	cfg := dgap.DefaultConfig(nVert, int64(nEdges))
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	g, err := dgap.New(pmem.New(256<<20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func dgapCluster(t *testing.T, shards, nVert, nEdges int, p graph.Partitioner) *graph.Cluster {
+	t.Helper()
+	members := make([]graph.System, shards)
+	for i := range members {
+		members[i] = dgapMember(t, nVert, nEdges)
+	}
+	c, err := graph.NewCluster(members, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterCapsTruthful extends the capability-truthfulness sweep to
+// the Cluster composite: a uniform Cluster reports its members' full
+// bitset, a mixed Cluster reports the intersection — and the masked
+// bits are behaviorally absent (deletes rejected before any shard
+// mutates, checkpoint unsupported), which is what distinguishes
+// CapsReporter masking from mere bookkeeping.
+func TestClusterCapsTruthful(t *testing.T) {
+	t.Run("uniform-dgap", func(t *testing.T) {
+		c := dgapCluster(t, 2, 64, 512, nil)
+		st := graph.Open(c)
+		want := graph.CapBatch | graph.CapDelete | graph.CapBatchDelete |
+			graph.CapApply | graph.CapBulk | graph.CapSweep | graph.CapClose |
+			graph.CapRecover
+		if got := st.Caps(); got != want {
+			t.Fatalf("Caps = %v, want %v", got, want)
+		}
+		wantStr := "caps(batch|delete|batchdelete|apply|bulk|sweep|close|recover)"
+		if got := st.Caps().String(); got != wantStr {
+			t.Fatalf("Caps.String() = %q, want %q", got, wantStr)
+		}
+		if c.Name() != "Cluster[DGAPx2]" {
+			t.Fatalf("Name = %q", c.Name())
+		}
+		// The composite's read surface is native: the View's snapshot
+		// is the ClusterView itself.
+		view := st.View()
+		if _, ok := view.Snapshot().(*graph.ClusterView); !ok {
+			t.Fatalf("View snapshot is %T, want *graph.ClusterView", view.Snapshot())
+		}
+		view.Release()
+		// CapRecover is real: checkpoint succeeds on every shard.
+		if err := st.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		// CapDelete is real: a mixed batch round-trips.
+		ops := []graph.Op{
+			graph.OpInsert(1, 2), graph.OpInsert(2, 1), graph.OpDelete(1, 2),
+		}
+		if err := st.Apply(ops); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		v := st.View()
+		if got := v.Degree(1); got != 0 {
+			t.Fatalf("Degree(1) = %d after delete, want 0", got)
+		}
+		if got := v.Degree(2); got != 1 {
+			t.Fatalf("Degree(2) = %d, want 1", got)
+		}
+		v.Release()
+		if err := st.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+
+	t.Run("mixed-dgap-llama", func(t *testing.T) {
+		members := []graph.System{
+			dgapMember(t, 64, 512),
+			llama.New(pmem.New(256<<20), 64, 16),
+		}
+		c, err := graph.NewCluster(members, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := graph.Open(c)
+		// llama's bitset is CapBatch|CapBulk; the composite must not
+		// claim more even though Cluster implements every interface.
+		want := graph.CapBatch | graph.CapBulk
+		if got := st.Caps(); got != want {
+			t.Fatalf("Caps = %v, want intersection %v", got, want)
+		}
+		if got := st.Caps().String(); got != "caps(batch|bulk)" {
+			t.Fatalf("Caps.String() = %q, want caps(batch|bulk)", got)
+		}
+		// Masked CapDelete is behaviorally absent, rejected before any
+		// shard has been touched.
+		err = st.Apply([]graph.Op{graph.OpInsert(1, 2), graph.OpDelete(1, 2)})
+		if !errors.Is(err, graph.ErrDeletesUnsupported) {
+			t.Fatalf("Apply with delete: %v, want ErrDeletesUnsupported", err)
+		}
+		if g := c.Gens(); g[0] != 0 || g[1] != 0 {
+			t.Fatalf("gens %v after rejected batch, want all zero", g)
+		}
+		// Masked CapRecover is behaviorally absent.
+		if err := st.Checkpoint(); !errors.Is(err, graph.ErrRecoveryUnsupported) {
+			t.Fatalf("Checkpoint: %v, want ErrRecoveryUnsupported", err)
+		}
+		// Insert-only apply still works through the intersection.
+		if err := st.Apply([]graph.Op{graph.OpInsert(1, 2)}); err != nil {
+			t.Fatalf("insert-only Apply: %v", err)
+		}
+	})
+}
+
+// TestClusterPlacementAndCompositeView pins placement (every source
+// vertex's adjacency lives wholly on its owner shard) and the composite
+// read surface: Degree/CopyNeighbors/NumEdges/Sweep over the
+// ClusterView agree with a flat oracle of the same op stream.
+func TestClusterPlacementAndCompositeView(t *testing.T) {
+	const nVert = 96
+	part := graph.BlockCyclic{Block: 8}
+	c := dgapCluster(t, 3, nVert, 4096, part)
+	st := graph.Open(c)
+	oracle := graph.NewOracle()
+
+	var ops []graph.Op
+	for i := 0; i < 900; i++ {
+		src := graph.V(i*37) % nVert
+		dst := graph.V(i*53+11) % nVert
+		ops = append(ops, graph.OpInsert(src, dst))
+		if i%7 == 3 {
+			ops = append(ops, graph.OpDelete(src, dst))
+		}
+	}
+	for start := 0; start < len(ops); start += 128 {
+		end := min(start+128, len(ops))
+		if err := st.Apply(ops[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Apply(ops[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	view := st.View()
+	defer view.Release()
+	cv := view.Snapshot().(*graph.ClusterView)
+
+	if got, want := graph.CountEdges(cv), cv.NumEdges(); got != want {
+		t.Fatalf("CountEdges = %d, NumEdges = %d", got, want)
+	}
+
+	// Every shard holds exactly the vertices it owns.
+	for sh := 0; sh < c.Shards(); sh++ {
+		sv := c.Shard(sh).View()
+		for v := graph.V(0); int(v) < sv.NumVertices(); v++ {
+			if sv.Degree(v) > 0 && part.Owner(v, c.Shards()) != sh {
+				t.Fatalf("vertex %d (owner %d) has adjacency on shard %d",
+					v, part.Owner(v, c.Shards()), sh)
+			}
+		}
+		sv.Release()
+	}
+
+	// Composite reads match the oracle.
+	var buf []graph.V
+	for v := graph.V(0); v < nVert; v++ {
+		want := append([]graph.V(nil), oracle.Neighbors(v)...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := append([]graph.V(nil), view.CopyNeighbors(v, buf[:0])...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !equalV(got, want) {
+			t.Fatalf("CopyNeighbors(%d) = %v, oracle %v", v, got, want)
+		}
+		if view.Degree(v) != len(want) {
+			t.Fatalf("Degree(%d) = %d, oracle %d", v, view.Degree(v), len(want))
+		}
+	}
+
+	// The composite sweep visits every vertex of the dense range once,
+	// with the same adjacency the per-vertex path reports.
+	visited := make(map[graph.V]int)
+	view.Sweep(0, graph.V(view.NumVertices()), nil, func(u graph.V, dsts []graph.V) {
+		visited[u]++
+		got := append([]graph.V(nil), dsts...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := append([]graph.V(nil), oracle.Neighbors(u)...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !equalV(got, want) {
+			t.Fatalf("Sweep(%d) = %v, oracle %v", u, got, want)
+		}
+	})
+	for v := graph.V(0); int(v) < view.NumVertices(); v++ {
+		if visited[v] != 1 {
+			t.Fatalf("sweep visited vertex %d %d times", v, visited[v])
+		}
+	}
+
+	// The generation vector names the cut and is stable per snapshot.
+	g1 := cv.Gens()
+	if len(g1) != c.Shards() {
+		t.Fatalf("Gens len %d, want %d", len(g1), c.Shards())
+	}
+	if err := st.Apply([]graph.Op{graph.OpInsert(1, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := st.View()
+	g2 := v2.Snapshot().(*graph.ClusterView).Gens()
+	v2.Release()
+	if fmt.Sprint(g1) == fmt.Sprint(g2) {
+		t.Fatalf("generation vector unchanged across a dispatch: %v", g1)
+	}
+}
+
+// TestClusterRecoveryAggregates pins the composite recovery report:
+// after a graceful checkpoint-and-reopen of every member, the Cluster
+// reports one aggregated RecoveryStats.
+func TestClusterRecoveryAggregates(t *testing.T) {
+	cfg := dgap.DefaultConfig(64, 512)
+	cfg.SectionSlots = 64
+	cfg.ELogSize = 512
+	arenas := make([]*pmem.Arena, 2)
+	members := make([]graph.System, 2)
+	for i := range members {
+		arenas[i] = pmem.New(256 << 20)
+		g, err := dgap.New(arenas[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = g
+	}
+	c, err := graph.NewCluster(members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.Open(c)
+	if err := st.Apply([]graph.Op{graph.OpInsert(1, 2), graph.OpInsert(70, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range members {
+		g, err := dgap.Open(arenas[i], cfg)
+		if err != nil {
+			t.Fatalf("reopen shard %d: %v", i, err)
+		}
+		members[i] = g
+	}
+	c2, err := graph.NewCluster(members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := graph.Open(c2)
+	rs, ok := st2.Recovery()
+	if !ok {
+		t.Fatal("no recovery report from reopened cluster")
+	}
+	if !rs.Graceful {
+		t.Fatalf("recovery not graceful: %+v", rs)
+	}
+	v := st2.View()
+	if got := v.NumEdges(); got != 2 {
+		t.Fatalf("NumEdges after reopen = %d, want 2", got)
+	}
+	v.Release()
+}
+
+// TestPartitionOpsMatchesRoutes pins the hoisted splitter: per-shard
+// order preservation, exact multiset coverage, and agreement with the
+// route function for each built-in route.
+func TestPartitionOpsMatchesRoutes(t *testing.T) {
+	var ops []graph.Op
+	for i := 0; i < 500; i++ {
+		ops = append(ops, graph.Op{
+			Edge: graph.Edge{Src: graph.V(i * 7 % 97), Dst: graph.V(i)},
+			Del:  i%5 == 0,
+		})
+	}
+	routes := map[string]func(graph.Op, int) int{
+		"src":        graph.RouteBySrc(4),
+		"roundrobin": graph.RouteRoundRobin(4),
+		"owner":      graph.RouteByOwner(4, graph.BlockCyclic{Block: 8}),
+		"resource":   graph.RouteByResource(4, func(e graph.Edge) int { return int(e.Dst) / 3 }),
+	}
+	for name, route := range routes {
+		t.Run(name, func(t *testing.T) {
+			parts := graph.PartitionOps(ops, 4, route)
+			total := 0
+			cursor := 0
+			idx := make([]int, 4)
+			for i, o := range ops {
+				sh := route(o, i)
+				if parts[sh][idx[sh]] != o {
+					t.Fatalf("op %d out of order on shard %d", i, sh)
+				}
+				idx[sh]++
+				cursor++
+			}
+			for sh, p := range parts {
+				total += len(p)
+				if idx[sh] != len(p) {
+					t.Fatalf("shard %d has %d extra ops", sh, len(p)-idx[sh])
+				}
+			}
+			if total != len(ops) {
+				t.Fatalf("partitions carry %d ops, want %d", total, len(ops))
+			}
+		})
+	}
+}

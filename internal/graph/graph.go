@@ -38,6 +38,33 @@
 // free-function adapters (Bulk, Sweep, Batch, Deletes) remain for the
 // implementation and its tests; external code resolves capabilities
 // through Open instead of re-asserting them at call sites.
+//
+// # Clusters
+//
+// Cluster scales the Store surface across partitions: NewCluster opens
+// N member Stores and is itself a System, so Open(cluster) yields a
+// Store indistinguishable from a single-backend one. The contract:
+//
+//   - Placement. A Partitioner (default BlockCyclic, block
+//     DefaultPartitionBlock) maps each vertex id to its owning shard;
+//     an edge lives on Owner(Src), so one vertex's whole adjacency is
+//     answered by one member. PartitionOps is the shared splitting
+//     primitive — workload.Router routes through the same functions,
+//     so ingest sharding and storage sharding agree by construction.
+//   - Mutation. Apply splits a mixed op stream per shard and
+//     dispatches per-shard batches with per-shard sequencing; a batch
+//     that mixes shards is applied under the cluster's cut bracket so
+//     no concurrent snapshot can observe half of it.
+//   - Reads. Snapshot returns a ClusterView pinning one member
+//     snapshot per shard at a consistent op-stream cut, named by a
+//     generation vector (ViewGens). ClusterView satisfies the bulk and
+//     sweep fast paths, so kernels and point reads run unchanged over
+//     the composite; SweepNeighbors forwards maximal same-owner vertex
+//     runs to each member's native sweep.
+//   - Capabilities. A Cluster's Caps are the truthful intersection of
+//     its members' — it reports CapsReporter so Open masks exactly the
+//     bits every member supports. Checkpoint/Recovery fan out and
+//     aggregate when every member is recoverable.
 package graph
 
 import (

@@ -1,0 +1,110 @@
+package graph
+
+// Partitioner assigns every vertex to one of n shards. Placement is by
+// source vertex: an edge (u, v) lives on Owner(u, n), so a vertex's
+// out-adjacency is never split across shards and Degree/Neighbors are
+// single-shard reads. Implementations must be pure functions of (v, n):
+// the same vertex must map to the same shard for the lifetime of a
+// Cluster, and callers may invoke Owner concurrently.
+type Partitioner interface {
+	Owner(v V, n int) int
+}
+
+// DefaultPartitionBlock is the contiguous run of vertex ids BlockCyclic
+// keeps on one shard. Large enough that ClusterView.SweepNeighbors can
+// hand maximal same-owner ranges to each member's native sweep (keeping
+// the per-run amortization backends rely on), small enough that skewed
+// id ranges still spread across shards.
+const DefaultPartitionBlock V = 64
+
+// BlockCyclic is the default Cluster placement: vertex ids are grouped
+// into fixed-size blocks dealt round-robin across shards
+// (Owner = (v/Block) % n). Unlike pure modulo hashing it preserves
+// contiguous same-owner vertex runs, which is what keeps composite
+// sweeps (PageRank, CC) from degrading to per-vertex dispatch.
+type BlockCyclic struct {
+	// Block is the run length; zero means DefaultPartitionBlock.
+	Block V
+}
+
+func (p BlockCyclic) Owner(v V, n int) int {
+	b := p.Block
+	if b == 0 {
+		b = DefaultPartitionBlock
+	}
+	return int((v / b) % V(n))
+}
+
+// HashMod is the simplest placement — Owner = v % n — useful when
+// adjacent vertex ids are hot and must land on different shards. It
+// trades away same-owner runs, so composite sweeps dispatch per vertex.
+type HashMod struct{}
+
+func (HashMod) Owner(v V, n int) int { return int(v % V(n)) }
+
+// PartitionOps splits one op stream into n per-shard streams,
+// preserving the stream order within every shard. route maps an op
+// (and its stream index) to a shard; it is the single partition
+// function shared by Cluster dispatch and workload.Router, so the two
+// layers can never disagree about placement. Two passes: count, then
+// carve one backing array into per-shard slices — no per-op append
+// growth.
+func PartitionOps(ops []Op, n int, route func(o Op, i int) int) [][]Op {
+	parts := make([][]Op, n)
+	if n == 1 {
+		parts[0] = ops
+		return parts
+	}
+	counts := make([]int, n)
+	owners := make([]uint8, len(ops))
+	wide := n > 256
+	for i, o := range ops {
+		sh := route(o, i)
+		counts[sh]++
+		if !wide {
+			owners[i] = uint8(sh)
+		}
+	}
+	backing := make([]Op, len(ops))
+	off := 0
+	for sh, c := range counts {
+		parts[sh] = backing[off : off : off+c]
+		off += c
+	}
+	for i, o := range ops {
+		sh := int(owners[i])
+		if wide {
+			sh = route(o, i)
+		}
+		parts[sh] = append(parts[sh], o)
+	}
+	return parts
+}
+
+// RouteByResource builds a PartitionOps route from a per-edge resource
+// function (e.g. a lock-scope resolver): ops contending on the same
+// resource serialize on the same shard.
+func RouteByResource(n int, resource func(Edge) int) func(Op, int) int {
+	return func(o Op, _ int) int { return resource(o.Edge) % n }
+}
+
+// RouteRoundRobin spreads ops across shards by stream position. Only
+// valid for order-insensitive streams (insert-only): it ignores the op
+// entirely, so a delete routed this way could race its insert.
+func RouteRoundRobin(n int) func(Op, int) int {
+	return func(_ Op, i int) int { return i % n }
+}
+
+// RouteBySrc routes by source vertex, the order-preserving default for
+// mixed streams: every op touching vertex u's adjacency lands on the
+// same shard in stream order.
+func RouteBySrc(n int) func(Op, int) int {
+	return func(o Op, _ int) int { return int(o.Edge.Src) % n }
+}
+
+// RouteByOwner routes ops with a Partitioner, so external dispatchers
+// (workload.Router feeding a Cluster) split streams exactly as the
+// Cluster itself would.
+func RouteByOwner(n int, p Partitioner) func(Op, int) int {
+	return func(o Op, _ int) int { return p.Owner(o.Edge.Src, n) }
+}

@@ -47,6 +47,16 @@ const (
 // Has reports whether every bit of want is set.
 func (c Caps) Has(want Caps) bool { return c&want == want }
 
+// CapsReporter lets a composite System cap the capabilities Open would
+// resolve from its method set alone. A Cluster, for example, implements
+// every write surface so that one mixed batch stays one dispatch under
+// its consistent-cut bracket, yet must not claim CapDelete when any
+// member lacks it: Open intersects the asserted bits with StoreCaps,
+// keeping the truthfulness contract the conformance suite pins.
+type CapsReporter interface {
+	StoreCaps() Caps
+}
+
 func (c Caps) String() string {
 	names := []struct {
 		bit  Caps
@@ -87,6 +97,7 @@ type Store struct {
 	bd   BatchDeleter // delete path: native, scalar fallback, or nil
 	ap   Applier      // native mixed path, nil when unimplemented
 	rc   Recoverable  // checkpoint/recovery path, nil when unimplemented
+	mask Caps         // CapsReporter ceiling; ^0 for ordinary systems
 
 	// The read bits (CapBulk, CapSweep) are snapshot properties, so
 	// resolving them costs one throwaway snapshot; the probe is
@@ -131,6 +142,23 @@ func Open(sys System) *Store {
 		st.rc = rc
 		st.caps |= CapRecover
 	}
+	st.mask = ^Caps(0)
+	if cr, ok := sys.(CapsReporter); ok {
+		st.mask = cr.StoreCaps()
+		st.caps &= st.mask
+		if !st.caps.Has(CapDelete) {
+			st.bd = nil
+		}
+		if !st.caps.Has(CapRecover) {
+			st.rc = nil
+		}
+		// st.ap deliberately survives masking: a composite's ApplyOps
+		// is how one mixed batch stays a single dispatch under its
+		// consistent-cut bracket. Splitting it here into insert/delete
+		// rounds would let a snapshot land between them — the exact
+		// anomaly the composite exists to rule out. CapApply still
+		// reads as masked; only the dispatch path keeps the seam.
+	}
 	return st
 }
 
@@ -157,7 +185,7 @@ func (st *Store) Caps() Caps {
 			}
 		}
 	})
-	return st.caps | st.readCaps
+	return st.caps | (st.readCaps & st.mask)
 }
 
 // Watch attaches a Journal to the Store's mutation path: from now on

@@ -3,6 +3,7 @@ package graph_test
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"dgap/internal/bal"
@@ -157,6 +158,24 @@ func TestStoreCapsTruthful(t *testing.T) {
 			st := graph.Open(sys)
 			if got := st.Caps(); got != b.caps {
 				t.Fatalf("Caps = %v, want %v", got, b.caps)
+			}
+			// The rendered form is conformance surface too (logs and the
+			// serve banner print it): exactly the set bits' names, no
+			// more, no fewer.
+			rendered := map[string]bool{}
+			for _, p := range strings.Split(strings.TrimSuffix(strings.TrimPrefix(st.Caps().String(), "caps("), ")"), "|") {
+				rendered[p] = true
+			}
+			for bit, name := range map[graph.Caps]string{
+				graph.CapBatch: "batch", graph.CapDelete: "delete",
+				graph.CapBatchDelete: "batchdelete", graph.CapApply: "apply",
+				graph.CapBulk: "bulk", graph.CapSweep: "sweep",
+				graph.CapClose: "close", graph.CapRecover: "recover",
+			} {
+				if rendered[name] != st.Caps().Has(bit) {
+					t.Errorf("Caps.String() = %q: name %q rendered=%v, bit set=%v",
+						st.Caps(), name, rendered[name], st.Caps().Has(bit))
+				}
 			}
 
 			// Read bits against the actual snapshot type behind a View.

@@ -46,6 +46,21 @@
 // derives .count/.mean/.p50/.p99/.p999/.max series per histogram in
 // that unit.
 //
+// When several instances of one component register into a shared
+// registry — the members of a graph.Cluster, multiple routers — each
+// takes a scoped handle via Registry.Instance(label). The label is
+// spliced in after the layer segment, so the instance's registrations
+// of the same code path land on distinct names instead of colliding on
+// (or worse, silently sharing) one instrument:
+//
+//	dgap.shard0.pma.log_appends  member 0's appends, via Instance("shard0")
+//	dgap.shard1.pma.log_appends  member 1's, same registration code
+//	workload.a.router.batches    router with Instance "a"
+//
+// Nested Instance calls compose outermost label first. Instance handles
+// write through to the root registry: Names, Snapshot and the HTTP
+// exposition see every scoped instrument.
+//
 // # Spans and the slow-query log
 //
 // A Span is one request's trace: a class label, a start time, the

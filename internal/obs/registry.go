@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -62,6 +63,11 @@ type Metric struct {
 // two different kinds panics, since the second caller would silently
 // observe into a dead instrument otherwise.
 type Registry struct {
+	// parent/label make this handle an instance scope over a shared
+	// root (see Instance); both are nil/empty on a root registry.
+	parent *Registry
+	label  string
+
 	mu    sync.Mutex
 	kinds map[string]string
 	ctrs  map[string]*Counter
@@ -88,8 +94,49 @@ func (r *Registry) claim(name, kind string) {
 	r.kinds[name] = kind
 }
 
+// Instance returns a handle on the same registry that scopes every
+// instrument name by label, inserted after the leading layer segment:
+// r.Instance("shard0").Counter("dgap.pma.log_appends") registers
+// dgap.shard0.pma.log_appends. This is how multi-instance wiring — N
+// Cluster shards of one backend, two Routers on one server — keeps
+// per-instance series instead of silently sharing (or, for func-backed
+// instruments, overwriting) one global name. Instances nest, share the
+// root's storage and exposition, and an empty label returns r itself.
+func (r *Registry) Instance(label string) *Registry {
+	if label == "" {
+		return r
+	}
+	return &Registry{parent: r, label: label}
+}
+
+// resolve rewrites name through every instance scope between r and the
+// root, returning the root registry and the fully scoped name.
+func (r *Registry) resolve(name string) (*Registry, string) {
+	for r.parent != nil {
+		name = scopeName(name, r.label)
+		r = r.parent
+	}
+	return r, name
+}
+
+func scopeName(name, label string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i+1] + label + name[i:]
+	}
+	return name + "." + label
+}
+
+// root returns the backing registry an instance handle writes through.
+func (r *Registry) root() *Registry {
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r, name = r.resolve(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "counter")
@@ -103,6 +150,7 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r, name = r.resolve(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "gauge")
@@ -116,6 +164,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Hist returns the named histogram, creating it on first use.
 func (r *Registry) Hist(name string) *Hist {
+	r, name = r.resolve(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "hist")
@@ -132,6 +181,7 @@ func (r *Registry) Hist(name string) *Hist {
 // already maintains, costing its hot path nothing. Re-registering a
 // name replaces the function.
 func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r, name = r.resolve(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "counter")
@@ -141,14 +191,17 @@ func (r *Registry) CounterFunc(name string, fn func() int64) {
 // GaugeFunc registers a gauge whose level is read on demand at
 // exposition time. Re-registering a name replaces the function.
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r, name = r.resolve(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "gauge")
 	r.funcs[name] = fn
 }
 
-// Names returns every registered instrument name, sorted.
+// Names returns every registered instrument name, sorted. Instance
+// handles report the shared root's full namespace.
 func (r *Registry) Names() []string {
+	r = r.root()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.kinds))
@@ -162,8 +215,10 @@ func (r *Registry) Names() []string {
 // Snapshot exports every instrument's current state, sorted by name.
 // Func-backed instruments are read here, under no registry-wide
 // freeze: the snapshot is per-instrument atomic, not cross-instrument
-// consistent, which is the usual exposition contract.
+// consistent, which is the usual exposition contract. Instance handles
+// expose the shared root's full namespace.
 func (r *Registry) Snapshot() []Metric {
+	r = r.root()
 	r.mu.Lock()
 	type entry struct {
 		name, kind string

@@ -118,3 +118,63 @@ func TestRegistryExpositionRoundTrip(t *testing.T) {
 		t.Errorf("hist did not round-trip: %+v", metrics[1])
 	}
 }
+
+// TestRegistryInstanceScoping pins the multi-instance wiring contract:
+// an Instance handle rewrites names by inserting its label after the
+// leading layer segment, two instances of one component keep distinct
+// instruments (the regression: func-backed instruments used to be
+// silently overwritten registry-wide), and instance handles share the
+// root's storage and exposition.
+func TestRegistryInstanceScoping(t *testing.T) {
+	r := NewRegistry()
+	s0 := r.Instance("shard0")
+	s1 := r.Instance("shard1")
+
+	c0 := s0.Counter("dgap.pma.log_appends")
+	c1 := s1.Counter("dgap.pma.log_appends")
+	if c0 == c1 {
+		t.Fatal("two instances share one counter")
+	}
+	c0.Add(3)
+	c1.Add(5)
+	if got := r.Counter("dgap.shard0.pma.log_appends").Load(); got != 3 {
+		t.Fatalf("dgap.shard0.pma.log_appends = %d, want 3", got)
+	}
+	if got := r.Counter("dgap.shard1.pma.log_appends").Load(); got != 5 {
+		t.Fatalf("dgap.shard1.pma.log_appends = %d, want 5", got)
+	}
+
+	// Func-backed instruments: each instance keeps its own function
+	// instead of the last registration winning globally.
+	s0.GaugeFunc("dgap.graph.vertices", func() int64 { return 10 })
+	s1.GaugeFunc("dgap.graph.vertices", func() int64 { return 20 })
+	vals := map[string]int64{}
+	for _, m := range r.Snapshot() {
+		vals[m.Name] = m.Value
+	}
+	if vals["dgap.shard0.graph.vertices"] != 10 || vals["dgap.shard1.graph.vertices"] != 20 {
+		t.Fatalf("per-instance gauge funcs collided: %v", vals)
+	}
+
+	// Dot-less names append the label; nested instances compose.
+	if s0.Counter("up") != r.Counter("up.shard0") {
+		t.Fatal("dot-less name not scoped by suffix")
+	}
+	nested := s0.Instance("w3")
+	if nested.Counter("dgap.rebalances") != r.Counter("dgap.shard0.w3.rebalances") {
+		t.Fatal("nested instance scopes did not compose outer-label-first")
+	}
+
+	// Instance handles expose the shared root namespace.
+	names := s1.Names()
+	if len(names) != len(r.Names()) {
+		t.Fatalf("instance Names() = %v, root %v", names, r.Names())
+	}
+	// Kind conflicts are still detected across instance boundaries.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-instance kind conflict did not panic")
+		}
+	}()
+	r.Gauge("dgap.shard0.pma.log_appends")
+}

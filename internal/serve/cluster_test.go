@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"testing"
+
+	"dgap/internal/graph"
+)
+
+func buildCluster(t *testing.T, shards, nVert, nEdges int) *graph.Cluster {
+	t.Helper()
+	members := make([]graph.System, shards)
+	for i := range members {
+		members[i] = buildDGAP(t, nVert, nEdges)
+	}
+	c, err := graph.NewCluster(members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestServeOverCluster opens a graph.Cluster like any Store: mixed
+// ingest through IngestOps lands routed per shard, leases pin composite
+// views whose generation vector keys the kernel cache, queries of every
+// class answer from the composite, and the registry carries per-shard
+// backend instruments plus the cluster's own dispatch series.
+func TestServeOverCluster(t *testing.T) {
+	const nVert = 96
+	c := buildCluster(t, 2, nVert, 8192)
+	srv, err := New(c, Config{
+		Workers:           2,
+		IngestShards:      2,
+		MaxStalenessEdges: 1,
+		MaxStalenessAge:   -1,
+		DeltaWindow:       1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Mirrored mixed churn: whole pairs per batch, so every lease must
+	// see symmetric adjacency.
+	var ops []graph.Op
+	for i := 0; i < 400; i++ {
+		u, v := graph.V(i%nVert), graph.V((i*31+7)%nVert)
+		if u == v {
+			v = (v + 1) % nVert
+		}
+		ops = append(ops, graph.OpInsert(u, v), graph.OpInsert(v, u))
+		if i%9 == 5 {
+			ops = append(ops, graph.OpDelete(u, v), graph.OpDelete(v, u))
+		}
+	}
+	if _, err := srv.IngestOps(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lease is composite: its view's snapshot is a ClusterView and
+	// the mint captured its generation vector.
+	l := srv.Acquire()
+	cv, ok := l.View.Snapshot().(*graph.ClusterView)
+	if !ok {
+		t.Fatalf("lease snapshot is %T, want *graph.ClusterView", l.View.Snapshot())
+	}
+	gens := cv.Gens()
+	if len(gens) != 2 || gens[0] == 0 || gens[1] == 0 {
+		t.Fatalf("composite generation vector %v: expected both shards dispatched", gens)
+	}
+	for u := graph.V(0); u < nVert; u++ {
+		l.View.Neighbors(u, func(d graph.V) bool {
+			found := false
+			l.View.Neighbors(d, func(b graph.V) bool {
+				if b == u {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("lease view saw %d→%d without its mirror", u, d)
+			}
+			return true
+		})
+	}
+	l.Release()
+
+	// Every query class answers over the composite; the second kernel
+	// query on an unchanged lease takes the cached path (keyed by the
+	// generation vector), and ingest after it forces a non-cached sync.
+	for _, q := range []Query{
+		{Class: ClassDegree, V: 3},
+		{Class: ClassNeighbors, V: 70},
+		{Class: ClassKHop, V: 5, K: 2},
+		{Class: ClassTopK, K: 4},
+	} {
+		if res := srv.Do(q); res.Err != nil {
+			t.Fatalf("%v: %v", q.Class, res.Err)
+		}
+	}
+	if res := srv.Do(Query{Class: ClassKernel}); res.Err != nil || res.Kernel == KernelCached {
+		t.Fatalf("first kernel: err %v, path %v", res.Err, res.Kernel)
+	}
+	if res := srv.Do(Query{Class: ClassKernel}); res.Err != nil || res.Kernel != KernelCached {
+		t.Fatalf("second kernel: err %v, path %v, want cached", res.Err, res.Kernel)
+	}
+	if _, err := srv.IngestOps([]graph.Op{graph.OpInsert(1, 2), graph.OpInsert(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if res := srv.Do(Query{Class: ClassKernel}); res.Err != nil || res.Kernel == KernelCached {
+		t.Fatalf("kernel after ingest: err %v, path %v, want non-cached", res.Err, res.Kernel)
+	}
+
+	// Per-shard backend instruments and cluster dispatch series are
+	// registered under instance-scoped names.
+	names := map[string]bool{}
+	for _, n := range srv.Obs().Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"graph.cluster.shards",
+		"graph.cluster.shard0.applied",
+		"graph.cluster.shard1.applied",
+		"graph.cluster.shard0.generation",
+		"dgap.shard0.pma.log_appends",
+		"dgap.shard1.pma.log_appends",
+		"dgap.shard0.graph.vertices",
+		"dgap.shard1.graph.vertices",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}

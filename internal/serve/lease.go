@@ -33,6 +33,11 @@ type Lease struct {
 	// ops between two leases' cuts are exactly the mutations separating
 	// their snapshots. Zero when the server keeps no journal.
 	cut uint64
+	// gens is the per-shard generation vector of a composite
+	// (graph.Cluster) view at mint time, nil over a single Store. Two
+	// leases with equal vectors pin identical composite cuts; the
+	// kernel cache keys on it alongside Gen.
+	gens []uint64
 	// released, when set, runs after the View is released — the hook
 	// the Server's outstanding-view gauge (serve.lease.outstanding)
 	// decrements through.
@@ -116,6 +121,7 @@ func (s *Server) acquireTimed() (*Lease, time.Duration) {
 			now:       s.cfg.Clock,
 			appliedAt: appliedAt,
 			cut:       cut,
+			gens:      graph.ViewGens(view),
 			released:  func() { s.views.Add(-1) },
 		}
 		s.views.Add(1)

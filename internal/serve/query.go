@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -213,6 +214,11 @@ type kernelCache struct {
 	pr  *analytics.PRMaintainer
 	gen uint64 // lease generation pr is synced to
 	cut uint64 // that generation's journal cut
+	// gens is the composite per-shard generation vector pr is synced
+	// to when the store is a graph.Cluster (nil otherwise). Keying on
+	// it alongside gen makes the cached path's identity the composite
+	// cut itself, not merely the lease counter.
+	gens []uint64
 
 	full, incr, cached atomic.Int64
 	deltaOps           atomic.Int64
@@ -236,7 +242,7 @@ func (s *Server) kernel(l *Lease, res *Result, acfg analytics.Config) {
 	}
 	k.mu.Lock()
 	switch {
-	case k.pr != nil && k.gen == l.Gen:
+	case k.pr != nil && k.gen == l.Gen && slices.Equal(k.gens, l.gens):
 		res.Ranks = k.pr.Ranks()
 		k.mu.Unlock()
 		res.Kernel = KernelCached
@@ -244,7 +250,7 @@ func (s *Server) kernel(l *Lease, res *Result, acfg analytics.Config) {
 		return
 	case k.pr == nil:
 		pr, st := analytics.NewPRMaintainer(l.View, analytics.PROpts{Eps: s.cfg.KernelEps})
-		k.pr, k.gen, k.cut = pr, l.Gen, l.cut
+		k.pr, k.gen, k.cut, k.gens = pr, l.Gen, l.cut, l.gens
 		res.Ranks = pr.Ranks()
 		k.mu.Unlock()
 		res.Compute = st.Elapsed
@@ -263,7 +269,7 @@ func (s *Server) kernel(l *Lease, res *Result, acfg analytics.Config) {
 	}
 	delta := s.journal.Between(k.cut, l.cut)
 	st := k.pr.Update(l.View, delta)
-	k.gen, k.cut = l.Gen, l.cut
+	k.gen, k.cut, k.gens = l.Gen, l.cut, l.gens
 	res.Ranks = k.pr.Ranks()
 	k.mu.Unlock()
 	res.Compute = st.Elapsed

@@ -215,11 +215,11 @@ type Server struct {
 	rejected atomic.Int64
 	born     time.Time
 
-	hist [nClasses]*Hist
+	hist [nClasses]*obs.Hist
 	// compute holds per-class kernel compute-time histograms: the
 	// durations the analytics kernels measure and return (pure compute,
 	// no queue wait or lease acquisition), which used to be discarded.
-	compute [nClasses]*Hist
+	compute [nClasses]*obs.Hist
 
 	// reg is the server's metrics registry: every instrument above plus
 	// the router, journal, lease and backend instruments registered at

@@ -72,6 +72,12 @@ type Router struct {
 	// once per dispatch call, so the per-batch cost is one atomic add
 	// and one histogram observation.
 	Obs *obs.Registry
+	// Instance, when non-empty, scopes this router's instrument names
+	// by an obs instance label (workload.<Instance>.router.*), so two
+	// routers sharing one registry — or N Cluster shards each with
+	// their own ingest path — keep distinct series instead of silently
+	// sharing counters. Empty keeps the single-instance names.
+	Instance string
 }
 
 // opBatch is one dispatch unit: a shard-local op slice plus the
@@ -81,8 +87,10 @@ type opBatch struct {
 	res []int
 }
 
-// partition routes each op to its shard: by lock resource for section-
-// and vertex-scoped systems (co-locating each resource's ops, and with
+// partition routes each op to its shard through the partition logic
+// hoisted into internal/graph (graph.PartitionOps — the same splitter
+// graph.Cluster dispatches with): by lock resource for section- and
+// vertex-scoped systems (co-locating each resource's ops, and with
 // them each vertex's stream order, on one shard), and — for the global
 // scope, where hashing by the single shared resource would starve every
 // shard but one — round-robin by stream index for insert-only streams,
@@ -90,20 +98,16 @@ type opBatch struct {
 // an edge's insert and delete across shards; hashing by source keeps
 // them in order on one shard while work still spreads).
 func (rt Router) partition(ops []graph.Op, insertOnly bool) [][]graph.Op {
-	parts := make([][]graph.Op, rt.Shards)
-	for i, o := range ops {
-		var sh int
-		switch {
-		case rt.Scope != ScopeGlobal:
-			sh = rt.Scope.Resource(o.Edge) % rt.Shards
-		case insertOnly:
-			sh = i % rt.Shards
-		default:
-			sh = int(o.Edge.Src) % rt.Shards
-		}
-		parts[sh] = append(parts[sh], o)
+	var route func(graph.Op, int) int
+	switch {
+	case rt.Scope != ScopeGlobal:
+		route = graph.RouteByResource(rt.Shards, rt.Scope.Resource)
+	case insertOnly:
+		route = graph.RouteRoundRobin(rt.Shards)
+	default:
+		route = graph.RouteBySrc(rt.Shards)
 	}
-	return parts
+	return graph.PartitionOps(ops, rt.Shards, route)
 }
 
 // batches cuts each shard's stream into BatchSize dispatch units and
@@ -153,12 +157,16 @@ func (rt Router) dispatch(sinks []graph.Applier, ops []graph.Op, insertOnly bool
 	var batchSize *obs.Hist
 	var batches *obs.Counter
 	if rt.Obs != nil {
+		reg := rt.Obs
+		if rt.Instance != "" {
+			reg = reg.Instance(rt.Instance)
+		}
 		shardOps = make([]*obs.Counter, rt.Shards)
 		for i := range shardOps {
-			shardOps[i] = rt.Obs.Counter(fmt.Sprintf("workload.router.shard%d.ops", i))
+			shardOps[i] = reg.Counter(fmt.Sprintf("workload.router.shard%d.ops", i))
 		}
-		batchSize = rt.Obs.Hist("workload.router.batch.size")
-		batches = rt.Obs.Counter("workload.router.batches")
+		batchSize = reg.Hist("workload.router.batch.size")
+		batches = reg.Counter("workload.router.batches")
 	}
 	r := vtime.NewRunner(rt.Shards)
 	err := causalDrive(r, rt.batches(ops, insertOnly),

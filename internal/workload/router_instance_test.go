@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"dgap/internal/graph"
+	"dgap/internal/obs"
+)
+
+type countSink struct{ ops atomic.Int64 }
+
+func (s *countSink) ApplyOps(ops []graph.Op) error {
+	s.ops.Add(int64(len(ops)))
+	return nil
+}
+
+// TestRouterInstanceScopesObs is the multi-instance regression test:
+// two Routers sharing one registry used to write the same global
+// workload.router.* instruments; with Instance labels each keeps its
+// own series, and an unlabeled Router keeps the legacy single-instance
+// names (which CI greps from the live /metrics endpoint).
+func TestRouterInstanceScopesObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	edges := make([]graph.Edge, 64)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.V(i % 8), Dst: graph.V(i % 5)}
+	}
+	run := func(instance string, n int) {
+		sink := &countSink{}
+		rt := Router{Shards: 2, BatchSize: 8, Scope: ScopeVertex, Obs: reg, Instance: instance}
+		if _, err := rt.Run(sharedSinks(sink, 2), edges[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if got := sink.ops.Load(); got != int64(n) {
+			t.Fatalf("instance %q sink saw %d ops, want %d", instance, got, n)
+		}
+	}
+	run("a", 64)
+	run("b", 32)
+	run("", 16)
+
+	want := map[string]int64{
+		"workload.a.router.batches": 8,
+		"workload.b.router.batches": 4,
+		"workload.router.batches":   2,
+	}
+	vals := map[string]int64{}
+	for _, m := range reg.Snapshot() {
+		vals[m.Name] = m.Value
+	}
+	for name, n := range want {
+		if vals[name] != n {
+			t.Errorf("%s = %d, want %d (snapshot %v)", name, vals[name], n, vals)
+		}
+	}
+	shard := map[string]int64{
+		"workload.a.router.shard0.ops": 0,
+		"workload.a.router.shard1.ops": 0,
+		"workload.b.router.shard0.ops": 0,
+		"workload.router.shard0.ops":   0,
+	}
+	for name := range shard {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("missing per-shard instrument %s", name)
+		}
+	}
+	if got := vals["workload.a.router.shard0.ops"] + vals["workload.a.router.shard1.ops"]; got != 64 {
+		t.Errorf("instance a shard ops sum = %d, want 64", got)
+	}
+}
