@@ -10,6 +10,7 @@
 //	dgap-bench -json                       kernel timings   -> BENCH_kernels.json
 //	dgap-bench -ingest                     ingest timings   -> BENCH_ingest.json
 //	dgap-bench -serve                      mixed read/write -> BENCH_serve.json
+//	dgap-bench -frontend                   wire front end   -> BENCH_serve.json (frontend section)
 //	dgap-bench -churn                      insert+delete    -> BENCH_churn.json
 //	dgap-bench -recover                    crash restart    -> BENCH_recover.json
 //	dgap-bench -scale                      shard scaling    -> BENCH_scale.json
@@ -22,7 +23,14 @@
 // snapshot leases while ingest streams through the router — at several
 // read:write ratios plus the refresh-latency rows (full-recompute vs
 // delta-incremental kernel maintenance per refresh cadence, and a
-// staleness-vs-cost sweep over the refresh window),
+// staleness-vs-cost sweep over the refresh window), and -frontend runs
+// the wire front-end experiment — closed-loop pipelined-binary vs
+// legacy-line protocol throughput on the same query mix, an open-loop
+// (fixed arrival schedule, latency measured from scheduled time) rate
+// ladder reporting the QPS each QoS class sustains at a fixed p999 SLO,
+// and a 2x-overload row where weighted admission sheds analytics while
+// interactive holds its SLO, all with churn ingest underneath — merged
+// into BENCH_serve.json's frontend section,
 // and -churn drives the sliding-window insert/delete
 // stream (delete throughput, tombstone-compaction counts, post-churn
 // space), and -recover kills the serving stack mid-churn at every
@@ -60,6 +68,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "time the analysis kernels (bulk and callback read paths) and write BENCH_kernels.json instead of printing tables")
 	ingest := flag.Bool("ingest", false, "time the ingest write paths (scalar vs batched vs sharded router) and write BENCH_ingest.json; combines with -json and -serve")
 	serveExp := flag.Bool("serve", false, "run the mixed read/write serving experiment (queries over snapshot leases concurrent with routed ingest, plus full-vs-incremental kernel refresh rows) and write BENCH_serve.json; combines with -json and -ingest")
+	frontend := flag.Bool("frontend", false, "run the wire front-end experiment (closed-loop wire vs line protocol throughput, open-loop per-class SLO ladder, 2x-overload row, churn ingest underneath) and merge it into BENCH_serve.json's frontend section; combines with the other dumps")
 	churn := flag.Bool("churn", false, "run the sliding-window churn experiment (batched deletes, tombstone compaction, post-churn space) and write BENCH_churn.json; combines with the other dumps")
 	recoverExp := flag.Bool("recover", false, "run the crash-recovery experiment (kill the serving stack at every crash point, chaos-crash, reopen, measure restart-to-first-query and restart-to-full-QPS) and write BENCH_recover.json; combines with the other dumps")
 	crashSeed := flag.Int64("crashseed", 0, "base seed for the recovery experiment's chaotic power cuts (0 = fixed default); derived per-point seeds are printed on failure")
@@ -101,6 +110,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *frontend {
+		if err := bench.FrontendJSON(opt, bench.ArtifactPath("BENCH_serve.json", *tiny)); err != nil {
+			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if *churn {
 		if err := bench.ChurnJSON(opt, bench.ArtifactPath("BENCH_churn.json", *tiny)); err != nil {
 			fmt.Fprintln(os.Stderr, "dgap-bench:", err)
@@ -125,7 +140,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *ingest || *serveExp || *churn || *recoverExp || *scaleExp || *jsonOut {
+	if *ingest || *serveExp || *frontend || *churn || *recoverExp || *scaleExp || *jsonOut {
 		return
 	}
 	if *exp == "all" {

@@ -8,6 +8,7 @@
 //	dgap-serve                          serve DGAP on the tiny orkut preset
 //	dgap-serve -system XPGraph -scale 0.0005 -dataset livejournal
 //	dgap-serve -shards 4                serve a 4-partition graph.Cluster
+//	dgap-serve -wire :7421              production framed protocol on TCP
 //	echo -e "topk 5\nstats" | dgap-serve
 //
 // Protocol (one command per line, one reply per command):
@@ -29,9 +30,20 @@
 // staleness visible: issue ingest and watch queries keep answering from
 // the leased snapshot until the staleness bound refreshes it.
 //
+// With -wire ADDR the production front end goes live on TCP: the
+// length-prefixed binary protocol of internal/wire, with pipelining,
+// request batching, per-tenant QoS admission and typed overload
+// shedding (see that package's documentation for the frame layout).
+// -line ADDR serves the legacy text protocol above over TCP as a
+// compatibility listener sharing the same dispatcher as stdin. On
+// SIGINT/SIGTERM the process shuts down gracefully: listeners stop
+// accepting, in-flight requests drain within -drain, then the serving
+// layer closes.
+//
 // With -http ADDR the same introspection goes live over HTTP: /metrics
 // (text, or JSON with ?format=json), /stats, /slow and /debug/pprof —
-// see serve.(*Server).DebugMux.
+// see serve.(*Server).DebugMux. The wire front end's instruments
+// (wire.conn.*, wire.frames.*, wire.qos.*) appear there too.
 package main
 
 import (
@@ -41,8 +53,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"dgap/internal/bal"
@@ -54,6 +68,7 @@ import (
 	"dgap/internal/obs"
 	"dgap/internal/pmem"
 	"dgap/internal/serve"
+	"dgap/internal/wire"
 	"dgap/internal/workload"
 	"dgap/internal/xpgraph"
 )
@@ -69,16 +84,19 @@ func main() {
 	stalenessEdges := flag.Int64("staleness-edges", serve.DefaultStalenessEdges, "refresh the snapshot lease after this many applied edges (negative disables)")
 	stalenessAge := flag.Duration("staleness-age", serve.DefaultStalenessAge, "refresh the snapshot lease at this wall-clock age (negative disables)")
 	httpAddr := flag.String("http", "", "serve /metrics, /stats, /slow and /debug/pprof on this address (empty disables)")
+	wireAddr := flag.String("wire", "", "serve the framed binary protocol (internal/wire) on this TCP address (empty disables)")
+	lineAddr := flag.String("line", "", "serve the legacy line protocol on this TCP address (empty disables)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	slowThr := flag.Duration("slow-threshold", serve.DefaultSlowThreshold, "retain queries at or above this latency in the slow-query log (negative retains all)")
 	flag.Parse()
 
-	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *clusterShards, *stalenessEdges, *stalenessAge, *httpAddr, *slowThr); err != nil {
+	if err := run(*system, *dataset, *scale, *seed, *workers, *shards, *clusterShards, *stalenessEdges, *stalenessAge, *httpAddr, *wireAddr, *lineAddr, *drain, *slowThr); err != nil {
 		fmt.Fprintln(os.Stderr, "dgap-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, dataset string, scale float64, seed int64, workers, shards, clusterShards int, stalenessEdges int64, stalenessAge time.Duration, httpAddr string, slowThr time.Duration) error {
+func run(system, dataset string, scale float64, seed int64, workers, shards, clusterShards int, stalenessEdges int64, stalenessAge time.Duration, httpAddr, wireAddr, lineAddr string, drain, slowThr time.Duration) error {
 	spec, err := graphgen.Preset(dataset)
 	if err != nil {
 		return err
@@ -140,8 +158,79 @@ func run(system, dataset string, scale float64, seed int64, workers, shards, clu
 		go func() { _ = http.Serve(ln, srv.DebugMux()) }()
 		fmt.Printf("introspection on http://%s/metrics (/stats, /slow, /debug/pprof)\n", ln.Addr())
 	}
+
+	// The network front ends: the framed binary protocol (production)
+	// and the legacy line protocol (compat), both drained gracefully on
+	// SIGINT/SIGTERM before the serving layer closes.
+	var ws *wire.Server
+	var ls *wire.LineServer
+	if wireAddr != "" {
+		ln, err := net.Listen("tcp", wireAddr)
+		if err != nil {
+			return err
+		}
+		ws = wire.NewServer(srv, wire.Config{})
+		go func() {
+			if err := ws.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "dgap-serve: wire:", err)
+			}
+		}()
+		fmt.Printf("wire protocol on %s\n", ln.Addr())
+	}
+	if lineAddr != "" {
+		ln, err := net.Listen("tcp", lineAddr)
+		if err != nil {
+			return err
+		}
+		ls = &wire.LineServer{NewHandler: func() wire.LineHandler {
+			connSeed := seed
+			return func(line string) (string, error) {
+				return dispatch(srv, nVert, line, &connSeed)
+			}
+		}}
+		go func() {
+			if err := ls.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "dgap-serve: line:", err)
+			}
+		}()
+		fmt.Printf("line protocol on %s\n", ln.Addr())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	stdinDone := make(chan error, 1)
+	go func() { stdinDone <- stdinLoop(srv, nVert, seed) }()
+
+	var scanErr error
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("caught %v, draining (deadline %v)\n", sig, drain)
+	case scanErr = <-stdinDone:
+		if ws != nil || ls != nil {
+			// stdin closed but listeners are live: stay up until a
+			// signal asks for shutdown.
+			fmt.Println("stdin closed; serving until SIGINT/SIGTERM")
+			sig := <-sigCh
+			fmt.Printf("caught %v, draining (deadline %v)\n", sig, drain)
+		}
+	}
+	if ws != nil {
+		ws.Shutdown(drain)
+	}
+	if ls != nil {
+		ls.Shutdown(drain)
+	}
+	return scanErr
+}
+
+// stdinLoop runs the interactive line protocol on stdin/stdout until
+// EOF or quit. The scanner's buffer is sized explicitly: the default
+// 64KB token cap would silently end the loop on a long input line.
+func stdinLoop(srv *serve.Server, nVert int, seed int64) error {
 	ingestSeed := seed
 	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), wire.DefaultMaxLine)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {

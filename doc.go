@@ -60,8 +60,16 @@
 // multiplexes concurrent point queries and kernel refreshes over
 // refcounted View leases — one shared View per lease generation,
 // refreshed when a bounded-staleness limit trips — while ingest streams
-// underneath through the router. cmd/dgap-serve exposes the query API
-// interactively over a line protocol.
+// underneath through the router. internal/wire is the production
+// network edge over that stack: a length-prefixed binary protocol with
+// per-request ids (so one connection pipelines many in-flight queries
+// and batches point reads into single frames), bounded per-connection
+// in-flight windows, and a per-tenant QoS scheduler — weighted fair
+// queuing over measured service time across interactive and analytics
+// classes, with typed OVERLOADED shedding and retry-after hints.
+// cmd/dgap-serve serves it with -wire <addr>, alongside the legacy
+// interactive line protocol (stdin, or -line <addr>);
+// examples/wireclient walks the client side.
 //
 // bench_test.go in this directory exposes each experiment as a standard
 // testing.B benchmark; cmd/dgap-bench prints the full paper-style
@@ -78,7 +86,13 @@
 // -recover` kills the serving stack mid-churn at every injected crash
 // point, chaos-crashes the arena, reopens, and dumps
 // restart-to-first-query and restart-to-full-QPS per point to
-// BENCH_recover.json — all for cross-PR perf tracking. Under -tiny
+// BENCH_recover.json, and `dgap-bench -frontend` measures the wire
+// front end — closed-loop pipelined/batched wire throughput against
+// the line protocol, then an open-loop arrival-schedule ladder
+// reporting each class's sustainable QPS at a fixed p999 SLO and a
+// 2x-overload row where analytics sheds while interactive holds its
+// SLO, all over live churn ingest — merged into BENCH_serve.json's
+// frontend section — all for cross-PR perf tracking. Under -tiny
 // every dump diverts to BENCH_*_tiny.json so CI smoke runs never
 // overwrite the committed pinned-scale artifacts.
 package repro

@@ -156,7 +156,10 @@ type ObsOverheadResult struct {
 	MicroOverheadP50 float64 `json:"micro_overhead_p50"`
 }
 
-// ServeDump is the top-level BENCH_serve.json document.
+// ServeDump is the top-level BENCH_serve.json document. Frontend is the
+// wire front end's section (closed-loop protocol comparison, open-loop
+// SLO ladder, overload row), filled by FrontendJSON and preserved by it
+// across regenerations of the serve rows.
 type ServeDump struct {
 	Scale       float64             `json:"scale"`
 	Seed        int64               `json:"seed"`
@@ -165,6 +168,7 @@ type ServeDump struct {
 	Results     []ServeResult       `json:"results"`
 	Refresh     []RefreshResult     `json:"refresh"`
 	ObsOverhead []ObsOverheadResult `json:"obs_overhead"`
+	Frontend    *FrontendDump       `json:"frontend,omitempty"`
 }
 
 // ServeJSON runs the mixed read/write serving experiment — every
@@ -174,6 +178,14 @@ type ServeDump struct {
 func ServeJSON(o Options, path string) error {
 	o = o.defaults()
 	dump := ServeDump{Scale: o.Scale, Seed: o.Seed, Shards: serveShards, Workers: serveWorkers}
+	// Regenerating the serve rows must not drop the frontend section —
+	// the two experiments fill disjoint parts of the same artifact.
+	if data, err := os.ReadFile(path); err == nil {
+		var prev ServeDump
+		if json.Unmarshal(data, &prev) == nil {
+			dump.Frontend = prev.Frontend
+		}
+	}
 	for _, spec := range o.specs() {
 		edges := dataset(spec, o)
 		nVert := graphgen.MaxVertex(edges)

@@ -27,6 +27,12 @@ const (
 	ClassTopK
 	// ClassKernel refreshes a PageRank vector over the leased snapshot.
 	ClassKernel
+	// ClassBatch answers several point reads (degree, neighbors) under
+	// one admission ticket and one lease pin — the amortization a
+	// pipelined wire frame carrying batched point reads buys: the queue
+	// wait, lease acquisition and response fan-out are paid once for the
+	// whole group, and every answer comes from the same snapshot.
+	ClassBatch
 
 	nClasses
 )
@@ -46,6 +52,8 @@ func (c Class) String() string {
 		return "topk"
 	case ClassKernel:
 		return "kernel"
+	case ClassBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -58,6 +66,31 @@ type Query struct {
 	V graph.V
 	// K is the hop bound (ClassKHop) or ranking size (ClassTopK).
 	K int
+	// Points are the grouped point reads of a ClassBatch query, answered
+	// together under one lease pin. Each point must be ClassDegree or
+	// ClassNeighbors; anything heavier belongs in its own query.
+	Points []BatchPoint
+	// Tenant identifies the principal the query was submitted for — the
+	// wire front end extracts it from the frame header and plumbs it
+	// through so shed decisions and slow-log entries are attributable.
+	// Zero means unattributed (direct API callers, the line protocol).
+	Tenant uint32
+}
+
+// BatchPoint is one point read inside a ClassBatch query.
+type BatchPoint struct {
+	// Class selects the read: ClassDegree or ClassNeighbors.
+	Class Class
+	// V is the subject vertex.
+	V graph.V
+}
+
+// PointResult is one BatchPoint's answer inside a ClassBatch Result.
+type PointResult struct {
+	// Value is the out-degree (ClassDegree points).
+	Value int64
+	// Verts is the neighbor list (ClassNeighbors points).
+	Verts []graph.V
 }
 
 // detail renders the query's arguments for the slow-query log. Only
@@ -71,6 +104,8 @@ func (q Query) detail() string {
 		return fmt.Sprintf("v=%d k=%d", q.V, q.K)
 	case ClassTopK:
 		return fmt.Sprintf("k=%d", q.K)
+	case ClassBatch:
+		return fmt.Sprintf("n=%d tenant=%d", len(q.Points), q.Tenant)
 	default:
 		return ""
 	}
@@ -132,6 +167,9 @@ type Result struct {
 	Degrees []int
 	// Ranks is the refreshed PageRank vector (ClassKernel).
 	Ranks []float64
+	// Points holds one answer per BatchPoint (ClassBatch), index-aligned
+	// with Query.Points and all read from the same snapshot.
+	Points []PointResult
 	// Kernel is the path a ClassKernel query was answered through
 	// (KernelNone for every other class).
 	Kernel KernelPath
@@ -170,7 +208,8 @@ func (s *Server) execute(q Query) Result {
 	view := l.View
 	res := Result{Query: q, Gen: l.Gen, Edges: view.NumEdges()}
 	res.Phases[obs.PhaseLease] = leaseDur
-	if q.Class != ClassTopK && q.Class != ClassKernel && int(q.V) >= view.NumVertices() {
+	perVertex := q.Class == ClassDegree || q.Class == ClassNeighbors || q.Class == ClassKHop
+	if perVertex && int(q.V) >= view.NumVertices() {
 		res.Err = fmt.Errorf("%w: %d >= %d", ErrBadVertex, q.V, view.NumVertices())
 		return res
 	}
@@ -194,6 +233,28 @@ func (s *Server) execute(q Query) Result {
 		}
 	case ClassKernel:
 		s.kernel(l, &res, acfg)
+	case ClassBatch:
+		// Validate the whole group before answering any of it, so a
+		// malformed point fails the batch atomically instead of handing
+		// back a half-filled answer slice.
+		for i, p := range q.Points {
+			if p.Class != ClassDegree && p.Class != ClassNeighbors {
+				res.Err = fmt.Errorf("serve: batch point %d: class %s not batchable", i, p.Class)
+				return res
+			}
+			if int(p.V) >= view.NumVertices() {
+				res.Err = fmt.Errorf("%w: batch point %d: %d >= %d", ErrBadVertex, i, p.V, view.NumVertices())
+				return res
+			}
+		}
+		res.Points = make([]PointResult, len(q.Points))
+		for i, p := range q.Points {
+			if p.Class == ClassDegree {
+				res.Points[i].Value = int64(view.Degree(p.V))
+			} else {
+				res.Points[i].Verts = view.CopyNeighbors(p.V, nil)
+			}
+		}
 	default:
 		res.Err = fmt.Errorf("serve: unknown query class %d", q.Class)
 	}

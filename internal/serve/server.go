@@ -213,7 +213,11 @@ type Server struct {
 	workers  *vtime.Pool
 	wg       sync.WaitGroup
 	rejected atomic.Int64
-	born     time.Time
+	// shed breaks the rejected total out per query class, so a QoS layer
+	// above the pool can attribute which class paid for an overload
+	// (serve.class.<name>.shed in obs, ClassStats.Shed in Stats).
+	shed [nClasses]atomic.Int64
+	born time.Time
 
 	hist [nClasses]*obs.Hist
 	// compute holds per-class kernel compute-time histograms: the
@@ -316,6 +320,7 @@ func New(sys graph.System, cfg Config) (*Server, error) {
 	for c := Class(0); c < nClasses; c++ {
 		s.hist[c] = s.reg.Hist("serve.query." + c.String() + ".latency")
 		s.compute[c] = s.reg.Hist("serve.query." + c.String() + ".compute")
+		s.reg.CounterFunc("serve.class."+c.String()+".shed", s.shed[c].Load)
 	}
 	s.queueWait = s.reg.Hist("serve.queue.wait")
 	s.slots = make([]workerSlot, cfg.Workers)
@@ -475,6 +480,7 @@ func (s *Server) enqueue(q Query, block bool) (*task, error) {
 		return t, nil
 	default:
 		s.rejected.Add(1)
+		s.shed[q.Class].Add(1)
 		return nil, ErrOverloaded
 	}
 }
@@ -623,6 +629,10 @@ type ClassStats struct {
 	Max   time.Duration `json:"max_ns"`
 	Mean  time.Duration `json:"mean_ns"`
 	QPS   float64       `json:"qps"` // completed queries per second of server uptime
+	// Shed counts this class's queries rejected with ErrOverloaded —
+	// the per-class breakdown of Stats.ShedTotal, so admission decisions
+	// made above the pool (the wire QoS layer) stay attributable.
+	Shed int64 `json:"shed,omitempty"`
 
 	// Compute summarizes the class's kernel compute-time histogram —
 	// the duration the analytics kernel itself measured, excluding
@@ -693,6 +703,7 @@ func (s *Server) Stats() Stats {
 		h, ch := s.hist[c], s.compute[c]
 		cs := ClassStats{
 			Class:       c.String(),
+			Shed:        s.shed[c].Load(),
 			Count:       h.Count(),
 			P50:         h.Quantile(0.50),
 			P99:         h.Quantile(0.99),

@@ -1,0 +1,303 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrClientClosed fails submissions after Close, and outstanding
+// callbacks when the connection dies underneath them.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ClientConfig shapes a Client.
+type ClientConfig struct {
+	// Class is the QoS class stamped on every request (overridable per
+	// submission with SubmitClass).
+	Class Class
+	// Tenant is the tenant id stamped on every request.
+	Tenant uint32
+	// MaxFrame bounds one inbound response frame (0 = DefaultMaxFrame).
+	MaxFrame uint32
+}
+
+// Client is a pipelining wire-protocol client: submissions are assigned
+// request ids and buffered, a background flusher coalesces them into
+// few syscalls, and a reader goroutine matches responses — which may
+// arrive in any order — back to their callbacks by id. Safe for
+// concurrent use.
+type Client struct {
+	nc  net.Conn
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	nextID uint64
+	// inflight maps request id to its completion callback.
+	inflight map[uint64]func(*Response, error)
+	closed   bool
+	buf      []byte
+
+	flushCh chan struct{}
+	done    chan struct{}
+}
+
+// Dial connects a Client to a wire server.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tuneConn(nc)
+	return NewClient(nc, cfg), nil
+}
+
+// NewClient wraps an established connection. The Client owns nc.
+func NewClient(nc net.Conn, cfg ClientConfig) *Client {
+	if cfg.MaxFrame == 0 || cfg.MaxFrame > MaxFrame {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	c := &Client{
+		nc:       nc,
+		cfg:      cfg,
+		bw:       bufio.NewWriterSize(nc, connBufSize),
+		inflight: make(map[uint64]func(*Response, error)),
+		flushCh:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go c.reader()
+	go c.flusher()
+	return c
+}
+
+// SubmitFunc submits req under the configured class and invokes fn
+// exactly once with the matched response (or a transport error). fn
+// runs on the client's reader goroutine: keep it short — record, signal
+// — and do not submit from inside it.
+func (c *Client) SubmitFunc(req *Request, fn func(*Response, error)) error {
+	return c.SubmitClass(req, c.cfg.Class, fn)
+}
+
+// SubmitClass is SubmitFunc with an explicit QoS class.
+func (c *Client) SubmitClass(req *Request, class Class, fn func(*Response, error)) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	f := Frame{Header: Header{
+		Version: ProtoVersion,
+		Op:      req.Op,
+		Class:   class,
+		Tenant:  c.cfg.Tenant,
+		ID:      id,
+	}}
+	var err error
+	f.Payload, err = AppendRequestPayload(nil, req)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	// Register before writing: a full bufio buffer can flush inside
+	// Write, and the response may race back before Write returns.
+	c.inflight[id] = fn
+	c.buf = AppendFrame(c.buf[:0], &f)
+	if _, err = c.bw.Write(c.buf); err != nil {
+		delete(c.inflight, id)
+		c.mu.Unlock()
+		c.fail(err)
+		return err
+	}
+	c.mu.Unlock()
+	select {
+	case c.flushCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// flusher pushes buffered requests to the socket. Because one flush
+// holds the lock while further submissions buffer behind it, pipelined
+// bursts coalesce naturally; an idle client's single request flushes
+// immediately.
+func (c *Client) flusher() {
+	for {
+		select {
+		case <-c.flushCh:
+		case <-c.done:
+			return
+		}
+		c.mu.Lock()
+		err := c.bw.Flush()
+		c.mu.Unlock()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// Flush forces buffered requests onto the socket now.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	return c.bw.Flush()
+}
+
+// reader matches inbound responses to callbacks by request id.
+func (c *Client) reader() {
+	br := bufio.NewReaderSize(c.nc, connBufSize)
+	for {
+		f, err := ReadFrame(br, c.cfg.MaxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := ParseResponse(f.Op, f.Payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		fn := c.inflight[f.ID]
+		delete(c.inflight, f.ID)
+		c.mu.Unlock()
+		if fn != nil {
+			fn(&resp, nil)
+		}
+	}
+}
+
+// fail tears the client down: the socket closes, and every outstanding
+// callback is invoked with the transport error.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pending := c.inflight
+	c.inflight = nil
+	close(c.done)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, fn := range pending {
+		fn(nil, err)
+	}
+}
+
+// Close shuts the client down; outstanding callbacks fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return nil
+}
+
+// call is the synchronous submission path under the sync helpers.
+func (c *Client) call(req *Request, class Class) (*Response, error) {
+	ch := make(chan struct{})
+	var resp *Response
+	var rerr error
+	if err := c.SubmitClass(req, class, func(r *Response, err error) {
+		resp, rerr = r, err
+		close(ch)
+	}); err != nil {
+		return nil, err
+	}
+	<-ch
+	if rerr != nil {
+		return nil, rerr
+	}
+	if resp.Err != nil {
+		return resp, resp.Err
+	}
+	return resp, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: OpPing}, c.cfg.Class)
+	return err
+}
+
+// Degree returns v's out-degree.
+func (c *Client) Degree(v uint64) (int64, error) {
+	r, err := c.call(&Request{Op: OpDegree, V: v}, c.cfg.Class)
+	if err != nil {
+		return 0, err
+	}
+	return r.Value, nil
+}
+
+// Neighbors returns v's neighbor list.
+func (c *Client) Neighbors(v uint64) ([]uint64, error) {
+	r, err := c.call(&Request{Op: OpNeighbors, V: v}, c.cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+	return r.Verts, nil
+}
+
+// KHop returns the number of vertices within k hops of v.
+func (c *Client) KHop(v uint64, k uint32) (int64, error) {
+	r, err := c.call(&Request{Op: OpKHop, V: v, K: k}, c.cfg.Class)
+	if err != nil {
+		return 0, err
+	}
+	return r.Value, nil
+}
+
+// TopK returns the k highest-degree vertices and their degrees.
+func (c *Client) TopK(k uint32) ([]uint64, []uint64, error) {
+	r, err := c.call(&Request{Op: OpTopK, K: k}, c.cfg.Class)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Verts, r.Degrees, nil
+}
+
+// PageRank refreshes the served PageRank vector and returns its
+// summary response (rank count, top vertex, top score).
+func (c *Client) PageRank() (*Response, error) {
+	return c.call(&Request{Op: OpPageRank}, c.cfg.Class)
+}
+
+// Batch answers several point reads under one frame, one admission
+// ticket and one snapshot.
+func (c *Client) Batch(points []Point) ([]PointAnswer, error) {
+	r, err := c.call(&Request{Op: OpBatch, Points: points}, c.cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+	return r.Points, nil
+}
+
+// String renders a response for human-facing walkthroughs.
+func (r *Response) String() string {
+	switch r.Op {
+	case RespPong:
+		return "pong"
+	case RespValue:
+		return fmt.Sprintf("%d (gen=%d edges=%d)", r.Value, r.Gen, r.Edges)
+	case RespVerts:
+		return fmt.Sprintf("%v (gen=%d edges=%d)", r.Verts, r.Gen, r.Edges)
+	case RespTopK:
+		return fmt.Sprintf("top %d (gen=%d edges=%d)", len(r.Verts), r.Gen, r.Edges)
+	case RespRank:
+		return fmt.Sprintf("%d ranks, top %d (%.5f) (gen=%d edges=%d)", r.NRanks, r.Top, r.Score, r.Gen, r.Edges)
+	case RespBatch:
+		return fmt.Sprintf("%d answers (gen=%d edges=%d)", len(r.Points), r.Gen, r.Edges)
+	case RespError:
+		return r.Err.Error()
+	default:
+		return r.Op.String()
+	}
+}

@@ -1,0 +1,425 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// MaxBatch bounds the point count of one OpBatch frame. It keeps a
+// single frame's service time comparable to a heavy point query rather
+// than an unbounded scan, and bounds the decode allocation.
+const MaxBatch = 4096
+
+// ErrCode is a typed error code carried by RespError frames.
+type ErrCode uint16
+
+const (
+	// CodeBadFrame: the frame violated the protocol (nonzero flags,
+	// unknown class, malformed payload).
+	CodeBadFrame ErrCode = 1
+	// CodeBadVertex: the named vertex is outside the snapshot's id space.
+	CodeBadVertex ErrCode = 2
+	// CodeOverloaded: admission shed the request; RetryAfter carries the
+	// server's backoff hint. The connection stays healthy — the client
+	// should retry after the hint, not reconnect.
+	CodeOverloaded ErrCode = 3
+	// CodeShutdown: the server is draining and no longer admits work.
+	CodeShutdown ErrCode = 4
+	// CodeVersion: the frame's protocol version is not served.
+	CodeVersion ErrCode = 5
+	// CodeUnknownOp: the opcode is not recognized (a newer client
+	// against an older server); the connection stays healthy.
+	CodeUnknownOp ErrCode = 6
+	// CodeInternal: the query failed inside the serving layer.
+	CodeInternal ErrCode = 7
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBadFrame:
+		return "bad-frame"
+	case CodeBadVertex:
+		return "bad-vertex"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeVersion:
+		return "version"
+	case CodeUnknownOp:
+		return "unknown-op"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", uint16(c))
+	}
+}
+
+// Error is a decoded RespError: the typed, retryable failure a request
+// can end with instead of a torn connection.
+type Error struct {
+	Code ErrCode
+	// RetryAfter is the server's backoff hint (CodeOverloaded only):
+	// roughly how long until the shed class's queue has drained at the
+	// current service rate. Zero means no hint.
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *Error) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("wire: %s (retry after %v): %s", e.Code, e.RetryAfter, e.Msg)
+	}
+	return fmt.Sprintf("wire: %s: %s", e.Code, e.Msg)
+}
+
+// Request is one decoded request frame's typed body.
+type Request struct {
+	Op Op
+	// V is the subject vertex (OpDegree, OpNeighbors, OpKHop).
+	V uint64
+	// K is the hop bound (OpKHop) or ranking size (OpTopK).
+	K uint32
+	// Points are OpBatch's grouped point reads.
+	Points []Point
+}
+
+// Point is one point read inside an OpBatch request.
+type Point struct {
+	// Op is OpDegree or OpNeighbors.
+	Op Op
+	// V is the subject vertex.
+	V uint64
+}
+
+// PointAnswer is one point's answer inside a RespBatch response.
+type PointAnswer struct {
+	// Op echoes the request point's opcode.
+	Op Op
+	// Value is the out-degree (OpDegree points).
+	Value int64
+	// Verts is the neighbor list (OpNeighbors points).
+	Verts []uint64
+}
+
+// Response is one decoded response frame's typed body.
+type Response struct {
+	Op Op
+	// Gen and Edges are the bounded-staleness provenance: the lease
+	// generation and snapshot edge count the answer was served from.
+	// Zero on RespPong and RespError, which touch no snapshot.
+	Gen   uint64
+	Edges uint64
+	// Value carries scalar answers (RespValue).
+	Value int64
+	// Verts carries the neighbor list (RespVerts) or the ranked
+	// vertices (RespTopK).
+	Verts []uint64
+	// Degrees is index-aligned with Verts on RespTopK.
+	Degrees []uint64
+	// NRanks, Top and Score summarize the PageRank vector (RespRank).
+	NRanks uint32
+	Top    uint64
+	Score  float64
+	// Points holds one answer per batched point (RespBatch).
+	Points []PointAnswer
+	// Err is the typed failure (RespError).
+	Err *Error
+}
+
+// AppendRequestPayload appends r's opcode-specific payload encoding.
+func AppendRequestPayload(dst []byte, r *Request) ([]byte, error) {
+	switch r.Op {
+	case OpPing, OpPageRank:
+		return dst, nil
+	case OpDegree, OpNeighbors:
+		return binary.BigEndian.AppendUint64(dst, r.V), nil
+	case OpKHop:
+		dst = binary.BigEndian.AppendUint64(dst, r.V)
+		return binary.BigEndian.AppendUint32(dst, r.K), nil
+	case OpTopK:
+		return binary.BigEndian.AppendUint32(dst, r.K), nil
+	case OpBatch:
+		if len(r.Points) == 0 || len(r.Points) > MaxBatch {
+			return dst, fmt.Errorf("wire: batch of %d points (max %d)", len(r.Points), MaxBatch)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Points)))
+		for _, p := range r.Points {
+			if p.Op != OpDegree && p.Op != OpNeighbors {
+				return dst, fmt.Errorf("wire: batch point op %s not batchable", p.Op)
+			}
+			dst = append(dst, byte(p.Op))
+			dst = binary.BigEndian.AppendUint64(dst, p.V)
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("wire: unknown request op %s", r.Op)
+	}
+}
+
+// ParseRequest decodes a request frame's payload against its opcode.
+// Every length is validated before any allocation, and the payload must
+// be exactly the announced size — trailing garbage is an error, so a
+// frame can never smuggle bytes past the codec.
+func ParseRequest(op Op, p []byte) (Request, error) {
+	r := Request{Op: op}
+	switch op {
+	case OpPing, OpPageRank:
+		if len(p) != 0 {
+			return r, fmt.Errorf("wire: %s: %d trailing payload bytes", op, len(p))
+		}
+		return r, nil
+	case OpDegree, OpNeighbors:
+		if len(p) != 8 {
+			return r, fmt.Errorf("wire: %s: payload %d bytes, want 8", op, len(p))
+		}
+		r.V = binary.BigEndian.Uint64(p)
+		return r, nil
+	case OpKHop:
+		if len(p) != 12 {
+			return r, fmt.Errorf("wire: %s: payload %d bytes, want 12", op, len(p))
+		}
+		r.V = binary.BigEndian.Uint64(p)
+		r.K = binary.BigEndian.Uint32(p[8:])
+		return r, nil
+	case OpTopK:
+		if len(p) != 4 {
+			return r, fmt.Errorf("wire: %s: payload %d bytes, want 4", op, len(p))
+		}
+		r.K = binary.BigEndian.Uint32(p)
+		return r, nil
+	case OpBatch:
+		if len(p) < 2 {
+			return r, fmt.Errorf("wire: %s: payload %d bytes, want >= 2", op, len(p))
+		}
+		n := int(binary.BigEndian.Uint16(p))
+		if n == 0 || n > MaxBatch {
+			return r, fmt.Errorf("wire: batch of %d points (max %d)", n, MaxBatch)
+		}
+		if len(p) != 2+9*n {
+			return r, fmt.Errorf("wire: batch payload %d bytes, want %d", len(p), 2+9*n)
+		}
+		r.Points = make([]Point, n)
+		for i := range r.Points {
+			it := p[2+9*i:]
+			r.Points[i] = Point{Op: Op(it[0]), V: binary.BigEndian.Uint64(it[1:])}
+			if r.Points[i].Op != OpDegree && r.Points[i].Op != OpNeighbors {
+				return r, fmt.Errorf("wire: batch point %d op %s not batchable", i, r.Points[i].Op)
+			}
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("wire: unknown request op %s", op)
+	}
+}
+
+// AppendResponsePayload appends r's opcode-specific payload encoding.
+func AppendResponsePayload(dst []byte, r *Response) ([]byte, error) {
+	prov := func(dst []byte) []byte {
+		dst = binary.BigEndian.AppendUint64(dst, r.Gen)
+		return binary.BigEndian.AppendUint64(dst, r.Edges)
+	}
+	switch r.Op {
+	case RespPong:
+		return dst, nil
+	case RespValue:
+		dst = prov(dst)
+		return binary.BigEndian.AppendUint64(dst, uint64(r.Value)), nil
+	case RespVerts:
+		dst = prov(dst)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Verts)))
+		for _, v := range r.Verts {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+		}
+		return dst, nil
+	case RespTopK:
+		if len(r.Degrees) != len(r.Verts) {
+			return dst, fmt.Errorf("wire: topk response: %d degrees for %d verts", len(r.Degrees), len(r.Verts))
+		}
+		dst = prov(dst)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Verts)))
+		for i, v := range r.Verts {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+			dst = binary.BigEndian.AppendUint64(dst, r.Degrees[i])
+		}
+		return dst, nil
+	case RespRank:
+		dst = prov(dst)
+		dst = binary.BigEndian.AppendUint32(dst, r.NRanks)
+		dst = binary.BigEndian.AppendUint64(dst, r.Top)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Score)), nil
+	case RespBatch:
+		if len(r.Points) == 0 || len(r.Points) > MaxBatch {
+			return dst, fmt.Errorf("wire: batch response of %d points (max %d)", len(r.Points), MaxBatch)
+		}
+		dst = prov(dst)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Points)))
+		for _, p := range r.Points {
+			dst = append(dst, byte(p.Op))
+			switch p.Op {
+			case OpDegree:
+				dst = binary.BigEndian.AppendUint64(dst, uint64(p.Value))
+			case OpNeighbors:
+				dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.Verts)))
+				for _, v := range p.Verts {
+					dst = binary.BigEndian.AppendUint64(dst, v)
+				}
+			default:
+				return dst, fmt.Errorf("wire: batch answer op %s not batchable", p.Op)
+			}
+		}
+		return dst, nil
+	case RespError:
+		e := r.Err
+		if e == nil {
+			return dst, fmt.Errorf("wire: error response without error")
+		}
+		msg := e.Msg
+		if len(msg) > math.MaxUint16 {
+			msg = msg[:math.MaxUint16]
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(e.Code))
+		retry := e.RetryAfter.Microseconds()
+		if retry < 0 {
+			retry = 0
+		}
+		if retry > math.MaxUint32 {
+			retry = math.MaxUint32
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(retry))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+		return append(dst, msg...), nil
+	default:
+		return dst, fmt.Errorf("wire: unknown response op %s", r.Op)
+	}
+}
+
+// ParseResponse decodes a response frame's payload against its opcode,
+// with the same exact-size discipline as ParseRequest. Element counts
+// are validated against the remaining payload length before any
+// allocation, so a hostile count can never force an over-allocation.
+func ParseResponse(op Op, p []byte) (Response, error) {
+	r := Response{Op: op}
+	if op == RespPong {
+		if len(p) != 0 {
+			return r, fmt.Errorf("wire: pong: %d trailing payload bytes", len(p))
+		}
+		return r, nil
+	}
+	if op == RespError {
+		if len(p) < 8 {
+			return r, fmt.Errorf("wire: error response payload %d bytes, want >= 8", len(p))
+		}
+		e := &Error{
+			Code:       ErrCode(binary.BigEndian.Uint16(p)),
+			RetryAfter: time.Duration(binary.BigEndian.Uint32(p[2:])) * time.Microsecond,
+		}
+		n := int(binary.BigEndian.Uint16(p[6:]))
+		if len(p) != 8+n {
+			return r, fmt.Errorf("wire: error response payload %d bytes, want %d", len(p), 8+n)
+		}
+		e.Msg = string(p[8:])
+		r.Err = e
+		return r, nil
+	}
+	// Every remaining response starts with the 16-byte provenance.
+	if len(p) < 16 {
+		return r, fmt.Errorf("wire: %s: payload %d bytes, want >= 16", op, len(p))
+	}
+	r.Gen = binary.BigEndian.Uint64(p)
+	r.Edges = binary.BigEndian.Uint64(p[8:])
+	p = p[16:]
+	switch op {
+	case RespValue:
+		if len(p) != 8 {
+			return r, fmt.Errorf("wire: value response payload %d bytes, want 8", len(p))
+		}
+		r.Value = int64(binary.BigEndian.Uint64(p))
+		return r, nil
+	case RespVerts:
+		if len(p) < 4 {
+			return r, fmt.Errorf("wire: verts response payload %d bytes, want >= 4", len(p))
+		}
+		n := int(binary.BigEndian.Uint32(p))
+		if len(p) != 4+8*n {
+			return r, fmt.Errorf("wire: verts response payload %d bytes, want %d", len(p), 4+8*n)
+		}
+		r.Verts = make([]uint64, n)
+		for i := range r.Verts {
+			r.Verts[i] = binary.BigEndian.Uint64(p[4+8*i:])
+		}
+		return r, nil
+	case RespTopK:
+		if len(p) < 4 {
+			return r, fmt.Errorf("wire: topk response payload %d bytes, want >= 4", len(p))
+		}
+		n := int(binary.BigEndian.Uint32(p))
+		if len(p) != 4+16*n {
+			return r, fmt.Errorf("wire: topk response payload %d bytes, want %d", len(p), 4+16*n)
+		}
+		r.Verts = make([]uint64, n)
+		r.Degrees = make([]uint64, n)
+		for i := range r.Verts {
+			r.Verts[i] = binary.BigEndian.Uint64(p[4+16*i:])
+			r.Degrees[i] = binary.BigEndian.Uint64(p[12+16*i:])
+		}
+		return r, nil
+	case RespRank:
+		if len(p) != 20 {
+			return r, fmt.Errorf("wire: rank response payload %d bytes, want 20", len(p))
+		}
+		r.NRanks = binary.BigEndian.Uint32(p)
+		r.Top = binary.BigEndian.Uint64(p[4:])
+		r.Score = math.Float64frombits(binary.BigEndian.Uint64(p[12:]))
+		return r, nil
+	case RespBatch:
+		if len(p) < 2 {
+			return r, fmt.Errorf("wire: batch response payload %d bytes, want >= 2", len(p))
+		}
+		n := int(binary.BigEndian.Uint16(p))
+		if n == 0 || n > MaxBatch {
+			return r, fmt.Errorf("wire: batch response of %d points (max %d)", n, MaxBatch)
+		}
+		p = p[2:]
+		r.Points = make([]PointAnswer, n)
+		for i := range r.Points {
+			if len(p) < 1 {
+				return r, fmt.Errorf("wire: batch response truncated at point %d", i)
+			}
+			pa := PointAnswer{Op: Op(p[0])}
+			p = p[1:]
+			switch pa.Op {
+			case OpDegree:
+				if len(p) < 8 {
+					return r, fmt.Errorf("wire: batch response truncated at point %d", i)
+				}
+				pa.Value = int64(binary.BigEndian.Uint64(p))
+				p = p[8:]
+			case OpNeighbors:
+				if len(p) < 4 {
+					return r, fmt.Errorf("wire: batch response truncated at point %d", i)
+				}
+				m := int(binary.BigEndian.Uint32(p))
+				if len(p) < 4+8*m {
+					return r, fmt.Errorf("wire: batch response truncated at point %d", i)
+				}
+				pa.Verts = make([]uint64, m)
+				for j := range pa.Verts {
+					pa.Verts[j] = binary.BigEndian.Uint64(p[4+8*j:])
+				}
+				p = p[4+8*m:]
+			default:
+				return r, fmt.Errorf("wire: batch response point %d op %s not batchable", i, pa.Op)
+			}
+			r.Points[i] = pa
+		}
+		if len(p) != 0 {
+			return r, fmt.Errorf("wire: batch response: %d trailing payload bytes", len(p))
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("wire: unknown response op %s", op)
+	}
+}

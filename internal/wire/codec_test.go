@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func randRequest(rng *rand.Rand) Request {
+	ops := []Op{OpPing, OpDegree, OpNeighbors, OpKHop, OpTopK, OpPageRank, OpBatch}
+	r := Request{Op: ops[rng.Intn(len(ops))]}
+	switch r.Op {
+	case OpDegree, OpNeighbors:
+		r.V = rng.Uint64()
+	case OpKHop:
+		r.V, r.K = rng.Uint64(), rng.Uint32()
+	case OpTopK:
+		r.K = rng.Uint32()
+	case OpBatch:
+		r.Points = make([]Point, 1+rng.Intn(32))
+		for i := range r.Points {
+			op := OpDegree
+			if rng.Intn(2) == 1 {
+				op = OpNeighbors
+			}
+			r.Points[i] = Point{Op: op, V: rng.Uint64()}
+		}
+	}
+	return r
+}
+
+func randResponse(rng *rand.Rand) Response {
+	ops := []Op{RespPong, RespValue, RespVerts, RespTopK, RespRank, RespBatch, RespError}
+	r := Response{Op: ops[rng.Intn(len(ops))]}
+	if r.Op != RespPong && r.Op != RespError {
+		r.Gen, r.Edges = rng.Uint64(), rng.Uint64()
+	}
+	verts := func(n int) []uint64 {
+		vs := make([]uint64, n)
+		for i := range vs {
+			vs[i] = rng.Uint64()
+		}
+		return vs
+	}
+	switch r.Op {
+	case RespValue:
+		r.Value = rng.Int63() - rng.Int63()
+	case RespVerts:
+		r.Verts = verts(rng.Intn(64))
+	case RespTopK:
+		n := rng.Intn(32)
+		r.Verts, r.Degrees = verts(n), verts(n)
+	case RespRank:
+		r.NRanks, r.Top, r.Score = rng.Uint32(), rng.Uint64(), rng.Float64()
+	case RespBatch:
+		r.Points = make([]PointAnswer, 1+rng.Intn(16))
+		for i := range r.Points {
+			if rng.Intn(2) == 0 {
+				r.Points[i] = PointAnswer{Op: OpDegree, Value: rng.Int63()}
+			} else {
+				r.Points[i] = PointAnswer{Op: OpNeighbors, Verts: verts(rng.Intn(8))}
+			}
+		}
+	case RespError:
+		r.Err = &Error{
+			Code:       ErrCode(1 + rng.Intn(7)),
+			RetryAfter: time.Duration(rng.Intn(1e6)) * time.Microsecond,
+			Msg:        "m"[:rng.Intn(2)],
+		}
+	}
+	return r
+}
+
+// normalize maps empty and nil slices together for comparison: the
+// codec does not distinguish them.
+func normEmpty[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+// TestCodecRoundTrip: random typed requests and responses survive
+// encode → decode exactly.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		req := randRequest(rng)
+		p, err := AppendRequestPayload(nil, &req)
+		if err != nil {
+			t.Fatalf("encode %s: %v", req.Op, err)
+		}
+		got, err := ParseRequest(req.Op, p)
+		if err != nil {
+			t.Fatalf("parse %s: %v", req.Op, err)
+		}
+		got.Points = normEmpty(got.Points)
+		req.Points = normEmpty(req.Points)
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("request mismatch:\n got %+v\nwant %+v", got, req)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		resp := randResponse(rng)
+		p, err := AppendResponsePayload(nil, &resp)
+		if err != nil {
+			t.Fatalf("encode %s: %v", resp.Op, err)
+		}
+		got, err := ParseResponse(resp.Op, p)
+		if err != nil {
+			t.Fatalf("parse %s: %v", resp.Op, err)
+		}
+		for _, r := range []*Response{&resp, &got} {
+			r.Verts = normEmpty(r.Verts)
+			r.Degrees = normEmpty(r.Degrees)
+			for j := range r.Points {
+				r.Points[j].Verts = normEmpty(r.Points[j].Verts)
+			}
+		}
+		if !reflect.DeepEqual(resp, got) {
+			t.Fatalf("response mismatch:\n got %+v\nwant %+v", got, resp)
+		}
+	}
+}
+
+// TestCodecRejects: malformed payloads fail with errors, never panic,
+// and trailing bytes are always detected.
+func TestCodecRejects(t *testing.T) {
+	cases := []struct {
+		op Op
+		p  []byte
+	}{
+		{OpPing, []byte{1}},         // trailing bytes
+		{OpDegree, make([]byte, 7)}, // short
+		{OpDegree, make([]byte, 9)}, // long
+		{OpKHop, make([]byte, 11)},  // short
+		{OpTopK, nil},               // empty
+		{OpBatch, nil},              // no count
+		{OpBatch, []byte{0, 0}},     // zero points
+		{OpBatch, []byte{0, 1, 9}},  // truncated point
+		{OpBatch, []byte{255, 255}}, // count beyond MaxBatch
+		{Op(0x70), make([]byte, 8)}, // unknown op
+		{OpBatch, append([]byte{0, 1, byte(OpKHop)}, make([]byte, 8)...)}, // unbatchable point
+	}
+	for _, c := range cases {
+		if _, err := ParseRequest(c.op, c.p); err == nil {
+			t.Errorf("%s %v: accepted", c.op, c.p)
+		}
+	}
+	respCases := []struct {
+		op Op
+		p  []byte
+	}{
+		{RespPong, []byte{0}},
+		{RespValue, make([]byte, 16)},                     // provenance only, no value
+		{RespVerts, make([]byte, 18)},                     // short count
+		{RespVerts, append(make([]byte, 16), 0, 0, 0, 2)}, // count with no elements
+		{RespTopK, append(make([]byte, 16), 0, 0, 0, 1)},
+		{RespRank, make([]byte, 17)},
+		{RespBatch, make([]byte, 16)},
+		{RespError, make([]byte, 7)},
+		{RespError, []byte{0, 3, 0, 0, 0, 0, 0, 9}}, // msg length beyond payload
+		{Op(0xF0), make([]byte, 24)},
+	}
+	for _, c := range respCases {
+		if _, err := ParseResponse(c.op, c.p); err == nil {
+			t.Errorf("resp %s %v: accepted", c.op, c.p)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// connBufSize sizes each connection's read and write buffers: large
+// enough that a pipelined burst coalesces into few syscalls.
+const connBufSize = 64 << 10
+
+// sockBufSize sizes the kernel socket buffers on both ends of a wire
+// connection. The explicit size matters on Linux loopback: its ~64KB
+// MSS against the default 128KB receive buffer leaves the advertisable
+// window (half the buffer) above one MSS by only a few bytes, and the
+// kernel advertises a zero window whenever free space drops under one
+// MSS — so a pipelined response burst that lands before receive
+// auto-tuning has grown the buffer can wedge the connection in a
+// permanent zero-window state. Multi-MSS buffers keep the window well
+// clear of that edge.
+const sockBufSize = 1 << 20
+
+// tuneConn applies sockBufSize where the transport supports it (TCP);
+// in-memory test transports fall through untouched.
+func tuneConn(nc net.Conn) {
+	type bufConn interface {
+		SetReadBuffer(int) error
+		SetWriteBuffer(int) error
+	}
+	if bc, ok := nc.(bufConn); ok {
+		bc.SetReadBuffer(sockBufSize)
+		bc.SetWriteBuffer(sockBufSize)
+	}
+}
+
+// conn is one accepted wire connection: a reader goroutine pulling
+// frames off the socket under the in-flight window, and a writer
+// goroutine draining the bounded response channel back out.
+//
+// Accounting invariants, which graceful drain depends on:
+//   - the reader acquires one window slot per decoded frame, before the
+//     request goes anywhere — a full window stops the reader, and TCP
+//     flow control extends the backpressure to the client;
+//   - every accepted frame produces exactly one response frame on out
+//     (success or typed error), and pending counts accepted frames
+//     whose response has not been queued yet;
+//   - the writer releases the slot after writing the response, so
+//     out's capacity (== window) always covers every in-flight
+//     response: send never blocks;
+//   - out closes only after the reader has stopped AND pending has
+//     drained, so the writer flushes every outstanding response before
+//     the socket closes.
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	out    chan []byte
+	window chan struct{}
+
+	pending    sync.WaitGroup
+	writerDone chan struct{}
+	// dead flips when a write fails: the writer keeps draining out (so
+	// senders and slots never wedge) but stops touching the socket.
+	dead atomic.Bool
+}
+
+func (s *Server) newConn(nc net.Conn) *conn {
+	return &conn{
+		s:          s,
+		nc:         nc,
+		out:        make(chan []byte, s.cfg.Window),
+		window:     make(chan struct{}, s.cfg.Window),
+		writerDone: make(chan struct{}),
+	}
+}
+
+// serve runs the reader loop, then the drain: wait for every accepted
+// frame's response to be queued, let the writer flush, close the socket.
+func (c *conn) serve() {
+	go c.writer()
+	br := bufio.NewReaderSize(c.nc, connBufSize)
+	for {
+		f, err := ReadFrame(br, c.s.cfg.MaxFrame)
+		if err != nil {
+			// Everything lands here: clean EOF, the drain deadline,
+			// a force-closed socket, or a framing violation. Framing
+			// violations desynchronize the stream (the decoder cannot
+			// trust the next length prefix), so the connection ends
+			// after the drain either way; they are just counted.
+			switch err {
+			case ErrBadLength, ErrFrameTooBig:
+				c.s.badFrames.Add(1)
+			}
+			break
+		}
+		c.s.framesIn.Add(1)
+		c.s.bytesIn.Add(int64(4 + HeaderLen + len(f.Payload)))
+		// The payload aliases the bufio buffer only within ReadFrame's
+		// own allocation (ReadFrame copies), so handing it off is safe.
+		c.handle(f)
+	}
+	c.pending.Wait()
+	close(c.out)
+	<-c.writerDone
+	c.nc.Close()
+}
+
+// reply encodes one response frame — echoing the request's id, class
+// and tenant — and queues it for the writer. Exactly one reply per
+// accepted frame balances the pending counter.
+func (c *conn) reply(h Header, resp *Response) {
+	out := Frame{Header: Header{
+		Version: ProtoVersion,
+		Op:      resp.Op,
+		Class:   h.Class,
+		Flags:   0,
+		Tenant:  h.Tenant,
+		ID:      h.ID,
+	}}
+	var err error
+	out.Payload, err = AppendResponsePayload(nil, resp)
+	if err != nil {
+		// A response the codec cannot encode (never expected): degrade
+		// to a typed internal error rather than dropping the reply and
+		// wedging the window slot.
+		out.Op = RespError
+		out.Payload, _ = AppendResponsePayload(nil, &Response{
+			Op:  RespError,
+			Err: &Error{Code: CodeInternal, Msg: "unencodable response"},
+		})
+	}
+	c.out <- AppendFrame(nil, &out)
+	c.pending.Done()
+}
+
+// handle admits one decoded frame: window slot first (read-side
+// backpressure), then validation, then either an immediate reply (ping,
+// protocol errors, sheds) or a QoS submission whose dispatcher replies.
+func (c *conn) handle(f Frame) {
+	c.window <- struct{}{}
+	c.pending.Add(1)
+	h := f.Header
+	if h.Version != ProtoVersion {
+		c.s.badFrames.Add(1)
+		c.reply(h, &Response{Op: RespError, Err: &Error{
+			Code: CodeVersion, Msg: "unsupported protocol version",
+		}})
+		return
+	}
+	if h.Flags != 0 || h.Class >= NumClasses || h.Op.IsResponse() {
+		c.s.badFrames.Add(1)
+		c.reply(h, &Response{Op: RespError, Err: &Error{
+			Code: CodeBadFrame, Msg: "bad header (flags/class/opcode)",
+		}})
+		return
+	}
+	if h.Op == OpPing {
+		// The liveness probe skips QoS and the serving layer entirely.
+		c.reply(h, &Response{Op: RespPong})
+		return
+	}
+	req, err := ParseRequest(h.Op, f.Payload)
+	if err != nil {
+		c.s.badFrames.Add(1)
+		code := CodeBadFrame
+		if !validRequestOp(h.Op) {
+			code = CodeUnknownOp
+		}
+		c.reply(h, &Response{Op: RespError, Err: &Error{Code: code, Msg: err.Error()}})
+		return
+	}
+	if werr := c.s.sch.Submit(h.Class, h.Tenant, func() {
+		resp := c.s.answer(&req, h.Tenant)
+		c.reply(h, &resp)
+	}); werr != nil {
+		c.reply(h, &Response{Op: RespError, Err: werr})
+	}
+}
+
+func validRequestOp(op Op) bool {
+	switch op {
+	case OpPing, OpDegree, OpNeighbors, OpKHop, OpTopK, OpPageRank, OpBatch:
+		return true
+	}
+	return false
+}
+
+// writer drains the response channel: write, release the request's
+// window slot, flush when the channel momentarily empties (so pipelined
+// bursts coalesce into few syscalls but an idle connection never waits
+// on a timer for its answer).
+func (c *conn) writer() {
+	defer close(c.writerDone)
+	bw := bufio.NewWriterSize(c.nc, connBufSize)
+	for buf := range c.out {
+		if !c.dead.Load() {
+			if _, err := bw.Write(buf); err != nil {
+				c.fail()
+			} else {
+				c.s.framesOut.Add(1)
+				c.s.bytesOut.Add(int64(len(buf)))
+			}
+		}
+		<-c.window
+		if len(c.out) == 0 && !c.dead.Load() {
+			if err := bw.Flush(); err != nil {
+				c.fail()
+			}
+		}
+	}
+}
+
+// fail marks the connection's write side broken and closes the socket,
+// which also kicks the reader out of its blocking read. The writer
+// keeps draining out so every in-flight sender completes and every
+// window slot is released.
+func (c *conn) fail() {
+	if c.dead.CompareAndSwap(false, true) {
+		c.nc.Close()
+	}
+}

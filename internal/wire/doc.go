@@ -1,0 +1,115 @@
+// Package wire is dgap-serve's production network front end: a
+// length-prefixed binary protocol with pipelining and batching, a
+// per-tenant QoS admission layer over the serving tier's worker pool,
+// and a compatibility listener for the legacy line protocol.
+//
+// # Architecture
+//
+// Three layers sit between the socket and serve.Server:
+//
+//	socket → conn (reader/writer, in-flight window) → QoS scheduler → serve.Do
+//
+// Each accepted connection runs one reader and one writer goroutine.
+// The reader decodes frames and acquires a window slot per request
+// before it goes anywhere; a full window (Config.Window, default 64
+// in-flight requests) stops the reader, the socket buffer fills, and
+// TCP flow control carries the backpressure to the client. The writer
+// drains a bounded response channel, releasing the slot per response
+// and flushing whenever the channel momentarily empties — pipelined
+// bursts coalesce into few syscalls, an idle connection's answer is
+// never delayed by a timer.
+//
+// Between the connections and the serving layer sits the QoS
+// scheduler: per-class bounded admission queues with per-tenant
+// occupancy caps, dispatched by smooth weighted round-robin (defaults:
+// interactive 8, analytics 1) onto a fixed dispatcher pool that calls
+// into serve.Server. Arrivals beyond a class queue — or beyond one
+// tenant's share of it — are shed immediately with a typed overload
+// error carrying a retry-after hint derived from the queue depth and
+// the class's observed service time, instead of silently blocking the
+// connection.
+//
+// # Frame layout
+//
+// Every frame — request or response, both directions — is:
+//
+//	u32  body length N (big-endian; HeaderLen ≤ N ≤ MaxFrame)
+//	u8   version      (ProtoVersion)
+//	u8   opcode       (Op; high bit set on responses)
+//	u8   class        (QoS class; echoed on responses)
+//	u8   flags        (must be zero in version 1)
+//	u32  tenant       (big-endian; echoed on responses)
+//	u64  request id   (big-endian; echoed on responses)
+//	...  payload      (N - 16 bytes, opcode-specific)
+//
+// The request id is assigned by the client and echoed verbatim, so a
+// pipelined connection matches responses — which may arrive in any
+// order — to requests. All integers are big-endian; floats are IEEE
+// 754 bit patterns in a u64.
+//
+// # Opcodes
+//
+// Requests (payloads in parentheses):
+//
+//	0x01 ping       ()                        liveness probe, skips QoS
+//	0x02 degree     (v u64)                   out-degree of v
+//	0x03 neighbors  (v u64)                   neighbor list of v
+//	0x04 khop       (v u64, k u32)            vertices within k hops
+//	0x05 topk       (k u32)                   k highest-degree vertices
+//	0x06 pagerank   ()                        refresh + summarize ranks
+//	0x07 batch      (n u16, n×{op u8, v u64}) grouped point reads
+//
+// Responses:
+//
+//	0x81 pong       ()
+//	0x82 value      (gen u64, edges u64, value i64)
+//	0x83 verts      (gen u64, edges u64, n u32, n×vertex u64)
+//	0x84 topk       (gen u64, edges u64, n u32, n×{vertex u64, degree u64})
+//	0x85 rank       (gen u64, edges u64, nRanks u32, top u64, score f64)
+//	0x86 batch      (gen u64, edges u64, n u16, n×{op u8, answer})
+//	0xFF error      (code u16, retryAfter u32 µs, msgLen u16, msg)
+//
+// Every success response (pong excepted) leads with the lease
+// generation and snapshot edge count it was served from — the bounded-
+// staleness provenance the line protocol prints as "gen=G edges=E".
+// A batch is answered under one admission ticket and one snapshot:
+// every point answer shares the frame's provenance.
+//
+// # Error codes
+//
+//	1 bad-frame    protocol violation in the frame (connection stays up)
+//	2 bad-vertex   vertex outside the snapshot's id space
+//	3 overloaded   shed by admission; retryAfter carries the backoff hint
+//	4 shutdown     server draining, no longer admitting
+//	5 version      protocol version not served
+//	6 unknown-op   opcode not recognized
+//	7 internal     the serving layer failed the query
+//
+// Errors are responses, not connection faults: after any typed error
+// the connection remains usable, because the frame boundary (the
+// length prefix) is decodable regardless of whether the body was
+// understood. The one exception is a violated frame boundary itself
+// (length below the header size or above the limit): the stream can no
+// longer be trusted, and the server drains in-flight responses and
+// closes.
+//
+// # Versioning rules
+//
+// The version byte is per-frame. A server receiving a version it does
+// not serve answers error code 5 (version) and keeps the connection
+// open — framing is version-independent, so resynchronization is never
+// needed. Within a version, unknown request opcodes answer code 6
+// (unknown-op); new opcodes may therefore be added without a version
+// bump, and a version bump is reserved for changes to the frame layout
+// or to an existing opcode's payload. Flags must be zero in version 1;
+// a future version may assign them.
+//
+// # QoS classes
+//
+// Class 0 (interactive) is for point reads a user is waiting on; class
+// 1 (analytics) is for k-hop expansions, top-k scans and kernel
+// refreshes. The class is declared by the client per frame — it
+// selects the admission queue and dispatch weight, not the executed
+// query — so a tenant can run an analytics refresh at interactive
+// priority if it is willing to spend its tenant share on it.
+package wire

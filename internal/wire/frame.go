@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtoVersion is the protocol version this package speaks. Every frame
+// carries the sender's version; a server receiving a different version
+// answers a typed CodeVersion error and keeps the connection open (the
+// frame boundary is version-independent, so resynchronization is never
+// needed). See the package documentation for the versioning rules.
+const ProtoVersion = 1
+
+// HeaderLen is the fixed frame-body header length: version, opcode,
+// class, flags, tenant and request id.
+const HeaderLen = 16
+
+// MaxFrame is the hard upper bound on one frame's body length (header
+// plus payload). Decoders reject a length field beyond it before
+// allocating anything, so a hostile 4-byte prefix can never drive an
+// allocation larger than this.
+const MaxFrame = 1 << 24
+
+// DefaultMaxFrame is the per-connection frame-size limit servers and
+// clients apply unless configured otherwise — generous enough for a
+// multi-thousand-entry neighbor list or batch, far below MaxFrame.
+const DefaultMaxFrame = 1 << 20
+
+// Op is a frame opcode. Request opcodes have the high bit clear,
+// response opcodes have it set.
+type Op byte
+
+// Request opcodes.
+const (
+	// OpPing answers RespPong without touching the serving layer — the
+	// liveness probe and the cheapest round-trip for latency floors.
+	OpPing Op = 0x01
+	// OpDegree asks one vertex's out-degree (payload: vertex u64).
+	OpDegree Op = 0x02
+	// OpNeighbors asks one vertex's neighbor list (payload: vertex u64).
+	OpNeighbors Op = 0x03
+	// OpKHop asks how many vertices lie within K hops of V
+	// (payload: vertex u64, k u32).
+	OpKHop Op = 0x04
+	// OpTopK asks for the K highest-degree vertices (payload: k u32).
+	OpTopK Op = 0x05
+	// OpPageRank refreshes and summarizes the PageRank vector (empty
+	// payload; the response carries the top-ranked vertex and vector
+	// size, not the whole vector).
+	OpPageRank Op = 0x06
+	// OpBatch groups point reads (degree, neighbors) into one frame,
+	// answered together under one admission ticket and one snapshot
+	// (payload: count u16, then per point: op u8, vertex u64).
+	OpBatch Op = 0x07
+)
+
+// Response opcodes.
+const (
+	// RespPong answers OpPing (empty payload).
+	RespPong Op = 0x81
+	// RespValue answers OpDegree and OpKHop
+	// (payload: gen u64, edges u64, value i64).
+	RespValue Op = 0x82
+	// RespVerts answers OpNeighbors
+	// (payload: gen u64, edges u64, n u32, then n vertex u64).
+	RespVerts Op = 0x83
+	// RespTopK answers OpTopK
+	// (payload: gen u64, edges u64, n u32, then n of vertex u64, degree u64).
+	RespTopK Op = 0x84
+	// RespRank answers OpPageRank
+	// (payload: gen u64, edges u64, nRanks u32, top u64, score f64 bits).
+	RespRank Op = 0x85
+	// RespBatch answers OpBatch (payload: gen u64, edges u64, count u16,
+	// then per point: op u8 echoing the request point, and either
+	// value i64 for OpDegree or n u32 + n vertex u64 for OpNeighbors).
+	RespBatch Op = 0x86
+	// RespError is the typed failure response for any request
+	// (payload: code u16, retry-after u32 in microseconds — nonzero only
+	// with CodeOverloaded — msg length u16, msg bytes).
+	RespError Op = 0xFF
+)
+
+// IsResponse reports whether the opcode is a response (high bit set).
+func (o Op) IsResponse() bool { return o&0x80 != 0 }
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpDegree:
+		return "degree"
+	case OpNeighbors:
+		return "neighbors"
+	case OpKHop:
+		return "khop"
+	case OpTopK:
+		return "topk"
+	case OpPageRank:
+		return "pagerank"
+	case OpBatch:
+		return "batch"
+	case RespPong:
+		return "pong"
+	case RespValue:
+		return "value"
+	case RespVerts:
+		return "verts"
+	case RespTopK:
+		return "topk-resp"
+	case RespRank:
+		return "rank"
+	case RespBatch:
+		return "batch-resp"
+	case RespError:
+		return "error"
+	default:
+		return fmt.Sprintf("op(0x%02x)", byte(o))
+	}
+}
+
+// Class is a frame's QoS priority class, declared by the client in the
+// frame header and used by the server's weighted admission.
+type Class byte
+
+const (
+	// ClassInteractive is the latency-sensitive class: point reads a
+	// user is waiting on. It gets the dominant admission weight.
+	ClassInteractive Class = 0
+	// ClassAnalytics is the throughput class: k-hop expansions, top-k
+	// scans, kernel refreshes. It is deprioritized and shed first under
+	// overload.
+	ClassAnalytics Class = 1
+
+	// NumClasses is the QoS class count.
+	NumClasses = 2
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassAnalytics:
+		return "analytics"
+	default:
+		return fmt.Sprintf("class(%d)", byte(c))
+	}
+}
+
+// Header is the fixed per-frame header following the length prefix.
+type Header struct {
+	// Version is the sender's protocol version (ProtoVersion).
+	Version byte
+	// Op is the frame opcode.
+	Op Op
+	// Class is the QoS priority class (requests; echoed on responses).
+	Class Class
+	// Flags is reserved and must be zero in version 1.
+	Flags byte
+	// Tenant identifies the submitting principal for QoS accounting
+	// (requests; echoed on responses). Zero means unattributed.
+	Tenant uint32
+	// ID tags the request so a pipelined connection can match each
+	// response — responses may arrive in any order — to its request.
+	// The server echoes it verbatim.
+	ID uint64
+}
+
+// Frame is one decoded frame: the header plus the opcode-specific
+// payload.
+type Frame struct {
+	Header
+	Payload []byte
+}
+
+// Framing errors.
+var (
+	// ErrTruncated: the buffer ends before the announced frame does.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrFrameTooBig: the length prefix exceeds the frame-size limit.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	// ErrBadLength: the length prefix is shorter than the fixed header.
+	ErrBadLength = errors.New("wire: frame length below header size")
+)
+
+// AppendFrame appends f's encoding — u32 big-endian body length, then
+// the 16-byte header, then the payload — to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(HeaderLen+len(f.Payload)))
+	dst = append(dst, f.Version, byte(f.Op), byte(f.Class), f.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, f.Tenant)
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	return append(dst, f.Payload...)
+}
+
+func parseBody(body []byte) Frame {
+	f := Frame{Header: Header{
+		Version: body[0],
+		Op:      Op(body[1]),
+		Class:   Class(body[2]),
+		Flags:   body[3],
+		Tenant:  binary.BigEndian.Uint32(body[4:8]),
+		ID:      binary.BigEndian.Uint64(body[8:16]),
+	}}
+	if len(body) > HeaderLen {
+		f.Payload = body[HeaderLen:]
+	}
+	return f
+}
+
+// DecodeFrame decodes the first frame in b, returning it and the number
+// of bytes consumed. The returned payload aliases b. A short buffer
+// fails with ErrTruncated; a length prefix beyond MaxFrame fails with
+// ErrFrameTooBig; one below HeaderLen with ErrBadLength.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < 4 {
+		return Frame{}, 0, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < HeaderLen {
+		return Frame{}, 0, fmt.Errorf("%w: %d < %d", ErrBadLength, n, HeaderLen)
+	}
+	if n > MaxFrame {
+		return Frame{}, 0, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, MaxFrame)
+	}
+	if uint32(len(b)-4) < n {
+		return Frame{}, 0, ErrTruncated
+	}
+	return parseBody(b[4 : 4+n]), 4 + int(n), nil
+}
+
+// ReadFrame reads one complete frame from r. The body allocation is
+// bounded by max (0 or anything above MaxFrame selects MaxFrame), and
+// happens only after the length prefix passed that bound — a hostile
+// prefix can never force an over-allocation. A stream ending mid-frame
+// fails with io.ErrUnexpectedEOF; a clean EOF before any byte of the
+// next frame returns io.EOF.
+func ReadFrame(r io.Reader, max uint32) (Frame, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n < HeaderLen {
+		return Frame{}, fmt.Errorf("%w: %d < %d", ErrBadLength, n, HeaderLen)
+	}
+	if max == 0 || max > MaxFrame {
+		max = MaxFrame
+	}
+	if n > max {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return parseBody(body), nil
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func randFrame(rng *rand.Rand) Frame {
+	f := Frame{Header: Header{
+		Version: byte(rng.Intn(4)),
+		Op:      Op(rng.Intn(256)),
+		Class:   Class(rng.Intn(4)),
+		Flags:   byte(rng.Intn(2)),
+		Tenant:  rng.Uint32(),
+		ID:      rng.Uint64(),
+	}}
+	if n := rng.Intn(512); n > 0 {
+		f.Payload = make([]byte, n)
+		rng.Read(f.Payload)
+	}
+	return f
+}
+
+func framesEqual(a, b Frame) bool {
+	return a.Header == b.Header && bytes.Equal(a.Payload, b.Payload)
+}
+
+// TestFrameRoundTrip: random frames survive Append → Decode and
+// Append → ReadFrame byte-exactly, including multi-frame buffers.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		f := randFrame(rng)
+		enc := AppendFrame(nil, &f)
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if !framesEqual(f, got) {
+			t.Fatalf("decode mismatch: %+v != %+v", got, f)
+		}
+		rf, err := ReadFrame(bytes.NewReader(enc), 0)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !framesEqual(f, rf) {
+			t.Fatalf("read mismatch: %+v != %+v", rf, f)
+		}
+	}
+
+	// A pipelined buffer of several frames decodes in order.
+	var buf []byte
+	var want []Frame
+	for i := 0; i < 20; i++ {
+		f := randFrame(rng)
+		want = append(want, f)
+		buf = AppendFrame(buf, &f)
+	}
+	rest := buf
+	for i, w := range want {
+		f, n, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !framesEqual(w, f) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+// TestFrameDecodeErrors: truncated, oversized and undersized prefixes
+// fail with their typed errors and never panic.
+func TestFrameDecodeErrors(t *testing.T) {
+	f := Frame{Header: Header{Version: 1, Op: OpDegree, ID: 7}, Payload: make([]byte, 32)}
+	enc := AppendFrame(nil, &f)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeFrame(enc[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err %v, want ErrTruncated", cut, err)
+		}
+		_, err := ReadFrame(bytes.NewReader(enc[:cut]), 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty read: %v, want io.EOF", err)
+			}
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d read: %v, want unexpected EOF", cut, err)
+		}
+	}
+	// Length prefix below the header size.
+	small := []byte{0, 0, 0, HeaderLen - 1}
+	if _, _, err := DecodeFrame(small); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("short length: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(small), 0); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("short length read: %v", err)
+	}
+	// Length prefix beyond the limit: rejected before any body read.
+	big := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := DecodeFrame(big); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(big), 1<<16); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized read: %v", err)
+	}
+	// The per-connection limit applies even below the hard cap.
+	mid := AppendFrame(nil, &Frame{Header: Header{Version: 1, Op: OpPing}, Payload: make([]byte, 4096)})
+	if _, err := ReadFrame(bytes.NewReader(mid), 1024); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("per-conn limit: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame: arbitrary bytes through the frame decoder and both
+// payload parsers must error cleanly — no panic, no over-allocation
+// (every slice a parser builds is bounded by the input length it
+// validated first), and anything that decodes must re-encode to the
+// bytes it was decoded from.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add(AppendFrame(nil, &Frame{Header: Header{Version: ProtoVersion, Op: OpPing, ID: 1}}))
+	f.Add(AppendFrame(nil, &Frame{
+		Header:  Header{Version: ProtoVersion, Op: OpDegree, Class: ClassInteractive, Tenant: 9, ID: 2},
+		Payload: []byte{0, 0, 0, 0, 0, 0, 0, 5},
+	}))
+	f.Add(AppendFrame(nil, &Frame{
+		Header:  Header{Version: ProtoVersion, Op: OpBatch, ID: 3},
+		Payload: []byte{0, 1, byte(OpDegree), 0, 0, 0, 0, 0, 0, 0, 7},
+	}))
+	f.Add(AppendFrame(nil, &Frame{
+		Header:  Header{Version: ProtoVersion, Op: RespError, ID: 4},
+		Payload: []byte{0, 3, 0, 0, 1, 0, 0, 2, 'h', 'i'},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		if n < 4+HeaderLen || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		// A decoded frame re-encodes to exactly the bytes it came from.
+		if enc := AppendFrame(nil, &fr); !bytes.Equal(enc, b[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+		// The typed parsers must also never panic; errors are fine.
+		if fr.Op.IsResponse() {
+			_, _ = ParseResponse(fr.Op, fr.Payload)
+		} else {
+			_, _ = ParseRequest(fr.Op, fr.Payload)
+		}
+	})
+}

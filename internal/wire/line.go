@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxLine bounds one legacy-protocol line (input or reply).
+// bufio.Scanner's default 64KB token cap is far too small for a
+// neighbors reply on a hub vertex — a line past the cap must grow the
+// buffer, not kill the connection.
+const DefaultMaxLine = 4 << 20
+
+// LineHandler answers one line of the legacy text protocol.
+type LineHandler func(line string) (string, error)
+
+// LineServer is the legacy line protocol as a network listener: one
+// command per line, one reply per command, over the same dispatcher the
+// stdin loop uses. It exists for compatibility — the framed protocol is
+// the production path — so it stays deliberately simple: synchronous
+// per-connection handling, no pipelining, no QoS.
+type LineServer struct {
+	// NewHandler builds one connection's handler. Per-connection state
+	// (the interactive ingest seed, for instance) lives in the closure.
+	NewHandler func() LineHandler
+	// MaxLine bounds one line in bytes (0 = DefaultMaxLine).
+	MaxLine int
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	draining  bool
+}
+
+// Serve accepts connections on l until the listener closes.
+func (s *LineServer) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("wire: line server draining")
+	}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		tuneConn(nc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, nc)
+				s.mu.Unlock()
+				s.wg.Done()
+			}()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+func (s *LineServer) serveConn(nc net.Conn) {
+	defer nc.Close()
+	h := s.NewHandler()
+	maxLine := s.MaxLine
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLine
+	}
+	sc := bufio.NewScanner(nc)
+	// The explicit buffer is the whole point: Scanner's default token
+	// cap is 64KB, and a long input line would otherwise end the scan
+	// with ErrTooLong and silently kill the connection.
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	bw := bufio.NewWriterSize(nc, connBufSize)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		reply, err := h(line)
+		if err != nil {
+			reply = fmt.Sprintf("error: %v", err)
+		}
+		if _, err := bw.WriteString(reply + "\n"); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Shutdown stops accepting and closes every connection once its
+// in-flight command (if any) has had drain time to finish. The line
+// protocol is synchronous, so there is at most one outstanding command
+// per connection.
+func (s *LineServer) Shutdown(drain time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	now := time.Now()
+	for nc := range s.conns {
+		// Stop reading further commands; the in-flight reply still
+		// writes out.
+		nc.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if drain > 0 {
+		select {
+		case <-done:
+		case <-time.After(drain):
+			s.mu.Lock()
+			for nc := range s.conns {
+				nc.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+	} else {
+		<-done
+	}
+}

@@ -1,0 +1,409 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QoS defaults. Interactive gets the dominant admission weight so point
+// reads a user is waiting on keep flowing while analytics refreshes
+// absorb the shedding under overload.
+const (
+	DefaultDispatchers = 4
+	DefaultQueueDepth  = 256
+	// DefaultTenantShare caps one tenant's share of a class queue.
+	DefaultTenantShare = 0.5
+)
+
+// DefaultWeights is the per-class admission weight vector: when both
+// queues are backed up, interactive receives roughly eight shares of
+// dispatcher time per analytics share. Weights divide time, not
+// dispatch slots — see pickLocked and chargeLocked.
+var DefaultWeights = [NumClasses]int{8, 1}
+
+// QoSConfig shapes the scheduler between the connection readers and the
+// serving layer's worker pool.
+type QoSConfig struct {
+	// Dispatchers is the number of goroutines pulling admitted requests
+	// into the serving layer (0 = DefaultDispatchers). It bounds the
+	// wire front end's concurrency against serve.Server the same way
+	// serve's own workers bound query concurrency against the store.
+	Dispatchers int
+	// QueueDepth bounds each class's admission queue (0 =
+	// DefaultQueueDepth). Arrivals beyond it are shed with a typed
+	// CodeOverloaded error carrying a retry-after hint.
+	QueueDepth int
+	// QueueDepths overrides QueueDepth per class (zero entries fall
+	// back to QueueDepth). Admission depth is the lever that bounds
+	// time-in-queue, so it should scale inversely with a class's job
+	// cost: a ring sized for point-read bursts holds seconds of backlog
+	// when its jobs are analytics kernels, and a queue that deep never
+	// sheds — it converts overload into unbounded latency instead of a
+	// typed retryable answer.
+	QueueDepths [NumClasses]int
+	// Weights is the per-class dispatch weight vector; a zero vector
+	// selects DefaultWeights. Dispatch is weighted fair queuing over
+	// the nonempty classes: each class is charged its jobs' measured
+	// service time divided by its weight, and the least-charged class
+	// dispatches next. Weights therefore split dispatcher TIME, not
+	// dispatch counts, and a backed-up low-weight class still
+	// progresses (no starvation) while the high-weight class dominates.
+	Weights [NumClasses]int
+	// TenantShare caps the fraction of one class queue a single tenant
+	// may occupy, in (0, 1] (0 = DefaultTenantShare). A tenant at its
+	// cap is shed even while the queue has room, so one flooding tenant
+	// cannot lock out the rest of its class.
+	TenantShare float64
+	// Clock overrides the wall clock (nil = time.Now); tests inject it.
+	Clock func() time.Time
+}
+
+func (c QoSConfig) defaults() QoSConfig {
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = DefaultDispatchers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	for i := range c.QueueDepths {
+		if c.QueueDepths[i] <= 0 {
+			c.QueueDepths[i] = c.QueueDepth
+		}
+	}
+	if c.Weights == ([NumClasses]int{}) {
+		c.Weights = DefaultWeights
+	}
+	for i, w := range c.Weights {
+		if w <= 0 {
+			c.Weights[i] = 1
+		}
+	}
+	if c.TenantShare <= 0 || c.TenantShare > 1 {
+		c.TenantShare = DefaultTenantShare
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// qosJob is one admitted request waiting for a dispatcher.
+type qosJob struct {
+	tenant uint32
+	run    func()
+}
+
+// qosQueue is one class's bounded FIFO ring.
+type qosQueue struct {
+	buf        []qosJob
+	head, size int
+}
+
+func (q *qosQueue) push(j qosJob) bool {
+	if q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = j
+	q.size++
+	return true
+}
+
+func (q *qosQueue) pop() qosJob {
+	j := q.buf[q.head]
+	q.buf[q.head] = qosJob{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return j
+}
+
+// scheduler is the QoS layer: per-class bounded admission queues with
+// per-tenant occupancy caps in front, weighted fair queuing over
+// measured service time behind, and a fixed dispatcher pool pulling
+// admitted work into the serving layer. Shed decisions happen here —
+// above serve's own queue — so the typed overload answer can carry a
+// per-class retry-after hint derived from that class's queue depth and
+// observed service time.
+type scheduler struct {
+	cfg QoSConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [NumClasses]qosQueue
+	tenants [NumClasses]map[uint32]int
+	queued  int
+	closing bool
+
+	// vtime is each class's virtual clock: service nanoseconds charged,
+	// divided by the class's weight. The least-charged nonempty class
+	// dispatches next, so over a backlog the classes' service time
+	// converges to the weight ratio regardless of per-class job sizes —
+	// a class of millisecond kernels cannot hog the pool from behind a
+	// count-based 8:1 the way it could under slot round-robin, because
+	// every kernel dispatch charges it ~the cost of hundreds of point
+	// reads. vnow trails the frontier (the largest charged clock):
+	// a class rejoining after idling resumes from vnow rather than its
+	// stale clock, so idle time never banks into a service burst.
+	vtime [NumClasses]int64
+	vnow  int64
+
+	// inService counts each class's jobs currently running on a
+	// dispatcher; conc caps it at the class's weight share of the pool
+	// (minimum one). Fair queuing alone divides time but is
+	// work-conserving: a momentarily empty interactive queue lets every
+	// dispatcher grab an analytics kernel, and the whole pool then sits
+	// behind multi-millisecond jobs while interactive arrivals pile up.
+	// The cap bounds that stall to the slots the class's weight earns.
+	inService [NumClasses]int
+	conc      [NumClasses]int
+
+	// ewma tracks each class's dispatched service time (nanoseconds,
+	// exponentially weighted): the basis of the retry-after hint.
+	ewma [NumClasses]atomic.Int64
+
+	admitted   [NumClasses]atomic.Int64
+	shed       [NumClasses]atomic.Int64
+	tenantShed [NumClasses]atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// ewmaSeed is the service-time estimate before any dispatch completes;
+// retry-after hints start from it rather than zero.
+const ewmaSeed = int64(100 * time.Microsecond)
+
+func newScheduler(cfg QoSConfig) *scheduler {
+	s := &scheduler{cfg: cfg.defaults()}
+	s.cond = sync.NewCond(&s.mu)
+	sumW := 0
+	for _, w := range s.cfg.Weights {
+		sumW += w
+	}
+	for c := range s.queues {
+		s.queues[c].buf = make([]qosJob, s.cfg.QueueDepths[c])
+		s.tenants[c] = make(map[uint32]int)
+		s.ewma[c].Store(ewmaSeed)
+		// Weight share of the dispatcher pool, rounded up, at least one.
+		s.conc[c] = (s.cfg.Dispatchers*s.cfg.Weights[c] + sumW - 1) / sumW
+	}
+	s.wg.Add(s.cfg.Dispatchers)
+	for i := 0; i < s.cfg.Dispatchers; i++ {
+		go s.dispatch()
+	}
+	return s
+}
+
+// tenantCap is the per-tenant occupancy bound within class c's queue.
+func (s *scheduler) tenantCap(c Class) int {
+	cap := int(s.cfg.TenantShare * float64(s.cfg.QueueDepths[c]))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// retryAfter estimates how long until a shed class's queue has drained:
+// the queue depth behind the arrival, at the class's observed service
+// time, across the dispatcher pool. A hint, not a promise — but one
+// that scales with the actual backlog instead of a fixed constant.
+func (s *scheduler) retryAfter(c Class, depth int) time.Duration {
+	est := time.Duration(int64(depth+1) * s.ewma[c].Load() / int64(s.cfg.Dispatchers))
+	if est < time.Microsecond {
+		est = time.Microsecond
+	}
+	return est
+}
+
+// Submit admits run under (class, tenant) or sheds it with a typed
+// *Error: CodeOverloaded (queue or tenant cap, retry-after populated)
+// or CodeShutdown. run executes on a dispatcher goroutine.
+func (s *scheduler) Submit(class Class, tenant uint32, run func()) *Error {
+	if class >= NumClasses {
+		return &Error{Code: CodeBadFrame, Msg: "unknown QoS class " + class.String()}
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return &Error{Code: CodeShutdown, Msg: "server draining"}
+	}
+	q := &s.queues[class]
+	if s.tenants[class][tenant] >= s.tenantCap(class) {
+		depth := q.size
+		s.tenantShed[class].Add(1)
+		s.shed[class].Add(1)
+		s.mu.Unlock()
+		return &Error{
+			Code:       CodeOverloaded,
+			RetryAfter: s.retryAfter(class, depth),
+			Msg:        "tenant over its " + class.String() + " queue share",
+		}
+	}
+	if !q.push(qosJob{tenant: tenant, run: run}) {
+		depth := q.size
+		s.shed[class].Add(1)
+		s.mu.Unlock()
+		return &Error{
+			Code:       CodeOverloaded,
+			RetryAfter: s.retryAfter(class, depth),
+			Msg:        class.String() + " admission queue full",
+		}
+	}
+	s.tenants[class][tenant]++
+	s.queued++
+	if q.size == 1 && s.vtime[class] < s.vnow {
+		// The class rejoins after an idle stretch: catch its clock up to
+		// the frontier so the idle time doesn't bank into a burst that
+		// would starve the classes that kept working.
+		s.vtime[class] = s.vnow
+	}
+	s.admitted[class].Add(1)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return nil
+}
+
+// pickLocked selects the nonempty, under-cap class with the smallest
+// virtual clock (ties break toward the lower class index, i.e.
+// interactive), or -1 when every backlogged class is at its
+// concurrency cap.
+func (s *scheduler) pickLocked() int {
+	best := -1
+	for c := range s.queues {
+		if s.queues[c].size == 0 || s.inService[c] >= s.conc[c] {
+			continue
+		}
+		if best < 0 || s.vtime[c] < s.vtime[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// chargeCostFloor keeps fair queuing meaningful for jobs too fast to
+// measure: every dispatch charges at least a microsecond of virtual
+// service, so a stream of near-zero-cost jobs still interleaves at the
+// weight ratio instead of degenerating into tie-break order.
+const chargeCostFloor = int64(time.Microsecond)
+
+// chargeLocked advances class c's virtual clock by ns of service time,
+// weight-scaled. ns is negative when a completion settles a
+// dispatch-time estimate that ran too high.
+func (s *scheduler) chargeLocked(c Class, ns int64) {
+	ch := ns / int64(s.cfg.Weights[c])
+	if ch == 0 && ns != 0 {
+		if ns > 0 {
+			ch = 1
+		} else {
+			ch = -1
+		}
+	}
+	s.vtime[c] += ch
+}
+
+// settleLocked replaces a dispatch-time estimate with the measured cost
+// and advances the frontier. vnow moves only on settled work: folding
+// provisional charges into the frontier would let a class that submits
+// while another's estimate is in flight bank that estimate as a head
+// start through the rejoin catch-up.
+func (s *scheduler) settleLocked(c Class, est, el int64) {
+	s.chargeLocked(c, flooredCost(el)-est)
+	if s.vtime[c] > s.vnow {
+		s.vnow = s.vtime[c]
+	}
+}
+
+// flooredCost clamps a service-time observation (or estimate) to the
+// charge floor.
+func flooredCost(ns int64) int64 {
+	if ns < chargeCostFloor {
+		return chargeCostFloor
+	}
+	return ns
+}
+
+func (s *scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		pick := -1
+		for {
+			if s.queued == 0 {
+				if s.closing {
+					// Closing with nothing queued: drain is complete.
+					// Admitted work is never abandoned — closing only
+					// stops Submit. Wake the other dispatchers so they
+					// observe the drained state and exit too.
+					s.cond.Broadcast()
+					s.mu.Unlock()
+					return
+				}
+			} else if pick = s.pickLocked(); pick >= 0 {
+				break
+			}
+			// Either nothing is queued, or every backlogged class is at
+			// its concurrency cap; a settle or a Submit will signal.
+			// No deadlock: all-dispatchers-waiting implies no job in
+			// service, and with every cap at least one no class is
+			// capped then.
+			s.cond.Wait()
+		}
+		c := Class(pick)
+		s.inService[c]++
+		j := s.queues[c].pop()
+		if n := s.tenants[c][j.tenant] - 1; n > 0 {
+			s.tenants[c][j.tenant] = n
+		} else {
+			delete(s.tenants[c], j.tenant)
+		}
+		s.queued--
+		// Charge the class's expected cost NOW, before running the job,
+		// and settle the difference against the measured cost afterward.
+		// Charging only on completion would leave the virtual clock stale
+		// for the whole service time — long enough for every dispatcher
+		// to pick the same cheap-looking class and wedge the entire pool
+		// behind a few concurrent analytics kernels.
+		est := flooredCost(s.ewma[c].Load())
+		s.chargeLocked(c, est)
+		s.mu.Unlock()
+
+		start := s.cfg.Clock()
+		j.run()
+		el := s.cfg.Clock().Sub(start).Nanoseconds()
+		if el < 0 {
+			el = 0
+		}
+		// Plain load/store EWMA: dispatchers race benignly on the
+		// estimate (it feeds a hint, not an invariant), atomics keep the
+		// race defined.
+		old := s.ewma[c].Load()
+		s.ewma[c].Store(old + (el-old)/8)
+		s.mu.Lock()
+		s.inService[c]--
+		s.settleLocked(c, est, el)
+		s.mu.Unlock()
+		// The freed concurrency slot may unblock a capped-out waiter.
+		s.cond.Signal()
+	}
+}
+
+// Depth returns class c's current admission-queue occupancy.
+func (s *scheduler) Depth(c Class) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queues[c].size
+}
+
+// Close stops admission, lets the dispatchers drain everything already
+// admitted, and returns when they have exited.
+func (s *scheduler) Close() {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closing = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockScheduler starts a scheduler with one dispatcher and parks it on
+// a blocker job, so tests can fill the admission queues deterministically
+// before any dispatch happens. Returns the release function.
+func blockScheduler(t *testing.T, cfg QoSConfig) (*scheduler, func()) {
+	t.Helper()
+	cfg.Dispatchers = 1
+	s := newScheduler(cfg)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.Submit(ClassInteractive, 0, func() {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	<-started
+	return s, func() { close(release) }
+}
+
+// TestQoSWeightedDispatch: with both classes backed up and jobs of
+// equal (negligible) cost, fair queuing falls back to the charge floor
+// and dispatches roughly Weights[interactive]:Weights[analytics] — the
+// interactive class dominates without starving analytics. The static
+// clock keeps wall time out of the virtual charges.
+func TestQoSWeightedDispatch(t *testing.T) {
+	s, release := blockScheduler(t, QoSConfig{
+		QueueDepth: 64,
+		Clock:      func() time.Time { return time.Time{} },
+	})
+	var mu sync.Mutex
+	var order []Class
+	mark := func(c Class) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, c)
+			mu.Unlock()
+		}
+	}
+	const each = 18
+	for i := 0; i < each; i++ {
+		if err := s.Submit(ClassInteractive, 0, mark(ClassInteractive)); err != nil {
+			t.Fatalf("interactive %d: %v", i, err)
+		}
+		if err := s.Submit(ClassAnalytics, 0, mark(ClassAnalytics)); err != nil {
+			t.Fatalf("analytics %d: %v", i, err)
+		}
+	}
+	release()
+	s.Close()
+	if len(order) != 2*each {
+		t.Fatalf("dispatched %d of %d", len(order), 2*each)
+	}
+	var inter, ana int
+	for _, c := range order[:each] {
+		if c == ClassInteractive {
+			inter++
+		} else {
+			ana++
+		}
+	}
+	// 8:1 weights over the first 18 dispatches: interactive dominates
+	// (≥14 of 18) but analytics is not starved.
+	if inter < 14 {
+		t.Fatalf("interactive got %d of first %d dispatches: %v", inter, each, order[:each])
+	}
+	if ana == 0 {
+		t.Fatalf("analytics starved in first %d dispatches: %v", each, order[:each])
+	}
+	if got := s.admitted[ClassInteractive].Load(); got != each+1 { // +1 blocker
+		t.Fatalf("admitted[interactive] = %d, want %d", got, each+1)
+	}
+}
+
+// TestQoSTimeFairness: weights divide dispatcher TIME, not dispatch
+// slots. With analytics jobs 200x the cost of interactive ones, a
+// single analytics dispatch charges its class enough virtual time that
+// the whole interactive backlog drains before analytics runs again —
+// the failure mode of count-based round-robin (analytics hogging the
+// pool from behind an 8:1 slot deficit) cannot happen.
+func TestQoSTimeFairness(t *testing.T) {
+	var now atomic.Int64 // fake nanosecond clock, advanced by the jobs
+	s, release := blockScheduler(t, QoSConfig{
+		QueueDepth:  128,
+		TenantShare: 1,
+		Clock:       func() time.Time { return time.Unix(0, now.Load()) },
+	})
+	var mu sync.Mutex
+	var order []Class
+	job := func(c Class, cost time.Duration) func() {
+		return func() {
+			now.Add(int64(cost))
+			mu.Lock()
+			order = append(order, c)
+			mu.Unlock()
+		}
+	}
+	const (
+		nInter = 96
+		nAna   = 12
+		costI  = 10 * time.Microsecond
+		costA  = 2 * time.Millisecond // ~200x a point read
+	)
+	for i := 0; i < nAna; i++ {
+		if err := s.Submit(ClassAnalytics, 0, job(ClassAnalytics, costA)); err != nil {
+			t.Fatalf("analytics %d: %v", i, err)
+		}
+	}
+	for i := 0; i < nInter; i++ {
+		if err := s.Submit(ClassInteractive, 0, job(ClassInteractive, costI)); err != nil {
+			t.Fatalf("interactive %d: %v", i, err)
+		}
+	}
+	release()
+	s.Close()
+	if len(order) != nInter+nAna {
+		t.Fatalf("dispatched %d of %d", len(order), nInter+nAna)
+	}
+	// One analytics kernel costs 2ms; at 8:1 weights interactive must
+	// accumulate 2ms of charged service (≥1600 dispatches at 10µs/8)
+	// before analytics runs again — far more than the 96 queued. So at
+	// most two analytics dispatches can appear before the interactive
+	// backlog is fully drained.
+	ana := 0
+	for _, c := range order[:nInter] {
+		if c == ClassAnalytics {
+			ana++
+		}
+	}
+	if ana > 2 {
+		t.Fatalf("analytics got %d of the first %d dispatches despite 200x job cost", ana, nInter)
+	}
+	if ana == 0 {
+		t.Fatalf("analytics fully starved: %v", order[:8])
+	}
+}
+
+// TestQoSQueueShed: arrivals beyond a class queue are shed with a typed
+// overload error carrying a positive retry-after hint, and the shed is
+// counted per class.
+func TestQoSQueueShed(t *testing.T) {
+	s, release := blockScheduler(t, QoSConfig{QueueDepth: 2, TenantShare: 1})
+	for i := 0; i < 2; i++ {
+		if err := s.Submit(ClassAnalytics, 0, func() {}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	err := s.Submit(ClassAnalytics, 0, func() {})
+	if err == nil || err.Code != CodeOverloaded {
+		t.Fatalf("overflow: %v", err)
+	}
+	if err.RetryAfter <= 0 {
+		t.Fatalf("retry-after hint %v, want > 0", err.RetryAfter)
+	}
+	if got := s.shed[ClassAnalytics].Load(); got != 1 {
+		t.Fatalf("shed[analytics] = %d, want 1", got)
+	}
+	// The other class's queue is unaffected by the full one.
+	if err := s.Submit(ClassInteractive, 0, func() {}); err != nil {
+		t.Fatalf("interactive while analytics full: %v", err)
+	}
+	release()
+	s.Close()
+}
+
+// TestQoSPerClassDepth: QueueDepths shortens one class's admission ring
+// without touching the other's — the cost-aware sizing the bench uses
+// (analytics rings far shorter than interactive ones), including the
+// tenant cap, which follows the class's own depth.
+func TestQoSPerClassDepth(t *testing.T) {
+	s, release := blockScheduler(t, QoSConfig{
+		QueueDepth:  8,
+		QueueDepths: [NumClasses]int{ClassAnalytics: 2},
+		TenantShare: 1,
+	})
+	for i := 0; i < 2; i++ {
+		if err := s.Submit(ClassAnalytics, 0, func() {}); err != nil {
+			t.Fatalf("analytics fill %d: %v", i, err)
+		}
+	}
+	if err := s.Submit(ClassAnalytics, 0, func() {}); err == nil || err.Code != CodeOverloaded {
+		t.Fatalf("analytics past short ring: %v", err)
+	}
+	// Interactive keeps the fallback depth of 8 (the blocker holds no
+	// slot — it was dispatched, not queued).
+	for i := 0; i < 8; i++ {
+		if err := s.Submit(ClassInteractive, 0, func() {}); err != nil {
+			t.Fatalf("interactive fill %d: %v", i, err)
+		}
+	}
+	if err := s.Submit(ClassInteractive, 0, func() {}); err == nil || err.Code != CodeOverloaded {
+		t.Fatalf("interactive past fallback ring: %v", err)
+	}
+	release()
+	s.Close()
+}
+
+// TestQoSTenantCap: one tenant cannot occupy more than its share of a
+// class queue; other tenants keep getting in.
+func TestQoSTenantCap(t *testing.T) {
+	s, release := blockScheduler(t, QoSConfig{QueueDepth: 10, TenantShare: 0.3})
+	for i := 0; i < 3; i++ { // cap = 0.3 × 10 = 3
+		if err := s.Submit(ClassInteractive, 7, func() {}); err != nil {
+			t.Fatalf("tenant 7 #%d: %v", i, err)
+		}
+	}
+	err := s.Submit(ClassInteractive, 7, func() {})
+	if err == nil || err.Code != CodeOverloaded || !strings.Contains(err.Msg, "tenant") {
+		t.Fatalf("tenant over share: %v", err)
+	}
+	if err.RetryAfter <= 0 {
+		t.Fatalf("retry-after hint %v, want > 0", err.RetryAfter)
+	}
+	if got := s.tenantShed[ClassInteractive].Load(); got != 1 {
+		t.Fatalf("tenantShed = %d, want 1", got)
+	}
+	if err := s.Submit(ClassInteractive, 8, func() {}); err != nil {
+		t.Fatalf("tenant 8 blocked by tenant 7's cap: %v", err)
+	}
+	release()
+	s.Close()
+}
+
+// TestQoSCloseDrains: Close stops admission but every already-admitted
+// job still runs before the dispatchers exit.
+func TestQoSCloseDrains(t *testing.T) {
+	s, release := blockScheduler(t, QoSConfig{QueueDepth: 64})
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(ClassAnalytics, 0, func() {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	release()
+	s.Close()
+	if ran != 20 {
+		t.Fatalf("ran %d of 20 admitted jobs after Close", ran)
+	}
+	if err := s.Submit(ClassInteractive, 0, func() {}); err == nil || err.Code != CodeShutdown {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// TestQoSRetryAfterScalesWithDepth: the hint grows with the backlog.
+func TestQoSRetryAfterScalesWithDepth(t *testing.T) {
+	s := &scheduler{cfg: QoSConfig{Dispatchers: 2}.defaults()}
+	s.ewma[ClassAnalytics].Store(int64(time.Millisecond))
+	shallow := s.retryAfter(ClassAnalytics, 1)
+	deep := s.retryAfter(ClassAnalytics, 100)
+	if deep <= shallow {
+		t.Fatalf("retry-after did not scale: depth 1 → %v, depth 100 → %v", shallow, deep)
+	}
+	if want := 101 * time.Millisecond / 2; deep != want {
+		t.Fatalf("deep hint %v, want %v", deep, want)
+	}
+}

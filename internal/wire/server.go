@@ -1,0 +1,309 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgap/internal/graph"
+	"dgap/internal/serve"
+)
+
+// DefaultWindow is the per-connection in-flight window: how many
+// decoded requests one connection may have outstanding (queued, being
+// served, or awaiting write) before its reader stops pulling frames off
+// the socket — at which point TCP flow control pushes the backpressure
+// all the way to the client.
+const DefaultWindow = 64
+
+// Config shapes a wire Server.
+type Config struct {
+	// MaxFrame bounds one inbound frame's body length
+	// (0 = DefaultMaxFrame; clamped to MaxFrame).
+	MaxFrame uint32
+	// Window bounds a connection's in-flight requests (0 = DefaultWindow).
+	Window int
+	// QoS shapes the admission scheduler between connections and the
+	// serving layer.
+	QoS QoSConfig
+}
+
+func (c Config) defaults() Config {
+	if c.MaxFrame == 0 || c.MaxFrame > MaxFrame {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxFrame < HeaderLen {
+		c.MaxFrame = HeaderLen
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	return c
+}
+
+// Server is the wire front end: it accepts framed-protocol connections,
+// admits their requests through the QoS scheduler and serves them from
+// a serve.Server. One Server can serve any number of listeners.
+type Server struct {
+	srv *serve.Server
+	cfg Config
+	sch *scheduler
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	connWG    sync.WaitGroup
+	draining  bool
+
+	accepted  atomic.Int64
+	open      atomic.Int64
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	badFrames atomic.Int64
+}
+
+// NewServer builds a wire front end over srv and registers its
+// instruments (wire.conn.*, wire.frames.*, wire.qos.*) in srv's metrics
+// registry, so the /metrics exposition covers the network edge too.
+func NewServer(srv *serve.Server, cfg Config) *Server {
+	s := &Server{
+		srv:       srv,
+		cfg:       cfg.defaults(),
+		sch:       newScheduler(cfg.QoS),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+	r := srv.Obs()
+	r.GaugeFunc("wire.conn.open", s.open.Load)
+	r.CounterFunc("wire.conn.accepted", s.accepted.Load)
+	r.CounterFunc("wire.frames.in", s.framesIn.Load)
+	r.CounterFunc("wire.frames.out", s.framesOut.Load)
+	r.CounterFunc("wire.bytes.in", s.bytesIn.Load)
+	r.CounterFunc("wire.bytes.out", s.bytesOut.Load)
+	r.CounterFunc("wire.frames.bad", s.badFrames.Load)
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		r.CounterFunc("wire.qos."+c.String()+".admitted", s.sch.admitted[c].Load)
+		r.CounterFunc("wire.qos."+c.String()+".shed", s.sch.shed[c].Load)
+		r.CounterFunc("wire.qos."+c.String()+".tenant_shed", s.sch.tenantShed[c].Load)
+		r.GaugeFunc("wire.qos."+c.String()+".depth", func() int64 { return int64(s.sch.Depth(c)) })
+	}
+	return s
+}
+
+// Serve accepts connections on l until the listener closes (Shutdown
+// closes every registered listener). It returns nil on a shutdown-
+// driven close and the accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("wire: server draining")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		tuneConn(nc)
+		c := s.newConn(nc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.open.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.open.Add(-1)
+				s.connWG.Done()
+			}()
+			c.serve()
+		}()
+	}
+}
+
+// Shutdown drains the front end gracefully: stop accepting, stop
+// reading new frames, let every in-flight request finish and its
+// response reach the socket, then stop the QoS dispatchers. Connections
+// still open past the drain deadline are force-closed. The underlying
+// serve.Server is not closed — that remains the caller's to sequence
+// after the front end has quiesced.
+func (s *Server) Shutdown(drain time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		s.sch.Close()
+		return
+	}
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	now := time.Now()
+	for c := range s.conns {
+		// Kick the reader out of its blocking read: in-flight requests
+		// keep draining, no new frame is accepted.
+		c.nc.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	if drain > 0 {
+		select {
+		case <-done:
+		case <-time.After(drain):
+			s.mu.Lock()
+			for c := range s.conns {
+				c.nc.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+	} else {
+		<-done
+	}
+	s.sch.Close()
+}
+
+// mapQuery translates a decoded request into a serving-layer query.
+func mapQuery(req *Request, tenant uint32) (serve.Query, *Error) {
+	q := serve.Query{Tenant: tenant}
+	switch req.Op {
+	case OpDegree, OpNeighbors, OpKHop:
+		if req.V > math.MaxUint32 {
+			return q, &Error{Code: CodeBadVertex, Msg: "vertex beyond id space"}
+		}
+		q.V = graph.V(req.V)
+		switch req.Op {
+		case OpDegree:
+			q.Class = serve.ClassDegree
+		case OpNeighbors:
+			q.Class = serve.ClassNeighbors
+		default:
+			q.Class = serve.ClassKHop
+			q.K = int(req.K)
+		}
+	case OpTopK:
+		q.Class = serve.ClassTopK
+		q.K = int(req.K)
+	case OpPageRank:
+		q.Class = serve.ClassKernel
+	case OpBatch:
+		q.Class = serve.ClassBatch
+		q.Points = make([]serve.BatchPoint, len(req.Points))
+		for i, p := range req.Points {
+			if p.V > math.MaxUint32 {
+				return q, &Error{Code: CodeBadVertex, Msg: "vertex beyond id space"}
+			}
+			cls := serve.ClassDegree
+			if p.Op == OpNeighbors {
+				cls = serve.ClassNeighbors
+			}
+			q.Points[i] = serve.BatchPoint{Class: cls, V: graph.V(p.V)}
+		}
+	default:
+		return q, &Error{Code: CodeUnknownOp, Msg: "opcode " + req.Op.String()}
+	}
+	return q, nil
+}
+
+// mapServeErr translates a serving-layer failure into a typed wire error.
+func mapServeErr(err error) *Error {
+	switch {
+	case errors.Is(err, serve.ErrBadVertex):
+		return &Error{Code: CodeBadVertex, Msg: err.Error()}
+	case errors.Is(err, serve.ErrOverloaded):
+		return &Error{Code: CodeOverloaded, Msg: err.Error()}
+	case errors.Is(err, serve.ErrClosed):
+		return &Error{Code: CodeShutdown, Msg: err.Error()}
+	default:
+		return &Error{Code: CodeInternal, Msg: err.Error()}
+	}
+}
+
+// answer executes req against the serving layer and builds its typed
+// response body.
+func (s *Server) answer(req *Request, tenant uint32) Response {
+	q, werr := mapQuery(req, tenant)
+	if werr != nil {
+		return Response{Op: RespError, Err: werr}
+	}
+	r := s.srv.Do(q)
+	if r.Err != nil {
+		return Response{Op: RespError, Err: mapServeErr(r.Err)}
+	}
+	resp := Response{Gen: r.Gen, Edges: uint64(r.Edges)}
+	switch req.Op {
+	case OpDegree, OpKHop:
+		resp.Op = RespValue
+		resp.Value = r.Value
+	case OpNeighbors:
+		resp.Op = RespVerts
+		resp.Verts = make([]uint64, len(r.Verts))
+		for i, v := range r.Verts {
+			resp.Verts[i] = uint64(v)
+		}
+	case OpTopK:
+		resp.Op = RespTopK
+		resp.Verts = make([]uint64, len(r.Verts))
+		resp.Degrees = make([]uint64, len(r.Verts))
+		for i, v := range r.Verts {
+			resp.Verts[i] = uint64(v)
+			resp.Degrees[i] = uint64(r.Degrees[i])
+		}
+	case OpPageRank:
+		resp.Op = RespRank
+		resp.NRanks = uint32(len(r.Ranks))
+		for v, sc := range r.Ranks {
+			if sc > resp.Score {
+				resp.Top, resp.Score = uint64(v), sc
+			}
+		}
+	case OpBatch:
+		resp.Op = RespBatch
+		resp.Points = make([]PointAnswer, len(r.Points))
+		for i, p := range r.Points {
+			pa := PointAnswer{Op: req.Points[i].Op, Value: p.Value}
+			if pa.Op == OpNeighbors {
+				pa.Verts = make([]uint64, len(p.Verts))
+				for j, v := range p.Verts {
+					pa.Verts[j] = uint64(v)
+				}
+			}
+			resp.Points[i] = pa
+		}
+	}
+	return resp
+}

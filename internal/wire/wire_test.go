@@ -1,0 +1,428 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dgap/internal/dgap"
+	"dgap/internal/graph"
+	"dgap/internal/graphgen"
+	"dgap/internal/pmem"
+	"dgap/internal/serve"
+)
+
+// testStack is one wired-up serving stack: graph → serve.Server →
+// wire.Server on a loopback listener.
+type testStack struct {
+	srv  *serve.Server
+	ws   *Server
+	addr string
+	// direct is a snapshot view for computing expected answers.
+	direct *graph.View
+}
+
+func startStack(t *testing.T, nVert, deg int, scfg serve.Config, wcfg Config) *testStack {
+	t.Helper()
+	edges := graphgen.Uniform(nVert, deg, 31)
+	a := pmem.New(256 << 20)
+	gcfg := dgap.DefaultConfig(nVert, int64(2*len(edges)))
+	gcfg.SectionSlots = 64
+	gcfg.ELogSize = 512
+	g, err := dgap.New(a, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(g, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewServer(srv, wcfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	t.Cleanup(func() {
+		ws.Shutdown(2 * time.Second)
+		srv.Close()
+	})
+	return &testStack{srv: srv, ws: ws, addr: ln.Addr().String(), direct: graph.ViewOf(g.Snapshot())}
+}
+
+// TestWireQueriesMatchDirect: every opcode answered over the wire
+// agrees with the same computation against a direct snapshot, and
+// carries nonzero provenance.
+func TestWireQueriesMatchDirect(t *testing.T) {
+	st := startStack(t, 120, 10, serve.Config{Workers: 2}, Config{})
+	c, err := Dial(st.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		d, err := c.Degree(v)
+		if err != nil {
+			t.Fatalf("degree(%d): %v", v, err)
+		}
+		if want := int64(st.direct.Degree(graph.V(v))); d != want {
+			t.Fatalf("degree(%d) = %d, want %d", v, d, want)
+		}
+		ns, err := c.Neighbors(v)
+		if err != nil {
+			t.Fatalf("neighbors(%d): %v", v, err)
+		}
+		want := st.direct.CopyNeighbors(graph.V(v), nil)
+		if len(ns) != len(want) {
+			t.Fatalf("neighbors(%d): %d results, want %d", v, len(ns), len(want))
+		}
+		for i := range want {
+			if ns[i] != uint64(want[i]) {
+				t.Fatalf("neighbors(%d)[%d] = %d, want %d", v, i, ns[i], want[i])
+			}
+		}
+	}
+	if n, err := c.KHop(3, 2); err != nil || n <= 0 {
+		t.Fatalf("khop(3,2) = %d, %v", n, err)
+	}
+	vs, degs, err := c.TopK(5)
+	if err != nil || len(vs) != 5 || len(degs) != 5 {
+		t.Fatalf("topk(5) = %v/%v, %v", vs, degs, err)
+	}
+	pr, err := c.PageRank()
+	if err != nil || pr.NRanks != 120 || pr.Score <= 0 {
+		t.Fatalf("pagerank = %+v, %v", pr, err)
+	}
+	// A batch frame answers every point from one snapshot, matching the
+	// individual queries.
+	pts := []Point{{Op: OpDegree, V: 1}, {Op: OpNeighbors, V: 2}, {Op: OpDegree, V: 3}}
+	ans, err := c.Batch(pts)
+	if err != nil || len(ans) != 3 {
+		t.Fatalf("batch: %v, %v", ans, err)
+	}
+	if ans[0].Value != int64(st.direct.Degree(1)) || ans[2].Value != int64(st.direct.Degree(3)) {
+		t.Fatalf("batch degrees %d/%d mismatch", ans[0].Value, ans[2].Value)
+	}
+	if wantN := st.direct.CopyNeighbors(2, nil); len(ans[1].Verts) != len(wantN) {
+		t.Fatalf("batch neighbors: %d, want %d", len(ans[1].Verts), len(wantN))
+	}
+}
+
+// TestWireTypedErrors: protocol and query failures come back as typed
+// error responses on a connection that stays usable.
+func TestWireTypedErrors(t *testing.T) {
+	st := startStack(t, 100, 8, serve.Config{Workers: 2}, Config{})
+	c, err := Dial(st.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var werr *Error
+	if _, err := c.Degree(1 << 40); !errors.As(err, &werr) || werr.Code != CodeBadVertex {
+		t.Fatalf("degree beyond id space: %v", err)
+	}
+	if _, err := c.Degree(99999); !errors.As(err, &werr) || werr.Code != CodeBadVertex {
+		t.Fatalf("degree out of range: %v", err)
+	}
+	// The connection is still healthy after every typed error.
+	if _, err := c.Degree(1); err != nil {
+		t.Fatalf("degree after errors: %v", err)
+	}
+
+	// A frame with a bad version gets a typed version error; the raw
+	// connection stays open for a correct follow-up.
+	nc, err := net.Dial("tcp", st.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	bad := AppendFrame(nil, &Frame{Header: Header{Version: 9, Op: OpPing, ID: 1}})
+	good := AppendFrame(nil, &Frame{Header: Header{Version: ProtoVersion, Op: OpPing, ID: 2}})
+	if _, err := nc.Write(append(bad, good...)); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := ReadFrame(nc, 0)
+	if err != nil || f1.ID != 1 || f1.Op != RespError {
+		t.Fatalf("version-error frame: %+v, %v", f1, err)
+	}
+	resp, err := ParseResponse(f1.Op, f1.Payload)
+	if err != nil || resp.Err.Code != CodeVersion {
+		t.Fatalf("version error payload: %+v, %v", resp, err)
+	}
+	f2, err := ReadFrame(nc, 0)
+	if err != nil || f2.ID != 2 || f2.Op != RespPong {
+		t.Fatalf("pong after version error: %+v, %v", f2, err)
+	}
+	// An unknown request opcode answers unknown-op, connection intact.
+	unk := AppendFrame(nil, &Frame{Header: Header{Version: ProtoVersion, Op: Op(0x70), ID: 3}})
+	if _, err := nc.Write(unk); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := ReadFrame(nc, 0)
+	if err != nil || f3.ID != 3 || f3.Op != RespError {
+		t.Fatalf("unknown-op frame: %+v, %v", f3, err)
+	}
+	if resp, err := ParseResponse(f3.Op, f3.Payload); err != nil || resp.Err.Code != CodeUnknownOp {
+		t.Fatalf("unknown-op payload: %+v, %v", resp, err)
+	}
+}
+
+// TestWirePipeliningOrder: many concurrent pipelined submissions all
+// complete, each response matched to its request id with the right
+// answer. Run under -race this also exercises the client and conn
+// concurrency.
+func TestWirePipeliningOrder(t *testing.T) {
+	st := startStack(t, 200, 12, serve.Config{Workers: 4}, Config{Window: 32})
+	c, err := Dial(st.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const N = 400
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		i := i
+		v := uint64(i % 64)
+		want := int64(st.direct.Degree(graph.V(v)))
+		err := c.SubmitFunc(&Request{Op: OpDegree, V: v}, func(r *Response, err error) {
+			defer wg.Done()
+			switch {
+			case err != nil:
+				errs[i] = err
+			case r.Err != nil:
+				errs[i] = r.Err
+			case r.Value != want:
+				errs[i] = fmt.Errorf("degree(%d) = %d, want %d", v, r.Value, want)
+			}
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestWireOverloadShedsAnalyticsNotInteractive: with one QoS dispatcher
+// and a tiny analytics queue, an analytics flood is shed with typed
+// overload errors (retry-after included) while every interactive
+// request is still served — the weighted-admission guarantee end to end.
+func TestWireOverloadShedsAnalyticsNotInteractive(t *testing.T) {
+	st := startStack(t, 3000, 24, serve.Config{Workers: 2},
+		Config{Window: 256, QoS: QoSConfig{Dispatchers: 1, QueueDepth: 8}})
+	ana, err := Dial(st.addr, ClientConfig{Class: ClassAnalytics, Tenant: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ana.Close()
+	inter, err := Dial(st.addr, ClientConfig{Class: ClassInteractive, Tenant: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inter.Close()
+
+	const floods = 120
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var shed, served int
+	var sampleRetry time.Duration
+	wg.Add(floods)
+	for i := 0; i < floods; i++ {
+		err := ana.SubmitFunc(&Request{Op: OpKHop, V: uint64(i % 100), K: 6}, func(r *Response, err error) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				// transport failure would be a test bug
+			case r.Err != nil && r.Err.Code == CodeOverloaded:
+				shed++
+				if r.Err.RetryAfter > sampleRetry {
+					sampleRetry = r.Err.RetryAfter
+				}
+			case r.Err == nil:
+				served++
+			}
+		})
+		if err != nil {
+			t.Fatalf("flood %d: %v", i, err)
+		}
+	}
+	// Interactive requests riding through the overload: all must be
+	// served, none shed — their class queue is independent and their
+	// dispatch weight dominates.
+	for i := 0; i < 20; i++ {
+		if _, err := inter.Degree(uint64(i)); err != nil {
+			t.Fatalf("interactive %d during overload: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatalf("no analytics shed under %dx flood (served %d)", floods, served)
+	}
+	if sampleRetry <= 0 {
+		t.Fatalf("shed without retry-after hint")
+	}
+	if served == 0 {
+		t.Fatalf("every analytics request shed — queue never drained")
+	}
+	if got := st.ws.sch.shed[ClassAnalytics].Load(); got != int64(shed) {
+		t.Fatalf("scheduler counted %d analytics sheds, client saw %d", got, shed)
+	}
+	if got := st.ws.sch.shed[ClassInteractive].Load(); got != 0 {
+		t.Fatalf("%d interactive sheds during analytics flood", got)
+	}
+}
+
+// TestWireGracefulShutdown: a pipelined client with requests already
+// accepted by the server receives every outstanding response before the
+// socket closes.
+func TestWireGracefulShutdown(t *testing.T) {
+	st := startStack(t, 200, 12, serve.Config{Workers: 2}, Config{Window: 64})
+	c, err := Dial(st.addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const N = 40
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := 0
+	var firstErr error
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		err := c.SubmitFunc(&Request{Op: OpNeighbors, V: uint64(i)}, func(r *Response, err error) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			got++
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Wait until the server has accepted every frame, so "outstanding"
+	// is unambiguous, then shut down underneath the client.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.ws.framesIn.Load() < N {
+		if time.Now().After(deadline) {
+			t.Fatalf("server read %d of %d frames", st.ws.framesIn.Load(), N)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st.ws.Shutdown(5 * time.Second)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("callback error during graceful shutdown: %v (%d/%d responses)", firstErr, got, N)
+	}
+	if got != N {
+		t.Fatalf("received %d of %d outstanding responses across shutdown", got, N)
+	}
+	// The drained server no longer accepts connections.
+	if _, err := net.DialTimeout("tcp", st.addr, 200*time.Millisecond); err == nil {
+		t.Fatalf("listener still accepting after shutdown")
+	}
+}
+
+// TestLineServerBigToken: the legacy line listener survives input lines
+// and replies far beyond bufio.Scanner's default 64KB token cap — the
+// regression the explicit scanner buffer fixes.
+func TestLineServerBigToken(t *testing.T) {
+	ls := &LineServer{NewHandler: func() LineHandler {
+		return func(line string) (string, error) {
+			if strings.HasPrefix(line, "len ") {
+				return fmt.Sprintf("%d", len(line)), nil
+			}
+			if strings.HasPrefix(line, "big ") {
+				return strings.Repeat("x", 200<<10), nil
+			}
+			return "?", nil
+		}
+	}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ls.Serve(ln)
+	defer ls.Shutdown(time.Second)
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A ~200KB input line: past the default token cap, within MaxLine.
+	line := "len " + strings.Repeat("a", 200<<10) + "\n"
+	if _, err := nc.Write([]byte(line)); err != nil {
+		t.Fatal(err)
+	}
+	rd := newLineReader(nc)
+	reply, err := rd()
+	if err != nil {
+		t.Fatalf("big input line killed the connection: %v", err)
+	}
+	if want := fmt.Sprintf("%d", len(line)-1); reply != want {
+		t.Fatalf("reply %q, want %q", reply, want)
+	}
+	// A ~200KB reply line on the same connection.
+	if _, err := nc.Write([]byte("big x\n")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = rd()
+	if err != nil {
+		t.Fatalf("big reply killed the connection: %v", err)
+	}
+	if len(reply) != 200<<10 {
+		t.Fatalf("reply %d bytes, want %d", len(reply), 200<<10)
+	}
+	// And the connection still works for a normal exchange.
+	if _, err := nc.Write([]byte("len ab\n")); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = rd(); err != nil || reply != "6" {
+		t.Fatalf("post-big exchange: %q, %v", reply, err)
+	}
+}
+
+// newLineReader returns a reader for \n-terminated replies with an
+// explicitly sized buffer (the client side of the same regression).
+func newLineReader(nc net.Conn) func() (string, error) {
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 64<<10), DefaultMaxLine)
+	return func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", errors.New("eof")
+		}
+		return sc.Text(), nil
+	}
+}
